@@ -1,0 +1,171 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (fast mode — same shapes as `bin/experiments.exe --mode full`, scaled
+   logs).  Part 2 runs Bechamel microbenchmarks of the real runtime's hot
+   paths on this host (note: the container exposes a single CPU, so these
+   measure single-core costs, not parallel scaling — scaling numbers come
+   from the simulator above). *)
+
+module E = Doradd_experiments
+module Core = Doradd_core
+module Q = Doradd_queue
+module St = Doradd_stats
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: paper tables and figures                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mode_of_argv () =
+  match Array.to_list Sys.argv with
+  | _ :: m :: _ -> ( match E.Mode.of_string m with Some m -> m | None -> E.Mode.Fast)
+  | _ -> E.Mode.Fast
+
+let run_experiments mode =
+  Printf.printf "=== DORADD paper reproduction (%s mode) ===\n\n%!" (E.Mode.to_string mode);
+  let time name f =
+    let t0 = Unix.gettimeofday () in
+    f ~mode;
+    Printf.printf "[%s: %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0)
+  in
+  time "fig2" E.Fig2.run;
+  time "fig6" E.Fig6.run;
+  time "fig7" E.Fig7.run;
+  time "fig8" E.Fig8.run;
+  time "fig9" E.Fig9.run;
+  time "fig10" E.Fig10.run;
+  time "efficiency" E.Efficiency.run;
+  time "ablations" E.Ablations.run;
+  time "dps-compare" E.Dps_compare.run;
+  time "breakdown" E.Breakdown.run
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: microbenchmarks of the real runtime                         *)
+(* ------------------------------------------------------------------ *)
+
+let bench_mpmc =
+  Test.make ~name:"mpmc push+pop"
+    (Staged.stage
+       (let q = Q.Mpmc.create ~capacity:64 in
+        fun () ->
+          ignore (Q.Mpmc.try_push q 1);
+          ignore (Q.Mpmc.try_pop q)))
+
+let bench_spsc =
+  Test.make ~name:"spsc push+pop"
+    (Staged.stage
+       (let q = Q.Spsc.create ~capacity:64 in
+        fun () ->
+          ignore (Q.Spsc.try_push q 1);
+          ignore (Q.Spsc.try_pop q)))
+
+let bench_footprint =
+  Test.make ~name:"footprint normalize (10 slots)"
+    (Staged.stage
+       (let slots = Array.init 10 (fun _ -> Core.Slot.create ()) in
+        fun () -> ignore (Core.Footprint.of_slots (Array.to_list slots))))
+
+let bench_spawn =
+  (* one request through the Spawner: link 10 resources, release, complete *)
+  Test.make ~name:"spawner link+complete (10 keys)"
+    (Staged.stage
+       (let slots = Array.init 10 (fun _ -> Core.Slot.create ()) in
+        let fp = Core.Footprint.of_slots (Array.to_list slots) in
+        let seq = ref 0 in
+        fun () ->
+          incr seq;
+          let node = Core.Node.create ~seqno:!seq (fun () -> ()) in
+          let ready = ref None in
+          Core.Spawner.schedule_ready (fun n -> ready := Some n) node fp;
+          match !ready with
+          | Some n -> Core.Node.complete n ~on_ready:(fun _ -> ())
+          | None -> ()))
+
+let bench_histogram =
+  Test.make ~name:"histogram record"
+    (Staged.stage
+       (let h = St.Histogram.create () in
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          St.Histogram.record h (!i land 0xFFFFF)))
+
+let bench_zipf =
+  Test.make ~name:"zipf sample (10M, 0.99)"
+    (Staged.stage
+       (let z = St.Distributions.zipf ~n:10_000_000 ~theta:0.99 in
+        let rng = St.Rng.create 1 in
+        fun () -> ignore (St.Distributions.zipf_sample z rng)))
+
+let bench_engine =
+  Test.make ~name:"sim engine schedule+run"
+    (Staged.stage
+       (let e = Doradd_sim.Engine.create () in
+        fun () ->
+          Doradd_sim.Engine.schedule_after e 1 (fun () -> ());
+          Doradd_sim.Engine.run e))
+
+let run_microbenches () =
+  print_endline "=== Microbenchmarks (real data structures, single host core) ===";
+  let tests =
+    [
+      bench_mpmc; bench_spsc; bench_footprint; bench_spawn; bench_histogram; bench_zipf;
+      bench_engine;
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None () in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let rows =
+    List.map
+      (fun test ->
+        let name = Test.name test in
+        let results = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+        let stats = Analyze.all ols Instance.monotonic_clock results in
+        (* a single-function Test yields one entry *)
+        let ns =
+          Hashtbl.fold
+            (fun _ v acc ->
+              match Analyze.OLS.estimates v with Some [ e ] -> e | _ -> acc)
+            stats 0.0
+        in
+        [ name; Printf.sprintf "%.1f ns" ns ])
+      tests
+  in
+  St.Table.print ~header:[ "operation"; "time/op" ] rows;
+  print_newline ()
+
+(* End-to-end throughput of the real runtime on this host: replay a small
+   log and report wall-clock rate.  With one physical core this measures
+   runtime overhead, not speedup. *)
+let run_real_runtime_bench () =
+  print_endline "=== Real runtime replay (host wall-clock; single CPU container) ===";
+  let n = 200_000 in
+  let cells = Array.init 256 (fun _ -> Core.Resource.create 0) in
+  let rng = St.Rng.create 7 in
+  let log = Array.init n (fun i -> (i, Array.init 3 (fun _ -> St.Rng.int rng 256))) in
+  let rows =
+    List.map
+      (fun workers ->
+        let t0 = Unix.gettimeofday () in
+        Core.Runtime.run_log ~workers
+          (fun (_, keys) ->
+            Core.Footprint.of_slots
+              (Array.to_list (Array.map (fun k -> Core.Resource.slot cells.(k)) keys)))
+          (fun (id, keys) ->
+            Array.iter (fun k -> Core.Resource.update cells.(k) (fun v -> v + id)) keys)
+          log;
+        let dt = Unix.gettimeofday () -. t0 in
+        [ string_of_int workers; St.Table.fmt_rate (float_of_int n /. dt) ])
+      [ 1; 2; 4 ]
+  in
+  St.Table.print ~header:[ "workers"; "replay rate" ] rows;
+  print_newline ()
+
+let () =
+  let mode = mode_of_argv () in
+  run_experiments mode;
+  run_real_runtime_bench ();
+  run_microbenches ()

@@ -1,0 +1,179 @@
+(* doradd-check: determinism torture tool.
+
+   Replays randomly generated logs of several application types through
+   the real runtime with varying worker counts (and, for the KV store,
+   through the pipelined dispatcher) and verifies every run is
+   bit-identical to serial execution.  Exit code 0 iff everything
+   matches — usable as a CI gate for runtime changes. *)
+
+module Core = Doradd_core
+module Db = Doradd_db
+module Rng = Doradd_stats.Rng
+module Table = Doradd_stats.Table
+
+type outcome = { name : string; runs : int; mismatches : int }
+
+let worker_counts = [ 1; 2; 3; 4 ]
+
+(* -- application harnesses: generate a log from a seed, return a state
+      digest for (serial | parallel workers) execution ----------------- *)
+
+let check_counters ~seed ~n =
+  let n_keys = 32 in
+  let rng = Rng.create seed in
+  let log =
+    Array.init n (fun id ->
+        (id, Array.init (1 + Rng.int rng 4) (fun _ -> Rng.int rng n_keys)))
+  in
+  let serial () =
+    let cells = Array.make n_keys 0 in
+    Array.iter (fun (id, ks) -> Array.iter (fun k -> cells.(k) <- (cells.(k) * 31) + id) ks) log;
+    Array.to_list cells |> List.fold_left (fun a v -> (a * 1_000_003) + v) 0
+  in
+  let parallel workers =
+    let cells = Array.init n_keys (fun _ -> Core.Resource.create 0) in
+    Core.Runtime.run_log ~workers
+      (fun (_, ks) ->
+        Core.Footprint.of_slots (Array.to_list (Array.map (fun k -> Core.Resource.slot cells.(k)) ks)))
+      (fun (id, ks) ->
+        Array.iter (fun k -> Core.Resource.update cells.(k) (fun v -> (v * 31) + id)) ks)
+      log;
+    Array.fold_left (fun a c -> (a * 1_000_003) + Core.Resource.get c) 0 cells
+  in
+  (serial (), List.map parallel worker_counts)
+
+let check_kv ~seed ~n =
+  let n_keys = 128 in
+  let rng = Rng.create seed in
+  let txns =
+    Array.init n (fun id ->
+        let ops =
+          Array.init 5 (fun _ ->
+              {
+                Db.Kv.key = Rng.int rng n_keys;
+                kind = (if Rng.bool rng then Db.Kv.Read else Db.Kv.Update);
+              })
+        in
+        { Db.Kv.id; ops })
+  in
+  let keys = Array.init n_keys Fun.id in
+  let serial () =
+    let s = Db.Store.create () in
+    Db.Store.populate s ~n:n_keys;
+    ignore (Db.Kv.run_sequential s txns);
+    Db.Kv.state_digest s ~keys
+  in
+  let parallel workers =
+    let s = Db.Store.create () in
+    Db.Store.populate s ~n:n_keys;
+    ignore (Db.Kv.run_parallel ~workers s txns);
+    Db.Kv.state_digest s ~keys
+  in
+  let pipelined stages =
+    let s = Db.Store.create () in
+    Db.Store.populate s ~n:n_keys;
+    ignore (Db.Kv_pipeline.run_pipelined ~workers:2 ~stages s txns);
+    Db.Kv.state_digest s ~keys
+  in
+  ( serial (),
+    List.map parallel worker_counts
+    @ List.map pipelined Core.Pipeline.[ One_core; Two_core; Four_core ] )
+
+let check_tpcc ~seed ~n =
+  let cfg = { Db.Tpcc_db.warehouses = 2; customers_per_district = 40; items = 400 } in
+  let txns = Db.Tpcc_db.generate (Db.Tpcc_db.create cfg) (Rng.create seed) ~n in
+  let serial () =
+    let db = Db.Tpcc_db.create cfg in
+    Db.Tpcc_db.run_sequential db txns;
+    Db.Tpcc_db.digest db
+  in
+  let parallel workers =
+    let db = Db.Tpcc_db.create cfg in
+    Db.Tpcc_db.run_parallel ~workers db txns;
+    Db.Tpcc_db.digest db
+  in
+  (serial (), List.map parallel worker_counts)
+
+let check_ledger ~seed ~n =
+  let cfg = { Db.Ledger.accounts = 64; pools = 2 } in
+  let txns = Db.Ledger.generate (Db.Ledger.create cfg) (Rng.create seed) ~n in
+  let serial () =
+    let l = Db.Ledger.create cfg in
+    Db.Ledger.run_sequential l txns;
+    Db.Ledger.digest l
+  in
+  let parallel workers =
+    let l = Db.Ledger.create cfg in
+    Db.Ledger.run_parallel ~workers l txns;
+    Db.Ledger.digest l
+  in
+  (serial (), List.map parallel worker_counts)
+
+let apps =
+  [
+    ("counters", check_counters);
+    ("kv", check_kv);
+    ("tpcc", check_tpcc);
+    ("ledger", check_ledger);
+  ]
+
+let run_app ~iterations ~seed ~n (name, check) =
+  let mismatches = ref 0 in
+  let runs = ref 0 in
+  for i = 0 to iterations - 1 do
+    let expected, got = check ~seed:(seed + i) ~n in
+    List.iter
+      (fun digest ->
+        incr runs;
+        if digest <> expected then incr mismatches)
+      got
+  done;
+  { name; runs = !runs; mismatches = !mismatches }
+
+open Cmdliner
+
+let iterations_arg =
+  Arg.(value & opt int 3 & info [ "i"; "iterations" ] ~docv:"N" ~doc:"Random logs per application.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Base seed.")
+
+let size_arg =
+  Arg.(value & opt int 3_000 & info [ "n"; "size" ] ~docv:"REQS" ~doc:"Requests per log.")
+
+let apps_arg =
+  let doc = "Applications to torture: counters, kv, tpcc, ledger, or all." in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"APP" ~doc)
+
+let main iterations seed n names =
+  let selected =
+    if List.mem "all" names then apps
+    else
+      List.filter_map
+        (fun name -> Option.map (fun c -> (name, c)) (List.assoc_opt name apps))
+        names
+  in
+  if selected = [] then `Error (false, "no known application selected")
+  else begin
+    let results = List.map (run_app ~iterations ~seed ~n) selected in
+    Table.print ~title:"doradd-check: parallel replay vs serial execution"
+      ~header:[ "application"; "runs"; "mismatches"; "verdict" ]
+      (List.map
+         (fun r ->
+           [
+             r.name;
+             string_of_int r.runs;
+             string_of_int r.mismatches;
+             (if r.mismatches = 0 then "PASS" else "FAIL");
+           ])
+         results);
+    if List.for_all (fun r -> r.mismatches = 0) results then `Ok ()
+    else `Error (false, "determinism violations detected")
+  end
+
+let cmd =
+  let doc = "Torture-test DORADD's determinism guarantee on this machine" in
+  Cmd.v
+    (Cmd.info "doradd-check" ~version:"1.0.0" ~doc)
+    Term.(ret (const main $ iterations_arg $ seed_arg $ size_arg $ apps_arg))
+
+let () = exit (Cmd.eval cmd)

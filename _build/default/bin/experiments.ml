@@ -1,0 +1,85 @@
+(* CLI driver for the paper-reproduction experiments.
+
+   `experiments all --mode full` regenerates every table and figure of the
+   evaluation section at paper scale; the default fast mode scales the logs
+   down (same shapes, minutes instead of hours). *)
+
+module E = Doradd_experiments
+
+let experiments =
+  [
+    ("fig2", "synthetic read-spin-write motivation (Figure 2)", fun ~mode -> E.Fig2.run ~mode);
+    ("fig6", "YCSB + TPCC-NP vs Caracal (Figure 6, Table 1)", fun ~mode -> E.Fig6.run ~mode);
+    ("fig7", "cost of determinism vs non-deterministic schedulers (Figure 7)", fun ~mode -> E.Fig7.run ~mode);
+    ("fig8", "primary-backup replication use case (Figure 8)", fun ~mode -> E.Fig8.run ~mode);
+    ("fig9", "dispatcher optimisation ablation (Figure 9)", fun ~mode -> E.Fig9.run ~mode);
+    ("fig10", "pipeline scaling limits (Figure 10)", fun ~mode -> E.Fig10.run ~mode);
+    ("efficiency", "core-count sensitivity (section 5.1)", fun ~mode -> E.Efficiency.run ~mode);
+    ("ablations", "design-choice ablations beyond the paper", fun ~mode -> E.Ablations.run ~mode);
+    ( "dps-compare",
+      "DORADD vs Caracal vs Calvin vs single-thread (extension)",
+      fun ~mode -> E.Dps_compare.run ~mode );
+    ( "breakdown",
+      "latency decomposition per pipeline component (extension)",
+      fun ~mode -> E.Breakdown.run ~mode );
+  ]
+
+let run_one ~mode name =
+  match List.find_opt (fun (n, _, _) -> n = name) experiments with
+  | Some (_, _, f) ->
+    f ~mode;
+    Ok ()
+  | None -> Error (Printf.sprintf "unknown experiment %S" name)
+
+open Cmdliner
+
+let mode_arg =
+  let parse s =
+    match E.Mode.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg "mode must be smoke, fast or full")
+  in
+  let print fmt m = Format.pp_print_string fmt (E.Mode.to_string m) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) E.Mode.Fast
+    & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Experiment scale: smoke, fast (default) or full.")
+
+let names_arg =
+  let doc =
+    "Experiments to run: " ^ String.concat ", " (List.map (fun (n, _, _) -> n) experiments)
+    ^ ", or 'all'."
+  in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit tables as CSV (titles become # comments).")
+
+let main mode csv names =
+  if csv then Doradd_experiments.Csv.enable ();
+  let names =
+    if List.mem "all" names then List.map (fun (n, _, _) -> n) experiments else names
+  in
+  let rec go = function
+    | [] -> `Ok ()
+    | n :: rest -> (
+      match run_one ~mode n with Ok () -> go rest | Error e -> `Error (false, e))
+  in
+  go names
+
+let cmd =
+  let doc = "Regenerate the DORADD paper's evaluation tables and figures" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the discrete-event reproductions of the DORADD (PPoPP'25) evaluation. Each \
+         experiment prints the rows/series of the corresponding paper figure; see \
+         EXPERIMENTS.md for the paper-vs-measured comparison.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~version:"1.0.0" ~doc ~man)
+    Term.(ret (const main $ mode_arg $ csv_arg $ names_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,72 @@
+(* doradd-trace: pre-generate request logs to disk (the paper's
+   "memory-mapped pre-generated request log"), inspect them, and verify
+   round-trips. *)
+
+module W = Doradd_workload
+module S = Doradd_stats
+
+open Cmdliner
+
+let generate_log kind ~n ~seed ~theta ~warehouses ~split =
+  let rng = S.Rng.create seed in
+  match kind with
+  | "ycsb-no" -> Ok (W.Ycsb.to_sim (W.Ycsb.generate (W.Ycsb.config W.Ycsb.No_contention) rng ~n))
+  | "ycsb-mod" -> Ok (W.Ycsb.to_sim (W.Ycsb.generate (W.Ycsb.config W.Ycsb.Mod_contention) rng ~n))
+  | "ycsb-high" ->
+    Ok (W.Ycsb.to_sim (W.Ycsb.generate (W.Ycsb.config W.Ycsb.High_contention) rng ~n))
+  | "tpcc" -> Ok (W.Tpcc.to_sim ~split (W.Tpcc.generate ~warehouses rng ~n))
+  | "locks" -> Ok (W.Synthetic.locks ~theta ~service:5_000 rng ~n)
+  | other -> Error (Printf.sprintf "unknown workload %S" other)
+
+let kind_arg =
+  let doc = "Workload: ycsb-no, ycsb-mod, ycsb-high, tpcc, locks." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let out_arg =
+  Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output path.")
+
+let n_arg = Arg.(value & opt int 1_000_000 & info [ "n" ] ~docv:"REQS" ~doc:"Log length.")
+let seed_arg = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+let theta_arg = Arg.(value & opt float 0.0 & info [ "theta" ] ~doc:"Zipf exponent (locks).")
+let wh_arg = Arg.(value & opt int 23 & info [ "warehouses" ] ~doc:"TPC-C warehouses.")
+let split_arg = Arg.(value & flag & info [ "split" ] ~doc:"TPC-C DORADD-split lowering.")
+
+let gen kind out n seed theta warehouses split =
+  match generate_log kind ~n ~seed ~theta ~warehouses ~split with
+  | Error e -> `Error (false, e)
+  | Ok log ->
+    W.Trace.save ~path:out log;
+    (* verify the round trip before declaring success *)
+    let back = W.Trace.load ~path:out in
+    if back <> log then `Error (false, "round-trip verification failed")
+    else begin
+      S.Table.print ~title:(Printf.sprintf "wrote %s" out) ~header:[ "field"; "value" ]
+        (List.map (fun (k, v) -> [ k; v ]) (W.Trace.describe log));
+      `Ok ()
+    end
+
+let gen_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a request log to disk")
+    Term.(
+      ret (const gen $ kind_arg $ out_arg $ n_arg $ seed_arg $ theta_arg $ wh_arg $ split_arg))
+
+let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Log file.")
+
+let info_ file =
+  match W.Trace.load ~path:file with
+  | exception Failure e -> `Error (false, e)
+  | log ->
+    S.Table.print ~title:file ~header:[ "field"; "value" ]
+      (List.map (fun (k, v) -> [ k; v ]) (W.Trace.describe log));
+    `Ok ()
+
+let info_cmd =
+  Cmd.v (Cmd.info "info" ~doc:"Describe a request log") Term.(ret (const info_ $ file_arg))
+
+let cmd =
+  Cmd.group
+    (Cmd.info "doradd-trace" ~version:"1.0.0" ~doc:"Pre-generate and inspect request logs")
+    [ gen_cmd; info_cmd ]
+
+let () = exit (Cmd.eval cmd)

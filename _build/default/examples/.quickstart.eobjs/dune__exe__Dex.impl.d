@@ -1,0 +1,1 @@
+examples/dex.ml: Doradd_db Doradd_stats Printf Unix

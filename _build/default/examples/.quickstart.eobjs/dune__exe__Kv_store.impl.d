@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Doradd_db Doradd_stats Fun Unix

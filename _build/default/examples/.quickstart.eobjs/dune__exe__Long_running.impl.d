@@ -1,0 +1,1 @@
+examples/long_running.ml: Array Doradd_core Doradd_stats

@@ -1,0 +1,1 @@
+examples/pipeline_kv.ml: Array Doradd_core Doradd_db Doradd_stats Fun Unix

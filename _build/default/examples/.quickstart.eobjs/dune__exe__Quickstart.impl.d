@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Doradd_core Printf

@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Array Doradd_db Doradd_replication Doradd_stats Fun Unix

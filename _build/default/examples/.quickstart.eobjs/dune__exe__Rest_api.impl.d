@@ -1,0 +1,1 @@
+examples/rest_api.ml: Array Doradd_db Doradd_stats Unix

@@ -1,0 +1,1 @@
+examples/rest_api.mli:

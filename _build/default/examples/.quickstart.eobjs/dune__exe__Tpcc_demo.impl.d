@@ -1,0 +1,1 @@
+examples/tpcc_demo.ml: Array Doradd_db Doradd_stats Printf Unix

@@ -1,0 +1,49 @@
+(* A mini decentralised exchange on the DORADD runtime — the blockchain
+   use case the paper's programming model targets (§3.2 cites Sui and
+   Solana: transactions declare their accounts up front).
+
+   Token transfers run in parallel across accounts; swaps serialise only
+   on their pool (the hot resource); mints serialise on the authority.
+   After a parallel run the example checks token conservation, the
+   constant-product invariant of every pool, and bit-for-bit equality
+   with serial execution.  Run with:  dune exec examples/dex.exe *)
+
+module Ledger = Doradd_db.Ledger
+module Rng = Doradd_stats.Rng
+module Table = Doradd_stats.Table
+
+let cfg = { Ledger.accounts = 1_000; pools = 4 }
+let n_txns = 50_000
+
+let () =
+  let txns = Ledger.generate (Ledger.create cfg) (Rng.create 88) ~n:n_txns in
+
+  (* serial reference *)
+  let reference = Ledger.create cfg in
+  Ledger.run_sequential reference txns;
+  let expected = Ledger.digest reference in
+
+  (* parallel *)
+  let ledger = Ledger.create cfg in
+  let t0 = Unix.gettimeofday () in
+  Ledger.run_parallel ~workers:4 ledger txns;
+  let dt = Unix.gettimeofday () -. t0 in
+
+  (match Ledger.check_invariants ledger with
+  | Ok () -> ()
+  | Error e -> failwith ("invariant violated: " ^ e));
+
+  let ra0, rb0, k0 = Ledger.pool_product ledger 0 in
+  Table.print ~title:"dex: smart-contract-style ledger on DORADD"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "transactions"; string_of_int n_txns ];
+      [ "accounts / pools"; Printf.sprintf "%d / %d" cfg.Ledger.accounts cfg.Ledger.pools ];
+      [ "replay rate"; Table.fmt_rate (float_of_int n_txns /. dt) ];
+      [ "matches serial execution"; string_of_bool (Ledger.digest ledger = expected) ];
+      [ "token A conserved"; string_of_bool (Ledger.circulating ledger = Ledger.total_supply ledger) ];
+      [ "pool 0 reserves"; Printf.sprintf "%d A / %d B" ra0 rb0 ];
+      [ "pool 0 product grew"; string_of_bool (k0 >= 1_000_000 * 1_000_000) ];
+    ];
+  assert (Ledger.digest ledger = expected);
+  print_endline "dex: OK"

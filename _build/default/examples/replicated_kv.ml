@@ -1,0 +1,64 @@
+(* Primary-backup replicated KV store (§5.3 / Figure 8, real runtime).
+
+   The primary sequences client requests, ships the log to a backup and
+   executes without waiting for the backup's execution; both replicas run
+   the log through their own DORADD runtime.  Determinism guarantees the
+   replicas converge — checked with a full state digest at the end.
+   Run with:  dune exec examples/replicated_kv.exe *)
+
+module Kv = Doradd_db.Kv
+module Store = Doradd_db.Store
+module Pb = Doradd_replication.Primary_backup
+module Rng = Doradd_stats.Rng
+module Table = Doradd_stats.Table
+
+let n_keys = 10_000
+let n_txns = 20_000
+
+let () =
+  let rng = Rng.create 99 in
+  let txns =
+    Array.init n_txns (fun id ->
+        let ops =
+          Array.init 6 (fun _ ->
+              {
+                Kv.key = Rng.int rng n_keys;
+                kind = (if Rng.bool rng then Kv.Read else Kv.Update);
+              })
+        in
+        { Kv.id; ops })
+  in
+  let primary_store = Store.create () in
+  Store.populate primary_store ~n:n_keys;
+  let backup_store = Store.create () in
+  Store.populate backup_store ~n:n_keys;
+  let primary_results = Array.make n_txns 0 in
+  let backup_results = Array.make n_txns 0 in
+  let replicas =
+    Pb.create ~workers:2
+      ~primary_footprint:(Kv.footprint primary_store)
+      ~primary_execute:(Kv.execute primary_store ~results:primary_results)
+      ~backup_footprint:(Kv.footprint backup_store)
+      ~backup_execute:(Kv.execute backup_store ~results:backup_results)
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (Pb.submit replicas) txns;
+  Pb.shutdown replicas;
+  let dt = Unix.gettimeofday () -. t0 in
+
+  let keys = Array.init n_keys Fun.id in
+  let p_digest = Kv.state_digest primary_store ~keys in
+  let b_digest = Kv.state_digest backup_store ~keys in
+  Table.print ~title:"replicated_kv: active primary-backup over DORADD"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "requests"; string_of_int (Pb.submitted replicas) ];
+      [ "backup applied"; string_of_int (Pb.backup_applied replicas) ];
+      [ "replicated rate"; Table.fmt_rate (float_of_int n_txns /. dt) ];
+      [ "replica states equal"; string_of_bool (p_digest = b_digest) ];
+      [ "replica reads equal"; string_of_bool (primary_results = backup_results) ];
+    ];
+  assert (p_digest = b_digest);
+  assert (primary_results = backup_results);
+  print_endline "replicated_kv: OK"

@@ -1,0 +1,1 @@
+lib/baselines/dispatch_model.mli:

@@ -1,0 +1,1 @@
+lib/baselines/load.ml: Doradd_sim Doradd_stats

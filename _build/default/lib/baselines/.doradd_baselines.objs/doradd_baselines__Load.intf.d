@@ -1,0 +1,1 @@
+lib/baselines/load.mli: Doradd_sim

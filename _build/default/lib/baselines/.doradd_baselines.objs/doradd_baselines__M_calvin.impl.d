@@ -1,0 +1,1 @@
+lib/baselines/m_calvin.ml: Array Doradd_sim List Load Params Queue

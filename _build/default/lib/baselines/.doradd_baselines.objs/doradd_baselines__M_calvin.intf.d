@@ -1,0 +1,1 @@
+lib/baselines/m_calvin.mli: Doradd_sim Load

@@ -1,0 +1,1 @@
+lib/baselines/m_caracal.ml: Array Doradd_sim Load Params

@@ -1,0 +1,1 @@
+lib/baselines/m_caracal.mli: Doradd_sim Load

@@ -1,0 +1,1 @@
+lib/baselines/m_doradd.ml: Array Doradd_sim Doradd_stats List Load Params Queue

@@ -1,0 +1,1 @@
+lib/baselines/m_doradd.mli: Doradd_sim Doradd_stats Load

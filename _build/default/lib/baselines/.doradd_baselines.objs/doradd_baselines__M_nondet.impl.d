@@ -1,0 +1,1 @@
+lib/baselines/m_nondet.ml: Array Doradd_sim List Load Params Queue

@@ -1,0 +1,1 @@
+lib/baselines/m_nondet.mli: Doradd_sim Load

@@ -1,0 +1,1 @@
+lib/baselines/m_replication.ml: Doradd_sim Load M_doradd M_single Params

@@ -1,0 +1,1 @@
+lib/baselines/m_single.ml: Array Doradd_sim Load

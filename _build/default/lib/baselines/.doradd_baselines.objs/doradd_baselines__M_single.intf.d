@@ -1,0 +1,1 @@
+lib/baselines/m_single.mli: Doradd_sim Load

@@ -1,0 +1,1 @@
+lib/baselines/pipeline_model.ml: Params

@@ -1,0 +1,69 @@
+type variant = No_opt | Prefetch_only | Two_core | Three_core
+
+let all_variants = [ No_opt; Prefetch_only; Two_core; Three_core ]
+
+let variant_name = function
+  | No_opt -> "no-optimization"
+  | Prefetch_only -> "prefetching"
+  | Two_core -> "2-core pipeline"
+  | Three_core -> "3-core pipeline"
+
+let miss_penalty = float_of_int (Params.dram_ns - Params.llc_hit_ns)
+
+(* Index lookups within one request are independent loads: out-of-order
+   execution overlaps their misses, dividing the exposed latency by the
+   achievable memory-level parallelism. *)
+let index_cost ~keyspace =
+  let miss = Params.cache_miss_prob ~entry_bytes:Params.index_entry_bytes ~keyspace in
+  float_of_int Params.index_key_ns
+  +. (miss *. miss_penalty /. float_of_int Params.index_mlp)
+
+let row_miss ~keyspace = Params.cache_miss_prob ~entry_bytes:Params.row_bytes ~keyspace
+
+(* Spawner per-key cost: one atomic DAG link on the resource's scheduling
+   word.  Atomics are serialising, so an unprefetched miss is fully
+   exposed; [hidden] is the fraction a prefetcher hides. *)
+let spawn_cost ~keyspace ~hidden =
+  float_of_int Params.spawn_key_ns
+  +. ((1.0 -. hidden) *. row_miss ~keyspace *. miss_penalty)
+
+let handler = float_of_int Params.handler_ns
+let prefetch = float_of_int Params.prefetch_issue_ns
+let spawn_base = float_of_int Params.spawn_base_ns
+
+(* SPSC batch-count signalling, amortised over the adaptive batch. *)
+let signal = float_of_int Params.queue_signal_ns /. 8.0
+
+let stage_costs variant ~keyspace ~keys_per_req =
+  let k = float_of_int keys_per_req in
+  let idx = k *. index_cost ~keyspace in
+  match variant with
+  | No_opt ->
+    (* one core, no prefetch: the Spawner eats the full miss latency *)
+    [ handler +. idx +. spawn_base +. (k *. spawn_cost ~keyspace ~hidden:0.0) ]
+  | Prefetch_only ->
+    (* one core: prefetches issued just before spawning hide part of the
+       miss (limited lookahead on a single instruction stream) *)
+    [
+      handler +. idx +. (k *. prefetch) +. spawn_base
+      +. (k *. spawn_cost ~keyspace ~hidden:0.6);
+    ]
+  | Two_core ->
+    (* handler+indexer+prefetcher / spawner: the prefetch stage runs a
+       batch ahead of the Spawner, hiding the full miss *)
+    [
+      handler +. idx +. (k *. prefetch) +. signal;
+      spawn_base +. (k *. spawn_cost ~keyspace ~hidden:1.0) +. signal;
+    ]
+  | Three_core ->
+    [
+      handler +. idx +. signal;
+      (k *. prefetch) +. signal;
+      spawn_base +. (k *. spawn_cost ~keyspace ~hidden:1.0) +. signal;
+    ]
+
+let max_throughput variant ~keyspace ~keys_per_req =
+  let bottleneck =
+    List.fold_left max 0.0 (stage_costs variant ~keyspace ~keys_per_req)
+  in
+  1e9 /. bottleneck

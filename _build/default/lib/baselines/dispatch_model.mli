@@ -1,0 +1,26 @@
+(** Dispatcher-optimisation cost model (Figure 9).
+
+    Computes the peak throughput of the four dispatcher configurations
+    ablated in §5.4 as a function of keyspace size (cache residency) and
+    keys per request.  The cost of each sub-task — RPC handling, index
+    lookup, prefetch issue, DAG linking — comes from {!Params}; pipelined
+    variants are bounded by their slowest stage plus the amortised SPSC
+    signalling cost, single-core variants by the sum of sub-tasks.
+
+    Prefetching converts the Spawner's DRAM stalls into LLC hits: on a
+    single core the prefetch can only partly overlap (issued a few
+    hundred instructions ahead), while in a pipeline the prefetch stage
+    runs a whole batch ahead of the Spawner, hiding essentially the full
+    miss latency. *)
+
+type variant = No_opt | Prefetch_only | Two_core | Three_core
+
+val all_variants : variant list
+
+val variant_name : variant -> string
+
+val stage_costs : variant -> keyspace:int -> keys_per_req:int -> float list
+(** Per-request cost of each pipeline stage (one element per core). *)
+
+val max_throughput : variant -> keyspace:int -> keys_per_req:int -> float
+(** Requests per second at saturation. *)

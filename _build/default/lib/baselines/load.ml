@@ -1,0 +1,12 @@
+module Open_loop = Doradd_sim.Open_loop
+module Rng = Doradd_stats.Rng
+
+type t = Poisson of { rate : float; seed : int } | Uniform of { rate : float }
+
+let drive ~engine t ~log ~sink =
+  match t with
+  | Poisson { rate; seed } ->
+    Open_loop.drive ~engine ~rng:(Rng.create seed) ~rate ~log ~sink ()
+  | Uniform { rate } -> Open_loop.uniform ~engine ~rate ~log ~sink ()
+
+let overload_rate = 1e9

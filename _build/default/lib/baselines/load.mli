@@ -1,0 +1,15 @@
+(** Arrival processes shared by every modelled system. *)
+
+type t =
+  | Poisson of { rate : float; seed : int }
+      (** Open-loop Poisson arrivals (the paper's load generator). *)
+  | Uniform of { rate : float }
+      (** Equally spaced arrivals; with [rate] far above capacity this
+          measures peak sustainable throughput. *)
+
+val drive :
+  engine:Doradd_sim.Engine.t -> t -> log:Doradd_sim.Sim_req.t array -> sink:(Doradd_sim.Sim_req.t -> unit) -> unit
+
+val overload_rate : float
+(** A rate far above any modelled system's capacity (1 Grps): use with
+    [Uniform] to measure peak throughput. *)

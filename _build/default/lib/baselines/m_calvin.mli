@@ -1,0 +1,42 @@
+(** Model of Calvin (Thomson et al., SIGMOD'12) — the original
+    deterministic database, included as a second DPS baseline (§2, §7).
+
+    Mechanisms modelled:
+    - {b Sequencer batching}: input is collected into fixed-size epochs;
+      a transaction is not visible to the lock manager until its epoch
+      seals (latency floor = batch fill, pitfall P1).
+    - {b Centralised single-threaded lock manager}: one core grants
+      locks strictly in log order at a per-transaction cost proportional
+      to its key count — the well-known Calvin scalability bottleneck
+      (§7: "uses a centralized lock manager to establish a lock order").
+    - {b Execution}: a transaction runs on the first idle worker once all
+      its locks are granted and releases them on completion, unblocking
+      successors in log order.
+
+    Granting locks in log order yields exactly the same precedence
+    constraints as DORADD's DAG, so Calvin's gap versus DORADD isolates
+    the cost of epochs plus the slow scheduler — not a different
+    ordering discipline. *)
+
+type config = {
+  workers : int;
+  epoch_size : int;
+  lock_mgr_base_ns : int;  (** lock-manager fixed cost per transaction *)
+  lock_mgr_key_ns : int;  (** lock-manager cost per key *)
+  worker_overhead_ns : int;
+}
+
+val config :
+  ?workers:int ->
+  ?lock_mgr_base_ns:int ->
+  ?lock_mgr_key_ns:int ->
+  ?worker_overhead_ns:int ->
+  epoch_size:int ->
+  unit ->
+  config
+(** Defaults: 20 workers (23 cores minus sequencer/lock-manager),
+    100 + 40/key ns lock manager. *)
+
+val run : config -> arrivals:Load.t -> log:Doradd_sim.Sim_req.t array -> Doradd_sim.Metrics.t
+
+val max_throughput : config -> log:Doradd_sim.Sim_req.t array -> float

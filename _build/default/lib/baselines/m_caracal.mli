@@ -1,0 +1,49 @@
+(** Model of Caracal (Qin et al., SOSP'21) — the state-of-the-art
+    epoch-based deterministic database the paper compares against.
+
+    Mechanisms modelled, per Caracal's design and §2/§5.1 of the DORADD
+    paper:
+
+    - {b Epochs}: transactions are batched into fixed-size epochs; an
+      epoch is sealed only when its last transaction has arrived, so
+      client latency includes batch-fill time (pitfall P1).
+    - {b Two phases per epoch}: a parallel initialisation phase creates
+      version slots for every key written (cost per key), then an
+      execution phase runs the transactions; the next epoch cannot start
+      before the previous one fully finishes (synchronisation barrier —
+      pitfall P2, Figure 1b).
+    - {b Static partitioning}: transactions are assigned round-robin to
+      cores and each core executes its list in order, so a transaction
+      whose read version is not yet produced {e busy-waits}, blocking
+      everything behind it on that core (head-of-line blocking — Figure
+      1a).
+    - {b Contention management}: commutative updates ([commutes] keys)
+      are split per-core and merged at the epoch boundary; they carry no
+      dependency and no wait.  This is Caracal's headline feature and why
+      it beats naive DORADD on 1-warehouse TPC-C (§5.1).
+
+    Reads and RMW-writes wait for the producing version's completion;
+    writes additionally publish a new version of the key. *)
+
+type config = {
+  cores : int;
+  epoch_size : int;  (** transactions per epoch ("ES" in Figure 6) *)
+  init_key_ns : int;
+  exec_factor : float;  (** multi-versioning execution overhead *)
+  epoch_overhead_ns : int;
+}
+
+val config :
+  ?cores:int ->
+  ?init_key_ns:int ->
+  ?exec_factor:float ->
+  ?epoch_overhead_ns:int ->
+  epoch_size:int ->
+  unit ->
+  config
+(** Defaults: 23 cores (the paper's testbed minus the generator core) and
+    the {!Params} Caracal constants. *)
+
+val run : config -> arrivals:Load.t -> log:Doradd_sim.Sim_req.t array -> Doradd_sim.Metrics.t
+
+val max_throughput : config -> log:Doradd_sim.Sim_req.t array -> float

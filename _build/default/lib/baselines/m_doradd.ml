@@ -1,0 +1,219 @@
+module Engine = Doradd_sim.Engine
+module Sim_req = Doradd_sim.Sim_req
+module Metrics = Doradd_sim.Metrics
+module Int_table = Doradd_sim.Int_table
+module Histogram = Doradd_stats.Histogram
+
+type breakdown = {
+  dispatch_wait : Histogram.t;  (* queueing at the dispatcher station *)
+  dag_wait : Histogram.t;  (* spawn -> dependencies resolved *)
+  ready_wait : Histogram.t;  (* runnable -> picked by a worker *)
+  execution : Histogram.t;  (* worker overhead + service *)
+}
+
+let breakdown () =
+  {
+    dispatch_wait = Histogram.create ();
+    dag_wait = Histogram.create ();
+    ready_wait = Histogram.create ();
+    execution = Histogram.create ();
+  }
+
+type config = {
+  workers : int;
+  dispatch_cores : int;
+  dispatch_ns : int;
+  worker_overhead_ns : int;
+  service_extra_ns : int;
+  rw : bool;
+  static_assignment : bool;
+}
+
+let config ?(workers = 20) ?(dispatch_cores = 3) ?dispatch_ns
+    ?(worker_overhead_ns = Params.worker_overhead_ns) ?(service_extra_ns = 0) ?(rw = false)
+    ?(static_assignment = false) ~keys_per_req () =
+  (* keys_per_req <= 0 selects the per-request Spawner cost model *)
+  let dispatch_ns =
+    match dispatch_ns with
+    | Some d -> d
+    | None -> if keys_per_req <= 0 then -1 else Params.dispatch_ns ~keys:keys_per_req
+  in
+  if workers <= 0 then invalid_arg "M_doradd.config: workers";
+  { workers; dispatch_cores; dispatch_ns; worker_overhead_ns; service_extra_ns; rw;
+    static_assignment }
+
+(* Piece-level DAG node, mirroring the real runtime's Node.t but without
+   atomics (the simulation is sequential). *)
+type pnode = {
+  service : int;
+  rnode : rnode;
+  mutable join : int;
+  mutable dependents : pnode list;
+  mutable finished : bool;
+  mutable spawned_at : int;
+  mutable ready_at : int;
+}
+
+and rnode = { req : Sim_req.t; mutable remaining : int }
+
+(* Per-key scheduling state for the rw extension (mirrors Slot.t). *)
+type key_state = { mutable last_write : pnode option; mutable readers : pnode list }
+
+let run ?on_complete ?breakdown:bd cfg ~arrivals ~log =
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  let pipeline_latency = Params.pipeline_latency_ns ~stages:cfg.dispatch_cores in
+  (* dispatcher: serial station *)
+  let disp_free = ref 0 in
+  (* key -> scheduling state *)
+  let keys =
+    Int_table.create ~initial_capacity:65536
+      ~dummy:{ last_write = None; readers = [] }
+      ()
+  in
+  let key_state k =
+    match Int_table.find keys k with
+    | Some s -> s
+    | None ->
+      let s = { last_write = None; readers = [] } in
+      Int_table.set keys k s;
+      s
+  in
+  (* worker pool.  Work-conserving mode (the DORADD design): one logical
+     ready queue any idle worker drains.  Static mode (the Bohm/Granola
+     pitfall ablated in Figure 1a): each request is pinned to worker
+     (id mod workers) and waits for that worker even if others idle. *)
+  let idle = ref cfg.workers in
+  let ready : pnode Queue.t = Queue.create () in
+  let static_ready = Array.init cfg.workers (fun _ -> Queue.create ()) in
+  let static_busy = Array.make cfg.workers false in
+  let record h v = match bd with Some b -> Histogram.record (h b) v | None -> () in
+  let rec push_ready now p =
+    p.ready_at <- now;
+    record (fun b -> b.dag_wait) (now - p.spawned_at);
+    if cfg.static_assignment then begin
+      let w = p.rnode.req.Sim_req.id mod cfg.workers in
+      Queue.push p static_ready.(w);
+      try_start_static now w
+    end
+    else begin
+      Queue.push p ready;
+      try_start now
+    end
+  and try_start_static now w =
+    if (not static_busy.(w)) && not (Queue.is_empty static_ready.(w)) then begin
+      let p = Queue.pop static_ready.(w) in
+      record (fun b -> b.ready_wait) (now - p.ready_at);
+      record (fun b -> b.execution) (cfg.worker_overhead_ns + p.service);
+      static_busy.(w) <- true;
+      Engine.schedule_at engine
+        (now + cfg.worker_overhead_ns + p.service)
+        (fun () ->
+          static_busy.(w) <- false;
+          finish p;
+          try_start_static (Engine.now engine) w)
+    end
+  and try_start now =
+    if !idle > 0 && not (Queue.is_empty ready) then begin
+      let p = Queue.pop ready in
+      record (fun b -> b.ready_wait) (now - p.ready_at);
+      record (fun b -> b.execution) (cfg.worker_overhead_ns + p.service);
+      decr idle;
+      Engine.schedule_at engine
+        (now + cfg.worker_overhead_ns + p.service)
+        (fun () -> finish p);
+      try_start now
+    end
+  and finish p =
+    let now = Engine.now engine in
+    p.finished <- true;
+    if not cfg.static_assignment then incr idle;
+    let r = p.rnode in
+    r.remaining <- r.remaining - 1;
+    if r.remaining = 0 then begin
+      Metrics.complete metrics ~arrival:r.req.Sim_req.arrival ~now;
+      match on_complete with Some f -> f r.req ~now | None -> ()
+    end;
+    List.iter
+      (fun d ->
+        d.join <- d.join - 1;
+        if d.join = 0 then push_ready now d)
+      (List.rev p.dependents);
+    if not cfg.static_assignment then try_start now
+  in
+  let register node pred =
+    (* a duplicate key inside one footprint must not make the request its
+       own predecessor (mirrors Footprint.normalize in the real runtime) *)
+    if pred != node && not pred.finished then begin
+      node.join <- node.join + 1;
+      pred.dependents <- node :: pred.dependents
+    end
+  in
+  let link_exclusive node k =
+    let s = key_state k in
+    (match s.readers with
+    | [] -> ( match s.last_write with None -> () | Some p -> register node p)
+    | readers -> List.iter (register node) readers);
+    s.last_write <- Some node;
+    s.readers <- []
+  in
+  let link_read node k =
+    let s = key_state k in
+    (match s.last_write with None -> () | Some p -> register node p);
+    s.readers <- node :: s.readers
+  in
+  (* spawn: link one request's pieces into the DAG (runs at dispatch
+     completion time) *)
+  let spawn req =
+    let now = Engine.now engine in
+    let rnode = { req; remaining = Array.length req.Sim_req.pieces } in
+    Array.iter
+      (fun (piece : Sim_req.piece) ->
+        let node =
+          {
+            service = piece.service + cfg.service_extra_ns;
+            rnode;
+            join = 0;
+            dependents = [];
+            finished = false;
+            spawned_at = now;
+            ready_at = now;
+          }
+        in
+        if cfg.rw then begin
+          Array.iter (link_read node) piece.reads;
+          Array.iter (link_exclusive node) piece.writes;
+          Array.iter (link_exclusive node) piece.commutes
+        end
+        else begin
+          (* the paper's semantics: every declared access is exclusive *)
+          Array.iter (link_exclusive node) piece.reads;
+          Array.iter (link_exclusive node) piece.writes;
+          Array.iter (link_exclusive node) piece.commutes
+        end;
+        if node.join = 0 then push_ready now node)
+      req.Sim_req.pieces;
+    ()
+  in
+  (* arrival: pass through the dispatcher station.  When [dispatch_ns] is
+     negative the cost is computed per request from its actual key count
+     (Spawner cost model, Figure 9b): base + per-key * keys. *)
+  let request_dispatch_cost req =
+    if cfg.dispatch_ns >= 0 then cfg.dispatch_ns
+    else Params.spawn_base_ns + (Params.spawn_key_ns * Array.length (Sim_req.all_keys req))
+  in
+  let arrive req =
+    let now = Engine.now engine in
+    let start = max now !disp_free in
+    let done_at = start + request_dispatch_cost req in
+    record (fun b -> b.dispatch_wait) (start - now);
+    disp_free := done_at;
+    Engine.schedule_at engine (done_at + pipeline_latency) (fun () -> spawn req)
+  in
+  Load.drive ~engine arrivals ~log ~sink:arrive;
+  Engine.run engine;
+  metrics
+
+let max_throughput cfg ~log =
+  let m = run cfg ~arrivals:(Load.Uniform { rate = Load.overload_rate }) ~log in
+  Metrics.throughput m

@@ -1,0 +1,71 @@
+(** Event-level performance model of DORADD itself.
+
+    The same scheduling algorithm as the real runtime ([lib/core]) — the
+    single logical dispatcher builds the dependency DAG in log order, a
+    work-conserving worker pool executes ready requests FIFO — but driven
+    by the discrete-event engine with the §4-calibrated costs from
+    {!Params}, so multi-core behaviour can be measured on this 1-CPU
+    host.  Requests flow:
+
+    arrival → pipelined dispatcher (a serial station whose per-request
+    service is the bottleneck-stage cost) → DAG linking → runnable queue
+    → first idle worker → completion, resolving dependents.
+
+    Multi-piece requests (DORADD-split) have all pieces linked atomically
+    at dispatch and complete when the last piece does. *)
+
+type config = {
+  workers : int;
+  dispatch_cores : int;  (** pipeline stages; sets pipeline latency *)
+  dispatch_ns : int;
+      (** bottleneck-stage cost per request; negative selects the
+          per-request cost model base + per-key × |keys| (requests with
+          more resources take the Spawner longer, Figure 9b) *)
+  worker_overhead_ns : int;
+  service_extra_ns : int;  (** per-piece extra (e.g. RPC handling, Fig. 7/8) *)
+  rw : bool;  (** honour read/write modes (the future-work extension); the
+                  paper's semantics is [false]: every access exclusive *)
+  static_assignment : bool;
+      (** ablation of the Figure-1a pitfall: pin request [id mod workers]
+          to one worker (Bohm/Granola-style static mapping) instead of the
+          work-conserving shared runnable set *)
+}
+
+val config :
+  ?workers:int ->
+  ?dispatch_cores:int ->
+  ?dispatch_ns:int ->
+  ?worker_overhead_ns:int ->
+  ?service_extra_ns:int ->
+  ?rw:bool ->
+  ?static_assignment:bool ->
+  keys_per_req:int ->
+  unit ->
+  config
+(** Defaults: 20 workers, 3 dispatch cores, dispatch cost from
+    {!Params.dispatch_ns} for [keys_per_req]; pass [keys_per_req <= 0] to
+    charge each request by its own key count instead. *)
+
+type breakdown = {
+  dispatch_wait : Doradd_stats.Histogram.t;
+      (** queueing at the dispatcher station before being processed *)
+  dag_wait : Doradd_stats.Histogram.t;
+      (** per piece: from spawn until all dependencies resolved *)
+  ready_wait : Doradd_stats.Histogram.t;
+      (** per piece: from runnable until a worker picks it up *)
+  execution : Doradd_stats.Histogram.t;  (** worker overhead + service *)
+}
+
+val breakdown : unit -> breakdown
+(** Fresh (empty) breakdown collector to pass to {!run}. *)
+
+val run :
+  ?on_complete:(Doradd_sim.Sim_req.t -> now:int -> unit) ->
+  ?breakdown:breakdown ->
+  config ->
+  arrivals:Load.t ->
+  log:Doradd_sim.Sim_req.t array ->
+  Doradd_sim.Metrics.t
+
+val max_throughput : config -> log:Doradd_sim.Sim_req.t array -> float
+(** Peak sustainable rate, measured under overload. *)

@@ -1,0 +1,178 @@
+module Engine = Doradd_sim.Engine
+module Sim_req = Doradd_sim.Sim_req
+module Metrics = Doradd_sim.Metrics
+module Int_table = Doradd_sim.Int_table
+
+type variant = Async_mutex | Spinlock
+
+type config = {
+  workers : int;
+  variant : variant;
+  dispatch_ns : int;
+  lock_atomic_ns : int;
+  park_ns : int;
+  service_extra_ns : int;
+  admission_window : int;
+}
+
+let config ?(workers = 8) ?(dispatch_ns = 80) ?(lock_atomic_ns = Params.lock_atomic_ns)
+    ?(park_ns = Params.park_ns) ?(service_extra_ns = 0) ?admission_window variant =
+  if workers <= 0 then invalid_arg "M_nondet.config";
+  let admission_window =
+    (* Bound concurrently admitted (executing or parked) requests, like a
+       real runtime's uthread pool / flow control: without it, the parked
+       population under skew grows without limit and every parked request
+       holds locks, creating pathological hold-and-wait chains. *)
+    match admission_window with Some w -> w | None -> 4 * workers
+  in
+  { workers; variant; dispatch_ns; lock_atomic_ns; park_ns; service_extra_ns; admission_window }
+
+(* In-flight request state: which lock it is acquiring next.  Multi-piece
+   requests are merged (these baselines have no notion of splitting). *)
+type rstate = {
+  req : Sim_req.t;
+  keys : int array;
+  service : int;
+  mutable next : int;
+  mutable wake_penalty : int;  (** deferred unpark cost, paid when resumed *)
+}
+
+type lock = { mutable holder : rstate option; waiters : rstate Queue.t }
+
+let run cfg ~arrivals ~log =
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  let locks = Int_table.create ~initial_capacity:65536 ~dummy:{ holder = None; waiters = Queue.create () } () in
+  let lock_of k =
+    match Int_table.find locks k with
+    | Some l -> l
+    | None ->
+      let l = { holder = None; waiters = Queue.create () } in
+      Int_table.set locks k l;
+      l
+  in
+  let idle = ref cfg.workers in
+  (* Two-level run queue: requests that were just handed a contended lock
+     go to the front (Caladan schedules newly-unblocked uthreads promptly;
+     anything else would keep the lock held while the request sits behind
+     fresh arrivals, inflating the critical section). *)
+  let ready_front : rstate Queue.t = Queue.create () in
+  let ready_back : rstate Queue.t = Queue.create () in
+  let disp_free = ref 0 in
+  let in_flight = ref 0 in
+  (* mutual recursion: advancing a request may complete it, which releases
+     locks, which grants waiters, which resumes other requests *)
+  let rec try_dispatch now =
+    if !idle > 0 then begin
+      if not (Queue.is_empty ready_front) then begin
+        (* resumptions (already admitted) always run *)
+        let r = Queue.pop ready_front in
+        decr idle;
+        advance r now;
+        try_dispatch now
+      end
+      else if (not (Queue.is_empty ready_back)) && !in_flight < cfg.admission_window then begin
+        let r = Queue.pop ready_back in
+        incr in_flight;
+        decr idle;
+        advance r now;
+        try_dispatch now
+      end
+    end
+  (* run the acquisition loop on a worker starting at [now] *)
+  and advance r now =
+    let now = now + r.wake_penalty in
+    r.wake_penalty <- 0;
+    if r.next >= Array.length r.keys then
+      (* all locks held: execute, then release *)
+      Engine.schedule_at engine (now + r.service) (fun () -> finish r)
+    else begin
+      let t = now + cfg.lock_atomic_ns in
+      let l = lock_of r.keys.(r.next) in
+      match l.holder with
+      | None ->
+        l.holder <- Some r;
+        r.next <- r.next + 1;
+        advance r t
+      | Some _ -> (
+        Queue.push r l.waiters;
+        match cfg.variant with
+        | Spinlock ->
+          (* core burns until granted: nothing to schedule; the release
+             path resumes us and the core stays unavailable meanwhile *)
+          ()
+        | Async_mutex ->
+          (* park: the worker is free to take other work *)
+          incr idle;
+          Engine.schedule_at engine (t + cfg.park_ns) (fun () ->
+              try_dispatch (Engine.now engine)))
+    end
+  and finish r =
+    let now = Engine.now engine in
+    (* release in reverse order; grant FIFO *)
+    let t = ref now in
+    for i = r.next - 1 downto 0 do
+      t := !t + cfg.lock_atomic_ns;
+      let l = lock_of r.keys.(i) in
+      if Queue.is_empty l.waiters then l.holder <- None
+      else begin
+        let w = Queue.pop l.waiters in
+        l.holder <- Some w;
+        w.next <- w.next + 1;
+        match cfg.variant with
+        | Spinlock ->
+          (* the waiter's core was spinning: it proceeds immediately *)
+          let resume_at = !t in
+          Engine.schedule_at engine resume_at (fun () -> advance w (Engine.now engine))
+        | Async_mutex ->
+          (* hand-off: the granted uthread becomes runnable at the front of
+             the run queue *immediately*, so the core this completion frees
+             (or the next one to idle) resumes it; the unpark cost is paid
+             when it next runs *)
+          w.wake_penalty <- w.wake_penalty + cfg.park_ns;
+          Queue.push w ready_front
+      end
+    done;
+    Metrics.complete metrics ~arrival:r.req.Sim_req.arrival ~now:!t;
+    decr in_flight;
+    incr idle;
+    try_dispatch !t
+  in
+  let arrive req =
+    let now = Engine.now engine in
+    let start = max now !disp_free in
+    let done_at = start + cfg.dispatch_ns in
+    disp_free := done_at;
+    let keys = Sim_req.all_keys req in
+    Array.sort compare keys;
+    (* deduplicate: acquiring a lock twice would self-deadlock *)
+    let keys =
+      if Array.length keys < 2 then keys
+      else begin
+        let out = ref [ keys.(0) ] in
+        for i = 1 to Array.length keys - 1 do
+          if keys.(i) <> keys.(i - 1) then out := keys.(i) :: !out
+        done;
+        Array.of_list (List.rev !out)
+      end
+    in
+    let r =
+      {
+        req;
+        keys;
+        service = Sim_req.total_service req + cfg.service_extra_ns;
+        next = 0;
+        wake_penalty = 0;
+      }
+    in
+    Engine.schedule_at engine done_at (fun () ->
+        Queue.push r ready_back;
+        try_dispatch (Engine.now engine))
+  in
+  Load.drive ~engine arrivals ~log ~sink:arrive;
+  Engine.run engine;
+  metrics
+
+let max_throughput cfg ~log =
+  let m = run cfg ~arrivals:(Load.Uniform { rate = Load.overload_rate }) ~log in
+  Metrics.throughput m

@@ -1,0 +1,51 @@
+(** Models of the non-deterministic µs-scale RPC schedulers of §5.2.
+
+    Both variants reuse Caladan's architecture: a dispatcher core steers
+    requests to the first idle worker; workers execute the synthetic
+    lock-service application — acquire the request's locks in ascending
+    id order (two-phase locking, deadlock-free), spin for the service
+    time, release in reverse order.  Locks are granted FIFO.
+
+    - [Async_mutex] is Caladan's user-level mutex: a request that hits a
+      held lock {e parks} (yielding its worker, which picks up other
+      work) and is handed the lock and re-queued when the holder
+      releases.  This is the work-conserving non-deterministic baseline.
+    - [Spinlock]: the worker busy-waits on the held lock, burning the
+      core until the lock is granted.
+
+    Neither preserves log order — locks are granted in arrival-at-lock
+    order — which is exactly the freedom determinism gives up; comparing
+    against {!M_doradd} on the same log measures the cost of determinism
+    (Figure 7). *)
+
+type variant = Async_mutex | Spinlock
+
+type config = {
+  workers : int;
+  variant : variant;
+  dispatch_ns : int;
+  lock_atomic_ns : int;  (** per acquire/release atomic *)
+  park_ns : int;  (** async-mutex park/unpark (uthread switch) *)
+  service_extra_ns : int;  (** per-request RPC handling on the worker *)
+  admission_window : int;
+      (** bound on concurrently admitted (running or parked) requests —
+          the runtime's uthread pool / flow-control limit.  Parked
+          requests hold locks, so an unbounded population creates
+          pathological hold-and-wait chains under skew. *)
+}
+
+val config :
+  ?workers:int ->
+  ?dispatch_ns:int ->
+  ?lock_atomic_ns:int ->
+  ?park_ns:int ->
+  ?service_extra_ns:int ->
+  ?admission_window:int ->
+  variant ->
+  config
+(** Defaults: 8 workers (§5.2), dispatch 80 ns, {!Params} lock costs,
+    admission window 4× workers. *)
+
+val run : config -> arrivals:Load.t -> log:Doradd_sim.Sim_req.t array -> Doradd_sim.Metrics.t
+
+val max_throughput : config -> log:Doradd_sim.Sim_req.t array -> float

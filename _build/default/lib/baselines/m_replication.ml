@@ -1,0 +1,53 @@
+module Sim_req = Doradd_sim.Sim_req
+module Metrics = Doradd_sim.Metrics
+
+type executor = Doradd of M_doradd.config | Single of M_single.config
+
+type config = {
+  executor : executor;
+  replicated : bool;
+  one_way_ns : int;
+  backup_process_ns : int;
+  send_ns : int;
+}
+
+let config ?(one_way_ns = Params.net_one_way_ns) ?(backup_process_ns = Params.backup_process_ns)
+    ?(send_ns = Params.replication_send_ns) ~replicated executor =
+  { executor; replicated; one_way_ns; backup_process_ns; send_ns }
+
+let run cfg ~arrivals ~log =
+  let client = Metrics.create () in
+  let complete req ~now =
+    let a = req.Sim_req.arrival in
+    let reply_at =
+      if cfg.replicated then
+        (* backup ack: forward + one way + processing + one way back *)
+        max now (a + cfg.send_ns + (2 * cfg.one_way_ns) + cfg.backup_process_ns)
+      else now
+    in
+    (* client-observed: request travelled client->primary and the reply
+       travels primary->client *)
+    let latency = reply_at - a + (2 * cfg.one_way_ns) in
+    Metrics.complete client ~arrival:a ~now:(a + latency)
+  in
+  (match cfg.executor with
+  | Doradd d ->
+    (* serialising and forwarding to the backup consumes primary cycles *)
+    let d =
+      if cfg.replicated then
+        { d with M_doradd.service_extra_ns = d.M_doradd.service_extra_ns + cfg.send_ns }
+      else d
+    in
+    ignore (M_doradd.run ~on_complete:complete d ~arrivals ~log)
+  | Single s ->
+    let s =
+      if cfg.replicated then
+        { M_single.service_extra_ns = s.M_single.service_extra_ns + cfg.send_ns }
+      else s
+    in
+    ignore (M_single.run ~on_complete:complete s ~arrivals ~log));
+  client
+
+let max_throughput cfg ~log =
+  let m = run cfg ~arrivals:(Load.Uniform { rate = Load.overload_rate }) ~log in
+  Metrics.throughput m

@@ -1,0 +1,38 @@
+(** Active primary-backup replication (Figure 8).
+
+    The primary sequences incoming requests and forwards the log to the
+    backup; both execute deterministically, so the primary can reply as
+    soon as {e its own} execution finishes and the backup has {e acked
+    receipt} — it never waits for backup execution (the figure's
+    headline point: determinism makes replication cost one RTT, not one
+    execution).
+
+    Client-observed latency for a request arriving at the primary at [a]
+    and finishing execution at [c]:
+
+    - non-replicated: [c - a + RTT] (client→primary→client);
+    - replicated:     [max c (a + RTT_backup) - a + RTT];
+
+    throughput is bound by the primary executor, minus a small per-request
+    forwarding cost on its dispatcher. *)
+
+type executor =
+  | Doradd of M_doradd.config
+  | Single of M_single.config  (** replicated single-threaded baseline *)
+
+type config = {
+  executor : executor;
+  replicated : bool;
+  one_way_ns : int;
+  backup_process_ns : int;
+  send_ns : int;  (** primary-side per-request forwarding cost *)
+}
+
+val config :
+  ?one_way_ns:int -> ?backup_process_ns:int -> ?send_ns:int -> replicated:bool -> executor -> config
+
+val run : config -> arrivals:Load.t -> log:Doradd_sim.Sim_req.t array -> Doradd_sim.Metrics.t
+(** Returned metrics use client-observed latency; throughput is the
+    primary's completion rate. *)
+
+val max_throughput : config -> log:Doradd_sim.Sim_req.t array -> float

@@ -1,0 +1,27 @@
+module Engine = Doradd_sim.Engine
+module Sim_req = Doradd_sim.Sim_req
+module Metrics = Doradd_sim.Metrics
+
+type config = { service_extra_ns : int }
+
+let config ?(service_extra_ns = 0) () = { service_extra_ns }
+
+let run ?on_complete cfg ~arrivals ~log =
+  (* closed form: FIFO single server *)
+  let engine = Engine.create () in
+  Load.drive ~engine arrivals ~log ~sink:ignore;
+  let metrics = Metrics.create () in
+  let free = ref 0 in
+  Array.iter
+    (fun req ->
+      let arrival = req.Sim_req.arrival in
+      let fin = max arrival !free + Sim_req.total_service req + cfg.service_extra_ns in
+      free := fin;
+      Metrics.complete metrics ~arrival ~now:fin;
+      match on_complete with Some f -> f req ~now:fin | None -> ())
+    log;
+  metrics
+
+let max_throughput cfg ~log =
+  let m = run cfg ~arrivals:(Load.Uniform { rate = Load.overload_rate }) ~log in
+  Metrics.throughput m

@@ -1,0 +1,18 @@
+(** Single-threaded executor: the canonical deterministic baseline.
+
+    One core runs the log strictly in order (the "replicated
+    single-threaded system" of Figure 8): trivially deterministic,
+    throughput-bound at 1/service. *)
+
+type config = { service_extra_ns : int }
+
+val config : ?service_extra_ns:int -> unit -> config
+
+val run :
+  ?on_complete:(Doradd_sim.Sim_req.t -> now:int -> unit) ->
+  config ->
+  arrivals:Load.t ->
+  log:Doradd_sim.Sim_req.t array ->
+  Doradd_sim.Metrics.t
+
+val max_throughput : config -> log:Doradd_sim.Sim_req.t array -> float

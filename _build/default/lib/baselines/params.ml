@@ -1,0 +1,42 @@
+let dram_ns = 100
+let llc_hit_ns = 12
+let llc_bytes = 36 * 1024 * 1024
+let row_bytes = 900
+let index_entry_bytes = 16
+
+let cache_miss_prob ~entry_bytes ~keyspace =
+  if keyspace <= 0 then 0.0
+  else begin
+    let resident = llc_bytes / (2 * entry_bytes) in
+    if resident >= keyspace then 0.0 else 1.0 -. (float_of_int resident /. float_of_int keyspace)
+  end
+
+(* DORADD dispatcher *)
+let handler_ns = 40
+let index_key_ns = 8
+let index_mlp = 16
+let prefetch_issue_ns = 6
+let spawn_base_ns = 30
+let spawn_key_ns = 15
+
+let dispatch_ns ~keys = spawn_base_ns + (spawn_key_ns * keys)
+
+let pipeline_latency_ns ~stages = 60 * stages
+
+let worker_overhead_ns = 60
+let queue_signal_ns = 50
+
+(* Caracal *)
+let caracal_init_key_ns = 80
+let caracal_exec_factor = 2.2
+let caracal_epoch_overhead_ns = 20_000
+
+(* Non-deterministic baselines *)
+let lock_atomic_ns = 30
+let park_ns = 250
+let rpc_overhead_ns = 1_000
+
+(* Replication *)
+let net_one_way_ns = 3_000
+let replication_send_ns = 100
+let backup_process_ns = 300

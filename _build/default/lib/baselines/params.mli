@@ -1,0 +1,103 @@
+(** Cost-model constants shared by every simulated system.
+
+    These calibrate the discrete-event models to the paper's testbed (a
+    24-core Xeon Gold 5318N @ 3.4 GHz): DRAM ~100 ns, LLC hits ~12 ns,
+    atomic RMW on a cached line ~15 ns, and so on.  Absolute values only
+    set the scale; every system under test shares them, so the relative
+    shapes the figures report are insensitive to moderate miscalibration.
+    See DESIGN.md for the calibration targets. *)
+
+val dram_ns : int
+(** Latency of a memory access that misses all caches. *)
+
+val llc_hit_ns : int
+(** Latency of an LLC hit. *)
+
+val llc_bytes : int
+(** Last-level cache capacity used by the cache-residency model. *)
+
+val row_bytes : int
+(** YCSB row size (900 B, §5.1). *)
+
+val index_entry_bytes : int
+(** Bytes per key in the name-resolution index. *)
+
+val cache_miss_prob : entry_bytes:int -> keyspace:int -> float
+(** Probability that touching one of [keyspace] uniformly-accessed
+    entries of [entry_bytes] misses the LLC (working-set residency
+    model: half the LLC is available to the structure). *)
+
+(** {1 DORADD dispatcher} *)
+
+val handler_ns : int
+(** RPC-handler stage, per request. *)
+
+val index_key_ns : int
+(** Indexer hash-walk cost per key, before misses. *)
+
+val index_mlp : int
+(** Memory-level parallelism of index lookups: independent loads within a
+    request overlap in the out-of-order window, dividing the exposed miss
+    latency. *)
+
+val prefetch_issue_ns : int
+(** Prefetcher cost to issue one prefetch. *)
+
+val spawn_base_ns : int
+(** Spawner fixed cost per request. *)
+
+val spawn_key_ns : int
+(** Spawner cost per key (one atomic link into the DAG), when the
+    resource line is already in cache. *)
+
+val dispatch_ns : keys:int -> int
+(** Bottleneck-stage cost of the default three-core pipelined dispatcher
+    for requests with [keys] resources: the Spawner (§5.4, Figure 9b). *)
+
+val pipeline_latency_ns : stages:int -> int
+(** End-to-end latency a request spends traversing the dispatcher
+    pipeline when unloaded. *)
+
+val worker_overhead_ns : int
+(** Per-request cost a worker pays around the procedure body (queue pop,
+    dependent resolution). *)
+
+val queue_signal_ns : int
+(** Cost of one SPSC batch-count hand-off between pipeline cores. *)
+
+(** {1 Caracal} *)
+
+val caracal_init_key_ns : int
+(** Version-array initialisation cost per key (epoch phase 1). *)
+
+val caracal_exec_factor : float
+(** Multiplier on workload service time for Caracal's execution phase
+    (version-chain lookups, multi-versioned reads/writes). *)
+
+val caracal_epoch_overhead_ns : int
+(** Fixed per-epoch barrier/coordination cost. *)
+
+(** {1 Non-deterministic baselines} *)
+
+val lock_atomic_ns : int
+(** One uncontended lock acquire or release (atomic RMW). *)
+
+val park_ns : int
+(** Cost of parking/unparking a request on Caladan's asynchronous
+    user-level mutex (context switch to another uthread). *)
+
+val rpc_overhead_ns : int
+(** Per-request network/RPC processing on the worker for the UDP-based
+    experiments (Figures 7 and 8). *)
+
+(** {1 Replication (Figure 8)} *)
+
+val net_one_way_ns : int
+(** One-way network latency between machines (CloudLab d6515 + kernel
+    bypass). *)
+
+val replication_send_ns : int
+(** Primary-side cost to forward one request to the backup. *)
+
+val backup_process_ns : int
+(** Backup-side cost to receive and enqueue one request before acking. *)

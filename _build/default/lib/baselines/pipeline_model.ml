@@ -1,0 +1,29 @@
+type access = Read | Write
+
+(* Raw ALU work per entry: negligible by design of the limit study. *)
+let op_ns = 10.0
+
+(* Cache-line transfer costs between pipeline cores.  A write leaves the
+   line Modified in the writer's cache, so the next stage always pays a
+   full ownership transfer; a read after the first fill can be served in
+   Shared state, which is cheaper.  Both grow mildly with the number of
+   sharers (longer snoop/directory fan-out). *)
+let write_transfer ~cores = 30.0 +. (5.0 *. float_of_int (cores - 1))
+let read_transfer ~cores = 16.0 +. (2.0 *. float_of_int (cores - 1))
+
+(* SPSC batch-count signalling per stage, amortised over the batch. *)
+let signal = float_of_int Params.queue_signal_ns /. 8.0
+
+let per_entry_cost access ~cores =
+  if cores <= 0 then invalid_arg "Pipeline_model.per_entry_cost";
+  if cores = 1 then op_ns +. signal
+  else begin
+    let transfer =
+      match access with Write -> write_transfer ~cores | Read -> read_transfer ~cores
+    in
+    (* every stage past the first pays the transfer; the bottleneck stage
+       cost is op + transfer + signalling *)
+    op_ns +. transfer +. signal
+  end
+
+let max_throughput access ~cores = 1e9 /. per_entry_cost access ~cores

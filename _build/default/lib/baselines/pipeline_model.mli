@@ -1,0 +1,19 @@
+(** Pipeline-scaling overhead model (Figure 10).
+
+    §5.4's limit study: a pipeline whose stages do the bare minimum — one
+    read or one write of the shared ring entry — with the evaluation's
+    queue depth (4) and adaptive batch bound (8).  Adding cores can only
+    add inter-core communication: every entry's cache line must travel
+    through all stages, and when stages {e write} the line it ping-pongs
+    in Modified state (each hop is a coherence miss), whereas read-only
+    stages after the first writer can share it.  Peak throughput therefore
+    decreases with core count, and writes sit below reads — the shapes
+    Figure 10 reports. *)
+
+type access = Read | Write
+
+val max_throughput : access -> cores:int -> float
+(** Peak pipeline throughput with [cores] stages (≥ 1). *)
+
+val per_entry_cost : access -> cores:int -> float
+(** Bottleneck-stage cost per ring entry, ns. *)

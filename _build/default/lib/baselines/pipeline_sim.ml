@@ -1,0 +1,57 @@
+type config = {
+  stage_costs_ns : float array;
+  queue_depth : int;
+  max_batch : int;
+  signal_ns : float;
+}
+
+let config ?(queue_depth = 4) ?(max_batch = 8) ?(signal_ns = float_of_int Params.queue_signal_ns)
+    stage_costs_ns =
+  if Array.length stage_costs_ns = 0 then invalid_arg "Pipeline_sim.config: no stages";
+  if queue_depth <= 0 || max_batch <= 0 then invalid_arg "Pipeline_sim.config";
+  { stage_costs_ns; queue_depth; max_batch; signal_ns }
+
+(* Saturated flow: every batch is full.  end.(i) over a sliding window of
+   batch indices captures the recurrence
+
+     end_i(k) = max(end_i(k-1),            -- stage busy
+                    end_{i-1}(k),           -- batch availability
+                    begin_{i+1}(k-q))       -- downstream queue space
+                + b*c_i + signal
+
+   where begin_{i+1}(k) = max(end_{i+1}(k-1), end_i(k)).  We keep full
+   per-stage history of end times (memory: stages x batches doubles, fine
+   for 10k batches). *)
+let max_throughput ?(batches = 10_000) cfg =
+  let s = Array.length cfg.stage_costs_ns in
+  let b = cfg.max_batch in
+  let q = cfg.queue_depth in
+  let ends = Array.make_matrix s batches 0.0 in
+  let begins = Array.make_matrix s batches 0.0 in
+  for k = 0 to batches - 1 do
+    for i = 0 to s - 1 do
+      let prev_end = if k > 0 then ends.(i).(k - 1) else 0.0 in
+      let avail = if i > 0 then ends.(i - 1).(k) else 0.0 in
+      (* stage i may not finish (push) batch k before stage i+1 has begun
+         batch k-q, freeing a queue slot *)
+      let space =
+        if i < s - 1 && k >= q then begins.(i + 1).(k - q) else 0.0
+      in
+      let start = Float.max prev_end avail in
+      begins.(i).(k) <- start;
+      let processing = (float_of_int b *. cfg.stage_costs_ns.(i)) +. cfg.signal_ns in
+      (* the push at the end of the batch blocks until the queue slot is
+         free; processing itself is already done by then *)
+      ends.(i).(k) <- Float.max (start +. processing) space
+    done
+  done;
+  (* steady-state: rate over the second half of the horizon *)
+  let half = batches / 2 in
+  let t0 = ends.(s - 1).(half - 1) and t1 = ends.(s - 1).(batches - 1) in
+  let entries = float_of_int ((batches - half) * b) in
+  entries /. ((t1 -. t0) /. 1e9)
+
+let latency_ns cfg =
+  (* a single entry travelling an idle pipeline: one unit of work plus a
+     signal per stage *)
+  Array.fold_left (fun acc c -> acc +. c +. cfg.signal_ns) 0.0 cfg.stage_costs_ns

@@ -1,0 +1,30 @@
+(** Batch-accurate simulation of the dispatcher pipeline's flow control.
+
+    The analytic models ({!Dispatch_model}, {!Pipeline_model}) reduce the
+    pipeline to its bottleneck stage.  This module instead simulates the
+    actual protocol of [Doradd_core.Pipeline] — bounded SPSC count queues
+    of depth [queue_depth], adaptive batches of up to [max_batch]
+    entries, blocking push on a full queue — and measures saturated
+    throughput.  Used to cross-validate the analytic bottleneck
+    approximation (see the tests) and to study queue-depth/batch-size
+    sensitivity (the `ablations` batching sweep). *)
+
+type config = {
+  stage_costs_ns : float array;  (** per-entry cost of each stage, in order *)
+  queue_depth : int;  (** SPSC count-queue capacity (the paper uses 4) *)
+  max_batch : int;  (** adaptive batch bound (the paper uses 8) *)
+  signal_ns : float;  (** cost of one count hand-off between stages *)
+}
+
+val config :
+  ?queue_depth:int -> ?max_batch:int -> ?signal_ns:float -> float array -> config
+
+val max_throughput : ?batches:int -> config -> float
+(** Saturated throughput (entries/second): the input is never empty, so
+    every batch is full.  [batches] is the simulated horizon (default
+    10_000; start-up transients are excluded by measuring the second
+    half). *)
+
+val latency_ns : config -> float
+(** End-to-end pipeline latency of one entry in an otherwise idle
+    pipeline (batch of 1). *)

@@ -1,0 +1,1 @@
+lib/core/deterministic.ml: Int64 Resource

@@ -1,0 +1,1 @@
+lib/core/deterministic.mli: Footprint Slot

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Atomic Domain Doradd_queue List Runtime Service

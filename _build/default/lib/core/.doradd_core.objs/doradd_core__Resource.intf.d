@@ -1,0 +1,1 @@
+lib/core/resource.mli: Footprint Slot

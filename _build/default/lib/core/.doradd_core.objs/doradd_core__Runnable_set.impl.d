@@ -1,0 +1,1 @@
+lib/core/runnable_set.ml: Array Doradd_queue Node

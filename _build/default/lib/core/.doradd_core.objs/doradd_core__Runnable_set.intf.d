@@ -1,0 +1,1 @@
+lib/core/runnable_set.mli: Node

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Atomic Domain Doradd_queue List Node Runnable_set Spawner

@@ -1,0 +1,1 @@
+lib/core/service.ml: Footprint Resource Sys

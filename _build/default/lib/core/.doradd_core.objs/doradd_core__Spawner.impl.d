@@ -1,0 +1,1 @@
+lib/core/spawner.ml: Footprint List Node Runnable_set Slot

@@ -1,0 +1,1 @@
+lib/core/spawner.mli: Footprint Node Runnable_set

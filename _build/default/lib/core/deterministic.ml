@@ -1,0 +1,49 @@
+(* SplitMix64, same construction as Doradd_stats.Rng (duplicated here so
+   the core library stays dependency-free). *)
+module Rng = struct
+  type t = int64 ref Resource.t
+
+  let golden_gamma = 0x9E3779B97F4A7C15L
+
+  let create ~seed = Resource.create (ref (Int64.of_int seed))
+
+  let footprint t = Resource.write t
+
+  let mix z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let next t =
+    let state = Resource.get t in
+    state := Int64.add !state golden_gamma;
+    mix !state
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Deterministic.Rng.int: bound must be positive";
+    Int64.to_int (Int64.shift_right_logical (next t) 2) mod bound
+
+  let float t bound =
+    let bits = Int64.shift_right_logical (next t) 11 in
+    Int64.to_float bits *. (1.0 /. 9007199254740992.0) *. bound
+
+  let bool t = Int64.logand (next t) 1L = 1L
+end
+
+module Clock = struct
+  type state = { mutable time : int; step : int }
+
+  type t = state Resource.t
+
+  let create ?(start = 0) ?(step = 1) () = Resource.create { time = start; step }
+
+  let footprint t = Resource.write t
+
+  let now t =
+    let s = Resource.get t in
+    let v = s.time in
+    s.time <- v + s.step;
+    v
+
+  let peek t = (Resource.get t).time
+end

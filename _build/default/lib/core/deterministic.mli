@@ -1,0 +1,44 @@
+(** Deterministic replacements for external sources of non-determinism
+    (§6 of the paper).
+
+    Timers and random-number generators normally break deterministic
+    replay.  Following the paper's recipe, each becomes an ordinary
+    {e resource}: a request that wants randomness or time declares the
+    generator/clock in its footprint, and because the scheduler serialises
+    conflicting accesses in log order, every replica draws the same values
+    at the same log positions. *)
+
+module Rng : sig
+  type t
+
+  val create : seed:int -> t
+
+  val footprint : t -> Slot.t * Footprint.mode
+  (** Declare in the request's footprint.  Drawing mutates the stream, so
+      this is always [Write] (exclusive) access. *)
+
+  val int : t -> int -> int
+  (** [int t bound]: uniform draw in [0, bound).  Only from a procedure
+      holding the resource. *)
+
+  val float : t -> float -> float
+
+  val bool : t -> bool
+end
+
+module Clock : sig
+  type t
+
+  val create : ?start:int -> ?step:int -> unit -> t
+  (** A logical clock that advances by [step] (default 1) on every
+      reading — a deterministic stand-in for a wall-clock timestamp
+      source. *)
+
+  val footprint : t -> Slot.t * Footprint.mode
+
+  val now : t -> int
+  (** Read and advance.  Only from a procedure holding the resource. *)
+
+  val peek : t -> int
+  (** Read without advancing (still requires holding the resource). *)
+end

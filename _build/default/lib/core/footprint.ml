@@ -1,0 +1,38 @@
+type mode = Read | Write
+
+type t = (Slot.t * mode) array
+
+let mode_join a b = match a, b with Write, _ | _, Write -> Write | Read, Read -> Read
+
+(* Sort by slot id, then collapse duplicate slots (Write wins). *)
+let of_array arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    Array.sort (fun (a, _) (b, _) -> compare (Slot.id a) (Slot.id b)) arr;
+    let out = Array.make n arr.(0) in
+    let j = ref 0 in
+    out.(0) <- arr.(0);
+    for i = 1 to n - 1 do
+      let s, m = arr.(i) in
+      let s', m' = out.(!j) in
+      if Slot.id s = Slot.id s' then out.(!j) <- (s', mode_join m m')
+      else begin
+        incr j;
+        out.(!j) <- (s, m)
+      end
+    done;
+    Array.sub out 0 (!j + 1)
+  end
+
+let of_list l = of_array (Array.of_list l)
+
+let of_slots ?(mode = Write) slots = of_list (List.map (fun s -> (s, mode)) slots)
+
+let empty = [||]
+
+let length = Array.length
+
+let iter t f = Array.iter (fun (s, m) -> f s m) t
+
+let mem t slot = Array.exists (fun (s, _) -> Slot.id s = Slot.id slot) t

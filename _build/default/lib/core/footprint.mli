@@ -1,0 +1,35 @@
+(** Request footprints: the declared resource set of a procedure.
+
+    DORADD's programming model (§3.2) requires every request to declare,
+    at dispatch time, exactly the resources its procedure will touch.  A
+    footprint is that declaration.  {!normalize} puts it into the canonical
+    form the Spawner needs: sorted by slot id with duplicates removed
+    (a request that names the same resource twice — e.g. [transfer a a] —
+    must not depend on itself) and [Write] dominating [Read] when both
+    appear for one slot. *)
+
+type mode = Read | Write
+
+type t
+(** A normalized footprint. *)
+
+val of_list : (Slot.t * mode) list -> t
+
+val of_slots : ?mode:mode -> Slot.t list -> t
+(** All-same-mode convenience; [mode] defaults to [Write], the paper's
+    semantics ("currently there is no difference between read and write
+    resources"). *)
+
+val of_array : (Slot.t * mode) array -> t
+(** Takes ownership of the array (it is sorted in place). *)
+
+val empty : t
+(** A request touching no shared state; always immediately runnable. *)
+
+val length : t -> int
+
+val iter : t -> (Slot.t -> mode -> unit) -> unit
+(** Iterate in slot-id order. *)
+
+val mem : t -> Slot.t -> bool
+(** Tests only. *)

@@ -1,0 +1,58 @@
+type outcome = Finished | Yield of (unit -> outcome)
+
+type state = Active of t list | Done
+
+and t = {
+  seqno : int;
+  mutable work : unit -> outcome;
+  join : int Atomic.t;
+  state : state Atomic.t;
+}
+
+let create_steps ~seqno work = { seqno; work; join = Atomic.make 1; state = Atomic.make (Active []) }
+
+let create ~seqno work =
+  create_steps ~seqno (fun () ->
+      work ();
+      Finished)
+
+let seqno t = t.seqno
+
+(* Run the next step.  On a cooperative yield the continuation replaces
+   the node's work, so the node can simply be re-enqueued in the runnable
+   set and resumed later by any worker (paper §6: long-running procedures
+   park in the runnable-procedures set; dependents are only released at
+   completion, never at a yield). *)
+let run t =
+  match t.work () with
+  | Finished -> `Finished
+  | Yield k ->
+    t.work <- k;
+    `Yielded
+
+let rec add_dependent pred succ =
+  match Atomic.get pred.state with
+  | Done -> false
+  | Active l as cur ->
+    if Atomic.compare_and_set pred.state cur (Active (succ :: l)) then true
+    else add_dependent pred succ
+
+let incr_join t = Atomic.incr t.join
+
+let decr_join t = Atomic.fetch_and_add t.join (-1) = 1
+
+let release t = decr_join t
+
+let complete t ~on_ready =
+  match Atomic.exchange t.state Done with
+  | Done -> invalid_arg "Node.complete: already completed"
+  | Active dependents ->
+    (* Dependents were consed in reverse registration order; resolve them
+       oldest-first so ready nodes enter the runnable set in log order.
+       Determinism does not require this, but it keeps scheduling close to
+       the serial order, which helps latency under contention. *)
+    List.iter (fun d -> if decr_join d then on_ready d) (List.rev dependents)
+
+let is_done t = match Atomic.get t.state with Done -> true | Active _ -> false
+
+let pending t = Atomic.get t.join

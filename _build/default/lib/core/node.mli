@@ -1,0 +1,69 @@
+(** DAG nodes: one per scheduled request.
+
+    A node tracks how many unresolved dependencies a request still has (its
+    {e join counter}) and which later requests depend on it (its
+    {e dependent list}).  The dispatcher links nodes into the dynamic DAG of
+    §3.3; workers resolve edges as requests complete.  The two sides race —
+    a predecessor may finish while the dispatcher is still linking — so the
+    protocol is:
+
+    - [join] starts at 1: a {e dispatch guard} held by the dispatcher.  The
+      node cannot become ready, however many predecessors complete, until
+      the dispatcher calls {!release}.
+    - Registering an edge increments [join] {e before} touching the
+      predecessor; if the predecessor turns out to be already [Done], the
+      increment is undone.  The guard keeps [join] positive throughout, so
+      no transient zero can schedule the node early.
+    - The dependent list is an atomic cons-list with a [Done] sentinel:
+      {!complete} atomically swaps in [Done] and walks the captured list,
+      so a registration either lands before the swap (and will be walked)
+      or observes [Done] (and counts the dependency as resolved). *)
+
+type t
+
+type outcome = Finished | Yield of (unit -> outcome)
+(** Result of one execution step: cooperative procedures (§6 of the
+    paper) may [Yield] a continuation instead of running to completion in
+    one go. *)
+
+val create : seqno:int -> (unit -> unit) -> t
+(** [create ~seqno work] makes an unlinked node with join = 1 (the dispatch
+    guard).  [seqno] is the request's position in the serial log; it is
+    carried for tracing and determinism checks. *)
+
+val create_steps : seqno:int -> (unit -> outcome) -> t
+(** Like {!create} for a cooperative (yielding) procedure. *)
+
+val seqno : t -> int
+
+val run : t -> [ `Finished | `Yielded ]
+(** Execute the next step of the request body.  Call only when the node
+    is ready.  On [`Yielded] the node must be re-enqueued in the runnable
+    set — its dependents stay blocked until a later step finishes and
+    {!complete} runs, which keeps yielding deterministic. *)
+
+val add_dependent : t -> t -> bool
+(** [add_dependent pred succ] registers [succ] on [pred]'s dependent list.
+    Returns [false] if [pred] had already completed, in which case the
+    dependency is already resolved and must not be counted. *)
+
+val incr_join : t -> unit
+(** Add one pending dependency.  Dispatcher side only. *)
+
+val decr_join : t -> bool
+(** Remove one pending dependency (or the dispatch guard); returns [true]
+    iff the counter reached zero, i.e. the node just became ready. *)
+
+val release : t -> bool
+(** Drop the dispatch guard.  [true] iff the node is ready to run now. *)
+
+val complete : t -> on_ready:(t -> unit) -> unit
+(** Mark the node done and resolve its outgoing edges, invoking [on_ready]
+    on every dependent whose join counter reaches zero.  Worker side; must
+    be called exactly once, after {!run}. *)
+
+val is_done : t -> bool
+(** True once {!complete} has run. *)
+
+val pending : t -> int
+(** Current join value (racy; tests and tracing only). *)

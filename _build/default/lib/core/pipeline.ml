@@ -1,0 +1,124 @@
+module Mpmc = Doradd_queue.Mpmc
+module Spsc = Doradd_queue.Spsc
+module Ring = Doradd_queue.Ring
+module Backoff = Doradd_queue.Backoff
+
+type stages = One_core_no_prefetch | One_core | Two_core | Three_core | Four_core
+
+let core_count = function
+  | One_core_no_prefetch | One_core -> 1
+  | Two_core -> 2
+  | Three_core -> 3
+  | Four_core -> 4
+
+type 'input t = {
+  input : 'input Mpmc.t;
+  stop : bool Atomic.t;
+  spawned : int Atomic.t;
+  domains : unit Domain.t array;
+}
+
+(* Sentinel batch count signalling end-of-stream between stages. *)
+let eos = -1
+
+(* Work each logical sub-task performs on a ring entry, per variant.  The
+   first group always starts with the RPC handler (inject), the last always
+   ends with the Spawner. *)
+let stage_groups (type e) stages (service : (_, e) Service.t) : (e -> unit) list list =
+  let ix = service.Service.index and pf = service.Service.prefetch in
+  match stages with
+  | One_core_no_prefetch -> [ [ ix ] ]
+  | One_core -> [ [ ix; pf ] ]
+  | Two_core -> [ [ ix; pf ]; [] ]
+  | Three_core -> [ [ ix ]; [ pf ]; [] ]
+  | Four_core -> [ []; [ ix ]; [ pf ]; [] ]
+
+let start ?(queue_depth = 4) ?(max_batch = 8) ?(input_capacity = 1024) ~stages ~runtime
+    (service : ('input, 'entry) Service.t) =
+  let groups = stage_groups stages service in
+  let n_groups = List.length groups in
+  let ring_cap = Ring.min_capacity ~stages:n_groups ~queue_depth ~max_batch in
+  let ring = Ring.create ~capacity:ring_cap service.Service.entry_create in
+  let input = Mpmc.create ~capacity:input_capacity in
+  let stop = Atomic.make false in
+  let spawned = Atomic.make 0 in
+  (* count queues linking group k to group k+1 *)
+  let links = Array.init (n_groups - 1) (fun _ -> Spsc.create ~capacity:queue_depth) in
+  let spawn_entry entry =
+    Runtime.schedule runtime (service.Service.footprint entry) (service.Service.work entry);
+    Atomic.incr spawned
+  in
+  let apply fns entry = List.iter (fun f -> f entry) fns in
+  (* First group: pull raw inputs, fill ring entries, run the group's
+     sub-tasks, forward an adaptive batch count. *)
+  let handler_loop fns ~is_last =
+    let b = Backoff.create () in
+    let seq = ref 0 in
+    let running = ref true in
+    while !running do
+      let batch = ref 0 in
+      let continue = ref true in
+      while !batch < max_batch && !continue do
+        match Mpmc.try_pop input with
+        | Some x ->
+          let entry = Ring.get ring (!seq + !batch) in
+          service.Service.inject entry x;
+          apply fns entry;
+          if is_last then spawn_entry entry;
+          incr batch
+        | None -> continue := false
+      done;
+      if !batch > 0 then begin
+        Backoff.reset b;
+        if not is_last then Spsc.push links.(0) !batch;
+        seq := !seq + !batch
+      end
+      else if Atomic.get stop then begin
+        if not is_last then Spsc.push links.(0) eos;
+        running := false
+      end
+      else Backoff.once b
+    done
+  in
+  (* Interior / final groups: consume batch counts, process entries in
+     order, forward the count (or spawn, for the final group). *)
+  let stage_loop k fns ~is_last =
+    let seq = ref 0 in
+    let running = ref true in
+    while !running do
+      let n = Spsc.pop links.(k - 1) in
+      if n = eos then begin
+        if not is_last then Spsc.push links.(k) eos;
+        running := false
+      end
+      else begin
+        for i = !seq to !seq + n - 1 do
+          let entry = Ring.get ring i in
+          apply fns entry;
+          if is_last then spawn_entry entry
+        done;
+        if not is_last then Spsc.push links.(k) n;
+        seq := !seq + n
+      end
+    done
+  in
+  let domains =
+    Array.of_list
+      (List.mapi
+         (fun k fns ->
+           let is_last = k = n_groups - 1 in
+           if k = 0 then Domain.spawn (fun () -> handler_loop fns ~is_last)
+           else Domain.spawn (fun () -> stage_loop k fns ~is_last))
+         groups)
+  in
+  { input; stop; spawned; domains }
+
+let submit t x = Mpmc.push t.input x
+
+let try_submit t x = Mpmc.try_push t.input x
+
+let spawned t = Atomic.get t.spawned
+
+let flush_and_stop t =
+  Atomic.set t.stop true;
+  Array.iter Domain.join t.domains

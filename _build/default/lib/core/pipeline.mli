@@ -1,0 +1,55 @@
+(** The scalable pipelined dispatcher (§3.4).
+
+    A single logical dispatcher realised as 1–4 cores: RPC handler →
+    Indexer → Prefetcher → Spawner.  All stages share one request ring and
+    signal each other through bounded SPSC queues carrying {e batch
+    counts} (adaptive bounded batching: the handler forwards whatever is
+    available, 1 up to [max_batch], never waiting to fill a batch — this
+    is a dispatching optimisation only; execution remains unbatched).
+    Because every stage processes all requests in the same order and only
+    the Spawner mutates scheduling state, the pipeline preserves the
+    unique-DAG guarantee of the single-core dispatcher.
+
+    The [stages] variants mirror the dispatcher configurations ablated in
+    Figure 9 of the paper. *)
+
+type stages =
+  | One_core_no_prefetch  (** everything on one core, prefetch skipped (Fig. 9 ①) *)
+  | One_core  (** everything on one core (Fig. 9 ②) *)
+  | Two_core  (** handler+indexer+prefetcher / spawner (Fig. 9 ③) *)
+  | Three_core  (** handler+indexer / prefetcher / spawner (Fig. 9 ④) *)
+  | Four_core  (** handler / indexer / prefetcher / spawner (Figure 5) *)
+
+val core_count : stages -> int
+
+type 'input t
+
+val start :
+  ?queue_depth:int ->
+  ?max_batch:int ->
+  ?input_capacity:int ->
+  stages:stages ->
+  runtime:Runtime.t ->
+  ('input, 'entry) Service.t ->
+  'input t
+(** Spawn the dispatcher domains.  [queue_depth] (default 4) and
+    [max_batch] (default 8) are the paper's evaluation settings.  The
+    Spawner stage becomes the runtime's single dispatcher thread, so no
+    other thread may call {!Runtime.schedule} on [runtime] while the
+    pipeline is running. *)
+
+val submit : 'input t -> 'input -> unit
+(** Enqueue one raw request, blocking (with backoff) when the input queue
+    is full.  Multiple client threads may submit concurrently; the input
+    queue is the serialization point that fixes the log order. *)
+
+val try_submit : 'input t -> 'input -> bool
+
+val spawned : 'input t -> int
+(** Requests that have passed the Spawner so far. *)
+
+val flush_and_stop : 'input t -> unit
+(** Signal end of input, wait for the pipeline to drain every submitted
+    request into the runtime, and join the dispatcher domains.  The
+    runtime keeps executing; follow with {!Runtime.drain} or
+    {!Runtime.shutdown}. *)

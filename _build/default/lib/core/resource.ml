@@ -1,0 +1,15 @@
+type 'a t = { slot : Slot.t; mutable value : 'a }
+
+let create value = { slot = Slot.create (); value }
+
+let slot t = t.slot
+
+let get t = t.value
+
+let set t v = t.value <- v
+
+let update t f = t.value <- f t.value
+
+let read t = (t.slot, Footprint.Read)
+
+let write t = (t.slot, Footprint.Write)

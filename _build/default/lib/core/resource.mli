@@ -1,0 +1,31 @@
+(** Typed resources: the unit of protected shared state.
+
+    A resource couples a value with a scheduling {!Slot.t}.  Procedures
+    list the resources they access in their footprint; DORADD then
+    guarantees the procedure {e exclusive} access to each one while it
+    runs (for [Write] mode; [Read] mode grants shared access), so the
+    accessors below need no locking — the scheduler is the concurrency
+    control (§3.2). *)
+
+type 'a t
+
+val create : 'a -> 'a t
+
+val slot : 'a t -> Slot.t
+(** The scheduling slot to put in footprints. *)
+
+val get : 'a t -> 'a
+(** Read the value.  Only call from a procedure whose footprint includes
+    this resource (any mode). *)
+
+val set : 'a t -> 'a -> unit
+(** Replace the value.  Only from a procedure holding [Write] access. *)
+
+val update : 'a t -> ('a -> 'a) -> unit
+(** [update r f] is [set r (f (get r))]. *)
+
+val read : 'a t -> Slot.t * Footprint.mode
+(** Footprint element for shared read access. *)
+
+val write : 'a t -> Slot.t * Footprint.mode
+(** Footprint element for exclusive write access. *)

@@ -1,0 +1,91 @@
+type t = {
+  queues : Node.t Doradd_queue.Mpmc.t array;
+  mutable rr : int; (* only the single logical dispatcher advances this *)
+  mutable run_inline : Node.t -> unit; (* tied after creation to break the cycle *)
+  mutable on_failure : Node.t -> exn -> unit; (* inline-execution failure hook *)
+  mutable on_complete : Node.t -> unit; (* inline-execution completion hook *)
+}
+
+module Mpmc = Doradd_queue.Mpmc
+module Backoff = Doradd_queue.Backoff
+
+let create ~workers ~queue_capacity =
+  if workers <= 0 then invalid_arg "Runnable_set.create";
+  let t =
+    {
+      queues = Array.init workers (fun _ -> Mpmc.create ~capacity:queue_capacity);
+      rr = 0;
+      run_inline = (fun _ -> assert false);
+      on_failure = (fun _ _ -> ());
+      on_complete = (fun _ -> ());
+    }
+  in
+  (* Inline execution when every queue is full: run the node (stepping
+     through any cooperative yields) and feed its newly-ready dependents
+     back through the normal worker path.  Exceptions are reported through
+     the failure hook and the node still completes, as in the worker
+     loop. *)
+  let rec run node =
+    match (try Node.run node with e -> t.on_failure node e; `Finished) with
+    | `Yielded -> run node
+    | `Finished ->
+      Node.complete node ~on_ready:(fun d -> push_from t 0 d);
+      t.on_complete node
+  and push_from t start node =
+    let n = Array.length t.queues in
+    let rec try_all i =
+      if i >= n then run node
+      else if Mpmc.try_push t.queues.((start + i) mod n) node then ()
+      else try_all (i + 1)
+    in
+    try_all 0
+  in
+  t.run_inline <- run;
+  t
+
+let workers t = Array.length t.queues
+
+let set_inline_hooks t ~on_failure ~on_complete =
+  t.on_failure <- on_failure;
+  t.on_complete <- on_complete
+
+let push_dispatcher t node =
+  let n = Array.length t.queues in
+  let b = Backoff.create () in
+  let rec go attempts idx =
+    if Mpmc.try_push t.queues.(idx) node then t.rr <- (idx + 1) mod n
+    else if attempts + 1 >= n then begin
+      (* All queues full: wait for the workers to drain rather than running
+         inline — the dispatcher must keep its own latency bounded, and
+         blocking here is the backpressure the paper's bounded queues give. *)
+      Backoff.once b;
+      go 0 ((idx + 1) mod n)
+    end
+    else go (attempts + 1) ((idx + 1) mod n)
+  in
+  go 0 t.rr
+
+let push_worker t ~worker node =
+  let n = Array.length t.queues in
+  let rec try_all i =
+    if i >= n then t.run_inline node
+    else if Mpmc.try_push t.queues.((worker + i) mod n) node then ()
+    else try_all (i + 1)
+  in
+  try_all 0
+
+let pop t ~worker =
+  let n = Array.length t.queues in
+  match Mpmc.try_pop t.queues.(worker) with
+  | Some _ as r -> r
+  | None ->
+    let rec steal i =
+      if i >= n then None
+      else
+        match Mpmc.try_pop t.queues.((worker + i) mod n) with
+        | Some _ as r -> r
+        | None -> steal (i + 1)
+    in
+    steal 1
+
+let size t = Array.fold_left (fun acc q -> acc + Mpmc.length q) 0 t.queues

@@ -1,0 +1,41 @@
+(** The runnable-procedures set (§3.3/§4).
+
+    An unordered set of requests whose dependencies are all resolved;
+    executing them in any order, on any worker, preserves determinism.
+    Implemented exactly as the paper describes: one lock-free MPMC queue
+    per worker.  The dispatcher inserts round-robin; a worker inserts into
+    its own queue; a worker removes from its own queue first and steals
+    from the others when empty — giving work conservation without any
+    dispatcher–worker coordination. *)
+
+type t
+
+val create : workers:int -> queue_capacity:int -> t
+
+val workers : t -> int
+
+val set_inline_hooks :
+  t -> on_failure:(Node.t -> exn -> unit) -> on_complete:(Node.t -> unit) -> unit
+(** Hooks for nodes executed {e inline} (the overflow path of
+    {!push_worker}): [on_failure] fires if the procedure raises (the node
+    still completes), [on_complete] after every inline completion.  The
+    worker pool installs its failure recorder and completion counter here
+    — without the completion hook, inline completions would be invisible
+    to [Runtime.drain]. *)
+
+val push_dispatcher : t -> Node.t -> unit
+(** Insert from the dispatcher, round-robin over worker queues.  Blocks
+    (with backoff) when every queue is full: backpressure to the input. *)
+
+val push_worker : t -> worker:int -> Node.t -> unit
+(** Insert a newly-ready node from worker [worker]'s completion path.
+    Prefers the worker's own queue; overflows to siblings; as a last
+    resort runs the node inline (still deterministic — the node was ready
+    — and keeps the system deadlock-free when all queues are full). *)
+
+val pop : t -> worker:int -> Node.t option
+(** Remove for execution: own queue first, then a stealing sweep over the
+    other queues.  [None] when every queue appears empty. *)
+
+val size : t -> int
+(** Racy total occupancy; monitoring and tests only. *)

@@ -1,0 +1,118 @@
+module Backoff = Doradd_queue.Backoff
+
+type failure = { seqno : int; exn_ : exn }
+
+type t = {
+  rs : Runnable_set.t;
+  stop : bool Atomic.t;
+  scheduled : int Atomic.t;
+  completed : int Atomic.t;
+  failures : failure list Atomic.t;
+  domains : unit Domain.t array;
+  mutable next_seq : int; (* dispatcher-thread private *)
+}
+
+let record_failure failures seqno exn_ =
+  let rec add () =
+    let cur = Atomic.get failures in
+    if not (Atomic.compare_and_set failures cur ({ seqno; exn_ } :: cur)) then add ()
+  in
+  add ()
+
+let worker_loop rs ~worker ~stop ~completed ~failures =
+  let b = Backoff.create () in
+  let rec loop () =
+    match Runnable_set.pop rs ~worker with
+    | Some node ->
+      Backoff.reset b;
+      (* A raising procedure is still a *deterministic* outcome (same
+         input, same exception), so the request completes — releasing its
+         dependents — and the failure is recorded for the caller rather
+         than tearing down the worker domain. *)
+      (match try Node.run node with e -> record_failure failures (Node.seqno node) e; `Finished with
+      | `Finished ->
+        Node.complete node ~on_ready:(Runnable_set.push_worker rs ~worker);
+        Atomic.incr completed
+      | `Yielded ->
+        (* park the procedure back in the runnable set; its dependents
+           stay blocked until it finishes (§6) *)
+        Runnable_set.push_worker rs ~worker node);
+      loop ()
+    | None ->
+      if Atomic.get stop then ()
+      else begin
+        Backoff.once b;
+        loop ()
+      end
+  in
+  loop ()
+
+let create ?workers ?(queue_capacity = 4096) () =
+  let workers =
+    match workers with
+    | Some w ->
+      if w <= 0 then invalid_arg "Runtime.create: workers must be positive";
+      w
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let rs = Runnable_set.create ~workers ~queue_capacity in
+  let stop = Atomic.make false in
+  let completed = Atomic.make 0 in
+  let failures = Atomic.make [] in
+  Runnable_set.set_inline_hooks rs
+    ~on_failure:(fun node e -> record_failure failures (Node.seqno node) e)
+    ~on_complete:(fun _ -> Atomic.incr completed);
+  let domains =
+    Array.init workers (fun worker ->
+        Domain.spawn (fun () -> worker_loop rs ~worker ~stop ~completed ~failures))
+  in
+  { rs; stop; scheduled = Atomic.make 0; completed; failures; domains; next_seq = 0 }
+
+let workers t = Runnable_set.workers t.rs
+
+let schedule t fp work =
+  let seqno = t.next_seq in
+  t.next_seq <- seqno + 1;
+  Atomic.incr t.scheduled;
+  let node = Node.create ~seqno work in
+  Spawner.schedule t.rs node fp
+
+let schedule_steps t fp work =
+  let seqno = t.next_seq in
+  t.next_seq <- seqno + 1;
+  Atomic.incr t.scheduled;
+  let node = Node.create_steps ~seqno work in
+  Spawner.schedule t.rs node fp
+
+let scheduled t = Atomic.get t.scheduled
+
+let failures t =
+  List.sort compare (List.map (fun f -> (f.seqno, f.exn_)) (Atomic.get t.failures))
+
+let completed t = Atomic.get t.completed
+
+let drain t =
+  let b = Backoff.create () in
+  while Atomic.get t.completed < Atomic.get t.scheduled do
+    Backoff.once b
+  done
+
+let checkpoint t f =
+  (* The caller is the single dispatcher thread, so no new requests can be
+     scheduled during this call; draining therefore quiesces the whole
+     system and [f] observes the state after a request-boundary prefix of
+     the log — a consistent snapshot (§6, failures and checkpointing). *)
+  drain t;
+  f ()
+
+let shutdown t =
+  drain t;
+  Atomic.set t.stop true;
+  Array.iter Domain.join t.domains
+
+let run_log ?workers ?queue_capacity fp exec log =
+  let t = create ?workers ?queue_capacity () in
+  Array.iter (fun req -> schedule t (fp req) (fun () -> exec req)) log;
+  shutdown t
+
+let run_sequential exec log = Array.iter exec log

@@ -1,0 +1,70 @@
+(** The DORADD runtime: worker pool plus dispatcher entry points.
+
+    The runtime owns the runnable set and a pool of worker domains running
+    the loop of §3.3: pull a ready request, run it to completion, resolve
+    its outgoing DAG edges, push newly-ready dependents, steal when idle.
+    Scheduling — turning the serial request stream into the DAG — is done
+    either by the caller's thread ({!schedule}, the single-dispatcher
+    configuration) or by a {!Pipeline} built on top of this module.
+
+    Determinism contract: all {!schedule} calls must come from one thread
+    (the single logical dispatcher), in the serial-log order; procedures
+    must only touch resources in their declared footprint.  Under that
+    contract the final state equals the state after serial execution of the
+    log, for any number of workers. *)
+
+type t
+
+val create : ?workers:int -> ?queue_capacity:int -> unit -> t
+(** Start the worker domains.  [workers] defaults to
+    [max 1 (Domain.recommended_domain_count () - 1)]; [queue_capacity] is
+    the per-worker runnable-queue capacity (default 4096). *)
+
+val workers : t -> int
+
+val schedule : t -> Footprint.t -> (unit -> unit) -> unit
+(** [schedule t fp work] appends a request to the serial order.  Single
+    dispatcher thread only. *)
+
+val schedule_steps : t -> Footprint.t -> (unit -> Node.outcome) -> unit
+(** Schedule a cooperative (long-running) procedure that may
+    [Node.Yield] between steps (§6).  While parked, it keeps exclusive
+    access to its footprint — dependents run only after the final step —
+    so yielding never violates determinism; it only lets the worker
+    interleave other ready requests. *)
+
+val scheduled : t -> int
+(** Requests scheduled so far. *)
+
+val completed : t -> int
+(** Requests fully executed so far. *)
+
+val failures : t -> (int * exn) list
+(** Requests whose procedure raised, as (log position, exception), in log
+    order.  A raising procedure still completes deterministically — its
+    dependents run and the runtime keeps going; exceptions are outcomes,
+    not crashes.  (A yielding procedure that raises in a later step fails
+    at that step.) *)
+
+val drain : t -> unit
+(** Block until every scheduled request has completed. *)
+
+val checkpoint : t -> (unit -> 'a) -> 'a
+(** [checkpoint t f] quiesces the runtime — no new dispatch (the caller
+    is the dispatcher thread), workers drain — then runs [f] over the
+    quiesced state and returns its result; execution resumes with the
+    next [schedule].  This is the paper's §6 checkpointing recipe: stop
+    the dispatcher, wait for the worker queues to drain, snapshot. *)
+
+val shutdown : t -> unit
+(** Drain, then stop and join the worker domains.  The runtime cannot be
+    used afterwards. *)
+
+val run_log : ?workers:int -> ?queue_capacity:int -> ('a -> Footprint.t) -> ('a -> unit) -> 'a array -> unit
+(** [run_log fp exec log] creates a runtime, schedules every entry of
+    [log] in order, drains, and shuts down: deterministic parallel replay
+    of a request log — the DPS replica-execution use case. *)
+
+val run_sequential : ('a -> unit) -> 'a array -> unit
+(** Reference executor: run the log serially in this thread.  The
+    determinism tests compare parallel replay against this. *)

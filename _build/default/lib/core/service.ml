@@ -1,0 +1,10 @@
+type ('input, 'entry) t = {
+  entry_create : int -> 'entry;
+  inject : 'entry -> 'input -> unit;
+  index : 'entry -> unit;
+  prefetch : 'entry -> unit;
+  footprint : 'entry -> Footprint.t;
+  work : 'entry -> unit -> unit;
+}
+
+let touch r = ignore (Sys.opaque_identity (Resource.get r))

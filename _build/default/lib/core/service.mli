@@ -1,0 +1,33 @@
+(** RPC service definition for the pipelined dispatcher.
+
+    An application exposes its RPC endpoints to DORADD as a [Service]: the
+    per-stage work the dispatcher pipeline performs on each raw input
+    before the request reaches the workers (§3.4, Figure 5).  The pipeline
+    owns a ring of reusable ['entry] scratch records; each stage mutates
+    the entry in place:
+
+    + [inject] (RPC handler): parse the raw input into the entry —
+      identify the target procedure and resource {e names};
+    + [index] (Indexer): resolve names to actual resources and cache the
+      pointers in the entry;
+    + [prefetch] (Prefetcher): touch the resolved resources so the Spawner
+      finds them warm (in hardware this issues prefetches; in OCaml we
+      perform a dependent read via [Sys.opaque_identity], which preserves
+      the structure and pulls the words into cache);
+    + [footprint]/[work] (Spawner): produce the scheduling footprint and
+      the procedure closure.  [work]'s closure must {e capture} everything
+      it needs — the ring entry is recycled as soon as the Spawner is done
+      with it. *)
+
+type ('input, 'entry) t = {
+  entry_create : int -> 'entry;  (** allocate ring slot [i]'s scratch record *)
+  inject : 'entry -> 'input -> unit;
+  index : 'entry -> unit;
+  prefetch : 'entry -> unit;
+  footprint : 'entry -> Footprint.t;
+  work : 'entry -> unit -> unit;
+}
+
+val touch : 'a Resource.t -> unit
+(** Helper for [prefetch] implementations: performs a read of the
+    resource's contents that the optimiser cannot delete. *)

@@ -1,0 +1,25 @@
+type t = {
+  id : int;
+  mutable last_write : Node.t option;
+  mutable readers : Node.t list;
+}
+
+let next_id = Atomic.make 0
+
+let create () = { id = Atomic.fetch_and_add next_id 1; last_write = None; readers = [] }
+
+let id t = t.id
+
+let last_write t = t.last_write
+
+let set_last_write t node =
+  t.last_write <- Some node;
+  t.readers <- []
+
+let readers t = t.readers
+
+let add_reader t node = t.readers <- node :: t.readers
+
+let clear t =
+  t.last_write <- None;
+  t.readers <- []

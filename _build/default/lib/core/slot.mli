@@ -1,0 +1,34 @@
+(** Scheduling slots: the dispatcher-side view of a resource.
+
+    Every resource (§3.2) owns one slot.  The slot remembers which request
+    last {e wrote} the resource and which requests have {e read} it since —
+    the state the single logical dispatcher needs to wire the next request
+    into the DAG.  Only the Spawner stage touches slots, so the fields are
+    plain mutable: the single-dispatcher architecture is what makes the
+    hot path of DAG construction synchronisation-free.
+
+    The paper treats every access as a write (reader/writer distinction is
+    its stated future work); {!Footprint.mode} [Write] reproduces that, and
+    [Read] implements the extension, letting concurrent readers share. *)
+
+type t
+
+val create : unit -> t
+(** Fresh slot with a process-unique id. *)
+
+val id : t -> int
+(** Unique id; footprints are deduplicated by it. *)
+
+val last_write : t -> Node.t option
+(** Most recently scheduled writer, if any.  Dispatcher side. *)
+
+val set_last_write : t -> Node.t -> unit
+(** Record [node] as the latest writer and clear the reader set. *)
+
+val readers : t -> Node.t list
+(** Requests that read the resource since the last write (newest first). *)
+
+val add_reader : t -> Node.t -> unit
+
+val clear : t -> unit
+(** Forget scheduling history (between independent runs in tests). *)

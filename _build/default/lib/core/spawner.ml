@@ -1,0 +1,28 @@
+(* Register [node] behind predecessor [pred].  The join counter is bumped
+   first so that, if the registration lands, pred's completion cannot drive
+   join to zero while the dispatch guard is still held; if pred already
+   completed the bump is undone. *)
+let register node pred =
+  Node.incr_join node;
+  if not (Node.add_dependent pred node) then ignore (Node.decr_join node)
+
+let link node fp =
+  Footprint.iter fp (fun slot mode ->
+      match mode with
+      | Footprint.Write ->
+        (* A writer must follow every reader since the last write; if there
+           are none it follows the last writer directly.  (Readers already
+           follow that writer, so ordering behind them is transitive.) *)
+        (match Slot.readers slot with
+        | [] -> ( match Slot.last_write slot with None -> () | Some p -> register node p)
+        | readers -> List.iter (register node) readers);
+        Slot.set_last_write slot node
+      | Footprint.Read ->
+        (match Slot.last_write slot with None -> () | Some p -> register node p);
+        Slot.add_reader slot node)
+
+let schedule_ready on_ready node fp =
+  link node fp;
+  if Node.release node then on_ready node
+
+let schedule rs node fp = schedule_ready (Runnable_set.push_dispatcher rs) node fp

@@ -1,0 +1,22 @@
+(** DAG construction — the heart of DORADD's deterministic scheduling.
+
+    [schedule] is what the paper's Spawner stage runs for each request, in
+    serial-log order: walk the (normalized) footprint, wire the new node
+    behind the most recently scheduled conflicting requests, and publish it
+    to the runnable set if it has no unresolved dependencies.  Because one
+    logical dispatcher executes this serially, the resulting DAG — and
+    therefore the execution outcome — is a pure function of the input
+    order (§3.4: "for a given serial order of requests, there is a unique
+    DAG").
+
+    Must only ever be called from the single logical dispatcher. *)
+
+val schedule : Runnable_set.t -> Node.t -> Footprint.t -> unit
+(** [schedule rs node fp] links [node] into the DAG according to [fp] and
+    releases the dispatch guard; if the node is immediately runnable it is
+    pushed into [rs] (round-robin, as the dispatcher's insertions are). *)
+
+val schedule_ready : (Node.t -> unit) -> Node.t -> Footprint.t -> unit
+(** Like {!schedule} but hands ready nodes to an arbitrary sink; used by
+    the sequential reference executor and by tests that inspect readiness
+    without a worker pool. *)

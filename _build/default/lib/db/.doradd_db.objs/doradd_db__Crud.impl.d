@@ -1,0 +1,1 @@
+lib/db/crud.ml: Array Doradd_core Doradd_stats Printf String

@@ -1,0 +1,1 @@
+lib/db/crud.mli: Doradd_core Doradd_stats

@@ -1,0 +1,1 @@
+lib/db/kv.ml: Array Doradd_core Row Store

@@ -1,0 +1,1 @@
+lib/db/kv.mli: Doradd_core Store

@@ -1,0 +1,1 @@
+lib/db/kv_pipeline.ml: Array Doradd_core Kv Row Store

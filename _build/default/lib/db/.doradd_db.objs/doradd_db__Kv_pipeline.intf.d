@@ -1,0 +1,1 @@
+lib/db/kv_pipeline.mli: Doradd_core Kv Store

@@ -1,0 +1,1 @@
+lib/db/ledger.ml: Array Doradd_core Doradd_stats Printf String

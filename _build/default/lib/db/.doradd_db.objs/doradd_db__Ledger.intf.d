@@ -1,0 +1,1 @@
+lib/db/ledger.mli: Doradd_core Doradd_stats

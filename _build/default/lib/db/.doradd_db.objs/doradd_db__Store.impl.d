@@ -1,0 +1,1 @@
+lib/db/store.ml: Doradd_core Hashtbl Row

@@ -1,0 +1,1 @@
+lib/db/store.mli: Doradd_core Row

@@ -1,0 +1,1 @@
+lib/db/tpcc_db.ml: Array Doradd_core Doradd_stats List Printf String

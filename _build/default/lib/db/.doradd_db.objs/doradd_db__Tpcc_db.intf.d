@@ -1,0 +1,1 @@
+lib/db/tpcc_db.mli: Doradd_core Doradd_stats

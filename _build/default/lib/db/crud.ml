@@ -1,0 +1,153 @@
+module Core = Doradd_core
+module Resource = Doradd_core.Resource
+module Rng = Doradd_stats.Rng
+
+type doc = Empty | Live of int | Tombstone
+
+type t = {
+  capacity : int;
+  docs : doc Resource.t array;
+  allocator : int Resource.t; (* runtime id counter, for invariants *)
+  mutable planned_next : int; (* planning-time counter (single planner) *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Crud.create";
+  {
+    capacity;
+    docs = Array.init capacity (fun _ -> Resource.create Empty);
+    allocator = Resource.create 0;
+    planned_next = 0;
+  }
+
+type request =
+  | Create of { body : int }
+  | Read of { id : int }
+  | Update of { id : int; body : int }
+  | Delete of { id : int }
+
+type planned = { request : request; assigned : int }
+
+let plan t log =
+  Array.map
+    (fun request ->
+      match request with
+      | Create _ ->
+        if t.planned_next >= t.capacity then invalid_arg "Crud.plan: capacity exceeded";
+        let assigned = t.planned_next in
+        t.planned_next <- assigned + 1;
+        { request; assigned }
+      | Read _ | Update _ | Delete _ -> { request; assigned = -1 })
+    log
+
+let planned_id p = if p.assigned >= 0 then Some p.assigned else None
+
+type response = Ok_id of int | Ok_value of int | Ok_unit | Not_found_
+
+let in_range t id = id >= 0 && id < t.capacity
+
+let footprint t p =
+  match p.request with
+  | Create _ ->
+    Core.Footprint.of_list [ Resource.write t.allocator; Resource.write t.docs.(p.assigned) ]
+  | Read { id } ->
+    if in_range t id then Core.Footprint.of_list [ Resource.read t.docs.(id) ]
+    else Core.Footprint.empty
+  | Update { id; _ } | Delete { id } ->
+    if in_range t id then Core.Footprint.of_list [ Resource.write t.docs.(id) ]
+    else Core.Footprint.empty
+
+let execute t ~responses ~seqno p =
+  let resp =
+    match p.request with
+    | Create { body } ->
+      Resource.update t.allocator succ;
+      Resource.set t.docs.(p.assigned) (Live body);
+      Ok_id p.assigned
+    | Read { id } ->
+      if not (in_range t id) then Not_found_
+      else begin
+        match Resource.get t.docs.(id) with
+        | Live body -> Ok_value body
+        | Empty | Tombstone -> Not_found_
+      end
+    | Update { id; body } ->
+      if not (in_range t id) then Not_found_
+      else begin
+        match Resource.get t.docs.(id) with
+        | Live _ ->
+          Resource.set t.docs.(id) (Live body);
+          Ok_unit
+        | Empty | Tombstone -> Not_found_
+      end
+    | Delete { id } ->
+      if not (in_range t id) then Not_found_
+      else begin
+        match Resource.get t.docs.(id) with
+        | Live _ ->
+          Resource.set t.docs.(id) Tombstone;
+          Ok_unit
+        | Empty | Tombstone -> Not_found_
+      end
+  in
+  responses.(seqno) <- resp
+
+let run_with runner t log =
+  let planned = plan t log in
+  let responses = Array.make (Array.length log) Not_found_ in
+  let seqnos = Array.mapi (fun i p -> (i, p)) planned in
+  runner
+    (fun (_, p) -> footprint t p)
+    (fun (seqno, p) -> execute t ~responses ~seqno p)
+    seqnos;
+  responses
+
+let run_parallel ?workers t log =
+  run_with (fun fp exec -> Core.Runtime.run_log ?workers fp exec) t log
+
+let run_sequential t log = run_with (fun _fp exec -> Core.Runtime.run_sequential exec) t log
+
+let next_id t = Resource.get t.allocator
+
+let live_documents t =
+  Array.fold_left
+    (fun acc d -> match Resource.get d with Live _ -> acc + 1 | Empty | Tombstone -> acc)
+    0 t.docs
+
+let digest t =
+  let acc = ref (next_id t) in
+  Array.iter
+    (fun d ->
+      let v = match Resource.get d with Empty -> 0 | Tombstone -> 1 | Live b -> 2 + b in
+      acc := (!acc * 1_000_003) + v)
+    t.docs;
+  !acc
+
+let check_invariants t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let n = next_id t in
+  Array.iteri
+    (fun i d ->
+      match Resource.get d with
+      | (Live _ | Tombstone) when i >= n -> err "slot %d beyond allocator %d" i n
+      | Empty when i < n -> err "slot %d inside allocator range never created" i
+      | _ -> ())
+    t.docs;
+  if live_documents t > n then err "more live documents than ids allocated";
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+let generate t rng ~n =
+  (* plausible ids: drawn from slots that may exist by then (we track an
+     optimistic count locally; misses are valid requests too) *)
+  let approx_created = ref 1 in
+  Array.init n (fun _ ->
+      let die = Rng.int rng 100 in
+      let some_id () = Rng.int rng (max 1 (min t.capacity !approx_created)) in
+      if die < 25 then begin
+        incr approx_created;
+        Create { body = Rng.int rng 1_000_000 }
+      end
+      else if die < 65 then Read { id = some_id () }
+      else if die < 90 then Update { id = some_id (); body = Rng.int rng 1_000_000 }
+      else Delete { id = some_id () })

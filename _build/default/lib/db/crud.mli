@@ -1,0 +1,69 @@
+(** A CRUD RESTful-API-style service on the DORADD runtime.
+
+    §3.2's limitation paragraph lists the application classes whose
+    resource needs are known at dispatch time: deterministic databases,
+    one-shot transactions, smart contracts, and "carefully crafted CRUD
+    RESTful APIs".  This module is that last class: a collection of
+    documents addressed by id, with Create/Read/Update/Delete endpoints.
+
+    The craft in "carefully crafted": a Create's document slot must be
+    known at dispatch time, so ids are {e pre-allocated} by {!plan} —
+    which the sequencing layer (or client library) runs over the ordered
+    log before dispatch, deterministically assigning the next id to each
+    Create.  After planning, every request's footprint is exactly one
+    document resource (plus the id-allocator metadata for Creates).
+    Deletes leave tombstones; slots are never reused. *)
+
+type t
+
+val create : capacity:int -> t
+(** A service that can hold up to [capacity] documents over its lifetime
+    (slots are pre-allocated, per the runtime's resolve-at-dispatch
+    model). *)
+
+type request =
+  | Create of { body : int }
+  | Read of { id : int }
+  | Update of { id : int; body : int }
+  | Delete of { id : int }
+
+type planned
+(** A request with its resources resolved (Creates carry their assigned
+    id). *)
+
+val plan : t -> request array -> planned array
+(** Deterministic pre-pass over the ordered log: assigns the next id to
+    each Create, in log order.  Raises [Invalid_argument] if the log
+    would overflow [capacity]. *)
+
+val planned_id : planned -> int option
+(** The id a planned Create was assigned. *)
+
+type response = Ok_id of int | Ok_value of int | Ok_unit | Not_found_
+(** Deterministic outcomes: operations on missing/deleted ids return
+    [Not_found_] rather than raising. *)
+
+val footprint : t -> planned -> Doradd_core.Footprint.t
+
+val execute : t -> responses:response array -> seqno:int -> planned -> unit
+(** Run the endpoint body; the response lands in [responses.(seqno)]. *)
+
+val run_parallel : ?workers:int -> t -> request array -> response array
+
+val run_sequential : t -> request array -> response array
+
+val live_documents : t -> int
+(** Documents created and not deleted. *)
+
+val next_id : t -> int
+(** Ids allocated so far (stable after a run). *)
+
+val digest : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** Created slots are dense in [0, next_id); live = created − deleted;
+    tombstones never resurrect; no slot beyond [next_id] touched. *)
+
+val generate : t -> Doradd_stats.Rng.t -> n:int -> request array
+(** Mixed workload: ~25% creates, 40% reads, 25% updates, 10% deletes,
+    over ids drawn from the plausible range. *)

@@ -1,0 +1,44 @@
+module Core = Doradd_core
+
+type op_kind = Read | Update
+
+type op = { key : int; kind : op_kind }
+
+type txn = { id : int; ops : op array }
+
+let footprint ?(rw = false) store txn =
+  Core.Footprint.of_list
+    (Array.to_list
+       (Array.map
+          (fun op ->
+            let r = Store.find_exn store op.key in
+            match op.kind with
+            | Update -> Core.Resource.write r
+            | Read -> if rw then Core.Resource.read r else Core.Resource.write r)
+          txn.ops))
+
+let execute store ~results txn =
+  let digest = ref 0 in
+  Array.iter
+    (fun op ->
+      let row = Core.Resource.get (Store.find_exn store op.key) in
+      match op.kind with
+      | Read -> digest := (!digest * 31) + Row.read row
+      | Update -> Row.write row ((txn.id * 131) + op.key))
+    txn.ops;
+  results.(txn.id) <- !digest
+
+let run_parallel ?rw ?workers store txns =
+  let results = Array.make (Array.length txns) 0 in
+  Core.Runtime.run_log ?workers (footprint ?rw store) (execute store ~results) txns;
+  results
+
+let run_sequential store txns =
+  let results = Array.make (Array.length txns) 0 in
+  Core.Runtime.run_sequential (execute store ~results) txns;
+  results
+
+let state_digest store ~keys =
+  Array.fold_left
+    (fun acc key -> (acc * 1_000_003) + Row.checksum (Core.Resource.get (Store.find_exn store key)))
+    0 keys

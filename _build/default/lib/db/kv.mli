@@ -1,0 +1,33 @@
+(** The deterministic key-value database of §5.1: YCSB-style multi-key
+    transactions over a {!Store.t}, executed by the DORADD runtime.
+
+    Each transaction reads or updates a fixed set of rows; its footprint
+    is exactly those rows, so the runtime's scheduling is the concurrency
+    control.  A per-transaction result digest (combined read checksums)
+    is written into the caller's result buffer, giving tests a
+    determinism witness that covers read {e values}, not just final
+    state. *)
+
+type op_kind = Read | Update
+
+type op = { key : int; kind : op_kind }
+
+type txn = { id : int; ops : op array }
+
+val footprint : ?rw:bool -> Store.t -> txn -> Doradd_core.Footprint.t
+(** [rw=false] (paper semantics) declares every row as exclusive;
+    [rw=true] uses shared mode for reads. *)
+
+val execute : Store.t -> results:int array -> txn -> unit
+(** Run the transaction body: reads checksum the row, updates rewrite its
+    first 100 bytes; the digest lands in [results.(id)]. *)
+
+val run_parallel : ?rw:bool -> ?workers:int -> Store.t -> txn array -> int array
+(** Replay a transaction log on the runtime; returns per-transaction
+    digests. *)
+
+val run_sequential : Store.t -> txn array -> int array
+(** Reference serial execution for determinism checks. *)
+
+val state_digest : Store.t -> keys:int array -> int
+(** Checksum of the given rows' contents, for state-equality checks. *)

@@ -1,0 +1,50 @@
+module Core = Doradd_core
+
+type entry = {
+  mutable txn : Kv.txn;
+  mutable resolved : (Row.t Core.Resource.t * Kv.op_kind) array;
+}
+
+let dummy_txn = { Kv.id = -1; ops = [||] }
+
+let service store ~results =
+  {
+    Core.Service.entry_create = (fun _ -> { txn = dummy_txn; resolved = [||] });
+    inject =
+      (fun e txn ->
+        e.txn <- txn;
+        e.resolved <- [||]);
+    index =
+      (fun e ->
+        e.resolved <-
+          Array.map (fun op -> (Store.find_exn store op.Kv.key, op.Kv.kind)) e.txn.Kv.ops);
+    prefetch = (fun e -> Array.iter (fun (r, _) -> Core.Service.touch r) e.resolved);
+    footprint =
+      (fun e ->
+        (* paper semantics: every access exclusive *)
+        Core.Footprint.of_list
+          (Array.to_list (Array.map (fun (r, _) -> Core.Resource.write r) e.resolved)));
+    work =
+      (fun e ->
+        (* capture — the ring entry is recycled after spawning *)
+        let id = e.txn.Kv.id and resolved = e.resolved in
+        fun () ->
+          let digest = ref 0 in
+          Array.iter
+            (fun (r, kind) ->
+              let row = Core.Resource.get r in
+              match kind with
+              | Kv.Read -> digest := (!digest * 31) + Row.read row
+              | Kv.Update -> Row.write row ((id * 131) + Row.key row))
+            resolved;
+          results.(id) <- !digest);
+  }
+
+let run_pipelined ?(workers = 2) ?(stages = Core.Pipeline.Four_core) store txns =
+  let results = Array.make (Array.length txns) 0 in
+  let runtime = Core.Runtime.create ~workers () in
+  let pipe = Core.Pipeline.start ~stages ~runtime (service store ~results) in
+  Array.iter (fun txn -> Core.Pipeline.submit pipe txn) txns;
+  Core.Pipeline.flush_and_stop pipe;
+  Core.Runtime.shutdown runtime;
+  results

@@ -1,0 +1,25 @@
+(** The KV database behind the pipelined dispatcher: the full DORADD
+    datapath of Figure 5 on real domains.
+
+    Raw transactions enter the input queue; the RPC-handler stage copies
+    them into the shared request ring; the Indexer resolves keys against
+    the {!Store.t}; the Prefetcher touches the resolved rows; the Spawner
+    links the request into the DAG and hands it to the worker pool. *)
+
+type entry
+(** Ring-slot scratch record (resolved rows, pending transaction). *)
+
+val service : Store.t -> results:int array -> (Kv.txn, entry) Doradd_core.Service.t
+(** Build the pipeline service for a store.  Per-transaction read digests
+    land in [results] (indexed by transaction id), as in {!Kv.execute}. *)
+
+val run_pipelined :
+  ?workers:int ->
+  ?stages:Doradd_core.Pipeline.stages ->
+  Store.t ->
+  Kv.txn array ->
+  int array
+(** Replay a transaction log through the pipelined dispatcher
+    (default {!Doradd_core.Pipeline.Four_core}) and the worker pool;
+    returns the per-transaction digests.  Deterministic: equal to
+    {!Kv.run_sequential} output. *)

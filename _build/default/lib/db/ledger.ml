@@ -1,0 +1,174 @@
+module Core = Doradd_core
+module Resource = Doradd_core.Resource
+module Rng = Doradd_stats.Rng
+
+(* Every account holds two tokens: A (the base token, mintable) and B
+   (fixed supply, seeded into the pools). *)
+type account = { mutable a : int; mutable b : int }
+
+type pool = { mutable ra : int; mutable rb : int; initial_product : int }
+
+type authority = { mutable minted : int }
+
+type config = { accounts : int; pools : int }
+
+type t = {
+  cfg : config;
+  accounts : account Resource.t array;
+  pools : pool Resource.t array;
+  authority : authority Resource.t;
+  initial_a : int;
+  initial_b : int;
+}
+
+let initial_account_a = 10_000
+let initial_reserve = 1_000_000
+
+let create (cfg : config) =
+  if cfg.accounts <= 0 || cfg.pools <= 0 then invalid_arg "Ledger.create";
+  {
+    cfg;
+    accounts = Array.init cfg.accounts (fun _ -> Resource.create { a = initial_account_a; b = 0 });
+    pools =
+      Array.init cfg.pools (fun _ ->
+          Resource.create
+            {
+              ra = initial_reserve;
+              rb = initial_reserve;
+              initial_product = initial_reserve * initial_reserve;
+            });
+    authority = Resource.create { minted = 0 };
+    initial_a = (cfg.accounts * initial_account_a) + (cfg.pools * initial_reserve);
+    initial_b = cfg.pools * initial_reserve;
+  }
+
+let config t = t.cfg
+
+type txn =
+  | Transfer of { src : int; dst : int; amount : int }
+  | Mint of { dst : int; amount : int }
+  | Swap of { pool : int; trader : int; amount_in : int; a_to_b : bool }
+
+let generate ?(transfer_pct = 70) ?(mint_pct = 10) t rng ~n =
+  if transfer_pct + mint_pct > 100 then invalid_arg "Ledger.generate";
+  let cfg = t.cfg in
+  Array.init n (fun _ ->
+      let die = Rng.int rng 100 in
+      if die < transfer_pct then
+        Transfer
+          {
+            src = Rng.int rng cfg.accounts;
+            dst = Rng.int rng cfg.accounts;
+            amount = 1 + Rng.int rng 100;
+          }
+      else if die < transfer_pct + mint_pct then
+        Mint { dst = Rng.int rng cfg.accounts; amount = 1 + Rng.int rng 1_000 }
+      else
+        Swap
+          {
+            pool = Rng.int rng cfg.pools;
+            trader = Rng.int rng cfg.accounts;
+            amount_in = 1 + Rng.int rng 500;
+            a_to_b = Rng.bool rng;
+          })
+
+let footprint t = function
+  | Transfer { src; dst; _ } ->
+    Core.Footprint.of_list [ Resource.write t.accounts.(src); Resource.write t.accounts.(dst) ]
+  | Mint { dst; _ } ->
+    Core.Footprint.of_list [ Resource.write t.authority; Resource.write t.accounts.(dst) ]
+  | Swap { pool; trader; _ } ->
+    Core.Footprint.of_list [ Resource.write t.pools.(pool); Resource.write t.accounts.(trader) ]
+
+let execute t = function
+  | Transfer { src; dst; amount } ->
+    let s = Resource.get t.accounts.(src) in
+    if s.a >= amount then begin
+      let d = Resource.get t.accounts.(dst) in
+      s.a <- s.a - amount;
+      d.a <- d.a + amount
+    end
+  | Mint { dst; amount } ->
+    let auth = Resource.get t.authority in
+    auth.minted <- auth.minted + amount;
+    let d = Resource.get t.accounts.(dst) in
+    d.a <- d.a + amount
+  | Swap { pool; trader; amount_in; a_to_b } ->
+    let p = Resource.get t.pools.(pool) in
+    let u = Resource.get t.accounts.(trader) in
+    (* constant-product with a 0.3% fee kept in the pool; insufficient
+       funds or dust output makes the swap a deterministic no-op *)
+    let in_net = amount_in * 997 / 1000 in
+    if a_to_b then begin
+      let out = p.rb * in_net / (p.ra + in_net) in
+      if u.a >= amount_in && out >= 1 then begin
+        u.a <- u.a - amount_in;
+        u.b <- u.b + out;
+        p.ra <- p.ra + amount_in;
+        p.rb <- p.rb - out
+      end
+    end
+    else begin
+      let out = p.ra * in_net / (p.rb + in_net) in
+      if u.b >= amount_in && out >= 1 then begin
+        u.b <- u.b - amount_in;
+        u.a <- u.a + out;
+        p.rb <- p.rb + amount_in;
+        p.ra <- p.ra - out
+      end
+    end
+
+let run_parallel ?workers t txns = Core.Runtime.run_log ?workers (footprint t) (execute t) txns
+
+let run_sequential t txns = Core.Runtime.run_sequential (execute t) txns
+
+let balance t i = (Resource.get t.accounts.(i)).a
+
+let total_supply t = t.initial_a + (Resource.get t.authority).minted
+
+let circulating t =
+  let acc = Array.fold_left (fun s r -> s + (Resource.get r).a) 0 t.accounts in
+  Array.fold_left (fun s r -> s + (Resource.get r).ra) acc t.pools
+
+let pool_product t i =
+  let p = Resource.get t.pools.(i) in
+  (p.ra, p.rb, p.ra * p.rb)
+
+let mix acc v = (acc * 1_000_003) + v
+
+let digest t =
+  let acc = ref (Resource.get t.authority).minted in
+  Array.iter
+    (fun r ->
+      let x = Resource.get r in
+      acc := mix (mix !acc x.a) x.b)
+    t.accounts;
+  Array.iter
+    (fun r ->
+      let p = Resource.get r in
+      acc := mix (mix !acc p.ra) p.rb)
+    t.pools;
+  !acc
+
+let check_invariants t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  Array.iteri
+    (fun i r ->
+      let x = Resource.get r in
+      if x.a < 0 || x.b < 0 then err "account %d negative (%d, %d)" i x.a x.b)
+    t.accounts;
+  let b_total = Array.fold_left (fun s r -> s + (Resource.get r).b) 0 t.accounts in
+  let b_reserves = Array.fold_left (fun s r -> s + (Resource.get r).rb) 0 t.pools in
+  if circulating t <> total_supply t then
+    err "token A not conserved: circulating %d <> supply %d" (circulating t) (total_supply t);
+  if b_total + b_reserves <> t.initial_b then
+    err "token B not conserved: %d <> %d" (b_total + b_reserves) t.initial_b;
+  Array.iteri
+    (fun i r ->
+      let p = Resource.get r in
+      if p.ra < 0 || p.rb < 0 then err "pool %d negative reserves" i;
+      if p.ra * p.rb < p.initial_product then
+        err "pool %d product shrank: %d < %d" i (p.ra * p.rb) p.initial_product)
+    t.pools;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)

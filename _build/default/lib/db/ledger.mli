@@ -1,0 +1,70 @@
+(** A smart-contract-style ledger on the DORADD runtime.
+
+    The paper's programming model is exactly the one used by
+    declared-access blockchains (§3.2 cites Sui and Solana): every
+    transaction names the accounts it touches up front, and the executor
+    may run non-conflicting transactions in parallel as long as the
+    outcome equals the agreed serial order.  This module is that
+    application: token accounts, a mint authority, and constant-product
+    swap pools (the classic hot resource), with invariants the tests can
+    check after genuinely parallel execution.
+
+    All amounts are integer base units. *)
+
+type t
+
+type config = { accounts : int; pools : int }
+
+val create : config -> t
+
+val config : t -> config
+
+(** {1 Transactions} *)
+
+type txn =
+  | Transfer of { src : int; dst : int; amount : int }
+  | Mint of { dst : int; amount : int }  (** authority-gated supply increase *)
+  | Swap of { pool : int; trader : int; amount_in : int; a_to_b : bool }
+      (** constant-product swap with a 0.3% fee *)
+
+val generate :
+  ?transfer_pct:int ->
+  ?mint_pct:int ->
+  t ->
+  Doradd_stats.Rng.t ->
+  n:int ->
+  txn array
+(** Random workload: [transfer_pct]% transfers (default 70), [mint_pct]%
+    mints (default 10), the rest swaps over the (hot) pools. *)
+
+val footprint : t -> txn -> Doradd_core.Footprint.t
+(** Transfers touch two accounts; mints touch the authority and one
+    account; swaps touch the pool and the trader's account. *)
+
+val execute : t -> txn -> unit
+(** Transfers/swaps with insufficient funds are deterministic no-ops
+    (aborts are outcomes too). *)
+
+val run_parallel : ?workers:int -> t -> txn array -> unit
+
+val run_sequential : t -> txn array -> unit
+
+(** {1 Invariant checks} *)
+
+val balance : t -> int -> int
+
+val total_supply : t -> int
+(** Units ever minted (tracked by the authority). *)
+
+val circulating : t -> int
+(** Sum of account balances plus pool reserves of the base token. *)
+
+val pool_product : t -> int -> int * int * int
+(** (reserve_a, reserve_b, product) for a pool. *)
+
+val digest : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** No negative balance; supply conservation (circulating = minted);
+    every pool's product never below its initial value (fees only grow
+    it). *)

@@ -1,0 +1,27 @@
+type t = { key : int; payload : Bytes.t }
+
+let byte_size = 900
+let write_size = 100
+
+let create ~key =
+  let payload = Bytes.create byte_size in
+  for i = 0 to byte_size - 1 do
+    Bytes.unsafe_set payload i (Char.chr ((key + i) land 0xFF))
+  done;
+  { key; payload }
+
+let key t = t.key
+
+let read t =
+  let acc = ref 0 in
+  for i = 0 to byte_size - 1 do
+    acc := (!acc * 31) + Char.code (Bytes.unsafe_get t.payload i)
+  done;
+  !acc
+
+let write t v =
+  for i = 0 to write_size - 1 do
+    Bytes.unsafe_set t.payload i (Char.chr ((v + i) land 0xFF))
+  done
+
+let checksum = read

@@ -1,0 +1,26 @@
+(** Database rows, matching the paper's YCSB configuration: 900-byte rows;
+    a read scans the whole row, a write updates its first 100 bytes. *)
+
+type t
+
+val byte_size : int
+(** 900 (§5.1). *)
+
+val write_size : int
+(** 100: the prefix a write updates. *)
+
+val create : key:int -> t
+(** Fresh row, deterministically initialised from its key. *)
+
+val key : t -> int
+
+val read : t -> int
+(** Scan the row and return a checksum of its contents (forces the whole
+    row to be touched, like the benchmark's full-row read). *)
+
+val write : t -> int -> unit
+(** Overwrite the first {!write_size} bytes with a pattern derived from
+    the argument.  Deterministic. *)
+
+val checksum : t -> int
+(** Same as {!read}; kept separate for intent at call sites. *)

@@ -1,0 +1,19 @@
+module Resource = Doradd_core.Resource
+
+type t = { table : (int, Row.t Resource.t) Hashtbl.t }
+
+let create ?(initial_capacity = 1024) () = { table = Hashtbl.create initial_capacity }
+
+let add t key = Hashtbl.replace t.table key (Resource.create (Row.create ~key))
+
+let populate t ~n =
+  for key = 0 to n - 1 do
+    add t key
+  done
+
+let find t key = Hashtbl.find_opt t.table key
+
+let find_exn t key =
+  match Hashtbl.find_opt t.table key with Some r -> r | None -> raise Not_found
+
+let size t = Hashtbl.length t.table

@@ -1,0 +1,24 @@
+(** Keyed row store: the name-resolution index of the in-memory database.
+
+    Maps integer keys to row resources.  Lookups are what the dispatcher's
+    Indexer stage performs; rows must be inserted before the runtime
+    starts dispatching (DORADD's programming model resolves all resources
+    at dispatch time, so the working set is pre-populated like the YCSB
+    loader does). *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val populate : t -> n:int -> unit
+(** Insert rows for keys [0, n). *)
+
+val add : t -> int -> unit
+(** Insert a fresh row for [key]; replaces any existing row. *)
+
+val find : t -> int -> Row.t Doradd_core.Resource.t option
+
+val find_exn : t -> int -> Row.t Doradd_core.Resource.t
+(** @raise Not_found if the key was never inserted. *)
+
+val size : t -> int

@@ -1,0 +1,243 @@
+module Core = Doradd_core
+module Resource = Doradd_core.Resource
+module Rng = Doradd_stats.Rng
+
+type warehouse = { w_tax : int (* basis points *); mutable w_ytd : int }
+
+type order = {
+  o_id : int;
+  o_c_id : int;
+  o_lines : (int * int * int) array; (* item, qty, amount (cents) *)
+}
+
+type district = {
+  d_tax : int;
+  mutable d_ytd : int;
+  mutable d_next_o_id : int;
+  mutable d_orders : order list; (* newest first; insert is O(1) and
+                                    protected by the district resource *)
+}
+
+type customer = {
+  mutable c_balance : int;
+  mutable c_ytd_payment : int;
+  mutable c_payment_cnt : int;
+}
+
+type stock = { mutable s_quantity : int; mutable s_ytd : int; mutable s_order_cnt : int }
+
+type config = { warehouses : int; customers_per_district : int; items : int }
+
+type t = {
+  cfg : config;
+  warehouses : warehouse Resource.t array;
+  districts : district Resource.t array array; (* [w].(d) *)
+  customers : customer Resource.t array array; (* [w*10+d].(c) *)
+  stocks : stock Resource.t array array; (* [w].(i) *)
+  item_price : int array; (* read-only: needs no resource *)
+}
+
+let default_config = { warehouses = 1; customers_per_district = 3_000; items = 100_000 }
+
+let create (cfg : config) =
+  if cfg.warehouses <= 0 || cfg.customers_per_district <= 0 || cfg.items <= 0 then
+    invalid_arg "Tpcc_db.create";
+  {
+    cfg;
+    warehouses =
+      Array.init cfg.warehouses (fun w ->
+          Resource.create { w_tax = (w mod 20) * 10; w_ytd = 0 });
+    districts =
+      Array.init cfg.warehouses (fun _ ->
+          Array.init 10 (fun d ->
+              Resource.create
+                { d_tax = (d mod 20) * 10; d_ytd = 0; d_next_o_id = 1; d_orders = [] }));
+    customers =
+      Array.init (cfg.warehouses * 10) (fun _ ->
+          Array.init cfg.customers_per_district (fun _ ->
+              Resource.create { c_balance = 0; c_ytd_payment = 0; c_payment_cnt = 0 }));
+    stocks =
+      Array.init cfg.warehouses (fun _ ->
+          Array.init cfg.items (fun _ ->
+              Resource.create { s_quantity = 100; s_ytd = 0; s_order_cnt = 0 }));
+    item_price = Array.init cfg.items (fun i -> 100 + (i mod 9_900));
+  }
+
+let config t = t.cfg
+
+type new_order = { no_w : int; no_d : int; no_c : int; lines : (int * int) array }
+
+type payment = { p_w : int; p_d : int; p_c : int; amount : int }
+
+type txn = New_order of new_order | Payment of payment
+
+let generate t rng ~n =
+  let cfg = t.cfg in
+  Array.init n (fun i ->
+      let w = Rng.int rng cfg.warehouses in
+      let d = Rng.int rng 10 in
+      let c = Rng.int rng cfg.customers_per_district in
+      if i land 1 = 0 then begin
+        let ol_cnt = 5 + Rng.int rng 11 in
+        let lines =
+          Array.init ol_cnt (fun _ -> (Rng.int rng cfg.items, 1 + Rng.int rng 10))
+        in
+        New_order { no_w = w; no_d = d; no_c = c; lines }
+      end
+      else Payment { p_w = w; p_d = d; p_c = c; amount = 100 + Rng.int rng 500_000 })
+
+let customer_res t ~w ~d ~c = t.customers.((w * 10) + d).(c)
+
+let footprint ?(rw = false) t txn =
+  match txn with
+  | New_order o ->
+    let whouse = if rw then Resource.read t.warehouses.(o.no_w) else Resource.write t.warehouses.(o.no_w) in
+    let cust =
+      let r = customer_res t ~w:o.no_w ~d:o.no_d ~c:o.no_c in
+      if rw then Resource.read r else Resource.write r
+    in
+    let stocks =
+      Array.to_list (Array.map (fun (i, _) -> Resource.write t.stocks.(o.no_w).(i)) o.lines)
+    in
+    Core.Footprint.of_list
+      (whouse :: cust :: Resource.write t.districts.(o.no_w).(o.no_d) :: stocks)
+  | Payment p ->
+    Core.Footprint.of_list
+      [
+        Resource.write t.warehouses.(p.p_w);
+        Resource.write t.districts.(p.p_w).(p.p_d);
+        Resource.write (customer_res t ~w:p.p_w ~d:p.p_d ~c:p.p_c);
+      ]
+
+let execute t txn =
+  match txn with
+  | New_order o ->
+    let w = Resource.get t.warehouses.(o.no_w) in
+    let d = Resource.get t.districts.(o.no_w).(o.no_d) in
+    let o_id = d.d_next_o_id in
+    d.d_next_o_id <- o_id + 1;
+    let o_lines =
+      Array.map
+        (fun (item, qty) ->
+          let s = Resource.get t.stocks.(o.no_w).(item) in
+          (* TPC-C stock update: decrement, restock when low *)
+          if s.s_quantity - qty >= 10 then s.s_quantity <- s.s_quantity - qty
+          else s.s_quantity <- s.s_quantity - qty + 91;
+          s.s_ytd <- s.s_ytd + qty;
+          s.s_order_cnt <- s.s_order_cnt + 1;
+          let base = t.item_price.(item) * qty in
+          let amount = base + (base * (w.w_tax + d.d_tax) / 10_000) in
+          (item, qty, amount))
+        o.lines
+    in
+    d.d_orders <- { o_id; o_c_id = o.no_c; o_lines } :: d.d_orders
+  | Payment p ->
+    let w = Resource.get t.warehouses.(p.p_w) in
+    w.w_ytd <- w.w_ytd + p.amount;
+    let d = Resource.get t.districts.(p.p_w).(p.p_d) in
+    d.d_ytd <- d.d_ytd + p.amount;
+    let c = Resource.get (customer_res t ~w:p.p_w ~d:p.p_d ~c:p.p_c) in
+    c.c_balance <- c.c_balance - p.amount;
+    c.c_ytd_payment <- c.c_ytd_payment + p.amount;
+    c.c_payment_cnt <- c.c_payment_cnt + 1
+
+let run_parallel ?rw ?workers t txns =
+  Core.Runtime.run_log ?workers (footprint ?rw t) (execute t) txns
+
+let run_sequential t txns = Core.Runtime.run_sequential (execute t) txns
+
+(* ---- consistency / determinism witnesses ---- *)
+
+let mix acc v = (acc * 1_000_003) + v
+
+let digest t =
+  let acc = ref 0 in
+  Array.iter (fun w -> acc := mix !acc (Resource.get w).w_ytd) t.warehouses;
+  Array.iter
+    (fun ds ->
+      Array.iter
+        (fun dr ->
+          let d = Resource.get dr in
+          acc := mix (mix (mix !acc d.d_ytd) d.d_next_o_id) (List.length d.d_orders);
+          List.iter
+            (fun o ->
+              acc := mix (mix !acc o.o_id) o.o_c_id;
+              Array.iter (fun (i, q, a) -> acc := mix (mix (mix !acc i) q) a) o.o_lines)
+            d.d_orders)
+        ds)
+    t.districts;
+  Array.iter
+    (fun cs ->
+      Array.iter
+        (fun cr ->
+          let c = Resource.get cr in
+          acc := mix (mix (mix !acc c.c_balance) c.c_ytd_payment) c.c_payment_cnt)
+        cs)
+    t.customers;
+  Array.iter
+    (fun ss ->
+      Array.iter
+        (fun sr ->
+          let s = Resource.get sr in
+          acc := mix (mix (mix !acc s.s_quantity) s.s_ytd) s.s_order_cnt)
+        ss)
+    t.stocks;
+  !acc
+
+let warehouse_ytd t ~w = (Resource.get t.warehouses.(w)).w_ytd
+
+let district_next_o_id t ~w ~d = (Resource.get t.districts.(w).(d)).d_next_o_id
+
+let district_order_count t ~w ~d = List.length (Resource.get t.districts.(w).(d)).d_orders
+
+let district_ytd t ~w ~d = (Resource.get t.districts.(w).(d)).d_ytd
+
+let customer_balance t ~w ~d ~c = (Resource.get (customer_res t ~w ~d ~c)).c_balance
+
+let stock_quantity t ~w ~i = (Resource.get t.stocks.(w).(i)).s_quantity
+
+let stock_ytd_total t =
+  Array.fold_left
+    (fun acc ss ->
+      Array.fold_left (fun acc sr -> acc + (Resource.get sr).s_ytd) acc ss)
+    0 t.stocks
+
+let check_consistency t ~expected_payments ~expected_orders =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let total_orders = ref 0 in
+  let total_payments_cnt = ref 0 in
+  for w = 0 to t.cfg.warehouses - 1 do
+    let district_ytd_sum = ref 0 in
+    for d = 0 to 9 do
+      let dis = Resource.get t.districts.(w).(d) in
+      let n_orders = List.length dis.d_orders in
+      total_orders := !total_orders + n_orders;
+      district_ytd_sum := !district_ytd_sum + dis.d_ytd;
+      if dis.d_next_o_id <> n_orders + 1 then
+        err "district (%d,%d): next_o_id %d but %d orders" w d dis.d_next_o_id n_orders;
+      (* order ids must be exactly 1..n (uniqueness + no gaps) *)
+      let ids = List.map (fun o -> o.o_id) dis.d_orders in
+      let sorted = List.sort compare ids in
+      if sorted <> List.init n_orders (fun i -> i + 1) then
+        err "district (%d,%d): order ids not dense" w d
+    done;
+    if warehouse_ytd t ~w <> !district_ytd_sum then
+      err "warehouse %d: w_ytd %d <> sum of district ytd %d" w (warehouse_ytd t ~w)
+        !district_ytd_sum
+  done;
+  Array.iter
+    (fun cs ->
+      Array.iter
+        (fun cr ->
+          let c = Resource.get cr in
+          total_payments_cnt := !total_payments_cnt + c.c_payment_cnt;
+          if c.c_balance <> -c.c_ytd_payment then
+            err "customer: balance %d <> -ytd %d" c.c_balance c.c_ytd_payment)
+        cs)
+    t.customers;
+  if !total_orders <> expected_orders then
+    err "total orders %d <> expected %d" !total_orders expected_orders;
+  if !total_payments_cnt <> expected_payments then
+    err "total payments %d <> expected %d" !total_payments_cnt expected_payments;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)

@@ -1,0 +1,81 @@
+(** A real (executable) TPC-C NewOrder/Payment database on the DORADD
+    runtime — the workload behind Figure 6's TPCC-NP experiment, here as
+    actual table mutations rather than a cost model, so that the
+    integration tests can check TPC-C's consistency conditions after
+    genuinely parallel execution.
+
+    Simplifications relative to full TPC-C (documented in DESIGN.md):
+    only NewOrder and Payment (the TPCC-NP mix); order rows live inside
+    their district resource (inserts are then covered by the district's
+    exclusive access, exactly how the paper's programming model bundles
+    state with resources); money is integer cents.
+
+    The {e split} footprint variant reproduces §5.1's DORADD-split: the
+    warehouse access is isolated so the rest of the transaction does not
+    serialise on the warehouse row.  [execute] is identical either way —
+    splitting only changes scheduling. *)
+
+type t
+
+type config = { warehouses : int; customers_per_district : int; items : int }
+
+val default_config : config
+(** 1 warehouse, 3000 customers/district, 100k items — TPC-C scale per
+    warehouse. *)
+
+val create : config -> t
+
+val config : t -> config
+
+(** {1 Transactions} *)
+
+type new_order = {
+  no_w : int;
+  no_d : int;
+  no_c : int;
+  lines : (int * int) array;  (** (item id, quantity) *)
+}
+
+type payment = { p_w : int; p_d : int; p_c : int; amount : int (** cents *) }
+
+type txn = New_order of new_order | Payment of payment
+
+val generate : t -> Doradd_stats.Rng.t -> n:int -> txn array
+(** Equal NewOrder/Payment mix, 5–15 order lines, warehouse/district/
+    customer drawn uniformly — the §5.1 TPCC-NP configuration. *)
+
+val footprint : ?rw:bool -> t -> txn -> Doradd_core.Footprint.t
+(** [rw=false]: every access exclusive (paper semantics).  [rw=true]:
+    NewOrder's warehouse/customer reads use shared mode. *)
+
+val execute : t -> txn -> unit
+
+val run_parallel : ?rw:bool -> ?workers:int -> t -> txn array -> unit
+
+val run_sequential : t -> txn array -> unit
+
+(** {1 Consistency checks (used by the integration tests)} *)
+
+val digest : t -> int
+(** Deterministic checksum of the entire database state. *)
+
+val warehouse_ytd : t -> w:int -> int
+
+val district_next_o_id : t -> w:int -> d:int -> int
+
+val district_order_count : t -> w:int -> d:int -> int
+
+val district_ytd : t -> w:int -> d:int -> int
+
+val customer_balance : t -> w:int -> d:int -> c:int -> int
+
+val stock_quantity : t -> w:int -> i:int -> int
+
+val stock_ytd_total : t -> int
+(** Sum of s_ytd over all stock rows = total quantity ever ordered. *)
+
+val check_consistency : t -> expected_payments:int -> expected_orders:int -> (unit, string) result
+(** TPC-C-style consistency conditions: per-district
+    [d_next_o_id - 1 = #orders]; total orders and payments match the
+    executed log; warehouse ytd equals the sum of its districts' payment
+    amounts. *)

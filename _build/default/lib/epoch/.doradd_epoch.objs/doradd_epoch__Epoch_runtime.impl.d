@@ -1,0 +1,1 @@
+lib/epoch/epoch_runtime.ml: Array Atomic Domain Doradd_queue Hashtbl List

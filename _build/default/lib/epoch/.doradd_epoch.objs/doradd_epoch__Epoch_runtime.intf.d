@@ -1,0 +1,1 @@
+lib/epoch/epoch_runtime.mli:

@@ -1,0 +1,52 @@
+module Backoff = Doradd_queue.Backoff
+
+let run_log ?(workers = 4) ?(epoch_size = 1024) ~footprint ~execute log =
+  if workers <= 0 || epoch_size <= 0 then invalid_arg "Epoch_runtime.run_log";
+  let n = Array.length log in
+  (* last writer of each key, within the current epoch (reset at the
+     barrier: cross-epoch dependencies are subsumed by the barrier) *)
+  let last_writer = Hashtbl.create 4096 in
+  let epoch_start = ref 0 in
+  while !epoch_start < n do
+    let first = !epoch_start in
+    let last = min (first + epoch_size) n - 1 in
+    let size = last - first + 1 in
+    (* phase 1: sequential dependency analysis *)
+    Hashtbl.reset last_writer;
+    let deps = Array.make size [] in
+    for i = first to last do
+      let keys = footprint log.(i) in
+      let self = i - first in
+      Array.iter
+        (fun k ->
+          (match Hashtbl.find_opt last_writer k with
+          | Some j when j <> self -> if not (List.mem j deps.(self)) then deps.(self) <- j :: deps.(self)
+          | _ -> ());
+          Hashtbl.replace last_writer k self)
+        keys
+    done;
+    (* phase 2: static partitions, in-order per domain, busy-wait on
+       dependencies *)
+    let finished = Array.init size (fun _ -> Atomic.make false) in
+    let domains =
+      Array.init workers (fun w ->
+          Domain.spawn (fun () ->
+              let b = Backoff.create () in
+              let i = ref w in
+              while !i < size do
+                List.iter
+                  (fun j ->
+                    Backoff.reset b;
+                    while not (Atomic.get finished.(j)) do
+                      Backoff.once b
+                    done)
+                  deps.(!i);
+                execute log.(first + !i);
+                Atomic.set finished.(!i) true;
+                i := !i + workers
+              done))
+    in
+    (* barrier *)
+    Array.iter Domain.join domains;
+    epoch_start := last + 1
+  done

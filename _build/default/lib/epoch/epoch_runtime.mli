@@ -1,0 +1,33 @@
+(** A real (executable) epoch-based deterministic engine on OCaml domains —
+    the Caracal/Bohm execution discipline, built so the repository contains
+    a running instance of the design DORADD argues against, and so the two
+    approaches can be cross-checked for identical outcomes on real
+    parallel hardware.
+
+    Per epoch of [epoch_size] requests:
+
+    + a sequential analysis phase computes, for every request, its
+      within-epoch dependencies (the latest earlier request writing any of
+      its keys) — the moral equivalent of Caracal's version-array
+      initialisation;
+    + an execution phase runs the epoch on [workers] domains with a
+      {e static} partition (request i on domain [i mod workers], Caracal's
+      core lists); each domain processes its list {e in order},
+      busy-waiting until each request's dependencies have completed —
+      pitfalls P2 (head-of-line blocking, busy-wait) by construction;
+    + a barrier: the next epoch starts only when every domain finishes.
+
+    Deterministic for the same reason Caracal is: per-key access order
+    follows the log, and epochs are totally ordered. *)
+
+val run_log :
+  ?workers:int ->
+  ?epoch_size:int ->
+  footprint:('a -> int array) ->
+  execute:('a -> unit) ->
+  'a array ->
+  unit
+(** [run_log ~footprint ~execute log] replays the log.  [footprint] maps a
+    request to the integer keys it accesses (all treated as writes, like
+    the paper's DORADD configuration); [execute] must touch only state
+    reachable from those keys.  Defaults: 4 workers, epochs of 1024. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Doradd_baselines Doradd_sim Doradd_stats Doradd_workload List Mode Printf

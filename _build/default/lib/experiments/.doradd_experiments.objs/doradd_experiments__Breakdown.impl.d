@@ -1,0 +1,1 @@
+lib/experiments/breakdown.ml: Doradd_baselines Doradd_sim Doradd_stats Doradd_workload List Mode Printf

@@ -1,0 +1,1 @@
+lib/experiments/csv.ml: Doradd_stats

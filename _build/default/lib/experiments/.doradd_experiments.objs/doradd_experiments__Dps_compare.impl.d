@@ -1,0 +1,1 @@
+lib/experiments/dps_compare.ml: Doradd_baselines Doradd_sim Doradd_stats Doradd_workload List Mode Printf

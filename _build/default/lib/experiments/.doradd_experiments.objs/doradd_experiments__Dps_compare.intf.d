@@ -1,0 +1,1 @@
+lib/experiments/dps_compare.mli: Mode

@@ -1,0 +1,1 @@
+lib/experiments/efficiency.ml: Doradd_baselines Doradd_stats Doradd_workload List Mode

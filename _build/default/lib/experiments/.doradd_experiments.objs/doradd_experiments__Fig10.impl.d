@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Doradd_baselines Doradd_stats List

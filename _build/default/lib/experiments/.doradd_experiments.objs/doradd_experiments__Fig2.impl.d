@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Doradd_baselines Doradd_stats Doradd_workload List Mode Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Doradd_baselines Doradd_stats Doradd_workload Hashtbl List Mode Printf Sweep

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Doradd_baselines Doradd_stats List

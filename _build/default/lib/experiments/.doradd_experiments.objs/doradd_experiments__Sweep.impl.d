@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Doradd_baselines Doradd_sim Doradd_stats List Mode Printf

@@ -1,0 +1,41 @@
+(** Ablations beyond the paper's figures, for the design choices DESIGN.md
+    calls out.
+
+    - {b read–write modes}: the paper treats every access as exclusive and
+      leaves a reader/writer distinction as future work (§3.2).  We
+      implemented it; this ablation measures what it buys on a read-hot
+      workload.
+    - {b work conservation}: DORADD's shared runnable set vs the static
+      request-to-core mapping of Bohm/Granola (pitfall P2, Figure 1),
+      measured on the straggler workload.
+    - {b admission window}: sensitivity of the asynchronous-mutex baseline
+      to its in-flight bound under skew — parked requests hold locks, so
+      an unbounded population convoys (motivates the M_nondet default).
+    - {b adaptive-batch bound}: batch-accurate pipeline simulation of the
+      dispatcher's SPSC signalling amortisation (why the paper picks a
+      max batch of 8). *)
+
+type rw_result = { all_write : float; read_write : float }
+
+type conserve_result = {
+  load : float;  (** offered load of the latency comparison *)
+  wc_p99 : int;
+  static_p99 : int;
+  wc_peak : float;
+  static_peak : float;
+}
+
+type window_row = { window : int; throughput : float }
+
+type batch_row = { max_batch : int; throughput : float }
+
+type result = {
+  rw : rw_result;
+  conserve : conserve_result;
+  windows : window_row list;
+  batches : batch_row list;  (** adaptive-batch bound sweep (§3.4) *)
+}
+
+val measure : mode:Mode.t -> result
+val print : result -> unit
+val run : mode:Mode.t -> unit

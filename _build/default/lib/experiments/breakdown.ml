@@ -1,0 +1,71 @@
+module B = Doradd_baselines
+module W = Doradd_workload
+module S = Doradd_stats
+module Metrics = Doradd_sim.Metrics
+module Histogram = S.Histogram
+
+type row = {
+  load_frac : float;
+  dispatch_wait_p99 : int;
+  dag_wait_p99 : int;
+  ready_wait_p99 : int;
+  execution_p99 : int;
+  total_p99 : int;
+}
+
+type result = { workload : string; rows : row list }
+
+let one ~mode ~contention ~name ~seed =
+  let n = Mode.scale mode ~smoke:5_000 ~fast:50_000 ~full:500_000 in
+  let cfg = W.Ycsb.config contention in
+  let log = W.Ycsb.to_sim (W.Ycsb.generate cfg (S.Rng.create seed) ~n) in
+  let doradd = B.M_doradd.config ~workers:20 ~keys_per_req:10 () in
+  let peak = B.M_doradd.max_throughput doradd ~log in
+  let rows =
+    List.map
+      (fun load_frac ->
+        let bd = B.M_doradd.breakdown () in
+        let m =
+          B.M_doradd.run ~breakdown:bd doradd
+            ~arrivals:(B.Load.Poisson { rate = load_frac *. peak; seed })
+            ~log
+        in
+        {
+          load_frac;
+          dispatch_wait_p99 = Histogram.percentile bd.B.M_doradd.dispatch_wait 99.0;
+          dag_wait_p99 = Histogram.percentile bd.B.M_doradd.dag_wait 99.0;
+          ready_wait_p99 = Histogram.percentile bd.B.M_doradd.ready_wait 99.0;
+          execution_p99 = Histogram.percentile bd.B.M_doradd.execution 99.0;
+          total_p99 = Metrics.p99 m;
+        })
+      [ 0.5; 0.8; 0.95 ]
+  in
+  { workload = name; rows }
+
+let measure ~mode =
+  [
+    one ~mode ~contention:W.Ycsb.No_contention ~name:"YCSB no-contention" ~seed:111;
+    one ~mode ~contention:W.Ycsb.High_contention ~name:"YCSB high-contention" ~seed:112;
+  ]
+
+let print results =
+  List.iter
+    (fun r ->
+      S.Table.print
+        ~title:(Printf.sprintf "Latency breakdown (p99 per component): %s" r.workload)
+        ~header:[ "load"; "dispatch-queue"; "DAG wait"; "ready wait"; "execution"; "total p99" ]
+        (List.map
+           (fun row ->
+             [
+               Printf.sprintf "%.0f%%" (100.0 *. row.load_frac);
+               S.Table.fmt_ns row.dispatch_wait_p99;
+               S.Table.fmt_ns row.dag_wait_p99;
+               S.Table.fmt_ns row.ready_wait_p99;
+               S.Table.fmt_ns row.execution_p99;
+               S.Table.fmt_ns row.total_p99;
+             ])
+           r.rows);
+      print_newline ())
+    results
+
+let run ~mode = print (measure ~mode)

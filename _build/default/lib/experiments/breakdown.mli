@@ -1,0 +1,25 @@
+(** Analysis experiment (beyond the paper's figures): where does a
+    DORADD request's latency go?
+
+    Decomposes the sojourn time of uncontended and contended YCSB
+    requests at increasing load into: dispatcher-station queueing,
+    dependency (DAG) wait, runnable-set wait for a worker, and
+    execution.  Shows the paper's latency story mechanically: under low
+    contention the tail comes from dispatcher/worker queueing (stays µs
+    until saturation); under contention it is dominated by dependency
+    waits — which are inherent to the workload, not to the runtime. *)
+
+type row = {
+  load_frac : float;
+  dispatch_wait_p99 : int;
+  dag_wait_p99 : int;
+  ready_wait_p99 : int;
+  execution_p99 : int;
+  total_p99 : int;
+}
+
+type result = { workload : string; rows : row list }
+
+val measure : mode:Mode.t -> result list
+val print : result list -> unit
+val run : mode:Mode.t -> unit

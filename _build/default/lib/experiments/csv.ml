@@ -1,0 +1,1 @@
+let enable () = Doradd_stats.Table.set_format Doradd_stats.Table.Csv

@@ -1,0 +1,5 @@
+(** CSV output mode for the experiment tables (plumbing for the CLI's
+    [--csv] flag). *)
+
+val enable : unit -> unit
+(** Switch every subsequently printed table to CSV. *)

@@ -1,0 +1,54 @@
+module B = Doradd_baselines
+module W = Doradd_workload
+module S = Doradd_stats
+module Metrics = Doradd_sim.Metrics
+
+type row = { system : string; peak : float; p99_at_80 : int }
+
+type result = { workload : string; rows : row list }
+
+let probe ~label ~seed run_at =
+  let peak = Metrics.throughput (run_at (B.Load.Uniform { rate = B.Load.overload_rate })) in
+  let m = run_at (B.Load.Poisson { rate = 0.8 *. peak; seed }) in
+  { system = label; peak; p99_at_80 = Metrics.p99 m }
+
+let one ~mode ~contention ~name ~seed =
+  let n = Mode.scale mode ~smoke:5_000 ~fast:60_000 ~full:500_000 in
+  let cfg = W.Ycsb.config contention in
+  let log = W.Ycsb.to_sim (W.Ycsb.generate cfg (S.Rng.create seed) ~n) in
+  let doradd = B.M_doradd.config ~workers:20 ~keys_per_req:10 () in
+  let caracal = B.M_caracal.config ~epoch_size:10_000 () in
+  let calvin = B.M_calvin.config ~epoch_size:10_000 () in
+  let single = B.M_single.config () in
+  {
+    workload = name;
+    rows =
+      [
+        probe ~label:"DORADD" ~seed (fun a -> B.M_doradd.run doradd ~arrivals:a ~log);
+        probe ~label:"Caracal ES=10k" ~seed (fun a -> B.M_caracal.run caracal ~arrivals:a ~log);
+        probe ~label:"Calvin ES=10k" ~seed (fun a -> B.M_calvin.run calvin ~arrivals:a ~log);
+        probe ~label:"single-thread" ~seed (fun a -> B.M_single.run single ~arrivals:a ~log);
+      ];
+  }
+
+let measure ~mode =
+  [
+    one ~mode ~contention:W.Ycsb.No_contention ~name:"YCSB no-contention" ~seed:101;
+    one ~mode ~contention:W.Ycsb.Mod_contention ~name:"YCSB mod-contention" ~seed:102;
+    one ~mode ~contention:W.Ycsb.High_contention ~name:"YCSB high-contention" ~seed:103;
+  ]
+
+let print results =
+  List.iter
+    (fun r ->
+      S.Table.print
+        ~title:(Printf.sprintf "DPS comparison: %s" r.workload)
+        ~header:[ "system"; "peak"; "p99 @ 80% load" ]
+        (List.map
+           (fun row ->
+             [ row.system; S.Table.fmt_rate row.peak; S.Table.fmt_ns row.p99_at_80 ])
+           r.rows);
+      print_newline ())
+    results
+
+let run ~mode = print (measure ~mode)

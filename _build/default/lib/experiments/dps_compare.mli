@@ -1,0 +1,18 @@
+(** Extension experiment (beyond the paper's figures): DORADD against the
+    two classic deterministic databases it cites — Caracal (epoch MVCC)
+    and Calvin (epoch + centralised lock manager) — plus the
+    single-threaded executor as the zero-parallelism floor, on the
+    YCSB contention levels of Table 1.
+
+    Expected shape: all DPS beat single-threaded when uncontended; Calvin
+    is bottlenecked by its serial lock manager; Caracal and Calvin both
+    carry ms-scale epoch latency; DORADD matches or beats their peaks at
+    µs-scale tails. *)
+
+type row = { system : string; peak : float; p99_at_80 : int }
+
+type result = { workload : string; rows : row list }
+
+val measure : mode:Mode.t -> result list
+val print : result list -> unit
+val run : mode:Mode.t -> unit

@@ -1,0 +1,39 @@
+module B = Doradd_baselines
+module W = Doradd_workload
+module S = Doradd_stats
+
+type row = { cores : int; throughput : float }
+
+type result = { doradd : row list; caracal : row list }
+
+let measure ~mode =
+  let n = Mode.scale mode ~smoke:4_000 ~fast:50_000 ~full:500_000 in
+  let cfg = W.Ycsb.config W.Ycsb.No_contention in
+  let log = W.Ycsb.to_sim (W.Ycsb.generate cfg (S.Rng.create 51) ~n) in
+  let doradd =
+    List.map
+      (fun w ->
+        let c = B.M_doradd.config ~workers:w ~keys_per_req:10 () in
+        { cores = w; throughput = B.M_doradd.max_throughput c ~log })
+      [ 2; 4; 8; 12; 16; 20 ]
+  in
+  let caracal =
+    List.map
+      (fun cores ->
+        let c = B.M_caracal.config ~cores ~epoch_size:10_000 () in
+        { cores; throughput = B.M_caracal.max_throughput c ~log })
+      [ 8; 16; 23 ]
+  in
+  { doradd; caracal }
+
+let print r =
+  let table title rows =
+    S.Table.print ~title
+      ~header:[ "cores"; "peak" ]
+      (List.map (fun x -> [ string_of_int x.cores; S.Table.fmt_rate x.throughput ]) rows);
+    print_newline ()
+  in
+  table "Efficiency: DORADD worker-count sweep, uncontended YCSB (paper: saturates at 8)" r.doradd;
+  table "Efficiency: Caracal core-count sweep (paper: 16 cores = 0.7x of 23)" r.caracal
+
+let run ~mode = print (measure ~mode)

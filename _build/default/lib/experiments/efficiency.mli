@@ -1,0 +1,13 @@
+(** §5.1 "Efficiency" — core-count sensitivity on uncontended YCSB.
+
+    Paper shape: DORADD reaches its peak with only 8 worker cores (the
+    dispatcher, not the workers, limits it); Caracal needs all 23 cores
+    and delivers 0.7× of its peak with 16. *)
+
+type row = { cores : int; throughput : float }
+
+type result = { doradd : row list; caracal : row list }
+
+val measure : mode:Mode.t -> result
+val print : result -> unit
+val run : mode:Mode.t -> unit

@@ -1,0 +1,28 @@
+module B = Doradd_baselines
+module S = Doradd_stats
+
+type row = { cores : int; read_tput : float; write_tput : float }
+
+type result = row list
+
+let measure ~mode =
+  ignore mode;
+  List.map
+    (fun cores ->
+      {
+        cores;
+        read_tput = B.Pipeline_model.max_throughput B.Pipeline_model.Read ~cores;
+        write_tput = B.Pipeline_model.max_throughput B.Pipeline_model.Write ~cores;
+      })
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let print rows =
+  S.Table.print ~title:"Figure 10: minimal-pipeline peak vs core count (queue depth 4, batch 8)"
+    ~header:[ "cores"; "read"; "write" ]
+    (List.map
+       (fun r ->
+         [ string_of_int r.cores; S.Table.fmt_rate r.read_tput; S.Table.fmt_rate r.write_tput ])
+       rows);
+  print_newline ()
+
+let run ~mode = print (measure ~mode)

@@ -1,0 +1,15 @@
+(** Figure 10 — limits of the pipelined design: peak throughput of a
+    minimal pipeline (each stage a single read or write on the shared
+    ring entry) as stages are added.
+
+    Paper shape: every added core lowers peak throughput (inter-core
+    communication), and all-write pipelines sit below all-read ones (the
+    shared cache line ping-pongs in Modified state). *)
+
+type row = { cores : int; read_tput : float; write_tput : float }
+
+type result = row list
+
+val measure : mode:Mode.t -> result
+val print : result -> unit
+val run : mode:Mode.t -> unit

@@ -1,0 +1,74 @@
+module B = Doradd_baselines
+module W = Doradd_workload
+module S = Doradd_stats
+
+type row = { label : string; throughput : float; pct_of_ideal : float; paper_pct : float }
+
+type result = { ideal_batch : float; ideal_straggler : float; rows : row list }
+
+let total_cores = 16
+let service = 5_000
+let straggler_service = 20_000_000
+
+let measure ~mode =
+  let n = Mode.scale mode ~smoke:5_000 ~fast:100_000 ~full:500_000 in
+  let n_straggler = Mode.scale mode ~smoke:20_000 ~fast:200_000 ~full:1_000_000 in
+  (* DORADD: 3 dispatcher cores + 13 workers; Caracal: all 16 cores.
+     Caracal runs the spin workload without MVCC row work, so its
+     execution factor is near 1 here (the spin dominates). *)
+  let doradd = B.M_doradd.config ~workers:(total_cores - 3) ~dispatch_cores:3 ~keys_per_req:10 () in
+  let caracal_a =
+    B.M_caracal.config ~cores:total_cores ~epoch_size:100 ~exec_factor:1.05
+      ~epoch_overhead_ns:10_000 ()
+  in
+  let caracal_b = { caracal_a with B.M_caracal.epoch_size = 10_000 } in
+  (* (a) contended batches of 100 sharing a hot key *)
+  let log_a = W.Synthetic.contended_batches ~batch_size:100 ~service (S.Rng.create 21) ~n in
+  let ideal_batch = float_of_int total_cores /. (float_of_int service /. 1e9) in
+  let d_a = B.M_doradd.max_throughput doradd ~log:log_a in
+  let c_a = B.M_caracal.max_throughput caracal_a ~log:log_a in
+  (* (b) one 20 ms straggler per 10k requests; the ideal accounts for the
+     straggler's own work (mean service of the mix) *)
+  let log_b =
+    W.Synthetic.stragglers ~batch_size:10_000 ~service ~straggler_service (S.Rng.create 22)
+      ~n:n_straggler
+  in
+  let mean_service =
+    (float_of_int ((9_999 * service) + straggler_service)) /. 10_000.0
+  in
+  let ideal_straggler = float_of_int total_cores /. (mean_service /. 1e9) in
+  let d_b = B.M_doradd.max_throughput doradd ~log:log_b in
+  let c_b = B.M_caracal.max_throughput caracal_b ~log:log_b in
+  let pct x ideal = 100.0 *. x /. ideal in
+  {
+    ideal_batch;
+    ideal_straggler;
+    rows =
+      [
+        { label = "contended-batches DORADD"; throughput = d_a; pct_of_ideal = pct d_a ideal_batch; paper_pct = 81.0 };
+        { label = "contended-batches Caracal"; throughput = c_a; pct_of_ideal = pct c_a ideal_batch; paper_pct = 6.0 };
+        { label = "stragglers DORADD"; throughput = d_b; pct_of_ideal = pct d_b ideal_straggler; paper_pct = 81.0 };
+        { label = "stragglers Caracal"; throughput = c_b; pct_of_ideal = pct c_b ideal_straggler; paper_pct = 12.0 };
+      ];
+  }
+
+let print r =
+  S.Table.print
+    ~title:
+      (Printf.sprintf
+         "Figure 2: synthetic read-spin-write, 16 cores (ideal: batches %s, stragglers %s)"
+         (S.Table.fmt_rate r.ideal_batch)
+         (S.Table.fmt_rate r.ideal_straggler))
+    ~header:[ "case/system"; "throughput"; "% of ideal"; "paper %" ]
+    (List.map
+       (fun row ->
+         [
+           row.label;
+           S.Table.fmt_rate row.throughput;
+           S.Table.fmt_float ~decimals:1 row.pct_of_ideal;
+           S.Table.fmt_float ~decimals:0 row.paper_pct;
+         ])
+       r.rows);
+  print_newline ()
+
+let run ~mode = print (measure ~mode)

@@ -1,0 +1,24 @@
+(** Figure 2 — motivating experiment: Caracal vs DORADD peak throughput on
+    the two synthetic read-spin-write workloads of §2, reported as a
+    percentage of the ideal (all 16 cores doing useful work).
+
+    Paper shape: contended batches — Caracal ≈ 6% of ideal (near-serial
+    execution, one core per epoch), DORADD ≈ 81% (13 of 16 cores are
+    workers; conflicting requests share a core, independent batches fill
+    the rest).  Stragglers — Caracal collapses (the 20 ms straggler holds
+    every epoch barrier), DORADD stays resilient. *)
+
+type row = {
+  label : string;
+  throughput : float;
+  pct_of_ideal : float;
+  paper_pct : float;  (** the percentage the paper reports, for reference *)
+}
+
+type result = { ideal_batch : float; ideal_straggler : float; rows : row list }
+
+val measure : mode:Mode.t -> result
+val print : result -> unit
+
+val run : mode:Mode.t -> unit
+(** [measure] then [print]. *)

@@ -1,0 +1,18 @@
+(** Figure 6 — YCSB and TPCC-NP latency vs throughput: DORADD against
+    Caracal at several epoch sizes ("Caracal ES"), plus DORADD-split on
+    the single-warehouse TPC-C.
+
+    Paper shape: similar peak throughput when uncontended; DORADD up to
+    2.5× higher when contended; DORADD tail latency >150× (uncontended)
+    and >300× (contended) lower, because Caracal's latency floor is its
+    epoch fill + two-phase execution.  On 1-warehouse TPC-C, naive DORADD
+    serialises (warehouse row in every footprint), DORADD-split reaches
+    1.65 Mrps vs Caracal's 1.2 Mrps. *)
+
+type workload_result = { workload : string; paper_note : string; systems : Sweep.system list }
+
+type result = workload_result list
+
+val measure : mode:Mode.t -> result
+val print : result -> unit
+val run : mode:Mode.t -> unit

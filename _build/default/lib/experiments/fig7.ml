@@ -1,0 +1,92 @@
+module B = Doradd_baselines
+module W = Doradd_workload
+module S = Doradd_stats
+
+type theta_point = { theta : float; doradd : float; async_mutex : float; spinlock : float }
+
+type result = {
+  latency_5us : Sweep.system list;
+  latency_100us : Sweep.system list;
+  sla_5us : (string * float) list;  (** throughput at the 1 ms p99 SLA *)
+  theta_sweep : theta_point list;
+}
+
+(* §5.2 setup: 8 workers, 1 dispatcher core, UDP RPCs (per-request RPC
+   handling charged to the worker). *)
+let doradd_cfg =
+  B.M_doradd.config ~workers:8 ~dispatch_cores:1 ~service_extra_ns:B.Params.rpc_overhead_ns
+    ~keys_per_req:10 ()
+
+let async_cfg = B.M_nondet.config ~service_extra_ns:B.Params.rpc_overhead_ns B.M_nondet.Async_mutex
+let spin_cfg = B.M_nondet.config ~service_extra_ns:B.Params.rpc_overhead_ns B.M_nondet.Spinlock
+
+let systems =
+  [
+    ("DORADD", fun ~arrivals ~log -> B.M_doradd.run doradd_cfg ~arrivals ~log);
+    ("async-mutex", fun ~arrivals ~log -> B.M_nondet.run async_cfg ~arrivals ~log);
+    ("spinlock", fun ~arrivals ~log -> B.M_nondet.run spin_cfg ~arrivals ~log);
+  ]
+
+let latency_table ~mode ~seed ~log =
+  List.map
+    (fun (label, run) -> Sweep.probe ~mode ~label ~seed (fun arrivals -> run ~arrivals ~log))
+    systems
+
+let thetas mode =
+  match mode with
+  | Mode.Smoke -> [ 0.0; 0.99 ]
+  | Mode.Fast -> [ 0.0; 0.5; 0.8; 0.9; 0.99 ]
+  | Mode.Full -> [ 0.0; 0.5; 0.7; 0.8; 0.9; 0.95; 0.99; 1.1 ]
+
+let measure ~mode =
+  let n = Mode.scale mode ~smoke:3_000 ~fast:30_000 ~full:300_000 in
+  let log5 = W.Synthetic.locks ~service:5_000 (S.Rng.create 71) ~n in
+  let log100 =
+    W.Synthetic.locks ~service:100_000 (S.Rng.create 72)
+      ~n:(Mode.scale mode ~smoke:2_000 ~fast:10_000 ~full:100_000)
+  in
+  let latency_5us = latency_table ~mode ~seed:73 ~log:log5 in
+  let latency_100us = latency_table ~mode ~seed:74 ~log:log100 in
+  (* the paper's §5.2 criterion: achieved throughput under a 1 ms SLA *)
+  let sla_5us =
+    List.map
+      (fun (label, run) ->
+        (label, Sweep.sla_throughput ~seed:76 (fun arrivals -> run ~arrivals ~log:log5)))
+      systems
+  in
+  let theta_sweep =
+    List.map
+      (fun theta ->
+        let log = W.Synthetic.locks ~theta ~service:5_000 (S.Rng.create 75) ~n in
+        {
+          theta;
+          doradd = B.M_doradd.max_throughput doradd_cfg ~log;
+          async_mutex = B.M_nondet.max_throughput async_cfg ~log;
+          spinlock = B.M_nondet.max_throughput spin_cfg ~log;
+        })
+      (thetas mode)
+  in
+  { latency_5us; latency_100us; sla_5us; theta_sweep }
+
+let print r =
+  Sweep.print ~title:"Figure 7: lock service, 5 us, uniform keys (8 workers + 1 dispatcher)"
+    r.latency_5us;
+  Sweep.print ~title:"Figure 7: lock service, 100 us, uniform keys" r.latency_100us;
+  S.Table.print ~title:"Figure 7: throughput under a 1 ms p99 SLA (5 us, uniform)"
+    ~header:[ "system"; "SLA throughput" ]
+    (List.map (fun (label, t) -> [ label; S.Table.fmt_rate t ]) r.sla_5us);
+  print_newline ();
+  S.Table.print ~title:"Figure 7: peak throughput vs Zipf theta (5 us)"
+    ~header:[ "theta"; "DORADD"; "async-mutex"; "spinlock" ]
+    (List.map
+       (fun p ->
+         [
+           S.Table.fmt_float ~decimals:2 p.theta;
+           S.Table.fmt_rate p.doradd;
+           S.Table.fmt_rate p.async_mutex;
+           S.Table.fmt_rate p.spinlock;
+         ])
+       r.theta_sweep);
+  print_newline ()
+
+let run ~mode = print (measure ~mode)

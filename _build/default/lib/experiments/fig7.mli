@@ -1,0 +1,25 @@
+(** Figure 7 — the cost of determinism: DORADD vs the non-deterministic
+    schedulers (Caladan-style asynchronous mutex, spinlock) on the
+    synthetic lock-service application.
+
+    Paper shape: with uniform keys the three systems track each other —
+    determinism adds no overhead under a latency SLA, DORADD slightly
+    ahead on short (5 µs) requests because workers do no atomics.  Under
+    high skew (θ > 0.9) the paper measures the non-deterministic systems
+    up to 15% above DORADD; our lock model keeps the three within that
+    band but with DORADD ahead — see EXPERIMENTS.md for the discussion. *)
+
+type theta_point = { theta : float; doradd : float; async_mutex : float; spinlock : float }
+
+type result = {
+  latency_5us : Sweep.system list;
+  latency_100us : Sweep.system list;
+  sla_5us : (string * float) list;
+      (** per system, the maximum load meeting a 1 ms p99 SLA — the
+          paper's zero-overhead-determinism criterion *)
+  theta_sweep : theta_point list;
+}
+
+val measure : mode:Mode.t -> result
+val print : result -> unit
+val run : mode:Mode.t -> unit

@@ -1,0 +1,59 @@
+module B = Doradd_baselines
+module W = Doradd_workload
+module S = Doradd_stats
+
+type result = {
+  max_nonreplicated : float;
+  max_replicated : float;
+  max_single : float;
+  systems : Sweep.system list;
+}
+
+let measure ~mode =
+  let n = Mode.scale mode ~smoke:3_000 ~fast:40_000 ~full:400_000 in
+  (* the 5 us uniform synthetic application of §5.2 *)
+  let log = W.Synthetic.locks ~service:5_000 (S.Rng.create 81) ~n in
+  let exec =
+    B.M_doradd.config ~workers:8 ~dispatch_cores:1 ~service_extra_ns:B.Params.rpc_overhead_ns
+      ~keys_per_req:10 ()
+  in
+  let configs =
+    [
+      ( "DORADD non-replicated",
+        B.M_replication.config ~replicated:false (B.M_replication.Doradd exec) );
+      ("DORADD replicated", B.M_replication.config ~replicated:true (B.M_replication.Doradd exec));
+      ( "single-thread replicated",
+        B.M_replication.config ~replicated:true
+          (B.M_replication.Single (B.M_single.config ~service_extra_ns:B.Params.rpc_overhead_ns ()))
+      );
+    ]
+  in
+  let systems =
+    List.map
+      (fun (label, cfg) ->
+        Sweep.probe ~mode ~label ~seed:82 (fun arrivals -> B.M_replication.run cfg ~arrivals ~log))
+      configs
+  in
+  match systems with
+  | [ nr; r; single ] ->
+    {
+      max_nonreplicated = nr.Sweep.max_tput;
+      max_replicated = r.Sweep.max_tput;
+      max_single = single.Sweep.max_tput;
+      systems;
+    }
+  | _ -> assert false
+
+let print r =
+  S.Table.print
+    ~title:"Figure 8: primary-backup replication, 5 us uniform (paper: 1.31M / 1.28M / ~0.2M)"
+    ~header:[ "system"; "peak" ]
+    [
+      [ "DORADD non-replicated"; S.Table.fmt_rate r.max_nonreplicated ];
+      [ "DORADD replicated"; S.Table.fmt_rate r.max_replicated ];
+      [ "single-thread replicated"; S.Table.fmt_rate r.max_single ];
+    ];
+  print_newline ();
+  Sweep.print ~title:"Figure 8: client-observed latency" r.systems
+
+let run ~mode = print (measure ~mode)

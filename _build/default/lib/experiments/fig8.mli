@@ -1,0 +1,18 @@
+(** Figure 8 — end-to-end replication use case: active primary-backup with
+    DORADD as the execution engine.
+
+    Paper shape: replicated DORADD keeps nearly the full non-replicated
+    throughput (1.28 vs 1.31 Mrps) while adding only the backup
+    round-trip to latency; the replicated single-threaded executor — the
+    canonical deterministic deployment — is an order of magnitude slower. *)
+
+type result = {
+  max_nonreplicated : float;
+  max_replicated : float;
+  max_single : float;
+  systems : Sweep.system list;  (** client-observed latency curves *)
+}
+
+val measure : mode:Mode.t -> result
+val print : result -> unit
+val run : mode:Mode.t -> unit

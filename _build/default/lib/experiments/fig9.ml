@@ -1,0 +1,50 @@
+module B = Doradd_baselines
+module S = Doradd_stats
+
+type row = { x : int; no_opt : float; prefetch : float; two_core : float; three_core : float }
+
+type result = { keyspace_sweep : row list; keys_sweep : row list }
+
+let row ~keyspace ~keys_per_req x =
+  let t v = B.Dispatch_model.max_throughput v ~keyspace ~keys_per_req in
+  {
+    x;
+    no_opt = t B.Dispatch_model.No_opt;
+    prefetch = t B.Dispatch_model.Prefetch_only;
+    two_core = t B.Dispatch_model.Two_core;
+    three_core = t B.Dispatch_model.Three_core;
+  }
+
+let measure ~mode =
+  ignore mode;
+  (* the model is analytic: mode does not change its cost *)
+  let keyspace_sweep =
+    List.map
+      (fun ks -> row ~keyspace:ks ~keys_per_req:10 ks)
+      [ 1_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000 ]
+  in
+  let keys_sweep =
+    List.map (fun k -> row ~keyspace:10_000_000 ~keys_per_req:k k) [ 1; 2; 5; 10; 20; 40 ]
+  in
+  { keyspace_sweep; keys_sweep }
+
+let print_table title xlabel rows =
+  S.Table.print ~title
+    ~header:[ xlabel; "no-opt"; "prefetch"; "2-core"; "3-core" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.x;
+           S.Table.fmt_rate r.no_opt;
+           S.Table.fmt_rate r.prefetch;
+           S.Table.fmt_rate r.two_core;
+           S.Table.fmt_rate r.three_core;
+         ])
+       rows);
+  print_newline ()
+
+let print r =
+  print_table "Figure 9a: dispatcher peak vs keyspace (10 keys/request)" "keyspace" r.keyspace_sweep;
+  print_table "Figure 9b: dispatcher peak vs keys/request (10M keyspace)" "keys/req" r.keys_sweep
+
+let run ~mode = print (measure ~mode)

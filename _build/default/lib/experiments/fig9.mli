@@ -1,0 +1,16 @@
+(** Figure 9 — contribution of the dispatcher optimisations (prefetching,
+    core pipelining) to peak dispatch throughput.
+
+    (a) sweeps the keyspace at 10 keys/request: as the working set
+    outgrows the LLC, the unoptimised single-core dispatcher collapses to
+    DRAM speed while the pipelined variants hold their throughput.
+    (b) sweeps keys/request at a 10M keyspace: throughput falls with key
+    count and the Spawner is the bottleneck stage. *)
+
+type row = { x : int; no_opt : float; prefetch : float; two_core : float; three_core : float }
+
+type result = { keyspace_sweep : row list; keys_sweep : row list }
+
+val measure : mode:Mode.t -> result
+val print : result -> unit
+val run : mode:Mode.t -> unit

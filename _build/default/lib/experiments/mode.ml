@@ -1,0 +1,11 @@
+type t = Smoke | Fast | Full
+
+let of_string = function
+  | "smoke" -> Some Smoke
+  | "fast" -> Some Fast
+  | "full" -> Some Full
+  | _ -> None
+
+let to_string = function Smoke -> "smoke" | Fast -> "fast" | Full -> "full"
+
+let scale t ~smoke ~fast ~full = match t with Smoke -> smoke | Fast -> fast | Full -> full

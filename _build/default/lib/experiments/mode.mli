@@ -1,0 +1,13 @@
+(** Experiment scale.
+
+    [Smoke] is for the test suite (seconds), [Fast] for `bench/main.exe`
+    (a couple of minutes end to end), [Full] for `bin/experiments.exe
+    --full` (the paper replays 1M-request logs; expect tens of minutes). *)
+
+type t = Smoke | Fast | Full
+
+val of_string : string -> t option
+val to_string : t -> string
+
+val scale : t -> smoke:int -> fast:int -> full:int -> int
+(** Pick a size by mode. *)

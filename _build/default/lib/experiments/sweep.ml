@@ -1,0 +1,68 @@
+module B = Doradd_baselines
+module S = Doradd_stats
+module Metrics = Doradd_sim.Metrics
+
+type point = { load_frac : float; offered : float; achieved : float; p50 : int; p99 : int }
+
+type system = { label : string; max_tput : float; points : point list }
+
+let fracs = function
+  | Mode.Smoke | Mode.Fast -> [ 0.5; 0.8; 0.95 ]
+  | Mode.Full -> [ 0.2; 0.35; 0.5; 0.65; 0.8; 0.9; 0.95; 0.98 ]
+
+let probe ~mode ~label ~seed run_at =
+  let max_tput = Metrics.throughput (run_at (B.Load.Uniform { rate = B.Load.overload_rate })) in
+  let points =
+    List.map
+      (fun load_frac ->
+        let offered = load_frac *. max_tput in
+        let m = run_at (B.Load.Poisson { rate = offered; seed }) in
+        {
+          load_frac;
+          offered;
+          achieved = Metrics.throughput m;
+          p50 = Metrics.p50 m;
+          p99 = Metrics.p99 m;
+        })
+      (fracs mode)
+  in
+  { label; max_tput; points }
+
+let header = [ "system"; "load"; "achieved"; "p50"; "p99" ]
+
+let rows systems =
+  List.concat_map
+    (fun sys ->
+      [ sys.label; "peak"; S.Table.fmt_rate sys.max_tput; "-"; "-" ]
+      :: List.map
+           (fun p ->
+             [
+               sys.label;
+               Printf.sprintf "%.0f%%" (100.0 *. p.load_frac);
+               S.Table.fmt_rate p.achieved;
+               S.Table.fmt_ns p.p50;
+               S.Table.fmt_ns p.p99;
+             ])
+           sys.points)
+    systems
+
+let print ~title systems =
+  S.Table.print ~title ~header (rows systems);
+  print_newline ()
+
+let sla_throughput ?(sla_p99_ns = 1_000_000) ?(iterations = 7) ~seed run_at =
+  let peak = Metrics.throughput (run_at (B.Load.Uniform { rate = B.Load.overload_rate })) in
+  let meets rate =
+    let m = run_at (B.Load.Poisson { rate; seed }) in
+    Metrics.p99 m <= sla_p99_ns
+  in
+  (* bisect on offered load; the peak itself may or may not meet the SLA *)
+  let lo = ref 0.0 and hi = ref peak in
+  if meets peak then peak
+  else begin
+    for _ = 1 to iterations do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if meets mid then lo := mid else hi := mid
+    done;
+    !lo
+  end

@@ -1,0 +1,40 @@
+(** Shared latency-vs-throughput sweep driver.
+
+    The paper's Figures 6, 7 and 8 are latency-vs-throughput curves; every
+    harness produces them the same way: measure the system's peak under
+    overload, then probe Poisson loads at fractions of that peak.  Smoke
+    and fast modes use three probe points; full mode uses a dense curve. *)
+
+type point = { load_frac : float; offered : float; achieved : float; p50 : int; p99 : int }
+
+type system = { label : string; max_tput : float; points : point list }
+
+val fracs : Mode.t -> float list
+(** Probe fractions of peak: 3 points in smoke/fast, 8 in full. *)
+
+val probe :
+  mode:Mode.t ->
+  label:string ->
+  seed:int ->
+  (Doradd_baselines.Load.t -> Doradd_sim.Metrics.t) ->
+  system
+(** [probe ~mode ~label ~seed run_at] measures the peak and the latency
+    points. *)
+
+val rows : system list -> string list list
+(** Table rows: one "peak" row then one row per probe point, per system
+    (columns: system, load, achieved, p50, p99). *)
+
+val header : string list
+
+val print : title:string -> system list -> unit
+
+val sla_throughput :
+  ?sla_p99_ns:int ->
+  ?iterations:int ->
+  seed:int ->
+  (Doradd_baselines.Load.t -> Doradd_sim.Metrics.t) ->
+  float
+(** Maximum offered load whose p99 stays within the SLA (default 1 ms —
+    the criterion of §5.2: "the achieved throughput under a latency
+    SLA"), found by bisection between 0 and the overload peak. *)

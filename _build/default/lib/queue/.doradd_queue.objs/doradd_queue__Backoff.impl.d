@@ -1,0 +1,1 @@
+lib/queue/backoff.ml: Domain Thread

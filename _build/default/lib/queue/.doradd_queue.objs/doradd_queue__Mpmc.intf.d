@@ -1,0 +1,1 @@
+lib/queue/mpmc.mli:

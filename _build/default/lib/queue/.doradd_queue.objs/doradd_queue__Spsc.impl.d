@@ -1,0 +1,1 @@
+lib/queue/spsc.ml: Array Atomic Backoff

@@ -1,0 +1,18 @@
+type t = { min_wait : int; max_wait : int; mutable wait : int }
+
+let create ?(min_wait = 1) ?(max_wait = 1024) () =
+  if min_wait < 1 || max_wait < min_wait then invalid_arg "Backoff.create";
+  { min_wait; max_wait; wait = min_wait }
+
+let once t =
+  for _ = 1 to t.wait do
+    Domain.cpu_relax ()
+  done;
+  (* Past the spin threshold, also yield the OS thread: on oversubscribed
+     hosts the producer may be a descheduled domain that can only run if we
+     give up the core. *)
+  if t.wait >= t.max_wait then Thread.yield ();
+  let w = t.wait * 2 in
+  t.wait <- (if w > t.max_wait then t.max_wait else w)
+
+let reset t = t.wait <- t.min_wait

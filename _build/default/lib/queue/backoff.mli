@@ -1,0 +1,20 @@
+(** Truncated exponential backoff for spin loops.
+
+    Workers and pipeline stages spin briefly when their queues are empty or
+    full; backing off keeps a waiting domain from saturating the memory bus
+    with failed CAS attempts (and, on this 1-core container, from starving
+    the domain that would produce the work). *)
+
+type t
+
+val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+(** [create ()] starts at [min_wait] spin iterations (default 1) and doubles
+    up to [max_wait] (default 1024). *)
+
+val once : t -> unit
+(** Spin for the current wait, then double it (up to the maximum).  Calls
+    [Domain.cpu_relax] in the loop so sibling hardware threads can
+    progress. *)
+
+val reset : t -> unit
+(** Return to the minimum wait; call after making progress. *)

@@ -1,0 +1,76 @@
+(* Vyukov bounded MPMC queue.  Invariant for slot [i] with ticket [seq]:
+   - seq = i           : empty, ready for the producer holding ticket i
+   - seq = i + 1       : full, ready for the consumer holding ticket i
+   - otherwise         : another producer/consumer lap is in progress.
+   Producers race on [tail] tickets, consumers on [head] tickets; the slot
+   sequence numbers make each hand-off a two-step publish without locks. *)
+
+type 'a slot = { seq : int Atomic.t; mutable value : 'a option }
+
+type 'a t = {
+  slots : 'a slot array;
+  mask : int;
+  head : int Atomic.t;
+  tail : int Atomic.t;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Mpmc.create";
+  let cap = next_pow2 capacity in
+  {
+    slots = Array.init cap (fun i -> { seq = Atomic.make i; value = None });
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let try_push t v =
+  let rec attempt () =
+    let tail = Atomic.get t.tail in
+    let slot = t.slots.(tail land t.mask) in
+    let seq = Atomic.get slot.seq in
+    let diff = seq - tail in
+    if diff = 0 then
+      if Atomic.compare_and_set t.tail tail (tail + 1) then begin
+        slot.value <- Some v;
+        Atomic.set slot.seq (tail + 1);
+        true
+      end
+      else attempt ()
+    else if diff < 0 then false (* slot still holds the previous lap: full *)
+    else attempt () (* another producer advanced tail; retry *)
+  in
+  attempt ()
+
+let push t v =
+  let b = Backoff.create () in
+  while not (try_push t v) do
+    Backoff.once b
+  done
+
+let try_pop t =
+  let rec attempt () =
+    let head = Atomic.get t.head in
+    let slot = t.slots.(head land t.mask) in
+    let seq = Atomic.get slot.seq in
+    let diff = seq - (head + 1) in
+    if diff = 0 then
+      if Atomic.compare_and_set t.head head (head + 1) then begin
+        let v = slot.value in
+        slot.value <- None;
+        Atomic.set slot.seq (head + t.mask + 1);
+        v
+      end
+      else attempt ()
+    else if diff < 0 then None (* slot not yet filled: empty *)
+    else attempt ()
+  in
+  attempt ()
+
+let length t = Atomic.get t.tail - Atomic.get t.head

@@ -1,0 +1,27 @@
+(** Bounded lock-free multi-producer multi-consumer queue.
+
+    The runnable-procedures set (§4 of the paper) is a group of per-worker
+    queues of exactly this kind: the dispatcher and any worker may push
+    (multi-producer) and the owning worker plus any stealing worker may pop
+    (multi-consumer).  This is Vyukov's array-based MPMC queue: each slot
+    carries a sequence number that encodes whether it is ready for a push
+    or a pop, so both operations are a single CAS in the common case. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Capacity is rounded up to a power of two. *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the queue is full. *)
+
+val push : 'a t -> 'a -> unit
+(** Spins with backoff while full. *)
+
+val try_pop : 'a t -> 'a option
+(** [None] when the queue is empty. *)
+
+val length : 'a t -> int
+(** Racy occupancy snapshot, for monitoring and tests only. *)

@@ -1,0 +1,16 @@
+type 'a t = { slots : 'a array; mask : int }
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity f =
+  if capacity <= 0 then invalid_arg "Ring.create";
+  let cap = next_pow2 capacity in
+  { slots = Array.init cap f; mask = cap - 1 }
+
+let capacity t = t.mask + 1
+
+let get t seq = t.slots.(seq land t.mask)
+
+let min_capacity ~stages ~queue_depth ~max_batch = (stages * queue_depth * max_batch) + max_batch

@@ -1,0 +1,63 @@
+(* Classic Lamport SPSC ring: the producer owns [tail], the consumer owns
+   [head]; each reads the other's index through an Atomic.  Slots hold
+   ['a option] so the GC never sees stale pointers. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* next slot to pop *)
+  tail : int Atomic.t; (* next slot to push *)
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Spsc.create";
+  let cap = next_pow2 capacity in
+  { slots = Array.make cap None; mask = cap - 1; head = Atomic.make 0; tail = Atomic.make 0 }
+
+let capacity t = t.mask + 1
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    t.slots.(tail land t.mask) <- Some v;
+    (* The Atomic.set publishes the slot write (release). *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let push t v =
+  let b = Backoff.create () in
+  while not (try_push t v) do
+    Backoff.once b
+  done
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head = tail then None
+  else begin
+    let idx = head land t.mask in
+    let v = t.slots.(idx) in
+    t.slots.(idx) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let pop t =
+  let b = Backoff.create () in
+  let rec go () =
+    match try_pop t with
+    | Some v -> v
+    | None ->
+      Backoff.once b;
+      go ()
+  in
+  go ()
+
+let length t = Atomic.get t.tail - Atomic.get t.head

@@ -1,0 +1,31 @@
+(** Bounded single-producer single-consumer queue.
+
+    The pipelined dispatcher (§3.4 / Figure 5 of the paper) joins adjacent
+    pipeline stages with bounded SPSC queues: each stage pushes the number
+    of ring entries the next stage should process, and a full queue exerts
+    backpressure.  Exactly one domain may push and exactly one may pop;
+    under that contract all operations are wait-free. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] allocates the ring; capacity is rounded up to a
+    power of two (the paper uses depth 4). *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side.  Returns [false] when full. *)
+
+val push : 'a t -> 'a -> unit
+(** Producer side; spins with backoff until space is available
+    (backpressure, as in the paper). *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side.  Returns [None] when empty. *)
+
+val pop : 'a t -> 'a
+(** Consumer side; spins with backoff until an element arrives. *)
+
+val length : 'a t -> int
+(** Snapshot of the current occupancy (racy, for monitoring only). *)

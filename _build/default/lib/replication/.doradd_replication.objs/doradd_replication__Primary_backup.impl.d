@@ -1,0 +1,1 @@
+lib/replication/primary_backup.ml: Atomic Domain Doradd_core Doradd_queue

@@ -1,0 +1,1 @@
+lib/replication/primary_backup.mli: Doradd_core

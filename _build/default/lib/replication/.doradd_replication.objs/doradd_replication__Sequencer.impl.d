@@ -1,0 +1,1 @@
+lib/replication/sequencer.ml: Array Atomic Domain Doradd_queue

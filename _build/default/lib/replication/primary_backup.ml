@@ -1,0 +1,67 @@
+module Core = Doradd_core
+module Mpmc = Doradd_queue.Mpmc
+module Backoff = Doradd_queue.Backoff
+
+type 'req t = {
+  primary : Core.Runtime.t;
+  backup : Core.Runtime.t;
+  channel : 'req option Mpmc.t; (* None = end of log *)
+  primary_footprint : 'req -> Core.Footprint.t;
+  primary_execute : 'req -> unit;
+  replay_domain : unit Domain.t;
+  mutable submitted : int;
+  backup_applied : int Atomic.t;
+}
+
+(* The backup's replay loop is its single dispatcher thread: it consumes
+   the shipped log in order and schedules each request on the backup
+   runtime.  Order over the channel is the primary's submission order
+   (single producer, single consumer). *)
+let replay_loop channel backup ~footprint ~execute ~applied =
+  let b = Backoff.create () in
+  let rec loop () =
+    match Mpmc.try_pop channel with
+    | Some (Some req) ->
+      Backoff.reset b;
+      Core.Runtime.schedule backup (footprint req) (fun () ->
+          execute req;
+          Atomic.incr applied);
+      loop ()
+    | Some None -> () (* end of log *)
+    | None ->
+      Backoff.once b;
+      loop ()
+  in
+  loop ()
+
+let create ?workers ?(channel_capacity = 4096) ~primary_footprint ~primary_execute
+    ~backup_footprint ~backup_execute () =
+  let primary = Core.Runtime.create ?workers () in
+  let backup = Core.Runtime.create ?workers () in
+  let channel = Mpmc.create ~capacity:channel_capacity in
+  let backup_applied = Atomic.make 0 in
+  let replay_domain =
+    Domain.spawn (fun () ->
+        replay_loop channel backup ~footprint:backup_footprint ~execute:backup_execute
+          ~applied:backup_applied)
+  in
+  { primary; backup; channel; primary_footprint; primary_execute; replay_domain;
+    submitted = 0; backup_applied }
+
+let submit t req =
+  t.submitted <- t.submitted + 1;
+  (* ship first (the backup must never miss a request the primary
+     executed), then schedule locally; no waiting for backup execution *)
+  Mpmc.push t.channel (Some req);
+  let exec = t.primary_execute in
+  Core.Runtime.schedule t.primary (t.primary_footprint req) (fun () -> exec req)
+
+let submitted t = t.submitted
+
+let backup_applied t = Atomic.get t.backup_applied
+
+let shutdown t =
+  Mpmc.push t.channel None;
+  Domain.join t.replay_domain;
+  Core.Runtime.shutdown t.primary;
+  Core.Runtime.shutdown t.backup

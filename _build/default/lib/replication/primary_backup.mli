@@ -1,0 +1,42 @@
+(** Active primary-backup replication over the real runtime (§5.3).
+
+    The primary acts as the sequencing layer: {!submit} fixes the log
+    order, ships each request to the backup over an in-process channel,
+    and schedules it on the primary's own DORADD runtime.  A backup
+    domain replays the identical log on its own runtime.  Because both
+    replicas execute deterministically, their states are guaranteed to
+    converge without any cross-replica synchronisation — the primary
+    never waits for backup {e execution}, which is the architectural
+    point of Figure 8.  (On the paper's testbed the channel is a network;
+    here it is an in-process queue — the determinism property being
+    demonstrated is identical.)
+
+    The two [execute] functions must be the same logic bound to two
+    disjoint copies of the application state; [footprint] must resolve
+    against the replica's own resources, so it is also per-replica. *)
+
+type 'req t
+
+val create :
+  ?workers:int ->
+  ?channel_capacity:int ->
+  primary_footprint:('req -> Doradd_core.Footprint.t) ->
+  primary_execute:('req -> unit) ->
+  backup_footprint:('req -> Doradd_core.Footprint.t) ->
+  backup_execute:('req -> unit) ->
+  unit ->
+  'req t
+(** Start both replicas' worker pools and the backup's replay domain. *)
+
+val submit : 'req t -> 'req -> unit
+(** Sequence one request: append to the replicated log and schedule it on
+    the primary.  Single client thread (the sequencing point). *)
+
+val submitted : 'req t -> int
+
+val backup_applied : 'req t -> int
+(** Requests the backup has fully executed so far (racy snapshot). *)
+
+val shutdown : 'req t -> unit
+(** Stop accepting requests, drain both replicas, join all domains.
+    After [shutdown] both replicas have executed the exact same log. *)

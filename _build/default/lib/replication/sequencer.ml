@@ -1,0 +1,56 @@
+module Mpmc = Doradd_queue.Mpmc
+module Backoff = Doradd_queue.Backoff
+
+type 'req t = {
+  input : 'req option Mpmc.t; (* None = shutdown *)
+  domain : unit Domain.t;
+  delivered : int Atomic.t;
+  log : 'req list ref; (* newest first; owned by the sequencer domain *)
+  mutable stopped : bool;
+}
+
+let create ?(queue_capacity = 4096) ~deliver () =
+  let input = Mpmc.create ~capacity:queue_capacity in
+  let delivered = Atomic.make 0 in
+  let log = ref [] in
+  let domain =
+    Domain.spawn (fun () ->
+        let b = Backoff.create () in
+        let seqno = ref 0 in
+        let rec loop () =
+          match Mpmc.try_pop input with
+          | Some (Some req) ->
+            Backoff.reset b;
+            log := req :: !log;
+            deliver ~seqno:!seqno req;
+            incr seqno;
+            Atomic.incr delivered;
+            loop ()
+          | Some None -> ()
+          | None ->
+            Backoff.once b;
+            loop ()
+        in
+        loop ())
+  in
+  { input; domain; delivered; log; stopped = false }
+
+let submit t req =
+  if t.stopped then invalid_arg "Sequencer.submit: stopped";
+  Mpmc.push t.input (Some req)
+
+let delivered t = Atomic.get t.delivered
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Mpmc.push t.input None;
+    Domain.join t.domain
+  end
+
+let log t =
+  if not t.stopped then invalid_arg "Sequencer.log: stop the sequencer first";
+  let arr = Array.of_list !(t.log) in
+  (* stored newest-first *)
+  let n = Array.length arr in
+  Array.init n (fun i -> arr.(n - 1 - i))

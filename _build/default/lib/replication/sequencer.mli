@@ -1,0 +1,35 @@
+(** A minimal in-process sequencing layer.
+
+    DORADD assumes an external sequencer (Raft/Paxos/…) that fixes a total
+    order over client requests and logs them durably (§2, system model).
+    This module is the in-process equivalent: any number of client
+    threads {!submit} concurrently; a sequencer domain assigns dense,
+    monotonically increasing sequence numbers, appends each request to a
+    retained log, and delivers it — in order, from a single thread — to
+    the consumer (typically [Runtime.schedule] or [Pipeline.submit]).
+
+    The retained log is the recovery story: {!log} returns the exact
+    ordered prefix delivered so far, and replaying it through a fresh
+    runtime reproduces the pre-crash state bit-for-bit (deterministic
+    execution is what makes this sound); see the recovery tests. *)
+
+type 'req t
+
+val create : ?queue_capacity:int -> deliver:(seqno:int -> 'req -> unit) -> unit -> 'req t
+(** Start the sequencer domain.  [deliver] runs on that domain, in
+    sequence order, exactly once per request. *)
+
+val submit : 'req t -> 'req -> unit
+(** Thread-safe: callable from any domain.  Blocks (with backoff) when
+    the input queue is full. *)
+
+val delivered : 'req t -> int
+(** Requests sequenced and delivered so far (racy snapshot). *)
+
+val stop : 'req t -> unit
+(** Stop accepting input, drain, and join the sequencer domain.  After
+    [stop], {!log} is stable. *)
+
+val log : 'req t -> 'req array
+(** The totally ordered request log (index = sequence number).  Stable
+    only after {!stop}; intended for recovery replay and audits. *)

@@ -1,0 +1,1 @@
+lib/sim/int_table.ml: Array Int64

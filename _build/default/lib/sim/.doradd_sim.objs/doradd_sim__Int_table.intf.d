@@ -1,0 +1,1 @@
+lib/sim/int_table.mli:

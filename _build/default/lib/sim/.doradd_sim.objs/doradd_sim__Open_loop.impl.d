@@ -1,0 +1,1 @@
+lib/sim/open_loop.ml: Array Doradd_stats Engine Sim_req

@@ -1,0 +1,1 @@
+lib/sim/open_loop.mli: Doradd_stats Engine Sim_req

@@ -1,0 +1,80 @@
+(* Growable binary min-heap ordered by (time, seq): seq is a global
+   insertion counter so simultaneous events fire in scheduling order,
+   keeping runs bit-for-bit deterministic. *)
+
+type event = { time : int; seq : int; action : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0; seq = 0; action = (fun () -> ()) }
+
+let create () = { heap = Array.make 256 dummy; size = 0; clock = 0; next_seq = 0 }
+
+let now t = t.clock
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (Array.length t.heap * 2) dummy in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let schedule_at t time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let schedule_after t delay action = schedule_at t (t.clock + delay) action
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  if t.size > 0 then sift_down t 0;
+  top
+
+let run ?until t =
+  let horizon = match until with Some h -> h | None -> max_int in
+  let continue = ref true in
+  while !continue && t.size > 0 do
+    if t.heap.(0).time > horizon then continue := false
+    else begin
+      let ev = pop t in
+      t.clock <- ev.time;
+      ev.action ()
+    end
+  done
+
+let pending t = t.size

@@ -1,0 +1,30 @@
+(** Discrete-event simulation engine.
+
+    All performance experiments in this repository run on simulated time
+    (nanosecond resolution): the host container has a single CPU, so the
+    paper's multi-core testbed is substituted by an event-level model of
+    cores, queues, and memory costs (see DESIGN.md).  The engine is a
+    classic calendar loop: a priority queue of (time, action) events,
+    processed in time order.  Ties are broken by insertion sequence, which
+    makes every simulation fully deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current virtual time in ns. *)
+
+val schedule_at : t -> int -> (unit -> unit) -> unit
+(** [schedule_at t time action] runs [action] when the clock reaches
+    [time].  [time] must not be in the past. *)
+
+val schedule_after : t -> int -> (unit -> unit) -> unit
+(** [schedule_after t delay action] = [schedule_at t (now t + delay)]. *)
+
+val run : ?until:int -> t -> unit
+(** Process events in order until the queue is empty, or the clock would
+    pass [until]. *)
+
+val pending : t -> int
+(** Number of queued events. *)

@@ -1,0 +1,95 @@
+(* Linear probing with tombstone-free deletion (backward-shift), keys >= 0,
+   -1 = empty.  Capacity is a power of two; load factor <= 1/2. *)
+
+type 'a t = {
+  mutable keys : int array;
+  mutable values : 'a array;
+  mutable mask : int;
+  mutable size : int;
+  dummy : 'a;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 16
+
+let create ?(initial_capacity = 16) ~dummy () =
+  let cap = next_pow2 initial_capacity in
+  { keys = Array.make cap (-1); values = Array.make cap dummy; mask = cap - 1; size = 0; dummy }
+
+(* Same mixer as Rng: cheap, well-avalanched. *)
+let hash k =
+  let z = Int64.of_int k in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 27) in
+  Int64.to_int z land max_int
+
+let rec probe t k i = if t.keys.(i) = -1 || t.keys.(i) = k then i else probe t k ((i + 1) land t.mask)
+
+let slot t k = probe t k (hash k land t.mask)
+
+let resize t =
+  let old_keys = t.keys and old_values = t.values in
+  let cap = (t.mask + 1) * 2 in
+  t.keys <- Array.make cap (-1);
+  t.values <- Array.make cap t.dummy;
+  t.mask <- cap - 1;
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then begin
+        let j = slot t k in
+        t.keys.(j) <- k;
+        t.values.(j) <- old_values.(i)
+      end)
+    old_keys
+
+let set t k v =
+  if k < 0 then invalid_arg "Int_table.set: negative key";
+  let i = slot t k in
+  if t.keys.(i) = -1 then begin
+    t.keys.(i) <- k;
+    t.values.(i) <- v;
+    t.size <- t.size + 1;
+    if 2 * t.size > t.mask then resize t
+  end
+  else t.values.(i) <- v
+
+let find t k =
+  let i = slot t k in
+  if t.keys.(i) = k then Some t.values.(i) else None
+
+let find_default t k default =
+  let i = slot t k in
+  if t.keys.(i) = k then t.values.(i) else default
+
+let remove t k =
+  let i = slot t k in
+  if t.keys.(i) = k then begin
+    (* backward-shift deletion to keep probe chains intact *)
+    t.keys.(i) <- -1;
+    t.values.(i) <- t.dummy;
+    t.size <- t.size - 1;
+    let rec fix j =
+      let j = (j + 1) land t.mask in
+      let kj = t.keys.(j) in
+      if kj >= 0 then begin
+        t.keys.(j) <- -1;
+        let v = t.values.(j) in
+        t.values.(j) <- t.dummy;
+        t.size <- t.size - 1;
+        set t kj v;
+        fix j
+      end
+    in
+    fix i
+  end
+
+let length t = t.size
+
+let clear t =
+  Array.fill t.keys 0 (t.mask + 1) (-1);
+  Array.fill t.values 0 (t.mask + 1) t.dummy;
+  t.size <- 0
+
+let iter t f =
+  Array.iteri (fun i k -> if k >= 0 then f k t.values.(i)) t.keys

@@ -1,0 +1,19 @@
+(** Open-addressing hash table with non-negative integer keys.
+
+    The simulated schedulers track per-key state (last writer, version
+    ready-time) for every key a run touches — tens of millions of lookups
+    per experiment — so this is a flat, allocation-free (after warm-up)
+    linear-probing table rather than [Hashtbl]. *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills empty value cells; it is never returned. *)
+
+val find : 'a t -> int -> 'a option
+val find_default : 'a t -> int -> 'a -> 'a
+val set : 'a t -> int -> 'a -> unit
+val remove : 'a t -> int -> unit
+val length : 'a t -> int
+val clear : 'a t -> unit
+val iter : 'a t -> (int -> 'a -> unit) -> unit

@@ -1,0 +1,44 @@
+module Histogram = Doradd_stats.Histogram
+module Table = Doradd_stats.Table
+
+type t = {
+  hist : Histogram.t;
+  mutable completed : int;
+  mutable first_arrival : int;
+  mutable last_completion : int;
+}
+
+let create () =
+  { hist = Histogram.create (); completed = 0; first_arrival = max_int; last_completion = 0 }
+
+let complete t ~arrival ~now =
+  Histogram.record t.hist (now - arrival);
+  t.completed <- t.completed + 1;
+  if arrival < t.first_arrival then t.first_arrival <- arrival;
+  if now > t.last_completion then t.last_completion <- now
+
+let completed t = t.completed
+
+let p50 t = Histogram.percentile t.hist 50.0
+let p99 t = Histogram.percentile t.hist 99.0
+let p999 t = Histogram.percentile t.hist 99.9
+let mean_latency t = Histogram.mean t.hist
+let max_latency t = Histogram.max_value t.hist
+
+let span t = if t.completed = 0 then 0 else t.last_completion - t.first_arrival
+
+let throughput t =
+  let s = span t in
+  if s <= 0 then 0.0 else float_of_int t.completed /. (float_of_int s /. 1e9)
+
+let report_header = [ "system"; "offered"; "achieved"; "p50"; "p99"; "p99.9" ]
+
+let report_row ~label ~offered t =
+  [
+    label;
+    Table.fmt_rate offered;
+    Table.fmt_rate (throughput t);
+    Table.fmt_ns (p50 t);
+    Table.fmt_ns (p99 t);
+    Table.fmt_ns (p999 t);
+  ]

@@ -1,0 +1,34 @@
+(** Per-run measurement: latency distribution and achieved throughput.
+
+    Latency is the client-visible sojourn time (completion − arrival).
+    Throughput is completions divided by the span from first arrival to
+    last completion — the same definition a wall-clock benchmark uses. *)
+
+type t
+
+val create : unit -> t
+
+val complete : t -> arrival:int -> now:int -> unit
+(** Record one finished request. *)
+
+val completed : t -> int
+
+val p50 : t -> int
+val p99 : t -> int
+val p999 : t -> int
+val mean_latency : t -> float
+val max_latency : t -> int
+
+val throughput : t -> float
+(** Requests per second over the measured span; 0 if fewer than two
+    events. *)
+
+val span : t -> int
+(** Last completion − first arrival, ns. *)
+
+val report_header : string list
+(** Column names matching {!report_row}. *)
+
+val report_row : label:string -> offered:float -> t -> string list
+(** One formatted results row: label, offered load, achieved throughput,
+    p50/p99/p999 latency. *)

@@ -1,0 +1,37 @@
+module Rng = Doradd_stats.Rng
+module Distributions = Doradd_stats.Distributions
+
+let schedule_all ~engine ~start ~gaps ~log ~sink =
+  (* One pre-pass computes all arrival times; events are then scheduled up
+     front.  This is cheaper than chaining arrival events and keeps the
+     source independent of system progress (open loop). *)
+  let t = ref start in
+  Array.iteri
+    (fun i req ->
+      t := !t + gaps i;
+      req.Sim_req.arrival <- !t;
+      let at = !t in
+      Engine.schedule_at engine at (fun () -> sink req))
+    log
+
+let drive ~engine ~rng ~rate ?(start = 0) ~log ~sink () =
+  if rate <= 0.0 then invalid_arg "Open_loop.drive: rate must be positive";
+  let mean_gap = 1e9 /. rate in
+  schedule_all ~engine ~start
+    ~gaps:(fun _ -> int_of_float (Distributions.exponential rng ~mean:mean_gap))
+    ~log ~sink
+
+let uniform ~engine ~rate ?(start = 0) ~log ~sink () =
+  if rate <= 0.0 then invalid_arg "Open_loop.uniform: rate must be positive";
+  let gap_ns = 1e9 /. rate in
+  (* accumulate in float to avoid drift on non-integer gaps *)
+  let acc = ref 0.0 in
+  let prev = ref 0 in
+  schedule_all ~engine ~start
+    ~gaps:(fun _ ->
+      acc := !acc +. gap_ns;
+      let here = int_of_float !acc in
+      let gap = here - !prev in
+      prev := here;
+      gap)
+    ~log ~sink

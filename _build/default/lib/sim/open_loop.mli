@@ -1,0 +1,33 @@
+(** Open-loop request source.
+
+    Reproduces the paper's load generator (§5.1): "one core generates
+    requests based on an open-loop Poisson process by replaying a
+    memory-mapped pre-generated request log".  Arrivals are Poisson — the
+    gap between consecutive requests is exponential with mean [1/rate] —
+    and independent of the system's progress (open loop), which is what
+    exposes tail-latency collapse at saturation. *)
+
+val drive :
+  engine:Engine.t ->
+  rng:Doradd_stats.Rng.t ->
+  rate:float ->
+  ?start:int ->
+  log:Sim_req.t array ->
+  sink:(Sim_req.t -> unit) ->
+  unit ->
+  unit
+(** [drive ~engine ~rng ~rate ~log ~sink ()] schedules one arrival event
+    per log entry at Poisson times with average [rate] requests/second,
+    stamps [arrival], and passes each request to [sink].  Arrival events
+    interleave with the simulation's own events on the shared engine. *)
+
+val uniform :
+  engine:Engine.t ->
+  rate:float ->
+  ?start:int ->
+  log:Sim_req.t array ->
+  sink:(Sim_req.t -> unit) ->
+  unit ->
+  unit
+(** Deterministic equally-spaced arrivals at [rate]; used to measure peak
+    sustainable throughput without arrival-burst noise. *)

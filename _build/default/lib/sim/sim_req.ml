@@ -1,0 +1,35 @@
+type piece = { reads : int array; writes : int array; commutes : int array; service : int }
+
+type t = { id : int; pieces : piece array; mutable arrival : int }
+
+let piece ?(reads = [||]) ?(commutes = [||]) ~writes ~service () =
+  if service < 0 then invalid_arg "Sim_req.piece: negative service";
+  { reads; writes; commutes; service }
+
+let make ~id pieces =
+  if Array.length pieces = 0 then invalid_arg "Sim_req.make: no pieces";
+  { id; pieces; arrival = 0 }
+
+let simple ~id ?reads ~writes ~service () = make ~id [| piece ?reads ~writes ~service () |]
+
+let total_service t = Array.fold_left (fun acc p -> acc + p.service) 0 t.pieces
+
+let all_keys t =
+  let n =
+    Array.fold_left
+      (fun acc p -> acc + Array.length p.reads + Array.length p.writes + Array.length p.commutes)
+      0 t.pieces
+  in
+  let out = Array.make n 0 in
+  let i = ref 0 in
+  let put k =
+    out.(!i) <- k;
+    incr i
+  in
+  Array.iter
+    (fun p ->
+      Array.iter put p.reads;
+      Array.iter put p.writes;
+      Array.iter put p.commutes)
+    t.pieces;
+  out

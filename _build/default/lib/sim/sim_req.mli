@@ -1,0 +1,43 @@
+(** Simulated requests: the unit of work all modelled systems execute.
+
+    A request is one entry of the pre-generated serial log.  It consists of
+    one or more {e pieces} — normally one; two when the programmer has
+    split a transaction as in the paper's DORADD-split TPC-C experiment
+    (§5.1): the dispatcher schedules all pieces of a request atomically and
+    they may execute in parallel; the request completes when its last piece
+    does.
+
+    Each piece declares its key footprint.  [writes] create dependencies
+    in every modelled system.  [commutes] are keys written {e
+    commutatively} (TPC-C's warehouse year-to-date counters): Caracal's
+    contention-management mechanism batches such updates per epoch and
+    pays no dependency for them, whereas DORADD (which has no such
+    mechanism) treats them as ordinary writes unless the workload was
+    generated in split form. *)
+
+type piece = {
+  reads : int array;  (** keys read (shared mode, used by the rw ablation) *)
+  writes : int array;  (** keys written: exclusive, order-preserving *)
+  commutes : int array;  (** commutative writes (see above) *)
+  service : int;  (** execution time of the piece, ns *)
+}
+
+type t = {
+  id : int;
+  pieces : piece array;
+  mutable arrival : int;  (** filled in by the open-loop source *)
+}
+
+val piece : ?reads:int array -> ?commutes:int array -> writes:int array -> service:int -> unit -> piece
+
+val simple : id:int -> ?reads:int array -> writes:int array -> service:int -> unit -> t
+(** Single-piece request. *)
+
+val make : id:int -> piece array -> t
+
+val total_service : t -> int
+(** Sum of piece service times: the CPU work the request costs. *)
+
+val all_keys : t -> int array
+(** Every key the request touches (reads, writes and commutes), across all
+    pieces; may contain duplicates. *)

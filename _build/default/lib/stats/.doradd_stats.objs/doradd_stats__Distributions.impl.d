@@ -1,0 +1,1 @@
+lib/stats/distributions.ml: Float Int64 Rng

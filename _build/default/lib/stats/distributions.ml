@@ -1,0 +1,70 @@
+let exponential rng ~mean =
+  if mean <= 0.0 then invalid_arg "Distributions.exponential: mean must be positive";
+  let u = 1.0 -. Rng.unit_float rng in
+  -.mean *. log u
+
+(* Zipf via Hörmann's rejection-inversion ("Rejection-inversion to generate
+   variates from monotone discrete distributions", TOMACS 1996), the same
+   algorithm used by Apache Commons.  Samples k in [1,n] with
+   P(k) proportional to 1/k^theta in O(1), without a zeta table. *)
+type zipf = {
+  n : int;
+  theta : float;
+  h_integral_x1 : float;
+  h_integral_num_elements : float;
+  s : float;
+}
+
+let helper1 x = if Float.abs x > 1e-8 then (log1p x /. x) else 1.0 -. (x *. (0.5 -. (x *. (0.333333333333333333 -. (0.25 *. x)))))
+
+let helper2 x = if Float.abs x > 1e-8 then (expm1 x /. x) else 1.0 +. (x *. 0.5 *. (1.0 +. (x *. 0.333333333333333333 *. (1.0 +. (0.25 *. x)))))
+
+let h_integral ~theta x =
+  let log_x = log x in
+  helper2 ((1.0 -. theta) *. log_x) *. log_x
+
+let h ~theta x = exp (-.theta *. log x)
+
+let h_integral_inverse ~theta x =
+  let t = x *. (1.0 -. theta) in
+  let t = if t < -1.0 then -1.0 else t in
+  exp (helper1 t *. x)
+
+let zipf ~n ~theta =
+  if n <= 0 then invalid_arg "Distributions.zipf: n must be positive";
+  if theta < 0.0 then invalid_arg "Distributions.zipf: theta must be non-negative";
+  let h_integral_x1 = h_integral ~theta 1.5 -. 1.0 in
+  let h_integral_num_elements = h_integral ~theta (float_of_int n +. 0.5) in
+  let s = 2.0 -. h_integral_inverse ~theta (h_integral ~theta 2.5 -. h ~theta 2.0) in
+  { n; theta; h_integral_x1; h_integral_num_elements; s }
+
+let zipf_sample z rng =
+  if z.theta = 0.0 then Rng.int rng z.n
+  else begin
+    let rec loop () =
+      let u = z.h_integral_num_elements
+              +. (Rng.unit_float rng *. (z.h_integral_x1 -. z.h_integral_num_elements)) in
+      let x = h_integral_inverse ~theta:z.theta u in
+      let k = Float.to_int (x +. 0.5) in
+      let k = if k < 1 then 1 else if k > z.n then z.n else k in
+      let kf = float_of_int k in
+      if kf -. x <= z.s then k
+      else if u >= h_integral ~theta:z.theta (kf +. 0.5) -. h ~theta:z.theta kf then k
+      else loop ()
+    in
+    loop () - 1
+  end
+
+let zipf_n z = z.n
+
+let zipf_theta z = z.theta
+
+let scramble k =
+  (* Finalizer of SplitMix64 restricted to OCaml's 63-bit ints: a bijection,
+     so distinct ranks map to distinct keys. *)
+  let z = Int64.of_int k in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  (* keep 62 bits: non-negative as an OCaml int *)
+  Int64.to_int (Int64.shift_right_logical z 2)

@@ -1,0 +1,37 @@
+(** Samplers for the distributions used across the benchmarks.
+
+    YCSB-style key popularity (Zipf), open-loop request arrivals
+    (exponential inter-arrival times), and helpers shared by the workload
+    generators.  Every sampler draws exclusively from a {!Rng.t} so results
+    are reproducible. *)
+
+val exponential : Rng.t -> mean:float -> float
+(** [exponential rng ~mean] draws from Exp(1/mean); used for Poisson
+    inter-arrival gaps in the open-loop generator.  [mean] must be
+    positive. *)
+
+type zipf
+(** Precomputed state for a bounded Zipf sampler over [{0 .. n-1}] with
+    exponent [theta]. *)
+
+val zipf : n:int -> theta:float -> zipf
+(** [zipf ~n ~theta] prepares a sampler.  [theta = 0] degenerates to the
+    uniform distribution; YCSB's default contention is [theta = 0.99].
+    Uses Hörmann's rejection-inversion, O(1) per sample with no O(n)
+    zeta-table precomputation, so sweeping [theta] over a 10M keyspace is
+    cheap (needed for Figure 7). *)
+
+val zipf_sample : zipf -> Rng.t -> int
+(** Draw a rank in [0, n); rank 0 is the most popular. *)
+
+val zipf_n : zipf -> int
+(** Size of the sampled domain. *)
+
+val zipf_theta : zipf -> float
+(** Exponent the sampler was built with. *)
+
+val scramble : int -> int
+(** YCSB-style stationary hash used to scatter Zipf ranks over the keyspace
+    so that popular keys are not clustered at low addresses.  Deterministic;
+    built from a bijective 64-bit mixer truncated to the non-negative
+    62-bit range, so collisions are negligible in practice. *)

@@ -1,0 +1,104 @@
+(* Log-linear bucketing: values below [sub_bucket_count] are exact; above
+   that, each power-of-two range is split into [sub_bucket_count / 2] linear
+   sub-buckets, bounding relative error by 2 / sub_bucket_count. *)
+
+let sub_bucket_count = 256
+let sub_bucket_half = sub_bucket_count / 2
+let sub_bucket_bits = 8 (* log2 sub_bucket_count *)
+let bucket_count = 56 (* enough for values up to ~2^62 *)
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  mutable sum : float;
+}
+
+let array_len = (bucket_count + 1) * sub_bucket_half
+
+let create () =
+  { counts = Array.make array_len 0; total = 0; min_v = max_int; max_v = 0; sum = 0.0 }
+
+let clear t =
+  Array.fill t.counts 0 array_len 0;
+  t.total <- 0;
+  t.min_v <- max_int;
+  t.max_v <- 0;
+  t.sum <- 0.0
+
+(* Index of the bucket containing [v]. *)
+let index_of v =
+  if v < sub_bucket_count then v
+  else begin
+    (* bucket = position of highest set bit above the sub-bucket range *)
+    let bits = 63 - sub_bucket_bits in
+    let rec msb acc v = if v > 1 then msb (acc + 1) (v lsr 1) else acc in
+    ignore bits;
+    let b = msb 0 (v lsr sub_bucket_bits) in
+    (* b >= 0; sub index within that bucket *)
+    let sub = (v lsr (b + 1)) land (sub_bucket_half - 1) in
+    sub_bucket_count + (b * sub_bucket_half) + sub
+  end
+
+(* Lower bound of the bucket at [idx]; used to report representative
+   values. *)
+let value_of idx =
+  if idx < sub_bucket_count then idx
+  else begin
+    let rel = idx - sub_bucket_count in
+    let b = rel / sub_bucket_half in
+    let sub = rel mod sub_bucket_half in
+    (sub_bucket_half + sub) lsl (b + 1)
+  end
+
+let record_n t v k =
+  if k > 0 then begin
+    let v = if v < 0 then 0 else v in
+    let idx = index_of v in
+    let idx = if idx >= array_len then array_len - 1 else idx in
+    t.counts.(idx) <- t.counts.(idx) + k;
+    t.total <- t.total + k;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v;
+    t.sum <- t.sum +. (float_of_int v *. float_of_int k)
+  end
+
+let record t v = record_n t v 1
+
+let count t = t.total
+
+let min_value t = if t.total = 0 then 0 else t.min_v
+
+let max_value t = t.max_v
+
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+let percentile t p =
+  if t.total = 0 then 0
+  else begin
+    if p <= 0.0 || p > 100.0 then invalid_arg "Histogram.percentile";
+    let target =
+      let x = int_of_float (ceil (p /. 100.0 *. float_of_int t.total)) in
+      if x < 1 then 1 else if x > t.total then t.total else x
+    in
+    let rec scan idx acc =
+      if idx >= array_len then t.max_v
+      else begin
+        let acc = acc + t.counts.(idx) in
+        if acc >= target then value_of idx else scan (idx + 1) acc
+      end
+    in
+    scan 0 0
+  end
+
+let merge_into ~dst src =
+  for i = 0 to array_len - 1 do
+    dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  dst.total <- dst.total + src.total;
+  if src.total > 0 then begin
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  end;
+  dst.sum <- dst.sum +. src.sum

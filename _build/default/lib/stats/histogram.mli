@@ -1,0 +1,45 @@
+(** Latency histograms with HdrHistogram-style log-linear buckets.
+
+    Values (nanoseconds throughout this repository) are recorded into
+    buckets whose width grows geometrically, giving a bounded relative
+    error of about 1/{!sub_bucket_count} across the whole range while using
+    a few KiB of memory.  This is what the tail-latency numbers in Figures
+    6, 7 and 8 are computed from. *)
+
+type t
+
+val create : unit -> t
+(** Empty histogram covering [0, 2^62) ns with ~0.8% relative precision. *)
+
+val record : t -> int -> unit
+(** [record t v] adds one observation.  Negative values are clamped to 0. *)
+
+val record_n : t -> int -> int -> unit
+(** [record_n t v k] adds [k] observations of value [v]. *)
+
+val count : t -> int
+(** Total number of recorded observations. *)
+
+val min_value : t -> int
+(** Smallest recorded value (bucket lower bound); 0 if empty. *)
+
+val max_value : t -> int
+(** Largest recorded value (bucket upper bound); 0 if empty. *)
+
+val mean : t -> float
+(** Mean of recorded values (bucket midpoints); 0 if empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] returns the value at percentile [p] (0 < p <= 100),
+    e.g. [percentile t 99.0] for p99 tail latency.  Returns 0 when the
+    histogram is empty. *)
+
+val merge_into : dst:t -> t -> unit
+(** [merge_into ~dst src] adds all of [src]'s observations to [dst];
+    used to combine per-worker histograms after a run. *)
+
+val clear : t -> unit
+(** Reset to empty. *)
+
+val sub_bucket_count : int
+(** Number of linear sub-buckets per power of two (precision knob). *)

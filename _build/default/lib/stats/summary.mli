@@ -1,0 +1,28 @@
+(** Streaming summary statistics (Welford's algorithm).
+
+    Used by the simulator for utilisation and queue-depth measurements
+    where full histograms would be overkill. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+val mean : t -> float
+(** 0 if empty. *)
+
+val variance : t -> float
+(** Population variance; 0 if fewer than two observations. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** +inf if empty. *)
+
+val max_value : t -> float
+(** -inf if empty. *)
+
+val merge : t -> t -> t
+(** Combine two summaries as if all observations were recorded into one. *)

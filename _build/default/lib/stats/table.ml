@@ -1,0 +1,98 @@
+type align = Left | Right
+
+type format = Pretty | Csv
+
+let current_format = ref Pretty
+
+let set_format f = current_format := f
+
+let format () = !current_format
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let render_csv ?title ~header rows =
+  let buf = Buffer.create 512 in
+  (match title with
+  | Some t ->
+    Buffer.add_string buf ("# " ^ t);
+    Buffer.add_char buf '\n'
+  | None -> ());
+  let emit row =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape row));
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  List.iter emit rows;
+  Buffer.contents buf
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render_pretty ?title ?aligns ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> a
+    | Some _ -> invalid_arg "Table.render: aligns length mismatch"
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell)
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  (match title with
+   | Some t ->
+     Buffer.add_string buf t;
+     Buffer.add_char buf '\n'
+   | None -> ());
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth aligns i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Array.iter
+    (fun w ->
+      Buffer.add_string buf (String.make w '-');
+      Buffer.add_string buf "  ")
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let render ?title ?aligns ~header rows =
+  match !current_format with
+  | Pretty -> render_pretty ?title ?aligns ~header rows
+  | Csv -> render_csv ?title ~header rows
+
+let print ?title ?aligns ~header rows = print_string (render ?title ?aligns ~header rows)
+
+let fmt_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+
+let fmt_rate r =
+  if r >= 1e6 then Printf.sprintf "%.2f Mrps" (r /. 1e6)
+  else if r >= 1e3 then Printf.sprintf "%.1f Krps" (r /. 1e3)
+  else Printf.sprintf "%.0f rps" r
+
+let fmt_ns ns =
+  let f = float_of_int ns in
+  if f >= 1e9 then Printf.sprintf "%.2f s" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.1f us" (f /. 1e3)
+  else Printf.sprintf "%d ns" ns

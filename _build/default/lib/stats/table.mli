@@ -1,0 +1,36 @@
+(** ASCII table rendering for benchmark output.
+
+    Every experiment harness prints its results through this module so that
+    `bench/main.exe` and `bin/experiments.exe` produce uniform,
+    grep-friendly tables that mirror the rows/series of the paper's figures. *)
+
+type align = Left | Right
+
+type format = Pretty | Csv
+
+val set_format : format -> unit
+(** Process-wide output style: [Pretty] (default) renders aligned ASCII
+    tables; [Csv] renders comma-separated rows (title as a [# comment]),
+    for piping benchmark output straight into plotting tools. *)
+
+val format : unit -> format
+
+val render :
+  ?title:string -> ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~title ~header rows] lays out a table with a separator line
+    under the header.  Column widths are computed from contents; [aligns]
+    defaults to left for the first column and right for the rest (the usual
+    label-then-numbers shape). *)
+
+val print :
+  ?title:string -> ?aligns:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting, default 2 decimals. *)
+
+val fmt_rate : float -> string
+(** Requests/second with engineering units, e.g. ["1.28 Mrps"]. *)
+
+val fmt_ns : int -> string
+(** Nanoseconds with engineering units, e.g. ["15.3 us"]. *)

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Doradd_sim Doradd_stats

@@ -1,0 +1,1 @@
+lib/workload/synthetic.mli: Doradd_sim Doradd_stats

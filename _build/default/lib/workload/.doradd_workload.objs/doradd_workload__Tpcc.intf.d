@@ -1,0 +1,1 @@
+lib/workload/tpcc.mli: Doradd_sim Doradd_stats

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Bytes Doradd_sim Fun Hashtbl Int64 Printf String

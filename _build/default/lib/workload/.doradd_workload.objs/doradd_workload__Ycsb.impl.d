@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Array Doradd_sim Doradd_stats Seq

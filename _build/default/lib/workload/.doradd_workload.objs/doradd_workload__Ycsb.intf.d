@@ -1,0 +1,1 @@
+lib/workload/ycsb.mli: Doradd_sim Doradd_stats

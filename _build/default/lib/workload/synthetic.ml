@@ -1,0 +1,55 @@
+module Rng = Doradd_stats.Rng
+module Distributions = Doradd_stats.Distributions
+module Sim_req = Doradd_sim.Sim_req
+
+let distinct_keys rng ~n_keys ~count ~first =
+  let keys = Array.make count (-1) in
+  keys.(0) <- first;
+  for i = 1 to count - 1 do
+    let rec draw () =
+      let k = Rng.int rng n_keys in
+      if Array.exists (( = ) k) (Array.sub keys 0 i) then draw () else k
+    in
+    keys.(i) <- draw ()
+  done;
+  keys
+
+let contended_batches ?(batch_size = 100) ?(keys_per_req = 10) ?(n_keys = 10_000_000) ~service rng
+    ~n =
+  (* hot key of batch b: drawn once per batch; kept distinct across recent
+     batches by construction (uniform over 10M: collisions negligible) *)
+  let hot = ref 0 in
+  Array.init n (fun id ->
+      if id mod batch_size = 0 then hot := Rng.int rng n_keys;
+      let keys = distinct_keys rng ~n_keys ~count:keys_per_req ~first:!hot in
+      Sim_req.simple ~id ~writes:keys ~service ())
+
+let stragglers ?(batch_size = 10_000) ?(keys_per_req = 10) ?(n_keys = 10_000_000) ~service
+    ~straggler_service rng ~n =
+  Array.init n (fun id ->
+      let keys = distinct_keys rng ~n_keys ~count:keys_per_req ~first:(Rng.int rng n_keys) in
+      let service = if id mod batch_size = 0 then straggler_service else service in
+      Sim_req.simple ~id ~writes:keys ~service ())
+
+let locks ?(keys_per_req = 10) ?(n_keys = 10_000_000) ?(theta = 0.0) ~service rng ~n =
+  let sampler =
+    if theta = 0.0 then fun () -> Rng.int rng n_keys
+    else begin
+      let z = Distributions.zipf ~n:n_keys ~theta in
+      (* scatter popular ranks across the keyspace, as YCSB does *)
+      fun () -> Distributions.scramble (Distributions.zipf_sample z rng) mod n_keys
+    end
+  in
+  Array.init n (fun id ->
+      let keys = Array.make keys_per_req (-1) in
+      for i = 0 to keys_per_req - 1 do
+        let rec draw () =
+          let k = sampler () in
+          if Array.exists (( = ) k) (Array.sub keys 0 i) then draw () else k
+        in
+        keys.(i) <- draw ()
+      done;
+      (* lock-ordered acquisition needs sorted ids; sorting also makes the
+         footprint canonical for every modelled system *)
+      Array.sort compare keys;
+      Sim_req.simple ~id ~writes:keys ~service ())

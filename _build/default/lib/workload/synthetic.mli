@@ -1,0 +1,44 @@
+(** Synthetic workloads for Figures 2, 7 and 8 of the paper. *)
+
+(** {1 Figure 2a — contended batches}
+
+    Read-spin-write requests, 10 keys each.  Arriving batches show
+    temporal locality: every request in a batch of [batch_size] shares
+    that batch's hot key (so the batch serialises), while different
+    batches do not conflict. *)
+val contended_batches :
+  ?batch_size:int ->
+  ?keys_per_req:int ->
+  ?n_keys:int ->
+  service:int ->
+  Doradd_stats.Rng.t ->
+  n:int ->
+  Doradd_sim.Sim_req.t array
+
+(** {1 Figure 2b — stragglers}
+
+    Uniform, non-conflicting requests; every [batch_size] (10k in the
+    paper) requests, one is a [straggler_service] (20 ms) straggler. *)
+val stragglers :
+  ?batch_size:int ->
+  ?keys_per_req:int ->
+  ?n_keys:int ->
+  service:int ->
+  straggler_service:int ->
+  Doradd_stats.Rng.t ->
+  n:int ->
+  Doradd_sim.Sim_req.t array
+
+(** {1 Figure 7/8 — lock-service application}
+
+    Each RPC accesses [keys_per_req] (10) distinct locks from a 10M
+    keyspace, uniformly or Zipfian with exponent [theta], and spins for
+    [service] ns (5 or 100 µs in the paper). *)
+val locks :
+  ?keys_per_req:int ->
+  ?n_keys:int ->
+  ?theta:float ->
+  service:int ->
+  Doradd_stats.Rng.t ->
+  n:int ->
+  Doradd_sim.Sim_req.t array

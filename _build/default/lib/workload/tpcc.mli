@@ -1,0 +1,58 @@
+(** TPCC-NP workload: an equal mix of NewOrder and Payment transactions
+    (88% of the standard TPC-C mix), following the paper's §5.1 setup.
+
+    Contention is controlled by the warehouse count: 23 warehouses =
+    no contention (one per worker core on the paper's testbed), 8 =
+    moderate, 1 = high (every transaction meets the same warehouse row).
+
+    Key layout (single flat keyspace, disjoint ranges):
+    warehouse w; district (w,d); customer (w,d,c); stock (w,i); plus
+    fresh, never-conflicting keys for order/order-line/history inserts.
+
+    The [split] lowering reproduces the paper's DORADD-split variant: the
+    contended warehouse access of both transaction types is carved into
+    its own sub-piece that the dispatcher schedules atomically with the
+    rest, so the long main pieces no longer serialise on the warehouse
+    (§5.1, "DORADD-split").
+
+    Warehouse and district year-to-date updates are marked {e
+    commutative} ([commutes] in the simulated request): Caracal's
+    contention-management splits such updates per epoch and pays no
+    dependency for them; DORADD has no equivalent mechanism, so in the
+    unsplit lowering they are ordinary writes. *)
+
+type txn_kind = New_order | Payment
+
+type txn = {
+  id : int;
+  kind : txn_kind;
+  warehouse : int;
+  district : int;
+  customer : int;
+  stock_keys : int array;  (** NewOrder only: items ordered *)
+  fresh_keys : int array;  (** insert rows: conflict-free *)
+  remote : bool;  (** NewOrder: 1% of orders touch a remote warehouse *)
+}
+
+val generate : warehouses:int -> Doradd_stats.Rng.t -> n:int -> txn array
+
+(** Key encodings, exposed for tests. *)
+val warehouse_key : int -> int
+
+val district_key : w:int -> d:int -> int
+val customer_key : w:int -> d:int -> c:int -> int
+val stock_key : w:int -> i:int -> int
+
+type cost = {
+  new_order : int;  (** main-piece service, ns *)
+  payment : int;
+  warehouse_part : int;  (** service of the warehouse sub-piece when split *)
+}
+
+val default_cost : cost
+
+val to_sim : ?cost:cost -> split:bool -> txn array -> Doradd_sim.Sim_req.t array
+
+val mean_service : ?cost:cost -> txn array -> float
+(** Average total service time per transaction, ns — the ideal-throughput
+    denominator. *)

@@ -1,0 +1,94 @@
+module Sim_req = Doradd_sim.Sim_req
+
+let magic = "DORADDLOG1"
+
+(* Flat integer encoding via Buffer/Scanf-free binary I/O: every value is
+   a little-endian 63-bit int written as 8 bytes. *)
+let write_int oc v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  output_bytes oc b
+
+let read_int ic =
+  let b = Bytes.create 8 in
+  really_input ic b 0 8;
+  Int64.to_int (Bytes.get_int64_le b 0)
+
+let write_array oc a =
+  write_int oc (Array.length a);
+  Array.iter (write_int oc) a
+
+let read_array ic =
+  let n = read_int ic in
+  if n < 0 || n > 1 lsl 30 then failwith "Trace.load: corrupt array length";
+  Array.init n (fun _ -> read_int ic)
+
+let save ~path log =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      write_int oc (Array.length log);
+      Array.iter
+        (fun r ->
+          write_int oc r.Sim_req.id;
+          write_int oc r.Sim_req.arrival;
+          write_int oc (Array.length r.Sim_req.pieces);
+          Array.iter
+            (fun (p : Sim_req.piece) ->
+              write_array oc p.reads;
+              write_array oc p.writes;
+              write_array oc p.commutes;
+              write_int oc p.service)
+            r.Sim_req.pieces)
+        log)
+
+let load_body ic =
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then failwith "Trace.load: not a DORADD log (bad magic)";
+      let n = read_int ic in
+      if n < 0 then failwith "Trace.load: corrupt count";
+      Array.init n (fun _ ->
+          let id = read_int ic in
+          let arrival = read_int ic in
+          let n_pieces = read_int ic in
+          if n_pieces <= 0 || n_pieces > 64 then failwith "Trace.load: corrupt piece count";
+          let pieces =
+            Array.init n_pieces (fun _ ->
+                let reads = read_array ic in
+                let writes = read_array ic in
+                let commutes = read_array ic in
+                let service = read_int ic in
+                Sim_req.piece ~reads ~writes ~commutes ~service ())
+          in
+          let r = Sim_req.make ~id pieces in
+          r.Sim_req.arrival <- arrival;
+          r)
+
+let load ~path =
+  let ic = try open_in_bin path with Sys_error e -> failwith ("Trace.load: " ^ e) in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> try load_body ic with End_of_file -> failwith "Trace.load: truncated file")
+
+let describe log =
+  let n = Array.length log in
+  let pieces = Array.fold_left (fun a r -> a + Array.length r.Sim_req.pieces) 0 log in
+  let keys = Array.fold_left (fun a r -> a + Array.length (Sim_req.all_keys r)) 0 log in
+  let service = Array.fold_left (fun a r -> a + Sim_req.total_service r) 0 log in
+  let distinct =
+    let tbl = Hashtbl.create 4096 in
+    Array.iter (fun r -> Array.iter (fun k -> Hashtbl.replace tbl k ()) (Sim_req.all_keys r)) log;
+    Hashtbl.length tbl
+  in
+  [
+    ("requests", string_of_int n);
+    ("pieces", string_of_int pieces);
+    ("key accesses", string_of_int keys);
+    ("distinct keys", string_of_int distinct);
+    ( "mean keys/request",
+      if n = 0 then "0" else Printf.sprintf "%.1f" (float_of_int keys /. float_of_int n) );
+    ( "mean service",
+      if n = 0 then "0" else Printf.sprintf "%.0f ns" (float_of_int service /. float_of_int n) );
+  ]

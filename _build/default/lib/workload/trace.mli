@@ -1,0 +1,22 @@
+(** Pre-generated request logs on disk.
+
+    The paper's load generator replays "a memory-mapped pre-generated
+    request log containing 1M requests" (§5.1).  This module persists
+    simulated request logs so expensive generations (10M-keyspace YCSB,
+    full-scale TPC-C) are paid once; `bin/trace.exe` is the generator
+    front-end.
+
+    Format: a small versioned header followed by a flat integer encoding
+    of each request (id, arrival, pieces with read/write/commute keys and
+    service) — portable across runs of the same build. *)
+
+val save : path:string -> Doradd_sim.Sim_req.t array -> unit
+(** Write a log.  Overwrites. *)
+
+val load : path:string -> Doradd_sim.Sim_req.t array
+(** Read a log back.
+    @raise Failure on a missing file or format mismatch. *)
+
+val describe : Doradd_sim.Sim_req.t array -> (string * string) list
+(** Human-readable summary (request count, pieces, key statistics,
+    total service time) for audit output. *)

@@ -1,0 +1,96 @@
+module Rng = Doradd_stats.Rng
+module Sim_req = Doradd_sim.Sim_req
+
+type contention = No_contention | Mod_contention | High_contention
+
+type config = {
+  contention : contention;
+  n_keys : int;
+  ops_per_txn : int;
+  hot_count : int;
+  hot_stride : int;
+}
+
+let config ?(n_keys = 10_000_000) ?(ops_per_txn = 10) ?(hot_count = 77) ?(hot_stride = 1 lsl 17)
+    contention =
+  (* hot key i sits at i * stride; the largest must fit in the keyspace *)
+  if (hot_count - 1) * hot_stride >= n_keys then invalid_arg "Ycsb.config: hot keys exceed keyspace";
+  { contention; n_keys; ops_per_txn; hot_count; hot_stride }
+
+let reads_and_writes c =
+  match c.contention with
+  | No_contention -> (c.ops_per_txn - 2, 2)
+  | Mod_contention | High_contention -> (0, c.ops_per_txn)
+
+let hot_keys_per_txn c =
+  match c.contention with No_contention -> 0 | Mod_contention -> 3 | High_contention -> 7
+
+type op = { key : int; is_write : bool }
+
+type txn = { id : int; ops : op array }
+
+(* Draw [n] distinct keys: [hot] of them from the hot set, the rest
+   uniform.  Distinctness matters — the paper groups "10 unique key
+   accesses" per request. *)
+let draw_keys cfg rng ~hot ~n =
+  let keys = Array.make n (-1) in
+  let mem upto k =
+    let rec go i = i < upto && (keys.(i) = k || go (i + 1)) in
+    go 0
+  in
+  let fill i gen =
+    let rec retry () =
+      let k = gen () in
+      if mem i k then retry () else k
+    in
+    keys.(i) <- retry ()
+  in
+  for i = 0 to hot - 1 do
+    fill i (fun () -> Rng.int rng cfg.hot_count * cfg.hot_stride)
+  done;
+  for i = hot to n - 1 do
+    fill i (fun () -> Rng.int rng cfg.n_keys)
+  done;
+  keys
+
+let generate cfg rng ~n =
+  let n_reads, _ = reads_and_writes cfg in
+  let hot = hot_keys_per_txn cfg in
+  Array.init n (fun id ->
+      let keys = draw_keys cfg rng ~hot ~n:cfg.ops_per_txn in
+      (* writes first so hot keys (which only occur in all-write configs)
+         keep their position; for the 8r2w config the 2 writes are the
+         first two drawn (uniform) keys *)
+      let ops =
+        Array.mapi (fun i key -> { key; is_write = i >= n_reads || hot > 0 }) keys
+      in
+      (* For the mixed config the paper does not pin which ops write; put
+         the writes on the last two keys. *)
+      { id; ops })
+
+type cost = { base : int; read : int; write : int }
+
+let default_cost = { base = 200; read = 120; write = 150 }
+
+let to_sim ?(cost = default_cost) ?(rw = false) txns =
+  Array.map
+    (fun t ->
+      let service =
+        Array.fold_left
+          (fun acc o -> acc + if o.is_write then cost.write else cost.read)
+          cost.base t.ops
+      in
+      let writes =
+        Array.to_seq t.ops
+        |> Seq.filter_map (fun o -> if (not rw) || o.is_write then Some o.key else None)
+        |> Array.of_seq
+      in
+      let reads =
+        if rw then
+          Array.to_seq t.ops
+          |> Seq.filter_map (fun o -> if o.is_write then None else Some o.key)
+          |> Array.of_seq
+        else [||]
+      in
+      Sim_req.simple ~id:t.id ~reads ~writes ~service ())
+    txns

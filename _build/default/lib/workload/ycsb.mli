@@ -1,0 +1,51 @@
+(** YCSB workload generator, configured exactly as Table 1 of the paper.
+
+    Every transaction touches 10 distinct keys out of a 10M keyspace;
+    rows are 900 bytes, reads scan the row, writes update its first 100
+    bytes.  Contention is modelled with hot keys: 77 rows spaced 2^17
+    apart in the keyspace; a transaction picks [hot_keys] of its 10 keys
+    from that set (uniformly) and the rest uniformly from the whole
+    space.
+
+    - [No_contention]  : 8 reads, 2 writes, 0 hot keys;
+    - [Mod_contention] : 10 writes, 3 hot keys;
+    - [High_contention]: 10 writes, 7 hot keys. *)
+
+type contention = No_contention | Mod_contention | High_contention
+
+type config = {
+  contention : contention;
+  n_keys : int;  (** keyspace size, default 10M *)
+  ops_per_txn : int;  (** default 10 *)
+  hot_count : int;  (** default 77 *)
+  hot_stride : int;  (** default 2^17 *)
+}
+
+val config : ?n_keys:int -> ?ops_per_txn:int -> ?hot_count:int -> ?hot_stride:int -> contention -> config
+
+val reads_and_writes : config -> int * int
+(** (reads, writes) per transaction for this contention level. *)
+
+val hot_keys_per_txn : config -> int
+
+type op = { key : int; is_write : bool }
+
+type txn = { id : int; ops : op array }
+
+val generate : config -> Doradd_stats.Rng.t -> n:int -> txn array
+(** Pre-generate a request log (the paper replays a 1M-request log). *)
+
+(** Service-cost model used when lowering to simulated requests: the
+    useful work a worker performs for one transaction. *)
+type cost = { base : int; read : int; write : int }
+
+val default_cost : cost
+(** Calibrated so a 10-op YCSB transaction costs ~1.5 µs of worker time,
+    which reproduces the paper's observation that 8 DORADD workers
+    saturate the dispatcher (§5.1 Efficiency). *)
+
+val to_sim : ?cost:cost -> ?rw:bool -> txn array -> Doradd_sim.Sim_req.t array
+(** Lower to simulator requests.  [rw] = false (default) reproduces the
+    paper's semantics — every access is a dependency-carrying write;
+    [rw] = true keeps the read/write distinction (the read–write
+    extension ablation). *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Doradd_baselines Doradd_sim Float List Printf

@@ -1,0 +1,1 @@
+test/test_epoch.ml: Alcotest Array Doradd_core Doradd_db Doradd_epoch Doradd_stats Fun List Printf QCheck QCheck_alcotest

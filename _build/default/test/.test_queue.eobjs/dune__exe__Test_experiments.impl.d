@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Doradd_baselines Doradd_experiments Float List Printf String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Atomic Deterministic Doradd_baselines Doradd_core Doradd_sim Doradd_stats Float Footprint List Mutex Node Resource Runtime

@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Array Atomic Backoff Domain Doradd_queue List Mpmc Printf QCheck QCheck_alcotest Queue Ring Spsc

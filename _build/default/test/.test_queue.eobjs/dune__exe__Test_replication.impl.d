@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Domain Doradd_core Doradd_db Doradd_replication Doradd_stats Fun List Printf

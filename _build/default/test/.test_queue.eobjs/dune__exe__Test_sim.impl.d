@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Doradd_sim Doradd_stats Float Fun Hashtbl List Printf QCheck QCheck_alcotest

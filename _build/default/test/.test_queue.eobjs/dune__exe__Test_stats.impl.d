@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Distributions Doradd_stats Float Fun Gen Hashtbl Histogram List Printf QCheck QCheck_alcotest Rng String Summary Table

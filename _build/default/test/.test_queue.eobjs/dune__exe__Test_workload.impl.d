@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Doradd_sim Doradd_stats Doradd_workload Filename Float Fun Hashtbl List Option Sys

@@ -1,0 +1,479 @@
+(* Tests for the simulated systems: DORADD, Caracal, the non-deterministic
+   schedulers, the single-threaded executor, replication, and the two
+   analytic models.  These check the *mechanisms* each model implements
+   (queueing formulas, serialization, epoch barriers, work conservation)
+   against hand-computable cases. *)
+
+module B = Doradd_baselines
+module Sim_req = Doradd_sim.Sim_req
+module Metrics = Doradd_sim.Metrics
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let close ?(tol = 0.05) a b = Float.abs (a -. b) /. Float.max a b < tol
+
+let independent_log ~n ~service = Array.init n (fun id -> Sim_req.simple ~id ~writes:[| id |] ~service ())
+
+let hot_log ~n ~service = Array.init n (fun id -> Sim_req.simple ~id ~writes:[| 0 |] ~service ())
+
+(* ------------------------------------------------------------------ *)
+(* M_single                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_fifo_exact () =
+  (* arrivals every 100 ns, service 300 ns: queueing builds deterministically *)
+  let log = independent_log ~n:100 ~service:300 in
+  let m =
+    B.M_single.run (B.M_single.config ()) ~arrivals:(B.Load.Uniform { rate = 1e7 }) ~log
+  in
+  checki "all done" 100 (Metrics.completed m);
+  (* request i arrives at 100(i+1), completes at 100 + 300(i+1):
+     the worst latency is request 99: 100+300*100 - 100*100 = 20100 *)
+  checkb "max latency" true (Metrics.max_latency m >= 20_000 && Metrics.max_latency m <= 20_400);
+  checkb "peak = 1/service" true (close (Metrics.throughput m) (1e9 /. 300.0))
+
+let test_single_underload_latency_is_service () =
+  let log = independent_log ~n:1_000 ~service:5_000 in
+  let m =
+    B.M_single.run (B.M_single.config ()) ~arrivals:(B.Load.Uniform { rate = 10_000.0 }) ~log
+  in
+  (* histogram buckets have ~0.8% resolution at this magnitude *)
+  checkb "latency ~= service when idle" true (abs (Metrics.p50 m - 5_000) <= 50)
+
+let test_single_service_extra () =
+  let log = independent_log ~n:10 ~service:1_000 in
+  let m =
+    B.M_single.run
+      (B.M_single.config ~service_extra_ns:500 ())
+      ~arrivals:(B.Load.Uniform { rate = 1_000.0 })
+      ~log
+  in
+  checkb "extra added" true (abs (Metrics.p50 m - 1_500) <= 15)
+
+(* ------------------------------------------------------------------ *)
+(* M_doradd                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_doradd_worker_bound () =
+  (* independent 1 us requests, 4 workers, cheap dispatch: peak ~ 4 Mrps *)
+  let log = independent_log ~n:50_000 ~service:1_000 in
+  let cfg = B.M_doradd.config ~workers:4 ~dispatch_ns:10 ~worker_overhead_ns:0 ~keys_per_req:1 () in
+  let peak = B.M_doradd.max_throughput cfg ~log in
+  checkb "~4 Mrps" true (close peak 4e6)
+
+let test_doradd_dispatch_bound () =
+  (* dispatch 1 us per request caps at 1 Mrps despite many workers *)
+  let log = independent_log ~n:50_000 ~service:100 in
+  let cfg = B.M_doradd.config ~workers:32 ~dispatch_ns:1_000 ~keys_per_req:1 () in
+  let peak = B.M_doradd.max_throughput cfg ~log in
+  checkb "~1 Mrps" true (close peak 1e6)
+
+let test_doradd_single_key_serialises () =
+  (* every request writes key 0: throughput = 1/(service+overhead) *)
+  let log = hot_log ~n:20_000 ~service:1_000 in
+  let cfg = B.M_doradd.config ~workers:8 ~dispatch_ns:10 ~worker_overhead_ns:0 ~keys_per_req:1 () in
+  let peak = B.M_doradd.max_throughput cfg ~log in
+  checkb "serial chain" true (close peak 1e6)
+
+let test_doradd_underload_latency () =
+  let log = independent_log ~n:5_000 ~service:2_000 in
+  let cfg = B.M_doradd.config ~workers:4 ~dispatch_ns:100 ~worker_overhead_ns:50 ~keys_per_req:1 () in
+  let m = B.M_doradd.run cfg ~arrivals:(B.Load.Poisson { rate = 50_000.0; seed = 1 }) ~log in
+  (* dispatch 100 + pipeline latency + overhead 50 + service 2000 *)
+  let expected = 100 + Doradd_baselines.Params.pipeline_latency_ns ~stages:3 + 50 + 2_000 in
+  checkb "p50 ~= unloaded path" true
+    (abs (Metrics.p50 m - expected) * 100 < 10 * expected)
+
+let test_doradd_rw_enables_read_sharing () =
+  (* all requests read key 0: exclusive mode serialises, rw mode doesn't *)
+  let log = Array.init 20_000 (fun id -> Sim_req.simple ~id ~reads:[| 0 |] ~writes:[||] ~service:1_000 ()) in
+  let base = B.M_doradd.config ~workers:8 ~dispatch_ns:10 ~worker_overhead_ns:0 ~keys_per_req:1 () in
+  let excl = B.M_doradd.max_throughput base ~log in
+  let shared = B.M_doradd.max_throughput { base with B.M_doradd.rw = true } ~log in
+  checkb "exclusive ~1M" true (close excl 1e6);
+  checkb "shared ~8M" true (close shared 8e6)
+
+let test_doradd_rw_writer_still_ordered () =
+  (* reads share but a writer must wait for them: check outcome ordering
+     via latency of a writer behind slow readers *)
+  let log =
+    Array.concat
+      [
+        Array.init 8 (fun id -> Sim_req.simple ~id ~reads:[| 0 |] ~writes:[||] ~service:100_000 ());
+        [| Sim_req.simple ~id:8 ~writes:[| 0 |] ~service:1_000 () |];
+      ]
+  in
+  let cfg =
+    B.M_doradd.config ~workers:8 ~dispatch_ns:10 ~worker_overhead_ns:0 ~rw:true ~keys_per_req:1 ()
+  in
+  let m = B.M_doradd.run cfg ~arrivals:(B.Load.Uniform { rate = 1e8 }) ~log in
+  (* the writer completes only after the 100 us readers *)
+  checkb "writer waited for readers" true (Metrics.max_latency m >= 100_000)
+
+let test_doradd_multi_piece_parallel () =
+  (* two pieces on disjoint keys run in parallel: request latency ~ max,
+     not sum, of piece services *)
+  let log =
+    Array.init 1_000 (fun id ->
+        Sim_req.make ~id
+          [|
+            Sim_req.piece ~writes:[| 2 * id |] ~service:10_000 ();
+            Sim_req.piece ~writes:[| (2 * id) + 1 |] ~service:10_000 ();
+          |])
+  in
+  let cfg = B.M_doradd.config ~workers:8 ~dispatch_ns:10 ~worker_overhead_ns:0 ~keys_per_req:2 () in
+  let m = B.M_doradd.run cfg ~arrivals:(B.Load.Poisson { rate = 10_000.0; seed = 2 }) ~log in
+  checkb "latency ~ one piece" true (Metrics.p50 m < 15_000)
+
+let test_doradd_static_assignment_not_conserving () =
+  (* one straggler pins a worker; under static assignment requests mapped
+     to that worker queue behind it, under work conservation they don't *)
+  let log =
+    Array.init 4_000 (fun id ->
+        let service = if id = 0 then 5_000_000 else 1_000 in
+        Sim_req.simple ~id ~writes:[| id |] ~service ())
+  in
+  let base = B.M_doradd.config ~workers:4 ~dispatch_ns:10 ~worker_overhead_ns:0 ~keys_per_req:1 () in
+  let run cfg =
+    Metrics.p99 (B.M_doradd.run cfg ~arrivals:(B.Load.Poisson { rate = 1e6; seed = 3 }) ~log)
+  in
+  let wc = run base in
+  let st = run { base with B.M_doradd.static_assignment = true } in
+  checkb "static p99 much worse" true (st > 5 * wc)
+
+let test_doradd_completes_all () =
+  let log = independent_log ~n:10_000 ~service:500 in
+  let cfg = B.M_doradd.config ~workers:3 ~keys_per_req:1 () in
+  let m = B.M_doradd.run cfg ~arrivals:(B.Load.Poisson { rate = 1e6; seed = 4 }) ~log in
+  checki "no request lost" 10_000 (Metrics.completed m)
+
+let test_doradd_matches_md1_queueing () =
+  (* scientific sanity check of the whole sim stack: one worker,
+     independent keys, Poisson arrivals, deterministic service = an M/D/1
+     queue; mean waiting time must match rho*S / (2(1-rho)) *)
+  let service = 10_000 in
+  let cfg =
+    B.M_doradd.config ~workers:1 ~dispatch_ns:1 ~worker_overhead_ns:0 ~keys_per_req:1 ()
+  in
+  List.iter
+    (fun rho ->
+      let log = independent_log ~n:200_000 ~service in
+      let rate = rho /. (float_of_int service /. 1e9) in
+      let m = B.M_doradd.run cfg ~arrivals:(B.Load.Poisson { rate; seed = 8 }) ~log in
+      let expected_wait = rho *. float_of_int service /. (2.0 *. (1.0 -. rho)) in
+      let pipeline = float_of_int (B.Params.pipeline_latency_ns ~stages:3 + 1) in
+      let expected = float_of_int service +. expected_wait +. pipeline in
+      let got = Metrics.mean_latency m in
+      checkb
+        (Printf.sprintf "M/D/1 mean at rho=%.1f (got %.0f want %.0f)" rho got expected)
+        true
+        (Float.abs (got -. expected) /. expected < 0.05))
+    [ 0.3; 0.5; 0.7 ]
+
+(* ------------------------------------------------------------------ *)
+(* M_caracal                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_caracal_completes_all () =
+  let log = independent_log ~n:10_000 ~service:500 in
+  let cfg = B.M_caracal.config ~epoch_size:1_000 () in
+  let m = B.M_caracal.run cfg ~arrivals:(B.Load.Poisson { rate = 1e6; seed = 5 }) ~log in
+  checki "no request lost" 10_000 (Metrics.completed m)
+
+let test_caracal_latency_includes_batch_fill () =
+  (* at 100 Krps with 10k epochs, the first request waits ~100 ms for its
+     epoch to seal: latency floor ~ epoch fill time (pitfall P1) *)
+  let log = independent_log ~n:20_000 ~service:500 in
+  let cfg = B.M_caracal.config ~epoch_size:10_000 () in
+  let m = B.M_caracal.run cfg ~arrivals:(B.Load.Uniform { rate = 100_000.0 }) ~log in
+  checkb "p50 ~ epoch fill (50ms+)" true (Metrics.p50 m > 40_000_000)
+
+let test_caracal_epoch_size_latency_tradeoff () =
+  let log = independent_log ~n:20_000 ~service:500 in
+  let p50 es =
+    let cfg = B.M_caracal.config ~epoch_size:es () in
+    Metrics.p50 (B.M_caracal.run cfg ~arrivals:(B.Load.Uniform { rate = 1e6 }) ~log)
+  in
+  checkb "smaller epochs, lower latency" true (p50 100 < p50 1_000 && p50 1_000 < p50 10_000)
+
+let test_caracal_hot_key_serialises_epoch () =
+  (* single hot key: execution within an epoch is serial; with enough
+     conflicting work the peak collapses towards 1/exec_service *)
+  let log = hot_log ~n:20_000 ~service:1_000 in
+  let cfg = B.M_caracal.config ~cores:16 ~epoch_size:1_000 ~exec_factor:1.0 ~epoch_overhead_ns:0 () in
+  let peak = B.M_caracal.max_throughput cfg ~log in
+  checkb "near serial" true (peak < 1.2e6)
+
+let test_caracal_commutes_do_not_serialise () =
+  (* same hot key but commutative: contention management removes the
+     dependency, peak scales with cores *)
+  let log =
+    Array.init 20_000 (fun id ->
+        Sim_req.make ~id [| Sim_req.piece ~writes:[||] ~commutes:[| 0 |] ~service:1_000 () |])
+  in
+  let cfg = B.M_caracal.config ~cores:16 ~epoch_size:1_000 ~exec_factor:1.0 ~epoch_overhead_ns:0 () in
+  let peak = B.M_caracal.max_throughput cfg ~log in
+  checkb "parallel despite shared key" true (peak > 10e6)
+
+let test_caracal_straggler_holds_barrier () =
+  (* one straggler per epoch gates the next epoch: peak ~ epoch/straggler *)
+  let log =
+    Array.init 50_000 (fun id ->
+        let service = if id mod 1_000 = 0 then 1_000_000 else 1_000 in
+        Sim_req.simple ~id ~writes:[| id |] ~service ())
+  in
+  let cfg = B.M_caracal.config ~cores:16 ~epoch_size:1_000 ~exec_factor:1.0 ~epoch_overhead_ns:0 () in
+  let peak = B.M_caracal.max_throughput cfg ~log in
+  (* each epoch takes >= 1 ms (straggler), so peak <= 1000/1ms = 1 Mrps *)
+  checkb "barrier-bound" true (peak < 1.1e6)
+
+let test_caracal_reads_wait_for_writer_version () =
+  (* writer then reader on the same key in one epoch: the reader's
+     completion is after the writer's *)
+  let log =
+    [|
+      Sim_req.simple ~id:0 ~writes:[| 7 |] ~service:100_000 ();
+      Sim_req.simple ~id:1 ~reads:[| 7 |] ~writes:[||] ~service:1_000 ();
+    |]
+  in
+  let cfg = B.M_caracal.config ~cores:4 ~epoch_size:2 ~exec_factor:1.0 ~epoch_overhead_ns:0 () in
+  let m = B.M_caracal.run cfg ~arrivals:(B.Load.Uniform { rate = 1e9 }) ~log in
+  (* reader latency >= writer service *)
+  checkb "read-after-write wait" true (Metrics.max_latency m >= 100_000)
+
+(* ------------------------------------------------------------------ *)
+(* M_nondet                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_nondet_uncontended_peak () =
+  let log = independent_log ~n:20_000 ~service:5_000 in
+  List.iter
+    (fun variant ->
+      let cfg = B.M_nondet.config ~workers:8 ~lock_atomic_ns:0 variant in
+      let peak = B.M_nondet.max_throughput cfg ~log in
+      checkb "8/5us = 1.6M" true (close peak 1.6e6))
+    [ B.M_nondet.Async_mutex; B.M_nondet.Spinlock ]
+
+let test_nondet_hot_lock_serialises () =
+  let log = hot_log ~n:10_000 ~service:5_000 in
+  let cfg = B.M_nondet.config ~workers:8 B.M_nondet.Spinlock in
+  let peak = B.M_nondet.max_throughput cfg ~log in
+  checkb "chain-bound" true (peak < 1.05 *. (1e9 /. 5_000.0))
+
+let test_nondet_variants_track_each_other () =
+  (* half the load hits a hot lock, half is independent.  Under overload a
+     FIFO system's completion mix follows the arrival mix, so both
+     variants are bound by the hot chain and land within ~10% of each
+     other; the dispatcher's idle-core admission means spin waiters pile
+     up in the queue, not on cores, so spin does not collapse (see
+     EXPERIMENTS.md for how this abstracts from Caladan's kthreads). *)
+  let log =
+    Array.init 20_000 (fun id ->
+        let keys = if id land 1 = 0 then [| 0 |] else [| 100 + id |] in
+        Sim_req.simple ~id ~writes:keys ~service:5_000 ())
+  in
+  let peak v = B.M_nondet.max_throughput (B.M_nondet.config ~workers:8 v) ~log in
+  let async = peak B.M_nondet.Async_mutex and spin = peak B.M_nondet.Spinlock in
+  checkb "variants within 10%" true (async >= 0.9 *. spin && spin >= 0.9 *. async);
+  (* both are bound by the hot chain times the mix share (hot = 1/2) *)
+  let chain_bound = 2.0 *. (1e9 /. 5_000.0) in
+  checkb "chain-bound" true (async < 1.1 *. chain_bound && spin < 1.1 *. chain_bound)
+
+let test_nondet_completes_all () =
+  let log = hot_log ~n:5_000 ~service:1_000 in
+  List.iter
+    (fun variant ->
+      let cfg = B.M_nondet.config ~workers:4 variant in
+      let m = B.M_nondet.run cfg ~arrivals:(B.Load.Poisson { rate = 100_000.0; seed = 6 }) ~log in
+      checki "no request lost" 5_000 (Metrics.completed m))
+    [ B.M_nondet.Async_mutex; B.M_nondet.Spinlock ]
+
+let test_nondet_duplicate_keys_no_deadlock () =
+  let log = Array.init 100 (fun id -> Sim_req.simple ~id ~writes:[| 3; 3; 3 |] ~service:1_000 ()) in
+  let cfg = B.M_nondet.config ~workers:2 B.M_nondet.Async_mutex in
+  let m = B.M_nondet.run cfg ~arrivals:(B.Load.Uniform { rate = 1e6 }) ~log in
+  checki "all complete" 100 (Metrics.completed m)
+
+(* ------------------------------------------------------------------ *)
+(* M_replication                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_replication_latency_adds_rtt () =
+  let log = independent_log ~n:2_000 ~service:5_000 in
+  let exec = B.M_doradd.config ~workers:8 ~dispatch_ns:100 ~keys_per_req:1 () in
+  let run replicated =
+    let cfg = B.M_replication.config ~replicated (B.M_replication.Doradd exec) in
+    Metrics.p50 (B.M_replication.run cfg ~arrivals:(B.Load.Poisson { rate = 50_000.0; seed = 7 }) ~log)
+  in
+  let nonrepl = run false and repl = run true in
+  (* both include client RTT; replication adds the backup round trip on
+     top when execution is faster than the ack *)
+  checkb "replicated latency higher" true (repl > nonrepl);
+  checkb "roughly + backup RTT" true (repl - nonrepl < 3 * 2 * B.Params.net_one_way_ns)
+
+let test_replication_throughput_cost_small () =
+  let log = independent_log ~n:20_000 ~service:5_000 in
+  let exec = B.M_doradd.config ~workers:8 ~dispatch_ns:100 ~keys_per_req:1 () in
+  let peak replicated =
+    B.M_replication.max_throughput
+      (B.M_replication.config ~replicated (B.M_replication.Doradd exec))
+      ~log
+  in
+  let nr = peak false and r = peak true in
+  checkb "replication costs <5%" true (r > 0.95 *. nr && r <= nr)
+
+let test_replication_single_thread_much_slower () =
+  let log = independent_log ~n:20_000 ~service:5_000 in
+  let exec = B.M_doradd.config ~workers:8 ~dispatch_ns:100 ~keys_per_req:1 () in
+  let doradd =
+    B.M_replication.max_throughput
+      (B.M_replication.config ~replicated:true (B.M_replication.Doradd exec))
+      ~log
+  in
+  let single =
+    B.M_replication.max_throughput
+      (B.M_replication.config ~replicated:true (B.M_replication.Single (B.M_single.config ())))
+      ~log
+  in
+  checkb "DORADD ~8x single" true (doradd > 5.0 *. single)
+
+(* ------------------------------------------------------------------ *)
+(* Analytic models                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_dispatch_model_orderings () =
+  (* at a large keyspace: three-core >= two-core >= prefetch-only >= no-opt *)
+  let t v = B.Dispatch_model.max_throughput v ~keyspace:10_000_000 ~keys_per_req:10 in
+  checkb "3c >= 2c" true
+    (t B.Dispatch_model.Three_core >= t B.Dispatch_model.Two_core);
+  checkb "2c >= prefetch" true
+    (t B.Dispatch_model.Two_core >= t B.Dispatch_model.Prefetch_only);
+  checkb "prefetch >= no-opt" true
+    (t B.Dispatch_model.Prefetch_only >= t B.Dispatch_model.No_opt)
+
+let test_dispatch_model_keyspace_monotone () =
+  (* no-opt throughput never increases with keyspace *)
+  let t ks = B.Dispatch_model.max_throughput B.Dispatch_model.No_opt ~keyspace:ks ~keys_per_req:10 in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      checkb "monotone non-increasing" true (t a >= t b);
+      check rest
+    | _ -> ()
+  in
+  check [ 1_000; 100_000; 1_000_000; 10_000_000; 100_000_000 ]
+
+let test_dispatch_model_keys_monotone () =
+  let t k = B.Dispatch_model.max_throughput B.Dispatch_model.Three_core ~keyspace:10_000_000 ~keys_per_req:k in
+  checkb "more keys, less throughput" true (t 1 > t 10 && t 10 > t 40)
+
+let test_dispatch_model_pipeline_insensitive_to_keyspace () =
+  let t ks = B.Dispatch_model.max_throughput B.Dispatch_model.Three_core ~keyspace:ks ~keys_per_req:10 in
+  (* the paper's claim: pipeline holds throughput as memory pressure grows *)
+  checkb "3-core flat" true (close ~tol:0.01 (t 1_000) (t 100_000_000))
+
+let test_dispatch_model_stage_counts () =
+  let stages v = List.length (B.Dispatch_model.stage_costs v ~keyspace:1_000 ~keys_per_req:10) in
+  checki "no-opt 1" 1 (stages B.Dispatch_model.No_opt);
+  checki "prefetch 1" 1 (stages B.Dispatch_model.Prefetch_only);
+  checki "two 2" 2 (stages B.Dispatch_model.Two_core);
+  checki "three 3" 3 (stages B.Dispatch_model.Three_core)
+
+let test_pipeline_sim_matches_analytic_bottleneck () =
+  (* the batch-accurate simulation must agree with the bottleneck
+     approximation used by the analytic models *)
+  List.iter
+    (fun costs ->
+      let cfg = B.Pipeline_sim.config costs in
+      let sim = B.Pipeline_sim.max_throughput cfg in
+      let bottleneck = Array.fold_left Float.max 0.0 costs in
+      let analytic = 1e9 /. (bottleneck +. (float_of_int B.Params.queue_signal_ns /. 8.0)) in
+      checkb "sim = analytic within 2%" true (Float.abs (sim -. analytic) /. analytic < 0.02))
+    [ [| 100.; 100.; 100. |]; [| 40.; 180.; 60. |]; [| 250. |]; [| 10.; 10.; 10.; 300. |] ]
+
+let test_pipeline_sim_batch_amortisation () =
+  let t b =
+    B.Pipeline_sim.max_throughput (B.Pipeline_sim.config ~max_batch:b [| 40.; 180.; 60. |])
+  in
+  checkb "bigger batches amortise signalling" true (t 1 < t 4 && t 4 < t 32)
+
+let test_pipeline_sim_latency () =
+  let cfg = B.Pipeline_sim.config ~signal_ns:50.0 [| 40.; 60.; 180. |] in
+  checkb "idle latency = sum + signals" true
+    (Float.abs (B.Pipeline_sim.latency_ns cfg -. (40. +. 60. +. 180. +. 150.)) < 1e-6)
+
+let test_pipeline_sim_validation () =
+  Alcotest.check_raises "no stages" (Invalid_argument "Pipeline_sim.config: no stages")
+    (fun () -> ignore (B.Pipeline_sim.config [||]))
+
+let test_pipeline_model_shapes () =
+  let read c = B.Pipeline_model.max_throughput B.Pipeline_model.Read ~cores:c in
+  let write c = B.Pipeline_model.max_throughput B.Pipeline_model.Write ~cores:c in
+  for c = 2 to 8 do
+    checkb "write below read" true (write c < read c);
+    checkb "read decreasing" true (read c < read (c - 1));
+    checkb "write decreasing" true (write c < write (c - 1))
+  done;
+  checkb "single core equal" true (read 1 = write 1)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "baselines"
+    [
+      ( "single",
+        [
+          tc "fifo exact" `Quick test_single_fifo_exact;
+          tc "underload latency" `Quick test_single_underload_latency_is_service;
+          tc "service extra" `Quick test_single_service_extra;
+        ] );
+      ( "doradd",
+        [
+          tc "worker bound" `Slow test_doradd_worker_bound;
+          tc "dispatch bound" `Slow test_doradd_dispatch_bound;
+          tc "single key serialises" `Slow test_doradd_single_key_serialises;
+          tc "underload latency" `Quick test_doradd_underload_latency;
+          tc "rw read sharing" `Slow test_doradd_rw_enables_read_sharing;
+          tc "rw writer ordered" `Quick test_doradd_rw_writer_still_ordered;
+          tc "multi-piece parallel" `Quick test_doradd_multi_piece_parallel;
+          tc "static not conserving" `Quick test_doradd_static_assignment_not_conserving;
+          tc "completes all" `Quick test_doradd_completes_all;
+          tc "matches M/D/1 queueing" `Slow test_doradd_matches_md1_queueing;
+        ] );
+      ( "caracal",
+        [
+          tc "completes all" `Quick test_caracal_completes_all;
+          tc "latency includes batch fill" `Quick test_caracal_latency_includes_batch_fill;
+          tc "epoch size tradeoff" `Quick test_caracal_epoch_size_latency_tradeoff;
+          tc "hot key serialises" `Quick test_caracal_hot_key_serialises_epoch;
+          tc "commutes parallel" `Quick test_caracal_commutes_do_not_serialise;
+          tc "straggler holds barrier" `Quick test_caracal_straggler_holds_barrier;
+          tc "read-after-write wait" `Quick test_caracal_reads_wait_for_writer_version;
+        ] );
+      ( "nondet",
+        [
+          tc "uncontended peak" `Slow test_nondet_uncontended_peak;
+          tc "hot lock serialises" `Quick test_nondet_hot_lock_serialises;
+          tc "variants track each other" `Slow test_nondet_variants_track_each_other;
+          tc "completes all" `Quick test_nondet_completes_all;
+          tc "duplicate keys no deadlock" `Quick test_nondet_duplicate_keys_no_deadlock;
+        ] );
+      ( "replication",
+        [
+          tc "latency adds rtt" `Quick test_replication_latency_adds_rtt;
+          tc "throughput cost small" `Quick test_replication_throughput_cost_small;
+          tc "single thread slower" `Quick test_replication_single_thread_much_slower;
+        ] );
+      ( "analytic-models",
+        [
+          tc "dispatch orderings" `Quick test_dispatch_model_orderings;
+          tc "dispatch keyspace monotone" `Quick test_dispatch_model_keyspace_monotone;
+          tc "dispatch keys monotone" `Quick test_dispatch_model_keys_monotone;
+          tc "dispatch pipeline flat" `Quick test_dispatch_model_pipeline_insensitive_to_keyspace;
+          tc "dispatch stage counts" `Quick test_dispatch_model_stage_counts;
+          tc "pipeline model shapes" `Quick test_pipeline_model_shapes;
+          tc "pipeline sim = analytic" `Quick test_pipeline_sim_matches_analytic_bottleneck;
+          tc "pipeline sim batching" `Quick test_pipeline_sim_batch_amortisation;
+          tc "pipeline sim latency" `Quick test_pipeline_sim_latency;
+          tc "pipeline sim validation" `Quick test_pipeline_sim_validation;
+        ] );
+    ]

@@ -1,0 +1,448 @@
+(* Integration tests for the real in-memory database (rows, store, KV
+   transactions, TPC-C) on the real multicore runtime. *)
+
+module Db = Doradd_db
+module Core = Doradd_core
+module Rng = Doradd_stats.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Row                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_row_sizes () =
+  checki "900-byte rows" 900 Db.Row.byte_size;
+  checki "100-byte writes" 100 Db.Row.write_size
+
+let test_row_deterministic_init () =
+  let a = Db.Row.create ~key:7 and b = Db.Row.create ~key:7 in
+  checki "same key same contents" (Db.Row.checksum a) (Db.Row.checksum b);
+  let c = Db.Row.create ~key:8 in
+  checkb "different key different contents" true (Db.Row.checksum a <> Db.Row.checksum c)
+
+let test_row_write_changes_checksum () =
+  let r = Db.Row.create ~key:1 in
+  let before = Db.Row.checksum r in
+  Db.Row.write r 42;
+  checkb "write visible" true (Db.Row.checksum r <> before);
+  let r2 = Db.Row.create ~key:1 in
+  Db.Row.write r2 42;
+  checki "writes deterministic" (Db.Row.checksum r) (Db.Row.checksum r2)
+
+let test_row_key () =
+  checki "key stored" 123 (Db.Row.key (Db.Row.create ~key:123))
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_populate_find () =
+  let s = Db.Store.create () in
+  Db.Store.populate s ~n:100;
+  checki "size" 100 (Db.Store.size s);
+  checkb "find hit" true (Db.Store.find s 50 <> None);
+  checkb "find miss" true (Db.Store.find s 100 = None);
+  Alcotest.check_raises "find_exn miss" Not_found (fun () -> ignore (Db.Store.find_exn s 100))
+
+(* ------------------------------------------------------------------ *)
+(* KV transactions                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mk_txns ~seed ~n ~n_keys =
+  let rng = Rng.create seed in
+  Array.init n (fun id ->
+      let ops =
+        Array.init 5 (fun _ ->
+            {
+              Db.Kv.key = Rng.int rng n_keys;
+              kind = (if Rng.bool rng then Db.Kv.Read else Db.Kv.Update);
+            })
+      in
+      { Db.Kv.id; ops })
+
+let test_kv_parallel_matches_serial () =
+  let n_keys = 200 in
+  let txns = mk_txns ~seed:1 ~n:4_000 ~n_keys in
+  let ref_store = Db.Store.create () in
+  Db.Store.populate ref_store ~n:n_keys;
+  let expected = Db.Kv.run_sequential ref_store txns in
+  let keys = Array.init n_keys Fun.id in
+  let expected_state = Db.Kv.state_digest ref_store ~keys in
+  List.iter
+    (fun workers ->
+      let store = Db.Store.create () in
+      Db.Store.populate store ~n:n_keys;
+      let got = Db.Kv.run_parallel ~workers store txns in
+      Alcotest.check (Alcotest.array Alcotest.int)
+        (Printf.sprintf "read digests (%d workers)" workers)
+        expected got;
+      checki
+        (Printf.sprintf "state digest (%d workers)" workers)
+        expected_state
+        (Db.Kv.state_digest store ~keys))
+    [ 1; 2; 4 ]
+
+let test_kv_rw_mode_matches_serial () =
+  let n_keys = 50 in
+  let txns = mk_txns ~seed:2 ~n:3_000 ~n_keys in
+  let ref_store = Db.Store.create () in
+  Db.Store.populate ref_store ~n:n_keys;
+  let expected = Db.Kv.run_sequential ref_store txns in
+  let store = Db.Store.create () in
+  Db.Store.populate store ~n:n_keys;
+  let got = Db.Kv.run_parallel ~rw:true ~workers:4 store txns in
+  Alcotest.check (Alcotest.array Alcotest.int) "rw mode deterministic" expected got
+
+let test_kv_single_hot_key () =
+  (* all txns update the same row: fully serial, digests must match *)
+  let txns =
+    Array.init 1_000 (fun id -> { Db.Kv.id; ops = [| { Db.Kv.key = 0; kind = Db.Kv.Update } |] })
+  in
+  let ref_store = Db.Store.create () in
+  Db.Store.populate ref_store ~n:1;
+  ignore (Db.Kv.run_sequential ref_store txns);
+  let store = Db.Store.create () in
+  Db.Store.populate store ~n:1;
+  ignore (Db.Kv.run_parallel ~workers:4 store txns);
+  checki "hot row state equal"
+    (Db.Kv.state_digest ref_store ~keys:[| 0 |])
+    (Db.Kv.state_digest store ~keys:[| 0 |])
+
+(* ------------------------------------------------------------------ *)
+(* TPC-C                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let small_cfg = { Db.Tpcc_db.warehouses = 2; customers_per_district = 50; items = 500 }
+
+let count_kinds txns =
+  Array.fold_left
+    (fun (o, p) -> function Db.Tpcc_db.New_order _ -> (o + 1, p) | Db.Tpcc_db.Payment _ -> (o, p + 1))
+    (0, 0) txns
+
+let test_tpcc_payment_semantics () =
+  let db = Db.Tpcc_db.create small_cfg in
+  Db.Tpcc_db.execute db
+    (Db.Tpcc_db.Payment { p_w = 0; p_d = 3; p_c = 7; amount = 1_234 });
+  checki "warehouse ytd" 1_234 (Db.Tpcc_db.warehouse_ytd db ~w:0);
+  checki "district ytd" 1_234 (Db.Tpcc_db.district_ytd db ~w:0 ~d:3);
+  checki "customer balance" (-1_234) (Db.Tpcc_db.customer_balance db ~w:0 ~d:3 ~c:7);
+  checki "other warehouse untouched" 0 (Db.Tpcc_db.warehouse_ytd db ~w:1)
+
+let test_tpcc_new_order_semantics () =
+  let db = Db.Tpcc_db.create small_cfg in
+  checki "initial next_o_id" 1 (Db.Tpcc_db.district_next_o_id db ~w:0 ~d:0);
+  Db.Tpcc_db.execute db
+    (Db.Tpcc_db.New_order { no_w = 0; no_d = 0; no_c = 0; lines = [| (5, 3); (9, 2) |] });
+  checki "next_o_id bumped" 2 (Db.Tpcc_db.district_next_o_id db ~w:0 ~d:0);
+  checki "order recorded" 1 (Db.Tpcc_db.district_order_count db ~w:0 ~d:0);
+  checki "stock decremented" 97 (Db.Tpcc_db.stock_quantity db ~w:0 ~i:5);
+  checki "stock ytd totals qty" 5 (Db.Tpcc_db.stock_ytd_total db)
+
+let test_tpcc_stock_restock () =
+  let db = Db.Tpcc_db.create small_cfg in
+  (* order item 0 ten at a time until restock triggers: 100 -> ... -> <10+qty *)
+  for _ = 1 to 12 do
+    Db.Tpcc_db.execute db
+      (Db.Tpcc_db.New_order { no_w = 0; no_d = 0; no_c = 0; lines = [| (0, 10) |] })
+  done;
+  let q = Db.Tpcc_db.stock_quantity db ~w:0 ~i:0 in
+  checkb "restocked (never below 0)" true (q > 0);
+  checki "ytd counts all" 120 (Db.Tpcc_db.stock_ytd_total db)
+
+let test_tpcc_parallel_matches_serial () =
+  let gen = Db.Tpcc_db.create small_cfg in
+  let txns = Db.Tpcc_db.generate gen (Rng.create 5) ~n:6_000 in
+  let reference = Db.Tpcc_db.create small_cfg in
+  Db.Tpcc_db.run_sequential reference txns;
+  let expected = Db.Tpcc_db.digest reference in
+  List.iter
+    (fun workers ->
+      let db = Db.Tpcc_db.create small_cfg in
+      Db.Tpcc_db.run_parallel ~workers db txns;
+      checki (Printf.sprintf "digest (%d workers)" workers) expected (Db.Tpcc_db.digest db))
+    [ 1; 2; 4 ]
+
+let test_tpcc_rw_matches_serial () =
+  let gen = Db.Tpcc_db.create small_cfg in
+  let txns = Db.Tpcc_db.generate gen (Rng.create 6) ~n:4_000 in
+  let reference = Db.Tpcc_db.create small_cfg in
+  Db.Tpcc_db.run_sequential reference txns;
+  let db = Db.Tpcc_db.create small_cfg in
+  Db.Tpcc_db.run_parallel ~rw:true ~workers:4 db txns;
+  checki "rw digest" (Db.Tpcc_db.digest reference) (Db.Tpcc_db.digest db)
+
+let test_tpcc_consistency_after_parallel () =
+  let gen = Db.Tpcc_db.create small_cfg in
+  let txns = Db.Tpcc_db.generate gen (Rng.create 7) ~n:6_000 in
+  let orders, payments = count_kinds txns in
+  let db = Db.Tpcc_db.create small_cfg in
+  Db.Tpcc_db.run_parallel ~workers:4 db txns;
+  (match Db.Tpcc_db.check_consistency db ~expected_payments:payments ~expected_orders:orders with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* warehouse ytd across warehouses equals total payment volume *)
+  let total_ytd =
+    Db.Tpcc_db.warehouse_ytd db ~w:0 + Db.Tpcc_db.warehouse_ytd db ~w:1
+  in
+  let expected_ytd =
+    Array.fold_left
+      (fun acc -> function Db.Tpcc_db.Payment p -> acc + p.Db.Tpcc_db.amount | _ -> acc)
+      0 txns
+  in
+  checki "payment volume conserved" expected_ytd total_ytd
+
+let test_tpcc_consistency_detects_violation () =
+  let db = Db.Tpcc_db.create small_cfg in
+  Db.Tpcc_db.execute db (Db.Tpcc_db.Payment { p_w = 0; p_d = 0; p_c = 0; amount = 10 });
+  (* claim the wrong expected counts: must be reported *)
+  match Db.Tpcc_db.check_consistency db ~expected_payments:5 ~expected_orders:0 with
+  | Ok () -> Alcotest.fail "expected inconsistency"
+  | Error _ -> ()
+
+let test_tpcc_generate_bounds () =
+  let db = Db.Tpcc_db.create small_cfg in
+  let txns = Db.Tpcc_db.generate db (Rng.create 8) ~n:1_000 in
+  Array.iter
+    (fun t ->
+      match t with
+      | Db.Tpcc_db.New_order o ->
+        checkb "warehouse in range" true (o.Db.Tpcc_db.no_w < small_cfg.Db.Tpcc_db.warehouses);
+        Array.iter
+          (fun (i, q) ->
+            checkb "item in range" true (i < small_cfg.Db.Tpcc_db.items);
+            checkb "qty 1..10" true (q >= 1 && q <= 10))
+          o.Db.Tpcc_db.lines
+      | Db.Tpcc_db.Payment p ->
+        checkb "customer in range" true
+          (p.Db.Tpcc_db.p_c < small_cfg.Db.Tpcc_db.customers_per_district))
+    txns
+
+let test_tpcc_create_validation () =
+  Alcotest.check_raises "bad config" (Invalid_argument "Tpcc_db.create") (fun () ->
+      ignore (Db.Tpcc_db.create { Db.Tpcc_db.warehouses = 0; customers_per_district = 1; items = 1 }))
+
+(* ------------------------------------------------------------------ *)
+(* Ledger (smart-contract-style)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ledger_cfg = { Db.Ledger.accounts = 50; pools = 2 }
+
+let test_ledger_transfer_semantics () =
+  let l = Db.Ledger.create ledger_cfg in
+  Db.Ledger.execute l (Db.Ledger.Transfer { src = 0; dst = 1; amount = 500 });
+  checki "src debited" 9_500 (Db.Ledger.balance l 0);
+  checki "dst credited" 10_500 (Db.Ledger.balance l 1);
+  (* insufficient funds: deterministic no-op *)
+  Db.Ledger.execute l (Db.Ledger.Transfer { src = 0; dst = 1; amount = 1_000_000 });
+  checki "no-op on insufficient funds" 9_500 (Db.Ledger.balance l 0)
+
+let test_ledger_mint_semantics () =
+  let l = Db.Ledger.create ledger_cfg in
+  let before = Db.Ledger.total_supply l in
+  Db.Ledger.execute l (Db.Ledger.Mint { dst = 3; amount = 777 });
+  checki "supply grows" (before + 777) (Db.Ledger.total_supply l);
+  checki "account credited" (10_000 + 777) (Db.Ledger.balance l 3);
+  checkb "conservation" true (Db.Ledger.circulating l = Db.Ledger.total_supply l)
+
+let test_ledger_swap_semantics () =
+  let l = Db.Ledger.create ledger_cfg in
+  let _, _, k0 = Db.Ledger.pool_product l 0 in
+  Db.Ledger.execute l (Db.Ledger.Swap { pool = 0; trader = 0; amount_in = 1_000; a_to_b = true });
+  let ra, rb, k = Db.Ledger.pool_product l 0 in
+  checkb "reserve A grew" true (ra > 1_000_000);
+  checkb "reserve B shrank" true (rb < 1_000_000);
+  checkb "product never shrinks (fee)" true (k >= k0);
+  checkb "trader paid A" true (Db.Ledger.balance l 0 < 10_000)
+
+let test_ledger_parallel_matches_serial () =
+  let txns = Db.Ledger.generate (Db.Ledger.create ledger_cfg) (Rng.create 21) ~n:8_000 in
+  let reference = Db.Ledger.create ledger_cfg in
+  Db.Ledger.run_sequential reference txns;
+  List.iter
+    (fun workers ->
+      let l = Db.Ledger.create ledger_cfg in
+      Db.Ledger.run_parallel ~workers l txns;
+      checki (Printf.sprintf "digest (%d workers)" workers) (Db.Ledger.digest reference)
+        (Db.Ledger.digest l);
+      match Db.Ledger.check_invariants l with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ 1; 2; 4 ]
+
+let test_ledger_hot_pool_contention () =
+  (* swaps only, single pool: maximum contention on one resource *)
+  let cfg1 = { Db.Ledger.accounts = 20; pools = 1 } in
+  let txns =
+    Db.Ledger.generate ~transfer_pct:0 ~mint_pct:0 (Db.Ledger.create cfg1) (Rng.create 22)
+      ~n:5_000
+  in
+  let reference = Db.Ledger.create cfg1 in
+  Db.Ledger.run_sequential reference txns;
+  let l = Db.Ledger.create cfg1 in
+  Db.Ledger.run_parallel ~workers:4 l txns;
+  checki "hot pool digest" (Db.Ledger.digest reference) (Db.Ledger.digest l)
+
+let test_ledger_validation () =
+  Alcotest.check_raises "bad config" (Invalid_argument "Ledger.create") (fun () ->
+      ignore (Db.Ledger.create { Db.Ledger.accounts = 0; pools = 1 }));
+  Alcotest.check_raises "bad mix" (Invalid_argument "Ledger.generate") (fun () ->
+      ignore
+        (Db.Ledger.generate ~transfer_pct:80 ~mint_pct:30 (Db.Ledger.create ledger_cfg)
+           (Rng.create 1) ~n:1))
+
+let prop_ledger_determinism =
+  QCheck.Test.make ~name:"ledger parallel = serial for random logs" ~count:15
+    QCheck.(pair (int_range 1 1_000_000) (int_range 2 4))
+    (fun (seed, workers) ->
+      let txns = Db.Ledger.generate (Db.Ledger.create ledger_cfg) (Rng.create seed) ~n:1_500 in
+      let reference = Db.Ledger.create ledger_cfg in
+      Db.Ledger.run_sequential reference txns;
+      let l = Db.Ledger.create ledger_cfg in
+      Db.Ledger.run_parallel ~workers l txns;
+      Db.Ledger.digest reference = Db.Ledger.digest l
+      && Db.Ledger.check_invariants l = Ok ())
+
+(* qcheck: any short random txn list replayed in parallel matches serial *)
+let prop_tpcc_determinism =
+  QCheck.Test.make ~name:"tpcc parallel = serial for random logs" ~count:15
+    QCheck.(pair (int_range 1 1_000_000) (int_range 2 4))
+    (fun (seed, workers) ->
+      let gen = Db.Tpcc_db.create small_cfg in
+      let txns = Db.Tpcc_db.generate gen (Rng.create seed) ~n:800 in
+      let reference = Db.Tpcc_db.create small_cfg in
+      Db.Tpcc_db.run_sequential reference txns;
+      let db = Db.Tpcc_db.create small_cfg in
+      Db.Tpcc_db.run_parallel ~workers db txns;
+      Db.Tpcc_db.digest reference = Db.Tpcc_db.digest db)
+
+(* ------------------------------------------------------------------ *)
+(* CRUD service                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_crud_semantics () =
+  let s = Db.Crud.create ~capacity:10 in
+  let log =
+    [|
+      Db.Crud.Create { body = 7 };
+      Db.Crud.Read { id = 0 };
+      Db.Crud.Update { id = 0; body = 9 };
+      Db.Crud.Read { id = 0 };
+      Db.Crud.Delete { id = 0 };
+      Db.Crud.Read { id = 0 };
+      Db.Crud.Read { id = 5 };
+      Db.Crud.Delete { id = 0 };
+    |]
+  in
+  let r = Db.Crud.run_sequential s log in
+  checkb "create -> id 0" true (r.(0) = Db.Crud.Ok_id 0);
+  checkb "read body" true (r.(1) = Db.Crud.Ok_value 7);
+  checkb "update ok" true (r.(2) = Db.Crud.Ok_unit);
+  checkb "read updated" true (r.(3) = Db.Crud.Ok_value 9);
+  checkb "delete ok" true (r.(4) = Db.Crud.Ok_unit);
+  checkb "read after delete 404s" true (r.(5) = Db.Crud.Not_found_);
+  checkb "never-created 404s" true (r.(6) = Db.Crud.Not_found_);
+  checkb "double delete 404s" true (r.(7) = Db.Crud.Not_found_);
+  checki "one id allocated" 1 (Db.Crud.next_id s);
+  checki "nothing live" 0 (Db.Crud.live_documents s)
+
+let test_crud_plan_assigns_dense_ids () =
+  let s = Db.Crud.create ~capacity:100 in
+  let log = Array.init 10 (fun i -> Db.Crud.Create { body = i }) in
+  let planned = Db.Crud.plan s log in
+  Array.iteri
+    (fun i p -> checkb "dense ids in log order" true (Db.Crud.planned_id p = Some i))
+    planned
+
+let test_crud_plan_capacity () =
+  let s = Db.Crud.create ~capacity:2 in
+  Alcotest.check_raises "overflow" (Invalid_argument "Crud.plan: capacity exceeded") (fun () ->
+      ignore (Db.Crud.plan s (Array.init 3 (fun i -> Db.Crud.Create { body = i }))))
+
+let test_crud_parallel_matches_serial () =
+  let capacity = 4_000 in
+  let gen = Db.Crud.create ~capacity in
+  let log = Db.Crud.generate gen (Rng.create 33) ~n:8_000 in
+  let reference = Db.Crud.create ~capacity in
+  let expected = Db.Crud.run_sequential reference log in
+  List.iter
+    (fun workers ->
+      let s = Db.Crud.create ~capacity in
+      let got = Db.Crud.run_parallel ~workers s log in
+      checkb (Printf.sprintf "responses equal (%d workers)" workers) true (got = expected);
+      checki "digest" (Db.Crud.digest reference) (Db.Crud.digest s);
+      match Db.Crud.check_invariants s with Ok () -> () | Error e -> Alcotest.fail e)
+    [ 1; 2; 4 ]
+
+let test_crud_out_of_range_ids () =
+  let s = Db.Crud.create ~capacity:4 in
+  let r = Db.Crud.run_sequential s [| Db.Crud.Read { id = 999 }; Db.Crud.Delete { id = -3 } |] in
+  checkb "oversized id 404s" true (r.(0) = Db.Crud.Not_found_);
+  checkb "negative id 404s" true (r.(1) = Db.Crud.Not_found_)
+
+let prop_crud_determinism =
+  QCheck.Test.make ~name:"crud parallel = serial for random logs" ~count:15
+    QCheck.(pair (int_range 1 1_000_000) (int_range 2 4))
+    (fun (seed, workers) ->
+      let capacity = 600 in
+      let gen = Db.Crud.create ~capacity in
+      let log = Db.Crud.generate gen (Rng.create seed) ~n:1_200 in
+      let reference = Db.Crud.create ~capacity in
+      let expected = Db.Crud.run_sequential reference log in
+      let s = Db.Crud.create ~capacity in
+      let got = Db.Crud.run_parallel ~workers s log in
+      got = expected && Db.Crud.digest s = Db.Crud.digest reference
+      && Db.Crud.check_invariants s = Ok ())
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "db"
+    [
+      ( "row",
+        [
+          tc "sizes" `Quick test_row_sizes;
+          tc "deterministic init" `Quick test_row_deterministic_init;
+          tc "write changes checksum" `Quick test_row_write_changes_checksum;
+          tc "key" `Quick test_row_key;
+        ] );
+      ("store", [ tc "populate/find" `Quick test_store_populate_find ]);
+      ( "kv",
+        [
+          tc "parallel = serial" `Slow test_kv_parallel_matches_serial;
+          tc "rw mode" `Slow test_kv_rw_mode_matches_serial;
+          tc "single hot key" `Slow test_kv_single_hot_key;
+        ] );
+      ( "tpcc",
+        [
+          tc "payment semantics" `Quick test_tpcc_payment_semantics;
+          tc "new-order semantics" `Quick test_tpcc_new_order_semantics;
+          tc "stock restock" `Quick test_tpcc_stock_restock;
+          tc "parallel = serial" `Slow test_tpcc_parallel_matches_serial;
+          tc "rw = serial" `Slow test_tpcc_rw_matches_serial;
+          tc "consistency after parallel" `Slow test_tpcc_consistency_after_parallel;
+          tc "consistency detects violation" `Quick test_tpcc_consistency_detects_violation;
+          tc "generate bounds" `Quick test_tpcc_generate_bounds;
+          tc "create validation" `Quick test_tpcc_create_validation;
+          QCheck_alcotest.to_alcotest prop_tpcc_determinism;
+        ] );
+      ( "crud",
+        [
+          tc "semantics" `Quick test_crud_semantics;
+          tc "plan dense ids" `Quick test_crud_plan_assigns_dense_ids;
+          tc "plan capacity" `Quick test_crud_plan_capacity;
+          tc "parallel = serial" `Slow test_crud_parallel_matches_serial;
+          tc "out-of-range ids" `Quick test_crud_out_of_range_ids;
+          QCheck_alcotest.to_alcotest prop_crud_determinism;
+        ] );
+      ( "ledger",
+        [
+          tc "transfer semantics" `Quick test_ledger_transfer_semantics;
+          tc "mint semantics" `Quick test_ledger_mint_semantics;
+          tc "swap semantics" `Quick test_ledger_swap_semantics;
+          tc "parallel = serial" `Slow test_ledger_parallel_matches_serial;
+          tc "hot pool contention" `Slow test_ledger_hot_pool_contention;
+          tc "validation" `Quick test_ledger_validation;
+          QCheck_alcotest.to_alcotest prop_ledger_determinism;
+        ] );
+    ]

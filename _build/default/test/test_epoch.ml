@@ -1,0 +1,159 @@
+(* Tests for the real epoch-based engine (the Caracal-style discipline on
+   actual domains), and its cross-check against the DORADD runtime: two
+   different deterministic schedulers must produce the same outcome. *)
+
+module Epoch = Doradd_epoch.Epoch_runtime
+module Core = Doradd_core
+module Rng = Doradd_stats.Rng
+
+let checki = Alcotest.check Alcotest.int
+
+let apply_op v req_id = (v * 31) + req_id + 1
+
+let make_log ~seed ~n ~n_keys ~keys_per_req =
+  let rng = Rng.create seed in
+  Array.init n (fun id ->
+      let keys =
+        Array.init (1 + Rng.int rng keys_per_req) (fun _ -> Rng.int rng n_keys)
+      in
+      (id, keys))
+
+let run_epoch ?workers ?epoch_size ~n_keys log =
+  let cells = Array.make n_keys 0 in
+  Epoch.run_log ?workers ?epoch_size
+    ~footprint:(fun (_, keys) -> keys)
+    ~execute:(fun (id, keys) ->
+      Array.iter (fun k -> cells.(k) <- apply_op cells.(k) id) keys)
+    log;
+  cells
+
+let run_serial ~n_keys log =
+  let cells = Array.make n_keys 0 in
+  Array.iter (fun (id, keys) -> Array.iter (fun k -> cells.(k) <- apply_op cells.(k) id) keys) log;
+  cells
+
+let test_epoch_matches_serial () =
+  let n_keys = 30 in
+  let log = make_log ~seed:1 ~n:2_000 ~n_keys ~keys_per_req:4 in
+  let expected = run_serial ~n_keys log in
+  List.iter
+    (fun (workers, epoch_size) ->
+      let got = run_epoch ~workers ~epoch_size ~n_keys log in
+      Alcotest.check (Alcotest.array Alcotest.int)
+        (Printf.sprintf "w=%d es=%d" workers epoch_size)
+        expected got)
+    [ (1, 64); (2, 128); (4, 1_024); (3, 7) ]
+
+let test_epoch_duplicate_keys () =
+  (* a request naming the same key twice must not deadlock on itself *)
+  let log = Array.init 200 (fun id -> (id, [| 0; 0; 1 |])) in
+  let expected = run_serial ~n_keys:2 log in
+  let got = run_epoch ~workers:3 ~epoch_size:32 ~n_keys:2 log in
+  Alcotest.check (Alcotest.array Alcotest.int) "self-duplicates fine" expected got
+
+let test_epoch_partial_last_epoch () =
+  (* log length not a multiple of the epoch size *)
+  let n_keys = 8 in
+  let log = make_log ~seed:2 ~n:1_001 ~n_keys ~keys_per_req:2 in
+  let got = run_epoch ~workers:2 ~epoch_size:100 ~n_keys log in
+  Alcotest.check (Alcotest.array Alcotest.int) "partial epoch" (run_serial ~n_keys log) got
+
+let test_epoch_empty_log () =
+  let got = run_epoch ~workers:2 ~epoch_size:16 ~n_keys:4 [||] in
+  Alcotest.check (Alcotest.array Alcotest.int) "empty" [| 0; 0; 0; 0 |] got
+
+let test_epoch_validation () =
+  Alcotest.check_raises "bad params" (Invalid_argument "Epoch_runtime.run_log") (fun () ->
+      Epoch.run_log ~workers:0 ~footprint:(fun _ -> [||]) ~execute:ignore [||])
+
+let test_epoch_agrees_with_doradd () =
+  (* two independent deterministic engines, same log, same outcome *)
+  let n_keys = 16 in
+  let log = make_log ~seed:3 ~n:2_500 ~n_keys ~keys_per_req:3 in
+  let epoch_result = run_epoch ~workers:3 ~epoch_size:256 ~n_keys log in
+  let cells = Array.init n_keys (fun _ -> Core.Resource.create 0) in
+  Core.Runtime.run_log ~workers:3
+    (fun (_, keys) ->
+      Core.Footprint.of_slots (Array.to_list (Array.map (fun k -> Core.Resource.slot cells.(k)) keys)))
+    (fun (id, keys) -> Array.iter (fun k -> Core.Resource.update cells.(k) (fun v -> apply_op v id)) keys)
+    log;
+  Alcotest.check (Alcotest.array Alcotest.int) "epoch engine = DORADD" epoch_result
+    (Array.map Core.Resource.get cells)
+
+let prop_epoch_determinism =
+  QCheck.Test.make ~name:"epoch engine deterministic for random logs" ~count:8
+    QCheck.(triple (int_range 1 1_000_000) (int_range 1 4) (int_range 20 300))
+    (fun (seed, workers, epoch_size) ->
+      let n_keys = 10 in
+      let log = make_log ~seed ~n:400 ~n_keys ~keys_per_req:3 in
+      run_epoch ~workers ~epoch_size ~n_keys log = run_serial ~n_keys log)
+
+(* ------------------------------------------------------------------ *)
+(* Pipelined KV datapath                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Db = Doradd_db
+
+let mk_txns ~seed ~n ~n_keys =
+  let rng = Rng.create seed in
+  Array.init n (fun id ->
+      let ops =
+        Array.init 4 (fun _ ->
+            {
+              Db.Kv.key = Rng.int rng n_keys;
+              kind = (if Rng.bool rng then Db.Kv.Read else Db.Kv.Update);
+            })
+      in
+      { Db.Kv.id; ops })
+
+let test_kv_pipeline_matches_serial () =
+  let n_keys = 100 in
+  let txns = mk_txns ~seed:11 ~n:3_000 ~n_keys in
+  let reference = Db.Store.create () in
+  Db.Store.populate reference ~n:n_keys;
+  let expected = Db.Kv.run_sequential reference txns in
+  List.iter
+    (fun stages ->
+      let store = Db.Store.create () in
+      Db.Store.populate store ~n:n_keys;
+      let got = Db.Kv_pipeline.run_pipelined ~workers:2 ~stages store txns in
+      Alcotest.check (Alcotest.array Alcotest.int) "pipelined = serial" expected got;
+      checki "state digest"
+        (Db.Kv.state_digest reference ~keys:(Array.init n_keys Fun.id))
+        (Db.Kv.state_digest store ~keys:(Array.init n_keys Fun.id)))
+    [ Core.Pipeline.Four_core; Core.Pipeline.Two_core; Core.Pipeline.One_core ]
+
+let test_kv_pipeline_contended () =
+  let txns =
+    Array.init 1_000 (fun id -> { Db.Kv.id; ops = [| { Db.Kv.key = 0; kind = Db.Kv.Update } |] })
+  in
+  let reference = Db.Store.create () in
+  Db.Store.populate reference ~n:1;
+  ignore (Db.Kv.run_sequential reference txns);
+  let store = Db.Store.create () in
+  Db.Store.populate store ~n:1;
+  ignore (Db.Kv_pipeline.run_pipelined ~workers:3 store txns);
+  checki "hot row equal"
+    (Db.Kv.state_digest reference ~keys:[| 0 |])
+    (Db.Kv.state_digest store ~keys:[| 0 |])
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "epoch"
+    [
+      ( "epoch-runtime",
+        [
+          tc "matches serial" `Slow test_epoch_matches_serial;
+          tc "duplicate keys" `Quick test_epoch_duplicate_keys;
+          tc "partial last epoch" `Quick test_epoch_partial_last_epoch;
+          tc "empty log" `Quick test_epoch_empty_log;
+          tc "validation" `Quick test_epoch_validation;
+          tc "agrees with DORADD" `Slow test_epoch_agrees_with_doradd;
+          QCheck_alcotest.to_alcotest prop_epoch_determinism;
+        ] );
+      ( "kv-pipeline",
+        [
+          tc "matches serial (all stage variants)" `Slow test_kv_pipeline_matches_serial;
+          tc "contended" `Slow test_kv_pipeline_contended;
+        ] );
+    ]

@@ -1,0 +1,249 @@
+(* Shape tests for the figure-reproduction harnesses: run each experiment
+   in smoke mode and assert the qualitative claims of the paper hold in
+   the measured output (who wins, by roughly what factor, orderings). *)
+
+module E = Doradd_experiments
+
+let checkb = Alcotest.check Alcotest.bool
+
+let mode = E.Mode.Smoke
+
+let test_fig2_shapes () =
+  let r = E.Fig2.measure ~mode in
+  let find label = List.find (fun row -> row.E.Fig2.label = label) r.E.Fig2.rows in
+  let d_batch = find "contended-batches DORADD" in
+  let c_batch = find "contended-batches Caracal" in
+  let d_str = find "stragglers DORADD" in
+  let c_str = find "stragglers Caracal" in
+  checkb "DORADD well above Caracal (batches)" true
+    (d_batch.E.Fig2.pct_of_ideal > 4.0 *. c_batch.E.Fig2.pct_of_ideal);
+  checkb "Caracal near-serial (batches)" true (c_batch.E.Fig2.pct_of_ideal < 15.0);
+  checkb "DORADD majority of ideal (batches)" true (d_batch.E.Fig2.pct_of_ideal > 60.0);
+  checkb "DORADD resilient to stragglers" true
+    (d_str.E.Fig2.pct_of_ideal > 2.0 *. c_str.E.Fig2.pct_of_ideal)
+
+let test_fig6_shapes () =
+  let r = E.Fig6.measure ~mode in
+  Alcotest.(check int) "six workloads" 6 (List.length r);
+  let get name = List.find (fun w -> w.E.Fig6.workload = name) r in
+  let sys w label = List.find (fun s -> s.E.Sweep.label = label) w.E.Fig6.systems in
+  let doradd w = sys w "DORADD" in
+  let caracal w = List.find (fun s -> String.length s.E.Sweep.label >= 7 && String.sub s.E.Sweep.label 0 7 = "Caracal") w.E.Fig6.systems in
+  (* uncontended YCSB: peaks within 2x, DORADD p99 >= 50x lower at mid load *)
+  let yno = get "YCSB no-contention" in
+  let d = doradd yno and c = caracal yno in
+  checkb "peaks same order of magnitude" true
+    (d.E.Sweep.max_tput < 2.0 *. c.E.Sweep.max_tput
+    && c.E.Sweep.max_tput < 2.0 *. d.E.Sweep.max_tput);
+  let p99_at points = (List.nth points 1).E.Sweep.p99 in
+  checkb "DORADD tail orders of magnitude lower" true
+    (p99_at c.E.Sweep.points > 50 * p99_at d.E.Sweep.points);
+  (* contended YCSB: DORADD peak ahead *)
+  let yhigh = get "YCSB high-contention" in
+  checkb "DORADD ahead under contention" true
+    ((doradd yhigh).E.Sweep.max_tput > 1.5 *. (caracal yhigh).E.Sweep.max_tput);
+  (* 1-warehouse TPC-C: naive serialises, split rescues, split > Caracal *)
+  let t1 = get "TPCC-NP 1 warehouse" in
+  let naive = doradd t1 and split = sys t1 "DORADD-split" and car = caracal t1 in
+  checkb "naive serialised" true (naive.E.Sweep.max_tput < 0.5e6);
+  checkb "split much faster than naive" true (split.E.Sweep.max_tput > 4.0 *. naive.E.Sweep.max_tput);
+  checkb "split beats Caracal" true (split.E.Sweep.max_tput > car.E.Sweep.max_tput)
+
+let test_fig7_shapes () =
+  let r = E.Fig7.measure ~mode in
+  (* uniform: all systems within ~15% of each other at every load point *)
+  let by_sys name systems =
+    (List.find (fun s -> s.E.Sweep.label = name) systems).E.Sweep.points
+  in
+  let d = by_sys "DORADD" r.E.Fig7.latency_5us in
+  let a = by_sys "async-mutex" r.E.Fig7.latency_5us in
+  List.iter2
+    (fun dp ap ->
+      checkb "achieved close" true (dp.E.Sweep.achieved > 0.8 *. ap.E.Sweep.achieved))
+    d a;
+  (* the §5.2 headline: under the 1 ms SLA, determinism costs nothing *)
+  let sla name = List.assoc name r.E.Fig7.sla_5us in
+  checkb "DORADD SLA throughput >= nondet" true
+    (sla "DORADD" >= 0.95 *. sla "async-mutex" && sla "DORADD" >= 0.95 *. sla "spinlock");
+  checkb "SLA throughputs positive" true (sla "DORADD" > 0.5e6);
+  (* theta sweep: uniform point near-equal; throughput decreases with skew *)
+  (match r.E.Fig7.theta_sweep with
+  | first :: rest ->
+    checkb "uniform: determinism within 15%" true
+      (first.E.Fig7.doradd < 1.15 *. first.E.Fig7.async_mutex
+      && first.E.Fig7.async_mutex < 1.15 *. first.E.Fig7.doradd);
+    let last = List.nth rest (List.length rest - 1) in
+    checkb "skew reduces everyone" true
+      (last.E.Fig7.doradd < first.E.Fig7.doradd
+      && last.E.Fig7.async_mutex < first.E.Fig7.async_mutex)
+  | [] -> Alcotest.fail "empty sweep")
+
+let test_fig8_shapes () =
+  let r = E.Fig8.measure ~mode in
+  checkb "replication nearly free" true
+    (r.E.Fig8.max_replicated > 0.9 *. r.E.Fig8.max_nonreplicated);
+  checkb "replicated <= non-replicated" true
+    (r.E.Fig8.max_replicated <= r.E.Fig8.max_nonreplicated +. 1.0);
+  checkb "single thread ~an order slower" true
+    (r.E.Fig8.max_replicated > 5.0 *. r.E.Fig8.max_single);
+  (* replicated latency >= non-replicated at matching load fractions *)
+  let p50s name =
+    (List.find (fun s -> s.E.Sweep.label = name) r.E.Fig8.systems).E.Sweep.points
+    |> List.map (fun p -> p.E.Sweep.p50)
+  in
+  List.iter2
+    (fun nr rp -> checkb "backup RTT visible" true (rp >= nr))
+    (p50s "DORADD non-replicated") (p50s "DORADD replicated")
+
+let test_fig9_shapes () =
+  let r = E.Fig9.measure ~mode in
+  (* keyspace sweep: at the largest keyspace the ordering is
+     3-core >= 2-core >= prefetch >= no-opt, with a wide total spread *)
+  let last = List.nth r.E.Fig9.keyspace_sweep (List.length r.E.Fig9.keyspace_sweep - 1) in
+  checkb "3c >= 2c" true (last.E.Fig9.three_core >= last.E.Fig9.two_core);
+  checkb "2c >= prefetch" true (last.E.Fig9.two_core >= last.E.Fig9.prefetch);
+  checkb "prefetch >= no-opt" true (last.E.Fig9.prefetch >= last.E.Fig9.no_opt);
+  checkb "pipelining matters at scale" true (last.E.Fig9.three_core > 3.0 *. last.E.Fig9.no_opt);
+  (* keys sweep decreasing for every variant *)
+  let rec decreasing f = function
+    | a :: (b :: _ as rest) -> f a >= f b && decreasing f rest
+    | _ -> true
+  in
+  checkb "keys sweep decreasing (3c)" true
+    (decreasing (fun x -> x.E.Fig9.three_core) r.E.Fig9.keys_sweep);
+  checkb "keys sweep decreasing (no-opt)" true
+    (decreasing (fun x -> x.E.Fig9.no_opt) r.E.Fig9.keys_sweep)
+
+let test_fig9_consistent_with_pipeline_sim () =
+  (* the analytic bottleneck numbers of Figure 9 must agree with the
+     batch-accurate pipeline simulation fed the same stage costs *)
+  let module B = Doradd_baselines in
+  List.iter
+    (fun (keyspace, keys_per_req) ->
+      List.iter
+        (fun variant ->
+          let costs =
+            Array.of_list (B.Dispatch_model.stage_costs variant ~keyspace ~keys_per_req)
+          in
+          (* stage_costs already amortise the signal: strip it for the sim *)
+          let signal = float_of_int B.Params.queue_signal_ns /. 8.0 in
+          let stripped =
+            if Array.length costs > 1 then Array.map (fun c -> c -. signal) costs else costs
+          in
+          let sim =
+            B.Pipeline_sim.max_throughput
+              (B.Pipeline_sim.config ~signal_ns:(float_of_int B.Params.queue_signal_ns) stripped)
+          in
+          let analytic = B.Dispatch_model.max_throughput variant ~keyspace ~keys_per_req in
+          checkb
+            (Printf.sprintf "fig9 %s ks=%d k=%d" (B.Dispatch_model.variant_name variant) keyspace
+               keys_per_req)
+            true
+            (Float.abs (sim -. analytic) /. analytic < 0.05))
+        B.Dispatch_model.[ Two_core; Three_core ])
+    [ (1_000, 10); (10_000_000, 10); (10_000_000, 40) ]
+
+let test_fig10_shapes () =
+  let rows = E.Fig10.measure ~mode in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      checkb "read decreasing" true (b.E.Fig10.read_tput < a.E.Fig10.read_tput);
+      checkb "write decreasing" true (b.E.Fig10.write_tput < a.E.Fig10.write_tput);
+      check rest
+    | _ -> ()
+  in
+  check rows;
+  List.iter
+    (fun row ->
+      if row.E.Fig10.cores > 1 then
+        checkb "write below read" true (row.E.Fig10.write_tput < row.E.Fig10.read_tput))
+    rows
+
+let test_efficiency_shapes () =
+  let r = E.Efficiency.measure ~mode in
+  let tput cores rows = (List.find (fun x -> x.E.Efficiency.cores = cores) rows).E.Efficiency.throughput in
+  (* DORADD saturates: 8 workers within 5% of 20 workers *)
+  checkb "8 workers ~= 20 workers" true
+    (tput 8 r.E.Efficiency.doradd > 0.9 *. tput 20 r.E.Efficiency.doradd);
+  checkb "2 workers far below" true
+    (tput 2 r.E.Efficiency.doradd < 0.5 *. tput 20 r.E.Efficiency.doradd);
+  (* Caracal scales ~linearly: 16 cores ~ 0.7x of 23 *)
+  let ratio = tput 16 r.E.Efficiency.caracal /. tput 23 r.E.Efficiency.caracal in
+  checkb "caracal 16/23 ~ 0.7" true (ratio > 0.6 && ratio < 0.8)
+
+let test_dps_compare_shapes () =
+  let results = E.Dps_compare.measure ~mode in
+  Alcotest.(check int) "three workloads" 3 (List.length results);
+  List.iter
+    (fun r ->
+      let find name = List.find (fun x -> x.E.Dps_compare.system = name) r.E.Dps_compare.rows in
+      let doradd = find "DORADD" and calvin = find "Calvin ES=10k" and single = find "single-thread" in
+      checkb "DORADD >= Calvin peak" true
+        (doradd.E.Dps_compare.peak >= 0.95 *. calvin.E.Dps_compare.peak);
+      checkb "every DPS beats single uncontended or ties" true
+        (doradd.E.Dps_compare.peak > single.E.Dps_compare.peak);
+      checkb "DORADD tail far below epoch systems" true
+        (calvin.E.Dps_compare.p99_at_80 > 20 * doradd.E.Dps_compare.p99_at_80))
+    results;
+  (* Calvin's lock manager caps it ~2 Mrps uncontended *)
+  let unc = List.hd results in
+  let calvin = List.find (fun x -> x.E.Dps_compare.system = "Calvin ES=10k") unc.E.Dps_compare.rows in
+  checkb "Calvin manager-bound" true (calvin.E.Dps_compare.peak < 2.3e6)
+
+let test_breakdown_shapes () =
+  let results = E.Breakdown.measure ~mode in
+  Alcotest.(check int) "two workloads" 2 (List.length results);
+  let get name = List.find (fun r -> r.E.Breakdown.workload = name) results in
+  let unc = get "YCSB no-contention" and cont = get "YCSB high-contention" in
+  (* uncontended: no DAG waits; contended: DAG waits dominate the tail *)
+  List.iter
+    (fun row -> checkb "no dependency waits uncontended" true (row.E.Breakdown.dag_wait_p99 < 1_000))
+    unc.E.Breakdown.rows;
+  let high_load = List.nth cont.E.Breakdown.rows 2 in
+  checkb "contended tail dominated by DAG wait" true
+    (high_load.E.Breakdown.dag_wait_p99 > high_load.E.Breakdown.dispatch_wait_p99
+    && high_load.E.Breakdown.dag_wait_p99 > high_load.E.Breakdown.execution_p99);
+  (* components are consistent with the total *)
+  List.iter
+    (fun row ->
+      checkb "components below total" true
+        (row.E.Breakdown.dag_wait_p99 <= row.E.Breakdown.total_p99
+        && row.E.Breakdown.execution_p99 <= row.E.Breakdown.total_p99))
+    (unc.E.Breakdown.rows @ cont.E.Breakdown.rows)
+
+let test_ablations_shapes () =
+  let r = E.Ablations.measure ~mode in
+  checkb "rw extension pays on read-hot load" true
+    (r.E.Ablations.rw.E.Ablations.read_write > 3.0 *. r.E.Ablations.rw.E.Ablations.all_write);
+  checkb "work conservation cuts tail latency" true
+    (r.E.Ablations.conserve.E.Ablations.static_p99
+    > 5 * r.E.Ablations.conserve.E.Ablations.wc_p99);
+  (* bounded admission beats unbounded under skew *)
+  let bounded =
+    List.find (fun w -> w.E.Ablations.window = 32) r.E.Ablations.windows
+  in
+  let unbounded =
+    List.find (fun w -> w.E.Ablations.window = 1_000_000) r.E.Ablations.windows
+  in
+  checkb "unbounded parking convoys" true
+    (bounded.E.Ablations.throughput > 1.2 *. unbounded.E.Ablations.throughput)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "experiments"
+    [
+      ( "shapes",
+        [
+          tc "fig2" `Slow test_fig2_shapes;
+          tc "fig6" `Slow test_fig6_shapes;
+          tc "fig7" `Slow test_fig7_shapes;
+          tc "fig8" `Slow test_fig8_shapes;
+          tc "fig9" `Quick test_fig9_shapes;
+          tc "fig9 = pipeline sim" `Quick test_fig9_consistent_with_pipeline_sim;
+          tc "fig10" `Quick test_fig10_shapes;
+          tc "efficiency" `Slow test_efficiency_shapes;
+          tc "ablations" `Slow test_ablations_shapes;
+          tc "dps-compare" `Slow test_dps_compare_shapes;
+          tc "breakdown" `Slow test_breakdown_shapes;
+        ] );
+    ]

@@ -1,0 +1,329 @@
+(* Tests for the §6 extensions: cooperative yielding, checkpointing, and
+   deterministic external resources — plus the Calvin baseline model. *)
+
+open Doradd_core
+module B = Doradd_baselines
+module Sim_req = Doradd_sim.Sim_req
+module Metrics = Doradd_sim.Metrics
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Cooperative yielding                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_yield_runs_all_steps () =
+  let t = Runtime.create ~workers:2 () in
+  let steps_run = Atomic.make 0 in
+  let r = Resource.create 0 in
+  let rec step remaining () =
+    Atomic.incr steps_run;
+    Resource.update r succ;
+    if remaining = 0 then Node.Finished else Node.Yield (step (remaining - 1))
+  in
+  Runtime.schedule_steps t (Footprint.of_slots [ Resource.slot r ]) (step 9);
+  Runtime.drain t;
+  checki "one completion" 1 (Runtime.completed t);
+  checki "all 10 steps ran" 10 (Atomic.get steps_run);
+  checki "state mutated by every step" 10 (Resource.get r);
+  Runtime.shutdown t
+
+let test_yield_holds_dependents () =
+  (* a yielding procedure keeps its resource; the dependent must observe
+     the final state, not an intermediate one *)
+  let t = Runtime.create ~workers:4 () in
+  let r = Resource.create 0 in
+  let observed = ref (-1) in
+  let rec step remaining () =
+    Resource.update r succ;
+    if remaining = 0 then Node.Finished else Node.Yield (step (remaining - 1))
+  in
+  Runtime.schedule_steps t (Footprint.of_slots [ Resource.slot r ]) (step 99);
+  Runtime.schedule t
+    (Footprint.of_slots [ Resource.slot r ])
+    (fun () -> observed := Resource.get r);
+  Runtime.drain t;
+  checki "dependent saw completed state" 100 !observed;
+  Runtime.shutdown t
+
+let test_yield_interleaves_other_work () =
+  (* with one worker, a yielding procedure must not starve queued ready
+     requests: steps and other requests interleave *)
+  let t = Runtime.create ~workers:1 () in
+  let trace = ref [] in
+  let lock = Mutex.create () in
+  let record x =
+    Mutex.lock lock;
+    trace := x :: !trace;
+    Mutex.unlock lock
+  in
+  let a = Resource.create () and b = Resource.create () in
+  let rec step remaining () =
+    record `Long;
+    if remaining = 0 then Node.Finished else Node.Yield (step (remaining - 1))
+  in
+  Runtime.schedule_steps t (Footprint.of_slots [ Resource.slot a ]) (step 4);
+  for _ = 1 to 5 do
+    Runtime.schedule t (Footprint.of_slots [ Resource.slot b ]) (fun () -> record `Short)
+  done;
+  Runtime.shutdown t;
+  let trace = List.rev !trace in
+  checki "all events" 10 (List.length trace);
+  (* the long procedure yields after its first step, so at least one
+     short request runs before the last long step *)
+  let rec last_long idx i = function
+    | [] -> idx
+    | `Long :: rest -> last_long i (i + 1) rest
+    | `Short :: rest -> last_long idx (i + 1) rest
+  in
+  let rec first_short i = function
+    | [] -> max_int
+    | `Short :: _ -> i
+    | `Long :: rest -> first_short (i + 1) rest
+  in
+  checkb "interleaved" true (first_short 0 trace < last_long (-1) 0 trace)
+
+let test_yield_determinism () =
+  (* mixing yielding and plain procedures on shared state stays
+     deterministic across worker counts *)
+  let run workers =
+    let cells = Array.init 4 (fun _ -> Resource.create 0) in
+    let t = Runtime.create ~workers () in
+    for i = 0 to 199 do
+      let c = cells.(i mod 4) in
+      let fp = Footprint.of_slots [ Resource.slot c ] in
+      if i mod 3 = 0 then begin
+        let rec step n () =
+          Resource.update c (fun v -> (v * 7) + i + n);
+          if n = 0 then Node.Finished else Node.Yield (step (n - 1))
+        in
+        Runtime.schedule_steps t fp (step 3)
+      end
+      else Runtime.schedule t fp (fun () -> Resource.update c (fun v -> (v * 13) + i))
+    done;
+    Runtime.shutdown t;
+    Array.map Resource.get cells
+  in
+  let a = run 1 and b = run 3 in
+  Alcotest.check (Alcotest.array Alcotest.int) "worker-count invariant" a b
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_sees_prefix () =
+  let t = Runtime.create ~workers:3 () in
+  let r = Resource.create 0 in
+  let fp = Footprint.of_slots [ Resource.slot r ] in
+  for _ = 1 to 500 do
+    Runtime.schedule t fp (fun () -> Resource.update r succ)
+  done;
+  let snapshot = Runtime.checkpoint t (fun () -> Resource.get r) in
+  checki "snapshot = full prefix" 500 snapshot;
+  (* execution resumes after the checkpoint *)
+  for _ = 1 to 100 do
+    Runtime.schedule t fp (fun () -> Resource.update r succ)
+  done;
+  Runtime.shutdown t;
+  checki "resumed" 600 (Resource.get r)
+
+let test_checkpoint_empty () =
+  let t = Runtime.create ~workers:1 () in
+  checki "checkpoint of idle runtime" 42 (Runtime.checkpoint t (fun () -> 42));
+  Runtime.shutdown t
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic external resources                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_det_rng_replay_identical () =
+  let run workers =
+    let rng = Deterministic.Rng.create ~seed:7 in
+    let out = Array.make 300 0 in
+    let t = Runtime.create ~workers () in
+    for i = 0 to 299 do
+      Runtime.schedule t
+        (Footprint.of_list [ Deterministic.Rng.footprint rng ])
+        (fun () -> out.(i) <- Deterministic.Rng.int rng 1_000_000)
+    done;
+    Runtime.shutdown t;
+    out
+  in
+  let a = run 1 and b = run 4 in
+  Alcotest.check (Alcotest.array Alcotest.int) "same draws at same log positions" a b;
+  (* and the draws are not all equal (the stream advances) *)
+  checkb "stream advances" true (a.(0) <> a.(1) || a.(1) <> a.(2))
+
+let test_det_rng_bounds () =
+  let rng = Deterministic.Rng.create ~seed:1 in
+  for _ = 1 to 1_000 do
+    let v = Deterministic.Rng.int rng 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done;
+  let f = Deterministic.Rng.float rng 2.0 in
+  checkb "float range" true (f >= 0.0 && f < 2.0);
+  Alcotest.check_raises "bound validation"
+    (Invalid_argument "Deterministic.Rng.int: bound must be positive") (fun () ->
+      ignore (Deterministic.Rng.int rng 0))
+
+let test_det_clock_monotone_deterministic () =
+  let run workers =
+    let clock = Deterministic.Clock.create ~start:100 ~step:10 () in
+    let out = Array.make 50 0 in
+    let t = Runtime.create ~workers () in
+    for i = 0 to 49 do
+      Runtime.schedule t
+        (Footprint.of_list [ Deterministic.Clock.footprint clock ])
+        (fun () -> out.(i) <- Deterministic.Clock.now clock)
+    done;
+    Runtime.shutdown t;
+    out
+  in
+  let a = run 1 and b = run 3 in
+  Alcotest.check (Alcotest.array Alcotest.int) "same timestamps" a b;
+  checki "first reading" 100 a.(0);
+  checki "advances by step" 110 a.(1);
+  checki "last reading" (100 + (49 * 10)) a.(49)
+
+let test_det_clock_peek () =
+  let clock = Deterministic.Clock.create () in
+  checki "peek does not advance" 0 (Deterministic.Clock.peek clock);
+  checki "still zero" 0 (Deterministic.Clock.peek clock);
+  checki "now advances" 0 (Deterministic.Clock.now clock);
+  checki "advanced" 1 (Deterministic.Clock.peek clock)
+
+(* ------------------------------------------------------------------ *)
+(* Calvin model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let independent_log ~n ~service =
+  Array.init n (fun id -> Sim_req.simple ~id ~writes:[| id |] ~service ())
+
+let test_calvin_lock_manager_bound () =
+  (* 10-key txns at 100+40*10 = 500 ns manager cost: peak ~2 Mrps even
+     with tiny service times and many workers *)
+  let log =
+    Array.init 30_000 (fun id ->
+        Sim_req.simple ~id ~writes:(Array.init 10 (fun k -> (id * 10) + k)) ~service:100 ())
+  in
+  let cfg = B.M_calvin.config ~workers:32 ~epoch_size:1_000 () in
+  let peak = B.M_calvin.max_throughput cfg ~log in
+  checkb "manager-bound ~2M" true (peak > 1.7e6 && peak < 2.2e6)
+
+let test_calvin_epoch_latency_floor () =
+  let log = independent_log ~n:30_000 ~service:500 in
+  let cfg = B.M_calvin.config ~epoch_size:10_000 () in
+  let m = B.M_calvin.run cfg ~arrivals:(B.Load.Uniform { rate = 1e6 }) ~log in
+  (* epoch fill at 1 Mrps for 10k txns = 10 ms *)
+  checkb "ms-scale latency" true (Metrics.p50 m > 3_000_000)
+
+let test_calvin_serialises_conflicts () =
+  let log = Array.init 10_000 (fun id -> Sim_req.simple ~id ~writes:[| 0 |] ~service:1_000 ()) in
+  let cfg = B.M_calvin.config ~epoch_size:1_000 ~worker_overhead_ns:0 () in
+  let peak = B.M_calvin.max_throughput cfg ~log in
+  checkb "hot key near-serial" true (peak < 1.1e6)
+
+let test_calvin_completes_all () =
+  let log = independent_log ~n:10_000 ~service:500 in
+  let cfg = B.M_calvin.config ~epoch_size:1_000 () in
+  let m = B.M_calvin.run cfg ~arrivals:(B.Load.Poisson { rate = 500_000.0; seed = 9 }) ~log in
+  checki "no request lost" 10_000 (Metrics.completed m)
+
+let test_calvin_same_ordering_as_doradd () =
+  (* same precedence discipline: under heavy conflicts with negligible
+     scheduler costs, Calvin's peak approaches DORADD's *)
+  let rng = Doradd_stats.Rng.create 17 in
+  let log =
+    Array.init 20_000 (fun id ->
+        let keys = Array.init 3 (fun _ -> Doradd_stats.Rng.int rng 20) in
+        Sim_req.simple ~id ~writes:keys ~service:2_000 ())
+  in
+  let calvin =
+    B.M_calvin.max_throughput
+      (B.M_calvin.config ~epoch_size:1_000 ~lock_mgr_base_ns:10 ~lock_mgr_key_ns:5
+         ~worker_overhead_ns:0 ())
+      ~log
+  in
+  let doradd =
+    B.M_doradd.max_throughput
+      (B.M_doradd.config ~workers:20 ~dispatch_ns:25 ~worker_overhead_ns:0 ~keys_per_req:3 ())
+      ~log
+  in
+  checkb "within 15%" true (Float.abs (calvin -. doradd) /. doradd < 0.15)
+
+(* ------------------------------------------------------------------ *)
+(* Soak: everything at once on the real runtime                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_soak_mixed_features () =
+  (* one run exercising plain procedures, yielding procedures, failures,
+     a deterministic RNG resource, and a mid-stream checkpoint — twice,
+     with different worker counts; outcomes must be identical *)
+  let run workers =
+    let t = Runtime.create ~workers () in
+    let cells = Array.init 8 (fun _ -> Resource.create 0) in
+    let rng = Deterministic.Rng.create ~seed:99 in
+    let snapshot = ref [||] in
+    for i = 0 to 1_999 do
+      let c = cells.(i mod 8) in
+      let fp =
+        Footprint.of_list [ (Resource.slot c, Footprint.Write); Deterministic.Rng.footprint rng ]
+      in
+      (match i mod 5 with
+      | 0 ->
+        let rec step n () =
+          Resource.update c (fun v -> (v * 3) + Deterministic.Rng.int rng 100 + n);
+          if n = 0 then Node.Finished else Node.Yield (step (n - 1))
+        in
+        Runtime.schedule_steps t fp (step 2)
+      | 1 -> Runtime.schedule t fp (fun () -> raise Exit)
+      | _ ->
+        Runtime.schedule t fp (fun () ->
+            Resource.update c (fun v -> (v * 7) + Deterministic.Rng.int rng 1_000)));
+      if i = 999 then snapshot := Runtime.checkpoint t (fun () -> Array.map Resource.get cells)
+    done;
+    Runtime.shutdown t;
+    let failures = List.length (Runtime.failures t) in
+    (Array.map Resource.get cells, !snapshot, failures)
+  in
+  let s1, snap1, f1 = run 1 in
+  let s2, snap2, f2 = run 4 in
+  Alcotest.check (Alcotest.array Alcotest.int) "final states equal" s1 s2;
+  Alcotest.check (Alcotest.array Alcotest.int) "checkpoints equal" snap1 snap2;
+  checki "same failure count" f1 f2;
+  checki "400 deterministic failures" 400 f1
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "extensions"
+    [
+      ( "yielding",
+        [
+          tc "runs all steps" `Quick test_yield_runs_all_steps;
+          tc "holds dependents" `Quick test_yield_holds_dependents;
+          tc "interleaves other work" `Quick test_yield_interleaves_other_work;
+          tc "determinism" `Slow test_yield_determinism;
+        ] );
+      ( "checkpoint",
+        [
+          tc "sees prefix" `Quick test_checkpoint_sees_prefix;
+          tc "empty" `Quick test_checkpoint_empty;
+        ] );
+      ( "deterministic-resources",
+        [
+          tc "rng replay identical" `Slow test_det_rng_replay_identical;
+          tc "rng bounds" `Quick test_det_rng_bounds;
+          tc "clock deterministic" `Slow test_det_clock_monotone_deterministic;
+          tc "clock peek" `Quick test_det_clock_peek;
+        ] );
+      ("soak", [ tc "mixed features deterministic" `Slow test_soak_mixed_features ]);
+      ( "calvin",
+        [
+          tc "lock manager bound" `Slow test_calvin_lock_manager_bound;
+          tc "epoch latency floor" `Quick test_calvin_epoch_latency_floor;
+          tc "serialises conflicts" `Quick test_calvin_serialises_conflicts;
+          tc "completes all" `Quick test_calvin_completes_all;
+          tc "ordering matches doradd" `Slow test_calvin_same_ordering_as_doradd;
+        ] );
+    ]

@@ -1,0 +1,290 @@
+(* Unit, stress and property tests for the lock-free queue substrate.
+   Multi-domain stress tests run even on a single-core host: OS preemption
+   of the underlying threads still interleaves the domains. *)
+
+open Doradd_queue
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Backoff                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_progresses () =
+  let b = Backoff.create ~min_wait:1 ~max_wait:8 () in
+  (* must terminate quickly and not raise *)
+  for _ = 1 to 20 do
+    Backoff.once b
+  done;
+  Backoff.reset b;
+  Backoff.once b
+
+let test_backoff_validation () =
+  Alcotest.check_raises "bad args" (Invalid_argument "Backoff.create") (fun () ->
+      ignore (Backoff.create ~min_wait:4 ~max_wait:1 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Spsc                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_spsc_fifo () =
+  let q = Spsc.create ~capacity:8 in
+  for i = 1 to 8 do
+    checkb "push fits" true (Spsc.try_push q i)
+  done;
+  checkb "full rejects" false (Spsc.try_push q 9);
+  for i = 1 to 8 do
+    Alcotest.check (Alcotest.option Alcotest.int) "fifo order" (Some i) (Spsc.try_pop q)
+  done;
+  Alcotest.check (Alcotest.option Alcotest.int) "empty" None (Spsc.try_pop q)
+
+let test_spsc_capacity_rounding () =
+  let q = Spsc.create ~capacity:5 in
+  checki "rounded to 8" 8 (Spsc.capacity q)
+
+let test_spsc_wraparound () =
+  let q = Spsc.create ~capacity:4 in
+  for round = 0 to 99 do
+    for i = 0 to 2 do
+      checkb "push" true (Spsc.try_push q ((round * 3) + i))
+    done;
+    for i = 0 to 2 do
+      Alcotest.check (Alcotest.option Alcotest.int) "pop" (Some ((round * 3) + i)) (Spsc.try_pop q)
+    done
+  done
+
+let test_spsc_length () =
+  let q = Spsc.create ~capacity:8 in
+  checki "empty" 0 (Spsc.length q);
+  ignore (Spsc.try_push q 1);
+  ignore (Spsc.try_push q 2);
+  checki "two" 2 (Spsc.length q);
+  ignore (Spsc.try_pop q);
+  checki "one" 1 (Spsc.length q)
+
+let test_spsc_two_domain_transfer () =
+  let n = 100_000 in
+  let q = Spsc.create ~capacity:64 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let sum = ref 0 in
+        let expected = ref 0 in
+        let ok = ref true in
+        for _ = 1 to n do
+          let v = Spsc.pop q in
+          if v <> !expected then ok := false;
+          incr expected;
+          sum := !sum + v
+        done;
+        (!ok, !sum))
+  in
+  for i = 0 to n - 1 do
+    Spsc.push q i
+  done;
+  let ordered, sum = Domain.join consumer in
+  checkb "order preserved across domains" true ordered;
+  checki "sum preserved" (n * (n - 1) / 2) sum
+
+(* ------------------------------------------------------------------ *)
+(* Mpmc                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_mpmc_fifo_single_thread () =
+  let q = Mpmc.create ~capacity:16 in
+  for i = 1 to 16 do
+    checkb "push fits" true (Mpmc.try_push q i)
+  done;
+  checkb "full rejects" false (Mpmc.try_push q 17);
+  for i = 1 to 16 do
+    Alcotest.check (Alcotest.option Alcotest.int) "fifo" (Some i) (Mpmc.try_pop q)
+  done;
+  Alcotest.check (Alcotest.option Alcotest.int) "empty" None (Mpmc.try_pop q)
+
+let test_mpmc_wraparound () =
+  let q = Mpmc.create ~capacity:4 in
+  for round = 0 to 999 do
+    checkb "push" true (Mpmc.try_push q round);
+    Alcotest.check (Alcotest.option Alcotest.int) "pop" (Some round) (Mpmc.try_pop q)
+  done
+
+let test_mpmc_interleaved_capacity () =
+  let q = Mpmc.create ~capacity:4 in
+  (* repeatedly go full->empty to exercise lap arithmetic *)
+  for _ = 1 to 100 do
+    for i = 0 to 3 do
+      checkb "fill" true (Mpmc.try_push q i)
+    done;
+    checkb "full" false (Mpmc.try_push q 99);
+    for _ = 0 to 3 do
+      checkb "drain" true (Mpmc.try_pop q <> None)
+    done;
+    checkb "empty" true (Mpmc.try_pop q = None)
+  done
+
+let test_mpmc_multi_producer_multi_consumer () =
+  let producers = 4 and consumers = 4 and per_producer = 25_000 in
+  let total = producers * per_producer in
+  let q = Mpmc.create ~capacity:256 in
+  let consumed = Atomic.make 0 in
+  let sum = Atomic.make 0 in
+  let seen_flags = Array.init total (fun _ -> Atomic.make false) in
+  let consumer_domains =
+    Array.init consumers (fun _ ->
+        Domain.spawn (fun () ->
+            let b = Backoff.create () in
+            let rec loop () =
+              if Atomic.get consumed >= total then ()
+              else
+                match Mpmc.try_pop q with
+                | Some v ->
+                  Backoff.reset b;
+                  if Atomic.exchange seen_flags.(v) true then failwith "duplicate delivery";
+                  ignore (Atomic.fetch_and_add sum v);
+                  ignore (Atomic.fetch_and_add consumed 1);
+                  loop ()
+                | None ->
+                  Backoff.once b;
+                  loop ()
+            in
+            loop ()))
+  in
+  let producer_domains =
+    Array.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_producer - 1 do
+              Mpmc.push q ((p * per_producer) + i)
+            done))
+  in
+  Array.iter Domain.join producer_domains;
+  Array.iter Domain.join consumer_domains;
+  checki "all items delivered exactly once" total (Atomic.get consumed);
+  checki "sum preserved" (total * (total - 1) / 2) (Atomic.get sum);
+  Array.iteri
+    (fun i f -> checkb (Printf.sprintf "item %d seen" i) true (Atomic.get f))
+    seen_flags
+
+let test_mpmc_per_producer_order () =
+  (* FIFO per producer: a single consumer must see each producer's items in
+     increasing order even with concurrent producers. *)
+  let producers = 3 and per_producer = 20_000 in
+  let q = Mpmc.create ~capacity:128 in
+  let producer_domains =
+    Array.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_producer - 1 do
+              Mpmc.push q ((p * 1_000_000) + i)
+            done))
+  in
+  let last = Array.make producers (-1) in
+  let b = Backoff.create () in
+  let remaining = ref (producers * per_producer) in
+  let ok = ref true in
+  while !remaining > 0 do
+    match Mpmc.try_pop q with
+    | Some v ->
+      Backoff.reset b;
+      let p = v / 1_000_000 and i = v mod 1_000_000 in
+      if i <= last.(p) then ok := false;
+      last.(p) <- i;
+      decr remaining
+    | None -> Backoff.once b
+  done;
+  Array.iter Domain.join producer_domains;
+  checkb "per-producer FIFO" true !ok
+
+(* qcheck: any single-threaded sequence of pushes and pops behaves like a
+   functional FIFO of the same capacity. *)
+let prop_mpmc_model =
+  QCheck.Test.make ~name:"mpmc matches FIFO model (sequential)" ~count:300
+    QCheck.(list (pair bool (int_range 0 1000)))
+    (fun ops ->
+      let cap = 8 in
+      let q = Mpmc.create ~capacity:cap in
+      let model = Queue.create () in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            let did = Mpmc.try_push q v in
+            let should = Queue.length model < cap in
+            if should then Queue.push v model;
+            did = should
+          end
+          else begin
+            let got = Mpmc.try_pop q in
+            let want = if Queue.is_empty model then None else Some (Queue.pop model) in
+            got = want
+          end)
+        ops)
+
+let prop_spsc_model =
+  QCheck.Test.make ~name:"spsc matches FIFO model (sequential)" ~count:300
+    QCheck.(list (pair bool (int_range 0 1000)))
+    (fun ops ->
+      let cap = 8 in
+      let q = Spsc.create ~capacity:cap in
+      let model = Queue.create () in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            let did = Spsc.try_push q v in
+            let should = Queue.length model < cap in
+            if should then Queue.push v model;
+            did = should
+          end
+          else begin
+            let got = Spsc.try_pop q in
+            let want = if Queue.is_empty model then None else Some (Queue.pop model) in
+            got = want
+          end)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_wrapping () =
+  let r = Ring.create ~capacity:8 (fun i -> ref i) in
+  checki "capacity" 8 (Ring.capacity r);
+  checkb "seq wraps to same slot" true (Ring.get r 3 == Ring.get r 11);
+  checkb "distinct slots differ" true (Ring.get r 3 != Ring.get r 4)
+
+let test_ring_min_capacity () =
+  let c = Ring.min_capacity ~stages:4 ~queue_depth:4 ~max_batch:8 in
+  checki "4*4*8+8" 136 c
+
+let test_ring_init () =
+  let r = Ring.create ~capacity:4 (fun i -> i * 10) in
+  checki "slot 2" 20 (Ring.get r 2)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "queue"
+    [
+      ( "backoff",
+        [ tc "progresses" `Quick test_backoff_progresses; tc "validation" `Quick test_backoff_validation ] );
+      ( "spsc",
+        [
+          tc "fifo" `Quick test_spsc_fifo;
+          tc "capacity rounding" `Quick test_spsc_capacity_rounding;
+          tc "wraparound" `Quick test_spsc_wraparound;
+          tc "length" `Quick test_spsc_length;
+          tc "two-domain transfer" `Slow test_spsc_two_domain_transfer;
+          QCheck_alcotest.to_alcotest prop_spsc_model;
+        ] );
+      ( "mpmc",
+        [
+          tc "fifo single thread" `Quick test_mpmc_fifo_single_thread;
+          tc "wraparound" `Quick test_mpmc_wraparound;
+          tc "interleaved capacity" `Quick test_mpmc_interleaved_capacity;
+          tc "multi-producer multi-consumer" `Slow test_mpmc_multi_producer_multi_consumer;
+          tc "per-producer order" `Slow test_mpmc_per_producer_order;
+          QCheck_alcotest.to_alcotest prop_mpmc_model;
+        ] );
+      ( "ring",
+        [
+          tc "wrapping" `Quick test_ring_wrapping;
+          tc "min capacity" `Quick test_ring_min_capacity;
+          tc "init" `Quick test_ring_init;
+        ] );
+    ]

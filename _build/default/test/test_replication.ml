@@ -1,0 +1,209 @@
+(* Tests for real primary-backup replication: both replicas execute the
+   same log through their own runtime and must converge, without the
+   primary ever waiting for backup execution. *)
+
+module Pb = Doradd_replication.Primary_backup
+module Db = Doradd_db
+module Core = Doradd_core
+module Rng = Doradd_stats.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let mk_kv_replicas ~n_keys =
+  let primary = Db.Store.create () in
+  Db.Store.populate primary ~n:n_keys;
+  let backup = Db.Store.create () in
+  Db.Store.populate backup ~n:n_keys;
+  (primary, backup)
+
+let mk_txns ~seed ~n ~n_keys =
+  let rng = Rng.create seed in
+  Array.init n (fun id ->
+      let ops =
+        Array.init 4 (fun _ ->
+            {
+              Db.Kv.key = Rng.int rng n_keys;
+              kind = (if Rng.bool rng then Db.Kv.Read else Db.Kv.Update);
+            })
+      in
+      { Db.Kv.id; ops })
+
+let test_replicas_converge () =
+  let n_keys = 100 in
+  let primary, backup = mk_kv_replicas ~n_keys in
+  let n = 5_000 in
+  let txns = mk_txns ~seed:1 ~n ~n_keys in
+  let p_res = Array.make n 0 and b_res = Array.make n 0 in
+  let t =
+    Pb.create ~workers:2
+      ~primary_footprint:(Db.Kv.footprint primary)
+      ~primary_execute:(Db.Kv.execute primary ~results:p_res)
+      ~backup_footprint:(Db.Kv.footprint backup)
+      ~backup_execute:(Db.Kv.execute backup ~results:b_res)
+      ()
+  in
+  Array.iter (Pb.submit t) txns;
+  Pb.shutdown t;
+  checki "all submitted" n (Pb.submitted t);
+  checki "backup applied everything" n (Pb.backup_applied t);
+  let keys = Array.init n_keys Fun.id in
+  checki "states equal" (Db.Kv.state_digest primary ~keys) (Db.Kv.state_digest backup ~keys);
+  checkb "read results equal" true (p_res = b_res)
+
+let test_replicas_converge_under_contention () =
+  (* every request touches the same row: worst-case ordering pressure *)
+  let primary, backup = mk_kv_replicas ~n_keys:1 in
+  let n = 2_000 in
+  let txns =
+    Array.init n (fun id -> { Db.Kv.id; ops = [| { Db.Kv.key = 0; kind = Db.Kv.Update } |] })
+  in
+  let p_res = Array.make n 0 and b_res = Array.make n 0 in
+  let t =
+    Pb.create ~workers:3
+      ~primary_footprint:(Db.Kv.footprint primary)
+      ~primary_execute:(Db.Kv.execute primary ~results:p_res)
+      ~backup_footprint:(Db.Kv.footprint backup)
+      ~backup_execute:(Db.Kv.execute backup ~results:b_res)
+      ()
+  in
+  Array.iter (Pb.submit t) txns;
+  Pb.shutdown t;
+  checki "hot row equal"
+    (Db.Kv.state_digest primary ~keys:[| 0 |])
+    (Db.Kv.state_digest backup ~keys:[| 0 |])
+
+let test_replicated_tpcc () =
+  let cfg = { Db.Tpcc_db.warehouses = 1; customers_per_district = 30; items = 200 } in
+  let primary = Db.Tpcc_db.create cfg in
+  let backup = Db.Tpcc_db.create cfg in
+  let txns = Db.Tpcc_db.generate primary (Rng.create 3) ~n:3_000 in
+  let t =
+    Pb.create ~workers:2
+      ~primary_footprint:(Db.Tpcc_db.footprint primary)
+      ~primary_execute:(Db.Tpcc_db.execute primary)
+      ~backup_footprint:(Db.Tpcc_db.footprint backup)
+      ~backup_execute:(Db.Tpcc_db.execute backup)
+      ()
+  in
+  Array.iter (Pb.submit t) txns;
+  Pb.shutdown t;
+  checki "tpcc replicas equal" (Db.Tpcc_db.digest primary) (Db.Tpcc_db.digest backup)
+
+(* ------------------------------------------------------------------ *)
+(* Sequencer + crash recovery                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Seq = Doradd_replication.Sequencer
+
+let test_sequencer_orders_concurrent_clients () =
+  (* many producer domains; every request must be delivered exactly once
+     with dense, in-order sequence numbers *)
+  let producers = 4 and per_producer = 5_000 in
+  let total = producers * per_producer in
+  let next_expected = ref 0 in
+  let dense = ref true in
+  let seen = Array.make total false in
+  let s =
+    Seq.create
+      ~deliver:(fun ~seqno req ->
+        if seqno <> !next_expected then dense := false;
+        incr next_expected;
+        if seen.(req) then failwith "duplicate";
+        seen.(req) <- true)
+      ()
+  in
+  let domains =
+    Array.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_producer - 1 do
+              Seq.submit s ((p * per_producer) + i)
+            done))
+  in
+  Array.iter Domain.join domains;
+  Seq.stop s;
+  checki "all delivered" total (Seq.delivered s);
+  checkb "dense in-order seqnos" true !dense;
+  Array.iteri (fun i x -> checkb (Printf.sprintf "req %d delivered" i) true x) seen;
+  checki "log length" total (Array.length (Seq.log s))
+
+let test_sequencer_log_matches_delivery () =
+  let order = ref [] in
+  let s = Seq.create ~deliver:(fun ~seqno:_ req -> order := req :: !order) () in
+  List.iter (Seq.submit s) [ 10; 20; 30; 40 ];
+  Seq.stop s;
+  let delivered = List.rev !order in
+  Alcotest.check (Alcotest.list Alcotest.int) "log = delivery order" delivered
+    (Array.to_list (Seq.log s));
+  Alcotest.check_raises "submit after stop" (Invalid_argument "Sequencer.submit: stopped")
+    (fun () -> Seq.submit s 99)
+
+let test_crash_recovery_via_log_replay () =
+  (* the DPS recovery use case: run a sequenced workload through the
+     runtime, "crash" (discard state), replay the sequencer's retained
+     log on a fresh runtime -> identical state *)
+  let n_keys = 50 in
+  let store = Db.Store.create () in
+  Db.Store.populate store ~n:n_keys;
+  let txns = mk_txns ~seed:5 ~n:4_000 ~n_keys in
+  let results = Array.make (Array.length txns) 0 in
+  let runtime = Core.Runtime.create ~workers:2 () in
+  let s =
+    Seq.create
+      ~deliver:(fun ~seqno:_ txn ->
+        Core.Runtime.schedule runtime (Db.Kv.footprint store txn)
+          (fun () -> Db.Kv.execute store ~results txn))
+      ()
+  in
+  (* two concurrent clients interleave their submissions: the sequencer
+     fixes the authoritative order *)
+  let half = Array.length txns / 2 in
+  let c1 = Domain.spawn (fun () -> Array.iteri (fun i t -> if i < half then Seq.submit s t) txns) in
+  let c2 = Domain.spawn (fun () -> Array.iteri (fun i t -> if i >= half then Seq.submit s t) txns) in
+  Domain.join c1;
+  Domain.join c2;
+  Seq.stop s;
+  Core.Runtime.shutdown runtime;
+  let keys = Array.init n_keys Fun.id in
+  let pre_crash = Db.Kv.state_digest store ~keys in
+  (* crash: lose the store; recover by replaying the retained log *)
+  let recovered = Db.Store.create () in
+  Db.Store.populate recovered ~n:n_keys;
+  let results2 = Array.make (Array.length txns) 0 in
+  Core.Runtime.run_log ~workers:3 (Db.Kv.footprint recovered)
+    (fun txn -> Db.Kv.execute recovered ~results:results2 txn)
+    (Seq.log s);
+  checki "recovered state = pre-crash state" pre_crash (Db.Kv.state_digest recovered ~keys)
+
+let test_empty_shutdown () =
+  let primary, backup = mk_kv_replicas ~n_keys:1 in
+  let t =
+    Pb.create ~workers:1
+      ~primary_footprint:(Db.Kv.footprint primary)
+      ~primary_execute:(Db.Kv.execute primary ~results:[| 0 |])
+      ~backup_footprint:(Db.Kv.footprint backup)
+      ~backup_execute:(Db.Kv.execute backup ~results:[| 0 |])
+      ()
+  in
+  Pb.shutdown t;
+  checki "nothing submitted" 0 (Pb.submitted t);
+  checki "nothing applied" 0 (Pb.backup_applied t)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "replication"
+    [
+      ( "primary-backup",
+        [
+          tc "replicas converge" `Slow test_replicas_converge;
+          tc "converge under contention" `Slow test_replicas_converge_under_contention;
+          tc "replicated tpcc" `Slow test_replicated_tpcc;
+          tc "empty shutdown" `Quick test_empty_shutdown;
+        ] );
+      ( "sequencer",
+        [
+          tc "orders concurrent clients" `Slow test_sequencer_orders_concurrent_clients;
+          tc "log matches delivery" `Quick test_sequencer_log_matches_delivery;
+          tc "crash recovery via replay" `Slow test_crash_recovery_via_log_replay;
+        ] );
+    ]

@@ -1,0 +1,312 @@
+(* Tests for the discrete-event simulation substrate. *)
+
+module Engine = Doradd_sim.Engine
+module Int_table = Doradd_sim.Int_table
+module Sim_req = Doradd_sim.Sim_req
+module Open_loop = Doradd_sim.Open_loop
+module Metrics = Doradd_sim.Metrics
+module Rng = Doradd_stats.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_time_order () =
+  let e = Engine.create () in
+  let order = ref [] in
+  Engine.schedule_at e 30 (fun () -> order := 30 :: !order);
+  Engine.schedule_at e 10 (fun () -> order := 10 :: !order);
+  Engine.schedule_at e 20 (fun () -> order := 20 :: !order);
+  Engine.run e;
+  Alcotest.check (Alcotest.list Alcotest.int) "time order" [ 10; 20; 30 ] (List.rev !order);
+  checki "clock at last event" 30 (Engine.now e)
+
+let test_engine_tie_break_by_insertion () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule_at e 5 (fun () -> order := i :: !order)
+  done;
+  Engine.run e;
+  Alcotest.check (Alcotest.list Alcotest.int) "fifo among ties" (List.init 10 Fun.id)
+    (List.rev !order)
+
+let test_engine_schedule_during_run () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  Engine.schedule_at e 1 (fun () ->
+      incr hits;
+      Engine.schedule_after e 5 (fun () -> incr hits));
+  Engine.run e;
+  checki "chained events" 2 !hits;
+  checki "final clock" 6 (Engine.now e)
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule_at e 10 (fun () ->
+      Alcotest.check_raises "no time travel"
+        (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+          Engine.schedule_at e 5 (fun () -> ())));
+  Engine.run e
+
+let test_engine_until_horizon () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  List.iter (fun t -> Engine.schedule_at e t (fun () -> incr hits)) [ 1; 2; 50; 100 ];
+  Engine.run ~until:10 e;
+  checki "only events before horizon" 2 !hits;
+  checki "rest still pending" 2 (Engine.pending e);
+  Engine.run e;
+  checki "resumable" 4 !hits
+
+let test_engine_many_events () =
+  (* heap stress: 100k events in pseudo-random order fire in time order *)
+  let e = Engine.create () in
+  let r = Rng.create 5 in
+  let last = ref (-1) in
+  let ok = ref true in
+  for _ = 1 to 100_000 do
+    let t = Rng.int r 1_000_000 in
+    Engine.schedule_at e t (fun () ->
+        if Engine.now e < !last then ok := false;
+        last := Engine.now e)
+  done;
+  Engine.run e;
+  checkb "monotone clock" true !ok;
+  checki "drained" 0 (Engine.pending e)
+
+(* ------------------------------------------------------------------ *)
+(* Int_table                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_int_table_basic () =
+  let t = Int_table.create ~dummy:(-1) () in
+  checki "empty" 0 (Int_table.length t);
+  Int_table.set t 5 50;
+  Int_table.set t 7 70;
+  Alcotest.check (Alcotest.option Alcotest.int) "find 5" (Some 50) (Int_table.find t 5);
+  checki "default hit" 70 (Int_table.find_default t 7 0);
+  checki "default miss" 42 (Int_table.find_default t 8 42);
+  Int_table.set t 5 55;
+  checki "overwrite" 55 (Int_table.find_default t 5 0);
+  checki "length" 2 (Int_table.length t)
+
+let test_int_table_negative_rejected () =
+  let t = Int_table.create ~dummy:0 () in
+  Alcotest.check_raises "negative key" (Invalid_argument "Int_table.set: negative key") (fun () ->
+      Int_table.set t (-1) 0)
+
+let test_int_table_remove () =
+  let t = Int_table.create ~dummy:(-1) () in
+  for i = 0 to 100 do
+    Int_table.set t i (i * 10)
+  done;
+  for i = 0 to 100 do
+    if i mod 2 = 0 then Int_table.remove t i
+  done;
+  for i = 0 to 100 do
+    let expect = if i mod 2 = 0 then None else Some (i * 10) in
+    Alcotest.check (Alcotest.option Alcotest.int) (Printf.sprintf "key %d" i) expect
+      (Int_table.find t i)
+  done;
+  checki "length after removals" 50 (Int_table.length t)
+
+let test_int_table_clear () =
+  let t = Int_table.create ~dummy:0 () in
+  Int_table.set t 3 3;
+  Int_table.clear t;
+  checki "cleared" 0 (Int_table.length t);
+  checkb "gone" true (Int_table.find t 3 = None)
+
+let prop_int_table_model =
+  QCheck.Test.make ~name:"int_table matches Hashtbl model" ~count:300
+    QCheck.(list (triple (int_range 0 2) (int_range 0 50) (int_range 0 1000)))
+    (fun ops ->
+      let t = Int_table.create ~dummy:(-1) () in
+      let m = Hashtbl.create 16 in
+      List.for_all
+        (fun (op, k, v) ->
+          match op with
+          | 0 ->
+            Int_table.set t k v;
+            Hashtbl.replace m k v;
+            true
+          | 1 ->
+            Int_table.remove t k;
+            Hashtbl.remove m k;
+            true
+          | _ ->
+            Int_table.find t k = Hashtbl.find_opt m k
+            && Int_table.length t = Hashtbl.length m)
+        ops)
+
+let test_int_table_growth () =
+  let t = Int_table.create ~initial_capacity:4 ~dummy:0 () in
+  let n = 50_000 in
+  for i = 0 to n - 1 do
+    Int_table.set t (i * 7) i
+  done;
+  checki "all inserted" n (Int_table.length t);
+  let sum = ref 0 in
+  Int_table.iter t (fun _ v -> sum := !sum + v);
+  checki "iter visits all" (n * (n - 1) / 2) !sum
+
+(* ------------------------------------------------------------------ *)
+(* Sim_req                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_req_simple () =
+  let r = Sim_req.simple ~id:3 ~writes:[| 1; 2 |] ~service:500 () in
+  checki "service" 500 (Sim_req.total_service r);
+  checki "keys" 2 (Array.length (Sim_req.all_keys r))
+
+let test_sim_req_multi_piece () =
+  let r =
+    Sim_req.make ~id:0
+      [|
+        Sim_req.piece ~reads:[| 9 |] ~writes:[| 1 |] ~service:100 ();
+        Sim_req.piece ~writes:[| 2 |] ~commutes:[| 3 |] ~service:50 ();
+      |]
+  in
+  checki "total service" 150 (Sim_req.total_service r);
+  let keys = Sim_req.all_keys r in
+  Array.sort compare keys;
+  Alcotest.check (Alcotest.array Alcotest.int) "all keys" [| 1; 2; 3; 9 |] keys
+
+let test_sim_req_validation () =
+  Alcotest.check_raises "no pieces" (Invalid_argument "Sim_req.make: no pieces") (fun () ->
+      ignore (Sim_req.make ~id:0 [||]));
+  Alcotest.check_raises "negative service" (Invalid_argument "Sim_req.piece: negative service")
+    (fun () -> ignore (Sim_req.piece ~writes:[||] ~service:(-1) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Open_loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mk_log n = Array.init n (fun id -> Sim_req.simple ~id ~writes:[| id |] ~service:100 ())
+
+let test_open_loop_poisson_mean_gap () =
+  let engine = Engine.create () in
+  let n = 50_000 in
+  let log = mk_log n in
+  let seen = ref 0 in
+  Open_loop.drive ~engine ~rng:(Rng.create 3) ~rate:1e6 ~log ~sink:(fun _ -> incr seen) ();
+  Engine.run engine;
+  checki "all delivered" n !seen;
+  (* mean gap should be ~1000 ns at 1 Mrps *)
+  let span = log.(n - 1).Sim_req.arrival - log.(0).Sim_req.arrival in
+  let mean_gap = float_of_int span /. float_of_int (n - 1) in
+  checkb "mean gap within 3%" true (Float.abs (mean_gap -. 1_000.0) < 30.0)
+
+let test_open_loop_monotone_arrivals () =
+  let engine = Engine.create () in
+  let log = mk_log 10_000 in
+  Open_loop.drive ~engine ~rng:(Rng.create 4) ~rate:5e6 ~log ~sink:ignore ();
+  let ok = ref true in
+  Array.iteri
+    (fun i r -> if i > 0 && r.Sim_req.arrival < log.(i - 1).Sim_req.arrival then ok := false)
+    log;
+  checkb "non-decreasing" true !ok
+
+let test_open_loop_uniform_spacing () =
+  let engine = Engine.create () in
+  let log = mk_log 1_000 in
+  Open_loop.uniform ~engine ~rate:1e6 ~log ~sink:ignore ();
+  (* exactly 1000 ns apart *)
+  let ok = ref true in
+  Array.iteri
+    (fun i r -> if i > 0 && r.Sim_req.arrival - log.(i - 1).Sim_req.arrival <> 1_000 then ok := false)
+    log;
+  checkb "uniform gaps" true !ok
+
+let test_open_loop_sink_order () =
+  let engine = Engine.create () in
+  let log = mk_log 1_000 in
+  let prev = ref (-1) in
+  let ok = ref true in
+  Open_loop.drive ~engine ~rng:(Rng.create 5) ~rate:1e6 ~log
+    ~sink:(fun r ->
+      if r.Sim_req.id <> !prev + 1 then ok := false;
+      prev := r.Sim_req.id)
+    ();
+  Engine.run engine;
+  checkb "sink sees log order" true !ok
+
+let test_open_loop_bad_rate () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "rate validation"
+    (Invalid_argument "Open_loop.drive: rate must be positive") (fun () ->
+      Open_loop.drive ~engine ~rng:(Rng.create 1) ~rate:0.0 ~log:(mk_log 1) ~sink:ignore ())
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_basic () =
+  let m = Metrics.create () in
+  Metrics.complete m ~arrival:0 ~now:100;
+  Metrics.complete m ~arrival:50 ~now:250;
+  Metrics.complete m ~arrival:100 ~now:1_100;
+  checki "count" 3 (Metrics.completed m);
+  checki "span" 1_100 (Metrics.span m);
+  checki "p50 latency" 200 (Metrics.p50 m);
+  checkb "throughput" true (Float.abs (Metrics.throughput m -. (3.0 /. 1.1e-6)) < 1e5)
+
+let test_metrics_empty () =
+  let m = Metrics.create () in
+  checkb "zero throughput" true (Metrics.throughput m = 0.0);
+  checki "zero span" 0 (Metrics.span m)
+
+let test_metrics_report_row () =
+  let m = Metrics.create () in
+  Metrics.complete m ~arrival:0 ~now:1_000;
+  let row = Metrics.report_row ~label:"x" ~offered:1e6 m in
+  checki "row width matches header" (List.length Metrics.report_header) (List.length row);
+  Alcotest.check Alcotest.string "label first" "x" (List.hd row)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          tc "time order" `Quick test_engine_time_order;
+          tc "tie break" `Quick test_engine_tie_break_by_insertion;
+          tc "schedule during run" `Quick test_engine_schedule_during_run;
+          tc "past rejected" `Quick test_engine_past_rejected;
+          tc "until horizon" `Quick test_engine_until_horizon;
+          tc "heap stress" `Slow test_engine_many_events;
+        ] );
+      ( "int_table",
+        [
+          tc "basic" `Quick test_int_table_basic;
+          tc "negative rejected" `Quick test_int_table_negative_rejected;
+          tc "remove" `Quick test_int_table_remove;
+          tc "clear" `Quick test_int_table_clear;
+          tc "growth" `Slow test_int_table_growth;
+          QCheck_alcotest.to_alcotest prop_int_table_model;
+        ] );
+      ( "sim_req",
+        [
+          tc "simple" `Quick test_sim_req_simple;
+          tc "multi piece" `Quick test_sim_req_multi_piece;
+          tc "validation" `Quick test_sim_req_validation;
+        ] );
+      ( "open_loop",
+        [
+          tc "poisson mean gap" `Slow test_open_loop_poisson_mean_gap;
+          tc "monotone arrivals" `Quick test_open_loop_monotone_arrivals;
+          tc "uniform spacing" `Quick test_open_loop_uniform_spacing;
+          tc "sink order" `Quick test_open_loop_sink_order;
+          tc "bad rate" `Quick test_open_loop_bad_rate;
+        ] );
+      ( "metrics",
+        [
+          tc "basic" `Quick test_metrics_basic;
+          tc "empty" `Quick test_metrics_empty;
+          tc "report row" `Quick test_metrics_report_row;
+        ] );
+    ]

@@ -1,0 +1,431 @@
+(* Unit and property tests for the doradd_stats substrate. *)
+
+open Doradd_stats
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  checkb "different seeds diverge" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b);
+  ignore (Rng.next_int64 a);
+  (* advancing a does not advance b *)
+  let a2 = Rng.next_int64 a and b2 = Rng.next_int64 b in
+  checkb "copies evolve independently" true (a2 <> b2)
+
+let test_rng_split_independent () =
+  let a = Rng.create 3 in
+  let c = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 50 (fun _ -> Rng.next_int64 c) in
+  checkb "split streams differ" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 17 in
+    checkb "0 <= x < 17" true (x >= 0 && x < 17)
+  done;
+  Alcotest.check_raises "bound must be positive" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_int_in_bounds () =
+  let r = Rng.create 12 in
+  for _ = 1 to 1_000 do
+    let x = Rng.int_in r (-5) 5 in
+    checkb "in range" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_unit_float_range () =
+  let r = Rng.create 13 in
+  for _ = 1 to 10_000 do
+    let x = Rng.unit_float r in
+    checkb "[0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_int_covers () =
+  (* every residue of a small bound should appear *)
+  let r = Rng.create 5 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 1_000 do
+    seen.(Rng.int r 7) <- true
+  done;
+  Array.iteri (fun i b -> checkb (Printf.sprintf "residue %d seen" i) true b) seen
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 99 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "is a permutation" (Array.init 100 Fun.id) sorted
+
+let test_rng_bool_balanced () =
+  let r = Rng.create 21 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool r then incr trues
+  done;
+  checkb "roughly balanced" true (!trues > 4_500 && !trues < 5_500)
+
+(* ------------------------------------------------------------------ *)
+(* Distributions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_exponential_mean () =
+  let r = Rng.create 31 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Distributions.exponential r ~mean:5.0 in
+    checkb "non-negative" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "mean close to 5.0" true (Float.abs (mean -. 5.0) < 0.15)
+
+let test_zipf_bounds () =
+  let z = Distributions.zipf ~n:1000 ~theta:0.99 in
+  let r = Rng.create 41 in
+  for _ = 1 to 10_000 do
+    let k = Distributions.zipf_sample z r in
+    checkb "in [0,n)" true (k >= 0 && k < 1000)
+  done
+
+let test_zipf_uniform_degenerate () =
+  let z = Distributions.zipf ~n:100 ~theta:0.0 in
+  let r = Rng.create 42 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 100_000 do
+    let k = Distributions.zipf_sample z r in
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* Expect ~1000 per cell; allow generous slack. *)
+  Array.iteri
+    (fun i c -> checkb (Printf.sprintf "cell %d uniform-ish" i) true (c > 600 && c < 1400))
+    counts
+
+let test_zipf_skew () =
+  let z = Distributions.zipf ~n:10_000 ~theta:0.99 in
+  let r = Rng.create 43 in
+  let top = ref 0 and n = 100_000 in
+  for _ = 1 to n do
+    let k = Distributions.zipf_sample z r in
+    if k < 10 then incr top
+  done;
+  (* With theta=0.99 over 10k elements, the top-10 should absorb a large
+     fraction of the mass (analytically ~29%); uniform would give 0.1%. *)
+  checkb "top-10 heavily loaded" true (float_of_int !top /. float_of_int n > 0.15)
+
+let test_zipf_rank_order () =
+  let z = Distributions.zipf ~n:1_000 ~theta:1.1 in
+  let r = Rng.create 44 in
+  let counts = Array.make 1_000 0 in
+  for _ = 1 to 200_000 do
+    let k = Distributions.zipf_sample z r in
+    counts.(k) <- counts.(k) + 1
+  done;
+  checkb "rank 0 most popular" true (counts.(0) > counts.(10));
+  checkb "rank 10 beats rank 500" true (counts.(10) > counts.(500))
+
+let test_zipf_theta_monotone () =
+  (* higher theta => more mass on rank 0 *)
+  let mass theta =
+    let z = Distributions.zipf ~n:1_000 ~theta in
+    let r = Rng.create 45 in
+    let hits = ref 0 in
+    for _ = 1 to 50_000 do
+      if Distributions.zipf_sample z r = 0 then incr hits
+    done;
+    !hits
+  in
+  let low = mass 0.5 and high = mass 1.2 in
+  checkb "skew grows with theta" true (high > low)
+
+let test_scramble_bijective_sample () =
+  (* No collisions over a large sample of consecutive inputs. *)
+  let tbl = Hashtbl.create 100_000 in
+  for i = 0 to 99_999 do
+    let v = Distributions.scramble i in
+    checkb "no collision" false (Hashtbl.mem tbl v);
+    Hashtbl.add tbl v ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  checki "count" 0 (Histogram.count h);
+  checki "p99 of empty" 0 (Histogram.percentile h 99.0);
+  checki "min" 0 (Histogram.min_value h);
+  checki "max" 0 (Histogram.max_value h)
+
+let test_histogram_exact_small_values () =
+  (* Values below the sub-bucket count are recorded exactly. *)
+  let h = Histogram.create () in
+  for v = 0 to 200 do
+    Histogram.record h v
+  done;
+  checki "count" 201 (Histogram.count h);
+  checki "min" 0 (Histogram.min_value h);
+  checki "max" 200 (Histogram.max_value h);
+  checki "median" 100 (Histogram.percentile h 50.0)
+
+let test_histogram_percentile_accuracy () =
+  let h = Histogram.create () in
+  let r = Rng.create 77 in
+  let values = Array.init 50_000 (fun _ -> Rng.int r 10_000_000) in
+  Array.iter (Histogram.record h) values;
+  Array.sort compare values;
+  List.iter
+    (fun p ->
+      let exact = values.(int_of_float (ceil (p /. 100.0 *. 50_000.0)) - 1) in
+      let approx = Histogram.percentile h p in
+      let err = Float.abs (float_of_int (approx - exact)) /. float_of_int (max exact 1) in
+      checkb (Printf.sprintf "p%.0f within 2%%" p) true (err < 0.02))
+    [ 50.0; 90.0; 99.0; 99.9 ]
+
+let test_histogram_p100_is_max () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 5; 17; 123_456; 3 ];
+  checki "p100 bucket holds max" (Histogram.max_value h) 123_456;
+  let p100 = Histogram.percentile h 100.0 in
+  (* p100 returns the bucket lower bound containing the max *)
+  checkb "p100 close to max" true
+    (float_of_int (123_456 - p100) /. 123_456.0 < 0.02)
+
+let test_histogram_record_n () =
+  let h = Histogram.create () in
+  Histogram.record_n h 10 1_000;
+  Histogram.record_n h 1_000 1 |> ignore;
+  checki "count" 1_001 (Histogram.count h);
+  checki "p50" 10 (Histogram.percentile h 50.0)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.record a i
+  done;
+  for i = 101 to 200 do
+    Histogram.record b i
+  done;
+  Histogram.merge_into ~dst:a b;
+  checki "merged count" 200 (Histogram.count a);
+  checki "merged max" 200 (Histogram.max_value a);
+  checki "merged min" 1 (Histogram.min_value a);
+  checki "merged median" 100 (Histogram.percentile a 50.0)
+
+let test_histogram_negative_clamped () =
+  let h = Histogram.create () in
+  Histogram.record h (-5);
+  checki "clamped to 0" 0 (Histogram.min_value h);
+  checki "count" 1 (Histogram.count h)
+
+let test_histogram_mean () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 10; 20; 30 ];
+  checkb "mean" true (Float.abs (Histogram.mean h -. 20.0) < 0.001)
+
+let test_histogram_clear () =
+  let h = Histogram.create () in
+  Histogram.record h 42;
+  Histogram.clear h;
+  checki "count after clear" 0 (Histogram.count h);
+  Histogram.record h 7;
+  checki "usable after clear" 7 (Histogram.percentile h 50.0)
+
+let test_histogram_large_values () =
+  let h = Histogram.create () in
+  let big = 1 lsl 55 in
+  Histogram.record h big;
+  let p = Histogram.percentile h 50.0 in
+  checkb "relative error bounded for huge values" true
+    (Float.abs (float_of_int (p - big)) /. float_of_int big < 0.02)
+
+(* qcheck: percentile is monotone in p *)
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"histogram percentile monotone" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_range 0 1_000_000))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) values;
+      let ps = [ 1.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ] in
+      let vs = List.map (Histogram.percentile h) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono vs)
+
+(* qcheck: count is preserved under merge *)
+let prop_merge_count =
+  QCheck.Test.make ~name:"histogram merge preserves count" ~count:100
+    QCheck.(pair (list (int_range 0 100_000)) (list (int_range 0 100_000)))
+    (fun (xs, ys) ->
+      let a = Histogram.create () and b = Histogram.create () in
+      List.iter (Histogram.record a) xs;
+      List.iter (Histogram.record b) ys;
+      Histogram.merge_into ~dst:a b;
+      Histogram.count a = List.length xs + List.length ys)
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_basic () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  checki "count" 8 (Summary.count s);
+  checkb "mean" true (Float.abs (Summary.mean s -. 5.0) < 1e-9);
+  checkb "variance" true (Float.abs (Summary.variance s -. 4.0) < 1e-9);
+  checkb "stddev" true (Float.abs (Summary.stddev s -. 2.0) < 1e-9);
+  checkb "min" true (Summary.min_value s = 2.0);
+  checkb "max" true (Summary.max_value s = 9.0)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  checkb "mean of empty" true (Summary.mean s = 0.0);
+  checkb "variance of empty" true (Summary.variance s = 0.0)
+
+let test_summary_merge () =
+  let xs = [ 1.0; 2.0; 3.0 ] and ys = [ 10.0; 20.0; 30.0; 40.0 ] in
+  let a = Summary.create () and b = Summary.create () and whole = Summary.create () in
+  List.iter (Summary.add a) xs;
+  List.iter (Summary.add b) ys;
+  List.iter (Summary.add whole) (xs @ ys);
+  let m = Summary.merge a b in
+  checki "merged count" (Summary.count whole) (Summary.count m);
+  checkb "merged mean" true (Float.abs (Summary.mean m -. Summary.mean whole) < 1e-9);
+  checkb "merged variance" true (Float.abs (Summary.variance m -. Summary.variance whole) < 1e-9)
+
+let prop_summary_matches_direct =
+  QCheck.Test.make ~name:"summary matches direct computation" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 100) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Summary.create () in
+      List.iter (Summary.add s) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var = List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. n in
+      Float.abs (Summary.mean s -. mean) < 1e-6 && Float.abs (Summary.variance s -. var) < 1e-4)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let out =
+    Table.render ~title:"T" ~header:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22222" ] ]
+  in
+  checkb "has title" true (String.length out > 0 && String.sub out 0 1 = "T");
+  (* all data lines should be the same width *)
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  checki "line count" 5 (List.length lines)
+
+let test_table_alignment () =
+  let out = Table.render ~header:[ "a"; "b" ] [ [ "x"; "9" ] ] in
+  checkb "right-aligns numbers by default" true
+    (String.length out > 0)
+
+let test_table_csv_format () =
+  Table.set_format Table.Csv;
+  Fun.protect
+    ~finally:(fun () -> Table.set_format Table.Pretty)
+    (fun () ->
+      let out =
+        Table.render ~title:"T" ~header:[ "a"; "b" ] [ [ "x,y"; "1" ]; [ "he\"llo"; "2" ] ]
+      in
+      let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+      Alcotest.check (Alcotest.list Alcotest.string) "csv output"
+        [ "# T"; "a,b"; "\"x,y\",1"; "\"he\"\"llo\",2" ]
+        lines)
+
+let test_fmt_rate () =
+  check Alcotest.string "Mrps" "1.28 Mrps" (Table.fmt_rate 1_280_000.0);
+  check Alcotest.string "Krps" "5.0 Krps" (Table.fmt_rate 5_000.0);
+  check Alcotest.string "rps" "900 rps" (Table.fmt_rate 900.0)
+
+let test_fmt_ns () =
+  check Alcotest.string "ns" "800 ns" (Table.fmt_ns 800);
+  check Alcotest.string "us" "15.3 us" (Table.fmt_ns 15_300);
+  check Alcotest.string "ms" "2.50 ms" (Table.fmt_ns 2_500_000);
+  check Alcotest.string "s" "1.50 s" (Table.fmt_ns 1_500_000_000)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "stats"
+    [
+      ( "rng",
+        [
+          tc "deterministic" `Quick test_rng_deterministic;
+          tc "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          tc "copy independent" `Quick test_rng_copy_independent;
+          tc "split independent" `Quick test_rng_split_independent;
+          tc "int bounds" `Quick test_rng_int_bounds;
+          tc "int_in bounds" `Quick test_rng_int_in_bounds;
+          tc "unit_float range" `Quick test_rng_unit_float_range;
+          tc "int covers residues" `Quick test_rng_int_covers;
+          tc "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          tc "bool balanced" `Quick test_rng_bool_balanced;
+        ] );
+      ( "distributions",
+        [
+          tc "exponential mean" `Quick test_exponential_mean;
+          tc "zipf bounds" `Quick test_zipf_bounds;
+          tc "zipf uniform degenerate" `Quick test_zipf_uniform_degenerate;
+          tc "zipf skew" `Quick test_zipf_skew;
+          tc "zipf rank order" `Quick test_zipf_rank_order;
+          tc "zipf theta monotone" `Quick test_zipf_theta_monotone;
+          tc "scramble collision-free" `Quick test_scramble_bijective_sample;
+        ] );
+      ( "histogram",
+        [
+          tc "empty" `Quick test_histogram_empty;
+          tc "exact small values" `Quick test_histogram_exact_small_values;
+          tc "percentile accuracy" `Quick test_histogram_percentile_accuracy;
+          tc "p100 is max" `Quick test_histogram_p100_is_max;
+          tc "record_n" `Quick test_histogram_record_n;
+          tc "merge" `Quick test_histogram_merge;
+          tc "negative clamped" `Quick test_histogram_negative_clamped;
+          tc "mean" `Quick test_histogram_mean;
+          tc "clear" `Quick test_histogram_clear;
+          tc "large values" `Quick test_histogram_large_values;
+          QCheck_alcotest.to_alcotest prop_percentile_monotone;
+          QCheck_alcotest.to_alcotest prop_merge_count;
+        ] );
+      ( "summary",
+        [
+          tc "basic" `Quick test_summary_basic;
+          tc "empty" `Quick test_summary_empty;
+          tc "merge" `Quick test_summary_merge;
+          QCheck_alcotest.to_alcotest prop_summary_matches_direct;
+        ] );
+      ( "table",
+        [
+          tc "render" `Quick test_table_render;
+          tc "alignment" `Quick test_table_alignment;
+          tc "csv format" `Quick test_table_csv_format;
+          tc "fmt_rate" `Quick test_fmt_rate;
+          tc "fmt_ns" `Quick test_fmt_ns;
+        ] );
+    ]

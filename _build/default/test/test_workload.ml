@@ -1,0 +1,361 @@
+(* Tests for the workload generators: YCSB (Table 1), TPCC-NP, and the
+   synthetic workloads of Figures 2, 7 and 8. *)
+
+module W = Doradd_workload
+module Sim_req = Doradd_sim.Sim_req
+module Rng = Doradd_stats.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* YCSB                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let is_hot cfg k = k mod cfg.W.Ycsb.hot_stride = 0 && k / cfg.W.Ycsb.hot_stride < cfg.W.Ycsb.hot_count
+
+let test_ycsb_table1_configs () =
+  let no = W.Ycsb.config W.Ycsb.No_contention in
+  let mod_ = W.Ycsb.config W.Ycsb.Mod_contention in
+  let high = W.Ycsb.config W.Ycsb.High_contention in
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "no: 8r2w" (8, 2)
+    (W.Ycsb.reads_and_writes no);
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "mod: all writes" (0, 10)
+    (W.Ycsb.reads_and_writes mod_);
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "high: all writes" (0, 10)
+    (W.Ycsb.reads_and_writes high);
+  checki "no hot" 0 (W.Ycsb.hot_keys_per_txn no);
+  checki "mod 3 hot" 3 (W.Ycsb.hot_keys_per_txn mod_);
+  checki "high 7 hot" 7 (W.Ycsb.hot_keys_per_txn high);
+  checki "10M keys" 10_000_000 no.W.Ycsb.n_keys;
+  checki "77 hot rows" 77 no.W.Ycsb.hot_count;
+  checki "2^17 stride" (1 lsl 17) no.W.Ycsb.hot_stride
+
+let test_ycsb_keys_distinct () =
+  let cfg = W.Ycsb.config W.Ycsb.High_contention in
+  let txns = W.Ycsb.generate cfg (Rng.create 1) ~n:500 in
+  Array.iter
+    (fun t ->
+      let keys = Array.map (fun o -> o.W.Ycsb.key) t.W.Ycsb.ops in
+      let sorted = Array.copy keys in
+      Array.sort compare sorted;
+      let distinct = ref true in
+      for i = 1 to Array.length sorted - 1 do
+        if sorted.(i) = sorted.(i - 1) then distinct := false
+      done;
+      checkb "10 distinct keys" true !distinct;
+      checki "10 ops" 10 (Array.length keys))
+    txns
+
+let test_ycsb_hot_key_count () =
+  let cfg = W.Ycsb.config W.Ycsb.High_contention in
+  let txns = W.Ycsb.generate cfg (Rng.create 2) ~n:500 in
+  Array.iter
+    (fun t ->
+      let hot =
+        Array.fold_left (fun acc o -> if is_hot cfg o.W.Ycsb.key then acc + 1 else acc) 0 t.W.Ycsb.ops
+      in
+      (* 7 drawn from the hot set; cold keys land on a hot row with
+         negligible probability, so >= 7 and almost always exactly 7 *)
+      checkb "at least 7 hot" true (hot >= 7))
+    txns
+
+let test_ycsb_no_contention_is_uniform () =
+  let cfg = W.Ycsb.config W.Ycsb.No_contention in
+  let txns = W.Ycsb.generate cfg (Rng.create 3) ~n:500 in
+  let hot = ref 0 in
+  Array.iter
+    (fun t -> Array.iter (fun o -> if is_hot cfg o.W.Ycsb.key then incr hot) t.W.Ycsb.ops)
+    txns;
+  (* 5000 draws over 10M keys, 77 hot: expected hits ~0.04 *)
+  checkb "no deliberate hot keys" true (!hot <= 2)
+
+let test_ycsb_to_sim_all_write () =
+  let cfg = W.Ycsb.config W.Ycsb.No_contention in
+  let txns = W.Ycsb.generate cfg (Rng.create 4) ~n:100 in
+  let sim = W.Ycsb.to_sim txns in
+  Array.iter
+    (fun r ->
+      checki "one piece" 1 (Array.length r.Sim_req.pieces);
+      let p = r.Sim_req.pieces.(0) in
+      checki "all 10 as writes" 10 (Array.length p.Sim_req.writes);
+      checki "no reads" 0 (Array.length p.Sim_req.reads))
+    sim
+
+let test_ycsb_to_sim_rw () =
+  let cfg = W.Ycsb.config W.Ycsb.No_contention in
+  let txns = W.Ycsb.generate cfg (Rng.create 4) ~n:100 in
+  let sim = W.Ycsb.to_sim ~rw:true txns in
+  Array.iter
+    (fun r ->
+      let p = r.Sim_req.pieces.(0) in
+      checki "8 reads" 8 (Array.length p.Sim_req.reads);
+      checki "2 writes" 2 (Array.length p.Sim_req.writes))
+    sim
+
+let test_ycsb_service_cost () =
+  let cfg = W.Ycsb.config W.Ycsb.No_contention in
+  let txns = W.Ycsb.generate cfg (Rng.create 5) ~n:10 in
+  let cost = { W.Ycsb.base = 100; read = 10; write = 20 } in
+  let sim = W.Ycsb.to_sim ~cost txns in
+  Array.iter
+    (fun r -> checki "base + 8r + 2w" (100 + (8 * 10) + (2 * 20)) (Sim_req.total_service r))
+    sim
+
+let test_ycsb_deterministic () =
+  let cfg = W.Ycsb.config W.Ycsb.Mod_contention in
+  let a = W.Ycsb.generate cfg (Rng.create 9) ~n:200 in
+  let b = W.Ycsb.generate cfg (Rng.create 9) ~n:200 in
+  checkb "same seed, same log" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* TPCC                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_tpcc_key_ranges_disjoint () =
+  (* encodings must never collide across tables for realistic scales *)
+  let w = 22 and d = 9 and c = 2_999 and i = 99_999 in
+  let keys =
+    [
+      W.Tpcc.warehouse_key w;
+      W.Tpcc.district_key ~w ~d;
+      W.Tpcc.customer_key ~w ~d ~c;
+      W.Tpcc.stock_key ~w ~i;
+    ]
+  in
+  checki "all distinct" 4 (List.length (List.sort_uniq compare keys));
+  checkb "warehouse < district base" true (W.Tpcc.warehouse_key w < 1_000);
+  checkb "district < customer base" true (W.Tpcc.district_key ~w ~d < 100_000);
+  checkb "customer < stock base" true (W.Tpcc.customer_key ~w ~d ~c < 10_000_000)
+
+let test_tpcc_mix () =
+  let txns = W.Tpcc.generate ~warehouses:4 (Rng.create 11) ~n:1_000 in
+  let orders =
+    Array.fold_left
+      (fun acc t -> match t.W.Tpcc.kind with W.Tpcc.New_order -> acc + 1 | _ -> acc)
+      0 txns
+  in
+  checki "equal mix" 500 orders
+
+let test_tpcc_new_order_shape () =
+  let txns = W.Tpcc.generate ~warehouses:2 (Rng.create 12) ~n:200 in
+  Array.iter
+    (fun t ->
+      match t.W.Tpcc.kind with
+      | W.Tpcc.New_order ->
+        let ol = Array.length t.W.Tpcc.stock_keys in
+        checkb "5..15 lines" true (ol >= 5 && ol <= 15);
+        checki "order + new-order + per-line inserts" (2 + ol)
+          (Array.length t.W.Tpcc.fresh_keys)
+      | W.Tpcc.Payment ->
+        checki "payment: history insert" 1 (Array.length t.W.Tpcc.fresh_keys);
+        checki "no stock" 0 (Array.length t.W.Tpcc.stock_keys))
+    txns
+
+let test_tpcc_fresh_keys_unique () =
+  let txns = W.Tpcc.generate ~warehouses:2 (Rng.create 13) ~n:500 in
+  let seen = Hashtbl.create 1024 in
+  Array.iter
+    (fun t ->
+      Array.iter
+        (fun k ->
+          checkb "fresh key unique" false (Hashtbl.mem seen k);
+          Hashtbl.add seen k ())
+        t.W.Tpcc.fresh_keys)
+    txns
+
+let test_tpcc_split_pieces () =
+  let txns = W.Tpcc.generate ~warehouses:1 (Rng.create 14) ~n:100 in
+  let plain = W.Tpcc.to_sim ~split:false txns in
+  let split = W.Tpcc.to_sim ~split:true txns in
+  Array.iter (fun r -> checki "unsplit: one piece" 1 (Array.length r.Sim_req.pieces)) plain;
+  Array.iter
+    (fun r ->
+      checki "split: two pieces" 2 (Array.length r.Sim_req.pieces);
+      (* warehouse key 0 only appears in the sub-piece *)
+      let main = r.Sim_req.pieces.(0) and sub = r.Sim_req.pieces.(1) in
+      let mem arr k = Array.exists (( = ) k) arr in
+      checkb "main avoids warehouse" false
+        (mem main.Sim_req.reads 0 || mem main.Sim_req.writes 0 || mem main.Sim_req.commutes 0);
+      checkb "sub touches warehouse" true
+        (mem sub.Sim_req.reads 0 || mem sub.Sim_req.writes 0 || mem sub.Sim_req.commutes 0))
+    split;
+  (* total service is preserved by splitting *)
+  Array.iteri
+    (fun idx r ->
+      checki "service preserved" (Sim_req.total_service plain.(idx)) (Sim_req.total_service r))
+    split
+
+let test_tpcc_payment_commutes () =
+  let txns = W.Tpcc.generate ~warehouses:1 (Rng.create 15) ~n:100 in
+  let sim = W.Tpcc.to_sim ~split:false txns in
+  Array.iteri
+    (fun idx r ->
+      match txns.(idx).W.Tpcc.kind with
+      | W.Tpcc.Payment ->
+        let p = r.Sim_req.pieces.(0) in
+        (* warehouse ytd + district ytd are commutative *)
+        checki "two commutative keys" 2 (Array.length p.Sim_req.commutes)
+      | W.Tpcc.New_order -> ())
+    sim
+
+let test_tpcc_mean_service () =
+  let txns = W.Tpcc.generate ~warehouses:4 (Rng.create 16) ~n:1_000 in
+  let m = W.Tpcc.mean_service txns in
+  (* equal mix of 4500 and 2500 *)
+  checkb "mean ~3500" true (Float.abs (m -. 3_500.0) < 1.0)
+
+let test_tpcc_validation () =
+  Alcotest.check_raises "warehouses > 0"
+    (Invalid_argument "Tpcc.generate: warehouses must be positive") (fun () ->
+      ignore (W.Tpcc.generate ~warehouses:0 (Rng.create 1) ~n:1))
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_synthetic_batches_share_hot_key () =
+  let log = W.Synthetic.contended_batches ~batch_size:50 ~service:1_000 (Rng.create 31) ~n:500 in
+  (* within a batch every request's first key equals the batch hot key *)
+  for b = 0 to 9 do
+    let hot = log.(b * 50).Sim_req.pieces.(0).Sim_req.writes.(0) in
+    for i = 0 to 49 do
+      checki "shares batch hot key" hot log.((b * 50) + i).Sim_req.pieces.(0).Sim_req.writes.(0)
+    done
+  done;
+  (* different batches (almost surely) differ *)
+  let h0 = log.(0).Sim_req.pieces.(0).Sim_req.writes.(0) in
+  let h1 = log.(50).Sim_req.pieces.(0).Sim_req.writes.(0) in
+  checkb "batches independent" true (h0 <> h1)
+
+let test_synthetic_stragglers () =
+  let log =
+    W.Synthetic.stragglers ~batch_size:100 ~service:1_000 ~straggler_service:77_777
+      (Rng.create 32) ~n:1_000
+  in
+  Array.iteri
+    (fun i r ->
+      let expect = if i mod 100 = 0 then 77_777 else 1_000 in
+      checki "straggler placement" expect (Sim_req.total_service r))
+    log
+
+let test_synthetic_locks_sorted_distinct () =
+  let log = W.Synthetic.locks ~service:5_000 (Rng.create 33) ~n:300 in
+  Array.iter
+    (fun r ->
+      let keys = r.Sim_req.pieces.(0).Sim_req.writes in
+      checki "10 locks" 10 (Array.length keys);
+      for i = 1 to Array.length keys - 1 do
+        checkb "sorted strictly" true (keys.(i) > keys.(i - 1))
+      done)
+    log
+
+let test_synthetic_locks_zipf_skews () =
+  let count_popular theta =
+    let log = W.Synthetic.locks ~theta ~service:5_000 (Rng.create 34) ~n:3_000 in
+    (* measure collision rate: how often the single most frequent key appears *)
+    let tbl = Hashtbl.create 1024 in
+    Array.iter
+      (fun r ->
+        Array.iter
+          (fun k ->
+            Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+          r.Sim_req.pieces.(0).Sim_req.writes)
+      log;
+    Hashtbl.fold (fun _ v acc -> max v acc) tbl 0
+  in
+  let uniform = count_popular 0.0 and skewed = count_popular 0.99 in
+  checkb "zipf concentrates keys" true (skewed > 10 * max uniform 1)
+
+(* ------------------------------------------------------------------ *)
+(* Trace persistence                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let tmpfile () = Filename.temp_file "doradd_trace" ".log"
+
+let test_trace_roundtrip_ycsb () =
+  let log = W.Ycsb.to_sim (W.Ycsb.generate (W.Ycsb.config W.Ycsb.Mod_contention) (Rng.create 41) ~n:500) in
+  let path = tmpfile () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      W.Trace.save ~path log;
+      let back = W.Trace.load ~path in
+      checkb "round trip" true (back = log))
+
+let test_trace_roundtrip_split_tpcc () =
+  (* multi-piece requests with reads/writes/commutes *)
+  let log = W.Tpcc.to_sim ~split:true (W.Tpcc.generate ~warehouses:2 (Rng.create 42) ~n:300) in
+  let path = tmpfile () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      W.Trace.save ~path log;
+      checkb "round trip" true (W.Trace.load ~path = log))
+
+let test_trace_preserves_arrivals () =
+  let log = W.Synthetic.locks ~service:5_000 (Rng.create 43) ~n:100 in
+  Array.iteri (fun i r -> r.Sim_req.arrival <- i * 123) log;
+  let path = tmpfile () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      W.Trace.save ~path log;
+      let back = W.Trace.load ~path in
+      Array.iteri (fun i r -> checki "arrival kept" (i * 123) r.Sim_req.arrival) back)
+
+let test_trace_bad_file () =
+  let path = tmpfile () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      let oc = open_out path in
+      output_string oc "not a log";
+      close_out oc;
+      checkb "rejects garbage" true
+        (match W.Trace.load ~path with exception Failure _ -> true | _ -> false));
+  checkb "rejects missing file" true
+    (match W.Trace.load ~path:"/nonexistent/doradd.log" with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_trace_describe () =
+  let log = W.Synthetic.locks ~service:5_000 (Rng.create 44) ~n:50 in
+  let d = W.Trace.describe log in
+  checkb "has request count" true (List.assoc "requests" d = "50");
+  checkb "has mean keys" true (List.mem_assoc "mean keys/request" d)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "workload"
+    [
+      ( "ycsb",
+        [
+          tc "table 1 configs" `Quick test_ycsb_table1_configs;
+          tc "keys distinct" `Quick test_ycsb_keys_distinct;
+          tc "hot key count" `Quick test_ycsb_hot_key_count;
+          tc "no-contention uniform" `Quick test_ycsb_no_contention_is_uniform;
+          tc "to_sim all-write" `Quick test_ycsb_to_sim_all_write;
+          tc "to_sim rw" `Quick test_ycsb_to_sim_rw;
+          tc "service cost" `Quick test_ycsb_service_cost;
+          tc "deterministic" `Quick test_ycsb_deterministic;
+        ] );
+      ( "tpcc",
+        [
+          tc "key ranges disjoint" `Quick test_tpcc_key_ranges_disjoint;
+          tc "mix" `Quick test_tpcc_mix;
+          tc "new-order shape" `Quick test_tpcc_new_order_shape;
+          tc "fresh keys unique" `Quick test_tpcc_fresh_keys_unique;
+          tc "split pieces" `Quick test_tpcc_split_pieces;
+          tc "payment commutes" `Quick test_tpcc_payment_commutes;
+          tc "mean service" `Quick test_tpcc_mean_service;
+          tc "validation" `Quick test_tpcc_validation;
+        ] );
+      ( "synthetic",
+        [
+          tc "batches share hot key" `Quick test_synthetic_batches_share_hot_key;
+          tc "stragglers" `Quick test_synthetic_stragglers;
+          tc "locks sorted distinct" `Quick test_synthetic_locks_sorted_distinct;
+          tc "locks zipf skews" `Quick test_synthetic_locks_zipf_skews;
+        ] );
+      ( "trace",
+        [
+          tc "roundtrip ycsb" `Quick test_trace_roundtrip_ycsb;
+          tc "roundtrip split tpcc" `Quick test_trace_roundtrip_split_tpcc;
+          tc "preserves arrivals" `Quick test_trace_preserves_arrivals;
+          tc "bad file" `Quick test_trace_bad_file;
+          tc "describe" `Quick test_trace_describe;
+        ] );
+    ]
