@@ -62,6 +62,14 @@ let bench_spsc =
           ignore (Q.Spsc.try_push q 1);
           ignore (Q.Spsc.try_pop q)))
 
+let bench_resource =
+  (* the sanitizer-off access path: one atomic load + never-taken branch
+     per accessor — this is the overhead spot-check for instrumentation *)
+  Test.make ~name:"resource get+set (sanitizer off)"
+    (Staged.stage
+       (let r = Core.Resource.create 0 in
+        fun () -> Core.Resource.set r (Core.Resource.get r + 1)))
+
 let bench_footprint =
   Test.make ~name:"footprint normalize (10 slots)"
     (Staged.stage
@@ -112,8 +120,8 @@ let run_microbenches () =
   print_endline "=== Microbenchmarks (real data structures, single host core) ===";
   let tests =
     [
-      bench_mpmc; bench_spsc; bench_footprint; bench_spawn; bench_histogram; bench_zipf;
-      bench_engine;
+      bench_mpmc; bench_spsc; bench_resource; bench_footprint; bench_spawn; bench_histogram;
+      bench_zipf; bench_engine;
     ]
   in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None () in
@@ -165,7 +173,16 @@ let run_real_runtime_bench () =
   print_newline ()
 
 let () =
-  let mode = mode_of_argv () in
-  run_experiments mode;
-  run_real_runtime_bench ();
-  run_microbenches ()
+  (* `bench/main.exe micro` skips the (slow) figure regeneration and runs
+     only the host microbenchmarks — e.g. to spot-check hot-path cost
+     after a runtime change. *)
+  if Array.exists (( = ) "micro") Sys.argv then begin
+    run_real_runtime_bench ();
+    run_microbenches ()
+  end
+  else begin
+    let mode = mode_of_argv () in
+    run_experiments mode;
+    run_real_runtime_bench ();
+    run_microbenches ()
+  end

@@ -3,13 +3,18 @@
    Replays randomly generated logs of several application types through
    the real runtime with varying worker counts (and, for the KV store,
    through the pipelined dispatcher) and verifies every run is
-   bit-identical to serial execution.  Exit code 0 iff everything
-   matches — usable as a CI gate for runtime changes. *)
+   bit-identical to serial execution.  A second pass replays each
+   application once per worker count under the footprint sanitizer and
+   happens-before checker (doradd_analysis) — digests can only catch a
+   footprint lie that happened to corrupt state; the sanitizer catches
+   the lie itself.  Exit code 0 iff everything matches and every
+   sanitized replay is clean — usable as a CI gate for runtime changes. *)
 
 module Core = Doradd_core
 module Db = Doradd_db
 module Rng = Doradd_stats.Rng
 module Table = Doradd_stats.Table
+module A = Doradd_analysis
 
 type outcome = { name : string; runs : int; mismatches : int }
 
@@ -130,6 +135,34 @@ let run_app ~iterations ~seed ~n (name, check) =
   done;
   { name; runs = !runs; mismatches = !mismatches }
 
+(* -- sanitizer gate: replay each workload under the footprint sanitizer
+      and happens-before checker, one run per worker count -------------- *)
+
+let run_sanitize ~seed ~n (spec : A.Workloads.spec) =
+  List.map
+    (fun workers ->
+      { A.Report.workload = spec.A.Workloads.name; workers;
+        outcome = spec.A.Workloads.replay ~seed ~n ~workers })
+    worker_counts
+
+let sanitize_table ~seed ~n =
+  let report = List.concat_map (run_sanitize ~seed ~n) A.Workloads.all in
+  Table.print ~title:"doradd-check: footprint sanitizer + happens-before checker"
+    ~header:[ "workload"; "workers"; "violations"; "races"; "pairs checked"; "verdict" ]
+    (List.map
+       (fun e ->
+         let o = e.A.Report.outcome in
+         [
+           e.A.Report.workload;
+           string_of_int e.A.Report.workers;
+           string_of_int (List.length o.A.Sanitize.violations);
+           string_of_int (List.length o.A.Sanitize.hb.A.Hb.races);
+           string_of_int o.A.Sanitize.hb.A.Hb.checked_pairs;
+           (if A.Report.clean_entry e then "PASS" else "FAIL");
+         ])
+       report);
+  A.Report.clean report
+
 open Cmdliner
 
 let iterations_arg =
@@ -144,7 +177,13 @@ let apps_arg =
   let doc = "Applications to torture: counters, kv, tpcc, ledger, or all." in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"APP" ~doc)
 
-let main iterations seed n names =
+let no_sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "no-sanitize" ]
+        ~doc:"Skip the footprint-sanitizer / happens-before pass (digest comparison only).")
+
+let main iterations seed n no_sanitize names =
   let selected =
     if List.mem "all" names then apps
     else
@@ -166,14 +205,18 @@ let main iterations seed n names =
              (if r.mismatches = 0 then "PASS" else "FAIL");
            ])
          results);
-    if List.for_all (fun r -> r.mismatches = 0) results then `Ok ()
-    else `Error (false, "determinism violations detected")
+    let digests_ok = List.for_all (fun r -> r.mismatches = 0) results in
+    let sanitize_ok = no_sanitize || sanitize_table ~seed ~n in
+    match (digests_ok, sanitize_ok) with
+    | true, true -> `Ok ()
+    | false, _ -> `Error (false, "determinism violations detected")
+    | true, false -> `Error (false, "sanitizer violations detected")
   end
 
 let cmd =
   let doc = "Torture-test DORADD's determinism guarantee on this machine" in
   Cmd.v
     (Cmd.info "doradd-check" ~version:"1.0.0" ~doc)
-    Term.(ret (const main $ iterations_arg $ seed_arg $ size_arg $ apps_arg))
+    Term.(ret (const main $ iterations_arg $ seed_arg $ size_arg $ no_sanitize_arg $ apps_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,32 @@
+type t = Bytes.t
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  Bytes.make ((n + 7) lsr 3) '\000'
+
+let capacity t = Bytes.length t lsl 3
+
+let mem t i = Char.code (Bytes.get t (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  let byte = i lsr 3 in
+  Bytes.set t byte (Char.chr (Char.code (Bytes.get t byte) lor (1 lsl (i land 7))))
+
+let union_into ~into src =
+  if Bytes.length into <> Bytes.length src then invalid_arg "Bitset.union_into";
+  for i = 0 to Bytes.length src - 1 do
+    Bytes.unsafe_set into i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get into i) lor Char.code (Bytes.unsafe_get src i)))
+  done
+
+let cardinal t =
+  let count = ref 0 in
+  for i = 0 to Bytes.length t - 1 do
+    let b = ref (Char.code (Bytes.unsafe_get t i)) in
+    while !b <> 0 do
+      b := !b land (!b - 1);
+      incr count
+    done
+  done;
+  !count

@@ -1,0 +1,24 @@
+(** Dense fixed-capacity bitsets over [0, n).
+
+    Backing store for the happens-before checker's vector clocks: one bit
+    per request, so a full closure over a multi-thousand-request torture
+    log stays within a few megabytes.  Capacity is rounded up to a whole
+    byte; indices are not bounds-checked beyond the byte array itself. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over [0, n). *)
+
+val capacity : t -> int
+(** Rounded-up capacity in bits. *)
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val union_into : into:t -> t -> unit
+(** [union_into ~into src] adds every element of [src] to [into].  The
+    two sets must have equal capacity. *)
+
+val cardinal : t -> int

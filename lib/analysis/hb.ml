@@ -1,0 +1,120 @@
+module Sanitizer = Doradd_core.Sanitizer
+
+type race = {
+  slot : int;
+  first : int;
+  second : int;
+  first_kind : Sanitizer.access_kind;
+  second_kind : Sanitizer.access_kind;
+}
+
+type result = {
+  requests : int;
+  checked_pairs : int;
+  bad_edges : (int * int) list;
+  races : race list;
+}
+
+let empty = { requests = 0; checked_pairs = 0; bad_edges = []; races = [] }
+
+let kind_join a b =
+  match (a, b) with
+  | Sanitizer.Store, _ | _, Sanitizer.Store -> Sanitizer.Store
+  | Sanitizer.Load, Sanitizer.Load -> Sanitizer.Load
+
+let check ~edges ~accesses =
+  let requests =
+    let m = List.fold_left (fun m (p, s) -> max m (max p s)) (-1) edges in
+    1 + List.fold_left (fun m a -> max m a.Sanitizer.a_seqno) m accesses
+  in
+  if requests = 0 then empty
+  else begin
+    (* Dispatcher edges must point forward in the serial order; anything
+       else is itself a scheduling bug, reported separately and excluded
+       from the closure. *)
+    let preds = Array.make requests [] in
+    let bad_edges = ref [] in
+    List.iter
+      (fun (p, s) ->
+        if p < 0 || s <= p || s >= requests then bad_edges := (p, s) :: !bad_edges
+        else preds.(s) <- p :: preds.(s))
+      edges;
+    (* Vector clocks as bitsets: vc.(j) holds every request i with a DAG
+       path i -> j.  Seqnos are a topological order (edges point forward),
+       so one forward pass computes the full closure. *)
+    let vc = Array.init requests (fun _ -> Bitset.create requests) in
+    for j = 0 to requests - 1 do
+      List.iter
+        (fun p ->
+          Bitset.add vc.(j) p;
+          Bitset.union_into ~into:vc.(j) vc.(p))
+        preds.(j)
+    done;
+    let ordered i j = Bitset.mem vc.(j) i in
+    (* Collapse accesses to one record per (request, slot) with the
+       strongest kind: intra-request ordering is trivial, and a request
+       that both loads and stores a slot conflicts as a store. *)
+    let per_slot : (int, (int, Sanitizer.access_kind) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun { Sanitizer.a_seqno; a_slot; a_kind } ->
+        let by_req =
+          match Hashtbl.find_opt per_slot a_slot with
+          | Some h -> h
+          | None ->
+            let h = Hashtbl.create 16 in
+            Hashtbl.add per_slot a_slot h;
+            h
+        in
+        match Hashtbl.find_opt by_req a_seqno with
+        | None -> Hashtbl.add by_req a_seqno a_kind
+        | Some k -> Hashtbl.replace by_req a_seqno (kind_join k a_kind))
+      accesses;
+    (* Per slot, walk accessors in serial order and mirror the spawner's
+       own conflict rule: a store must be ordered after the previous store
+       and after every load since it; a load must be ordered after the
+       previous store.  (Load/load pairs do not conflict.)  Transitivity
+       of the verified edges covers the remaining pairs. *)
+    let checked_pairs = ref 0 in
+    let races = ref [] in
+    let check_pair ~slot (i, ki) (j, kj) =
+      incr checked_pairs;
+      if not (ordered i j) then
+        races := { slot; first = i; second = j; first_kind = ki; second_kind = kj } :: !races
+    in
+    Hashtbl.iter
+      (fun slot by_req ->
+        let accs =
+          Hashtbl.fold (fun seqno kind acc -> (seqno, kind) :: acc) by_req []
+          |> List.sort compare
+        in
+        let last_store = ref None in
+        let loads_since = ref [] in
+        List.iter
+          (fun (seqno, kind) ->
+            match kind with
+            | Sanitizer.Load ->
+              (match !last_store with
+              | Some w -> check_pair ~slot w (seqno, kind)
+              | None -> ());
+              loads_since := (seqno, kind) :: !loads_since
+            | Sanitizer.Store ->
+              (match !last_store with
+              | Some w -> check_pair ~slot w (seqno, kind)
+              | None -> ());
+              List.iter (fun r -> check_pair ~slot r (seqno, kind)) !loads_since;
+              last_store := Some (seqno, kind);
+              loads_since := [])
+          accs)
+      per_slot;
+    {
+      requests;
+      checked_pairs = !checked_pairs;
+      bad_edges = List.sort_uniq compare !bad_edges;
+      races = List.sort compare !races;
+    }
+  end
+
+let race_to_string r =
+  let k = Sanitizer.kind_to_string in
+  Printf.sprintf "unordered conflicting accesses to slot %d: request %d (%s) vs request %d (%s)"
+    r.slot r.first (k r.first_kind) r.second (k r.second_kind)

@@ -1,0 +1,51 @@
+(** Happens-before checker over a sanitized run.
+
+    The sanitizer records two things while a workload executes: the DAG
+    edges the Spawner actually wired (as [(pred, succ)] seqno pairs) and
+    the resource accesses each request actually performed.  This module
+    verifies, post hoc, that every pair of {e conflicting} accesses to
+    the same slot — at least one a store — is ordered by a path of
+    recorded edges.  Unordered pairs are determinism races: two requests
+    the scheduler allowed to run concurrently on the same state.
+
+    Because the check works from the edges the dispatcher {e really}
+    created (not the footprints it was asked to honour), it catches
+    spawner/dispatcher bugs — dropped edges, wrong slot bookkeeping —
+    as well as application-side footprint lies.
+
+    The verdict is schedule-independent: it depends only on the recorded
+    DAG and access sets, which are a pure function of the input log, so a
+    race is reported even if this particular execution happened to get
+    lucky with timing. *)
+
+type race = {
+  slot : int;  (** slot id both requests touched *)
+  first : int;  (** seqno of the earlier request in serial order *)
+  second : int;  (** seqno of the later request *)
+  first_kind : Doradd_core.Sanitizer.access_kind;
+  second_kind : Doradd_core.Sanitizer.access_kind;
+}
+
+type result = {
+  requests : int;  (** 1 + highest seqno seen *)
+  checked_pairs : int;  (** conflicting pairs tested for ordering *)
+  bad_edges : (int * int) list;
+      (** recorded edges that do not point forward in the serial order —
+          impossible from a correct dispatcher, reported rather than
+          folded into the closure *)
+  races : race list;  (** unordered conflicting pairs, sorted *)
+}
+
+val empty : result
+
+val check :
+  edges:(int * int) list -> accesses:Doradd_core.Sanitizer.access list -> result
+(** [check ~edges ~accesses] computes vector clocks (as bitsets) along
+    the recorded edges in one forward pass over seqnos, then, per slot,
+    verifies the spawner's own conflict rule: each store is ordered after
+    the previous store and after every load since it, and each load after
+    the previous store.  Transitivity of verified pairs covers the rest.
+    O(requests² / 64) space-time for the closure, linear in accesses for
+    the pair walk. *)
+
+val race_to_string : race -> string

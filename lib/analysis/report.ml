@@ -1,0 +1,115 @@
+module Sanitizer = Doradd_core.Sanitizer
+
+type entry = { workload : string; workers : int; outcome : Sanitize.outcome }
+
+type t = entry list
+
+let clean_entry e = Sanitize.clean e.outcome
+
+let clean t = List.for_all clean_entry t
+
+(* ---- machine-readable (JSON) output, hand-rolled: the container has no
+        JSON library and the shape is fixed ---------------------------- *)
+
+let buf_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let violation_json b v =
+  let obj kind fields =
+    Buffer.add_string b "{\"kind\":";
+    buf_json_string b kind;
+    List.iter
+      (fun (k, value) ->
+        Buffer.add_string b ",";
+        buf_json_string b k;
+        Buffer.add_char b ':';
+        Buffer.add_string b value)
+      fields;
+    Buffer.add_char b '}'
+  in
+  match v with
+  | Sanitizer.Undeclared { seqno; slot; kind } ->
+    obj "undeclared"
+      [
+        ("request", string_of_int seqno);
+        ("slot", string_of_int slot);
+        ("access", Printf.sprintf "%S" (Sanitizer.kind_to_string kind));
+      ]
+  | Sanitizer.Write_under_read { seqno; slot } ->
+    obj "write_under_read" [ ("request", string_of_int seqno); ("slot", string_of_int slot) ]
+  | Sanitizer.Orphan { slot; kind } ->
+    obj "orphan"
+      [
+        ("slot", string_of_int slot);
+        ("access", Printf.sprintf "%S" (Sanitizer.kind_to_string kind));
+      ]
+
+let race_json b (r : Hb.race) =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"slot\":%d,\"first\":%d,\"first_access\":%S,\"second\":%d,\"second_access\":%S}" r.Hb.slot
+       r.Hb.first
+       (Sanitizer.kind_to_string r.Hb.first_kind)
+       r.Hb.second
+       (Sanitizer.kind_to_string r.Hb.second_kind))
+
+let sep_iter b f l =
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char b ',';
+      f b x)
+    l
+
+let entry_json b e =
+  let o = e.outcome in
+  Buffer.add_string b "{\"workload\":";
+  buf_json_string b e.workload;
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"workers\":%d,\"requests\":%d,\"accesses\":%d,\"edges\":%d,\"checked_pairs\":%d,\"clean\":%b"
+       e.workers o.Sanitize.requests o.Sanitize.accesses o.Sanitize.edges
+       o.Sanitize.hb.Hb.checked_pairs (clean_entry e));
+  Buffer.add_string b ",\"violations\":[";
+  sep_iter b violation_json o.Sanitize.violations;
+  Buffer.add_string b "],\"races\":[";
+  sep_iter b race_json o.Sanitize.hb.Hb.races;
+  Buffer.add_string b "],\"bad_edges\":[";
+  sep_iter b (fun b (p, s) -> Buffer.add_string b (Printf.sprintf "[%d,%d]" p s)) o.Sanitize.hb.Hb.bad_edges;
+  Buffer.add_string b "]}"
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"tool\":\"doradd-lint\",\"clean\":";
+  Buffer.add_string b (string_of_bool (clean t));
+  Buffer.add_string b ",\"results\":[";
+  sep_iter b entry_json t;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* ---- human-readable output --------------------------------------- *)
+
+let pp_entry ppf e =
+  let o = e.outcome in
+  Format.fprintf ppf "%s (workers=%d): %d requests, %d accesses, %d edges, %d pairs checked — %s@."
+    e.workload e.workers o.Sanitize.requests o.Sanitize.accesses o.Sanitize.edges
+    o.Sanitize.hb.Hb.checked_pairs
+    (if clean_entry e then "clean" else "VIOLATIONS");
+  List.iter
+    (fun v -> Format.fprintf ppf "  %s@." (Sanitizer.violation_to_string v))
+    o.Sanitize.violations;
+  List.iter (fun r -> Format.fprintf ppf "  %s@." (Hb.race_to_string r)) o.Sanitize.hb.Hb.races;
+  List.iter
+    (fun (p, s) -> Format.fprintf ppf "  malformed edge: %d -> %d@." p s)
+    o.Sanitize.hb.Hb.bad_edges
+
+let pp ppf t = List.iter (pp_entry ppf) t

@@ -1,0 +1,21 @@
+(** Violation reports: the lint driver's output format.
+
+    A report is a list of per-(workload, worker-count) sanitized-run
+    outcomes.  {!to_json} renders the machine-readable form consumed by
+    CI; {!pp} the human-readable one. *)
+
+type entry = { workload : string; workers : int; outcome : Sanitize.outcome }
+
+type t = entry list
+
+val clean_entry : entry -> bool
+
+val clean : t -> bool
+
+val to_json : t -> string
+(** One JSON object:
+    [{"tool":"doradd-lint","clean":bool,"results":[{workload, workers,
+    requests, accesses, edges, checked_pairs, clean, violations:[...],
+    races:[...], bad_edges:[...]}]}]. *)
+
+val pp : Format.formatter -> t -> unit

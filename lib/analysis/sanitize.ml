@@ -1,0 +1,35 @@
+module Sanitizer = Doradd_core.Sanitizer
+
+type outcome = {
+  requests : int;
+  accesses : int;
+  edges : int;
+  violations : Sanitizer.violation list;
+  hb : Hb.result;
+}
+
+let clean o = o.violations = [] && o.hb.Hb.races = [] && o.hb.Hb.bad_edges = []
+
+let instrumented ?(hb = true) f =
+  Sanitizer.start ();
+  let x = Fun.protect ~finally:Sanitizer.stop f in
+  let violations = Sanitizer.violations () in
+  let accesses = Sanitizer.accesses () in
+  let edges = Sanitizer.edges () in
+  let hb_result = if hb then Hb.check ~edges ~accesses else Hb.empty in
+  let requests =
+    if hb then hb_result.Hb.requests
+    else
+      let m = List.fold_left (fun m (p, s) -> max m (max p s)) (-1) edges in
+      1 + List.fold_left (fun m a -> max m a.Sanitizer.a_seqno) m accesses
+  in
+  ( x,
+    {
+      requests;
+      accesses = List.length accesses;
+      edges = List.length edges;
+      violations;
+      hb = hb_result;
+    } )
+
+let run ?hb f = snd (instrumented ?hb f)

@@ -1,0 +1,30 @@
+(** Run a workload under the footprint sanitizer and happens-before
+    checker, and collect a structured verdict.
+
+    Usage: build all state (stores, logs) first, then hand the execution
+    itself — typically one {!Doradd_core.Runtime.run_log} over one fresh
+    runtime, so seqnos start at 0 — to {!instrumented}.  Digesting or
+    inspecting state afterwards happens outside the bracket, so benign
+    post-quiescence reads are not flagged as orphan accesses.
+
+    Not reentrant: the sanitizer's logs are global, so at most one
+    instrumented run may be in flight per process. *)
+
+type outcome = {
+  requests : int;  (** requests observed (1 + highest seqno) *)
+  accesses : int;  (** recorded in-request resource accesses *)
+  edges : int;  (** recorded DAG edges *)
+  violations : Doradd_core.Sanitizer.violation list;  (** footprint violations *)
+  hb : Hb.result;  (** happens-before verdict *)
+}
+
+val clean : outcome -> bool
+(** No violations, no races, no malformed edges. *)
+
+val instrumented : ?hb:bool -> (unit -> 'a) -> 'a * outcome
+(** [instrumented f] brackets [f ()] with {!Doradd_core.Sanitizer.start}
+    / [stop] and analyses the recorded logs.  [hb] (default [true])
+    controls whether the happens-before closure is computed. *)
+
+val run : ?hb:bool -> (unit -> unit) -> outcome
+(** [instrumented] for workloads with no interesting return value. *)

@@ -1,0 +1,127 @@
+module Core = Doradd_core
+module Db = Doradd_db
+module Rng = Doradd_stats.Rng
+
+type spec = { name : string; replay : seed:int -> n:int -> workers:int -> Sanitize.outcome }
+
+(* Each harness builds its state and log first, then hands only the
+   parallel execution to the sanitizer bracket — post-run digests and
+   setup are legitimately outside any request and must not be flagged. *)
+
+let counters =
+  let replay ~seed ~n ~workers =
+    let n_keys = 32 in
+    let rng = Rng.create seed in
+    let log =
+      Array.init n (fun id -> (id, Array.init (1 + Rng.int rng 4) (fun _ -> Rng.int rng n_keys)))
+    in
+    let cells = Array.init n_keys (fun _ -> Core.Resource.create 0) in
+    Sanitize.run (fun () ->
+        Core.Runtime.run_log ~workers
+          (fun (_, ks) ->
+            Core.Footprint.of_slots
+              (Array.to_list (Array.map (fun k -> Core.Resource.slot cells.(k)) ks)))
+          (fun (id, ks) ->
+            Array.iter (fun k -> Core.Resource.update cells.(k) (fun v -> (v * 31) + id)) ks)
+          log)
+  in
+  { name = "counters"; replay }
+
+let kv_txns ~seed ~n ~n_keys =
+  let rng = Rng.create seed in
+  Array.init n (fun id ->
+      let ops =
+        Array.init 5 (fun _ ->
+            {
+              Db.Kv.key = Rng.int rng n_keys;
+              kind = (if Rng.bool rng then Db.Kv.Read else Db.Kv.Update);
+            })
+      in
+      { Db.Kv.id; ops })
+
+let kv_store ~n_keys =
+  let s = Db.Store.create () in
+  Db.Store.populate s ~n:n_keys;
+  s
+
+let kv =
+  let replay ~seed ~n ~workers =
+    let n_keys = 128 in
+    let txns = kv_txns ~seed ~n ~n_keys in
+    let s = kv_store ~n_keys in
+    Sanitize.run (fun () -> ignore (Db.Kv.run_parallel ~workers s txns))
+  in
+  { name = "kv"; replay }
+
+let kv_rw =
+  (* read/write modes: Read ops declare shared access, so this exercises
+     the reader-sharing side of both checkers *)
+  let replay ~seed ~n ~workers =
+    let n_keys = 128 in
+    let txns = kv_txns ~seed ~n ~n_keys in
+    let s = kv_store ~n_keys in
+    Sanitize.run (fun () -> ignore (Db.Kv.run_parallel ~rw:true ~workers s txns))
+  in
+  { name = "kv-rw"; replay }
+
+let kv_pipelined =
+  (* the pipelined dispatcher: covers the Service path (inject, index,
+     prefetch) and spawning from a pipeline stage domain *)
+  let replay ~seed ~n ~workers =
+    let n_keys = 128 in
+    let txns = kv_txns ~seed ~n ~n_keys in
+    let s = kv_store ~n_keys in
+    Sanitize.run (fun () ->
+        ignore (Db.Kv_pipeline.run_pipelined ~workers ~stages:Core.Pipeline.Two_core s txns))
+  in
+  { name = "kv-pipelined"; replay }
+
+let ledger =
+  let replay ~seed ~n ~workers =
+    let l = Db.Ledger.create { Db.Ledger.accounts = 64; pools = 2 } in
+    let txns = Db.Ledger.generate l (Rng.create seed) ~n in
+    Sanitize.run (fun () -> Db.Ledger.run_parallel ~workers l txns)
+  in
+  { name = "ledger"; replay }
+
+let tpcc =
+  let replay ~seed ~n ~workers =
+    let cfg = { Db.Tpcc_db.warehouses = 2; customers_per_district = 40; items = 400 } in
+    let db = Db.Tpcc_db.create cfg in
+    let txns = Db.Tpcc_db.generate db (Rng.create seed) ~n in
+    Sanitize.run (fun () -> Db.Tpcc_db.run_parallel ~workers db txns)
+  in
+  { name = "tpcc"; replay }
+
+let all = [ counters; kv; kv_rw; kv_pipelined; ledger; tpcc ]
+
+(* ---- seeded-bug workload ------------------------------------------ *)
+
+(* Counters-style log over 33 cells.  Each request declares and writes its
+   own cell (id mod 32); every 7th request additionally touches cell 32.
+   With [declared = false] that access is omitted from the footprint —
+   the sanitizer must flag it as undeclared, and because the offenders
+   share no declared slot, the spawner wires no path between them and the
+   happens-before checker must report races on slot 32 regardless of how
+   the schedule happened to interleave.  With [declared = true] the same
+   log must come back clean. *)
+let buggy ~declared =
+  let replay ~seed ~n ~workers =
+    ignore seed;
+    let cells = Array.init 33 (fun _ -> Core.Resource.create 0) in
+    let log = Array.init n Fun.id in
+    let footprint id =
+      let own = Core.Resource.slot cells.(id mod 32) in
+      if declared && id mod 7 = 0 then
+        Core.Footprint.of_slots [ own; Core.Resource.slot cells.(32) ]
+      else Core.Footprint.of_slots [ own ]
+    in
+    let execute id =
+      Core.Resource.update cells.(id mod 32) (fun v -> (v * 31) + id);
+      if id mod 7 = 0 then Core.Resource.update cells.(32) (fun v -> v + id)
+    in
+    Sanitize.run (fun () -> Core.Runtime.run_log ~workers footprint execute log)
+  in
+  { name = (if declared then "seeded-bug-fixed" else "seeded-bug"); replay }
+
+let find name = List.find_opt (fun s -> s.name = name) all

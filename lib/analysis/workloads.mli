@@ -1,0 +1,37 @@
+(** Built-in workload replays under the sanitizer.
+
+    One {!spec} per application harness from [bin/check.ml] (plus the
+    read/write-mode and pipelined KV variants): generate a seeded random
+    log, execute it through the real runtime with the footprint sanitizer
+    and happens-before checker armed, and return the structured
+    {!Sanitize.outcome}.  Shared by the [lint] driver and the [check]
+    CI gate. *)
+
+type spec = { name : string; replay : seed:int -> n:int -> workers:int -> Sanitize.outcome }
+
+val counters : spec
+
+val kv : spec
+
+val kv_rw : spec
+(** KV with [Read]-mode declarations for read ops (reader sharing). *)
+
+val kv_pipelined : spec
+(** KV through the pipelined dispatcher (Service inject/index/prefetch). *)
+
+val ledger : spec
+
+val tpcc : spec
+
+val all : spec list
+(** Every clean workload above, lint's default set. *)
+
+val buggy : declared:bool -> spec
+(** The seeded undeclared-access bug: every 7th request touches a shared
+    cell that — with [declared = false] — is missing from its footprint.
+    The sanitizer must report undeclared accesses and the happens-before
+    checker must report races on that cell's slot; with
+    [declared = true] the identical log must come back clean.  Used by
+    lint's [--self-test] and the test suite. *)
+
+val find : string -> spec option

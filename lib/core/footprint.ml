@@ -35,4 +35,19 @@ let length = Array.length
 
 let iter t f = Array.iter (fun (s, m) -> f s m) t
 
-let mem t slot = Array.exists (fun (s, _) -> Slot.id s = Slot.id slot) t
+(* Binary search by slot id — footprints are normalized (sorted, deduped),
+   and this runs on the sanitizer's instrumented access path. *)
+let mode_of t slot =
+  let id = Slot.id slot in
+  let rec go lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) lsr 1 in
+      let s, m = t.(mid) in
+      let sid = Slot.id s in
+      if sid = id then Some m else if sid < id then go (mid + 1) hi else go lo (mid - 1)
+    end
+  in
+  go 0 (Array.length t - 1)
+
+let mem t slot = mode_of t slot <> None

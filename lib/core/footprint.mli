@@ -32,4 +32,12 @@ val iter : t -> (Slot.t -> mode -> unit) -> unit
 (** Iterate in slot-id order. *)
 
 val mem : t -> Slot.t -> bool
-(** Tests only. *)
+(** [mem fp slot] is whether [slot] appears in [fp] (either mode).
+    Binary search over the normalized array, O(log n); cheap enough for
+    the {!Sanitizer}'s instrumented access path. *)
+
+val mode_of : t -> Slot.t -> mode option
+(** [mode_of fp slot] is the declared access mode of [slot] in [fp], or
+    [None] when the footprint does not mention the slot.  After
+    normalization [Write] dominates, so a slot declared both ways reports
+    [Write]. *)

@@ -4,11 +4,23 @@ let create value = { slot = Slot.create (); value }
 
 let slot t = t.slot
 
-let get t = t.value
+(* Sanitized mode (see Sanitizer): one atomic load and a never-taken
+   branch when off — the accessors below stay lock-free and allocation-
+   free on the default path. *)
 
-let set t v = t.value <- v
+let[@inline] get t =
+  if Atomic.get Sanitizer.tracking then Sanitizer.on_load t.slot;
+  t.value
 
-let update t f = t.value <- f t.value
+let[@inline] set t v =
+  if Atomic.get Sanitizer.tracking then Sanitizer.on_store t.slot;
+  t.value <- v
+
+let[@inline] update t f =
+  if Atomic.get Sanitizer.tracking then Sanitizer.on_store t.slot;
+  t.value <- f t.value
+
+let peek t = t.value
 
 let read t = (t.slot, Footprint.Read)
 

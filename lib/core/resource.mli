@@ -24,6 +24,13 @@ val set : 'a t -> 'a -> unit
 val update : 'a t -> ('a -> 'a) -> unit
 (** [update r f] is [set r (f (get r))]. *)
 
+val peek : 'a t -> 'a
+(** Read the value {e without} sanitizer validation.  For runtime
+    infrastructure that legitimately touches resources outside any
+    request — the pipeline's Prefetcher stage, post-quiescence digests in
+    tools.  Application procedures must use {!get}, which the
+    {!Sanitizer} checks against the declared footprint. *)
+
 val read : 'a t -> Slot.t * Footprint.mode
 (** Footprint element for shared read access. *)
 

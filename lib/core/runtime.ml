@@ -70,10 +70,27 @@ let create ?workers ?(queue_capacity = 4096) () =
 
 let workers t = Runnable_set.workers t.rs
 
+(* Sanitized mode: bracket every request step with the per-domain context
+   so Resource accessors can validate against the declared footprint.
+   Wrapping happens at schedule time, so the brackets travel with the
+   closure through every execution path (workers, inline overflow runs,
+   cooperative resumptions). *)
+let sanitize_work fp ~seqno work () =
+  Sanitizer.enter ~seqno fp;
+  Fun.protect ~finally:Sanitizer.leave work
+
+let rec sanitize_steps fp ~seqno work () =
+  Sanitizer.enter ~seqno fp;
+  Fun.protect ~finally:Sanitizer.leave (fun () ->
+      match work () with
+      | Node.Finished -> Node.Finished
+      | Node.Yield k -> Node.Yield (sanitize_steps fp ~seqno k))
+
 let schedule t fp work =
   let seqno = t.next_seq in
   t.next_seq <- seqno + 1;
   Atomic.incr t.scheduled;
+  let work = if Atomic.get Sanitizer.tracking then sanitize_work fp ~seqno work else work in
   let node = Node.create ~seqno work in
   Spawner.schedule t.rs node fp
 
@@ -81,6 +98,7 @@ let schedule_steps t fp work =
   let seqno = t.next_seq in
   t.next_seq <- seqno + 1;
   Atomic.incr t.scheduled;
+  let work = if Atomic.get Sanitizer.tracking then sanitize_steps fp ~seqno work else work in
   let node = Node.create_steps ~seqno work in
   Spawner.schedule t.rs node fp
 

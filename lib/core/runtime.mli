@@ -11,7 +11,13 @@
     (the single logical dispatcher), in the serial-log order; procedures
     must only touch resources in their declared footprint.  Under that
     contract the final state equals the state after serial execution of the
-    log, for any number of workers. *)
+    log, for any number of workers.
+
+    The footprint half of the contract is checkable: with
+    {!Sanitizer.start} in effect, the runtime brackets every request step
+    with a per-domain context and resource accessors validate each touch
+    against the declared footprint (see {!Sanitizer} and the
+    [doradd_analysis] library). *)
 
 type t
 

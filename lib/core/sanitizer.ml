@@ -1,0 +1,91 @@
+type access_kind = Load | Store
+
+type violation =
+  | Undeclared of { seqno : int; slot : int; kind : access_kind }
+  | Write_under_read of { seqno : int; slot : int }
+  | Orphan of { slot : int; kind : access_kind }
+
+type access = { a_seqno : int; a_slot : int; a_kind : access_kind }
+
+let tracking = Atomic.make false
+
+let is_tracking () = Atomic.get tracking
+
+(* Per-domain current-request context.  A worker runs at most one request
+   step at a time and the instrumented [Runtime] brackets every step with
+   {enter}/{leave}, so a single slot (not a stack) suffices: inline
+   execution and cooperative yields both happen strictly between steps. *)
+type ctx = { c_seqno : int; c_fp : Footprint.t }
+
+let context : ctx option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+(* Lock-free cons logs.  The sanitizer is a diagnostic mode: contention on
+   these is acceptable, losing records is not. *)
+let violation_log : violation list Atomic.t = Atomic.make []
+
+let access_log : access list Atomic.t = Atomic.make []
+
+let edge_log : (int * int) list Atomic.t = Atomic.make []
+
+let push log v =
+  let rec go () =
+    let cur = Atomic.get log in
+    if not (Atomic.compare_and_set log cur (v :: cur)) then go ()
+  in
+  go ()
+
+let start () =
+  Atomic.set violation_log [];
+  Atomic.set access_log [];
+  Atomic.set edge_log [];
+  Atomic.set tracking true
+
+let stop () = Atomic.set tracking false
+
+let enter ~seqno fp = Domain.DLS.get context := Some { c_seqno = seqno; c_fp = fp }
+
+let leave () = Domain.DLS.get context := None
+
+let on_access kind slot =
+  let id = Slot.id slot in
+  match !(Domain.DLS.get context) with
+  | None -> push violation_log (Orphan { slot = id; kind })
+  | Some { c_seqno; c_fp } ->
+    let declared = Footprint.mode_of c_fp slot in
+    (* The recorded kind is the *conflict* kind: a touch under Write mode
+       counts as a store even if the accessor was [get], because the
+       procedure may (and our workloads do) mutate interior mutable state
+       through the obtained pointer — exactly the exclusivity the
+       scheduler promised, which the happens-before checker verifies. *)
+    let conflict_kind = if declared = Some Footprint.Write then Store else kind in
+    push access_log { a_seqno = c_seqno; a_slot = id; a_kind = conflict_kind };
+    (match declared with
+    | None -> push violation_log (Undeclared { seqno = c_seqno; slot = id; kind })
+    | Some Footprint.Read ->
+      if kind = Store then push violation_log (Write_under_read { seqno = c_seqno; slot = id })
+    | Some Footprint.Write -> ())
+
+let on_load slot = on_access Load slot
+
+let on_store slot = on_access Store slot
+
+let on_edge ~pred ~succ = push edge_log (pred, succ)
+
+let violations () = List.sort_uniq compare (Atomic.get violation_log)
+
+let accesses () = List.rev (Atomic.get access_log)
+
+let edges () = List.rev (Atomic.get edge_log)
+
+let kind_to_string = function Load -> "load" | Store -> "store"
+
+let violation_to_string = function
+  | Undeclared { seqno; slot; kind } ->
+    Printf.sprintf "undeclared %s: request %d touched slot %d outside its footprint"
+      (kind_to_string kind) seqno slot
+  | Write_under_read { seqno; slot } ->
+    Printf.sprintf "write under Read mode: request %d stored to slot %d declared read-only" seqno
+      slot
+  | Orphan { slot; kind } ->
+    Printf.sprintf "orphan %s: slot %d accessed outside any scheduled request"
+      (kind_to_string kind) slot

@@ -1,0 +1,95 @@
+(** Footprint sanitizer: runtime enforcement of the DPS contract.
+
+    DORADD's determinism rests on procedures touching only the resources
+    declared in their footprint (§3.2).  The runtime cannot make a wrong
+    declaration correct — but it can {e catch} it.  This module is the
+    instrumentation point for an opt-in, TSan-style checked mode:
+
+    - {!start} flips a global flag; while it is set, every
+      {!Resource.get}/[set]/[update] validates the touched slot against
+      the per-domain {e current request} context installed by the
+      {!Runtime} around each request step, and the {!Spawner} logs every
+      DAG edge it wires.
+    - {!violations} then reports undeclared accesses, stores under [Read]
+      mode, and accesses from outside any request; {!accesses} and
+      {!edges} feed the happens-before checker in [doradd_analysis],
+      which verifies that conflicting accesses were actually ordered by
+      the recorded DAG.
+
+    When tracking is off (the default) the only cost on the access path
+    is one atomic load and a never-taken branch; nothing is recorded and
+    no context is maintained.
+
+    Granularity caveat: the sanitizer observes the {!Resource} accessor
+    boundary.  A procedure that [get]s a record under [Read] mode and
+    then mutates the record's own fields is invisible to it — only
+    [set]/[update] count as stores.  The footprint/mode declaration is
+    still checked for every accessor call.
+
+    The logs are global: run one sanitized workload (one runtime, seqnos
+    starting at 0) per {!start}/{!stop} bracket. *)
+
+type access_kind = Load | Store
+(** [Load] is {!Resource.get}; [Store] is [set] or [update]. *)
+
+type violation =
+  | Undeclared of { seqno : int; slot : int; kind : access_kind }
+      (** Request [seqno] touched a slot absent from its footprint. *)
+  | Write_under_read of { seqno : int; slot : int }
+      (** Request [seqno] stored to a slot it declared with [Read] mode. *)
+  | Orphan of { slot : int; kind : access_kind }
+      (** A resource accessor ran outside any scheduled request while
+          tracking was on (e.g. a stray thread poking shared state
+          mid-run). *)
+
+type access = { a_seqno : int; a_slot : int; a_kind : access_kind }
+(** One recorded accessor call, attributed to its request.  [a_kind] is
+    the {e conflict} kind: any touch of a slot declared [Write] records
+    as [Store] (the scheduler granted exclusivity, and procedures
+    routinely mutate interior state through a [get]); only accesses under
+    [Read] mode (or undeclared) keep the raw accessor kind. *)
+
+val tracking : bool Atomic.t
+(** The global instrumentation flag.  Read directly ([Atomic.get]) on the
+    resource hot path; use {!start}/{!stop} to flip it. *)
+
+val is_tracking : unit -> bool
+
+val start : unit -> unit
+(** Clear all logs and enable tracking.  Call from the dispatcher thread
+    before scheduling the workload under test. *)
+
+val stop : unit -> unit
+(** Disable tracking (logs are kept until the next {!start}). *)
+
+val enter : seqno:int -> Footprint.t -> unit
+(** Install the current-request context on the calling domain.  Called by
+    the instrumented {!Runtime} at the start of every request step. *)
+
+val leave : unit -> unit
+(** Remove the calling domain's request context. *)
+
+val on_load : Slot.t -> unit
+(** Validate and record a [get] of [slot] against the calling domain's
+    context.  Only call while {!tracking} is set. *)
+
+val on_store : Slot.t -> unit
+(** Validate and record a [set]/[update] of [slot]. *)
+
+val on_edge : pred:int -> succ:int -> unit
+(** Record a DAG ordering edge (by request seqno).  Called by the
+    {!Spawner} for every dependency it wires — including dependencies on
+    already-completed predecessors, which are ordered a fortiori. *)
+
+val violations : unit -> violation list
+(** Deduplicated violations from the current/last tracked run, sorted. *)
+
+val accesses : unit -> access list
+(** All recorded in-request accesses, oldest first. *)
+
+val edges : unit -> (int * int) list
+(** All recorded [(pred, succ)] edges, oldest first. *)
+
+val violation_to_string : violation -> string
+
+val kind_to_string : access_kind -> string

@@ -7,4 +7,6 @@ type ('input, 'entry) t = {
   work : 'entry -> unit -> unit;
 }
 
-let touch r = ignore (Sys.opaque_identity (Resource.get r))
+(* [peek], not [get]: the Prefetcher runs on a dispatcher-pipeline stage,
+   outside any request context, and must not trip the sanitizer. *)
+let touch r = ignore (Sys.opaque_identity (Resource.peek r))

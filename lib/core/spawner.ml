@@ -3,6 +3,11 @@
    join to zero while the dispatch guard is still held; if pred already
    completed the bump is undone. *)
 let register node pred =
+  (* In sanitized mode, log the ordering edge whether or not the
+     registration lands: a predecessor that already completed is ordered
+     before [node] a fortiori. *)
+  if Atomic.get Sanitizer.tracking then
+    Sanitizer.on_edge ~pred:(Node.seqno pred) ~succ:(Node.seqno node);
   Node.incr_join node;
   if not (Node.add_dependent pred node) then ignore (Node.decr_join node)
 

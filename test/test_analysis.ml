@@ -1,0 +1,315 @@
+(* Tests for the analysis layer: footprint normalization properties, the
+   footprint sanitizer (undeclared accesses, writes under Read mode,
+   orphan accesses), and the happens-before race checker — including the
+   acceptance scenario: a seeded undeclared-access bug must be flagged,
+   and the identical workload with the corrected footprint must pass
+   clean. *)
+
+open Doradd_core
+module A = Doradd_analysis
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basic () =
+  let b = A.Bitset.create 100 in
+  checkb "empty" false (A.Bitset.mem b 13);
+  A.Bitset.add b 13;
+  A.Bitset.add b 99;
+  A.Bitset.add b 0;
+  checkb "mem 13" true (A.Bitset.mem b 13);
+  checkb "mem 99" true (A.Bitset.mem b 99);
+  checkb "mem 0" true (A.Bitset.mem b 0);
+  checkb "not mem 14" false (A.Bitset.mem b 14);
+  checki "cardinal" 3 (A.Bitset.cardinal b)
+
+let test_bitset_union () =
+  let a = A.Bitset.create 64 in
+  let b = A.Bitset.create 64 in
+  A.Bitset.add a 1;
+  A.Bitset.add b 2;
+  A.Bitset.add b 63;
+  A.Bitset.union_into ~into:a b;
+  checkb "kept own" true (A.Bitset.mem a 1);
+  checkb "gained 2" true (A.Bitset.mem a 2);
+  checkb "gained 63" true (A.Bitset.mem a 63);
+  checki "src untouched" 2 (A.Bitset.cardinal b)
+
+(* ------------------------------------------------------------------ *)
+(* Footprint normalization properties (qcheck)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A raw footprint over a small pool of slots: list of (slot index, mode). *)
+let raw_fp_gen =
+  QCheck.(list_of_size Gen.(0 -- 12) (pair (int_range 0 5) bool))
+
+let mode_of_bool w = if w then Footprint.Write else Footprint.Read
+
+let with_pool f =
+  let pool = Array.init 6 (fun _ -> Slot.create ()) in
+  f pool
+
+let prop_footprint_sorted_dedup =
+  QCheck.Test.make ~name:"normalization: slot ids strictly increasing (dedup)" ~count:500
+    raw_fp_gen (fun raw ->
+      with_pool (fun pool ->
+          let fp = Footprint.of_list (List.map (fun (i, w) -> (pool.(i), mode_of_bool w)) raw) in
+          let distinct = List.sort_uniq compare (List.map fst raw) in
+          let ids = ref [] in
+          Footprint.iter fp (fun s _ -> ids := Slot.id s :: !ids);
+          let ids = List.rev !ids in
+          List.length ids = List.length distinct
+          && List.sort_uniq compare ids = ids))
+
+let prop_footprint_write_dominates =
+  QCheck.Test.make ~name:"normalization: Write dominates Read per slot" ~count:500 raw_fp_gen
+    (fun raw ->
+      with_pool (fun pool ->
+          let fp = Footprint.of_list (List.map (fun (i, w) -> (pool.(i), mode_of_bool w)) raw) in
+          List.for_all
+            (fun i ->
+              let modes = List.filter_map (fun (j, w) -> if j = i then Some w else None) raw in
+              let expected =
+                if modes = [] then None
+                else if List.exists Fun.id modes then Some Footprint.Write
+                else Some Footprint.Read
+              in
+              Footprint.mode_of fp pool.(i) = expected
+              && Footprint.mem fp pool.(i) = (expected <> None))
+            [ 0; 1; 2; 3; 4; 5 ]))
+
+let test_footprint_self_dependency () =
+  (* a request naming the same slot twice must not depend on itself: the
+     normalized footprint holds the slot once, so the spawner never links
+     the node behind its own registration *)
+  let s = Slot.create () in
+  let fp = Footprint.of_list [ (s, Footprint.Write); (s, Footprint.Read); (s, Footprint.Write) ] in
+  checki "one entry" 1 (Footprint.length fp);
+  checkb "write wins" true (Footprint.mode_of fp s = Some Footprint.Write)
+
+let test_footprint_mode_of_absent () =
+  let s = Slot.create () in
+  let other = Slot.create () in
+  let fp = Footprint.of_slots [ s ] in
+  checkb "absent slot" true (Footprint.mode_of fp other = None);
+  checkb "mem agrees" false (Footprint.mem fp other)
+
+(* ------------------------------------------------------------------ *)
+(* Happens-before checker on hand-built logs                           *)
+(* ------------------------------------------------------------------ *)
+
+let acc seqno slot kind = { Sanitizer.a_seqno = seqno; a_slot = slot; a_kind = kind }
+
+let test_hb_ordered_chain () =
+  let accesses = [ acc 0 7 Sanitizer.Store; acc 1 7 Store; acc 2 7 Store ] in
+  let r = A.Hb.check ~edges:[ (0, 1); (1, 2) ] ~accesses in
+  checki "no races" 0 (List.length r.A.Hb.races);
+  checki "pairs" 2 r.A.Hb.checked_pairs
+
+let test_hb_transitive_order () =
+  (* 0 -> 1 -> 2 with a conflicting pair (0, 2): ordered via the closure
+     even though no direct edge exists *)
+  let accesses = [ acc 0 7 Sanitizer.Store; acc 2 7 Store ] in
+  let r = A.Hb.check ~edges:[ (0, 1); (1, 2) ] ~accesses in
+  checki "no races" 0 (List.length r.A.Hb.races)
+
+let test_hb_missing_edge () =
+  let accesses = [ acc 0 7 Sanitizer.Store; acc 1 7 Store ] in
+  let r = A.Hb.check ~edges:[] ~accesses in
+  checki "one race" 1 (List.length r.A.Hb.races);
+  let race = List.hd r.A.Hb.races in
+  checki "slot" 7 race.A.Hb.slot;
+  checki "first" 0 race.A.Hb.first;
+  checki "second" 1 race.A.Hb.second
+
+let test_hb_reads_share () =
+  (* write 0, loads 1 and 2, write 3: load/load needs no order, but the
+     writer must be ordered behind both loads *)
+  let accesses =
+    [ acc 0 7 Sanitizer.Store; acc 1 7 Load; acc 2 7 Load; acc 3 7 Store ]
+  in
+  let ordered = A.Hb.check ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ] ~accesses in
+  checki "no races when readers fenced" 0 (List.length ordered.A.Hb.races);
+  let unordered = A.Hb.check ~edges:[ (0, 1); (0, 2); (1, 3) ] ~accesses in
+  checki "missing read->write edge is a race" 1 (List.length unordered.A.Hb.races);
+  let race = List.hd unordered.A.Hb.races in
+  checki "read side" 2 race.A.Hb.first;
+  checki "write side" 3 race.A.Hb.second
+
+let test_hb_bad_edge () =
+  let r = A.Hb.check ~edges:[ (3, 1) ] ~accesses:[ acc 0 7 Sanitizer.Store ] in
+  checki "bad edge reported" 1 (List.length r.A.Hb.bad_edges);
+  checkb "flagged pair" true (List.mem (3, 1) r.A.Hb.bad_edges)
+
+(* ------------------------------------------------------------------ *)
+(* Sanitizer end-to-end through the real runtime                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_sanitizer_clean_run () =
+  let o = A.Workloads.counters.A.Workloads.replay ~seed:11 ~n:400 ~workers:2 in
+  checkb "clean" true (A.Sanitize.clean o);
+  checki "requests observed" 400 o.A.Sanitize.requests;
+  checkb "accesses recorded" true (o.A.Sanitize.accesses > 0);
+  checkb "pairs checked" true (o.A.Sanitize.hb.A.Hb.checked_pairs > 0)
+
+(* the acceptance scenario: seeded undeclared access is flagged; the same
+   workload with the corrected footprint passes clean *)
+let test_sanitizer_catches_seeded_bug () =
+  let buggy = (A.Workloads.buggy ~declared:false).A.Workloads.replay ~seed:1 ~n:200 ~workers:2 in
+  checkb "not clean" false (A.Sanitize.clean buggy);
+  checkb "undeclared reported" true
+    (List.exists
+       (function
+         | Sanitizer.Undeclared { kind = Sanitizer.Store; _ } -> true
+         | _ -> false)
+       buggy.A.Sanitize.violations);
+  checkb "hb races reported" true (buggy.A.Sanitize.hb.A.Hb.races <> []);
+  let fixed = (A.Workloads.buggy ~declared:true).A.Workloads.replay ~seed:1 ~n:200 ~workers:2 in
+  checkb "corrected footprint is clean" true (A.Sanitize.clean fixed)
+
+let test_sanitizer_write_under_read () =
+  let r = Resource.create 0 in
+  let o =
+    A.Sanitize.run (fun () ->
+        Runtime.run_log ~workers:1
+          (fun () -> Footprint.of_list [ Resource.read r ])
+          (fun () -> Resource.set r 1)
+          [| () |])
+  in
+  checkb "write under read flagged" true
+    (List.exists
+       (function Sanitizer.Write_under_read _ -> true | _ -> false)
+       o.A.Sanitize.violations)
+
+let test_sanitizer_orphan_access () =
+  let r = Resource.create 0 in
+  let o =
+    A.Sanitize.run (fun () ->
+        Runtime.run_log ~workers:1
+          (fun () -> Footprint.of_list [ Resource.write r ])
+          (fun () -> Resource.set r 1)
+          [| () |];
+        (* runtime has shut down; this thread has no request context *)
+        ignore (Resource.get r))
+  in
+  checkb "orphan flagged" true
+    (List.exists (function Sanitizer.Orphan _ -> true | _ -> false) o.A.Sanitize.violations);
+  checkb "peek is exempt" true
+    (let o2 =
+       A.Sanitize.run (fun () -> ignore (Resource.peek r))
+     in
+     A.Sanitize.clean o2)
+
+let test_sanitizer_off_means_silent () =
+  (* with tracking off, undeclared accesses go unrecorded: the default
+     path must not observe, allocate, or fail *)
+  let r = Resource.create 0 in
+  Runtime.run_log ~workers:1 (fun () -> Footprint.empty) (fun () -> Resource.set r 42) [| () |];
+  checki "ran" 42 (Resource.get r);
+  checkb "nothing tracked" false (Sanitizer.is_tracking ())
+
+let test_sanitizer_cooperative_steps () =
+  (* yielding procedures: every step must run under the request context *)
+  let r = Resource.create 0 in
+  let o =
+    A.Sanitize.run (fun () ->
+        let t = Runtime.create ~workers:2 () in
+        Runtime.schedule_steps t
+          (Footprint.of_list [ Resource.write r ])
+          (fun () ->
+            Resource.update r succ;
+            Node.Yield
+              (fun () ->
+                Resource.update r succ;
+                Node.Finished));
+        Runtime.shutdown t)
+  in
+  checkb "clean across yield" true (A.Sanitize.clean o);
+  checki "both steps ran" 2 (Resource.get r)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties over the sanitized runtime                        *)
+(* ------------------------------------------------------------------ *)
+
+(* honest random counters logs replay clean for any worker count *)
+let prop_sanitized_honest_logs_clean =
+  QCheck.Test.make ~name:"sanitizer: honest random logs are clean" ~count:20
+    QCheck.(pair (int_range 1 1_000_000) (int_range 1 3))
+    (fun (seed, workers) ->
+      let o = A.Workloads.counters.A.Workloads.replay ~seed ~n:150 ~workers in
+      A.Sanitize.clean o)
+
+(* dropping one slot from one multi-slot request's footprint is always
+   caught as an undeclared access *)
+let prop_sanitized_underdeclaration_caught =
+  QCheck.Test.make ~name:"sanitizer: any dropped footprint entry is flagged" ~count:30
+    QCheck.(pair (int_range 1 1_000_000) (int_range 0 49))
+    (fun (seed, victim) ->
+      let module Rng = Doradd_stats.Rng in
+      let n = 50 and n_keys = 16 in
+      let rng = Rng.create seed in
+      (* every request touches two distinct cells *)
+      let log =
+        Array.init n (fun id ->
+            let a = Rng.int rng n_keys in
+            let b = (a + 1 + Rng.int rng (n_keys - 1)) mod n_keys in
+            (id, a, b))
+      in
+      let cells = Array.init n_keys (fun _ -> Resource.create 0) in
+      let footprint (id, a, b) =
+        let slots =
+          if id = victim then [ Resource.slot cells.(a) ]
+          else [ Resource.slot cells.(a); Resource.slot cells.(b) ]
+        in
+        Footprint.of_slots slots
+      in
+      let execute (id, a, b) =
+        Resource.update cells.(a) (fun v -> v + id);
+        Resource.update cells.(b) (fun v -> v + id)
+      in
+      let o = A.Sanitize.run (fun () -> Runtime.run_log ~workers:2 footprint execute log) in
+      List.exists
+        (function
+          | Sanitizer.Undeclared { seqno; _ } -> seqno = victim
+          | _ -> false)
+        o.A.Sanitize.violations)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "doradd-analysis"
+    [
+      ( "bitset",
+        [ tc "basic" `Quick test_bitset_basic; tc "union" `Quick test_bitset_union ] );
+      ( "footprint-props",
+        [
+          QCheck_alcotest.to_alcotest prop_footprint_sorted_dedup;
+          QCheck_alcotest.to_alcotest prop_footprint_write_dominates;
+          tc "self dependency eliminated" `Quick test_footprint_self_dependency;
+          tc "mode_of absent slot" `Quick test_footprint_mode_of_absent;
+        ] );
+      ( "happens-before",
+        [
+          tc "ordered chain" `Quick test_hb_ordered_chain;
+          tc "transitive order" `Quick test_hb_transitive_order;
+          tc "missing edge is a race" `Quick test_hb_missing_edge;
+          tc "readers share, writer fences" `Quick test_hb_reads_share;
+          tc "malformed edge reported" `Quick test_hb_bad_edge;
+        ] );
+      ( "sanitizer",
+        [
+          tc "clean run" `Slow test_sanitizer_clean_run;
+          tc "seeded bug caught, corrected clean" `Slow test_sanitizer_catches_seeded_bug;
+          tc "write under Read mode" `Quick test_sanitizer_write_under_read;
+          tc "orphan access" `Quick test_sanitizer_orphan_access;
+          tc "off means silent" `Quick test_sanitizer_off_means_silent;
+          tc "cooperative steps bracketed" `Quick test_sanitizer_cooperative_steps;
+          QCheck_alcotest.to_alcotest prop_sanitized_honest_logs_clean;
+          QCheck_alcotest.to_alcotest prop_sanitized_underdeclaration_caught;
+        ] );
+    ]
