@@ -7,8 +7,12 @@
    application once per worker count under the footprint sanitizer and
    happens-before checker (doradd_analysis) — digests can only catch a
    footprint lie that happened to corrupt state; the sanitizer catches
-   the lie itself.  Exit code 0 iff everything matches and every
-   sanitized replay is clean — usable as a CI gate for runtime changes. *)
+   the lie itself.  A third pass is a DST smoke tier (doradd_dst): the
+   oracle self-test plus a handful of fuzzed seeds, so every CI run of
+   check also exercises schedule fuzzing and fault injection (the full
+   seed sweep lives in bin/dst.exe).  Exit code 0 iff everything matches,
+   every sanitized replay is clean, and every DST seed passes — usable as
+   a CI gate for runtime changes. *)
 
 module Core = Doradd_core
 module Db = Doradd_db
@@ -163,6 +167,42 @@ let sanitize_table ~seed ~n =
        report);
   A.Report.clean report
 
+(* -- DST smoke tier: oracle self-test + a few fuzzed seeds ------------ *)
+
+let dst_smoke ~seed ~seeds =
+  let self_ok =
+    match Doradd_dst.Runner.self_test () with
+    | Ok () -> true
+    | Error missed ->
+      List.iter (Printf.eprintf "doradd-check: dst self-test: %s\n") missed;
+      false
+  in
+  let report =
+    Doradd_dst.Runner.run ~shrink:true ~sanitize_every:0 ~seeds ~first_seed:seed ()
+  in
+  List.iter
+    (fun (r : Doradd_dst.Runner.seed_report) ->
+      Printf.eprintf "doradd-check: dst seed %d FAILED (case %s)\n" r.seed r.case;
+      List.iter
+        (fun f -> Printf.eprintf "  oracle: %s\n" (Doradd_dst.Oracle.to_string f))
+        r.failures;
+      match r.repro with
+      | Some repro -> Printf.eprintf "  repro: %s\n" repro.Doradd_dst.Shrink.command
+      | None -> ())
+    report.failed;
+  Table.print ~title:"doradd-check: DST smoke (schedule fuzzing + fault injection)"
+    ~header:[ "tier"; "runs"; "failures"; "verdict" ]
+    [
+      [ "self-test canaries"; "6"; (if self_ok then "0" else "some"); (if self_ok then "PASS" else "FAIL") ];
+      [
+        "fuzzed seeds";
+        string_of_int seeds;
+        string_of_int (List.length report.failed);
+        (if Doradd_dst.Runner.ok report then "PASS" else "FAIL");
+      ];
+    ];
+  self_ok && Doradd_dst.Runner.ok report
+
 open Cmdliner
 
 let iterations_arg =
@@ -183,7 +223,13 @@ let no_sanitize_arg =
     & info [ "no-sanitize" ]
         ~doc:"Skip the footprint-sanitizer / happens-before pass (digest comparison only).")
 
-let main iterations seed n no_sanitize names =
+let dst_seeds_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "dst-seeds" ] ~docv:"N"
+        ~doc:"Fuzzed DST seeds in the smoke tier (0 skips the tier entirely).")
+
+let main iterations seed n no_sanitize dst_seeds names =
   let selected =
     if List.mem "all" names then apps
     else
@@ -207,16 +253,21 @@ let main iterations seed n no_sanitize names =
          results);
     let digests_ok = List.for_all (fun r -> r.mismatches = 0) results in
     let sanitize_ok = no_sanitize || sanitize_table ~seed ~n in
-    match (digests_ok, sanitize_ok) with
-    | true, true -> `Ok ()
-    | false, _ -> `Error (false, "determinism violations detected")
-    | true, false -> `Error (false, "sanitizer violations detected")
+    let dst_ok = dst_seeds <= 0 || dst_smoke ~seed ~seeds:dst_seeds in
+    match (digests_ok, sanitize_ok, dst_ok) with
+    | true, true, true -> `Ok ()
+    | false, _, _ -> `Error (false, "determinism violations detected")
+    | true, false, _ -> `Error (false, "sanitizer violations detected")
+    | true, true, false -> `Error (false, "DST smoke tier failed")
   end
 
 let cmd =
   let doc = "Torture-test DORADD's determinism guarantee on this machine" in
   Cmd.v
     (Cmd.info "doradd-check" ~version:"1.0.0" ~doc)
-    Term.(ret (const main $ iterations_arg $ seed_arg $ size_arg $ no_sanitize_arg $ apps_arg))
+    Term.(
+      ret
+        (const main $ iterations_arg $ seed_arg $ size_arg $ no_sanitize_arg $ dst_seeds_arg
+       $ apps_arg))
 
 let () = exit (Cmd.eval cmd)

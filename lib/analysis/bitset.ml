@@ -6,9 +6,15 @@ let create n =
 
 let capacity t = Bytes.length t lsl 3
 
-let mem t i = Char.code (Bytes.get t (i lsr 3)) land (1 lsl (i land 7)) <> 0
+(* Out-of-range membership (including negative indices, which would
+   otherwise alias a huge positive byte offset under lsr) is just
+   "absent" — callers probe with seqnos from untrusted recordings. *)
+let mem t i =
+  i >= 0 && i < capacity t
+  && Char.code (Bytes.get t (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
 let add t i =
+  if i < 0 || i >= capacity t then invalid_arg "Bitset.add";
   let byte = i lsr 3 in
   Bytes.set t byte (Char.chr (Char.code (Bytes.get t byte) lor (1 lsl (i land 7))))
 

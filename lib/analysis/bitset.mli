@@ -3,7 +3,8 @@
     Backing store for the happens-before checker's vector clocks: one bit
     per request, so a full closure over a multi-thousand-request torture
     log stays within a few megabytes.  Capacity is rounded up to a whole
-    byte; indices are not bounds-checked beyond the byte array itself. *)
+    byte.  [mem] treats any out-of-range index (negative included) as
+    absent; [add] rejects out-of-range indices with [Invalid_argument]. *)
 
 type t
 
@@ -14,8 +15,10 @@ val capacity : t -> int
 (** Rounded-up capacity in bits. *)
 
 val mem : t -> int -> bool
+(** [false] for any index outside [0, capacity). *)
 
 val add : t -> int -> unit
+(** @raise Invalid_argument if the index is outside [0, capacity). *)
 
 val union_into : into:t -> t -> unit
 (** [union_into ~into src] adds every element of [src] to [into].  The

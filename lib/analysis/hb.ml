@@ -23,6 +23,10 @@ let kind_join a b =
   | Sanitizer.Load, Sanitizer.Load -> Sanitizer.Load
 
 let check ~edges ~accesses =
+  (* Accesses recorded outside any request (the instrumentation's seqno
+     is negative until a request body starts) have no place in the serial
+     order; folding them in would index the clock arrays negatively. *)
+  let accesses = List.filter (fun a -> a.Sanitizer.a_seqno >= 0) accesses in
   let requests =
     let m = List.fold_left (fun m (p, s) -> max m (max p s)) (-1) edges in
     1 + List.fold_left (fun m a -> max m a.Sanitizer.a_seqno) m accesses

@@ -46,6 +46,7 @@ val check :
     the previous store and after every load since it, and each load after
     the previous store.  Transitivity of verified pairs covers the rest.
     O(requests² / 64) space-time for the closure, linear in accesses for
-    the pair walk. *)
+    the pair walk.  Accesses with a negative seqno (recorded outside any
+    request) are ignored. *)
 
 val race_to_string : race -> string

@@ -1,9 +1,23 @@
+(* Schedule-fuzzing decision hooks (DST harness).  Any pick order over the
+   runnable set is correct — the set is unordered by construction — so the
+   fuzzer may rotate every scan start and fail any individual queue
+   operation without compromising determinism of the outcome; it only
+   steers which of the legal schedules this run takes. *)
+type fuzz = {
+  pop_rotate : worker:int -> n:int -> int;  (* offset added to the pop/steal scan start *)
+  push_rotate : worker:int -> n:int -> int;  (* offset for the worker push scan *)
+  dispatch_rotate : n:int -> int;  (* offset added to the dispatcher's round-robin cursor *)
+  fail_push : (unit -> bool) option;  (* spurious queue-full, armed on every queue *)
+  fail_pop : (unit -> bool) option;  (* spurious queue-empty, armed on every queue *)
+}
+
 type t = {
   queues : Node.t Doradd_queue.Mpmc.t array;
   mutable rr : int; (* only the single logical dispatcher advances this *)
   mutable run_inline : Node.t -> unit; (* tied after creation to break the cycle *)
   mutable on_failure : Node.t -> exn -> unit; (* inline-execution failure hook *)
   mutable on_complete : Node.t -> unit; (* inline-execution completion hook *)
+  mutable fuzz : fuzz option; (* installed before the worker domains start *)
 }
 
 module Mpmc = Doradd_queue.Mpmc
@@ -18,6 +32,7 @@ let create ~workers ~queue_capacity =
       run_inline = (fun _ -> assert false);
       on_failure = (fun _ _ -> ());
       on_complete = (fun _ -> ());
+      fuzz = None;
     }
   in
   (* Inline execution when every queue is full: run the node (stepping
@@ -49,6 +64,12 @@ let set_inline_hooks t ~on_failure ~on_complete =
   t.on_failure <- on_failure;
   t.on_complete <- on_complete
 
+let set_fuzz t fuzz =
+  t.fuzz <- fuzz;
+  match fuzz with
+  | None -> Array.iter Mpmc.clear_faults t.queues
+  | Some f -> Array.iter (fun q -> Mpmc.set_faults q ~push:f.fail_push ~pop:f.fail_pop) t.queues
+
 let push_dispatcher t node =
   let n = Array.length t.queues in
   let b = Backoff.create () in
@@ -63,29 +84,38 @@ let push_dispatcher t node =
     end
     else go (attempts + 1) ((idx + 1) mod n)
   in
-  go 0 t.rr
+  let start =
+    match t.fuzz with None -> t.rr | Some f -> (t.rr + f.dispatch_rotate ~n) mod n
+  in
+  go 0 start
 
 let push_worker t ~worker node =
   let n = Array.length t.queues in
+  let start =
+    match t.fuzz with None -> worker | Some f -> worker + f.push_rotate ~worker ~n
+  in
   let rec try_all i =
     if i >= n then t.run_inline node
-    else if Mpmc.try_push t.queues.((worker + i) mod n) node then ()
+    else if Mpmc.try_push t.queues.((start + i) mod n) node then ()
     else try_all (i + 1)
   in
   try_all 0
 
 let pop t ~worker =
   let n = Array.length t.queues in
-  match Mpmc.try_pop t.queues.(worker) with
-  | Some _ as r -> r
-  | None ->
-    let rec steal i =
-      if i >= n then None
-      else
-        match Mpmc.try_pop t.queues.((worker + i) mod n) with
-        | Some _ as r -> r
-        | None -> steal (i + 1)
-    in
-    steal 1
+  (* Unfuzzed: own queue first, then a stealing sweep — the paper's work-
+     conserving order.  Fuzzed: the scan start rotates, so steal-first and
+     every other legal pick order get exercised too. *)
+  let start =
+    match t.fuzz with None -> worker | Some f -> worker + f.pop_rotate ~worker ~n
+  in
+  let rec sweep i =
+    if i >= n then None
+    else
+      match Mpmc.try_pop t.queues.((start + i) mod n) with
+      | Some _ as r -> r
+      | None -> sweep (i + 1)
+  in
+  sweep 0
 
 let size t = Array.fold_left (fun acc q -> acc + Mpmc.length q) 0 t.queues

@@ -10,9 +10,29 @@
 
 type t
 
+(** Schedule-fuzzing decision hooks (deterministic-simulation testing).
+    Every pick order over the runnable set is a legal schedule, so the
+    hooks can only steer {e which} legal schedule a run takes — never
+    break determinism of the outcome.  [fail_push]/[fail_pop] are armed as
+    fault hooks on every worker queue (see {!Doradd_queue.Mpmc.set_faults}):
+    spurious full forces the dispatcher-backpressure and worker
+    overflow-to-inline paths, spurious empty forces extra steal sweeps. *)
+type fuzz = {
+  pop_rotate : worker:int -> n:int -> int;
+  push_rotate : worker:int -> n:int -> int;
+  dispatch_rotate : n:int -> int;
+  fail_push : (unit -> bool) option;
+  fail_pop : (unit -> bool) option;
+}
+
 val create : workers:int -> queue_capacity:int -> t
 
 val workers : t -> int
+
+val set_fuzz : t -> fuzz option -> unit
+(** Install (or clear) the fuzz hooks.  Install before the worker domains
+    start; the hook functions themselves may be probed concurrently from
+    every domain and must be domain-safe. *)
 
 val set_inline_hooks :
   t -> on_failure:(Node.t -> exn -> unit) -> on_complete:(Node.t -> unit) -> unit

@@ -1,5 +1,13 @@
 module Backoff = Doradd_queue.Backoff
 
+(* Worker-level schedule fuzz (DST): [rs] perturbs the runnable-set scan
+   orders and injects queue faults; [stall_spins ~worker] asks worker
+   [worker] to burn that many backoff iterations before its next pop —
+   seeded stalls model straggling, descheduled, or crashed-and-restarted
+   workers (a crash window is a stall during which the worker takes no
+   work; its queue stays stealable, which is exactly the recovery story). *)
+type fuzz = { rs_fuzz : Runnable_set.fuzz option; stall_spins : (worker:int -> int) option }
+
 type failure = { seqno : int; exn_ : exn }
 
 type t = {
@@ -19,9 +27,19 @@ let record_failure failures seqno exn_ =
   in
   add ()
 
-let worker_loop rs ~worker ~stop ~completed ~failures =
+let worker_loop rs ~worker ~stop ~completed ~failures ~stall =
   let b = Backoff.create () in
   let rec loop () =
+    (match stall with
+    | None -> ()
+    | Some spins ->
+      let s = spins ~worker in
+      if s > 0 then begin
+        let sb = Backoff.create () in
+        for _ = 1 to s do
+          Backoff.once sb
+        done
+      end);
     match Runnable_set.pop rs ~worker with
     | Some node ->
       Backoff.reset b;
@@ -47,7 +65,7 @@ let worker_loop rs ~worker ~stop ~completed ~failures =
   in
   loop ()
 
-let create ?workers ?(queue_capacity = 4096) () =
+let create ?workers ?(queue_capacity = 4096) ?fuzz () =
   let workers =
     match workers with
     | Some w ->
@@ -62,9 +80,17 @@ let create ?workers ?(queue_capacity = 4096) () =
   Runnable_set.set_inline_hooks rs
     ~on_failure:(fun node e -> record_failure failures (Node.seqno node) e)
     ~on_complete:(fun _ -> Atomic.incr completed);
+  (* installed before the domains spawn, so workers see it without races *)
+  let stall =
+    match fuzz with
+    | None -> None
+    | Some f ->
+      Runnable_set.set_fuzz rs f.rs_fuzz;
+      f.stall_spins
+  in
   let domains =
     Array.init workers (fun worker ->
-        Domain.spawn (fun () -> worker_loop rs ~worker ~stop ~completed ~failures))
+        Domain.spawn (fun () -> worker_loop rs ~worker ~stop ~completed ~failures ~stall))
   in
   { rs; stop; scheduled = Atomic.make 0; completed; failures; domains; next_seq = 0 }
 
@@ -128,8 +154,8 @@ let shutdown t =
   Atomic.set t.stop true;
   Array.iter Domain.join t.domains
 
-let run_log ?workers ?queue_capacity fp exec log =
-  let t = create ?workers ?queue_capacity () in
+let run_log ?workers ?queue_capacity ?fuzz fp exec log =
+  let t = create ?workers ?queue_capacity ?fuzz () in
   Array.iter (fun req -> schedule t (fp req) (fun () -> exec req)) log;
   shutdown t
 

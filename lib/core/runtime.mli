@@ -21,10 +21,23 @@
 
 type t
 
-val create : ?workers:int -> ?queue_capacity:int -> unit -> t
+(** Schedule-fuzzing hooks for deterministic-simulation testing: [rs]
+    perturbs runnable-set pick orders and injects queue faults (see
+    {!Runnable_set.fuzz}); [stall_spins ~worker] makes worker [worker]
+    burn that many backoff iterations before its next pop — seeded stalls
+    model stragglers, descheduling, and crash-restart windows.  Every
+    fuzzed schedule is a legal schedule: the determinism contract must
+    hold under all of them, which is exactly what the DST harness
+    checks. *)
+type fuzz = { rs_fuzz : Runnable_set.fuzz option; stall_spins : (worker:int -> int) option }
+
+val create : ?workers:int -> ?queue_capacity:int -> ?fuzz:fuzz -> unit -> t
 (** Start the worker domains.  [workers] defaults to
     [max 1 (Domain.recommended_domain_count () - 1)]; [queue_capacity] is
-    the per-worker runnable-queue capacity (default 4096). *)
+    the per-worker runnable-queue capacity (default 4096).  [fuzz]
+    installs schedule-fuzzing hooks before the workers start; the hook
+    functions are probed from every worker domain and must be
+    domain-safe. *)
 
 val workers : t -> int
 
@@ -66,7 +79,14 @@ val shutdown : t -> unit
 (** Drain, then stop and join the worker domains.  The runtime cannot be
     used afterwards. *)
 
-val run_log : ?workers:int -> ?queue_capacity:int -> ('a -> Footprint.t) -> ('a -> unit) -> 'a array -> unit
+val run_log :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?fuzz:fuzz ->
+  ('a -> Footprint.t) ->
+  ('a -> unit) ->
+  'a array ->
+  unit
 (** [run_log fp exec log] creates a runtime, schedules every entry of
     [log] in order, drains, and shuts down: deterministic parallel replay
     of a request log — the DPS replica-execution use case. *)

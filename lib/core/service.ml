@@ -7,6 +7,15 @@ type ('input, 'entry) t = {
   work : 'entry -> unit -> unit;
 }
 
+(* DST hook: prefetches are semantically inert (a prefetch only warms the
+   cache), so the fault injector may drop any subset of them and nothing
+   observable is allowed to change — dropping them both proves that claim
+   and perturbs pipeline-stage timing. *)
+let drop_prefetch : (unit -> bool) Atomic.t = Atomic.make (fun () -> false)
+
+let set_drop_prefetch f =
+  Atomic.set drop_prefetch (match f with Some f -> f | None -> fun () -> false)
+
 (* [peek], not [get]: the Prefetcher runs on a dispatcher-pipeline stage,
    outside any request context, and must not trip the sanitizer. *)
-let touch r = ignore (Sys.opaque_identity (Resource.peek r))
+let touch r = if not ((Atomic.get drop_prefetch) ()) then ignore (Sys.opaque_identity (Resource.peek r))

@@ -31,3 +31,10 @@ type ('input, 'entry) t = {
 val touch : 'a Resource.t -> unit
 (** Helper for [prefetch] implementations: performs a read of the
     resource's contents that the optimiser cannot delete. *)
+
+val set_drop_prefetch : (unit -> bool) option -> unit
+(** DST fault hook: while the function returns [true], {!touch} becomes a
+    no-op (the prefetch is dropped).  Prefetches only warm caches, so
+    dropping any subset must not change any observable result — the DST
+    harness both exploits this (timing perturbation) and verifies it
+    (serial-equivalence oracle).  Process-global; pass [None] to clear. *)

@@ -1,0 +1,259 @@
+module Core = Doradd_core
+module Db = Doradd_db
+module Rng = Doradd_stats.Rng
+module Ycsb = Doradd_workload.Ycsb
+module Sanitize = Doradd_analysis.Sanitize
+
+type run_result = { digest : int; results : int array; invariant : string option }
+
+type t = {
+  name : string;
+  default_n : int;
+  serial : seed:int -> n:int -> run_result;
+  parallel :
+    seed:int ->
+    n:int ->
+    workers:int ->
+    queue_capacity:int ->
+    fuzz:Core.Runtime.fuzz option ->
+    sanitize:bool ->
+    run_result * Sanitize.outcome option;
+}
+
+(* Bracket only the execution with the sanitizer (setup and digests are
+   legitimately outside any request — see Sanitize's doc). *)
+let maybe_sanitize ~sanitize run =
+  if sanitize then begin
+    let (), outcome = Sanitize.instrumented run in
+    Some outcome
+  end
+  else begin
+    run ();
+    None
+  end
+
+(* ---- counters: multi-cell read-modify-write ------------------------ *)
+
+let counters_log ~seed ~n ~n_cells =
+  let rng = Rng.create (seed lxor 0x00c0_4973) in
+  Array.init n (fun id ->
+      (id, Array.init (1 + Rng.int rng 3) (fun _ -> Rng.int rng n_cells)))
+
+let counters_digest cells =
+  Array.fold_left (fun acc c -> (acc * 31) + Core.Resource.peek c) 17 cells
+
+let counters =
+  let n_cells = 48 in
+  let footprint cells (_, ks) =
+    Core.Footprint.of_slots
+      (Array.to_list (Array.map (fun k -> Core.Resource.slot cells.(k)) ks))
+  in
+  let execute cells (id, ks) =
+    Harness.straggle ();
+    Array.iter (fun k -> Core.Resource.update cells.(k) (fun v -> (v * 31) + id)) ks
+  in
+  let serial ~seed ~n =
+    let log = counters_log ~seed ~n ~n_cells in
+    let cells = Array.init n_cells (fun _ -> Core.Resource.create 0) in
+    Core.Runtime.run_sequential (execute cells) log;
+    { digest = counters_digest cells; results = [||]; invariant = None }
+  in
+  let parallel ~seed ~n ~workers ~queue_capacity ~fuzz ~sanitize =
+    let log = counters_log ~seed ~n ~n_cells in
+    let cells = Array.init n_cells (fun _ -> Core.Resource.create 0) in
+    let outcome =
+      maybe_sanitize ~sanitize (fun () ->
+          Core.Runtime.run_log ~workers ~queue_capacity ?fuzz (footprint cells)
+            (execute cells) log)
+    in
+    ({ digest = counters_digest cells; results = [||]; invariant = None }, outcome)
+  in
+  { name = "counters"; default_n = 160; serial; parallel }
+
+(* ---- kv family: YCSB-shaped multi-key transactions ----------------- *)
+
+let kv_txns ~seed ~n ~n_keys ~ops ~contention =
+  (* a compressed YCSB: small keyspace plus a genuinely hot tail so the
+     DAG has real dependency chains even at DST-sized logs.  [ops] must
+     be at least the contention level's hot keys per txn (7 for high). *)
+  let cfg = Ycsb.config ~n_keys ~ops_per_txn:ops ~hot_count:8 ~hot_stride:(n_keys / 8) contention in
+  let raw = Ycsb.generate cfg (Rng.create (seed lxor 0x0023_8b71)) ~n in
+  Array.map
+    (fun (t : Ycsb.txn) ->
+      {
+        Db.Kv.id = t.id;
+        ops =
+          Array.map
+            (fun (o : Ycsb.op) ->
+              { Db.Kv.key = o.key; kind = (if o.is_write then Db.Kv.Update else Db.Kv.Read) })
+            t.ops;
+      })
+    raw
+
+let kv_case ~name ~rw ~ops ~contention =
+  let n_keys = 256 in
+  let all_keys = Array.init n_keys Fun.id in
+  let store () =
+    let s = Db.Store.create () in
+    Db.Store.populate s ~n:n_keys;
+    s
+  in
+  let serial ~seed ~n =
+    let txns = kv_txns ~seed ~n ~n_keys ~ops ~contention in
+    let s = store () in
+    let results = Db.Kv.run_sequential s txns in
+    { digest = Db.Kv.state_digest s ~keys:all_keys; results; invariant = None }
+  in
+  let parallel ~seed ~n ~workers ~queue_capacity ~fuzz ~sanitize =
+    let txns = kv_txns ~seed ~n ~n_keys ~ops ~contention in
+    let s = store () in
+    let results = Array.make n 0 in
+    let outcome =
+      maybe_sanitize ~sanitize (fun () ->
+          Core.Runtime.run_log ~workers ~queue_capacity ?fuzz
+            (Db.Kv.footprint ~rw s)
+            (fun txn ->
+              Harness.straggle ();
+              Db.Kv.execute s ~results txn)
+            txns)
+    in
+    ({ digest = Db.Kv.state_digest s ~keys:all_keys; results; invariant = None }, outcome)
+  in
+  { name; default_n = 128; serial; parallel }
+
+let kv = kv_case ~name:"kv" ~rw:false ~ops:6 ~contention:Ycsb.Mod_contention
+
+let kv_rw =
+  (* No_contention is the only mix with actual reads (4r/2w at 6 ops), so
+     this is the case that exercises shared-mode declarations under fuzz *)
+  kv_case ~name:"kv-rw" ~rw:true ~ops:6 ~contention:Ycsb.No_contention
+
+let ycsb =
+  (* high contention draws 7 hot keys per txn, so it needs ≥ 7 ops *)
+  kv_case ~name:"ycsb" ~rw:false ~ops:8 ~contention:Ycsb.High_contention
+
+(* ---- ledger: invariant-carrying application ------------------------ *)
+
+let ledger =
+  let make () = Db.Ledger.create { Db.Ledger.accounts = 48; pools = 2 } in
+  let invariant l =
+    match Db.Ledger.check_invariants l with Ok () -> None | Error m -> Some m
+  in
+  let serial ~seed ~n =
+    let l = make () in
+    let txns = Db.Ledger.generate l (Rng.create (seed lxor 0x004c_19d3)) ~n in
+    Db.Ledger.run_sequential l txns;
+    { digest = Db.Ledger.digest l; results = [||]; invariant = invariant l }
+  in
+  let parallel ~seed ~n ~workers ~queue_capacity ~fuzz ~sanitize =
+    let l = make () in
+    let txns = Db.Ledger.generate l (Rng.create (seed lxor 0x004c_19d3)) ~n in
+    let outcome =
+      maybe_sanitize ~sanitize (fun () ->
+          Core.Runtime.run_log ~workers ~queue_capacity ?fuzz (Db.Ledger.footprint l)
+            (fun txn ->
+              Harness.straggle ();
+              Db.Ledger.execute l txn)
+            txns)
+    in
+    ({ digest = Db.Ledger.digest l; results = [||]; invariant = invariant l }, outcome)
+  in
+  { name = "ledger"; default_n = 160; serial; parallel }
+
+(* ---- tpcc: consistency-checked application ------------------------- *)
+
+let tpcc =
+  let cfg = { Db.Tpcc_db.warehouses = 1; customers_per_district = 24; items = 64 } in
+  let counts txns =
+    Array.fold_left
+      (fun (p, o) -> function Db.Tpcc_db.Payment _ -> (p + 1, o) | New_order _ -> (p, o + 1))
+      (0, 0) txns
+  in
+  let invariant db txns =
+    let expected_payments, expected_orders = counts txns in
+    match Db.Tpcc_db.check_consistency db ~expected_payments ~expected_orders with
+    | Ok () -> None
+    | Error m -> Some m
+  in
+  let serial ~seed ~n =
+    let db = Db.Tpcc_db.create cfg in
+    let txns = Db.Tpcc_db.generate db (Rng.create (seed lxor 0x0079_3cc5)) ~n in
+    Db.Tpcc_db.run_sequential db txns;
+    { digest = Db.Tpcc_db.digest db; results = [||]; invariant = invariant db txns }
+  in
+  let parallel ~seed ~n ~workers ~queue_capacity ~fuzz ~sanitize =
+    let db = Db.Tpcc_db.create cfg in
+    let txns = Db.Tpcc_db.generate db (Rng.create (seed lxor 0x0079_3cc5)) ~n in
+    let outcome =
+      maybe_sanitize ~sanitize (fun () ->
+          Core.Runtime.run_log ~workers ~queue_capacity ?fuzz
+            (Db.Tpcc_db.footprint db)
+            (fun txn ->
+              Harness.straggle ();
+              Db.Tpcc_db.execute db txn)
+            txns)
+    in
+    ({ digest = Db.Tpcc_db.digest db; results = [||]; invariant = invariant db txns }, outcome)
+  in
+  { name = "tpcc"; default_n = 96; serial; parallel }
+
+(* ---- yield: cooperative multi-step procedures ---------------------- *)
+
+(* Each request updates 1–2 cells in TWO steps with a Yield between them:
+   exercises the park/resume path (§6) under fuzz.  While parked it keeps
+   exclusive footprint access, so the serial reference can simply run both
+   steps back to back. *)
+let yield_log ~seed ~n ~n_cells =
+  let rng = Rng.create (seed lxor 0x0059_77e1) in
+  Array.init n (fun id ->
+      (id, Array.init (1 + Rng.int rng 2) (fun _ -> Rng.int rng n_cells)))
+
+let yield =
+  let n_cells = 32 in
+  let step1 cells (id, ks) =
+    Harness.straggle ();
+    Array.iter (fun k -> Core.Resource.update cells.(k) (fun v -> (v * 31) + id)) ks
+  in
+  let step2 cells (id, ks) =
+    Array.iter (fun k -> Core.Resource.update cells.(k) (fun v -> v lxor (id * 2654435761))) ks
+  in
+  let serial ~seed ~n =
+    let log = yield_log ~seed ~n ~n_cells in
+    let cells = Array.init n_cells (fun _ -> Core.Resource.create 0) in
+    Array.iter
+      (fun req ->
+        step1 cells req;
+        step2 cells req)
+      log;
+    { digest = counters_digest cells; results = [||]; invariant = None }
+  in
+  let parallel ~seed ~n ~workers ~queue_capacity ~fuzz ~sanitize =
+    let log = yield_log ~seed ~n ~n_cells in
+    let cells = Array.init n_cells (fun _ -> Core.Resource.create 0) in
+    let footprint (_, ks) =
+      Core.Footprint.of_slots
+        (Array.to_list (Array.map (fun k -> Core.Resource.slot cells.(k)) ks))
+    in
+    let run () =
+      let t = Core.Runtime.create ~workers ~queue_capacity ?fuzz () in
+      Array.iter
+        (fun req ->
+          Core.Runtime.schedule_steps t (footprint req) (fun () ->
+              step1 cells req;
+              Core.Node.Yield
+                (fun () ->
+                  step2 cells req;
+                  Core.Node.Finished)))
+        log;
+      Core.Runtime.shutdown t
+    in
+    let outcome = maybe_sanitize ~sanitize run in
+    ({ digest = counters_digest cells; results = [||]; invariant = None }, outcome)
+  in
+  { name = "yield"; default_n = 128; serial; parallel }
+
+let all = [ counters; kv; kv_rw; ycsb; ledger; tpcc; yield ]
+
+let find name = List.find_opt (fun c -> c.name = name) all
+
+let names = List.map (fun c -> c.name) all

@@ -1,0 +1,60 @@
+(** The DST workload cases: one application per row of the test matrix.
+
+    Every case can execute the {e same} seeded log two ways — serially
+    (the reference the determinism contract is stated against) and on the
+    real parallel runtime with fuzz hooks armed — and report a comparable
+    {!run_result}.  The serial-equivalence oracle ({!Oracle}) then demands
+    bit-equal state digests and per-request results, plus clean
+    application invariants, under every perturbation plan. *)
+
+type run_result = {
+  digest : int;  (** checksum of the final application state *)
+  results : int array;  (** per-request result digests ([[||]] if none) *)
+  invariant : string option;  (** application invariant violation, if any *)
+}
+
+type t = {
+  name : string;
+  default_n : int;  (** log length used by the fuzz loop *)
+  serial : seed:int -> n:int -> run_result;
+  parallel :
+    seed:int ->
+    n:int ->
+    workers:int ->
+    queue_capacity:int ->
+    fuzz:Doradd_core.Runtime.fuzz option ->
+    sanitize:bool ->
+    run_result * Doradd_analysis.Sanitize.outcome option;
+      (** Fresh state, same seeded log, real runtime.  With
+          [sanitize:true] the execution runs under the footprint
+          sanitizer + happens-before checker (the secondary oracle) and
+          the outcome is returned. *)
+}
+
+val counters : t
+(** Multi-cell read-modify-write over 48 counters. *)
+
+val kv : t
+(** YCSB-shaped multi-key transactions (moderate contention, all
+    exclusive). *)
+
+val kv_rw : t
+(** Read/write-mode KV: reads declare shared access. *)
+
+val ycsb : t
+(** High-contention YCSB (7 of 6 ops hot — long dependency chains). *)
+
+val ledger : t
+(** Token ledger with supply/product invariants. *)
+
+val tpcc : t
+(** TPC-C NewOrder/Payment with consistency conditions. *)
+
+val yield : t
+(** Cooperative two-step procedures ([schedule_steps] + [Yield]). *)
+
+val all : t list
+
+val names : string list
+
+val find : string -> t option

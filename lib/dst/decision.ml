@@ -1,0 +1,48 @@
+module Rng = Doradd_stats.Rng
+
+type t = { seed : int }
+
+let create ~seed = { seed }
+
+let seed t = t.seed
+
+(* Independent named streams: the per-purpose seed folds the purpose name
+   into the master seed so adding a new decision point never shifts the
+   decisions an existing one draws — the property that makes replay and
+   shrinking stable across harness versions. *)
+let stream_seed t name = (t.seed * 1_000_003) + (Hashtbl.hash name land 0xFFFFFF)
+
+let rng t name = Rng.create (stream_seed t name)
+
+(* Domain-safe streams: worker domains and the dispatcher probe decision
+   hooks concurrently, so a plain Rng (mutable state) would race.  Here
+   decision [i] is a pure hash of (salt, i) and [i] comes from one atomic
+   fetch-and-add: the *sequence* of decisions is a deterministic function
+   of the seed; only the assignment of decisions to domains follows the
+   (nondeterministic) physical schedule, which is fine — the oracle judges
+   outcomes, not schedules. *)
+type shared = { salt : int64; counter : int Atomic.t }
+
+let shared t name =
+  { salt = Int64.of_int (stream_seed t name); counter = Atomic.make 0 }
+
+(* SplitMix64 avalanche (same constants as Doradd_stats.Rng). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next s =
+  let i = Atomic.fetch_and_add s.counter 1 in
+  mix (Int64.add s.salt (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (i + 1))))
+
+let taken s = Atomic.get s.counter
+
+let flip s ~per_64k =
+  if per_64k <= 0 then false
+  else if per_64k >= 65536 then true
+  else Int64.to_int (Int64.logand (next s) 0xFFFFL) < per_64k
+
+let pick s ~n =
+  if n <= 0 then invalid_arg "Decision.pick";
+  Int64.to_int (Int64.shift_right_logical (next s) 2) mod n

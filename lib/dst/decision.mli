@@ -1,0 +1,38 @@
+(** Seeded decision streams for the DST harness.
+
+    Every perturbation the harness applies — pick-order rotations, queue
+    faults, stalls, dropped prefetches, stragglers — draws its decisions
+    from here, so one integer seed fully determines the perturbation
+    sequence and [--replay seed] reproduces it.  Streams are {e named}:
+    each decision point gets its own stream derived from (seed, name), so
+    adding a new decision point never shifts the draws an existing one
+    sees — replays and shrunk repros stay valid across harness changes. *)
+
+type t
+
+val create : seed:int -> t
+
+val seed : t -> int
+
+val rng : t -> string -> Doradd_stats.Rng.t
+(** A private single-consumer stream (plan derivation, log mutation). *)
+
+(** A domain-safe stream: decision [i] is a pure hash of (stream seed,
+    [i]) and [i] comes from one atomic fetch-and-add, so concurrent
+    probes from worker domains race only on {e which domain gets which
+    draw} — the sequence of draws itself is a pure function of the
+    seed.  That is exactly the right determinism for schedule fuzzing:
+    the oracle judges outcomes, which must be schedule-independent. *)
+type shared
+
+val shared : t -> string -> shared
+
+val taken : shared -> int
+(** Draws consumed so far (diagnostics). *)
+
+val flip : shared -> per_64k:int -> bool
+(** Biased coin: true with probability [per_64k] / 65536.  [per_64k <= 0]
+    never fires and consumes no draw. *)
+
+val pick : shared -> n:int -> int
+(** Uniform draw from [0, n).  [n] must be positive. *)

@@ -1,0 +1,30 @@
+(** Arm the runtime's fuzz and fault hooks according to a {!Plan}.
+
+    The harness is the glue between a plan (what to perturb, how often)
+    and the injectable hooks exposed by the runtime layers:
+    {!Doradd_core.Runnable_set.fuzz} (scan-order rotations, queue
+    faults), {!Doradd_core.Runtime.fuzz} (worker stalls),
+    {!Doradd_core.Service.set_drop_prefetch}, and the straggler hook
+    below.  All decisions come from {!Decision} streams named after the
+    hook, so a seed fully determines the perturbation sequence. *)
+
+val straggle : unit -> unit
+(** Called by DST case procedures at the top of every request body.  When
+    the straggler class is armed, a seeded fraction of calls busy-spin —
+    modelling requests with pathological service times.  A no-op when
+    unarmed (and in production code, which never calls this). *)
+
+val fuzz_of_plan : Decision.t -> Plan.t -> Doradd_core.Runtime.fuzz option
+(** Build the runtime fuzz hooks for the plan ([None] when the plan
+    perturbs nothing at that layer).  Does not touch global hooks. *)
+
+val arm : Decision.t -> Plan.t -> Doradd_core.Runtime.fuzz option
+(** [fuzz_of_plan] plus arming the global hooks (prefetch drop,
+    straggler).  Pair with {!clear}. *)
+
+val clear : unit -> unit
+(** Disarm the global hooks. *)
+
+val with_plan : seed:int -> Plan.t -> (Doradd_core.Runtime.fuzz option -> 'a) -> 'a
+(** [with_plan ~seed p f] arms everything, runs [f fuzz], and disarms the
+    global hooks even if [f] raises. *)

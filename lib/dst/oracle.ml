@@ -1,0 +1,59 @@
+type failure =
+  | State_mismatch of { serial : int; parallel : int }
+  | Result_length of { serial : int; parallel : int }
+  | Result_mismatch of { index : int; serial : int; parallel : int }
+  | Invariant of { run : string; message : string }
+  | Sanitizer_dirty of string
+
+let compare_runs ~(serial : Cases.run_result) ~(parallel : Cases.run_result) =
+  let failures = ref [] in
+  let add f = failures := f :: !failures in
+  (match serial.invariant with
+  | Some m -> add (Invariant { run = "serial"; message = m })
+  | None -> ());
+  (match parallel.invariant with
+  | Some m -> add (Invariant { run = "parallel"; message = m })
+  | None -> ());
+  if Array.length serial.results <> Array.length parallel.results then
+    add
+      (Result_length
+         { serial = Array.length serial.results; parallel = Array.length parallel.results })
+  else
+    (* report only the first divergent request: later mismatches are
+       usually just downstream of it and would drown the signal *)
+    (try
+       Array.iteri
+         (fun i s ->
+           let p = parallel.results.(i) in
+           if s <> p then begin
+             add (Result_mismatch { index = i; serial = s; parallel = p });
+             raise Exit
+           end)
+         serial.results
+     with Exit -> ());
+  if serial.digest <> parallel.digest then
+    add (State_mismatch { serial = serial.digest; parallel = parallel.digest });
+  List.rev !failures
+
+let check_sanitizer (outcome : Doradd_analysis.Sanitize.outcome option) =
+  match outcome with
+  | None -> []
+  | Some o ->
+    if Doradd_analysis.Sanitize.clean o then []
+    else
+      [
+        Sanitizer_dirty
+          (Printf.sprintf "%d violations, hb races=%b"
+             (List.length o.violations)
+             (match o.hb with { races; _ } -> races <> []));
+      ]
+
+let to_string = function
+  | State_mismatch { serial; parallel } ->
+    Printf.sprintf "state digest mismatch: serial=%d parallel=%d" serial parallel
+  | Result_length { serial; parallel } ->
+    Printf.sprintf "result count mismatch: serial=%d parallel=%d" serial parallel
+  | Result_mismatch { index; serial; parallel } ->
+    Printf.sprintf "request %d result mismatch: serial=%d parallel=%d" index serial parallel
+  | Invariant { run; message } -> Printf.sprintf "%s run invariant violation: %s" run message
+  | Sanitizer_dirty m -> "sanitizer oracle dirty: " ^ m

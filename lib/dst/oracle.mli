@@ -1,0 +1,28 @@
+(** The serial-equivalence oracle.
+
+    DORADD's determinism contract (§3.2): for any number of workers and
+    any legal schedule, parallel execution of a request log must produce
+    the same final state and the same per-request results as serial
+    execution of that log.  The DST harness perturbs the schedule; this
+    module is the judge.  Secondary oracles — application invariants
+    carried in the {!Cases.run_result}s and the footprint sanitizer /
+    happens-before checker — catch bugs equivalence alone could miss
+    (e.g. a miscompiled footprint that happens to collide to the same
+    digest). *)
+
+type failure =
+  | State_mismatch of { serial : int; parallel : int }
+  | Result_length of { serial : int; parallel : int }
+  | Result_mismatch of { index : int; serial : int; parallel : int }
+  | Invariant of { run : string; message : string }
+  | Sanitizer_dirty of string
+
+val compare_runs : serial:Cases.run_result -> parallel:Cases.run_result -> failure list
+(** Empty list = the runs are serial-equivalent and invariant-clean.
+    Only the first divergent per-request result is reported. *)
+
+val check_sanitizer : Doradd_analysis.Sanitize.outcome option -> failure list
+(** Lift a dirty sanitizer outcome into oracle failures ([None] and clean
+    outcomes give []). *)
+
+val to_string : failure -> string

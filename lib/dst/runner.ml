@@ -1,0 +1,181 @@
+module Workloads = Doradd_analysis.Workloads
+module Sanitize = Doradd_analysis.Sanitize
+
+type seed_report = {
+  seed : int;
+  case : string;
+  plan : Plan.t;
+  failures : Oracle.failure list;
+  sim : Sim_dst.outcome;
+  repro : Shrink.repro option;
+}
+
+let seed_ok r = r.failures = [] && Sim_dst.ok r.sim
+
+type report = { seeds : int; first_seed : int; n_per_case : int option; failed : seed_report list }
+
+let ok r = r.failed = []
+
+(* One fuzzed run of [case] under [plan], judged by the oracle stack. *)
+let check_once (case : Cases.t) ~seed ~n ~(plan : Plan.t) ~sanitize =
+  let serial = case.serial ~seed ~n in
+  let parallel, outcome =
+    Harness.with_plan ~seed plan (fun fuzz ->
+        case.parallel ~seed ~n ~workers:plan.workers ~queue_capacity:plan.queue_capacity ~fuzz
+          ~sanitize)
+  in
+  Oracle.compare_runs ~serial ~parallel @ Oracle.check_sanitizer outcome
+
+let run_case ~shrink ~sanitize (case : Cases.t) ~seed ~n =
+  let plan = Plan.derive ~seed in
+  let failures = check_once case ~seed ~n ~plan ~sanitize in
+  let repro =
+    if failures = [] || not shrink then None
+    else
+      Some
+        (Shrink.minimize ~case:case.name ~seed ~n
+           ~fails:(fun ~n ~disabled ->
+             let plan = Plan.disable_all plan disabled in
+             check_once case ~seed ~n ~plan ~sanitize:false <> [])
+           ())
+  in
+  (plan, failures, repro)
+
+(* Each seed also runs the sim-level model with its exact oracles (work
+   conservation, per-key serialisation) — bugs in the scheduling *policy*
+   show up there even when state digests still agree. *)
+let run_seed ?(cases = Cases.all) ?(shrink = true) ?(sanitize = false) ?n ~seed () =
+  let case = List.nth cases (abs (seed * 31) mod List.length cases) in
+  let n = match n with Some n -> n | None -> case.Cases.default_n in
+  let plan, failures, repro = run_case ~shrink ~sanitize case ~seed ~n in
+  let sim = Sim_dst.run ~seed ~n:64 ~workers:(1 + (abs seed mod 3)) ~bug:Sim_dst.No_bug in
+  { seed; case = case.Cases.name; plan; failures; sim; repro }
+
+let run ?cases ?n ?(shrink = true) ?(sanitize_every = 10) ?(progress = fun _ -> ())
+    ~seeds ~first_seed () =
+  let failed = ref [] in
+  for i = 0 to seeds - 1 do
+    let seed = first_seed + i in
+    let sanitize = sanitize_every > 0 && i mod sanitize_every = 0 in
+    let r = run_seed ?cases ?n ~shrink ~sanitize ~seed () in
+    if not (seed_ok r) then failed := r :: !failed;
+    progress r
+  done;
+  { seeds; first_seed; n_per_case = n; failed = List.rev !failed }
+
+let replay ?case ?n ?(disabled = []) ~seed () =
+  let case =
+    match case with
+    | Some name -> (
+      match Cases.find name with
+      | Some c -> c
+      | None -> invalid_arg ("Runner.replay: unknown case " ^ name))
+    | None ->
+      let cases = Cases.all in
+      List.nth cases (abs (seed * 31) mod List.length cases)
+  in
+  let n = match n with Some n -> n | None -> case.Cases.default_n in
+  let plan = Plan.disable_all (Plan.derive ~seed) disabled in
+  let failures = check_once case ~seed ~n ~plan ~sanitize:false in
+  let sim = Sim_dst.run ~seed ~n:64 ~workers:(1 + (abs seed mod 3)) ~bug:Sim_dst.No_bug in
+  { seed; case = case.Cases.name; plan; failures; sim; repro = None }
+
+(* ---- self-test: seeded bugs the oracles must catch ------------------ *)
+
+let self_test () =
+  let errors = ref [] in
+  let expect name cond = if not cond then errors := name :: !errors in
+  (* 1. work-conservation canary: static assignment must trip the wc
+     oracle (and the same seed with the real scheduler must not) *)
+  let sa = Sim_dst.run ~seed:1 ~n:96 ~workers:3 ~bug:Sim_dst.Static_assignment in
+  expect "static-assignment escaped the work-conservation oracle" (sa.wc_violations > 0);
+  let clean = Sim_dst.run ~seed:1 ~n:96 ~workers:3 ~bug:Sim_dst.No_bug in
+  expect "clean sim run flagged by oracles (false positive)" (Sim_dst.ok clean);
+  (* 2. dropped-edge canary: per-key serialisation oracles must fire *)
+  let sk = Sim_dst.run ~seed:2 ~n:96 ~workers:3 ~bug:Sim_dst.Skip_edges in
+  expect "skip-edges escaped the per-key order/overlap oracles"
+    (sk.order_violations > 0 || sk.overlap_violations > 0);
+  (* 3. serial-equivalence sensitivity: losing the tail of the log must
+     show up as a state mismatch *)
+  let case = Cases.counters in
+  let n = case.Cases.default_n in
+  let serial = case.Cases.serial ~seed:3 ~n in
+  let dropped, _ =
+    case.Cases.parallel ~seed:3 ~n:(n - 1) ~workers:2 ~queue_capacity:64 ~fuzz:None
+      ~sanitize:false
+  in
+  expect "dropped request escaped the serial-equivalence oracle"
+    (Oracle.compare_runs ~serial ~parallel:dropped <> []);
+  (* 4. sanitizer oracle: the seeded undeclared-access workload must come
+     back dirty, and its fixed twin clean *)
+  let buggy = (Workloads.buggy ~declared:false).replay ~seed:4 ~n:64 ~workers:2 in
+  expect "seeded undeclared access escaped the sanitizer oracle" (not (Sanitize.clean buggy));
+  let fixed = (Workloads.buggy ~declared:true).replay ~seed:4 ~n:64 ~workers:2 in
+  expect "declared twin of the seeded bug flagged (false positive)" (Sanitize.clean fixed);
+  (* 5. a plain fuzzed seed must pass end to end *)
+  let r = run_seed ~shrink:false ~seed:5 () in
+  expect "baseline fuzzed seed failed the oracle stack" (seed_ok r);
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+(* ---- JSON (hand-rolled, same idiom as Doradd_analysis.Report) ------- *)
+
+let buf_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let seed_report_to_buf b r =
+  Buffer.add_string b "{\"seed\":";
+  Buffer.add_string b (string_of_int r.seed);
+  Buffer.add_string b ",\"case\":";
+  buf_json_string b r.case;
+  Buffer.add_string b ",\"plan\":";
+  buf_json_string b (Plan.to_string r.plan);
+  Buffer.add_string b ",\"failures\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_json_string b (Oracle.to_string f))
+    r.failures;
+  Buffer.add_string b "],\"sim\":";
+  buf_json_string b (Sim_dst.to_string r.sim);
+  (match r.repro with
+  | None -> ()
+  | Some rep ->
+    Buffer.add_string b ",\"repro\":{\"n\":";
+    Buffer.add_string b (string_of_int rep.n);
+    Buffer.add_string b ",\"disabled\":[";
+    List.iteri
+      (fun i d ->
+        if i > 0 then Buffer.add_char b ',';
+        buf_json_string b d)
+      rep.disabled;
+    Buffer.add_string b "],\"command\":";
+    buf_json_string b rep.command;
+    Buffer.add_char b '}');
+  Buffer.add_char b '}'
+
+let to_json r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\"seeds\":";
+  Buffer.add_string b (string_of_int r.seeds);
+  Buffer.add_string b ",\"first_seed\":";
+  Buffer.add_string b (string_of_int r.first_seed);
+  Buffer.add_string b ",\"passed\":";
+  Buffer.add_string b (string_of_int (r.seeds - List.length r.failed));
+  Buffer.add_string b ",\"failed\":[";
+  List.iteri
+    (fun i sr ->
+      if i > 0 then Buffer.add_char b ',';
+      seed_report_to_buf b sr)
+    r.failed;
+  Buffer.add_string b "]}";
+  Buffer.contents b

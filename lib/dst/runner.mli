@@ -1,0 +1,70 @@
+(** The DST driver: fuzz loops, deterministic replay, self-test.
+
+    A {e seed} is the unit of work: it picks a case, derives a
+    perturbation {!Plan}, runs the case serially and in parallel under
+    that plan, judges the pair with the {!Oracle} stack, and additionally
+    runs the {!Sim_dst} scheduler model under its exact oracles.  Failing
+    seeds are shrunk to a one-line repro.  Everything derives from the
+    seed, so [replay ~seed] reproduces a failure bit for bit. *)
+
+type seed_report = {
+  seed : int;
+  case : string;
+  plan : Plan.t;
+  failures : Oracle.failure list;
+  sim : Sim_dst.outcome;
+  repro : Shrink.repro option;
+}
+
+val seed_ok : seed_report -> bool
+
+type report = {
+  seeds : int;
+  first_seed : int;
+  n_per_case : int option;
+  failed : seed_report list;
+}
+
+val ok : report -> bool
+
+val run_seed :
+  ?cases:Cases.t list ->
+  ?shrink:bool ->
+  ?sanitize:bool ->
+  ?n:int ->
+  seed:int ->
+  unit ->
+  seed_report
+(** Run one seed.  [sanitize] additionally arms the footprint sanitizer /
+    happens-before secondary oracle for the parallel run. *)
+
+val run :
+  ?cases:Cases.t list ->
+  ?n:int ->
+  ?shrink:bool ->
+  ?sanitize_every:int ->
+  ?progress:(seed_report -> unit) ->
+  seeds:int ->
+  first_seed:int ->
+  unit ->
+  report
+(** Fuzz loop over [seeds] consecutive seeds starting at [first_seed].
+    Every [sanitize_every]-th seed (default 10; 0 disables) also runs
+    under the sanitizer oracle.  [progress] is called after each seed. *)
+
+val replay :
+  ?case:string -> ?n:int -> ?disabled:string list -> seed:int -> unit -> seed_report
+(** Deterministically re-run one seed — optionally pinned to a case and
+    log length and with perturbation classes disabled, i.e. exactly the
+    knobs a shrunk repro line carries.  @raise Invalid_argument on an
+    unknown case name. *)
+
+val self_test : unit -> (unit, string list) result
+(** Canary check of the oracle stack itself: seeded scheduler bugs
+    (static assignment, dropped edges), a dropped-request log, and the
+    seeded undeclared-access workload must all be caught, and their
+    clean twins must pass.  [Error] lists every canary that escaped. *)
+
+val to_json : report -> string
+(** Machine-readable report (failing seeds, plans, repro lines); the CI
+    artifact format. *)

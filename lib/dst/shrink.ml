@@ -1,0 +1,44 @@
+type repro = {
+  case : string;
+  seed : int;
+  n : int;
+  disabled : string list;
+  command : string;
+}
+
+let command ~case ~seed ~n ~disabled =
+  let base = Printf.sprintf "dune exec bin/dst.exe -- --replay %d --case %s -n %d" seed case n in
+  match disabled with
+  | [] -> base
+  | ds -> base ^ " --disable " ^ String.concat "," ds
+
+(* Failure under a fuzzed schedule is not monotone in the prefix length,
+   so this is a best-effort greedy minimisation, not a complete search:
+   halve the log while the failure reproduces, then drop perturbation
+   classes one at a time.  [budget] caps predicate re-runs — each one is
+   a full serial + parallel execution. *)
+let minimize ~case ~seed ~n ~(fails : n:int -> disabled:string list -> bool) ?(budget = 16) () =
+  let budget = ref budget in
+  let try_fails ~n ~disabled =
+    if !budget <= 0 then false
+    else begin
+      decr budget;
+      fails ~n ~disabled
+    end
+  in
+  (* 1. shrink the log prefix *)
+  let rec shrink_n n =
+    let half = n / 2 in
+    if half >= 1 && try_fails ~n:half ~disabled:[] then shrink_n half else n
+  in
+  let n' = shrink_n n in
+  (* 2. greedily disable perturbation classes the failure doesn't need *)
+  let disabled =
+    List.fold_left
+      (fun disabled cls ->
+        let candidate = cls :: disabled in
+        if try_fails ~n:n' ~disabled:candidate then candidate else disabled)
+      [] Plan.class_names
+  in
+  let disabled = List.rev disabled in
+  { case; seed; n = n'; disabled; command = command ~case ~seed ~n:n' ~disabled }

@@ -1,0 +1,30 @@
+(** Failing-seed minimisation.
+
+    A failing DST run is already reproducible (everything derives from
+    the seed); shrinking makes it {e small}: the shortest log prefix that
+    still fails, and the fewest perturbation classes that still trigger
+    it.  The result is a one-line repro command a human can paste. *)
+
+type repro = {
+  case : string;
+  seed : int;
+  n : int;  (** minimised log length *)
+  disabled : string list;  (** perturbation classes proved unnecessary *)
+  command : string;  (** paste-ready repro line *)
+}
+
+val command : case:string -> seed:int -> n:int -> disabled:string list -> string
+
+val minimize :
+  case:string ->
+  seed:int ->
+  n:int ->
+  fails:(n:int -> disabled:string list -> bool) ->
+  ?budget:int ->
+  unit ->
+  repro
+(** [minimize] greedily halves [n] while [fails] keeps reproducing, then
+    drops perturbation classes one at a time.  [fails] re-runs the full
+    oracle; [budget] (default 16) caps those re-runs.  Best-effort —
+    failure is not monotone in the prefix, so the result is small, not
+    provably minimal. *)

@@ -1,0 +1,181 @@
+module Engine = Doradd_sim.Engine
+module Rng = Doradd_stats.Rng
+
+(* A compact model of the scheduler itself — dispatcher DAG, runnable
+   set, workers — on simulated time, so schedule-level properties can be
+   asserted exactly (no wall-clock noise): work conservation, per-key
+   serialisation, no lost work.  The [bug] modes seed known scheduler
+   defects; the self-test demands the oracles catch them. *)
+
+type bug =
+  | No_bug
+  | Static_assignment
+      (** requests pinned to worker [id mod workers]; idle workers never
+          steal — the Figure 1(a) pitfall, a work-conservation violation *)
+  | Skip_edges  (** the dispatcher drops some dependency edges *)
+
+type outcome = {
+  total : int;
+  completed : int;
+  makespan : int;  (** virtual ns *)
+  wc_violations : int;
+      (** events where a worker idled while ready work existed elsewhere *)
+  order_violations : int;  (** conflicting requests executed out of log order *)
+  overlap_violations : int;  (** conflicting requests executed concurrently *)
+}
+
+let ok o =
+  o.completed = o.total && o.wc_violations = 0 && o.order_violations = 0
+  && o.overlap_violations = 0
+
+type req = { id : int; keys : int array; service : int }
+
+let generate rng ~n ~n_keys =
+  Array.init n (fun id ->
+      let k = 1 + Rng.int rng 3 in
+      (* distinct keys: a duplicate would wire a self-edge (never ready)
+         and double-book the execution interval *)
+      let keys = Array.make k (-1) in
+      for i = 0 to k - 1 do
+        let rec draw () =
+          let key = Rng.int rng n_keys in
+          if Array.exists (( = ) key) keys then draw () else key
+        in
+        keys.(i) <- draw ()
+      done;
+      { id; keys; service = 100 + Rng.int rng 900 })
+
+let run ~seed ~n ~workers ~bug =
+  if workers <= 0 then invalid_arg "Sim_dst.run";
+  let rng = Rng.create (seed lxor 0x0d57_ca3e) in
+  let n_keys = 24 in
+  let reqs = generate rng ~n ~n_keys in
+  (* dependency DAG: edge from each key's previous accessor (every access
+     is a write in the paper's semantics); Skip_edges drops a seeded
+     subset — the canary the per-key oracles must catch *)
+  let edge_rng = Rng.create (seed lxor 0x0077_113b) in
+  let indegree = Array.make n 0 in
+  let children = Array.make n [] in
+  let last = Array.make n_keys (-1) in
+  Array.iter
+    (fun r ->
+      let preds = ref [] in
+      Array.iter
+        (fun k ->
+          (match last.(k) with
+          | -1 -> ()
+          | p when List.mem p !preds -> ()
+          | p ->
+            let dropped = bug = Skip_edges && Rng.int edge_rng 3 = 0 in
+            if not dropped then preds := p :: !preds);
+          last.(k) <- r.id)
+        r.keys;
+      List.iter
+        (fun p ->
+          indegree.(r.id) <- indegree.(r.id) + 1;
+          children.(p) <- r.id :: children.(p))
+        !preds)
+    reqs;
+  let eng = Engine.create () in
+  (* seeded tiebreak: equal-time events — a completion and the dispatch it
+     unblocks, two workers freeing at once — get a per-seed total order,
+     so each seed explores a different (still deterministic) interleaving *)
+  Engine.set_tiebreak eng
+    (Some (fun seq -> (seq * 2_654_435_761) lxor (seed * 40_503) land 0x3FFF_FFFF));
+  (* ready queues: one global (work-conserving) or one per worker
+     (static assignment) *)
+  let ready_global : int Queue.t = Queue.create () in
+  let ready_static = Array.init workers (fun _ -> Queue.create ()) in
+  let ready_count = ref 0 in
+  let push_ready id =
+    incr ready_count;
+    match bug with
+    | Static_assignment -> Queue.push id ready_static.(id mod workers)
+    | _ -> Queue.push id ready_global
+  in
+  let pop_ready ~worker =
+    let q = match bug with Static_assignment -> ready_static.(worker) | _ -> ready_global in
+    if Queue.is_empty q then None
+    else begin
+      decr ready_count;
+      Some (Queue.pop q)
+    end
+  in
+  let idle = Array.make workers true in
+  let completed = ref 0 in
+  let wc_violations = ref 0 in
+  let makespan = ref 0 in
+  (* per-key execution intervals, for the serialisation oracles *)
+  let intervals = Array.make n_keys [] in
+  let rec try_dispatch worker =
+    match pop_ready ~worker with
+    | None ->
+      idle.(worker) <- true;
+      (* work conservation: an idle worker with ready work anywhere in
+         the system is exactly what Figure 1(a) shows going wrong *)
+      if !ready_count > 0 then incr wc_violations
+    | Some id ->
+      idle.(worker) <- false;
+      let r = reqs.(id) in
+      let start = Engine.now eng in
+      Array.iter (fun k -> intervals.(k) <- (start, start + r.service, id) :: intervals.(k)) r.keys;
+      Engine.schedule_after eng r.service (fun () ->
+          incr completed;
+          makespan := Engine.now eng;
+          List.iter
+            (fun c ->
+              indegree.(c) <- indegree.(c) - 1;
+              if indegree.(c) = 0 then begin
+                push_ready c;
+                wake ()
+              end)
+            children.(id);
+          try_dispatch worker)
+  and wake () =
+    (* newly-ready work pulls idle workers back in, as the runnable set's
+       stealing sweep does on real hardware *)
+    Array.iteri
+      (fun w is_idle ->
+        if is_idle then
+          match bug with
+          | Static_assignment when Queue.is_empty ready_static.(w) ->
+            (* starved by pinning: ready work exists (we were just woken
+               by a push) but none this worker is allowed to take *)
+            if !ready_count > 0 then incr wc_violations
+          | _ -> try_dispatch w)
+      idle
+  in
+  Array.iter (fun r -> if indegree.(r.id) = 0 then push_ready r.id) reqs;
+  Array.iteri (fun w _ -> try_dispatch w) idle;
+  Engine.run eng;
+  (* per-key oracles: conflicting requests must execute (a) one at a
+     time and (b) in log order *)
+  let order_violations = ref 0 in
+  let overlap_violations = ref 0 in
+  Array.iter
+    (fun l ->
+      let l =
+        List.sort (fun (s1, _, i1) (s2, _, i2) -> compare (s1, i1) (s2, i2)) (List.rev l)
+      in
+      let rec walk max_end max_id = function
+        | (s, e, i) :: rest ->
+          if s < max_end then incr overlap_violations;
+          if i < max_id then incr order_violations;
+          walk (max max_end e) (max max_id i) rest
+        | [] -> ()
+      in
+      walk min_int min_int l)
+    intervals;
+  Engine.set_tiebreak eng None;
+  {
+    total = n;
+    completed = !completed;
+    makespan = !makespan;
+    wc_violations = !wc_violations;
+    order_violations = !order_violations;
+    overlap_violations = !overlap_violations;
+  }
+
+let to_string o =
+  Printf.sprintf "completed=%d/%d makespan=%dns wc=%d order=%d overlap=%d" o.completed o.total
+    o.makespan o.wc_violations o.order_violations o.overlap_violations

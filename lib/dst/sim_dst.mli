@@ -1,0 +1,41 @@
+(** Simulation-level DST: the scheduler model under exact oracles.
+
+    A compact discrete-event model of DORADD's dispatcher + runnable set
+    + workers, driven by the {!Doradd_sim.Engine} with a seeded equal-time
+    tiebreak (schedule fuzzing on virtual time).  Because time is
+    simulated, schedule-level properties can be asserted {e exactly},
+    with no wall-clock slack:
+
+    - {e work conservation}: no worker idles while ready work exists
+      anywhere (the property Figure 1(a)'s static assignment lacks);
+    - {e per-key serialisation}: conflicting requests never overlap and
+      run in log order;
+    - {e no lost work}: every request completes.
+
+    The [bug] modes seed known scheduler defects; [--self-test] demands
+    each is caught by the matching oracle. *)
+
+type bug =
+  | No_bug
+  | Static_assignment
+      (** pin request [id] to worker [id mod workers], no stealing — a
+          work-conservation violation the wc oracle must flag *)
+  | Skip_edges
+      (** drop a seeded third of dependency edges — an ordering bug the
+          per-key oracles must flag *)
+
+type outcome = {
+  total : int;
+  completed : int;
+  makespan : int;
+  wc_violations : int;
+  order_violations : int;
+  overlap_violations : int;
+}
+
+val ok : outcome -> bool
+
+val run : seed:int -> n:int -> workers:int -> bug:bug -> outcome
+(** Fully deterministic: same arguments, same outcome, bit for bit. *)
+
+val to_string : outcome -> string

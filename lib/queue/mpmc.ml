@@ -12,6 +12,16 @@ type 'a t = {
   mask : int;
   head : int Atomic.t;
   tail : int Atomic.t;
+  (* Fault-injection hooks (DST): when set, a [true] from [fault_push]
+     makes try_push report full and [true] from [fault_pop] makes try_pop
+     report empty, without touching the queue.  Spurious full/empty are
+     the only faults a lock-free bounded queue can exhibit to its caller,
+     so correct client code must already tolerate them — the hooks let the
+     test harness force the rarely-taken backpressure and overflow paths.
+     Per-instance on purpose: clients that use [try_pop = None] as an
+     end-of-stream signal (pipeline drain) must never be armed. *)
+  mutable fault_push : (unit -> bool) option;
+  mutable fault_pop : (unit -> bool) option;
 }
 
 let next_pow2 n =
@@ -20,17 +30,37 @@ let next_pow2 n =
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Mpmc.create";
-  let cap = next_pow2 capacity in
+  (* Vyukov's scheme needs >= 2 slots: with a single slot, the ticket of
+     the producer one lap ahead equals the sequence number of the still
+     unconsumed slot (diff = 1 - cap = 0), so a second push would
+     overwrite the element and strand the consumer. *)
+  let cap = next_pow2 (max 2 capacity) in
   {
     slots = Array.init cap (fun i -> { seq = Atomic.make i; value = None });
     mask = cap - 1;
     head = Atomic.make 0;
     tail = Atomic.make 0;
+    fault_push = None;
+    fault_pop = None;
   }
 
 let capacity t = t.mask + 1
 
+let set_faults t ~push ~pop =
+  t.fault_push <- push;
+  t.fault_pop <- pop
+
+let clear_faults t =
+  t.fault_push <- None;
+  t.fault_pop <- None
+
+let push_faulted t = match t.fault_push with Some f -> f () | None -> false
+
+let pop_faulted t = match t.fault_pop with Some f -> f () | None -> false
+
 let try_push t v =
+  if push_faulted t then false
+  else
   let rec attempt () =
     let tail = Atomic.get t.tail in
     let slot = t.slots.(tail land t.mask) in
@@ -55,6 +85,8 @@ let push t v =
   done
 
 let try_pop t =
+  if pop_faulted t then None
+  else
   let rec attempt () =
     let head = Atomic.get t.head in
     let slot = t.slots.(head land t.mask) in

@@ -10,7 +10,9 @@
 type 'a t
 
 val create : capacity:int -> 'a t
-(** Capacity is rounded up to a power of two. *)
+(** Capacity is rounded up to a power of two, and to at least 2
+    (Vyukov's sequence-number scheme cannot distinguish full from empty
+    with a single slot). *)
 
 val capacity : 'a t -> int
 
@@ -25,3 +27,18 @@ val try_pop : 'a t -> 'a option
 
 val length : 'a t -> int
 (** Racy occupancy snapshot, for monitoring and tests only. *)
+
+(** {1 Fault injection (deterministic-simulation testing)} *)
+
+val set_faults : 'a t -> push:(unit -> bool) option -> pop:(unit -> bool) option -> unit
+(** Arm fault hooks on this queue: while [push] returns [true], [try_push]
+    reports full without attempting the push; while [pop] returns [true],
+    [try_pop] reports empty.  Spurious full/empty are the only failure
+    modes a bounded lock-free queue presents to callers, so injecting them
+    forces the rarely-taken backpressure/overflow paths (dispatcher
+    blocking, worker overflow-to-inline) while preserving correctness of
+    correct clients.  Never arm a queue whose consumer treats
+    [try_pop = None] as end-of-stream (e.g. the pipeline input during
+    drain).  Hooks may be probed concurrently from many domains. *)
+
+val clear_faults : 'a t -> unit

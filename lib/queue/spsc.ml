@@ -7,6 +7,9 @@ type 'a t = {
   mask : int;
   head : int Atomic.t; (* next slot to pop *)
   tail : int Atomic.t; (* next slot to push *)
+  (* DST fault hooks: force spurious full/empty (see Mpmc.set_faults). *)
+  mutable fault_push : (unit -> bool) option;
+  mutable fault_pop : (unit -> bool) option;
 }
 
 let next_pow2 n =
@@ -16,11 +19,28 @@ let next_pow2 n =
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Spsc.create";
   let cap = next_pow2 capacity in
-  { slots = Array.make cap None; mask = cap - 1; head = Atomic.make 0; tail = Atomic.make 0 }
+  {
+    slots = Array.make cap None;
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    fault_push = None;
+    fault_pop = None;
+  }
 
 let capacity t = t.mask + 1
 
+let set_faults t ~push ~pop =
+  t.fault_push <- push;
+  t.fault_pop <- pop
+
+let clear_faults t =
+  t.fault_push <- None;
+  t.fault_pop <- None
+
 let try_push t v =
+  if (match t.fault_push with Some f -> f () | None -> false) then false
+  else
   let tail = Atomic.get t.tail in
   let head = Atomic.get t.head in
   if tail - head > t.mask then false
@@ -38,6 +58,8 @@ let push t v =
   done
 
 let try_pop t =
+  if (match t.fault_pop with Some f -> f () | None -> false) then None
+  else
   let head = Atomic.get t.head in
   let tail = Atomic.get t.tail in
   if head = tail then None

@@ -29,3 +29,11 @@ val pop : 'a t -> 'a
 
 val length : 'a t -> int
 (** Snapshot of the current occupancy (racy, for monitoring only). *)
+
+val set_faults : 'a t -> push:(unit -> bool) option -> pop:(unit -> bool) option -> unit
+(** Arm deterministic fault hooks: spurious full on [try_push], spurious
+    empty on [try_pop].  Same contract and caveats as {!Mpmc.set_faults};
+    in particular never arm the pop side of a queue whose consumer uses
+    emptiness as an end-of-stream signal. *)
+
+val clear_faults : 'a t -> unit

@@ -9,15 +9,32 @@ type t = {
   mutable size : int;
   mutable clock : int;
   mutable next_seq : int;
+  mutable tiebreak : (int -> int) option;
 }
 
 let dummy = { time = 0; seq = 0; action = (fun () -> ()) }
 
-let create () = { heap = Array.make 256 dummy; size = 0; clock = 0; next_seq = 0 }
+let create () =
+  { heap = Array.make 256 dummy; size = 0; clock = 0; next_seq = 0; tiebreak = None }
+
+let set_tiebreak t f = t.tiebreak <- f
 
 let now t = t.clock
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* Equal-time events normally fire in scheduling order (seq).  A tiebreak
+   function remaps seq to a priority key first — the schedule-fuzzing hook
+   of the DST harness: a seeded key explores a different (but still fully
+   deterministic) interleaving of simultaneous events.  seq remains the
+   final tiebreaker so the order is always total. *)
+let earlier t a b =
+  a.time < b.time
+  || (a.time = b.time
+     &&
+     match t.tiebreak with
+     | None -> a.seq < b.seq
+     | Some key ->
+       let ka = key a.seq and kb = key b.seq in
+       ka < kb || (ka = kb && a.seq < b.seq))
 
 let grow t =
   let bigger = Array.make (Array.length t.heap * 2) dummy in
@@ -27,7 +44,7 @@ let grow t =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if earlier t.heap.(i) t.heap.(parent) then begin
+    if earlier t t.heap.(i) t.heap.(parent) then begin
       let tmp = t.heap.(i) in
       t.heap.(i) <- t.heap.(parent);
       t.heap.(parent) <- tmp;
@@ -38,8 +55,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.size && earlier t t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t t.heap.(r) t.heap.(!smallest) then smallest := r;
   if !smallest <> i then begin
     let tmp = t.heap.(i) in
     t.heap.(i) <- t.heap.(!smallest);

@@ -12,6 +12,15 @@ type t
 
 val create : unit -> t
 
+val set_tiebreak : t -> (int -> int) option -> unit
+(** Install a schedule-fuzzing hook: equal-time events are ordered by
+    [key seq] (then by [seq], so the order stays total and deterministic)
+    instead of plain insertion order.  A seeded key function therefore
+    explores a different — but bit-for-bit reproducible — interleaving of
+    simultaneous events.  Install before scheduling; changing the key
+    while events are queued leaves already-heapified events in their old
+    relative order. *)
+
 val now : t -> int
 (** Current virtual time in ns. *)
 

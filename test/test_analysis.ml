@@ -39,6 +39,52 @@ let test_bitset_union () =
   checkb "gained 63" true (A.Bitset.mem a 63);
   checki "src untouched" 2 (A.Bitset.cardinal b)
 
+let test_bitset_edges () =
+  let b = A.Bitset.create 10 in
+  A.Bitset.add b 3;
+  (* membership never raises: out-of-range (either side) is absent *)
+  checkb "negative index absent" false (A.Bitset.mem b (-1));
+  checkb "min_int absent" false (A.Bitset.mem b min_int);
+  checkb "past capacity absent" false (A.Bitset.mem b (A.Bitset.capacity b));
+  checkb "max_int absent" false (A.Bitset.mem b max_int);
+  (* adds outside the range are caller bugs *)
+  Alcotest.check_raises "add negative" (Invalid_argument "Bitset.add") (fun () ->
+      A.Bitset.add b (-1));
+  Alcotest.check_raises "add past capacity" (Invalid_argument "Bitset.add") (fun () ->
+      A.Bitset.add b (A.Bitset.capacity b));
+  Alcotest.check_raises "create negative" (Invalid_argument "Bitset.create") (fun () ->
+      ignore (A.Bitset.create (-1)))
+
+let test_bitset_zero_length () =
+  let z = A.Bitset.create 0 in
+  checki "capacity 0" 0 (A.Bitset.capacity z);
+  checki "cardinal 0" 0 (A.Bitset.cardinal z);
+  checkb "nothing is a member" false (A.Bitset.mem z 0);
+  (* zero-length clocks union with each other (degenerate but legal) *)
+  A.Bitset.union_into ~into:z (A.Bitset.create 0);
+  checki "still empty" 0 (A.Bitset.cardinal z)
+
+(* model-based property: a bitset agrees with an IntSet on any program of
+   in-range adds, with membership probed across the whole int range *)
+let prop_bitset_matches_set_model =
+  let module S = Set.Make (Int) in
+  QCheck.Test.make ~name:"bitset matches set model" ~count:300
+    QCheck.(pair (int_range 1 200) (small_list (int_range 0 199)))
+    (fun (n, adds) ->
+      let n = max 1 n in
+      let b = A.Bitset.create n in
+      let cap = A.Bitset.capacity b in
+      let model =
+        List.fold_left
+          (fun m i -> if i < cap then (A.Bitset.add b i; S.add i m) else m)
+          S.empty adds
+      in
+      A.Bitset.cardinal b = S.cardinal model
+      && List.for_all
+           (fun i -> A.Bitset.mem b i = S.mem i model)
+           [ -1; 0; 1; n - 1; n; cap - 1; cap; max_int; min_int ]
+      && List.for_all (fun i -> A.Bitset.mem b i) (S.elements model))
+
 (* ------------------------------------------------------------------ *)
 (* Footprint normalization properties (qcheck)                         *)
 (* ------------------------------------------------------------------ *)
@@ -144,6 +190,54 @@ let test_hb_bad_edge () =
   let r = A.Hb.check ~edges:[ (3, 1) ] ~accesses:[ acc 0 7 Sanitizer.Store ] in
   checki "bad edge reported" 1 (List.length r.A.Hb.bad_edges);
   checkb "flagged pair" true (List.mem (3, 1) r.A.Hb.bad_edges)
+
+let test_hb_degenerate_inputs () =
+  (* nothing recorded at all *)
+  let r = A.Hb.check ~edges:[] ~accesses:[] in
+  checki "no requests" 0 r.A.Hb.requests;
+  checki "no races" 0 (List.length r.A.Hb.races);
+  (* negative-seqno orphan accesses are dropped, not folded into the
+     serial order — here they are the only accesses, so the result is
+     the empty one even though a conflicting pair "exists" among them *)
+  let r = A.Hb.check ~edges:[] ~accesses:[ acc (-1) 7 Sanitizer.Store; acc (-2) 7 Store ] in
+  checki "orphans ignored" 0 r.A.Hb.requests;
+  checki "no pairs from orphans" 0 r.A.Hb.checked_pairs;
+  (* mixed: the orphan must not crash the clock indexing or pair with
+     the real access *)
+  let r =
+    A.Hb.check ~edges:[ (0, 1) ]
+      ~accesses:[ acc (-3) 7 Sanitizer.Store; acc 0 7 Store; acc 1 7 Store ]
+  in
+  checki "real pair still checked" 1 r.A.Hb.checked_pairs;
+  checki "still no races" 0 (List.length r.A.Hb.races);
+  (* self-edges and negative edges are malformed, never closed over *)
+  let r = A.Hb.check ~edges:[ (2, 2); (-1, 0) ] ~accesses:[ acc 0 7 Sanitizer.Store ] in
+  checki "both malformed" 2 (List.length r.A.Hb.bad_edges)
+
+(* hb never raises on arbitrary (malformed included) recordings, and
+   every reported race names a real conflicting pair in serial order *)
+let prop_hb_total_on_garbage =
+  QCheck.Test.make ~name:"hb: total on arbitrary recordings" ~count:300
+    QCheck.(
+      pair
+        (small_list (pair (int_range (-2) 12) (int_range (-2) 12)))
+        (small_list (triple (int_range (-3) 12) (int_range 0 3) bool)))
+    (fun (edges, raw_accs) ->
+      let accesses =
+        List.map
+          (fun (s, slot, store) ->
+            acc s slot (if store then Sanitizer.Store else Sanitizer.Load))
+          raw_accs
+      in
+      let r = A.Hb.check ~edges ~accesses in
+      List.for_all
+        (fun (rc : A.Hb.race) ->
+          rc.A.Hb.first >= 0
+          && rc.A.Hb.first < rc.A.Hb.second
+          && rc.A.Hb.second < r.A.Hb.requests
+          && (rc.A.Hb.first_kind = Sanitizer.Store || rc.A.Hb.second_kind = Sanitizer.Store))
+        r.A.Hb.races
+      && List.for_all (fun (p, s) -> p < 0 || s <= p || s >= r.A.Hb.requests) r.A.Hb.bad_edges)
 
 (* ------------------------------------------------------------------ *)
 (* Sanitizer end-to-end through the real runtime                       *)
@@ -285,7 +379,13 @@ let () =
   Alcotest.run "doradd-analysis"
     [
       ( "bitset",
-        [ tc "basic" `Quick test_bitset_basic; tc "union" `Quick test_bitset_union ] );
+        [
+          tc "basic" `Quick test_bitset_basic;
+          tc "union" `Quick test_bitset_union;
+          tc "out-of-range indices" `Quick test_bitset_edges;
+          tc "zero-length clocks" `Quick test_bitset_zero_length;
+          QCheck_alcotest.to_alcotest prop_bitset_matches_set_model;
+        ] );
       ( "footprint-props",
         [
           QCheck_alcotest.to_alcotest prop_footprint_sorted_dedup;
@@ -300,6 +400,8 @@ let () =
           tc "missing edge is a race" `Quick test_hb_missing_edge;
           tc "readers share, writer fences" `Quick test_hb_reads_share;
           tc "malformed edge reported" `Quick test_hb_bad_edge;
+          tc "degenerate recordings" `Quick test_hb_degenerate_inputs;
+          QCheck_alcotest.to_alcotest prop_hb_total_on_garbage;
         ] );
       ( "sanitizer",
         [

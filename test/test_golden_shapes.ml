@@ -1,0 +1,117 @@
+(* Golden-shape regression tests for the experiment harnesses in FAST
+   mode.  The smoke-mode shape tests in test_experiments.ml gate the
+   qualitative claims at toy scale; these pin the fast-mode numbers CI
+   actually publishes to golden bands, so a runtime or simulator change
+   that silently shifts a headline result (who wins, by roughly what
+   factor) fails the suite instead of drifting.
+
+   Bands are deliberately wide (the fast-mode measurements are stable to
+   a few percent; the bands allow several times that) — they encode the
+   paper's claims, not bit-exact output. *)
+
+module E = Doradd_experiments
+
+let checkb = Alcotest.check Alcotest.bool
+
+let mode = E.Mode.Fast
+
+let in_band name lo hi v =
+  if not (v >= lo && v <= hi) then
+    Alcotest.failf "%s: %.2f outside golden band [%.2f, %.2f]" name v lo hi
+
+(* Fig 2 (fast mode measures ~79%/5.8% batches, ~72%/18% stragglers;
+   paper reports 81%/6%): pin each percentage to a band and the DORADD
+   advantage to a floor. *)
+let test_fig2_golden () =
+  let r = E.Fig2.measure ~mode in
+  let find label = List.find (fun row -> row.E.Fig2.label = label) r.E.Fig2.rows in
+  let d_batch = (find "contended-batches DORADD").E.Fig2.pct_of_ideal in
+  let c_batch = (find "contended-batches Caracal").E.Fig2.pct_of_ideal in
+  let d_str = (find "stragglers DORADD").E.Fig2.pct_of_ideal in
+  let c_str = (find "stragglers Caracal").E.Fig2.pct_of_ideal in
+  in_band "DORADD contended-batches %% of ideal" 70.0 90.0 d_batch;
+  in_band "Caracal contended-batches %% of ideal" 3.0 10.0 c_batch;
+  in_band "DORADD stragglers %% of ideal" 60.0 85.0 d_str;
+  in_band "Caracal stragglers %% of ideal" 10.0 25.0 c_str;
+  checkb "batches: DORADD ~13x Caracal" true (d_batch > 8.0 *. c_batch);
+  checkb "stragglers: DORADD ~4x Caracal" true (d_str > 2.5 *. c_str)
+
+(* Fig 6 orderings: per-workload who-wins and latency-floor claims, at
+   fast-mode fidelity. *)
+let test_fig6_golden () =
+  let r = E.Fig6.measure ~mode in
+  Alcotest.(check int) "six workloads" 6 (List.length r);
+  let get name = List.find (fun w -> w.E.Fig6.workload = name) r in
+  let sys w label = List.find (fun s -> s.E.Sweep.label = label) w.E.Fig6.systems in
+  let doradd w = sys w "DORADD" in
+  let caracals w =
+    List.filter
+      (fun s ->
+        String.length s.E.Sweep.label >= 7 && String.sub s.E.Sweep.label 0 7 = "Caracal")
+      w.E.Fig6.systems
+  in
+  let best_caracal w =
+    List.fold_left (fun acc s -> max acc s.E.Sweep.max_tput) 0.0 (caracals w)
+  in
+  (* uncontended: peaks comparable (within 2x either way) but DORADD's
+     tail is orders of magnitude lower — Caracal's floor is its epoch *)
+  let yno = get "YCSB no-contention" in
+  let d = doradd yno in
+  let bc = best_caracal yno in
+  checkb "uncontended peaks comparable" true
+    (d.E.Sweep.max_tput < 2.0 *. bc && bc < 2.0 *. d.E.Sweep.max_tput);
+  (* at half load, where queueing delay is negligible, the latency floor
+     is purely architectural: DORADD's is a dispatch, Caracal's an epoch *)
+  let low_p99 s = (List.hd s.E.Sweep.points).E.Sweep.p99 in
+  List.iter
+    (fun c ->
+      checkb
+        ("uncontended p99: DORADD >100x below " ^ c.E.Sweep.label)
+        true
+        (low_p99 c > 100 * low_p99 d))
+    (caracals yno);
+  (* contention: DORADD's peak advantage grows with contention *)
+  let peak_ratio name =
+    let w = get name in
+    (doradd w).E.Sweep.max_tput /. best_caracal w
+  in
+  (* fast mode measures ~2.3x at moderate and ~2.2x at high contention
+     (paper: up to 2.5x); pin both to a band rather than an ordering *)
+  in_band "moderate contention peak ratio" 1.5 4.0 (peak_ratio "YCSB mod-contention");
+  in_band "high contention peak ratio" 1.5 4.0 (peak_ratio "YCSB high-contention");
+  (* 1-warehouse TPC-C: naive DORADD serialises on the warehouse row;
+     the split footprint rescues it past every Caracal *)
+  let t1 = get "TPCC-NP 1 warehouse" in
+  let naive = (doradd t1).E.Sweep.max_tput in
+  let split = (sys t1 "DORADD-split").E.Sweep.max_tput in
+  checkb "naive serialised under 0.5 Mrps" true (naive < 0.5e6);
+  checkb "split >= 4x naive" true (split > 4.0 *. naive);
+  checkb "split beats best Caracal" true (split > best_caracal t1);
+  (* per-system sanity on every workload: achieved load is monotone in
+     offered load, and p99 never sits below p50 *)
+  List.iter
+    (fun w ->
+      List.iter
+        (fun s ->
+          List.iter
+            (fun p -> checkb "p99 >= p50" true (p.E.Sweep.p99 >= p.E.Sweep.p50))
+            s.E.Sweep.points;
+          let rec nondecreasing = function
+            | a :: (b :: _ as rest) ->
+              a.E.Sweep.achieved <= b.E.Sweep.achieved *. 1.05 && nondecreasing rest
+            | _ -> true
+          in
+          checkb
+            (w.E.Fig6.workload ^ "/" ^ s.E.Sweep.label ^ ": achieved tracks offered")
+            true
+            (nondecreasing s.E.Sweep.points))
+        w.E.Fig6.systems)
+    r
+
+let () =
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "doradd golden shapes (fast mode)"
+    [
+      ("fig2", [ slow "percent-of-ideal golden bands" test_fig2_golden ]);
+      ("fig6", [ slow "who-wins orderings and factors" test_fig6_golden ]);
+    ]
