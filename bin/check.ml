@@ -10,9 +10,12 @@
    the lie itself.  A third pass is a DST smoke tier (doradd_dst): the
    oracle self-test plus a handful of fuzzed seeds, so every CI run of
    check also exercises schedule fuzzing and fault injection (the full
-   seed sweep lives in bin/dst.exe).  Exit code 0 iff everything matches,
-   every sanitized replay is clean, and every DST seed passes — usable as
-   a CI gate for runtime changes. *)
+   seed sweep lives in bin/dst.exe).  A fourth pass is an observability
+   smoke (doradd_obs): one traced run whose span log and exporters
+   (Chrome trace_event JSON, metrics JSON) must stay structurally valid.
+   Exit code 0 iff everything matches, every sanitized replay is clean,
+   every DST seed passes, and the exporters validate — usable as a CI
+   gate for runtime changes. *)
 
 module Core = Doradd_core
 module Db = Doradd_db
@@ -203,6 +206,51 @@ let dst_smoke ~seed ~seeds =
     ];
   self_ok && Doradd_dst.Runner.ok report
 
+(* -- observability smoke: a traced run's exporters must stay valid ---- *)
+
+module Obs = Doradd_obs
+
+let obs_smoke ~seed ~n =
+  let n = min n 500 in
+  Obs.Counters.reset ();
+  Obs.Trace.arm ();
+  ignore (check_counters ~seed ~n);
+  Obs.Trace.disarm ();
+  let events = Obs.Trace.events () in
+  Obs.Trace.clear ();
+  let spans = Obs.Timeline.spans events in
+  let committed =
+    List.length (List.filter (fun (s : Obs.Timeline.span) -> s.commit <> None) spans)
+  in
+  (* check_counters runs the traced log once per worker count, all on
+     fresh runtimes inside one bracket, so seqnos repeat: spans collapse
+     by seqno and every one of the n must have committed *)
+  let chrome_ok =
+    match Obs.Json.parse (Obs.Export.chrome_trace_string ~events ()) with
+    | Error _ -> false
+    | Ok doc -> (
+      match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+      | Some (_ :: _) -> true
+      | _ -> false)
+  in
+  let metrics_ok =
+    match Obs.Json.parse (Obs.Export.metrics_json_string ~events ()) with
+    | Error _ -> false
+    | Ok doc -> Obs.Json.member "counters" doc <> None
+  in
+  let spans_ok = committed = n in
+  Table.print ~title:"doradd-check: observability smoke (traced run + exporters)"
+    ~header:[ "check"; "detail"; "verdict" ]
+    [
+      [ "spans committed"; Printf.sprintf "%d/%d" committed n;
+        (if spans_ok then "PASS" else "FAIL") ];
+      [ "chrome trace JSON"; Printf.sprintf "%d events" (List.length events);
+        (if chrome_ok then "PASS" else "FAIL") ];
+      [ "metrics JSON"; "parse + counters key";
+        (if metrics_ok then "PASS" else "FAIL") ];
+    ];
+  spans_ok && chrome_ok && metrics_ok
+
 open Cmdliner
 
 let iterations_arg =
@@ -229,7 +277,13 @@ let dst_seeds_arg =
     & info [ "dst-seeds" ] ~docv:"N"
         ~doc:"Fuzzed DST seeds in the smoke tier (0 skips the tier entirely).")
 
-let main iterations seed n no_sanitize dst_seeds names =
+let no_obs_arg =
+  Arg.(
+    value & flag
+    & info [ "no-obs" ]
+        ~doc:"Skip the observability smoke tier (traced run + exporter validation).")
+
+let main iterations seed n no_sanitize dst_seeds no_obs names =
   let selected =
     if List.mem "all" names then apps
     else
@@ -254,11 +308,13 @@ let main iterations seed n no_sanitize dst_seeds names =
     let digests_ok = List.for_all (fun r -> r.mismatches = 0) results in
     let sanitize_ok = no_sanitize || sanitize_table ~seed ~n in
     let dst_ok = dst_seeds <= 0 || dst_smoke ~seed ~seeds:dst_seeds in
-    match (digests_ok, sanitize_ok, dst_ok) with
-    | true, true, true -> `Ok ()
-    | false, _, _ -> `Error (false, "determinism violations detected")
-    | true, false, _ -> `Error (false, "sanitizer violations detected")
-    | true, true, false -> `Error (false, "DST smoke tier failed")
+    let obs_ok = no_obs || obs_smoke ~seed ~n in
+    match (digests_ok, sanitize_ok, dst_ok, obs_ok) with
+    | true, true, true, true -> `Ok ()
+    | false, _, _, _ -> `Error (false, "determinism violations detected")
+    | true, false, _, _ -> `Error (false, "sanitizer violations detected")
+    | true, true, false, _ -> `Error (false, "DST smoke tier failed")
+    | true, true, true, false -> `Error (false, "observability smoke tier failed")
   end
 
 let cmd =
@@ -268,6 +324,6 @@ let cmd =
     Term.(
       ret
         (const main $ iterations_arg $ seed_arg $ size_arg $ no_sanitize_arg $ dst_seeds_arg
-       $ apps_arg))
+       $ no_obs_arg $ apps_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -25,8 +25,11 @@ let pp_failure (r : Dst.Runner.seed_report) =
   List.iter (fun f -> Printf.eprintf "  oracle: %s\n" (Dst.Oracle.to_string f)) r.failures;
   if not (Dst.Sim_dst.ok r.sim) then
     Printf.eprintf "  sim oracle: %s\n" (Dst.Sim_dst.to_string r.sim);
-  match r.repro with
+  (match r.repro with
   | Some repro -> Printf.eprintf "  repro: %s\n" repro.command
+  | None -> ());
+  match r.trace_file with
+  | Some path -> Printf.eprintf "  trace: %s (chrome://tracing / Perfetto)\n" path
   | None -> ()
 
 let run_self_test () =
@@ -95,10 +98,27 @@ let self_test_arg =
 
 let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-seed progress output.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"With --replay: arm the span tracer and write a Chrome trace_event JSON \
+              (open in chrome://tracing or Perfetto) for the replayed run.")
+
+let trace_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-dir" ] ~docv:"DIR"
+        ~doc:"Fuzz mode: write a Chrome trace_event JSON (DIR/seed-N.json) for every \
+              failing seed, re-run under its exact plan with the tracer armed.")
+
 let validate_classes disabled =
   List.filter (fun c -> not (List.mem c Dst.Plan.class_names)) disabled
 
-let main seeds first_seed replay case n disabled no_shrink sanitize_every json self_test quiet =
+let main seeds first_seed replay case n disabled no_shrink sanitize_every json self_test quiet
+    trace trace_dir =
   match validate_classes disabled with
   | _ :: _ as unknown ->
     `Error (false, "unknown perturbation class(es): " ^ String.concat ", " unknown)
@@ -107,9 +127,12 @@ let main seeds first_seed replay case n disabled no_shrink sanitize_every json s
     else
       match replay with
       | Some seed -> (
-        match Dst.Runner.replay ?case ?n ~disabled ~seed () with
+        match Dst.Runner.replay ?case ?n ~disabled ?trace_path:trace ~seed () with
         | r when Dst.Runner.seed_ok r ->
           Printf.eprintf "doradd-dst: seed %d replays clean (case %s)\n" seed r.case;
+          (match r.trace_file with
+          | Some path -> Printf.eprintf "doradd-dst: trace written to %s\n" path
+          | None -> ());
           `Ok ()
         | r ->
           pp_failure r;
@@ -127,7 +150,8 @@ let main seeds first_seed replay case n disabled no_shrink sanitize_every json s
         let report =
           Dst.Runner.run
             ?cases:(Option.map (fun c -> [ c ]) (Option.bind case Dst.Cases.find))
-            ?n ~shrink:(not no_shrink) ~sanitize_every ~progress ~seeds ~first_seed ()
+            ?n ~shrink:(not no_shrink) ~sanitize_every ~progress ?trace_dir ~seeds
+            ~first_seed ()
         in
         if json then print_endline (Dst.Runner.to_json report);
         let failed = List.length report.failed in
@@ -142,6 +166,7 @@ let cmd =
     Term.(
       ret
         (const main $ seeds_arg $ first_seed_arg $ replay_arg $ case_arg $ n_arg $ disable_arg
-        $ no_shrink_arg $ sanitize_every_arg $ json_arg $ self_test_arg $ quiet_arg))
+        $ no_shrink_arg $ sanitize_every_arg $ json_arg $ self_test_arg $ quiet_arg
+        $ trace_arg $ trace_dir_arg))
 
 let () = exit (Cmd.eval cmd)

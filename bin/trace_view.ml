@@ -1,0 +1,122 @@
+(* doradd-trace-view: run a small traced workload on the real runtime and
+   export the observability artifacts — a Chrome trace_event JSON for
+   chrome://tracing / Perfetto, the span-derived latency-breakdown table,
+   or the metrics JSON dump.  Doubles as the CI trace-export smoke: the
+   chrome output must parse as JSON (jq) on every run. *)
+
+module Core = Doradd_core
+module Db = Doradd_db
+module Rng = Doradd_stats.Rng
+module Obs = Doradd_obs
+
+let run_counters ~n ~workers ~seed =
+  let n_keys = 64 in
+  let rng = Rng.create seed in
+  let log =
+    Array.init n (fun id ->
+        (id, Array.init (1 + Rng.int rng 4) (fun _ -> Rng.int rng n_keys)))
+  in
+  let cells = Array.init n_keys (fun _ -> Core.Resource.create 0) in
+  Core.Runtime.run_log ~workers
+    (fun (_, ks) ->
+      Core.Footprint.of_slots
+        (Array.to_list (Array.map (fun k -> Core.Resource.slot cells.(k)) ks)))
+    (fun (id, ks) ->
+      Array.iter (fun k -> Core.Resource.update cells.(k) (fun v -> (v * 31) + id)) ks)
+    log
+
+let kv_txns ~n ~n_keys ~seed =
+  let rng = Rng.create seed in
+  Array.init n (fun id ->
+      let ops =
+        Array.init 5 (fun _ ->
+            {
+              Db.Kv.key = Rng.int rng n_keys;
+              kind = (if Rng.bool rng then Db.Kv.Read else Db.Kv.Update);
+            })
+      in
+      { Db.Kv.id; ops })
+
+let run_kv ~n ~workers ~seed =
+  let n_keys = 128 in
+  let s = Db.Store.create () in
+  Db.Store.populate s ~n:n_keys;
+  ignore (Db.Kv.run_parallel ~workers s (kv_txns ~n ~n_keys ~seed))
+
+(* The full Figure 5 datapath: RPC handler, Indexer, Prefetcher and
+   Spawner on their own domains — the only case whose spans cross all
+   seven stages. *)
+let run_kv_pipeline ~n ~workers ~seed =
+  let n_keys = 128 in
+  let s = Db.Store.create () in
+  Db.Store.populate s ~n:n_keys;
+  ignore
+    (Db.Kv_pipeline.run_pipelined ~workers ~stages:Core.Pipeline.Four_core s
+       (kv_txns ~n ~n_keys ~seed))
+
+let cases =
+  [
+    ("counters", run_counters);
+    ("kv", run_kv);
+    ("kv-pipeline", run_kv_pipeline);
+  ]
+
+let main case n workers seed format output =
+  match List.assoc_opt case cases with
+  | None -> `Error (false, Printf.sprintf "unknown case %S" case)
+  | Some run ->
+    Obs.Counters.reset ();
+    Obs.Trace.arm ();
+    run ~n ~workers ~seed;
+    Obs.Trace.disarm ();
+    let body =
+      match format with
+      | "chrome" -> Obs.Export.chrome_trace_string ()
+      | "metrics" -> Obs.Export.metrics_json_string ()
+      | "breakdown" -> Obs.Export.breakdown_table ()
+      | f -> failwith (Printf.sprintf "unknown format %S" f)
+    in
+    Obs.Trace.clear ();
+    (match output with
+    | "-" -> print_string body
+    | path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body);
+      Printf.eprintf "doradd-trace-view: wrote %s (%d bytes)\n" path (String.length body));
+    `Ok ()
+
+open Cmdliner
+
+let case_arg =
+  Arg.(
+    value & opt string "kv-pipeline"
+    & info [ "case" ] ~docv:"CASE"
+        ~doc:"Workload to trace: counters, kv, or kv-pipeline (full 7-stage timeline).")
+
+let n_arg =
+  Arg.(value & opt int 1_000 & info [ "n" ] ~docv:"REQS" ~doc:"Requests to run.")
+
+let workers_arg =
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"W" ~doc:"Worker domains.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Log seed.")
+
+let format_arg =
+  Arg.(
+    value & opt string "chrome"
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Output: chrome (trace_event JSON), metrics (JSON dump), breakdown (table).")
+
+let output_arg =
+  Arg.(
+    value & opt string "-"
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file ('-' for stdout).")
+
+let cmd =
+  let doc = "Trace a workload through the DORADD runtime and export its spans" in
+  Cmd.v
+    (Cmd.info "doradd-trace-view" ~version:"1.0.0" ~doc)
+    Term.(
+      ret (const main $ case_arg $ n_arg $ workers_arg $ seed_arg $ format_arg $ output_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -3,6 +3,16 @@ module Sim_req = Doradd_sim.Sim_req
 module Metrics = Doradd_sim.Metrics
 module Int_table = Doradd_sim.Int_table
 module Histogram = Doradd_stats.Histogram
+module Obs = Doradd_obs
+
+(* When tracing is armed the model records virtual-time span events keyed
+   by request id, mirroring the real runtime's stage timeline: arrival =
+   rpc-enqueue, dispatcher pickup = index, DAG linking = spawn, then
+   runnable / exec-start / commit.  The adjacent gaps reproduce the ad-hoc
+   [breakdown] histograms exactly (for single-piece requests), which is
+   what lets experiments cross-check the two. *)
+let span ~ts stage ~seqno =
+  if Atomic.get Obs.Trace.armed then Obs.Trace.record_at ~ts ~tid:0 stage ~seqno
 
 type breakdown = {
   dispatch_wait : Histogram.t;  (* queueing at the dispatcher station *)
@@ -91,6 +101,7 @@ let run ?on_complete ?breakdown:bd cfg ~arrivals ~log =
   let rec push_ready now p =
     p.ready_at <- now;
     record (fun b -> b.dag_wait) (now - p.spawned_at);
+    span ~ts:now Obs.Trace.Runnable ~seqno:p.rnode.req.Sim_req.id;
     if cfg.static_assignment then begin
       let w = p.rnode.req.Sim_req.id mod cfg.workers in
       Queue.push p static_ready.(w);
@@ -105,6 +116,7 @@ let run ?on_complete ?breakdown:bd cfg ~arrivals ~log =
       let p = Queue.pop static_ready.(w) in
       record (fun b -> b.ready_wait) (now - p.ready_at);
       record (fun b -> b.execution) (cfg.worker_overhead_ns + p.service);
+      span ~ts:now Obs.Trace.Exec_start ~seqno:p.rnode.req.Sim_req.id;
       static_busy.(w) <- true;
       Engine.schedule_at engine
         (now + cfg.worker_overhead_ns + p.service)
@@ -118,6 +130,7 @@ let run ?on_complete ?breakdown:bd cfg ~arrivals ~log =
       let p = Queue.pop ready in
       record (fun b -> b.ready_wait) (now - p.ready_at);
       record (fun b -> b.execution) (cfg.worker_overhead_ns + p.service);
+      span ~ts:now Obs.Trace.Exec_start ~seqno:p.rnode.req.Sim_req.id;
       decr idle;
       Engine.schedule_at engine
         (now + cfg.worker_overhead_ns + p.service)
@@ -131,6 +144,7 @@ let run ?on_complete ?breakdown:bd cfg ~arrivals ~log =
     let r = p.rnode in
     r.remaining <- r.remaining - 1;
     if r.remaining = 0 then begin
+      span ~ts:now Obs.Trace.Commit ~seqno:r.req.Sim_req.id;
       Metrics.complete metrics ~arrival:r.req.Sim_req.arrival ~now;
       match on_complete with Some f -> f r.req ~now | None -> ()
     end;
@@ -166,6 +180,7 @@ let run ?on_complete ?breakdown:bd cfg ~arrivals ~log =
      completion time) *)
   let spawn req =
     let now = Engine.now engine in
+    span ~ts:now Obs.Trace.Spawn ~seqno:req.Sim_req.id;
     let rnode = { req; remaining = Array.length req.Sim_req.pieces } in
     Array.iter
       (fun (piece : Sim_req.piece) ->
@@ -207,6 +222,8 @@ let run ?on_complete ?breakdown:bd cfg ~arrivals ~log =
     let start = max now !disp_free in
     let done_at = start + request_dispatch_cost req in
     record (fun b -> b.dispatch_wait) (start - now);
+    span ~ts:now Obs.Trace.Rpc_enqueue ~seqno:req.Sim_req.id;
+    span ~ts:start Obs.Trace.Index ~seqno:req.Sim_req.id;
     disp_free := done_at;
     Engine.schedule_at engine (done_at + pipeline_latency) (fun () -> spawn req)
   in

@@ -2,6 +2,14 @@ module Mpmc = Doradd_queue.Mpmc
 module Spsc = Doradd_queue.Spsc
 module Ring = Doradd_queue.Ring
 module Backoff = Doradd_queue.Backoff
+module Obs = Doradd_obs
+
+(* Observability (armed-guarded): dispatcher batch sizes and submissions.
+   Pipeline span events are attributed by submission / ring-entry index,
+   which equals the runtime seqno exactly when a fresh runtime is fed only
+   by this pipeline (the supported tracing setup; see Trace's doc). *)
+let h_batch = Obs.Counters.histogram "pipeline.batch"
+let c_submit = Obs.Counters.counter "pipeline.submit"
 
 type stages = One_core_no_prefetch | One_core | Two_core | Three_core | Four_core
 
@@ -16,6 +24,7 @@ type 'input t = {
   stop : bool Atomic.t;
   spawned : int Atomic.t;
   domains : unit Domain.t array;
+  rpc_seq : int Atomic.t; (* submission index, for span attribution *)
 }
 
 (* Sentinel batch count signalling end-of-stream between stages. *)
@@ -23,19 +32,20 @@ let eos = -1
 
 (* Work each logical sub-task performs on a ring entry, per variant.  The
    first group always starts with the RPC handler (inject), the last always
-   ends with the Spawner. *)
-let stage_groups (type e) stages (service : (_, e) Service.t) : (e -> unit) list list =
-  let ix = service.Service.index and pf = service.Service.prefetch in
+   ends with the Spawner.  Groups are kept as labels (rather than bare
+   closures) so the runner can record the matching span stage after each
+   sub-task. *)
+let stage_groups stages : [ `Index | `Prefetch ] list list =
   match stages with
-  | One_core_no_prefetch -> [ [ ix ] ]
-  | One_core -> [ [ ix; pf ] ]
-  | Two_core -> [ [ ix; pf ]; [] ]
-  | Three_core -> [ [ ix ]; [ pf ]; [] ]
-  | Four_core -> [ []; [ ix ]; [ pf ]; [] ]
+  | One_core_no_prefetch -> [ [ `Index ] ]
+  | One_core -> [ [ `Index; `Prefetch ] ]
+  | Two_core -> [ [ `Index; `Prefetch ]; [] ]
+  | Three_core -> [ [ `Index ]; [ `Prefetch ]; [] ]
+  | Four_core -> [ []; [ `Index ]; [ `Prefetch ]; [] ]
 
 let start ?(queue_depth = 4) ?(max_batch = 8) ?(input_capacity = 1024) ~stages ~runtime
     (service : ('input, 'entry) Service.t) =
-  let groups = stage_groups stages service in
+  let groups = stage_groups stages in
   let n_groups = List.length groups in
   let ring_cap = Ring.min_capacity ~stages:n_groups ~queue_depth ~max_batch in
   let ring = Ring.create ~capacity:ring_cap service.Service.entry_create in
@@ -48,7 +58,22 @@ let start ?(queue_depth = 4) ?(max_batch = 8) ?(input_capacity = 1024) ~stages ~
     Runtime.schedule runtime (service.Service.footprint entry) (service.Service.work entry);
     Atomic.incr spawned
   in
-  let apply fns entry = List.iter (fun f -> f entry) fns in
+  let fn_of = function
+    | `Index -> service.Service.index
+    | `Prefetch -> service.Service.prefetch
+  in
+  let stage_of = function
+    | `Index -> Obs.Trace.Index
+    | `Prefetch -> Obs.Trace.Prefetch
+  in
+  let apply fns idx entry =
+    List.iter
+      (fun label ->
+        fn_of label entry;
+        if Atomic.get Obs.Trace.armed then
+          Obs.Trace.record (stage_of label) ~seqno:idx)
+      fns
+  in
   (* First group: pull raw inputs, fill ring entries, run the group's
      sub-tasks, forward an adaptive batch count. *)
   let handler_loop fns ~is_last =
@@ -63,13 +88,14 @@ let start ?(queue_depth = 4) ?(max_batch = 8) ?(input_capacity = 1024) ~stages ~
         | Some x ->
           let entry = Ring.get ring (!seq + !batch) in
           service.Service.inject entry x;
-          apply fns entry;
+          apply fns (!seq + !batch) entry;
           if is_last then spawn_entry entry;
           incr batch
         | None -> continue := false
       done;
       if !batch > 0 then begin
         Backoff.reset b;
+        if Atomic.get Obs.Trace.armed then Obs.Counters.record h_batch !batch;
         if not is_last then Spsc.push links.(0) !batch;
         seq := !seq + !batch
       end
@@ -94,7 +120,7 @@ let start ?(queue_depth = 4) ?(max_batch = 8) ?(input_capacity = 1024) ~stages ~
       else begin
         for i = !seq to !seq + n - 1 do
           let entry = Ring.get ring i in
-          apply fns entry;
+          apply fns i entry;
           if is_last then spawn_entry entry
         done;
         if not is_last then Spsc.push links.(k) n;
@@ -111,11 +137,26 @@ let start ?(queue_depth = 4) ?(max_batch = 8) ?(input_capacity = 1024) ~stages ~
            else Domain.spawn (fun () -> stage_loop k fns ~is_last))
          groups)
   in
-  { input; stop; spawned; domains }
+  { input; stop; spawned; domains; rpc_seq = Atomic.make 0 }
 
-let submit t x = Mpmc.push t.input x
+(* Rpc_enqueue is stamped before the (possibly blocking) push so the span
+   starts at arrival, ahead of any backpressure wait.  With concurrent
+   submitters the submission index may disagree with the ring-entry order;
+   traced runs are single-submitter by convention. *)
+let submit t x =
+  if Atomic.get Obs.Trace.armed then begin
+    Obs.Counters.incr c_submit;
+    Obs.Trace.record Obs.Trace.Rpc_enqueue ~seqno:(Atomic.fetch_and_add t.rpc_seq 1)
+  end;
+  Mpmc.push t.input x
 
-let try_submit t x = Mpmc.try_push t.input x
+let try_submit t x =
+  let ok = Mpmc.try_push t.input x in
+  if ok && Atomic.get Obs.Trace.armed then begin
+    Obs.Counters.incr c_submit;
+    Obs.Trace.record Obs.Trace.Rpc_enqueue ~seqno:(Atomic.fetch_and_add t.rpc_seq 1)
+  end;
+  ok
 
 let spawned t = Atomic.get t.spawned
 

@@ -22,6 +22,14 @@ type t = {
 
 module Mpmc = Doradd_queue.Mpmc
 module Backoff = Doradd_queue.Backoff
+module Obs = Doradd_obs
+
+(* Observability (armed-guarded): runnable-set traffic and occupancy. *)
+let c_dispatch_push = Obs.Counters.counter "runnable_set.dispatch_push"
+let c_worker_push = Obs.Counters.counter "runnable_set.worker_push"
+let c_pop_local = Obs.Counters.counter "runnable_set.pop_local"
+let c_pop_steal = Obs.Counters.counter "runnable_set.pop_steal"
+let w_occupancy = Obs.Counters.watermark "runnable_set.occupancy_hwm"
 
 let create ~workers ~queue_capacity =
   if workers <= 0 then invalid_arg "Runnable_set.create";
@@ -70,7 +78,13 @@ let set_fuzz t fuzz =
   | None -> Array.iter Mpmc.clear_faults t.queues
   | Some f -> Array.iter (fun q -> Mpmc.set_faults q ~push:f.fail_push ~pop:f.fail_pop) t.queues
 
+let size t = Array.fold_left (fun acc q -> acc + Mpmc.length q) 0 t.queues
+
 let push_dispatcher t node =
+  if Atomic.get Obs.Trace.armed then begin
+    Obs.Trace.record Obs.Trace.Runnable ~seqno:(Node.seqno node);
+    Obs.Counters.incr c_dispatch_push
+  end;
   let n = Array.length t.queues in
   let b = Backoff.create () in
   let rec go attempts idx =
@@ -87,9 +101,17 @@ let push_dispatcher t node =
   let start =
     match t.fuzz with None -> t.rr | Some f -> (t.rr + f.dispatch_rotate ~n) mod n
   in
-  go 0 start
+  go 0 start;
+  if Atomic.get Obs.Trace.armed then Obs.Counters.observe w_occupancy (size t)
 
 let push_worker t ~worker node =
+  if Atomic.get Obs.Trace.armed then begin
+    (* A yielded node re-entering keeps only its first Runnable crossing
+       (Timeline is first-wins), so double recording is harmless. *)
+    Obs.Trace.record Obs.Trace.Runnable ~seqno:(Node.seqno node);
+    Obs.Counters.incr c_worker_push;
+    Obs.Counters.observe w_occupancy (size t + 1)
+  end;
   let n = Array.length t.queues in
   let start =
     match t.fuzz with None -> worker | Some f -> worker + f.push_rotate ~worker ~n
@@ -113,9 +135,12 @@ let pop t ~worker =
     if i >= n then None
     else
       match Mpmc.try_pop t.queues.((start + i) mod n) with
-      | Some _ as r -> r
+      | Some _ as r ->
+        if Atomic.get Obs.Trace.armed then
+          (* Unfuzzed, i = 0 is the worker's own queue; under fuzz rotation
+             the local/steal attribution is approximate. *)
+          Obs.Counters.incr (if i = 0 then c_pop_local else c_pop_steal);
+        r
       | None -> sweep (i + 1)
   in
   sweep 0
-
-let size t = Array.fold_left (fun acc q -> acc + Mpmc.length q) 0 t.queues

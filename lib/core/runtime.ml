@@ -1,4 +1,9 @@
 module Backoff = Doradd_queue.Backoff
+module Obs = Doradd_obs
+
+(* Observability (armed-guarded): worker duty cycle. *)
+let c_worker_busy = Obs.Counters.counter "runtime.worker_busy"
+let c_worker_idle = Obs.Counters.counter "runtime.worker_idle"
 
 (* Worker-level schedule fuzz (DST): [rs] perturbs the runnable-set scan
    orders and injects queue faults; [stall_spins ~worker] asks worker
@@ -42,6 +47,7 @@ let worker_loop rs ~worker ~stop ~completed ~failures ~stall =
       end);
     match Runnable_set.pop rs ~worker with
     | Some node ->
+      if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_worker_busy;
       Backoff.reset b;
       (* A raising procedure is still a *deterministic* outcome (same
          input, same exception), so the request completes — releasing its
@@ -57,6 +63,7 @@ let worker_loop rs ~worker ~stop ~completed ~failures ~stall =
         Runnable_set.push_worker rs ~worker node);
       loop ()
     | None ->
+      if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_worker_idle;
       if Atomic.get stop then ()
       else begin
         Backoff.once b;
@@ -112,11 +119,37 @@ let rec sanitize_steps fp ~seqno work () =
       | Node.Finished -> Node.Finished
       | Node.Yield k -> Node.Yield (sanitize_steps fp ~seqno k))
 
+(* Traced mode: bracket the procedure body with execute-start/commit span
+   events.  Wrapped at schedule time like the sanitizer brackets, and kept
+   outermost so Exec_start stamps before the sanitizer's context switch. *)
+let traced_work ~seqno work () =
+  Obs.Trace.record Obs.Trace.Exec_start ~seqno;
+  work ();
+  Obs.Trace.record Obs.Trace.Commit ~seqno
+
+let traced_steps ~seqno work =
+  let rec wrap ~first work () =
+    if first then Obs.Trace.record Obs.Trace.Exec_start ~seqno;
+    match work () with
+    | Node.Finished ->
+      Obs.Trace.record Obs.Trace.Commit ~seqno;
+      Node.Finished
+    | Node.Yield k -> Node.Yield (wrap ~first:false k)
+  in
+  wrap ~first:true work
+
 let schedule t fp work =
   let seqno = t.next_seq in
   t.next_seq <- seqno + 1;
   Atomic.incr t.scheduled;
   let work = if Atomic.get Sanitizer.tracking then sanitize_work fp ~seqno work else work in
+  let work =
+    if Atomic.get Obs.Trace.armed then begin
+      Obs.Trace.record Obs.Trace.Spawn ~seqno;
+      traced_work ~seqno work
+    end
+    else work
+  in
   let node = Node.create ~seqno work in
   Spawner.schedule t.rs node fp
 
@@ -125,6 +158,13 @@ let schedule_steps t fp work =
   t.next_seq <- seqno + 1;
   Atomic.incr t.scheduled;
   let work = if Atomic.get Sanitizer.tracking then sanitize_steps fp ~seqno work else work in
+  let work =
+    if Atomic.get Obs.Trace.armed then begin
+      Obs.Trace.record Obs.Trace.Spawn ~seqno;
+      traced_steps ~seqno work
+    end
+    else work
+  in
   let node = Node.create_steps ~seqno work in
   Spawner.schedule t.rs node fp
 

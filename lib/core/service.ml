@@ -16,6 +16,15 @@ let drop_prefetch : (unit -> bool) Atomic.t = Atomic.make (fun () -> false)
 let set_drop_prefetch f =
   Atomic.set drop_prefetch (match f with Some f -> f | None -> fun () -> false)
 
+(* Observability (armed-guarded): prefetch traffic, incl. DST drops. *)
+let c_touch = Doradd_obs.Counters.counter "service.prefetch_touch"
+let c_dropped = Doradd_obs.Counters.counter "service.prefetch_dropped"
+
 (* [peek], not [get]: the Prefetcher runs on a dispatcher-pipeline stage,
    outside any request context, and must not trip the sanitizer. *)
-let touch r = if not ((Atomic.get drop_prefetch) ()) then ignore (Sys.opaque_identity (Resource.peek r))
+let touch r =
+  if not ((Atomic.get drop_prefetch) ()) then begin
+    if Atomic.get Doradd_obs.Trace.armed then Doradd_obs.Counters.incr c_touch;
+    ignore (Sys.opaque_identity (Resource.peek r))
+  end
+  else if Atomic.get Doradd_obs.Trace.armed then Doradd_obs.Counters.incr c_dropped

@@ -252,7 +252,64 @@ let yield =
   in
   { name = "yield"; default_n = 128; serial; parallel }
 
-let all = [ counters; kv; kv_rw; ycsb; ledger; tpcc; yield ]
+(* ---- replication: primary/backup convergence under perturbation ----- *)
+
+(* The §5.3 replication stack under fuzz: both replicas run the same KV
+   log on their own perturbed runtime (same plan on both sides — see
+   {!Primary_backup.create}).  Two oracle angles: the usual
+   serial-equivalence check against the primary, plus a
+   replica-divergence invariant comparing primary and backup state.
+   The sanitizer is skipped here: its logs are global and keyed by
+   seqno, and this case runs TWO runtimes over the same seqnos, which
+   breaks the one-runtime-per-bracket discipline its docs require. *)
+let replication =
+  let module Pb = Doradd_replication.Primary_backup in
+  let n_keys = 96 in
+  let all_keys = Array.init n_keys Fun.id in
+  let txns ~seed ~n =
+    kv_txns ~seed:(seed lxor 0x0052_6570) ~n ~n_keys ~ops:4 ~contention:Ycsb.Mod_contention
+  in
+  let store () =
+    let s = Db.Store.create () in
+    Db.Store.populate s ~n:n_keys;
+    s
+  in
+  let serial ~seed ~n =
+    let s = store () in
+    let results = Db.Kv.run_sequential s (txns ~seed ~n) in
+    { digest = Db.Kv.state_digest s ~keys:all_keys; results; invariant = None }
+  in
+  let parallel ~seed ~n ~workers ~queue_capacity ~fuzz ~sanitize:_ =
+    let log = txns ~seed ~n in
+    let primary = store () and backup = store () in
+    let p_res = Array.make n 0 and b_res = Array.make n 0 in
+    let t =
+      Pb.create ~workers ~queue_capacity ?fuzz
+        ~primary_footprint:(Db.Kv.footprint primary)
+        ~primary_execute:(fun txn ->
+          Harness.straggle ();
+          Db.Kv.execute primary ~results:p_res txn)
+        ~backup_footprint:(Db.Kv.footprint backup)
+        ~backup_execute:(Db.Kv.execute backup ~results:b_res)
+        ()
+    in
+    Array.iter (Pb.submit t) log;
+    Pb.shutdown t;
+    let p_digest = Db.Kv.state_digest primary ~keys:all_keys in
+    let b_digest = Db.Kv.state_digest backup ~keys:all_keys in
+    let invariant =
+      if Pb.backup_applied t <> n then
+        Some
+          (Printf.sprintf "backup applied %d of %d requests" (Pb.backup_applied t) n)
+      else if p_digest <> b_digest then Some "replicas diverged"
+      else if p_res <> b_res then Some "replica read results diverged"
+      else None
+    in
+    ({ digest = p_digest; results = p_res; invariant }, None)
+  in
+  { name = "replication"; default_n = 128; serial; parallel }
+
+let all = [ counters; kv; kv_rw; ycsb; ledger; tpcc; yield; replication ]
 
 let find name = List.find_opt (fun c -> c.name = name) all
 

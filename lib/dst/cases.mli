@@ -53,6 +53,13 @@ val tpcc : t
 val yield : t
 (** Cooperative two-step procedures ([schedule_steps] + [Yield]). *)
 
+val replication : t
+(** Primary/backup replication over two fuzzed runtimes; the invariant
+    demands replica convergence (state digests and read results) in
+    addition to the usual serial-equivalence check against the primary.
+    Never runs under the sanitizer (two runtimes share seqnos, which its
+    global logs cannot distinguish). *)
+
 val all : t list
 
 val names : string list

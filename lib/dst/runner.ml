@@ -1,5 +1,6 @@
 module Workloads = Doradd_analysis.Workloads
 module Sanitize = Doradd_analysis.Sanitize
+module Obs = Doradd_obs
 
 type seed_report = {
   seed : int;
@@ -8,6 +9,7 @@ type seed_report = {
   failures : Oracle.failure list;
   sim : Sim_dst.outcome;
   repro : Shrink.repro option;
+  trace_file : string option;
 }
 
 let seed_ok r = r.failures = [] && Sim_dst.ok r.sim
@@ -25,6 +27,33 @@ let check_once (case : Cases.t) ~seed ~n ~(plan : Plan.t) ~sanitize =
           ~sanitize)
   in
   Oracle.compare_runs ~serial ~parallel @ Oracle.check_sanitizer outcome
+
+(* Trace-on-failure support: re-run a fuzzed check with the span tracer
+   armed and ship the Chrome trace_event JSON (with the metrics dump under
+   the extra top-level "doraddMetrics" key Perfetto ignores) next to the
+   one-line repro. *)
+let write_trace ~path =
+  let doc =
+    match Obs.Export.chrome_trace () with
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj (fields @ [ ("doraddMetrics", Obs.Export.metrics_json ()) ])
+    | other -> other
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Json.to_string doc))
+
+let with_trace path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+    Obs.Counters.reset ();
+    Obs.Trace.arm ();
+    let r = Fun.protect ~finally:Obs.Trace.disarm f in
+    write_trace ~path;
+    Obs.Trace.clear ();
+    r
 
 let run_case ~shrink ~sanitize (case : Cases.t) ~seed ~n =
   let plan = Plan.derive ~seed in
@@ -49,21 +78,45 @@ let run_seed ?(cases = Cases.all) ?(shrink = true) ?(sanitize = false) ?n ~seed 
   let n = match n with Some n -> n | None -> case.Cases.default_n in
   let plan, failures, repro = run_case ~shrink ~sanitize case ~seed ~n in
   let sim = Sim_dst.run ~seed ~n:64 ~workers:(1 + (abs seed mod 3)) ~bug:Sim_dst.No_bug in
-  { seed; case = case.Cases.name; plan; failures; sim; repro }
+  { seed; case = case.Cases.name; plan; failures; sim; repro; trace_file = None }
+
+let mkdir_p dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+(* Replays the exact failing plan with tracing armed; the schedule under a
+   seeded plan is reproducible, so the trace shows the failing run's
+   stage timings even though it is a second execution. *)
+let trace_failed_seed ?(cases = Cases.all) ?n ~trace_dir (r : seed_report) =
+  match List.find_opt (fun (c : Cases.t) -> c.name = r.case) cases with
+  | None -> r
+  | Some case ->
+    mkdir_p trace_dir;
+    let n = match n with Some n -> n | None -> case.Cases.default_n in
+    let path = Filename.concat trace_dir (Printf.sprintf "seed-%d.json" r.seed) in
+    ignore
+      (with_trace (Some path) (fun () ->
+           check_once case ~seed:r.seed ~n ~plan:r.plan ~sanitize:false));
+    { r with trace_file = Some path }
 
 let run ?cases ?n ?(shrink = true) ?(sanitize_every = 10) ?(progress = fun _ -> ())
-    ~seeds ~first_seed () =
+    ?trace_dir ~seeds ~first_seed () =
   let failed = ref [] in
   for i = 0 to seeds - 1 do
     let seed = first_seed + i in
     let sanitize = sanitize_every > 0 && i mod sanitize_every = 0 in
     let r = run_seed ?cases ?n ~shrink ~sanitize ~seed () in
+    let r =
+      if seed_ok r then r
+      else
+        match trace_dir with
+        | None -> r
+        | Some dir -> trace_failed_seed ?cases ?n ~trace_dir:dir r
+    in
     if not (seed_ok r) then failed := r :: !failed;
     progress r
   done;
   { seeds; first_seed; n_per_case = n; failed = List.rev !failed }
 
-let replay ?case ?n ?(disabled = []) ~seed () =
+let replay ?case ?n ?(disabled = []) ?trace_path ~seed () =
   let case =
     match case with
     | Some name -> (
@@ -76,9 +129,12 @@ let replay ?case ?n ?(disabled = []) ~seed () =
   in
   let n = match n with Some n -> n | None -> case.Cases.default_n in
   let plan = Plan.disable_all (Plan.derive ~seed) disabled in
-  let failures = check_once case ~seed ~n ~plan ~sanitize:false in
+  let failures =
+    with_trace trace_path (fun () -> check_once case ~seed ~n ~plan ~sanitize:false)
+  in
   let sim = Sim_dst.run ~seed ~n:64 ~workers:(1 + (abs seed mod 3)) ~bug:Sim_dst.No_bug in
-  { seed; case = case.Cases.name; plan; failures; sim; repro = None }
+  { seed; case = case.Cases.name; plan; failures; sim; repro = None;
+    trace_file = trace_path }
 
 (* ---- self-test: seeded bugs the oracles must catch ------------------ *)
 
@@ -161,6 +217,11 @@ let seed_report_to_buf b r =
     Buffer.add_string b "],\"command\":";
     buf_json_string b rep.command;
     Buffer.add_char b '}');
+  (match r.trace_file with
+  | None -> ()
+  | Some path ->
+    Buffer.add_string b ",\"trace_file\":";
+    buf_json_string b path);
   Buffer.add_char b '}'
 
 let to_json r =

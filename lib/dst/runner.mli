@@ -14,6 +14,9 @@ type seed_report = {
   failures : Oracle.failure list;
   sim : Sim_dst.outcome;
   repro : Shrink.repro option;
+  trace_file : string option;
+      (** Chrome trace_event JSON written for this (failing) seed, when
+          tracing was requested ([?trace_dir] / [?trace_path]). *)
 }
 
 val seed_ok : seed_report -> bool
@@ -44,20 +47,32 @@ val run :
   ?shrink:bool ->
   ?sanitize_every:int ->
   ?progress:(seed_report -> unit) ->
+  ?trace_dir:string ->
   seeds:int ->
   first_seed:int ->
   unit ->
   report
 (** Fuzz loop over [seeds] consecutive seeds starting at [first_seed].
     Every [sanitize_every]-th seed (default 10; 0 disables) also runs
-    under the sanitizer oracle.  [progress] is called after each seed. *)
+    under the sanitizer oracle.  [progress] is called after each seed.
+    With [trace_dir], every failing seed is re-run under its exact plan
+    with the span tracer armed and a Chrome trace_event artifact is
+    written to [trace_dir/seed-N.json]. *)
 
 val replay :
-  ?case:string -> ?n:int -> ?disabled:string list -> seed:int -> unit -> seed_report
+  ?case:string ->
+  ?n:int ->
+  ?disabled:string list ->
+  ?trace_path:string ->
+  seed:int ->
+  unit ->
+  seed_report
 (** Deterministically re-run one seed — optionally pinned to a case and
     log length and with perturbation classes disabled, i.e. exactly the
-    knobs a shrunk repro line carries.  @raise Invalid_argument on an
-    unknown case name. *)
+    knobs a shrunk repro line carries.  With [trace_path], the replay
+    runs with the span tracer armed and writes a Chrome trace_event JSON
+    (metrics dump included under a ["doraddMetrics"] key) to that path.
+    @raise Invalid_argument on an unknown case name. *)
 
 val self_test : unit -> (unit, string list) result
 (** Canary check of the oracle stack itself: seeded scheduler bugs

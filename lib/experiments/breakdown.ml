@@ -3,6 +3,7 @@ module W = Doradd_workload
 module S = Doradd_stats
 module Metrics = Doradd_sim.Metrics
 module Histogram = S.Histogram
+module Obs = Doradd_obs
 
 type row = {
   load_frac : float;
@@ -11,9 +12,27 @@ type row = {
   ready_wait_p99 : int;
   execution_p99 : int;
   total_p99 : int;
+  (* The same four components derived from span timelines rather than the
+     model's ad-hoc timers; the cross-check that the tracer measures what
+     the figures claim. *)
+  span_dispatch_p99 : int;
+  span_dag_p99 : int;
+  span_ready_p99 : int;
+  span_execution_p99 : int;
 }
 
 type result = { workload : string; rows : row list }
+
+(* p99 of one stage-pair gap across all spans of the armed run. *)
+let span_p99 spans ~from_ ~to_ =
+  let h = Histogram.create () in
+  List.iter
+    (fun span ->
+      match Obs.Timeline.gap span ~from_ ~to_ with
+      | Some d -> Histogram.record h d
+      | None -> ())
+    spans;
+  Histogram.percentile h 99.0
 
 let one ~mode ~contention ~name ~seed =
   let n = Mode.scale mode ~smoke:5_000 ~fast:50_000 ~full:500_000 in
@@ -25,11 +44,15 @@ let one ~mode ~contention ~name ~seed =
     List.map
       (fun load_frac ->
         let bd = B.M_doradd.breakdown () in
+        Obs.Trace.arm ();
         let m =
           B.M_doradd.run ~breakdown:bd doradd
             ~arrivals:(B.Load.Poisson { rate = load_frac *. peak; seed })
             ~log
         in
+        let spans = Obs.Timeline.spans (Obs.Trace.events ()) in
+        Obs.Trace.disarm ();
+        Obs.Trace.clear ();
         {
           load_frac;
           dispatch_wait_p99 = Histogram.percentile bd.B.M_doradd.dispatch_wait 99.0;
@@ -37,6 +60,13 @@ let one ~mode ~contention ~name ~seed =
           ready_wait_p99 = Histogram.percentile bd.B.M_doradd.ready_wait 99.0;
           execution_p99 = Histogram.percentile bd.B.M_doradd.execution 99.0;
           total_p99 = Metrics.p99 m;
+          span_dispatch_p99 =
+            span_p99 spans ~from_:Obs.Trace.Rpc_enqueue ~to_:Obs.Trace.Index;
+          span_dag_p99 = span_p99 spans ~from_:Obs.Trace.Spawn ~to_:Obs.Trace.Runnable;
+          span_ready_p99 =
+            span_p99 spans ~from_:Obs.Trace.Runnable ~to_:Obs.Trace.Exec_start;
+          span_execution_p99 =
+            span_p99 spans ~from_:Obs.Trace.Exec_start ~to_:Obs.Trace.Commit;
         })
       [ 0.5; 0.8; 0.95 ]
   in
@@ -47,6 +77,28 @@ let measure ~mode =
     one ~mode ~contention:W.Ycsb.No_contention ~name:"YCSB no-contention" ~seed:111;
     one ~mode ~contention:W.Ycsb.High_contention ~name:"YCSB high-contention" ~seed:112;
   ]
+
+(* Relative deviation between the ad-hoc and span-derived p99 of one
+   component.  Sub-100ns components sit inside one histogram bucket, so a
+   small absolute floor keeps 0-vs-0 and bucket-edge cases from reading
+   as huge relative errors. *)
+let drift adhoc span =
+  let d = abs (adhoc - span) in
+  if d <= 100 then 0.0 else float_of_int d /. float_of_int (max adhoc 1)
+
+let row_drift row =
+  List.fold_left max 0.0
+    [
+      drift row.dispatch_wait_p99 row.span_dispatch_p99;
+      drift row.dag_wait_p99 row.span_dag_p99;
+      drift row.ready_wait_p99 row.span_ready_p99;
+      drift row.execution_p99 row.span_execution_p99;
+    ]
+
+let max_drift results =
+  List.fold_left
+    (fun acc r -> List.fold_left (fun acc row -> max acc (row_drift row)) acc r.rows)
+    0.0 results
 
 let print results =
   List.iter
@@ -65,7 +117,29 @@ let print results =
                S.Table.fmt_ns row.total_p99;
              ])
            r.rows);
+      print_newline ();
+      S.Table.print
+        ~title:
+          (Printf.sprintf "Span-derived breakdown (from doradd_obs timelines): %s"
+             r.workload)
+        ~header:
+          [ "load"; "dispatch-queue"; "DAG wait"; "ready wait"; "execution"; "max drift" ]
+        (List.map
+           (fun row ->
+             [
+               Printf.sprintf "%.0f%%" (100.0 *. row.load_frac);
+               S.Table.fmt_ns row.span_dispatch_p99;
+               S.Table.fmt_ns row.span_dag_p99;
+               S.Table.fmt_ns row.span_ready_p99;
+               S.Table.fmt_ns row.span_execution_p99;
+               Printf.sprintf "%.1f%%" (100.0 *. row_drift row);
+             ])
+           r.rows);
       print_newline ())
     results
 
-let run ~mode = print (measure ~mode)
+let run ~mode =
+  let results = measure ~mode in
+  print results;
+  Printf.printf "span-vs-adhoc max drift across components: %.1f%% (budget 5%%)\n"
+    (100.0 *. max_drift results)

@@ -16,10 +16,25 @@ type row = {
   ready_wait_p99 : int;
   execution_p99 : int;
   total_p99 : int;
+  span_dispatch_p99 : int;
+  span_dag_p99 : int;
+  span_ready_p99 : int;
+  span_execution_p99 : int;
 }
+(** The [span_*] fields are the same four components re-derived from
+    [Doradd_obs] request timelines recorded during the run — the
+    cross-check that the tracer reproduces the figures' decomposition. *)
 
 type result = { workload : string; rows : row list }
 
 val measure : mode:Mode.t -> result list
+
+val row_drift : row -> float
+(** Largest relative deviation between a row's ad-hoc and span-derived
+    components (0 when within one histogram bucket). *)
+
+val max_drift : result list -> float
+(** [row_drift] maximised over every row of every result. *)
+
 val print : result list -> unit
 val run : mode:Mode.t -> unit

@@ -1,0 +1,123 @@
+(* Global registry of named runtime counters, high-water marks and
+   histograms.  Handles are created once at module-initialisation time by
+   the instrumented libraries (queue, core, sim); the hot-path update is
+   a single atomic op, and call sites guard it behind
+   [Atomic.get Trace.armed] so the registry costs nothing while
+   observability is off.  Like the trace log, the registry is global:
+   counters accumulate across every armed region until [reset]. *)
+
+type counter = { c_name : string; c_cell : int Atomic.t }
+type watermark = { w_name : string; w_cell : int Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_mu : Mutex.t;
+  h_hist : Doradd_stats.Histogram.t;
+}
+
+let mu = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let watermarks : (string, watermark) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let intern tbl name make =
+  locked (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some h -> h
+      | None ->
+          let h = make () in
+          Hashtbl.add tbl name h;
+          h)
+
+let counter name =
+  intern counters name (fun () -> { c_name = name; c_cell = Atomic.make 0 })
+
+let watermark name =
+  intern watermarks name (fun () -> { w_name = name; w_cell = Atomic.make 0 })
+
+let histogram name =
+  intern histograms name (fun () ->
+      {
+        h_name = name;
+        h_mu = Mutex.create ();
+        h_hist = Doradd_stats.Histogram.create ();
+      })
+
+let incr c = Atomic.incr c.c_cell
+let add c n = ignore (Atomic.fetch_and_add c.c_cell n)
+let value c = Atomic.get c.c_cell
+
+let observe w v =
+  let rec go () =
+    let cur = Atomic.get w.w_cell in
+    if v > cur && not (Atomic.compare_and_set w.w_cell cur v) then go ()
+  in
+  go ()
+
+let watermark_value w = Atomic.get w.w_cell
+
+(* Histogram.record is not thread-safe; recording is rare enough while
+   armed that a per-histogram mutex is fine. *)
+let record h v =
+  Mutex.lock h.h_mu;
+  Doradd_stats.Histogram.record h.h_hist v;
+  Mutex.unlock h.h_mu
+
+let with_hist h f =
+  Mutex.lock h.h_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock h.h_mu) (fun () -> f h.h_hist)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_cell 0) counters;
+      Hashtbl.iter (fun _ w -> Atomic.set w.w_cell 0) watermarks;
+      Hashtbl.iter
+        (fun _ h ->
+          Mutex.lock h.h_mu;
+          Doradd_stats.Histogram.clear h.h_hist;
+          Mutex.unlock h.h_mu)
+        histograms)
+
+let sorted_of_tbl tbl f =
+  Hashtbl.fold (fun _ v acc -> f v :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+type hist_snapshot = {
+  hs_name : string;
+  hs_count : int;
+  hs_mean : float;
+  hs_p50 : int;
+  hs_p99 : int;
+  hs_max : int;
+}
+
+let snapshot () =
+  locked (fun () ->
+      let cs = sorted_of_tbl counters (fun c -> (c.c_name, Atomic.get c.c_cell)) in
+      let ws =
+        sorted_of_tbl watermarks (fun w -> (w.w_name, Atomic.get w.w_cell))
+      in
+      let hs =
+        Hashtbl.fold
+          (fun _ h acc ->
+            let s =
+              with_hist h (fun hist ->
+                  let module H = Doradd_stats.Histogram in
+                  {
+                    hs_name = h.h_name;
+                    hs_count = H.count hist;
+                    hs_mean = H.mean hist;
+                    hs_p50 = H.percentile hist 50.0;
+                    hs_p99 = H.percentile hist 99.0;
+                    hs_max = H.max_value hist;
+                  })
+            in
+            s :: acc)
+          histograms []
+        |> List.sort (fun a b -> compare a.hs_name b.hs_name)
+      in
+      (cs, ws, hs))

@@ -1,0 +1,52 @@
+(** Named runtime counters, high-water marks and histograms.
+
+    Instrumented libraries create handles once at module-initialisation
+    time ([let c_push = Counters.counter "mpmc.push"]) and bump them from
+    hot paths only when [Atomic.get Trace.armed] — the registry costs one
+    atomic load per instrumentation point while observability is off.
+    Values accumulate across armed regions until {!reset}; exporters read
+    a consistent {!snapshot}. *)
+
+type counter
+type watermark
+type histogram
+
+val counter : string -> counter
+(** Find-or-create the monotonic counter registered under [name]. *)
+
+val watermark : string -> watermark
+(** Find-or-create a high-water mark (monotone max of observed values). *)
+
+val histogram : string -> histogram
+(** Find-or-create a value distribution backed by
+    {!Doradd_stats.Histogram} (mutex-protected; record only while armed). *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val observe : watermark -> int -> unit
+(** Raise the mark to [v] if [v] exceeds the current maximum. *)
+
+val watermark_value : watermark -> int
+
+val record : histogram -> int -> unit
+
+val with_hist : histogram -> (Doradd_stats.Histogram.t -> 'a) -> 'a
+(** Run [f] on the underlying histogram while holding its lock. *)
+
+val reset : unit -> unit
+(** Zero every counter and mark; clear every histogram. *)
+
+type hist_snapshot = {
+  hs_name : string;
+  hs_count : int;
+  hs_mean : float;
+  hs_p50 : int;
+  hs_p99 : int;
+  hs_max : int;
+}
+
+val snapshot :
+  unit -> (string * int) list * (string * int) list * hist_snapshot list
+(** [(counters, watermarks, histograms)], each sorted by name. *)

@@ -1,0 +1,150 @@
+(* Exporters over the trace log and counter registry:
+   - Chrome trace_event JSON (load in chrome://tracing or Perfetto),
+   - a human latency-breakdown table (Fig 8's decomposition from spans),
+   - a JSON metrics dump for bin/check.exe and the DST runner. *)
+
+module H = Doradd_stats.Histogram
+module Table = Doradd_stats.Table
+
+let us_of_ns ns = float_of_int ns /. 1000.0
+
+(* Chrome trace_event format: one complete ("X") event per latency
+   component of every span, timestamps in microseconds, laid out on the
+   thread that *finished* the segment.  "M" metadata events name the
+   process and threads so Perfetto renders sensible track labels. *)
+let chrome_trace ?events () =
+  let events = match events with Some e -> e | None -> Trace.events () in
+  let spans = Timeline.spans events in
+  let tids = Hashtbl.create 8 in
+  let trace_events = ref [] in
+  let emit e = trace_events := e :: !trace_events in
+  List.iter
+    (fun (span : Timeline.span) ->
+      List.iter
+        (fun (name, (start : Timeline.mark), (stop : Timeline.mark)) ->
+          (* Attribute the segment to the domain that recorded its closing
+             stage (e.g. "execute" lands on the worker that ran it). *)
+          let tid = stop.m_tid in
+          Hashtbl.replace tids tid ();
+          emit
+            (Json.Obj
+               [
+                 ("name", Json.Str name);
+                 ("cat", Json.Str "request");
+                 ("ph", Json.Str "X");
+                 ("ts", Json.Num (us_of_ns start.m_ts));
+                 ("dur", Json.Num (Float.max 0.001 (us_of_ns (stop.m_ts - start.m_ts))));
+                 ("pid", Json.Num 1.0);
+                 ("tid", Json.Num (float_of_int tid));
+                 ("args", Json.Obj [ ("seqno", Json.Num (float_of_int span.seqno)) ]);
+               ]))
+        (Timeline.components span))
+    spans;
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Num 1.0);
+        ("args", Json.Obj [ ("name", Json.Str "doradd") ]);
+      ]
+    :: Hashtbl.fold
+         (fun tid () acc ->
+           Json.Obj
+             [
+               ("name", Json.Str "thread_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.Num 1.0);
+               ("tid", Json.Num (float_of_int tid));
+               ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain %d" tid)) ]);
+             ]
+           :: acc)
+         tids []
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (meta @ List.rev !trace_events));
+      ("displayTimeUnit", Json.Str "ns");
+    ]
+
+let chrome_trace_string ?events () = Json.to_string (chrome_trace ?events ())
+
+let write_chrome_trace ~path ?events () =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_trace_string ?events ()))
+
+let breakdown_table ?events () =
+  let events = match events with Some e -> e | None -> Trace.events () in
+  let spans = Timeline.spans events in
+  let rows =
+    List.map
+      (fun (name, h) ->
+        [
+          name;
+          string_of_int (H.count h);
+          Table.fmt_ns (int_of_float (H.mean h));
+          Table.fmt_ns (H.percentile h 50.0);
+          Table.fmt_ns (H.percentile h 99.0);
+          Table.fmt_ns (H.max_value h);
+        ])
+      (Timeline.breakdown spans)
+  in
+  Table.render
+    ~title:
+      (Printf.sprintf "span latency breakdown (%d requests, Fig 8 decomposition)"
+         (List.length spans))
+    ~header:[ "component"; "count"; "mean"; "p50"; "p99"; "max" ]
+    rows
+
+let metrics_json ?events () =
+  let events = match events with Some e -> e | None -> Trace.events () in
+  let spans = Timeline.spans events in
+  let committed =
+    List.length (List.filter (fun (s : Timeline.span) -> s.commit <> None) spans)
+  in
+  let cs, ws, hs = Counters.snapshot () in
+  let num n = Json.Num (float_of_int n) in
+  Json.Obj
+    [
+      ( "spans",
+        Json.Obj
+          [
+            ("events", num (List.length events));
+            ("requests", num (List.length spans));
+            ("committed", num committed);
+          ] );
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, num v)) cs));
+      ("watermarks", Json.Obj (List.map (fun (k, v) -> (k, num v)) ws));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (s : Counters.hist_snapshot) ->
+               ( s.hs_name,
+                 Json.Obj
+                   [
+                     ("count", num s.hs_count);
+                     ("mean", Json.Num s.hs_mean);
+                     ("p50", num s.hs_p50);
+                     ("p99", num s.hs_p99);
+                     ("max", num s.hs_max);
+                   ] ))
+             hs) );
+      ( "breakdown",
+        Json.Obj
+          (List.map
+             (fun (name, h) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("count", num (H.count h));
+                     ("mean", Json.Num (H.mean h));
+                     ("p50", num (H.percentile h 50.0));
+                     ("p99", num (H.percentile h 99.0));
+                     ("max", num (H.max_value h));
+                   ] ))
+             (Timeline.breakdown spans)) );
+    ]
+
+let metrics_json_string ?events () = Json.to_string (metrics_json ?events ())

@@ -1,0 +1,28 @@
+(** Exporters over the trace log and counter registry.
+
+    Three output formats, all derivable from the same armed run:
+    {ul
+    {- {!chrome_trace}: Chrome [trace_event] JSON — load the file in
+       [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.  Each
+       request renders as a row of complete ("X") slices, one per latency
+       component, laid out on the domain that finished the segment.}
+    {- {!breakdown_table}: human-readable per-component latency table —
+       the span-derived version of the paper's Fig 8 decomposition.}
+    {- {!metrics_json}: counters, watermarks, histograms and the span
+       breakdown as a JSON document for [bin/check.exe] and the DST
+       runner.}}
+
+    All functions default to the current global {!Trace.events} log; pass
+    [?events] to export a saved snapshot instead. *)
+
+val chrome_trace : ?events:Trace.event list -> unit -> Json.t
+
+val chrome_trace_string : ?events:Trace.event list -> unit -> string
+
+val write_chrome_trace : path:string -> ?events:Trace.event list -> unit -> unit
+
+val breakdown_table : ?events:Trace.event list -> unit -> string
+
+val metrics_json : ?events:Trace.event list -> unit -> Json.t
+
+val metrics_json_string : ?events:Trace.event list -> unit -> string

@@ -1,0 +1,31 @@
+(** A minimal JSON value type, printer and parser.
+
+    Enough for the observability exporters to emit Chrome trace_event and
+    metrics documents — and for tests and [bin/check.exe] to validate
+    them structurally — without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact serialization.  Numbers that are integral print without a
+    decimal point; strings are escaped per RFC 8259. *)
+
+exception Parse_error of string
+
+val parse_exn : string -> t
+(** @raise Parse_error on malformed input (including trailing garbage). *)
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing key or non-object. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,141 @@
+(* Folds the flat trace-event log back into per-request spans and derives
+   the latency decomposition (Fig 8's dispatch / queue / execute split)
+   from adjacent stage crossings. *)
+
+type mark = { m_ts : int; m_tid : int }
+
+type span = {
+  seqno : int;
+  mutable rpc_enqueue : mark option;
+  mutable index : mark option;
+  mutable prefetch : mark option;
+  mutable spawn : mark option;
+  mutable runnable : mark option;
+  mutable exec_start : mark option;
+  mutable commit : mark option;
+}
+
+let empty_span seqno =
+  {
+    seqno;
+    rpc_enqueue = None;
+    index = None;
+    prefetch = None;
+    spawn = None;
+    runnable = None;
+    exec_start = None;
+    commit = None;
+  }
+
+let mark_of (e : Trace.event) = { m_ts = e.e_ts; m_tid = e.e_tid }
+
+let get span (stage : Trace.stage) =
+  match stage with
+  | Rpc_enqueue -> span.rpc_enqueue
+  | Index -> span.index
+  | Prefetch -> span.prefetch
+  | Spawn -> span.spawn
+  | Runnable -> span.runnable
+  | Exec_start -> span.exec_start
+  | Commit -> span.commit
+
+(* A yielded request re-enters the runnable set once per resumption, so
+   every stage keeps its first crossing — except Commit, which keeps the
+   last so a span covers the whole multi-step execution. *)
+let absorb span (e : Trace.event) =
+  let m = mark_of e in
+  match e.e_stage with
+  | Rpc_enqueue -> if span.rpc_enqueue = None then span.rpc_enqueue <- Some m
+  | Index -> if span.index = None then span.index <- Some m
+  | Prefetch -> if span.prefetch = None then span.prefetch <- Some m
+  | Spawn -> if span.spawn = None then span.spawn <- Some m
+  | Runnable -> if span.runnable = None then span.runnable <- Some m
+  | Exec_start -> if span.exec_start = None then span.exec_start <- Some m
+  | Commit -> span.commit <- Some m
+
+let spans events =
+  let tbl : (int, span) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (e : Trace.event) ->
+      let span =
+        match Hashtbl.find_opt tbl e.e_seqno with
+        | Some s -> s
+        | None ->
+            let s = empty_span e.e_seqno in
+            Hashtbl.add tbl e.e_seqno s;
+            s
+      in
+      absorb span e)
+    events;
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun a b -> compare a.seqno b.seqno)
+
+let gap span ~from_ ~to_ =
+  match (get span from_, get span to_) with
+  | Some a, Some b -> Some (b.m_ts - a.m_ts)
+  | _ -> None
+
+(* Segment names keyed by the stage that *ends* the segment. *)
+let component_name : Trace.stage -> string = function
+  | Trace.Rpc_enqueue -> "rpc-enqueue"
+  | Index -> "dispatch-wait"
+  | Prefetch -> "prefetch"
+  | Spawn -> "spawn"
+  | Runnable -> "dag-wait"
+  | Exec_start -> "ready-wait"
+  | Commit -> "execute"
+
+let component_names =
+  List.filter_map
+    (fun s -> if s = Trace.Rpc_enqueue then None else Some (component_name s))
+    Trace.stages
+
+let components span =
+  let present =
+    List.filter_map
+      (fun stage ->
+        match get span stage with Some m -> Some (stage, m) | None -> None)
+      Trace.stages
+  in
+  let rec pair = function
+    | (_, a) :: ((stage_b, b) :: _ as rest) ->
+        (component_name stage_b, a, b) :: pair rest
+    | _ -> []
+  in
+  pair present
+
+let total span =
+  match
+    List.filter_map (fun s -> get span s) Trace.stages
+  with
+  | [] -> None
+  | first :: _ as marks ->
+      let last = List.nth marks (List.length marks - 1) in
+      Some (last.m_ts - first.m_ts)
+
+let breakdown spans_list =
+  let module H = Doradd_stats.Histogram in
+  let tbl : (string, H.t) Hashtbl.t = Hashtbl.create 8 in
+  let hist name =
+    match Hashtbl.find_opt tbl name with
+    | Some h -> h
+    | None ->
+        let h = H.create () in
+        Hashtbl.add tbl name h;
+        h
+  in
+  List.iter
+    (fun span ->
+      List.iter
+        (fun (name, (a : mark), (b : mark)) -> H.record (hist name) (b.m_ts - a.m_ts))
+        (components span);
+      match total span with
+      | Some t -> H.record (hist "total") t
+      | None -> ())
+    spans_list;
+  List.filter_map
+    (fun name ->
+      match Hashtbl.find_opt tbl name with
+      | Some h when H.count h > 0 -> Some (name, h)
+      | _ -> None)
+    (component_names @ [ "total" ])

@@ -1,0 +1,48 @@
+(** Per-request span reconstruction from the flat trace-event log.
+
+    A {!span} collects the first crossing of each pipeline stage for one
+    request (and the {e last} Commit, so yielding multi-step requests span
+    their whole execution).  Adjacent present stages delimit named latency
+    components — the span-derived version of the paper's Fig 8
+    dispatch/queue/execute decomposition. *)
+
+type mark = { m_ts : int; m_tid : int }
+
+type span = {
+  seqno : int;
+  mutable rpc_enqueue : mark option;
+  mutable index : mark option;
+  mutable prefetch : mark option;
+  mutable spawn : mark option;
+  mutable runnable : mark option;
+  mutable exec_start : mark option;
+  mutable commit : mark option;
+}
+
+val spans : Trace.event list -> span list
+(** Group events by seqno into spans, sorted by seqno. *)
+
+val get : span -> Trace.stage -> mark option
+
+val gap : span -> from_:Trace.stage -> to_:Trace.stage -> int option
+(** Nanoseconds between two recorded stages ([None] if either missing). *)
+
+val component_name : Trace.stage -> string
+(** Name of the latency segment that {e ends} at the given stage, e.g.
+    [Runnable] ends the ["dag-wait"] segment. *)
+
+val component_names : string list
+(** All segment names in pipeline order (excludes the zero-length
+    rpc-enqueue origin). *)
+
+val components : span -> (string * mark * mark) list
+(** [(name, start_mark, end_mark)] for each adjacent pair of recorded
+    stages, in pipeline order.  Stages the workload never crossed (e.g. a
+    runtime-only trace has no index/prefetch) are bridged over. *)
+
+val total : span -> int option
+(** First recorded stage to last recorded stage, ns. *)
+
+val breakdown : span list -> (string * Doradd_stats.Histogram.t) list
+(** Per-component duration histograms over a set of spans, plus a
+    ["total"] histogram, in pipeline order; empty components omitted. *)

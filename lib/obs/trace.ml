@@ -1,0 +1,63 @@
+(* Per-request span tracing.  Disarmed by default: the only cost on any
+   instrumented hot path is one atomic load and a never-taken branch (the
+   same hook style as Doradd_core.Sanitizer).  When armed, every stage a
+   request passes through — rpc-enqueue, index, prefetch, spawn,
+   runnable, execute-start, commit — is appended to a global lock-free
+   event log, attributed to the request's log position (seqno) and the
+   recording domain.  Tracing is a diagnostic mode: contention on the log
+   is acceptable, losing events is not. *)
+
+type stage = Rpc_enqueue | Index | Prefetch | Spawn | Runnable | Exec_start | Commit
+
+type event = { e_seqno : int; e_stage : stage; e_ts : int; e_tid : int }
+
+let armed : bool Atomic.t = Atomic.make false
+
+let is_armed () = Atomic.get armed
+
+(* Wall-clock nanoseconds.  The clock is swappable so the simulator can
+   record virtual time and tests can record deterministic time; events
+   recorded through {record_at} bypass the clock entirely. *)
+let wall_clock () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let clock : (unit -> int) Atomic.t = Atomic.make wall_clock
+
+let set_clock f = Atomic.set clock (match f with Some f -> f | None -> wall_clock)
+
+let log : event list Atomic.t = Atomic.make []
+
+let push v =
+  let rec go () =
+    let cur = Atomic.get log in
+    if not (Atomic.compare_and_set log cur (v :: cur)) then go ()
+  in
+  go ()
+
+let record_at ~ts ?tid stage ~seqno =
+  let tid = match tid with Some t -> t | None -> (Domain.self () :> int) in
+  push { e_seqno = seqno; e_stage = stage; e_ts = ts; e_tid = tid }
+
+let record stage ~seqno = record_at ~ts:((Atomic.get clock) ()) stage ~seqno
+
+let arm () =
+  Atomic.set log [];
+  Atomic.set armed true
+
+let disarm () = Atomic.set armed false
+
+let clear () = Atomic.set log []
+
+let events () = List.rev (Atomic.get log)
+
+let event_count () = List.length (Atomic.get log)
+
+let stages = [ Rpc_enqueue; Index; Prefetch; Spawn; Runnable; Exec_start; Commit ]
+
+let stage_to_string = function
+  | Rpc_enqueue -> "rpc-enqueue"
+  | Index -> "index"
+  | Prefetch -> "prefetch"
+  | Spawn -> "spawn"
+  | Runnable -> "runnable"
+  | Exec_start -> "exec-start"
+  | Commit -> "commit"

@@ -1,0 +1,66 @@
+(** Per-request span tracing: the event half of [doradd_obs].
+
+    A traced request carries a timeline through the dispatch pipeline and
+    the runtime: rpc-enqueue → index → prefetch → spawn → runnable →
+    execute-start → commit.  Instrumentation points throughout
+    [doradd_queue], [doradd_core] and the simulator guard every recording
+    with {!armed} — exactly the disarmed-by-default hook style of
+    {!Doradd_core.Sanitizer} — so with tracing off the only cost on a hot
+    path is one atomic load and a never-taken branch.
+
+    The event log is global: trace one workload (one runtime / one
+    pipeline, seqnos starting at 0) per {!arm}/{!disarm} bracket, the same
+    discipline the sanitizer imposes.  When a {!Doradd_core.Pipeline}
+    feeds a runtime, pipeline-stage events are attributed by submission
+    index, which coincides with the runtime seqno exactly when the traced
+    runtime is fresh and fed only by that pipeline. *)
+
+type stage =
+  | Rpc_enqueue  (** request handed to the dispatcher's input queue *)
+  | Index  (** resolved against the index (pipeline stage) *)
+  | Prefetch  (** footprint cache-lines touched (pipeline stage) *)
+  | Spawn  (** linked into the dependency DAG by the Spawner *)
+  | Runnable  (** all dependencies resolved; entered the runnable set *)
+  | Exec_start  (** picked by a worker; procedure body starts *)
+  | Commit  (** procedure finished; dependents released *)
+
+type event = { e_seqno : int; e_stage : stage; e_ts : int; e_tid : int }
+(** One recorded stage crossing: request [e_seqno] reached [e_stage] at
+    [e_ts] (nanoseconds) on domain [e_tid]. *)
+
+val armed : bool Atomic.t
+(** The global instrumentation flag, read directly ([Atomic.get]) on hot
+    paths; flip it with {!arm}/{!disarm}. *)
+
+val is_armed : unit -> bool
+
+val arm : unit -> unit
+(** Clear the event log and enable recording. *)
+
+val disarm : unit -> unit
+(** Stop recording (the log is kept until {!clear} or the next {!arm}). *)
+
+val clear : unit -> unit
+(** Drop all recorded events. *)
+
+val record : stage -> seqno:int -> unit
+(** Append one event stamped with the current {!set_clock} time and the
+    calling domain's id.  Only call while {!armed} is set. *)
+
+val record_at : ts:int -> ?tid:int -> stage -> seqno:int -> unit
+(** {!record} with an explicit timestamp (and optionally thread id) — the
+    simulator's entry point for virtual-time spans. *)
+
+val set_clock : (unit -> int) option -> unit
+(** Override the nanosecond clock used by {!record} ([None] restores the
+    wall clock).  Swap it for deterministic tests or simulated time. *)
+
+val events : unit -> event list
+(** All recorded events, oldest first. *)
+
+val event_count : unit -> int
+
+val stages : stage list
+(** Every stage, in canonical pipeline order. *)
+
+val stage_to_string : stage -> string

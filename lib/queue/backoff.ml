@@ -1,3 +1,8 @@
+module Obs = Doradd_obs
+
+(* Observability: total backoff rounds across all queues (armed-guarded). *)
+let c_backoff = Obs.Counters.counter "backoff.rounds"
+
 type t = { min_wait : int; max_wait : int; mutable wait : int }
 
 let create ?(min_wait = 1) ?(max_wait = 1024) () =
@@ -5,6 +10,7 @@ let create ?(min_wait = 1) ?(max_wait = 1024) () =
   { min_wait; max_wait; wait = min_wait }
 
 let once t =
+  if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_backoff;
   for _ = 1 to t.wait do
     Domain.cpu_relax ()
   done;

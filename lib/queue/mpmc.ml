@@ -5,6 +5,15 @@
    Producers race on [tail] tickets, consumers on [head] tickets; the slot
    sequence numbers make each hand-off a two-step publish without locks. *)
 
+module Obs = Doradd_obs
+
+(* Observability counters (armed-guarded: one atomic load when off). *)
+let c_push = Obs.Counters.counter "mpmc.push"
+let c_push_full = Obs.Counters.counter "mpmc.push_full"
+let c_pop = Obs.Counters.counter "mpmc.pop"
+let c_pop_empty = Obs.Counters.counter "mpmc.pop_empty"
+let w_depth = Obs.Counters.watermark "mpmc.depth_hwm"
+
 type 'a slot = { seq : int Atomic.t; mutable value : 'a option }
 
 type 'a t = {
@@ -76,7 +85,15 @@ let try_push t v =
     else if diff < 0 then false (* slot still holds the previous lap: full *)
     else attempt () (* another producer advanced tail; retry *)
   in
-  attempt ()
+  let ok = attempt () in
+  if Atomic.get Obs.Trace.armed then begin
+    if ok then begin
+      Obs.Counters.incr c_push;
+      Obs.Counters.observe w_depth (Atomic.get t.tail - Atomic.get t.head)
+    end
+    else Obs.Counters.incr c_push_full
+  end;
+  ok
 
 let push t v =
   let b = Backoff.create () in
@@ -103,6 +120,9 @@ let try_pop t =
     else if diff < 0 then None (* slot not yet filled: empty *)
     else attempt ()
   in
-  attempt ()
+  let r = attempt () in
+  if Atomic.get Obs.Trace.armed then
+    Obs.Counters.incr (match r with None -> c_pop_empty | Some _ -> c_pop);
+  r
 
 let length t = Atomic.get t.tail - Atomic.get t.head

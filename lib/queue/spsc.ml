@@ -2,6 +2,15 @@
    [head]; each reads the other's index through an Atomic.  Slots hold
    ['a option] so the GC never sees stale pointers. *)
 
+module Obs = Doradd_obs
+
+(* Observability counters (armed-guarded: one atomic load when off). *)
+let c_push = Obs.Counters.counter "spsc.push"
+let c_push_full = Obs.Counters.counter "spsc.push_full"
+let c_pop = Obs.Counters.counter "spsc.pop"
+let c_pop_empty = Obs.Counters.counter "spsc.pop_empty"
+let w_depth = Obs.Counters.watermark "spsc.depth_hwm"
+
 type 'a t = {
   slots : 'a option array;
   mask : int;
@@ -43,11 +52,18 @@ let try_push t v =
   else
   let tail = Atomic.get t.tail in
   let head = Atomic.get t.head in
-  if tail - head > t.mask then false
+  if tail - head > t.mask then begin
+    if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_push_full;
+    false
+  end
   else begin
     t.slots.(tail land t.mask) <- Some v;
     (* The Atomic.set publishes the slot write (release). *)
     Atomic.set t.tail (tail + 1);
+    if Atomic.get Obs.Trace.armed then begin
+      Obs.Counters.incr c_push;
+      Obs.Counters.observe w_depth (tail + 1 - head)
+    end;
     true
   end
 
@@ -62,12 +78,16 @@ let try_pop t =
   else
   let head = Atomic.get t.head in
   let tail = Atomic.get t.tail in
-  if head = tail then None
+  if head = tail then begin
+    if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop_empty;
+    None
+  end
   else begin
     let idx = head land t.mask in
     let v = t.slots.(idx) in
     t.slots.(idx) <- None;
     Atomic.set t.head (head + 1);
+    if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop;
     v
   end
 

@@ -34,10 +34,13 @@ let replay_loop channel backup ~footprint ~execute ~applied =
   in
   loop ()
 
-let create ?workers ?(channel_capacity = 4096) ~primary_footprint ~primary_execute
-    ~backup_footprint ~backup_execute () =
-  let primary = Core.Runtime.create ?workers () in
-  let backup = Core.Runtime.create ?workers () in
+let create ?workers ?queue_capacity ?fuzz ?(channel_capacity = 4096) ~primary_footprint
+    ~primary_execute ~backup_footprint ~backup_execute () =
+  (* Both replicas share the fuzz plan: a perturbation that breaks
+     convergence on either side must be caught, and determinism means the
+     perturbed schedules still converge. *)
+  let primary = Core.Runtime.create ?workers ?queue_capacity ?fuzz () in
+  let backup = Core.Runtime.create ?workers ?queue_capacity ?fuzz () in
   let channel = Mpmc.create ~capacity:channel_capacity in
   let backup_applied = Atomic.make 0 in
   let replay_domain =

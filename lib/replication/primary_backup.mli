@@ -19,6 +19,8 @@ type 'req t
 
 val create :
   ?workers:int ->
+  ?queue_capacity:int ->
+  ?fuzz:Doradd_core.Runtime.fuzz ->
   ?channel_capacity:int ->
   primary_footprint:('req -> Doradd_core.Footprint.t) ->
   primary_execute:('req -> unit) ->
@@ -26,7 +28,10 @@ val create :
   backup_execute:('req -> unit) ->
   unit ->
   'req t
-(** Start both replicas' worker pools and the backup's replay domain. *)
+(** Start both replicas' worker pools and the backup's replay domain.
+    [queue_capacity] and [fuzz] are forwarded to {e both} replicas'
+    runtimes — the DST hook: replicas must converge under any legal
+    (perturbed) schedule. *)
 
 val submit : 'req t -> 'req -> unit
 (** Sequence one request: append to the replicated log and schedule it on

@@ -2,6 +2,10 @@
    insertion counter so simultaneous events fire in scheduling order,
    keeping runs bit-for-bit deterministic. *)
 
+(* Observability (armed-guarded): event volume and heap pressure. *)
+let c_events = Doradd_obs.Counters.counter "sim.events"
+let w_heap = Doradd_obs.Counters.watermark "sim.heap_hwm"
+
 type event = { time : int; seq : int; action : unit -> unit }
 
 type t = {
@@ -88,6 +92,10 @@ let run ?until t =
   while !continue && t.size > 0 do
     if t.heap.(0).time > horizon then continue := false
     else begin
+      if Atomic.get Doradd_obs.Trace.armed then begin
+        Doradd_obs.Counters.incr c_events;
+        Doradd_obs.Counters.observe w_heap t.size
+      end;
       let ev = pop t in
       t.clock <- ev.time;
       ev.action ()

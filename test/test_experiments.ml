@@ -209,7 +209,11 @@ let test_breakdown_shapes () =
       checkb "components below total" true
         (row.E.Breakdown.dag_wait_p99 <= row.E.Breakdown.total_p99
         && row.E.Breakdown.execution_p99 <= row.E.Breakdown.total_p99))
-    (unc.E.Breakdown.rows @ cont.E.Breakdown.rows)
+    (unc.E.Breakdown.rows @ cont.E.Breakdown.rows);
+  (* acceptance gate: the span-derived decomposition (doradd_obs tracer)
+     must reproduce the ad-hoc one within 5% on every component *)
+  let drift = E.Breakdown.max_drift results in
+  checkb (Printf.sprintf "span-vs-adhoc drift %.3f within 5%%" drift) true (drift <= 0.05)
 
 let test_ablations_shapes () =
   let r = E.Ablations.measure ~mode in

@@ -1,0 +1,347 @@
+(* Tests for doradd_obs: the disarmed-by-default span tracer, timeline
+   reconstruction, the JSON codec, and the exporters — including the
+   acceptance check that a traced DST replay produces a structurally
+   valid Chrome trace_event document. *)
+
+module Obs = Doradd_obs
+module Trace = Obs.Trace
+module Timeline = Obs.Timeline
+module Json = Obs.Json
+module Core = Doradd_core
+module Rng = Doradd_stats.Rng
+module Db = Doradd_db
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* Small real-runtime workload (same shape as the DST counters case). *)
+let run_counters ~n ~workers ~seed =
+  let n_cells = 32 in
+  let rng = Rng.create seed in
+  let log =
+    Array.init n (fun id ->
+        (id, Array.init (1 + Rng.int rng 3) (fun _ -> Rng.int rng n_cells)))
+  in
+  let cells = Array.init n_cells (fun _ -> Core.Resource.create 0) in
+  Core.Runtime.run_log ~workers
+    (fun (_, ks) ->
+      Core.Footprint.of_slots
+        (Array.to_list (Array.map (fun k -> Core.Resource.slot cells.(k)) ks)))
+    (fun (id, ks) ->
+      Array.iter (fun k -> Core.Resource.update cells.(k) (fun v -> (v * 31) + id)) ks)
+    log
+
+let kv_txns ~n ~n_keys ~seed =
+  let rng = Rng.create seed in
+  Array.init n (fun id ->
+      let ops =
+        Array.init 4 (fun _ ->
+            {
+              Db.Kv.key = Rng.int rng n_keys;
+              kind = (if Rng.bool rng then Db.Kv.Read else Db.Kv.Update);
+            })
+      in
+      { Db.Kv.id; ops })
+
+(* ---- disarmed path: observability off records nothing --------------- *)
+
+let test_disarmed_records_nothing () =
+  Obs.Counters.reset ();
+  Trace.clear ();
+  checkb "starts disarmed" false (Trace.is_armed ());
+  run_counters ~n:64 ~workers:2 ~seed:7;
+  checki "no events recorded" 0 (Trace.event_count ());
+  let counters, watermarks, hists = Obs.Counters.snapshot () in
+  List.iter (fun (name, v) -> checki ("counter zero: " ^ name) 0 v) counters;
+  List.iter (fun (name, v) -> checki ("watermark zero: " ^ name) 0 v) watermarks;
+  List.iter (fun h -> checki ("histogram empty: " ^ h.Obs.Counters.hs_name) 0 h.hs_count) hists
+
+(* ---- armed runtime run: spans for every request --------------------- *)
+
+let stage_ts span stage = Option.map (fun m -> m.Timeline.m_ts) (Timeline.get span stage)
+
+let check_monotone span =
+  let tss = List.filter_map (stage_ts span) Trace.stages in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  checkb (Printf.sprintf "span %d stages time-ordered" span.Timeline.seqno) true (mono tss)
+
+let test_armed_runtime_spans () =
+  let n = 50 in
+  Obs.Counters.reset ();
+  Trace.arm ();
+  run_counters ~n ~workers:2 ~seed:11;
+  Trace.disarm ();
+  let spans = Timeline.spans (Trace.events ()) in
+  Trace.clear ();
+  checki "one span per request" n (List.length spans);
+  let committed =
+    List.filter (fun (s : Timeline.span) -> s.commit <> None) spans
+  in
+  checki "every span committed" n (List.length committed);
+  List.iter
+    (fun (s : Timeline.span) ->
+      checkb (Printf.sprintf "span %d has exec_start" s.seqno) true (s.exec_start <> None);
+      check_monotone s;
+      checkb
+        (Printf.sprintf "span %d total non-negative" s.seqno)
+        true
+        (match Timeline.total s with Some t -> t >= 0 | None -> false))
+    spans;
+  (* counters moved while armed *)
+  let pops = Obs.Counters.(value (counter "runnable_set.pop_local")) in
+  let steals = Obs.Counters.(value (counter "runnable_set.pop_steal")) in
+  checkb "runnable-set pops recorded" true (pops + steals >= n)
+
+(* ---- armed pipeline run: the full 7-stage timeline ------------------ *)
+
+let test_pipeline_spans_full_timeline () =
+  let n = 60 and n_keys = 64 in
+  let s = Db.Store.create () in
+  Db.Store.populate s ~n:n_keys;
+  Obs.Counters.reset ();
+  Trace.arm ();
+  ignore
+    (Db.Kv_pipeline.run_pipelined ~workers:2 ~stages:Core.Pipeline.Four_core s
+       (kv_txns ~n ~n_keys ~seed:13));
+  Trace.disarm ();
+  let spans = Timeline.spans (Trace.events ()) in
+  Trace.clear ();
+  checki "one span per request" n (List.length spans);
+  List.iter
+    (fun (sp : Timeline.span) ->
+      List.iter
+        (fun stage ->
+          checkb
+            (Printf.sprintf "span %d crossed %s" sp.seqno (Trace.stage_to_string stage))
+            true
+            (Timeline.get sp stage <> None))
+        Trace.stages;
+      check_monotone sp)
+    spans;
+  (* with all stages present, the components are exactly the canonical list *)
+  match spans with
+  | sp :: _ ->
+    Alcotest.check (Alcotest.list Alcotest.string) "component names"
+      Timeline.component_names
+      (List.map (fun (name, _, _) -> name) (Timeline.components sp))
+  | [] -> Alcotest.fail "no spans"
+
+(* ---- timeline arithmetic on synthetic events ------------------------ *)
+
+let record ~ts ?(tid = 7) stage ~seqno = Trace.record_at ~ts ~tid stage ~seqno
+
+let test_timeline_math () =
+  Trace.arm ();
+  record ~ts:100 Trace.Rpc_enqueue ~seqno:0;
+  record ~ts:250 Trace.Index ~seqno:0;
+  record ~ts:400 Trace.Prefetch ~seqno:0;
+  record ~ts:600 Trace.Spawn ~seqno:0;
+  record ~ts:900 Trace.Runnable ~seqno:0;
+  record ~ts:1000 Trace.Exec_start ~seqno:0;
+  record ~ts:1500 Trace.Commit ~seqno:0;
+  Trace.disarm ();
+  let spans = Timeline.spans (Trace.events ()) in
+  Trace.clear ();
+  checki "one span" 1 (List.length spans);
+  let sp = List.hd spans in
+  let gap from_ to_ = Timeline.gap sp ~from_ ~to_ in
+  Alcotest.check (Alcotest.option Alcotest.int) "dispatch-wait" (Some 150)
+    (gap Trace.Rpc_enqueue Trace.Index);
+  Alcotest.check (Alcotest.option Alcotest.int) "dag-wait" (Some 300)
+    (gap Trace.Spawn Trace.Runnable);
+  Alcotest.check (Alcotest.option Alcotest.int) "execute" (Some 500)
+    (gap Trace.Exec_start Trace.Commit);
+  Alcotest.check (Alcotest.option Alcotest.int) "total" (Some 1400) (Timeline.total sp);
+  let comps = Timeline.components sp in
+  checki "six components" 6 (List.length comps);
+  List.iter
+    (fun (name, (a : Timeline.mark), (b : Timeline.mark)) ->
+      checkb (name ^ " positive") true (b.m_ts > a.m_ts);
+      checki (name ^ " tid") 7 b.m_tid)
+    comps;
+  let bd = Timeline.breakdown spans in
+  checkb "breakdown has total" true (List.mem_assoc "total" bd);
+  checki "total count" 1 Doradd_stats.Histogram.(count (List.assoc "total" bd))
+
+let test_timeline_bridges_missing_stages () =
+  (* a runtime-only trace has no rpc/index/prefetch marks: adjacent
+     recorded stages still pair up, named by the segment they end *)
+  Trace.arm ();
+  record ~ts:10 Trace.Spawn ~seqno:3;
+  record ~ts:30 Trace.Exec_start ~seqno:3;
+  record ~ts:50 Trace.Commit ~seqno:3;
+  Trace.disarm ();
+  let sp = List.hd (Timeline.spans (Trace.events ())) in
+  Trace.clear ();
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "bridged components"
+    [ ("ready-wait", 20); ("execute", 20) ]
+    (List.map
+       (fun (name, (a : Timeline.mark), (b : Timeline.mark)) -> (name, b.m_ts - a.m_ts))
+       (Timeline.components sp))
+
+let test_timeline_first_wins_except_commit () =
+  Trace.arm ();
+  record ~ts:100 Trace.Exec_start ~seqno:0;
+  record ~ts:140 Trace.Exec_start ~seqno:0;
+  (* a yielding request commits once per step: the span must keep the last *)
+  record ~ts:200 Trace.Commit ~seqno:0;
+  record ~ts:900 Trace.Commit ~seqno:0;
+  Trace.disarm ();
+  let sp = List.hd (Timeline.spans (Trace.events ())) in
+  Trace.clear ();
+  Alcotest.check (Alcotest.option Alcotest.int) "exec_start first-wins" (Some 100)
+    (stage_ts sp Trace.Exec_start);
+  Alcotest.check (Alcotest.option Alcotest.int) "commit last-wins" (Some 900)
+    (stage_ts sp Trace.Commit)
+
+(* ---- JSON codec ----------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd");
+        ("n", Json.Num 42.);
+        ("f", Json.Num 1.5);
+        ("neg", Json.Num (-17.));
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("a", Json.Arr [ Json.Num 1.; Json.Str "x"; Json.Arr []; Json.Obj [] ]);
+      ]
+  in
+  checkb "roundtrip" true (Json.parse_exn (Json.to_string doc) = doc);
+  checkb "integral prints bare" true
+    (not (String.contains (Json.to_string (Json.Num 42.)) '.'));
+  List.iter
+    (fun bad ->
+      checkb ("rejects " ^ bad) true
+        (match Json.parse bad with Ok _ -> false | Error _ -> true))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+(* ---- exporters ------------------------------------------------------ *)
+
+let synthetic_events () =
+  Trace.arm ();
+  for seqno = 0 to 4 do
+    let base = 1000 * seqno in
+    record ~ts:base Trace.Spawn ~seqno;
+    record ~ts:(base + 200) Trace.Runnable ~seqno;
+    record ~ts:(base + 300) Trace.Exec_start ~seqno;
+    record ~ts:(base + 700) Trace.Commit ~seqno
+  done;
+  Trace.disarm ();
+  let evs = Trace.events () in
+  Trace.clear ();
+  evs
+
+let test_chrome_trace_structure () =
+  let events = synthetic_events () in
+  let doc = Json.parse_exn (Obs.Export.chrome_trace_string ~events ()) in
+  let trace_events =
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "traceEvents missing"
+  in
+  checkb "has events" true (trace_events <> []);
+  let field name ev = Json.member name ev in
+  let xs =
+    List.filter
+      (fun ev -> Option.bind (field "ph" ev) Json.to_str = Some "X")
+      trace_events
+  in
+  (* 3 components x 5 requests *)
+  checki "complete events" 15 (List.length xs);
+  List.iter
+    (fun ev ->
+      checkb "name is string" true (Option.bind (field "name" ev) Json.to_str <> None);
+      List.iter
+        (fun k ->
+          checkb (k ^ " is number") true (Option.bind (field k ev) Json.to_float <> None))
+        [ "ts"; "dur"; "pid"; "tid" ])
+    xs;
+  checkb "has metadata events" true
+    (List.exists
+       (fun ev -> Option.bind (field "ph" ev) Json.to_str = Some "M")
+       trace_events)
+
+let test_metrics_json_structure () =
+  let events = synthetic_events () in
+  Obs.Counters.reset ();
+  (* populate the registry so the dump has non-trivial content *)
+  Trace.arm ();
+  run_counters ~n:32 ~workers:2 ~seed:3;
+  Trace.disarm ();
+  Trace.clear ();
+  let doc = Json.parse_exn (Obs.Export.metrics_json_string ~events ()) in
+  let committed =
+    Option.bind (Json.member "spans" doc) (fun s ->
+        Option.bind (Json.member "committed" s) Json.to_float)
+  in
+  Alcotest.check (Alcotest.option (Alcotest.float 0.)) "committed spans" (Some 5.)
+    committed;
+  (match Json.member "counters" doc with
+  | Some (Json.Obj fields) ->
+    checkb "counters non-empty" true (fields <> []);
+    checkb "runnable-set pops counted" true
+      (match List.assoc_opt "runnable_set.pop_local" fields with
+      | Some (Json.Num _) -> true
+      | _ -> List.mem_assoc "runnable_set.pop_steal" fields)
+  | _ -> Alcotest.fail "counters object missing");
+  checkb "breakdown present" true (Json.member "breakdown" doc <> None)
+
+(* ---- acceptance: traced DST replay is Perfetto-loadable ------------- *)
+
+let test_dst_replay_trace_artifact () =
+  let path = Filename.temp_file "doradd-dst-trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let r =
+        Doradd_dst.Runner.replay ~case:"counters" ~n:64 ~trace_path:path ~seed:1 ()
+      in
+      checkb "replay clean" true (Doradd_dst.Runner.seed_ok r);
+      Alcotest.check (Alcotest.option Alcotest.string) "trace_file reported" (Some path)
+        r.trace_file;
+      let doc = Json.parse_exn (In_channel.with_open_text path In_channel.input_all) in
+      let trace_events =
+        match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+        | Some l -> l
+        | None -> Alcotest.fail "traceEvents missing"
+      in
+      checkb "trace has slices" true
+        (List.exists
+           (fun ev -> Option.bind (Json.member "ph" ev) Json.to_str = Some "X")
+           trace_events);
+      (* the metrics dump rides along under a key Perfetto ignores *)
+      checkb "doraddMetrics embedded" true (Json.member "doraddMetrics" doc <> None))
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "obs"
+    [
+      ( "armed/disarmed",
+        [
+          tc "disarmed records nothing" `Quick test_disarmed_records_nothing;
+          tc "armed runtime spans" `Quick test_armed_runtime_spans;
+          tc "pipeline full timeline" `Slow test_pipeline_spans_full_timeline;
+        ] );
+      ( "timeline",
+        [
+          tc "component arithmetic" `Quick test_timeline_math;
+          tc "bridges missing stages" `Quick test_timeline_bridges_missing_stages;
+          tc "first-wins except commit" `Quick test_timeline_first_wins_except_commit;
+        ] );
+      ( "json",
+        [ tc "roundtrip and errors" `Quick test_json_roundtrip ] );
+      ( "export",
+        [
+          tc "chrome trace structure" `Quick test_chrome_trace_structure;
+          tc "metrics json structure" `Quick test_metrics_json_structure;
+          tc "dst replay trace artifact" `Slow test_dst_replay_trace_artifact;
+        ] );
+    ]

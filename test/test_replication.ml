@@ -175,6 +175,61 @@ let test_crash_recovery_via_log_replay () =
     (Seq.log s);
   checki "recovered state = pre-crash state" pre_crash (Db.Kv.state_digest recovered ~keys)
 
+(* ------------------------------------------------------------------ *)
+(* Replication under DST perturbation                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Dst = Doradd_dst
+
+(* Drive Primary_backup directly under seeded perturbation plans: both
+   replicas get the same fuzz hooks, and determinism must still make
+   them converge on every plan. *)
+let test_pb_converges_under_fuzz () =
+  List.iter
+    (fun seed ->
+      let plan = Dst.Plan.derive ~seed in
+      let n_keys = 64 in
+      let primary, backup = mk_kv_replicas ~n_keys in
+      let n = 400 in
+      let txns = mk_txns ~seed ~n ~n_keys in
+      let p_res = Array.make n 0 and b_res = Array.make n 0 in
+      Dst.Harness.with_plan ~seed plan (fun fuzz ->
+          let t =
+            Pb.create ~workers:plan.workers ~queue_capacity:plan.queue_capacity ?fuzz
+              ~primary_footprint:(Db.Kv.footprint primary)
+              ~primary_execute:(Db.Kv.execute primary ~results:p_res)
+              ~backup_footprint:(Db.Kv.footprint backup)
+              ~backup_execute:(Db.Kv.execute backup ~results:b_res)
+              ()
+          in
+          Array.iter (Pb.submit t) txns;
+          Pb.shutdown t;
+          checki
+            (Printf.sprintf "seed %d: backup applied all" seed)
+            n (Pb.backup_applied t));
+      let keys = Array.init n_keys Fun.id in
+      checki
+        (Printf.sprintf "seed %d: replicas equal under %s" seed (Dst.Plan.to_string plan))
+        (Db.Kv.state_digest primary ~keys)
+        (Db.Kv.state_digest backup ~keys);
+      checkb (Printf.sprintf "seed %d: read results equal" seed) true (p_res = b_res))
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+(* The full DST stack (serial-equivalence oracle + replica-divergence
+   invariant) over the registered replication case. *)
+let test_replication_case_seed_sweep () =
+  List.iter
+    (fun seed ->
+      let r = Dst.Runner.replay ~case:"replication" ~n:96 ~seed () in
+      checkb
+        (Printf.sprintf "replication case clean under seed %d" seed)
+        true (Dst.Runner.seed_ok r))
+    [ 0; 3; 11; 17; 23 ]
+
+let test_replication_case_registered () =
+  checkb "replication in Cases.all" true (List.mem "replication" Dst.Cases.names);
+  checkb "replication findable" true (Dst.Cases.find "replication" <> None)
+
 let test_empty_shutdown () =
   let primary, backup = mk_kv_replicas ~n_keys:1 in
   let t =
@@ -205,5 +260,11 @@ let () =
           tc "orders concurrent clients" `Slow test_sequencer_orders_concurrent_clients;
           tc "log matches delivery" `Quick test_sequencer_log_matches_delivery;
           tc "crash recovery via replay" `Slow test_crash_recovery_via_log_replay;
+        ] );
+      ( "dst",
+        [
+          tc "converges under perturbation plans" `Slow test_pb_converges_under_fuzz;
+          tc "replication case seed sweep" `Slow test_replication_case_seed_sweep;
+          tc "replication case registered" `Quick test_replication_case_registered;
         ] );
     ]

@@ -287,6 +287,60 @@ let prop_merge_count =
       Histogram.merge_into ~dst:a b;
       Histogram.count a = List.length xs + List.length ys)
 
+(* qcheck: merge is associative on everything observable *)
+let prop_merge_associative =
+  let build values =
+    let h = Histogram.create () in
+    List.iter (Histogram.record h) values;
+    h
+  in
+  QCheck.Test.make ~name:"histogram merge associative" ~count:100
+    QCheck.(
+      triple
+        (list (int_range 0 1_000_000))
+        (list (int_range 0 1_000_000))
+        (list (int_range 0 1_000_000)))
+    (fun (xs, ys, zs) ->
+      (* (a <- b) <- c versus a' <- (b' <- c') over fresh histograms *)
+      let left = build xs in
+      Histogram.merge_into ~dst:left (build ys);
+      Histogram.merge_into ~dst:left (build zs);
+      let bc = build ys in
+      Histogram.merge_into ~dst:bc (build zs);
+      let right = build xs in
+      Histogram.merge_into ~dst:right bc;
+      Histogram.count left = Histogram.count right
+      && Histogram.min_value left = Histogram.min_value right
+      && Histogram.max_value left = Histogram.max_value right
+      && Float.abs (Histogram.mean left -. Histogram.mean right) <= 1e-9
+      && List.for_all
+           (fun p -> Histogram.percentile left p = Histogram.percentile right p)
+           [ 1.0; 25.0; 50.0; 90.0; 99.0; 99.9; 100.0 ])
+
+(* qcheck: histogram and summary agree on the same sample stream, within
+   the histogram's bucket precision (~1/sub_bucket_count relative; small
+   values land in exact unit-width buckets, hence the absolute slack) *)
+let prop_summary_histogram_agree =
+  let agree a b =
+    Float.abs (a -. b) <= Float.max 2.0 (0.02 *. Float.max (Float.abs a) (Float.abs b))
+  in
+  QCheck.Test.make ~name:"summary and histogram agree" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 300) (int_range 0 2_000_000))
+    (fun values ->
+      let h = Histogram.create () and s = Summary.create () in
+      List.iter
+        (fun v ->
+          Histogram.record h v;
+          Summary.add s (float_of_int v))
+        values;
+      Histogram.count h = Summary.count s
+      && agree (Histogram.mean h) (Summary.mean s)
+      (* histogram min/max are bucket bounds bracketing the true extremes *)
+      && float_of_int (Histogram.min_value h) <= Summary.min_value s
+      && agree (float_of_int (Histogram.min_value h)) (Summary.min_value s)
+      && float_of_int (Histogram.max_value h) >= Summary.max_value s
+      && agree (float_of_int (Histogram.max_value h)) (Summary.max_value s))
+
 (* ------------------------------------------------------------------ *)
 (* Summary                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -412,6 +466,7 @@ let () =
           tc "large values" `Quick test_histogram_large_values;
           QCheck_alcotest.to_alcotest prop_percentile_monotone;
           QCheck_alcotest.to_alcotest prop_merge_count;
+          QCheck_alcotest.to_alcotest prop_merge_associative;
         ] );
       ( "summary",
         [
@@ -419,6 +474,7 @@ let () =
           tc "empty" `Quick test_summary_empty;
           tc "merge" `Quick test_summary_merge;
           QCheck_alcotest.to_alcotest prop_summary_matches_direct;
+          QCheck_alcotest.to_alcotest prop_summary_histogram_agree;
         ] );
       ( "table",
         [

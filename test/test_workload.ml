@@ -311,6 +311,40 @@ let test_trace_bad_file () =
     | exception Failure _ -> true
     | _ -> false)
 
+(* Every workload kind bin/trace_tool.exe can generate: save -> load ->
+   save again must be byte-identical (the on-disk format is canonical, so
+   a re-serialized log is the same file). *)
+let trace_tool_kinds =
+  let rng seed = Rng.create seed in
+  [
+    ("ycsb-no", fun () -> W.Ycsb.to_sim (W.Ycsb.generate (W.Ycsb.config W.Ycsb.No_contention) (rng 51) ~n:400));
+    ("ycsb-mod", fun () -> W.Ycsb.to_sim (W.Ycsb.generate (W.Ycsb.config W.Ycsb.Mod_contention) (rng 52) ~n:400));
+    ("ycsb-high", fun () -> W.Ycsb.to_sim (W.Ycsb.generate (W.Ycsb.config W.Ycsb.High_contention) (rng 53) ~n:400));
+    ("tpcc", fun () -> W.Tpcc.to_sim ~split:false (W.Tpcc.generate ~warehouses:2 (rng 54) ~n:300));
+    ("tpcc-split", fun () -> W.Tpcc.to_sim ~split:true (W.Tpcc.generate ~warehouses:2 (rng 55) ~n:300));
+    ("locks", fun () -> W.Synthetic.locks ~theta:0.99 ~service:5_000 (rng 56) ~n:400);
+  ]
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_trace_reserialize_byte_identical () =
+  List.iter
+    (fun (kind, generate) ->
+      let log = generate () in
+      let first = tmpfile () and second = tmpfile () in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove first;
+          Sys.remove second)
+        (fun () ->
+          W.Trace.save ~path:first log;
+          let back = W.Trace.load ~path:first in
+          checkb (kind ^ ": values survive") true (back = log);
+          W.Trace.save ~path:second back;
+          checkb (kind ^ ": re-serialization byte-identical") true
+            (read_file first = read_file second)))
+    trace_tool_kinds
+
 let test_trace_describe () =
   let log = W.Synthetic.locks ~service:5_000 (Rng.create 44) ~n:50 in
   let d = W.Trace.describe log in
@@ -355,6 +389,7 @@ let () =
           tc "roundtrip ycsb" `Quick test_trace_roundtrip_ycsb;
           tc "roundtrip split tpcc" `Quick test_trace_roundtrip_split_tpcc;
           tc "preserves arrivals" `Quick test_trace_preserves_arrivals;
+          tc "re-serialize byte-identical (all kinds)" `Quick test_trace_reserialize_byte_identical;
           tc "bad file" `Quick test_trace_bad_file;
           tc "describe" `Quick test_trace_describe;
         ] );
