@@ -121,12 +121,32 @@ let check_ledger ~seed ~n =
   in
   (serial (), List.map parallel worker_counts)
 
+let check_chain ~seed ~n =
+  (* worst case for the scheduler: one hot cell makes the whole log a
+     single dependency chain, and capacity-2 queues keep every worker
+     re-push on the overflow/backpressure path (the node pool recycles at
+     full tilt).  The non-commutative op makes any ordering slip visible
+     in the digest. *)
+  let salt = Rng.int (Rng.create seed) 0x3fff_ffff in
+  let log = Array.init n (fun i -> salt + i) in
+  let serial () = Array.fold_left (fun v id -> (v * 31) + id + 1) 0 log in
+  let parallel workers =
+    let cell = Core.Resource.create 0 in
+    Core.Runtime.run_log ~workers ~queue_capacity:2
+      (fun _ -> Core.Footprint.of_slots [ Core.Resource.slot cell ])
+      (fun id -> Core.Resource.update cell (fun v -> (v * 31) + id + 1))
+      log;
+    Core.Resource.peek cell
+  in
+  (serial (), List.map parallel worker_counts)
+
 let apps =
   [
     ("counters", check_counters);
     ("kv", check_kv);
     ("tpcc", check_tpcc);
     ("ledger", check_ledger);
+    ("chain", check_chain);
   ]
 
 let run_app ~iterations ~seed ~n (name, check) =
@@ -262,7 +282,7 @@ let size_arg =
   Arg.(value & opt int 3_000 & info [ "n"; "size" ] ~docv:"REQS" ~doc:"Requests per log.")
 
 let apps_arg =
-  let doc = "Applications to torture: counters, kv, tpcc, ledger, or all." in
+  let doc = "Applications to torture: counters, kv, tpcc, ledger, chain, or all." in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"APP" ~doc)
 
 let no_sanitize_arg =

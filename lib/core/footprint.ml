@@ -35,6 +35,10 @@ let length = Array.length
 
 let iter t f = Array.iter (fun (s, m) -> f s m) t
 
+(* Index accessors for closure-free loops on the dispatcher path. *)
+let slot_at (t : t) i = fst t.(i)
+let mode_at (t : t) i = snd t.(i)
+
 (* Binary search by slot id — footprints are normalized (sorted, deduped),
    and this runs on the sanitizer's instrumented access path. *)
 let mode_of t slot =

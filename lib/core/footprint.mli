@@ -31,6 +31,12 @@ val length : t -> int
 val iter : t -> (Slot.t -> mode -> unit) -> unit
 (** Iterate in slot-id order. *)
 
+val slot_at : t -> int -> Slot.t
+(** [slot_at fp i] is entry [i] (slot-id order).  With {!mode_at} this
+    supports closure-free index loops on the dispatcher path. *)
+
+val mode_at : t -> int -> mode
+
 val mem : t -> Slot.t -> bool
 (** [mem fp slot] is whether [slot] appears in [fp] (either mode).
     Binary search over the normalized array, O(log n); cheap enough for

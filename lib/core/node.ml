@@ -1,22 +1,172 @@
+(* DAG nodes with a free-list pool.
+
+   Allocation discipline: steady-state dispatch must not allocate, so a
+   node is a mutable record that the runtime recycles through a Treiber
+   free-list after [complete], and the dependent list is a chain of
+   pooled [cell]s instead of a heap cons-list.  Every pooled object keeps
+   a permanent reference to its own constructor box ([dself] /
+   [self_cell]), so returning it to a free list is a pointer swing, not a
+   fresh allocation.
+
+   Free-list concurrency: any worker may push (release) — a CAS prepend —
+   but only the pool-owning dispatcher thread pops (acquire), so the pop
+   CAS is ABA-free without tags.
+
+   Recycling safety: a node is reset (deps := Nil, join := 1, gen + 1) at
+   ACQUIRE time, on the dispatcher thread, not when it is released.  While
+   a node sits in the free list its [deps] stays [Done_mark], so any
+   straggling [add_dependent] against a stale reference resolves as
+   "predecessor already complete" instead of landing an edge on a dead
+   node.  The generation counter lets the Spawner detect such stale
+   references exactly (see spawner.ml). *)
+
 type outcome = Finished | Yield of (unit -> outcome)
 
-type state = Active of t list | Done
-
-and t = {
-  seqno : int;
-  mutable work : unit -> outcome;
+type t = {
+  mutable seqno : int;
+  mutable gen : int; (* bumped at every acquire; dispatcher-only *)
+  mutable work_u : unit -> unit;
+  mutable work_s : unit -> outcome; (* [no_steps] unless cooperative *)
   join : int Atomic.t;
-  state : state Atomic.t;
+  deps : dep Atomic.t; (* Nil-terminated chain; Done_mark once complete *)
+  mutable pool : pool;
+  mutable self_cell : dep; (* this node's own free-list link *)
 }
 
-let create_steps ~seqno work = { seqno; work; join = Atomic.make 1; state = Atomic.make (Active []) }
+and dep = Nil | Done_mark | Cell of cell
 
-let create ~seqno work =
-  create_steps ~seqno (fun () ->
-      work ();
-      Finished)
+and cell = {
+  mutable dnode : t;
+  mutable dnext : dep;
+  mutable dself : dep; (* the [Cell _] box wrapping this record *)
+  mutable cpool : pool; (* owning pool: released cells go back here *)
+}
+
+and pool = { free_nodes : dep Atomic.t; free_cells : dep Atomic.t }
+
+(* Sentinel pool: never recycles — acquire always allocates fresh and
+   release drops to the GC.  Used by standalone [create] (tests). *)
+let no_pool = { free_nodes = Atomic.make Nil; free_cells = Atomic.make Nil }
+
+let no_work () = ()
+let no_steps () = Finished
+
+let dummy =
+  {
+    seqno = min_int;
+    gen = 0;
+    work_u = no_work;
+    work_s = no_steps;
+    join = Atomic.make 0;
+    deps = Atomic.make Done_mark;
+    pool = no_pool;
+    self_cell = Nil;
+  }
+
+let fresh_cell p =
+  let c = { dnode = dummy; dnext = Nil; dself = Nil; cpool = p } in
+  c.dself <- Cell c;
+  c
+
+let fresh_node p =
+  let n =
+    {
+      seqno = 0;
+      gen = 0;
+      work_u = no_work;
+      work_s = no_steps;
+      join = Atomic.make 1;
+      deps = Atomic.make Nil;
+      pool = p;
+      self_cell = Nil;
+    }
+  in
+  let c = { dnode = n; dnext = Nil; dself = Nil; cpool = p } in
+  c.dself <- Cell c;
+  n.self_cell <- c.dself;
+  n
+
+(* Treiber push: multi-producer safe (workers release concurrently). *)
+let rec free_push head d c =
+  let cur = Atomic.get head in
+  c.dnext <- cur;
+  if not (Atomic.compare_and_set head cur d) then free_push head d c
+
+(* Treiber pop: single consumer (the pool-owning dispatcher), so no ABA. *)
+let rec free_pop head =
+  match Atomic.get head with
+  | Cell c as d -> if Atomic.compare_and_set head d c.dnext then d else free_pop head
+  | _ -> Nil
+
+let create_pool ~nodes ~cells =
+  let p = { free_nodes = Atomic.make Nil; free_cells = Atomic.make Nil } in
+  for _ = 1 to nodes do
+    let n = fresh_node p in
+    match n.self_cell with
+    | Cell c ->
+      c.dnext <- Atomic.get p.free_nodes;
+      Atomic.set p.free_nodes n.self_cell
+    | _ -> assert false
+  done;
+  for _ = 1 to cells do
+    let c = fresh_cell p in
+    c.dnext <- Atomic.get p.free_cells;
+    Atomic.set p.free_cells c.dself
+  done;
+  p
+
+let acquire_cell p =
+  if p == no_pool then (fresh_cell p).dself
+  else
+    match free_pop p.free_cells with
+    | Cell _ as d -> d
+    (* under-provisioned pool: grow once; the new cell recycles from now on *)
+    | _ -> (fresh_cell p).dself
+
+let release_cell c d =
+  c.dnode <- dummy;
+  if c.cpool != no_pool then free_push c.cpool.free_cells d c
+
+(* Reset at acquire (dispatcher thread): see header comment. *)
+let init n ~seqno =
+  n.gen <- n.gen + 1;
+  n.seqno <- seqno;
+  Atomic.set n.join 1;
+  Atomic.set n.deps Nil
+
+let acquire pool ~seqno work =
+  match (if pool == no_pool then Nil else free_pop pool.free_nodes) with
+  | Cell c ->
+    let n = c.dnode in
+    init n ~seqno;
+    n.work_u <- work;
+    n.work_s <- no_steps;
+    n
+  | _ ->
+    let n = fresh_node pool in
+    n.seqno <- seqno;
+    n.work_u <- work;
+    n
+
+let acquire_steps pool ~seqno work =
+  match (if pool == no_pool then Nil else free_pop pool.free_nodes) with
+  | Cell c ->
+    let n = c.dnode in
+    init n ~seqno;
+    n.work_s <- work;
+    n.work_u <- no_work;
+    n
+  | _ ->
+    let n = fresh_node pool in
+    n.seqno <- seqno;
+    n.work_s <- work;
+    n
+
+let create ~seqno work = acquire no_pool ~seqno work
+let create_steps ~seqno work = acquire_steps no_pool ~seqno work
 
 let seqno t = t.seqno
+let generation t = t.gen
 
 (* Run the next step.  On a cooperative yield the continuation replaces
    the node's work, so the node can simply be re-enqueued in the runnable
@@ -24,35 +174,74 @@ let seqno t = t.seqno
    park in the runnable-procedures set; dependents are only released at
    completion, never at a yield). *)
 let run t =
-  match t.work () with
-  | Finished -> `Finished
-  | Yield k ->
-    t.work <- k;
-    `Yielded
+  if t.work_s != no_steps then
+    match t.work_s () with
+    | Finished -> `Finished
+    | Yield k ->
+      t.work_s <- k;
+      `Yielded
+  else begin
+    t.work_u ();
+    `Finished
+  end
 
-let rec add_dependent pred succ =
-  match Atomic.get pred.state with
-  | Done -> false
-  | Active l as cur ->
-    if Atomic.compare_and_set pred.state cur (Active (succ :: l)) then true
-    else add_dependent pred succ
+let rec add_cell pred c d =
+  match Atomic.get pred.deps with
+  | Done_mark ->
+    release_cell c d;
+    false
+  | cur ->
+    c.dnext <- cur;
+    if Atomic.compare_and_set pred.deps cur d then true else add_cell pred c d
+
+let add_dependent pred succ =
+  match Atomic.get pred.deps with
+  | Done_mark -> false
+  | _ -> (
+    match acquire_cell succ.pool with
+    | Cell c as d ->
+      c.dnode <- succ;
+      add_cell pred c d
+    | _ -> assert false)
 
 let incr_join t = Atomic.incr t.join
-
 let decr_join t = Atomic.fetch_and_add t.join (-1) = 1
-
 let release t = decr_join t
 
+(* In-place chain reversal: dependents were prepended in registration
+   order, and we resolve them oldest-first (close to serial order) without
+   allocating a reversed copy. *)
+let rec rev_chain acc d =
+  match d with
+  | Cell c ->
+    let next = c.dnext in
+    c.dnext <- acc;
+    rev_chain d next
+  | _ -> acc
+
+let rec resolve_chain on_ready d =
+  match d with
+  | Cell c ->
+    let succ = c.dnode in
+    let next = c.dnext in
+    release_cell c d;
+    if decr_join succ then on_ready succ;
+    resolve_chain on_ready next
+  | _ -> ()
+
 let complete t ~on_ready =
-  match Atomic.exchange t.state Done with
-  | Done -> invalid_arg "Node.complete: already completed"
-  | Active dependents ->
-    (* Dependents were consed in reverse registration order; resolve them
-       oldest-first so ready nodes enter the runnable set in log order.
-       Determinism does not require this, but it keeps scheduling close to
-       the serial order, which helps latency under contention. *)
-    List.iter (fun d -> if decr_join d then on_ready d) (List.rev dependents)
+  match Atomic.exchange t.deps Done_mark with
+  | Done_mark -> invalid_arg "Node.complete: already completed"
+  | chain -> resolve_chain on_ready (rev_chain Nil chain)
 
-let is_done t = match Atomic.get t.state with Done -> true | Active _ -> false
+(* Return a completed node to its pool.  Caller must guarantee no live
+   references remain (the runtime recycles only after [complete], and the
+   generation check in the Spawner neutralises stale Slot references). *)
+let recycle t =
+  if t.pool != no_pool then
+    match t.self_cell with
+    | Cell c -> free_push t.pool.free_nodes t.self_cell c
+    | _ -> ()
 
+let is_done t = match Atomic.get t.deps with Done_mark -> true | _ -> false
 let pending t = Atomic.get t.join

@@ -11,13 +11,20 @@
       node cannot become ready, however many predecessors complete, until
       the dispatcher calls {!release}.
     - Registering an edge increments [join] {e before} touching the
-      predecessor; if the predecessor turns out to be already [Done], the
-      increment is undone.  The guard keeps [join] positive throughout, so
-      no transient zero can schedule the node early.
-    - The dependent list is an atomic cons-list with a [Done] sentinel:
-      {!complete} atomically swaps in [Done] and walks the captured list,
-      so a registration either lands before the swap (and will be walked)
-      or observes [Done] (and counts the dependency as resolved). *)
+      predecessor; if the predecessor turns out to be already done, the
+      increment is undone.
+    - The dependent list is an atomic chain with a done-sentinel:
+      {!complete} atomically swaps in the sentinel and walks the captured
+      chain, so a registration either lands before the swap (and will be
+      walked) or observes the sentinel (and counts the dependency as
+      resolved).
+
+    Allocation discipline: nodes and dependent-chain cells are recycled
+    through a {!pool} free list owned by the runtime, so steady-state
+    dispatch allocates nothing.  A recycled node's {!generation} is bumped
+    at every {!acquire}; holders of possibly-stale references (the
+    Spawner's slot index) compare a recorded generation before touching
+    the node. *)
 
 type t
 
@@ -26,13 +33,49 @@ type outcome = Finished | Yield of (unit -> outcome)
     paper) may [Yield] a continuation instead of running to completion in
     one go. *)
 
+(** {1 Pooled nodes} *)
+
+type pool
+(** A node + dependent-cell free list.  Workers release concurrently
+    (lock-free push); only the owning dispatcher thread may acquire
+    (single-consumer pop — this is what makes the pop ABA-free).  Grown
+    at {!create_pool} time; acquiring from an exhausted pool falls back
+    to a one-time heap allocation that then recycles like the rest. *)
+
+val create_pool : nodes:int -> cells:int -> pool
+
+val acquire : pool -> seqno:int -> (unit -> unit) -> t
+(** Take a node from the pool (or allocate if exhausted) and initialise
+    it: join = 1 (the dispatch guard), empty dependent chain, generation
+    bumped.  Dispatcher thread only. *)
+
+val acquire_steps : pool -> seqno:int -> (unit -> outcome) -> t
+(** Like {!acquire} for a cooperative (yielding) procedure. *)
+
+val recycle : t -> unit
+(** Return a node to its pool.  Call only after {!complete}, when no live
+    references remain outside stale slot entries (which the generation
+    check neutralises).  No-op for nodes from {!create}.  Any thread. *)
+
+val generation : t -> int
+(** Bumped at every {!acquire}.  Read on the dispatcher thread only. *)
+
+val dummy : t
+(** Inert sentinel node (already completed, never runnable) used to fill
+    empty queue slots and "no writer" slot fields.  Never run, complete
+    or link it. *)
+
+(** {1 Standalone nodes (tests, benches)} *)
+
 val create : seqno:int -> (unit -> unit) -> t
-(** [create ~seqno work] makes an unlinked node with join = 1 (the dispatch
-    guard).  [seqno] is the request's position in the serial log; it is
-    carried for tracing and determinism checks. *)
+(** [create ~seqno work] makes an unlinked, unpooled node with join = 1
+    (the dispatch guard).  [seqno] is the request's position in the serial
+    log; it is carried for tracing and determinism checks. *)
 
 val create_steps : seqno:int -> (unit -> outcome) -> t
 (** Like {!create} for a cooperative (yielding) procedure. *)
+
+(** {1 Linking and execution} *)
 
 val seqno : t -> int
 
@@ -43,9 +86,10 @@ val run : t -> [ `Finished | `Yielded ]
     {!complete} runs, which keeps yielding deterministic. *)
 
 val add_dependent : t -> t -> bool
-(** [add_dependent pred succ] registers [succ] on [pred]'s dependent list.
-    Returns [false] if [pred] had already completed, in which case the
-    dependency is already resolved and must not be counted. *)
+(** [add_dependent pred succ] registers [succ] on [pred]'s dependent list
+    (the chain cell comes from [succ]'s pool).  Returns [false] if [pred]
+    had already completed, in which case the dependency is already
+    resolved and must not be counted. *)
 
 val incr_join : t -> unit
 (** Add one pending dependency.  Dispatcher side only. *)
@@ -59,11 +103,12 @@ val release : t -> bool
 
 val complete : t -> on_ready:(t -> unit) -> unit
 (** Mark the node done and resolve its outgoing edges, invoking [on_ready]
-    on every dependent whose join counter reaches zero.  Worker side; must
-    be called exactly once, after {!run}. *)
+    on every dependent whose join counter reaches zero (oldest
+    registration first).  Chain cells are returned to their pools.  Worker
+    side; must be called exactly once, after {!run}. *)
 
 val is_done : t -> bool
-(** True once {!complete} has run. *)
+(** True once {!complete} has run (or while the node sits in a pool). *)
 
 val pending : t -> int
 (** Current join value (racy; tests and tracing only). *)

@@ -43,89 +43,110 @@ let stage_groups stages : [ `Index | `Prefetch ] list list =
   | Three_core -> [ [ `Index ]; [ `Prefetch ]; [] ]
   | Four_core -> [ []; [ `Index ]; [ `Prefetch ]; [] ]
 
+(* Run a group's sub-tasks on one ring entry.  Top-level recursion over
+   the label list: the old [List.iter (fun label -> ...)] allocated a
+   closure per entry on every stage loop. *)
+let rec apply_labels service idx entry fns =
+  match fns with
+  | [] -> ()
+  | `Index :: tl ->
+    service.Service.index entry;
+    if Atomic.get Obs.Trace.armed then Obs.Trace.record Obs.Trace.Index ~seqno:idx;
+    apply_labels service idx entry tl
+  | `Prefetch :: tl ->
+    service.Service.prefetch entry;
+    if Atomic.get Obs.Trace.armed then Obs.Trace.record Obs.Trace.Prefetch ~seqno:idx;
+    apply_labels service idx entry tl
+
 let start ?(queue_depth = 4) ?(max_batch = 8) ?(input_capacity = 1024) ~stages ~runtime
     (service : ('input, 'entry) Service.t) =
   let groups = stage_groups stages in
   let n_groups = List.length groups in
   let ring_cap = Ring.min_capacity ~stages:n_groups ~queue_depth ~max_batch in
   let ring = Ring.create ~capacity:ring_cap service.Service.entry_create in
-  let input = Mpmc.create ~capacity:input_capacity in
+  let input = Mpmc.create ~dummy:service.Service.dummy_input ~capacity:input_capacity in
   let stop = Atomic.make false in
   let spawned = Atomic.make 0 in
   (* count queues linking group k to group k+1 *)
-  let links = Array.init (n_groups - 1) (fun _ -> Spsc.create ~capacity:queue_depth) in
+  let links = Array.init (n_groups - 1) (fun _ -> Spsc.create ~dummy:0 ~capacity:queue_depth) in
   let spawn_entry entry =
     Runtime.schedule runtime (service.Service.footprint entry) (service.Service.work entry);
     Atomic.incr spawned
   in
-  let fn_of = function
-    | `Index -> service.Service.index
-    | `Prefetch -> service.Service.prefetch
-  in
-  let stage_of = function
-    | `Index -> Obs.Trace.Index
-    | `Prefetch -> Obs.Trace.Prefetch
-  in
-  let apply fns idx entry =
-    List.iter
-      (fun label ->
-        fn_of label entry;
-        if Atomic.get Obs.Trace.armed then
-          Obs.Trace.record (stage_of label) ~seqno:idx)
-      fns
-  in
   (* First group: pull raw inputs, fill ring entries, run the group's
-     sub-tasks, forward an adaptive batch count. *)
+     sub-tasks, forward an adaptive batch count.  All loop state (out-cell,
+     backoffs, counters-as-refs) is allocated once, outside the loop. *)
   let handler_loop fns ~is_last =
     let b = Backoff.create () in
+    let fwd_bo = Backoff.create () in
+    let in_out = Mpmc.make_out input in
+    let in_dummy = Mpmc.dummy input in
     let seq = ref 0 in
     let running = ref true in
+    let batch = ref 0 in
+    let continue = ref true in
     while !running do
-      let batch = ref 0 in
-      let continue = ref true in
+      batch := 0;
+      continue := true;
       while !batch < max_batch && !continue do
-        match Mpmc.try_pop input with
-        | Some x ->
+        if Mpmc.pop_into input in_out then begin
           let entry = Ring.get ring (!seq + !batch) in
-          service.Service.inject entry x;
-          apply fns (!seq + !batch) entry;
+          service.Service.inject entry in_out.Mpmc.value;
+          in_out.Mpmc.value <- in_dummy;
+          apply_labels service (!seq + !batch) entry fns;
           if is_last then spawn_entry entry;
           incr batch
-        | None -> continue := false
+        end
+        else continue := false
       done;
       if !batch > 0 then begin
         Backoff.reset b;
         if Atomic.get Obs.Trace.armed then Obs.Counters.record h_batch !batch;
-        if not is_last then Spsc.push links.(0) !batch;
+        if not is_last then Spsc.push_with links.(0) fwd_bo !batch;
         seq := !seq + !batch
       end
       else if Atomic.get stop then begin
-        if not is_last then Spsc.push links.(0) eos;
+        if not is_last then Spsc.push_with links.(0) fwd_bo eos;
         running := false
       end
       else Backoff.once b
     done
   in
   (* Interior / final groups: consume batch counts, process entries in
-     order, forward the count (or spawn, for the final group). *)
+     order, forward the count (or spawn, for the final group).  The
+     blocking pop takes the first count; [pop_batch_into] then drains any
+     queued backlog in one head publish, coalescing small batches into a
+     single pass over the ring (and a single forwarded count). *)
   let stage_loop k fns ~is_last =
+    let src = links.(k - 1) in
+    let bo = Backoff.create () in
+    let fwd_bo = Backoff.create () in
+    let pop_out = Spsc.make_out src in
+    let scratch = Array.make (Spsc.capacity src) 0 in
     let seq = ref 0 in
     let running = ref true in
+    let saw_eos = ref false in
+    let total = ref 0 in
     while !running do
-      let n = Spsc.pop links.(k - 1) in
-      if n = eos then begin
-        if not is_last then Spsc.push links.(k) eos;
-        running := false
-      end
-      else begin
-        for i = !seq to !seq + n - 1 do
-          let entry = Ring.get ring i in
-          apply fns i entry;
-          if is_last then spawn_entry entry
-        done;
-        if not is_last then Spsc.push links.(k) n;
-        seq := !seq + n
-      end
+      let first = Spsc.pop_with src bo pop_out in
+      let extra = Spsc.pop_batch_into src scratch in
+      saw_eos := first = eos;
+      total := (if first = eos then 0 else first);
+      for i = 0 to extra - 1 do
+        let c = scratch.(i) in
+        if c = eos then saw_eos := true else total := !total + c
+      done;
+      for i = !seq to !seq + !total - 1 do
+        let entry = Ring.get ring i in
+        apply_labels service i entry fns;
+        if is_last then spawn_entry entry
+      done;
+      if not is_last then begin
+        if !total > 0 then Spsc.push_with links.(k) fwd_bo !total;
+        if !saw_eos then Spsc.push_with links.(k) fwd_bo eos
+      end;
+      seq := !seq + !total;
+      if !saw_eos then running := false
     done
   in
   let domains =

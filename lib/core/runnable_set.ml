@@ -11,18 +11,18 @@ type fuzz = {
   fail_pop : (unit -> bool) option;  (* spurious queue-empty, armed on every queue *)
 }
 
+module Mpmc = Doradd_queue.Mpmc
+module Backoff = Doradd_queue.Backoff
+module Obs = Doradd_obs
+
 type t = {
-  queues : Node.t Doradd_queue.Mpmc.t array;
+  queues : Node.t Mpmc.t array;
   mutable rr : int; (* only the single logical dispatcher advances this *)
-  mutable run_inline : Node.t -> unit; (* tied after creation to break the cycle *)
+  disp_backoff : Backoff.t; (* dispatcher-only, reused across pushes *)
   mutable on_failure : Node.t -> exn -> unit; (* inline-execution failure hook *)
   mutable on_complete : Node.t -> unit; (* inline-execution completion hook *)
   mutable fuzz : fuzz option; (* installed before the worker domains start *)
 }
-
-module Mpmc = Doradd_queue.Mpmc
-module Backoff = Doradd_queue.Backoff
-module Obs = Doradd_obs
 
 (* Observability (armed-guarded): runnable-set traffic and occupancy. *)
 let c_dispatch_push = Obs.Counters.counter "runnable_set.dispatch_push"
@@ -33,38 +33,14 @@ let w_occupancy = Obs.Counters.watermark "runnable_set.occupancy_hwm"
 
 let create ~workers ~queue_capacity =
   if workers <= 0 then invalid_arg "Runnable_set.create";
-  let t =
-    {
-      queues = Array.init workers (fun _ -> Mpmc.create ~capacity:queue_capacity);
-      rr = 0;
-      run_inline = (fun _ -> assert false);
-      on_failure = (fun _ _ -> ());
-      on_complete = (fun _ -> ());
-      fuzz = None;
-    }
-  in
-  (* Inline execution when every queue is full: run the node (stepping
-     through any cooperative yields) and feed its newly-ready dependents
-     back through the normal worker path.  Exceptions are reported through
-     the failure hook and the node still completes, as in the worker
-     loop. *)
-  let rec run node =
-    match (try Node.run node with e -> t.on_failure node e; `Finished) with
-    | `Yielded -> run node
-    | `Finished ->
-      Node.complete node ~on_ready:(fun d -> push_from t 0 d);
-      t.on_complete node
-  and push_from t start node =
-    let n = Array.length t.queues in
-    let rec try_all i =
-      if i >= n then run node
-      else if Mpmc.try_push t.queues.((start + i) mod n) node then ()
-      else try_all (i + 1)
-    in
-    try_all 0
-  in
-  t.run_inline <- run;
-  t
+  {
+    queues = Array.init workers (fun _ -> Mpmc.create ~dummy:Node.dummy ~capacity:queue_capacity);
+    rr = 0;
+    disp_backoff = Backoff.create ();
+    on_failure = (fun _ _ -> ());
+    on_complete = (fun _ -> ());
+    fuzz = None;
+  }
 
 let workers t = Array.length t.queues
 
@@ -80,28 +56,72 @@ let set_fuzz t fuzz =
 
 let size t = Array.fold_left (fun acc q -> acc + Mpmc.length q) 0 t.queues
 
+(* Scan the queues once from [start]; [true] if [node] was placed. *)
+let rec try_place t node start i n =
+  if i >= n then false
+  else if Mpmc.try_push t.queues.((start + i) mod n) node then true
+  else try_place t node start (i + 1) n
+
+(* Overflow path: every queue was full when [push_worker] scanned.  Run
+   work inline on the pushing worker, draining an explicit FIFO worklist.
+
+   The previous implementation recursed ([run] called [push_from] for each
+   newly-ready dependent, whose overflow case called [run] again), so a
+   long dependency chain completing while the queues stayed full grew the
+   stack one frame per chain link — a stack overflow for deep chains under
+   small queue capacities.  It also restarted every re-push scan at queue
+   0, biasing overflow work onto worker 0's queue; the scan now starts at
+   the completing worker's own queue, like any worker push.
+
+   Each drained node is first offered to the queues again (they may have
+   emptied meanwhile); only if still full does it run inline, stepping
+   through cooperative yields.  Exceptions are reported through the
+   failure hook and the node still completes, as in the worker loop.
+   Allocation here (the stdlib queue, closures) is fine: this path only
+   runs when the system is saturated. *)
+let run_overflow t ~worker node =
+  let pending = Queue.create () in
+  let on_ready d = Queue.push d pending in
+  Queue.push node pending;
+  let n = Array.length t.queues in
+  while not (Queue.is_empty pending) do
+    let node = Queue.pop pending in
+    if not (try_place t node worker 0 n) then begin
+      let rec step () =
+        match (try Node.run node with e -> t.on_failure node e; `Finished) with
+        | `Yielded -> step ()
+        | `Finished ->
+          Node.complete node ~on_ready;
+          t.on_complete node
+      in
+      step ()
+    end
+  done
+
+(* Blocking placement scan for the dispatcher: all-queues-full waits for
+   the workers to drain rather than running inline — the dispatcher must
+   keep its own latency bounded, and blocking here is the backpressure the
+   paper's bounded queues give.  Top-level recursion (compiled to a jump)
+   instead of a local closure: this is the per-request dispatch path. *)
+let rec disp_place t node n attempts idx =
+  if Mpmc.try_push t.queues.(idx) node then t.rr <- (idx + 1) mod n
+  else if attempts + 1 >= n then begin
+    Backoff.once t.disp_backoff;
+    disp_place t node n 0 ((idx + 1) mod n)
+  end
+  else disp_place t node n (attempts + 1) ((idx + 1) mod n)
+
 let push_dispatcher t node =
   if Atomic.get Obs.Trace.armed then begin
     Obs.Trace.record Obs.Trace.Runnable ~seqno:(Node.seqno node);
     Obs.Counters.incr c_dispatch_push
   end;
   let n = Array.length t.queues in
-  let b = Backoff.create () in
-  let rec go attempts idx =
-    if Mpmc.try_push t.queues.(idx) node then t.rr <- (idx + 1) mod n
-    else if attempts + 1 >= n then begin
-      (* All queues full: wait for the workers to drain rather than running
-         inline — the dispatcher must keep its own latency bounded, and
-         blocking here is the backpressure the paper's bounded queues give. *)
-      Backoff.once b;
-      go 0 ((idx + 1) mod n)
-    end
-    else go (attempts + 1) ((idx + 1) mod n)
-  in
   let start =
     match t.fuzz with None -> t.rr | Some f -> (t.rr + f.dispatch_rotate ~n) mod n
   in
-  go 0 start;
+  Backoff.reset t.disp_backoff;
+  disp_place t node n 0 start;
   if Atomic.get Obs.Trace.armed then Obs.Counters.observe w_occupancy (size t)
 
 let push_worker t ~worker node =
@@ -116,31 +136,31 @@ let push_worker t ~worker node =
   let start =
     match t.fuzz with None -> worker | Some f -> worker + f.push_rotate ~worker ~n
   in
-  let rec try_all i =
-    if i >= n then t.run_inline node
-    else if Mpmc.try_push t.queues.((start + i) mod n) node then ()
-    else try_all (i + 1)
-  in
-  try_all 0
+  if not (try_place t node start 0 n) then run_overflow t ~worker node
 
-let pop t ~worker =
+(* Unfuzzed: own queue first, then a stealing sweep — the paper's work-
+   conserving order.  Fuzzed: the scan start rotates, so steal-first and
+   every other legal pick order get exercised too. *)
+let rec sweep t out start i n =
+  if i >= n then false
+  else if Mpmc.pop_into t.queues.((start + i) mod n) out then begin
+    if Atomic.get Obs.Trace.armed then
+      (* Unfuzzed, i = 0 is the worker's own queue; under fuzz rotation
+         the local/steal attribution is approximate. *)
+      Obs.Counters.incr (if i = 0 then c_pop_local else c_pop_steal);
+    true
+  end
+  else sweep t out start (i + 1) n
+
+let make_out t = Mpmc.make_out t.queues.(0)
+
+let pop_into t ~worker out =
   let n = Array.length t.queues in
-  (* Unfuzzed: own queue first, then a stealing sweep — the paper's work-
-     conserving order.  Fuzzed: the scan start rotates, so steal-first and
-     every other legal pick order get exercised too. *)
   let start =
     match t.fuzz with None -> worker | Some f -> worker + f.pop_rotate ~worker ~n
   in
-  let rec sweep i =
-    if i >= n then None
-    else
-      match Mpmc.try_pop t.queues.((start + i) mod n) with
-      | Some _ as r ->
-        if Atomic.get Obs.Trace.armed then
-          (* Unfuzzed, i = 0 is the worker's own queue; under fuzz rotation
-             the local/steal attribution is approximate. *)
-          Obs.Counters.incr (if i = 0 then c_pop_local else c_pop_steal);
-        r
-      | None -> sweep (i + 1)
-  in
-  sweep 0
+  sweep t out start 0 n
+
+let pop t ~worker =
+  let out = make_out t in
+  if pop_into t ~worker out then Some out.Mpmc.value else None

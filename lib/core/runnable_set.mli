@@ -51,11 +51,21 @@ val push_worker : t -> worker:int -> Node.t -> unit
 (** Insert a newly-ready node from worker [worker]'s completion path.
     Prefers the worker's own queue; overflows to siblings; as a last
     resort runs the node inline (still deterministic — the node was ready
-    — and keeps the system deadlock-free when all queues are full). *)
+    — and keeps the system deadlock-free when all queues are full).  The
+    inline path drains an explicit worklist, so arbitrarily deep ready
+    chains use constant stack, and re-push scans start at [worker]'s own
+    queue. *)
+
+val make_out : t -> Node.t Doradd_queue.Mpmc.out
+(** Preallocated out-cell for {!pop_into}: one per worker, reused. *)
+
+val pop_into : t -> worker:int -> Node.t Doradd_queue.Mpmc.out -> bool
+(** Zero-alloc remove for execution: own queue first, then a stealing
+    sweep over the other queues.  On success the node is in [out.value];
+    [false] when every queue appears empty. *)
 
 val pop : t -> worker:int -> Node.t option
-(** Remove for execution: own queue first, then a stealing sweep over the
-    other queues.  [None] when every queue appears empty. *)
+(** Allocating convenience wrapper around {!pop_into} (tests). *)
 
 val size : t -> int
 (** Racy total occupancy; monitoring and tests only. *)

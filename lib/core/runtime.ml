@@ -17,6 +17,7 @@ type failure = { seqno : int; exn_ : exn }
 
 type t = {
   rs : Runnable_set.t;
+  pool : Node.pool; (* node + dependent-cell free lists; acquire on dispatcher only *)
   stop : bool Atomic.t;
   scheduled : int Atomic.t;
   completed : int Atomic.t;
@@ -34,6 +35,11 @@ let record_failure failures seqno exn_ =
 
 let worker_loop rs ~worker ~stop ~completed ~failures ~stall =
   let b = Backoff.create () in
+  (* Per-worker reusable state, so the steady-state loop allocates
+     nothing: one out-cell for pops and one on_ready closure shared by
+     every completion. *)
+  let out = Runnable_set.make_out rs in
+  let on_ready = Runnable_set.push_worker rs ~worker in
   let rec loop () =
     (match stall with
     | None -> ()
@@ -45,8 +51,9 @@ let worker_loop rs ~worker ~stop ~completed ~failures ~stall =
           Backoff.once sb
         done
       end);
-    match Runnable_set.pop rs ~worker with
-    | Some node ->
+    if Runnable_set.pop_into rs ~worker out then begin
+      let node = out.Doradd_queue.Mpmc.value in
+      out.Doradd_queue.Mpmc.value <- Node.dummy;
       if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_worker_busy;
       Backoff.reset b;
       (* A raising procedure is still a *deterministic* outcome (same
@@ -55,20 +62,23 @@ let worker_loop rs ~worker ~stop ~completed ~failures ~stall =
          than tearing down the worker domain. *)
       (match try Node.run node with e -> record_failure failures (Node.seqno node) e; `Finished with
       | `Finished ->
-        Node.complete node ~on_ready:(Runnable_set.push_worker rs ~worker);
+        Node.complete node ~on_ready;
+        Node.recycle node;
         Atomic.incr completed
       | `Yielded ->
         (* park the procedure back in the runnable set; its dependents
            stay blocked until it finishes (§6) *)
         Runnable_set.push_worker rs ~worker node);
       loop ()
-    | None ->
+    end
+    else begin
       if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_worker_idle;
       if Atomic.get stop then ()
       else begin
         Backoff.once b;
         loop ()
       end
+    end
   in
   loop ()
 
@@ -81,12 +91,20 @@ let create ?workers ?(queue_capacity = 4096) ?fuzz () =
     | None -> max 1 (Domain.recommended_domain_count () - 1)
   in
   let rs = Runnable_set.create ~workers ~queue_capacity in
+  (* Node pool sized to the runnable set plus slack for in-flight and
+     blocked nodes; dependent cells at a few edges per node.  Growable
+     only here — an exhausted pool falls back to one-time allocations
+     that then recycle like the preallocated ones. *)
+  let pool_nodes = min 65_536 ((queue_capacity * workers) + 1024) in
+  let pool = Node.create_pool ~nodes:pool_nodes ~cells:(2 * pool_nodes) in
   let stop = Atomic.make false in
   let completed = Atomic.make 0 in
   let failures = Atomic.make [] in
   Runnable_set.set_inline_hooks rs
     ~on_failure:(fun node e -> record_failure failures (Node.seqno node) e)
-    ~on_complete:(fun _ -> Atomic.incr completed);
+    ~on_complete:(fun node ->
+      Node.recycle node;
+      Atomic.incr completed);
   (* installed before the domains spawn, so workers see it without races *)
   let stall =
     match fuzz with
@@ -99,7 +117,7 @@ let create ?workers ?(queue_capacity = 4096) ?fuzz () =
     Array.init workers (fun worker ->
         Domain.spawn (fun () -> worker_loop rs ~worker ~stop ~completed ~failures ~stall))
   in
-  { rs; stop; scheduled = Atomic.make 0; completed; failures; domains; next_seq = 0 }
+  { rs; pool; stop; scheduled = Atomic.make 0; completed; failures; domains; next_seq = 0 }
 
 let workers t = Runnable_set.workers t.rs
 
@@ -150,7 +168,7 @@ let schedule t fp work =
     end
     else work
   in
-  let node = Node.create ~seqno work in
+  let node = Node.acquire t.pool ~seqno work in
   Spawner.schedule t.rs node fp
 
 let schedule_steps t fp work =
@@ -165,7 +183,7 @@ let schedule_steps t fp work =
     end
     else work
   in
-  let node = Node.create_steps ~seqno work in
+  let node = Node.acquire_steps t.pool ~seqno work in
   Spawner.schedule t.rs node fp
 
 let scheduled t = Atomic.get t.scheduled

@@ -1,5 +1,6 @@
 type ('input, 'entry) t = {
   entry_create : int -> 'entry;
+  dummy_input : 'input;
   inject : 'entry -> 'input -> unit;
   index : 'entry -> unit;
   prefetch : 'entry -> unit;

@@ -21,6 +21,9 @@
 
 type ('input, 'entry) t = {
   entry_create : int -> 'entry;  (** allocate ring slot [i]'s scratch record *)
+  dummy_input : 'input;
+      (** inert input filling empty slots of the pipeline's (sentinel-based,
+          allocation-free) submission queue; never injected *)
   inject : 'entry -> 'input -> unit;
   index : 'entry -> unit;
   prefetch : 'entry -> unit;

@@ -1,25 +1,99 @@
+(* Scheduling slots (dispatcher-side view of a resource).
+
+   Allocation discipline: the old representation boxed [Node.t option]
+   for the last writer and consed a [Node.t list] of readers on every
+   read access — per-request garbage on the dispatcher path.  Now the
+   "no writer" state is the {!Node.dummy} sentinel and the reader set is
+   a chain of mutable cells recycled through a per-slot free list (a
+   slot's reader set is bounded by the concurrency on that key, so the
+   per-slot list converges after warm-up and steady state allocates
+   nothing).
+
+   Because the runtime recycles nodes, a slot's references can go stale:
+   the recorded generation/seqno snapshot (taken when the reference was
+   stored) lets the Spawner detect whether [writer] still denotes the
+   same request and lets the sanitizer log the edge against the original
+   seqno.  All fields are plain mutable — only the single logical
+   dispatcher touches slots. *)
+
+type rcell = {
+  mutable rnode : Node.t;
+  mutable rgen : int;
+  mutable rseqno : int;
+  mutable rnext : rchain;
+  mutable rself : rchain; (* the [RCell _] box wrapping this record *)
+}
+
+and rchain = RNil | RCell of rcell
+
 type t = {
   id : int;
-  mutable last_write : Node.t option;
-  mutable readers : Node.t list;
+  mutable writer : Node.t; (* Node.dummy = no writer *)
+  mutable writer_gen : int;
+  mutable writer_seqno : int;
+  mutable readers : rchain; (* newest first *)
+  mutable free : rchain; (* recycled reader cells *)
 }
 
 let next_id = Atomic.make 0
 
-let create () = { id = Atomic.fetch_and_add next_id 1; last_write = None; readers = [] }
+let create () =
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    writer = Node.dummy;
+    writer_gen = 0;
+    writer_seqno = 0;
+    readers = RNil;
+    free = RNil;
+  }
 
 let id t = t.id
 
-let last_write t = t.last_write
-
-let set_last_write t node =
-  t.last_write <- Some node;
-  t.readers <- []
-
+let has_writer t = t.writer != Node.dummy
+let writer t = t.writer
+let writer_gen t = t.writer_gen
+let writer_seqno t = t.writer_seqno
 let readers t = t.readers
 
-let add_reader t node = t.readers <- node :: t.readers
+let rec recycle_readers t chain =
+  match chain with
+  | RNil -> ()
+  | RCell c ->
+    let next = c.rnext in
+    c.rnode <- Node.dummy;
+    c.rnext <- t.free;
+    t.free <- c.rself;
+    recycle_readers t next
+
+let set_last_write t node =
+  t.writer <- node;
+  t.writer_gen <- Node.generation node;
+  t.writer_seqno <- Node.seqno node;
+  let chain = t.readers in
+  t.readers <- RNil;
+  recycle_readers t chain
+
+let add_reader t node =
+  let c =
+    match t.free with
+    | RCell c ->
+      t.free <- c.rnext;
+      c
+    | RNil ->
+      let c = { rnode = Node.dummy; rgen = 0; rseqno = 0; rnext = RNil; rself = RNil } in
+      c.rself <- RCell c;
+      c
+  in
+  c.rnode <- node;
+  c.rgen <- Node.generation node;
+  c.rseqno <- Node.seqno node;
+  c.rnext <- t.readers;
+  t.readers <- c.rself
 
 let clear t =
-  t.last_write <- None;
-  t.readers <- []
+  t.writer <- Node.dummy;
+  t.writer_gen <- 0;
+  t.writer_seqno <- 0;
+  let chain = t.readers in
+  t.readers <- RNil;
+  recycle_readers t chain

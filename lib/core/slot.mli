@@ -9,7 +9,26 @@
 
     The paper treats every access as a write (reader/writer distinction is
     its stated future work); {!Footprint.mode} [Write] reproduces that, and
-    [Read] implements the extension, letting concurrent readers share. *)
+    [Read] implements the extension, letting concurrent readers share.
+
+    Allocation discipline: "no writer" is the {!Node.dummy} sentinel (no
+    option boxing) and reader cells recycle through a per-slot free list.
+    Because nodes themselves are recycled, each stored reference carries a
+    generation/seqno snapshot taken at store time; the Spawner compares
+    the generation before treating the reference as live. *)
+
+type rcell = {
+  mutable rnode : Node.t;
+  mutable rgen : int; (* Node.generation at store time *)
+  mutable rseqno : int; (* Node.seqno at store time *)
+  mutable rnext : rchain;
+  mutable rself : rchain;
+}
+(** Reader-chain cell; exposed transparently so the Spawner can walk the
+    chain without allocating.  Spawner-only: never retain or mutate cells
+    elsewhere. *)
+
+and rchain = RNil | RCell of rcell
 
 type t
 
@@ -19,13 +38,22 @@ val create : unit -> t
 val id : t -> int
 (** Unique id; footprints are deduplicated by it. *)
 
-val last_write : t -> Node.t option
-(** Most recently scheduled writer, if any.  Dispatcher side. *)
+val has_writer : t -> bool
+(** Whether a writer has been recorded since the last {!clear}. *)
+
+val writer : t -> Node.t
+(** Most recently scheduled writer ({!Node.dummy} if none — check
+    {!has_writer} first).  Possibly recycled: compare {!writer_gen}
+    against [Node.generation] before treating it as live. *)
+
+val writer_gen : t -> int
+val writer_seqno : t -> int
 
 val set_last_write : t -> Node.t -> unit
-(** Record [node] as the latest writer and clear the reader set. *)
+(** Record [node] as the latest writer (snapshotting its generation and
+    seqno) and recycle the reader set. *)
 
-val readers : t -> Node.t list
+val readers : t -> rchain
 (** Requests that read the resource since the last write (newest first). *)
 
 val add_reader : t -> Node.t -> unit

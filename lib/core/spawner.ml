@@ -1,33 +1,69 @@
-(* Register [node] behind predecessor [pred].  The join counter is bumped
-   first so that, if the registration lands, pred's completion cannot drive
-   join to zero while the dispatch guard is still held; if pred already
-   completed the bump is undone. *)
-let register node pred =
+(* Register [node] behind the predecessor recorded in a slot.  The slot
+   stores a possibly-stale reference (nodes are recycled), together with a
+   generation/seqno snapshot taken when the reference was stored:
+
+   - The ordering edge is logged against the {e recorded} seqno, so the
+     happens-before checker sees the original request even if the node
+     object has since been reused.
+   - The join/dependent registration only proceeds if the predecessor's
+     generation still matches.  A mismatch means the original request
+     completed and its node was recycled (possibly into a *later* request)
+     — the dependency is resolved a fortiori, and registering against the
+     reincarnation would invent a spurious edge.  The check is race-free
+     because both generation bumps (Node.acquire) and this read happen on
+     the single dispatcher thread.
+
+   The join counter is bumped first so that, if the registration lands,
+   pred's completion cannot drive join to zero while the dispatch guard is
+   still held; if pred already completed the bump is undone. *)
+let register node ~pred ~pred_gen ~pred_seqno =
   (* In sanitized mode, log the ordering edge whether or not the
      registration lands: a predecessor that already completed is ordered
      before [node] a fortiori. *)
   if Atomic.get Sanitizer.tracking then
-    Sanitizer.on_edge ~pred:(Node.seqno pred) ~succ:(Node.seqno node);
-  Node.incr_join node;
-  if not (Node.add_dependent pred node) then ignore (Node.decr_join node)
+    Sanitizer.on_edge ~pred:pred_seqno ~succ:(Node.seqno node);
+  if Node.generation pred = pred_gen then begin
+    Node.incr_join node;
+    if not (Node.add_dependent pred node) then ignore (Node.decr_join node)
+  end
 
+let rec register_readers node chain =
+  match chain with
+  | Slot.RNil -> ()
+  | Slot.RCell c ->
+    register node ~pred:c.Slot.rnode ~pred_gen:c.Slot.rgen ~pred_seqno:c.Slot.rseqno;
+    register_readers node c.Slot.rnext
+
+(* Closure-free: an index loop over the normalized footprint; everything
+   here is direct calls, so linking allocates nothing beyond the pooled
+   dependent cells. *)
 let link node fp =
-  Footprint.iter fp (fun slot mode ->
-      match mode with
-      | Footprint.Write ->
-        (* A writer must follow every reader since the last write; if there
-           are none it follows the last writer directly.  (Readers already
-           follow that writer, so ordering behind them is transitive.) *)
-        (match Slot.readers slot with
-        | [] -> ( match Slot.last_write slot with None -> () | Some p -> register node p)
-        | readers -> List.iter (register node) readers);
-        Slot.set_last_write slot node
-      | Footprint.Read ->
-        (match Slot.last_write slot with None -> () | Some p -> register node p);
-        Slot.add_reader slot node)
+  let n = Footprint.length fp in
+  for i = 0 to n - 1 do
+    let slot = Footprint.slot_at fp i in
+    match Footprint.mode_at fp i with
+    | Footprint.Write ->
+      (* A writer must follow every reader since the last write; if there
+         are none it follows the last writer directly.  (Readers already
+         follow that writer, so ordering behind them is transitive.) *)
+      (match Slot.readers slot with
+      | Slot.RNil ->
+        if Slot.has_writer slot then
+          register node ~pred:(Slot.writer slot) ~pred_gen:(Slot.writer_gen slot)
+            ~pred_seqno:(Slot.writer_seqno slot)
+      | chain -> register_readers node chain);
+      Slot.set_last_write slot node
+    | Footprint.Read ->
+      if Slot.has_writer slot then
+        register node ~pred:(Slot.writer slot) ~pred_gen:(Slot.writer_gen slot)
+          ~pred_seqno:(Slot.writer_seqno slot);
+      Slot.add_reader slot node
+  done
 
 let schedule_ready on_ready node fp =
   link node fp;
   if Node.release node then on_ready node
 
-let schedule rs node fp = schedule_ready (Runnable_set.push_dispatcher rs) node fp
+let schedule rs node fp =
+  link node fp;
+  if Node.release node then Runnable_set.push_dispatcher rs node

@@ -10,6 +10,7 @@ let dummy_txn = { Kv.id = -1; ops = [||] }
 let service store ~results =
   {
     Core.Service.entry_create = (fun _ -> { txn = dummy_txn; resolved = [||] });
+    dummy_input = dummy_txn;
     inject =
       (fun e txn ->
         e.txn <- txn;

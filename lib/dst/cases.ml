@@ -252,6 +252,71 @@ let yield =
   in
   { name = "yield"; default_n = 128; serial; parallel }
 
+(* ---- deep-chain: serial dependency chain, every queue spuriously full  *)
+
+(* Every request writes the one hot cell, so the DAG is a single chain as
+   deep as the log.  On top of whatever the plan injects, the case arms
+   its own [fail_push] that reports full on every other probe of EVERY
+   worker queue: dispatcher backpressure and the worker overflow-to-inline
+   worklist run constantly — the exact paths where the old mutually
+   recursive inline execution overflowed the stack on deep chains.
+   Spurious full only steers which legal schedule runs, so the
+   serial-equivalence oracle must still hold. *)
+let deep_chain =
+  let op id v = (v * 31) + id + 1 in
+  let log ~seed ~n =
+    let salt = Rng.int (Rng.create (seed lxor 0x00de_e9c4)) 0x3fff_ffff in
+    Array.init n (fun i -> salt + i)
+  in
+  let serial ~seed ~n =
+    let cell = Core.Resource.create 0 in
+    Core.Runtime.run_sequential
+      (fun id -> Core.Resource.update cell (op id))
+      (log ~seed ~n);
+    { digest = Core.Resource.peek cell; results = [||]; invariant = None }
+  in
+  let parallel ~seed ~n ~workers ~queue_capacity ~fuzz ~sanitize =
+    let cell = Core.Resource.create 0 in
+    let flip = Atomic.make 0 in
+    let spurious_full () = Atomic.fetch_and_add flip 1 land 1 = 0 in
+    let base =
+      match fuzz with
+      | Some f -> f
+      | None -> { Core.Runtime.rs_fuzz = None; stall_spins = None }
+    in
+    let rs_fuzz =
+      match base.Core.Runtime.rs_fuzz with
+      | Some rs ->
+          let fail_push =
+            match rs.Core.Runnable_set.fail_push with
+            | Some f -> Some (fun () -> spurious_full () || f ())
+            | None -> Some spurious_full
+          in
+          { rs with Core.Runnable_set.fail_push }
+      | None ->
+          {
+            Core.Runnable_set.pop_rotate = (fun ~worker:_ ~n:_ -> 0);
+            push_rotate = (fun ~worker:_ ~n:_ -> 0);
+            dispatch_rotate = (fun ~n:_ -> 0);
+            fail_push = Some spurious_full;
+            fail_pop = None;
+          }
+    in
+    let fuzz = Some { base with Core.Runtime.rs_fuzz = Some rs_fuzz } in
+    let footprint _ = Core.Footprint.of_slots [ Core.Resource.slot cell ] in
+    let execute id =
+      Harness.straggle ();
+      Core.Resource.update cell (op id)
+    in
+    let outcome =
+      maybe_sanitize ~sanitize (fun () ->
+          Core.Runtime.run_log ~workers ~queue_capacity ?fuzz footprint execute
+            (log ~seed ~n))
+    in
+    ({ digest = Core.Resource.peek cell; results = [||]; invariant = None }, outcome)
+  in
+  { name = "deep-chain"; default_n = 192; serial; parallel }
+
 (* ---- replication: primary/backup convergence under perturbation ----- *)
 
 (* The §5.3 replication stack under fuzz: both replicas run the same KV
@@ -309,7 +374,7 @@ let replication =
   in
   { name = "replication"; default_n = 128; serial; parallel }
 
-let all = [ counters; kv; kv_rw; ycsb; ledger; tpcc; yield; replication ]
+let all = [ counters; kv; kv_rw; ycsb; ledger; tpcc; yield; deep_chain; replication ]
 
 let find name = List.find_opt (fun c -> c.name = name) all
 

@@ -1,0 +1,17 @@
+(* Shared capacity validation for the bounded queues and rings.
+
+   [next_pow2] used to spin forever (or overflow [p * 2] to a negative
+   number and then spin) when asked for a capacity above 2^62, because the
+   doubling loop can never reach [n].  Every queue now routes through this
+   guarded version, which rejects non-positive and absurd capacities with
+   [Invalid_argument] before the loop runs.  The ceiling is far above any
+   capacity a bounded in-memory queue can actually back with an array. *)
+
+let max_capacity = 1 lsl 30
+
+let next_pow2 ~who n =
+  if n <= 0 then invalid_arg (who ^ ": capacity must be positive");
+  if n > max_capacity then
+    invalid_arg (who ^ ": capacity exceeds 2^30");
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1

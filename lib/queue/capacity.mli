@@ -1,0 +1,12 @@
+(** Shared capacity validation for bounded queues and rings. *)
+
+val max_capacity : int
+(** Largest accepted capacity ([2^30]).  Anything above this is rejected:
+    the old unguarded doubling loop would spin forever (or overflow to a
+    negative number) for requests above [2^62], and no in-memory array
+    backs such a queue anyway. *)
+
+val next_pow2 : who:string -> int -> int
+(** [next_pow2 ~who n] is the smallest power of two [>= n].
+    @raise Invalid_argument (prefixed with [who]) if [n <= 0] or
+    [n > max_capacity]. *)

@@ -3,7 +3,13 @@
    - seq = i + 1       : full, ready for the consumer holding ticket i
    - otherwise         : another producer/consumer lap is in progress.
    Producers race on [tail] tickets, consumers on [head] tickets; the slot
-   sequence numbers make each hand-off a two-step publish without locks. *)
+   sequence numbers make each hand-off a two-step publish without locks.
+
+   Hot-path allocation discipline: slots hold ['a] directly with a
+   caller-supplied [dummy] filling empty slots (full/empty is decided by
+   the sequence numbers, never by comparing against the dummy), and
+   [pop_into] returns through a preallocated out-cell — so steady-state
+   push/pop traffic allocates nothing. *)
 
 module Obs = Doradd_obs
 
@@ -14,10 +20,11 @@ let c_pop = Obs.Counters.counter "mpmc.pop"
 let c_pop_empty = Obs.Counters.counter "mpmc.pop_empty"
 let w_depth = Obs.Counters.watermark "mpmc.depth_hwm"
 
-type 'a slot = { seq : int Atomic.t; mutable value : 'a option }
+type 'a slot = { seq : int Atomic.t; mutable value : 'a }
 
 type 'a t = {
   slots : 'a slot array;
+  dummy : 'a;
   mask : int;
   head : int Atomic.t;
   tail : int Atomic.t;
@@ -33,19 +40,18 @@ type 'a t = {
   mutable fault_pop : (unit -> bool) option;
 }
 
-let next_pow2 n =
-  let rec go p = if p >= n then p else go (p * 2) in
-  go 1
+type 'a out = { mutable value : 'a }
 
-let create ~capacity =
-  if capacity <= 0 then invalid_arg "Mpmc.create";
+let create ~dummy ~capacity =
   (* Vyukov's scheme needs >= 2 slots: with a single slot, the ticket of
      the producer one lap ahead equals the sequence number of the still
      unconsumed slot (diff = 1 - cap = 0), so a second push would
      overwrite the element and strand the consumer. *)
-  let cap = next_pow2 (max 2 capacity) in
+  if capacity <= 0 then invalid_arg "Mpmc.create: capacity must be positive";
+  let cap = Capacity.next_pow2 ~who:"Mpmc.create" (max 2 capacity) in
   {
-    slots = Array.init cap (fun i -> { seq = Atomic.make i; value = None });
+    slots = Array.init cap (fun i -> { seq = Atomic.make i; value = dummy });
+    dummy;
     mask = cap - 1;
     head = Atomic.make 0;
     tail = Atomic.make 0;
@@ -54,6 +60,8 @@ let create ~capacity =
   }
 
 let capacity t = t.mask + 1
+let dummy t = t.dummy
+let make_out t = { value = t.dummy }
 
 let set_faults t ~push ~pop =
   t.fault_push <- push;
@@ -63,33 +71,44 @@ let clear_faults t =
   t.fault_push <- None;
   t.fault_pop <- None
 
-let push_faulted t = match t.fault_push with Some f -> f () | None -> false
+let[@inline] push_faulted t = match t.fault_push with Some f -> f () | None -> false
+let[@inline] pop_faulted t = match t.fault_pop with Some f -> f () | None -> false
 
-let pop_faulted t = match t.fault_pop with Some f -> f () | None -> false
+(* [tail] and [head] are two racing atomics, so their difference read
+   after the CAS can be stale or even negative under contention — clamp
+   to the only depths a bounded queue can actually hold before feeding
+   the watermark. *)
+let[@inline] observe_depth t =
+  let depth = Atomic.get t.tail - Atomic.get t.head in
+  let cap = t.mask + 1 in
+  let depth = if depth < 0 then 0 else if depth > cap then cap else depth in
+  Obs.Counters.observe w_depth depth
+
+(* Top-level recursion (a tail call compiled to a jump): a local
+   [let rec attempt () = ...] would allocate a closure per operation. *)
+let rec push_attempt t v =
+  let tail = Atomic.get t.tail in
+  let slot = t.slots.(tail land t.mask) in
+  let seq = Atomic.get slot.seq in
+  let diff = seq - tail in
+  if diff = 0 then
+    if Atomic.compare_and_set t.tail tail (tail + 1) then begin
+      slot.value <- v;
+      Atomic.set slot.seq (tail + 1);
+      true
+    end
+    else push_attempt t v
+  else if diff < 0 then false (* slot still holds the previous lap: full *)
+  else push_attempt t v (* another producer advanced tail; retry *)
 
 let try_push t v =
   if push_faulted t then false
   else
-  let rec attempt () =
-    let tail = Atomic.get t.tail in
-    let slot = t.slots.(tail land t.mask) in
-    let seq = Atomic.get slot.seq in
-    let diff = seq - tail in
-    if diff = 0 then
-      if Atomic.compare_and_set t.tail tail (tail + 1) then begin
-        slot.value <- Some v;
-        Atomic.set slot.seq (tail + 1);
-        true
-      end
-      else attempt ()
-    else if diff < 0 then false (* slot still holds the previous lap: full *)
-    else attempt () (* another producer advanced tail; retry *)
-  in
-  let ok = attempt () in
+  let ok = push_attempt t v in
   if Atomic.get Obs.Trace.armed then begin
     if ok then begin
       Obs.Counters.incr c_push;
-      Obs.Counters.observe w_depth (Atomic.get t.tail - Atomic.get t.head)
+      observe_depth t
     end
     else Obs.Counters.incr c_push_full
   end;
@@ -101,28 +120,32 @@ let push t v =
     Backoff.once b
   done
 
-let try_pop t =
-  if pop_faulted t then None
+let rec pop_attempt t out =
+  let head = Atomic.get t.head in
+  let slot = t.slots.(head land t.mask) in
+  let seq = Atomic.get slot.seq in
+  let diff = seq - (head + 1) in
+  if diff = 0 then
+    if Atomic.compare_and_set t.head head (head + 1) then begin
+      out.value <- slot.value;
+      slot.value <- t.dummy;
+      Atomic.set slot.seq (head + t.mask + 1);
+      true
+    end
+    else pop_attempt t out
+  else if diff < 0 then false (* slot not yet filled: empty *)
+  else pop_attempt t out
+
+let pop_into t out =
+  if pop_faulted t then false
   else
-  let rec attempt () =
-    let head = Atomic.get t.head in
-    let slot = t.slots.(head land t.mask) in
-    let seq = Atomic.get slot.seq in
-    let diff = seq - (head + 1) in
-    if diff = 0 then
-      if Atomic.compare_and_set t.head head (head + 1) then begin
-        let v = slot.value in
-        slot.value <- None;
-        Atomic.set slot.seq (head + t.mask + 1);
-        v
-      end
-      else attempt ()
-    else if diff < 0 then None (* slot not yet filled: empty *)
-    else attempt ()
-  in
-  let r = attempt () in
+  let ok = pop_attempt t out in
   if Atomic.get Obs.Trace.armed then
-    Obs.Counters.incr (match r with None -> c_pop_empty | Some _ -> c_pop);
-  r
+    Obs.Counters.incr (if ok then c_pop else c_pop_empty);
+  ok
+
+let try_pop t =
+  let out = { value = t.dummy } in
+  if pop_into t out then Some out.value else None
 
 let length t = Atomic.get t.tail - Atomic.get t.head

@@ -5,16 +5,33 @@
     (multi-producer) and the owning worker plus any stealing worker may pop
     (multi-consumer).  This is Vyukov's array-based MPMC queue: each slot
     carries a sequence number that encodes whether it is ready for a push
-    or a pop, so both operations are a single CAS in the common case. *)
+    or a pop, so both operations are a single CAS in the common case.
+
+    Allocation discipline: slots store ['a] directly — no ['a option]
+    boxing.  A caller-supplied [dummy] fills empty slots so the GC never
+    sees stale pointers; full/empty is decided by the sequence numbers,
+    never by comparing against the dummy.  {!pop_into} returns through a
+    preallocated out-cell, making steady-state traffic allocation-free. *)
 
 type 'a t
 
-val create : capacity:int -> 'a t
+type 'a out = { mutable value : 'a }
+(** Preallocated out-cell for {!pop_into}: create one per consumer and
+    reuse it. *)
+
+val create : dummy:'a -> capacity:int -> 'a t
 (** Capacity is rounded up to a power of two, and to at least 2
     (Vyukov's sequence-number scheme cannot distinguish full from empty
-    with a single slot). *)
+    with a single slot).
+    @raise Invalid_argument if [capacity <= 0] or
+    [capacity > Capacity.max_capacity]. *)
 
 val capacity : 'a t -> int
+
+val dummy : 'a t -> 'a
+
+val make_out : 'a t -> 'a out
+(** A fresh out-cell initialised to the queue's dummy. *)
 
 val try_push : 'a t -> 'a -> bool
 (** [false] when the queue is full. *)
@@ -22,8 +39,14 @@ val try_push : 'a t -> 'a -> bool
 val push : 'a t -> 'a -> unit
 (** Spins with backoff while full. *)
 
+val pop_into : 'a t -> 'a out -> bool
+(** Zero-alloc pop: on success writes the element into [out.value] and
+    returns [true]; on empty leaves [out] untouched and returns
+    [false]. *)
+
 val try_pop : 'a t -> 'a option
-(** [None] when the queue is empty. *)
+(** [None] when the queue is empty.  Allocating convenience wrapper —
+    hot paths use {!pop_into}. *)
 
 val length : 'a t -> int
 (** Racy occupancy snapshot, for monitoring and tests only. *)
@@ -33,12 +56,12 @@ val length : 'a t -> int
 val set_faults : 'a t -> push:(unit -> bool) option -> pop:(unit -> bool) option -> unit
 (** Arm fault hooks on this queue: while [push] returns [true], [try_push]
     reports full without attempting the push; while [pop] returns [true],
-    [try_pop] reports empty.  Spurious full/empty are the only failure
-    modes a bounded lock-free queue presents to callers, so injecting them
-    forces the rarely-taken backpressure/overflow paths (dispatcher
-    blocking, worker overflow-to-inline) while preserving correctness of
-    correct clients.  Never arm a queue whose consumer treats
-    [try_pop = None] as end-of-stream (e.g. the pipeline input during
-    drain).  Hooks may be probed concurrently from many domains. *)
+    the pop variants report empty.  Spurious full/empty are the only
+    failure modes a bounded lock-free queue presents to callers, so
+    injecting them forces the rarely-taken backpressure/overflow paths
+    (dispatcher blocking, worker overflow-to-inline) while preserving
+    correctness of correct clients.  Never arm a queue whose consumer
+    treats [try_pop = None] as end-of-stream (e.g. the pipeline input
+    during drain).  Hooks may be probed concurrently from many domains. *)
 
 val clear_faults : 'a t -> unit

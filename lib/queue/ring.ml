@@ -1,12 +1,7 @@
 type 'a t = { slots : 'a array; mask : int }
 
-let next_pow2 n =
-  let rec go p = if p >= n then p else go (p * 2) in
-  go 1
-
 let create ~capacity f =
-  if capacity <= 0 then invalid_arg "Ring.create";
-  let cap = next_pow2 capacity in
+  let cap = Capacity.next_pow2 ~who:"Ring.create" capacity in
   { slots = Array.init cap f; mask = cap - 1 }
 
 let capacity t = t.mask + 1

@@ -1,6 +1,15 @@
 (* Classic Lamport SPSC ring: the producer owns [tail], the consumer owns
-   [head]; each reads the other's index through an Atomic.  Slots hold
-   ['a option] so the GC never sees stale pointers. *)
+   [head]; each reads the other's index through an Atomic.
+
+   Hot-path allocation discipline: slots hold ['a] directly (no ['a option]
+   boxing) with a caller-supplied [dummy] element filling empty slots so
+   the GC never sees stale pointers.  Emptiness is decided purely by the
+   head/tail indices — the dummy is never compared against, so any value
+   (including one that also occurs in the stream) is a valid dummy.
+   [pop_into] returns through a preallocated out-cell, [push_batch] /
+   [pop_batch_into] publish a whole batch with a single index store, and
+   the [_with] blocking variants take a caller-owned [Backoff.t] — so a
+   steady-state producer/consumer pair allocates nothing. *)
 
 module Obs = Doradd_obs
 
@@ -12,7 +21,8 @@ let c_pop_empty = Obs.Counters.counter "spsc.pop_empty"
 let w_depth = Obs.Counters.watermark "spsc.depth_hwm"
 
 type 'a t = {
-  slots : 'a option array;
+  slots : 'a array;
+  dummy : 'a;
   mask : int;
   head : int Atomic.t; (* next slot to pop *)
   tail : int Atomic.t; (* next slot to push *)
@@ -21,15 +31,13 @@ type 'a t = {
   mutable fault_pop : (unit -> bool) option;
 }
 
-let next_pow2 n =
-  let rec go p = if p >= n then p else go (p * 2) in
-  go 1
+type 'a out = { mutable value : 'a }
 
-let create ~capacity =
-  if capacity <= 0 then invalid_arg "Spsc.create";
-  let cap = next_pow2 capacity in
+let create ~dummy ~capacity =
+  let cap = Capacity.next_pow2 ~who:"Spsc.create" capacity in
   {
-    slots = Array.make cap None;
+    slots = Array.make cap dummy;
+    dummy;
     mask = cap - 1;
     head = Atomic.make 0;
     tail = Atomic.make 0;
@@ -38,6 +46,8 @@ let create ~capacity =
   }
 
 let capacity t = t.mask + 1
+let dummy t = t.dummy
+let make_out t = { value = t.dummy }
 
 let set_faults t ~push ~pop =
   t.fault_push <- push;
@@ -47,8 +57,18 @@ let clear_faults t =
   t.fault_push <- None;
   t.fault_pop <- None
 
+let[@inline] push_faulted t = match t.fault_push with Some f -> f () | None -> false
+let[@inline] pop_faulted t = match t.fault_pop with Some f -> f () | None -> false
+
+(* Racing-index reads can transiently disagree, so the depth fed to the
+   watermark is clamped to the only values a bounded queue can hold. *)
+let[@inline] observe_depth t depth =
+  let cap = t.mask + 1 in
+  let depth = if depth < 0 then 0 else if depth > cap then cap else depth in
+  Obs.Counters.observe w_depth depth
+
 let try_push t v =
-  if (match t.fault_push with Some f -> f () | None -> false) then false
+  if push_faulted t then false
   else
   let tail = Atomic.get t.tail in
   let head = Atomic.get t.head in
@@ -57,24 +77,92 @@ let try_push t v =
     false
   end
   else begin
-    t.slots.(tail land t.mask) <- Some v;
+    t.slots.(tail land t.mask) <- v;
     (* The Atomic.set publishes the slot write (release). *)
     Atomic.set t.tail (tail + 1);
     if Atomic.get Obs.Trace.armed then begin
       Obs.Counters.incr c_push;
-      Obs.Counters.observe w_depth (tail + 1 - head)
+      observe_depth t (tail + 1 - head)
     end;
     true
   end
 
-let push t v =
-  let b = Backoff.create () in
+let push_with t b v =
   while not (try_push t v) do
     Backoff.once b
   done
 
+let push t v = push_with t (Backoff.create ()) v
+
+(* All-or-nothing: either the whole batch fits and is published with one
+   tail store, or nothing is written. *)
+let push_batch t items ~len =
+  if len < 0 || len > Array.length items then invalid_arg "Spsc.push_batch";
+  if len = 0 then true
+  else if push_faulted t then false
+  else
+    let tail = Atomic.get t.tail in
+    let head = Atomic.get t.head in
+    if tail + len - head > t.mask + 1 then begin
+      if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_push_full;
+      false
+    end
+    else begin
+      for i = 0 to len - 1 do
+        t.slots.((tail + i) land t.mask) <- items.(i)
+      done;
+      Atomic.set t.tail (tail + len);
+      if Atomic.get Obs.Trace.armed then begin
+        Obs.Counters.add c_push len;
+        observe_depth t (tail + len - head)
+      end;
+      true
+    end
+
+let pop_into t out =
+  if pop_faulted t then false
+  else
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head = tail then begin
+    if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop_empty;
+    false
+  end
+  else begin
+    let idx = head land t.mask in
+    out.value <- t.slots.(idx);
+    t.slots.(idx) <- t.dummy;
+    Atomic.set t.head (head + 1);
+    if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop;
+    true
+  end
+
+(* Drain everything available (up to [Array.length scratch]) with a single
+   head store; returns the number of elements written to [scratch]. *)
+let pop_batch_into t scratch =
+  if pop_faulted t then 0
+  else
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  let avail = tail - head in
+  let n = if avail < Array.length scratch then avail else Array.length scratch in
+  if n <= 0 then begin
+    if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop_empty;
+    0
+  end
+  else begin
+    for i = 0 to n - 1 do
+      let idx = (head + i) land t.mask in
+      scratch.(i) <- t.slots.(idx);
+      t.slots.(idx) <- t.dummy
+    done;
+    Atomic.set t.head (head + n);
+    if Atomic.get Obs.Trace.armed then Obs.Counters.add c_pop n;
+    n
+  end
+
 let try_pop t =
-  if (match t.fault_pop with Some f -> f () | None -> false) then None
+  if pop_faulted t then None
   else
   let head = Atomic.get t.head in
   let tail = Atomic.get t.tail in
@@ -85,21 +173,19 @@ let try_pop t =
   else begin
     let idx = head land t.mask in
     let v = t.slots.(idx) in
-    t.slots.(idx) <- None;
+    t.slots.(idx) <- t.dummy;
     Atomic.set t.head (head + 1);
     if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop;
-    v
+    Some v
   end
 
-let pop t =
-  let b = Backoff.create () in
-  let rec go () =
-    match try_pop t with
-    | Some v -> v
-    | None ->
-      Backoff.once b;
-      go ()
-  in
-  go ()
+let rec pop_with t b out =
+  if pop_into t out then out.value
+  else begin
+    Backoff.once b;
+    pop_with t b out
+  end
+
+let pop t = pop_with t (Backoff.create ()) (make_out t)
 
 let length t = Atomic.get t.tail - Atomic.get t.head

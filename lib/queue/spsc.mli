@@ -4,36 +4,80 @@
     pipeline stages with bounded SPSC queues: each stage pushes the number
     of ring entries the next stage should process, and a full queue exerts
     backpressure.  Exactly one domain may push and exactly one may pop;
-    under that contract all operations are wait-free. *)
+    under that contract all operations are wait-free.
+
+    Allocation discipline: slots store ['a] directly — no ['a option]
+    boxing.  A caller-supplied [dummy] element fills empty slots so the GC
+    never sees stale pointers; emptiness is decided by the indices alone,
+    so the dummy may legitimately also occur in the stream.  With
+    {!pop_into} / {!push_batch} / {!pop_batch_into} and the [_with]
+    blocking variants, a steady-state producer/consumer pair allocates
+    nothing. *)
 
 type 'a t
 
-val create : capacity:int -> 'a t
-(** [create ~capacity] allocates the ring; capacity is rounded up to a
-    power of two (the paper uses depth 4). *)
+type 'a out = { mutable value : 'a }
+(** Preallocated out-cell for {!pop_into}: create one per consumer and
+    reuse it. *)
+
+val create : dummy:'a -> capacity:int -> 'a t
+(** [create ~dummy ~capacity] allocates the ring; capacity is rounded up
+    to a power of two (the paper uses depth 4).
+    @raise Invalid_argument if [capacity <= 0] or
+    [capacity > Capacity.max_capacity]. *)
 
 val capacity : 'a t -> int
+
+val dummy : 'a t -> 'a
+
+val make_out : 'a t -> 'a out
+(** A fresh out-cell initialised to the queue's dummy. *)
 
 val try_push : 'a t -> 'a -> bool
 (** Producer side.  Returns [false] when full. *)
 
 val push : 'a t -> 'a -> unit
 (** Producer side; spins with backoff until space is available
-    (backpressure, as in the paper). *)
+    (backpressure, as in the paper).  Allocates a fresh backoff — use
+    {!push_with} on allocation-sensitive paths. *)
+
+val push_with : 'a t -> Backoff.t -> 'a -> unit
+(** Blocking push spinning on a caller-owned backoff (zero-alloc). *)
+
+val push_batch : 'a t -> 'a array -> len:int -> bool
+(** [push_batch t items ~len] publishes [items.(0 .. len-1)] with a single
+    tail store.  All-or-nothing: returns [false] (nothing written) when
+    fewer than [len] slots are free.
+    @raise Invalid_argument if [len < 0] or [len > Array.length items]. *)
+
+val pop_into : 'a t -> 'a out -> bool
+(** Zero-alloc pop: on success writes the element into [out.value] and
+    returns [true]; on empty leaves [out] untouched and returns [false]. *)
+
+val pop_batch_into : 'a t -> 'a array -> int
+(** Drain up to [Array.length scratch] available elements with a single
+    head store; returns the count written to [scratch.(0 ..)] (0 when
+    empty). *)
 
 val try_pop : 'a t -> 'a option
-(** Consumer side.  Returns [None] when empty. *)
+(** Consumer side.  Returns [None] when empty.  Allocating convenience
+    wrapper — hot paths use {!pop_into}. *)
 
 val pop : 'a t -> 'a
-(** Consumer side; spins with backoff until an element arrives. *)
+(** Consumer side; spins with backoff until an element arrives.
+    Allocates — use {!pop_with} on hot paths. *)
+
+val pop_with : 'a t -> Backoff.t -> 'a out -> 'a
+(** Blocking pop through a caller-owned backoff and out-cell
+    (zero-alloc). *)
 
 val length : 'a t -> int
 (** Snapshot of the current occupancy (racy, for monitoring only). *)
 
 val set_faults : 'a t -> push:(unit -> bool) option -> pop:(unit -> bool) option -> unit
-(** Arm deterministic fault hooks: spurious full on [try_push], spurious
-    empty on [try_pop].  Same contract and caveats as {!Mpmc.set_faults};
-    in particular never arm the pop side of a queue whose consumer uses
-    emptiness as an end-of-stream signal. *)
+(** Arm deterministic fault hooks: spurious full on the push variants,
+    spurious empty on the pop variants.  Same contract and caveats as
+    {!Mpmc.set_faults}; in particular never arm the pop side of a queue
+    whose consumer uses emptiness as an end-of-stream signal. *)
 
 val clear_faults : 'a t -> unit

@@ -41,7 +41,7 @@ let create ?workers ?queue_capacity ?fuzz ?(channel_capacity = 4096) ~primary_fo
      perturbed schedules still converge. *)
   let primary = Core.Runtime.create ?workers ?queue_capacity ?fuzz () in
   let backup = Core.Runtime.create ?workers ?queue_capacity ?fuzz () in
-  let channel = Mpmc.create ~capacity:channel_capacity in
+  let channel = Mpmc.create ~dummy:None ~capacity:channel_capacity in
   let backup_applied = Atomic.make 0 in
   let replay_domain =
     Domain.spawn (fun () ->

@@ -10,7 +10,7 @@ type 'req t = {
 }
 
 let create ?(queue_capacity = 4096) ~deliver () =
-  let input = Mpmc.create ~capacity:queue_capacity in
+  let input = Mpmc.create ~dummy:None ~capacity:queue_capacity in
   let delivered = Atomic.make 0 in
   let log = ref [] in
   let domain =

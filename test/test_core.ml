@@ -56,6 +56,44 @@ let test_node_multiple_dependents_ready_order () =
   Node.complete a ~on_ready:(fun d -> order := Node.seqno d :: !order);
   Alcotest.check (Alcotest.list Alcotest.int) "log order" [ 1; 2; 3; 4; 5 ] (List.rev !order)
 
+let test_node_pool_recycles () =
+  (* steady state must reuse the same node object: acquire → complete →
+     recycle → acquire hands back the identical record, reinitialised *)
+  let pool = Node.create_pool ~nodes:1 ~cells:4 in
+  let n1 = Node.acquire pool ~seqno:0 nop in
+  let g1 = Node.generation n1 in
+  ignore (Node.release n1);
+  ignore (Node.run n1);
+  Node.complete n1 ~on_ready:(fun _ -> ());
+  Node.recycle n1;
+  let n2 = Node.acquire pool ~seqno:7 nop in
+  checkb "pool reuses the node object" true (n2 == n1);
+  checki "seqno reset" 7 (Node.seqno n2);
+  checkb "generation bumped" true (Node.generation n2 > g1);
+  checki "join reset to 1" 1 (Node.pending n2);
+  checkb "not done after reinit" false (Node.is_done n2)
+
+let test_node_pool_stale_slot_reference () =
+  (* Slots snapshot (node, generation); once the node is recycled and
+     reincarnated for a later request, the spawner must treat the stale
+     snapshot as already complete — otherwise the new request would be
+     wired behind its own node and deadlock. *)
+  let pool = Node.create_pool ~nodes:1 ~cells:4 in
+  let cell = Resource.create 0 in
+  let fp = Footprint.of_slots [ Resource.slot cell ] in
+  let ready = ref 0 in
+  let sink _ = incr ready in
+  let a = Node.acquire pool ~seqno:0 nop in
+  Spawner.schedule_ready sink a fp;
+  checki "head of chain ready" 1 !ready;
+  ignore (Node.run a);
+  Node.complete a ~on_ready:(fun _ -> ());
+  Node.recycle a;
+  let b = Node.acquire pool ~seqno:1 nop in
+  checkb "same object reincarnated" true (b == a);
+  Spawner.schedule_ready sink b fp;
+  checki "stale writer snapshot ignored: b immediately ready" 2 !ready
+
 let test_node_double_complete_rejected () =
   let a = Node.create ~seqno:0 nop in
   ignore (Node.release a);
@@ -504,6 +542,23 @@ let test_runtime_overflow_inline_path () =
   checki "all applied" n (Array.fold_left (fun a c -> a + Resource.get c) 0 cells);
   Runtime.shutdown t
 
+let test_runtime_deep_chain_small_queues () =
+  (* A 10k-deep pure dependency chain through one cell, with the smallest
+     legal queues: every completion re-pushes into a full queue, so the
+     whole chain flows through the overflow worklist.  The old mutually
+     recursive inline path consumed a stack frame per chain link and
+     overflowed here. *)
+  let n = 10_000 in
+  let cell = Resource.create 0 in
+  let fp _ = Footprint.of_slots [ Resource.slot cell ] in
+  let exec id = Resource.update cell (fun v -> (v * 31) + id + 1) in
+  Runtime.run_log ~workers:2 ~queue_capacity:2 fp exec (Array.init n Fun.id);
+  let expected = ref 0 in
+  for id = 0 to n - 1 do
+    expected := (!expected * 31) + id + 1
+  done;
+  checki "matches the serial fold" !expected (Resource.peek cell)
+
 (* qcheck: spawner ordering — for any random all-write log, a request
    never becomes runnable before every earlier conflicting request has
    completed (checked via the wave schedule) *)
@@ -568,6 +623,7 @@ type pipe_entry = {
 let pipe_service_add cells applied =
   {
     Service.entry_create = (fun _ -> { req_id = -1; keys = []; resolved = [] });
+    dummy_input = (-1, []);
     inject =
       (fun e (id, keys) ->
         e.req_id <- id;
@@ -587,6 +643,7 @@ let pipe_service_add cells applied =
 let pipe_service cells applied =
   {
     Service.entry_create = (fun _ -> { req_id = -1; keys = []; resolved = [] });
+    dummy_input = (-1, []);
     inject =
       (fun e (id, keys) ->
         e.req_id <- id;
@@ -713,6 +770,8 @@ let () =
           tc "register after done" `Quick test_node_register_after_done;
           tc "ready order" `Quick test_node_multiple_dependents_ready_order;
           tc "double complete rejected" `Quick test_node_double_complete_rejected;
+          tc "pool recycles nodes" `Quick test_node_pool_recycles;
+          tc "stale slot reference ignored" `Quick test_node_pool_stale_slot_reference;
           tc "diamond" `Quick test_node_diamond;
         ] );
       ( "footprint",
@@ -757,6 +816,7 @@ let () =
           tc "failure injection" `Quick test_runtime_failure_injection;
           tc "failure in yield step" `Quick test_runtime_failure_in_yield_step;
           tc "overflow inline path" `Slow test_runtime_overflow_inline_path;
+          tc "deep chain, tiny queues" `Slow test_runtime_deep_chain_small_queues;
           QCheck_alcotest.to_alcotest prop_runtime_deterministic;
           QCheck_alcotest.to_alcotest prop_runtime_worker_count_invariant;
         ] );

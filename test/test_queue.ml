@@ -29,7 +29,7 @@ let test_backoff_validation () =
 (* ------------------------------------------------------------------ *)
 
 let test_spsc_fifo () =
-  let q = Spsc.create ~capacity:8 in
+  let q = Spsc.create ~dummy:0 ~capacity:8 in
   for i = 1 to 8 do
     checkb "push fits" true (Spsc.try_push q i)
   done;
@@ -40,11 +40,11 @@ let test_spsc_fifo () =
   Alcotest.check (Alcotest.option Alcotest.int) "empty" None (Spsc.try_pop q)
 
 let test_spsc_capacity_rounding () =
-  let q = Spsc.create ~capacity:5 in
+  let q = Spsc.create ~dummy:0 ~capacity:5 in
   checki "rounded to 8" 8 (Spsc.capacity q)
 
 let test_spsc_wraparound () =
-  let q = Spsc.create ~capacity:4 in
+  let q = Spsc.create ~dummy:0 ~capacity:4 in
   for round = 0 to 99 do
     for i = 0 to 2 do
       checkb "push" true (Spsc.try_push q ((round * 3) + i))
@@ -55,7 +55,7 @@ let test_spsc_wraparound () =
   done
 
 let test_spsc_length () =
-  let q = Spsc.create ~capacity:8 in
+  let q = Spsc.create ~dummy:0 ~capacity:8 in
   checki "empty" 0 (Spsc.length q);
   ignore (Spsc.try_push q 1);
   ignore (Spsc.try_push q 2);
@@ -63,9 +63,44 @@ let test_spsc_length () =
   ignore (Spsc.try_pop q);
   checki "one" 1 (Spsc.length q)
 
+let test_spsc_out_cell () =
+  let q = Spsc.create ~dummy:(-1) ~capacity:4 in
+  let out = Spsc.make_out q in
+  checkb "empty pop_into fails" false (Spsc.pop_into q out);
+  ignore (Spsc.try_push q 7);
+  checkb "pop_into succeeds" true (Spsc.pop_into q out);
+  checki "out-cell holds the value" 7 out.Spsc.value;
+  checkb "drained" false (Spsc.pop_into q out)
+
+let test_spsc_push_batch () =
+  let q = Spsc.create ~dummy:0 ~capacity:8 in
+  checkb "whole batch fits" true (Spsc.push_batch q [| 1; 2; 3; 4; 5 |] ~len:5);
+  (* all-or-nothing: 4 more don't fit into the 3 free slots *)
+  checkb "oversized batch refused" false (Spsc.push_batch q [| 6; 7; 8; 9 |] ~len:4);
+  checki "refused batch left the queue untouched" 5 (Spsc.length q);
+  checkb "exact fit accepted" true (Spsc.push_batch q [| 6; 7; 8 |] ~len:3);
+  for i = 1 to 8 do
+    Alcotest.check (Alcotest.option Alcotest.int) "fifo across batches" (Some i) (Spsc.try_pop q)
+  done;
+  checkb "len may cover a prefix" true (Spsc.push_batch q [| 9; 99; 999 |] ~len:1);
+  Alcotest.check (Alcotest.option Alcotest.int) "prefix only" (Some 9) (Spsc.try_pop q);
+  Alcotest.check_raises "bad len" (Invalid_argument "Spsc.push_batch") (fun () ->
+      ignore (Spsc.push_batch q [| 1 |] ~len:2))
+
+let test_spsc_pop_batch_into () =
+  let q = Spsc.create ~dummy:0 ~capacity:8 in
+  let scratch = Array.make 3 0 in
+  checki "empty drains nothing" 0 (Spsc.pop_batch_into q scratch);
+  ignore (Spsc.push_batch q [| 1; 2; 3; 4; 5 |] ~len:5);
+  checki "bounded by scratch" 3 (Spsc.pop_batch_into q scratch);
+  checkb "fifo order" true (scratch = [| 1; 2; 3 |]);
+  checki "bounded by backlog" 2 (Spsc.pop_batch_into q scratch);
+  checki "then empty" 0 (Spsc.pop_batch_into q scratch);
+  checkb "tail in order" true (scratch.(0) = 4 && scratch.(1) = 5)
+
 let test_spsc_two_domain_transfer () =
   let n = 100_000 in
-  let q = Spsc.create ~capacity:64 in
+  let q = Spsc.create ~dummy:0 ~capacity:64 in
   let consumer =
     Domain.spawn (fun () ->
         let sum = ref 0 in
@@ -91,7 +126,7 @@ let test_spsc_two_domain_transfer () =
 (* ------------------------------------------------------------------ *)
 
 let test_mpmc_fifo_single_thread () =
-  let q = Mpmc.create ~capacity:16 in
+  let q = Mpmc.create ~dummy:0 ~capacity:16 in
   for i = 1 to 16 do
     checkb "push fits" true (Mpmc.try_push q i)
   done;
@@ -102,14 +137,14 @@ let test_mpmc_fifo_single_thread () =
   Alcotest.check (Alcotest.option Alcotest.int) "empty" None (Mpmc.try_pop q)
 
 let test_mpmc_wraparound () =
-  let q = Mpmc.create ~capacity:4 in
+  let q = Mpmc.create ~dummy:0 ~capacity:4 in
   for round = 0 to 999 do
     checkb "push" true (Mpmc.try_push q round);
     Alcotest.check (Alcotest.option Alcotest.int) "pop" (Some round) (Mpmc.try_pop q)
   done
 
 let test_mpmc_interleaved_capacity () =
-  let q = Mpmc.create ~capacity:4 in
+  let q = Mpmc.create ~dummy:0 ~capacity:4 in
   (* repeatedly go full->empty to exercise lap arithmetic *)
   for _ = 1 to 100 do
     for i = 0 to 3 do
@@ -125,7 +160,7 @@ let test_mpmc_interleaved_capacity () =
 let test_mpmc_multi_producer_multi_consumer () =
   let producers = 4 and consumers = 4 and per_producer = 25_000 in
   let total = producers * per_producer in
-  let q = Mpmc.create ~capacity:256 in
+  let q = Mpmc.create ~dummy:0 ~capacity:256 in
   let consumed = Atomic.make 0 in
   let sum = Atomic.make 0 in
   let seen_flags = Array.init total (fun _ -> Atomic.make false) in
@@ -168,7 +203,7 @@ let test_mpmc_per_producer_order () =
   (* FIFO per producer: a single consumer must see each producer's items in
      increasing order even with concurrent producers. *)
   let producers = 3 and per_producer = 20_000 in
-  let q = Mpmc.create ~capacity:128 in
+  let q = Mpmc.create ~dummy:0 ~capacity:128 in
   let producer_domains =
     Array.init producers (fun p ->
         Domain.spawn (fun () ->
@@ -193,6 +228,46 @@ let test_mpmc_per_producer_order () =
   Array.iter Domain.join producer_domains;
   checkb "per-producer FIFO" true !ok
 
+let test_mpmc_out_cell () =
+  let q = Mpmc.create ~dummy:(-1) ~capacity:4 in
+  let out = Mpmc.make_out q in
+  checkb "empty pop_into fails" false (Mpmc.pop_into q out);
+  ignore (Mpmc.try_push q 42);
+  checkb "pop_into succeeds" true (Mpmc.pop_into q out);
+  checki "out-cell holds the value" 42 out.Mpmc.value;
+  checkb "drained" false (Mpmc.pop_into q out)
+
+(* ------------------------------------------------------------------ *)
+(* Capacity validation (shared by all bounded queues)                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_capacity_rejects_absurd () =
+  let absurd = Capacity.max_capacity + 1 in
+  Alcotest.check_raises "spsc zero" (Invalid_argument "Spsc.create: capacity must be positive")
+    (fun () -> ignore (Spsc.create ~dummy:0 ~capacity:0));
+  Alcotest.check_raises "spsc absurd" (Invalid_argument "Spsc.create: capacity exceeds 2^30")
+    (fun () -> ignore (Spsc.create ~dummy:0 ~capacity:absurd));
+  (* the old unguarded doubling loop spun forever here: above 2^61 no
+     int-sized power of two can reach [n], and [p * 2] wraps negative *)
+  Alcotest.check_raises "spsc 2^61+1" (Invalid_argument "Spsc.create: capacity exceeds 2^30")
+    (fun () -> ignore (Spsc.create ~dummy:0 ~capacity:((1 lsl 61) + 1)));
+  Alcotest.check_raises "mpmc negative" (Invalid_argument "Mpmc.create: capacity must be positive")
+    (fun () -> ignore (Mpmc.create ~dummy:0 ~capacity:(-3)));
+  Alcotest.check_raises "mpmc absurd" (Invalid_argument "Mpmc.create: capacity exceeds 2^30")
+    (fun () -> ignore (Mpmc.create ~dummy:0 ~capacity:max_int));
+  Alcotest.check_raises "ring absurd" (Invalid_argument "Ring.create: capacity exceeds 2^30")
+    (fun () -> ignore (Ring.create ~capacity:((1 lsl 40) + 7) Fun.id))
+
+(* qcheck: for any sane requested capacity the queue provides at least
+   that many slots (rounding up to a power of two, never down). *)
+let prop_capacity_at_least_requested =
+  QCheck.Test.make ~name:"create ~capacity:n yields capacity >= n" ~count:500
+    QCheck.(int_range 1 100_000)
+    (fun n ->
+      Spsc.capacity (Spsc.create ~dummy:0 ~capacity:n) >= n
+      && Mpmc.capacity (Mpmc.create ~dummy:0 ~capacity:n) >= n
+      && Ring.capacity (Ring.create ~capacity:n Fun.id) >= n)
+
 (* qcheck: any single-threaded sequence of pushes and pops behaves like a
    functional FIFO of the same capacity. *)
 let prop_mpmc_model =
@@ -200,7 +275,7 @@ let prop_mpmc_model =
     QCheck.(list (pair bool (int_range 0 1000)))
     (fun ops ->
       let cap = 8 in
-      let q = Mpmc.create ~capacity:cap in
+      let q = Mpmc.create ~dummy:0 ~capacity:cap in
       let model = Queue.create () in
       List.for_all
         (fun (is_push, v) ->
@@ -222,7 +297,7 @@ let prop_spsc_model =
     QCheck.(list (pair bool (int_range 0 1000)))
     (fun ops ->
       let cap = 8 in
-      let q = Spsc.create ~capacity:cap in
+      let q = Spsc.create ~dummy:0 ~capacity:cap in
       let model = Queue.create () in
       List.for_all
         (fun (is_push, v) ->
@@ -269,6 +344,9 @@ let () =
           tc "capacity rounding" `Quick test_spsc_capacity_rounding;
           tc "wraparound" `Quick test_spsc_wraparound;
           tc "length" `Quick test_spsc_length;
+          tc "out-cell pop" `Quick test_spsc_out_cell;
+          tc "push_batch" `Quick test_spsc_push_batch;
+          tc "pop_batch_into" `Quick test_spsc_pop_batch_into;
           tc "two-domain transfer" `Slow test_spsc_two_domain_transfer;
           QCheck_alcotest.to_alcotest prop_spsc_model;
         ] );
@@ -279,7 +357,13 @@ let () =
           tc "interleaved capacity" `Quick test_mpmc_interleaved_capacity;
           tc "multi-producer multi-consumer" `Slow test_mpmc_multi_producer_multi_consumer;
           tc "per-producer order" `Slow test_mpmc_per_producer_order;
+          tc "out-cell pop" `Quick test_mpmc_out_cell;
           QCheck_alcotest.to_alcotest prop_mpmc_model;
+        ] );
+      ( "capacity",
+        [
+          tc "rejects absurd capacities" `Quick test_capacity_rejects_absurd;
+          QCheck_alcotest.to_alcotest prop_capacity_at_least_requested;
         ] );
       ( "ring",
         [

@@ -16,7 +16,7 @@ let checkb = Alcotest.check Alcotest.bool
 
 (* FIFO order, no loss, no duplication, across many wraps of a tiny ring. *)
 let spsc_stress ~capacity ~items () =
-  let q = Spsc.create ~capacity in
+  let q = Spsc.create ~dummy:0 ~capacity in
   let consumer =
     Domain.spawn (fun () ->
         let b = Backoff.create () in
@@ -50,7 +50,7 @@ let test_spsc_stress_paper_depth () = spsc_stress ~capacity:4 ~items:1_600 ()
    many try_push rejections a slow consumer provokes, then verify nothing
    was lost. *)
 let test_spsc_backpressure () =
-  let q = Spsc.create ~capacity:2 in
+  let q = Spsc.create ~dummy:0 ~capacity:2 in
   let items = 800 in
   let consumer =
     Domain.spawn (fun () ->
@@ -86,7 +86,7 @@ let test_spsc_backpressure () =
    value is popped exactly once.  Values are tagged per producer so
    duplicates can't cancel out in the sum. *)
 let mpmc_stress ~capacity ~producers ~consumers ~per_producer () =
-  let q = Mpmc.create ~capacity in
+  let q = Mpmc.create ~dummy:0 ~capacity in
   let total = producers * per_producer in
   let popped = Atomic.make 0 in
   let seen = Array.make total (Atomic.make 0) in
@@ -134,7 +134,7 @@ let test_mpmc_stress_1p3c () = mpmc_stress ~capacity:16 ~producers:1 ~consumers:
    only delay clients that retry — never lose or duplicate an element —
    and clear_faults must restore clean behaviour. *)
 let test_mpmc_faults_no_loss () =
-  let q = Mpmc.create ~capacity:4 in
+  let q = Mpmc.create ~dummy:0 ~capacity:4 in
   let push_probes = Atomic.make 0 and pop_probes = Atomic.make 0 in
   Mpmc.set_faults q
     ~push:(Some (fun () -> Atomic.fetch_and_add push_probes 1 mod 3 = 0))
@@ -167,7 +167,7 @@ let test_mpmc_faults_no_loss () =
   Alcotest.check (Alcotest.option Alcotest.int) "clean pop" (Some 1) (Mpmc.try_pop q)
 
 let test_spsc_faults_no_loss () =
-  let q = Spsc.create ~capacity:2 in
+  let q = Spsc.create ~dummy:0 ~capacity:2 in
   let k = Atomic.make 0 in
   Spsc.set_faults q
     ~push:(Some (fun () -> Atomic.fetch_and_add k 1 mod 4 = 0))
@@ -205,7 +205,7 @@ let prop_mpmc_bounded_fifo =
     (fun (capacity, script) ->
       (* QCheck's int_range shrinker can step below the range *)
       let capacity = max 1 capacity in
-      let q = Mpmc.create ~capacity in
+      let q = Mpmc.create ~dummy:0 ~capacity in
       let cap = Mpmc.capacity q in
       let model = Queue.create () in
       let next = ref 0 in
@@ -231,7 +231,7 @@ let prop_spsc_bounded_fifo =
     QCheck.(pair (int_range 1 9) (small_list bool))
     (fun (capacity, script) ->
       let capacity = max 1 capacity in
-      let q = Spsc.create ~capacity in
+      let q = Spsc.create ~dummy:0 ~capacity in
       let cap = Spsc.capacity q in
       let model = Queue.create () in
       let next = ref 0 in
@@ -260,7 +260,7 @@ let prop_mpmc_faults_are_refusals =
     QCheck.(triple (int_range 1 5) (small_list bool) (pair small_nat small_nat))
     (fun (capacity, script, (pf, qf)) ->
       let capacity = max 1 capacity in
-      let q = Mpmc.create ~capacity in
+      let q = Mpmc.create ~dummy:0 ~capacity in
       let cap = Mpmc.capacity q in
       let pushes = ref 0 and pops = ref 0 in
       let push_faulted () =
