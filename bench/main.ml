@@ -172,6 +172,61 @@ let run_real_runtime_bench () =
   St.Table.print ~header:[ "workers"; "replay rate" ] rows;
   print_newline ()
 
+(* Durability subsystem: raw WAL append throughput (buffered, one final
+   sync) and group commit at several batch sizes with real fsync — the
+   knob the durable sequencer's adaptive batching turns. *)
+module Persist = Doradd_persist
+
+let run_wal_bench () =
+  print_endline "=== WAL append / group commit (host disk, temp dir) ===";
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let payload = String.make 64 'x' in
+  let in_temp_dir f =
+    let dir = Filename.temp_dir "doradd_bench_wal" "" in
+    Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+  in
+  let raw =
+    in_temp_dir @@ fun dir ->
+    let w = Persist.Wal.open_ ~segment_bytes:(1 lsl 22) ~fsync:false ~dir () in
+    let n = 200_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (Persist.Wal.append w payload)
+    done;
+    Persist.Wal.sync w;
+    let dt = Unix.gettimeofday () -. t0 in
+    Persist.Wal.close w;
+    [ "buffered append (no fsync)"; "1"; St.Table.fmt_rate (float_of_int n /. dt) ]
+  in
+  let group size =
+    in_temp_dir @@ fun dir ->
+    let w = Persist.Wal.open_ ~segment_bytes:(1 lsl 22) ~fsync:true ~dir () in
+    let n = 512 in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to n do
+      ignore (Persist.Wal.append w payload);
+      if i mod size = 0 then Persist.Wal.sync w
+    done;
+    Persist.Wal.sync w;
+    let dt = Unix.gettimeofday () -. t0 in
+    Persist.Wal.close w;
+    [
+      Printf.sprintf "group commit, batch %d" size;
+      string_of_int ((n + size - 1) / size);
+      St.Table.fmt_rate (float_of_int n /. dt);
+    ]
+  in
+  St.Table.print
+    ~header:[ "policy"; "fsyncs"; "records/s" ]
+    (raw :: List.map group [ 1; 8; 64 ]);
+  print_newline ()
+
 (* ------------------------------------------------------------------ *)
 (* Part 3: observability disabled-path overhead gate                   *)
 (* ------------------------------------------------------------------ *)
@@ -378,12 +433,14 @@ let () =
   else begin
     if Array.exists (( = ) "micro") Sys.argv then begin
       run_real_runtime_bench ();
+      run_wal_bench ();
       run_microbenches ()
     end
     else begin
       let mode = mode_of_argv () in
       run_experiments mode;
       run_real_runtime_bench ();
+      run_wal_bench ();
       run_microbenches ()
     end;
     run_gates ()

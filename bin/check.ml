@@ -271,6 +271,91 @@ let obs_smoke ~seed ~n =
     ];
   spans_ok && chrome_ok && metrics_ok
 
+(* -- recovery smoke: kill/recover/verify with real fsync -------------- *)
+
+module Persist = Doradd_persist
+
+let recovery_smoke ~seed =
+  let module Cp = Persist.Crashpoint in
+  let points = [ Cp.Pre_fsync; Cp.Mid_append; Cp.Mid_rotation; Cp.Mid_snapshot ] in
+  let n = 240 and n_keys = 96 and group_commit = 4 and snapshot_every = 40 in
+  let keys = Array.init n_keys Fun.id in
+  let txns =
+    let rng = Rng.create (seed lxor 0x7263_6b76) in
+    Array.init n (fun id ->
+        let ops =
+          Array.init 4 (fun _ ->
+              {
+                Db.Kv.key = Rng.int rng n_keys;
+                kind = (if Rng.bool rng then Db.Kv.Read else Db.Kv.Update);
+              })
+        in
+        { Db.Kv.id; ops })
+  in
+  let serial_prefix r =
+    let s = Db.Store.create () in
+    Db.Store.populate s ~n:n_keys;
+    ignore (Db.Kv.run_sequential s (Array.sub txns 0 r));
+    Db.Kv.state_digest s ~keys
+  in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let one point =
+    let dir = Filename.temp_dir "doradd_check_recovery" "" in
+    Fun.protect ~finally:(fun () -> Cp.disarm (); rm_rf dir) @@ fun () ->
+    let open_kv () =
+      (* real fsync: this tier exercises the actual durability path *)
+      Db.Durable_kv.open_ ~dir ~n_keys ~max_txns:n ~group_commit ~segment_bytes:2048
+        ~fsync:true ()
+    in
+    let kv = open_kv () in
+    let countdown = ref 3 in
+    Cp.arm (fun p ->
+        if p = point then begin
+          decr countdown;
+          !countdown <= 0
+        end
+        else false);
+    let crashed =
+      try
+        Array.iteri
+          (fun i txn ->
+            ignore (Db.Durable_kv.submit kv txn);
+            if i > 0 && i mod snapshot_every = 0 then ignore (Db.Durable_kv.snapshot kv))
+          txns;
+        false
+      with Cp.Crashed _ -> true
+    in
+    Cp.disarm ();
+    let acked = Db.Durable_kv.durable kv in
+    Db.Durable_kv.crash_close kv;
+    let kv2 = open_kv () in
+    Db.Durable_kv.quiesce kv2;
+    let r = Db.Durable_kv.recovered kv2 in
+    let digest_ok = Db.Durable_kv.state_digest kv2 = serial_prefix r in
+    Db.Durable_kv.close kv2;
+    let pass = crashed && digest_ok && r >= acked && r <= n in
+    ( pass,
+      [
+        Cp.to_string point;
+        (if crashed then "yes" else "NO");
+        string_of_int acked;
+        string_of_int r;
+        (if digest_ok then "matches serial" else "DIVERGES");
+        (if pass then "PASS" else "FAIL");
+      ] )
+  in
+  let rows = List.map one points in
+  Table.print ~title:"doradd-check: crash recovery (kill/recover/verify, real fsync)"
+    ~header:[ "crash point"; "crashed"; "acked"; "recovered"; "digest"; "verdict" ]
+    (List.map snd rows);
+  List.for_all fst rows
+
 open Cmdliner
 
 let iterations_arg =
@@ -303,7 +388,14 @@ let no_obs_arg =
     & info [ "no-obs" ]
         ~doc:"Skip the observability smoke tier (traced run + exporter validation).")
 
-let main iterations seed n no_sanitize dst_seeds no_obs names =
+let recovery_arg =
+  Arg.(
+    value & flag
+    & info [ "recovery" ]
+        ~doc:"Run the crash-recovery smoke tier: kill/recover/verify cycles with real \
+              fsync across the WAL/snapshot crash points.")
+
+let main iterations seed n no_sanitize dst_seeds no_obs recovery names =
   let selected =
     if List.mem "all" names then apps
     else
@@ -329,12 +421,14 @@ let main iterations seed n no_sanitize dst_seeds no_obs names =
     let sanitize_ok = no_sanitize || sanitize_table ~seed ~n in
     let dst_ok = dst_seeds <= 0 || dst_smoke ~seed ~seeds:dst_seeds in
     let obs_ok = no_obs || obs_smoke ~seed ~n in
-    match (digests_ok, sanitize_ok, dst_ok, obs_ok) with
-    | true, true, true, true -> `Ok ()
-    | false, _, _, _ -> `Error (false, "determinism violations detected")
-    | true, false, _, _ -> `Error (false, "sanitizer violations detected")
-    | true, true, false, _ -> `Error (false, "DST smoke tier failed")
-    | true, true, true, false -> `Error (false, "observability smoke tier failed")
+    let recovery_ok = (not recovery) || recovery_smoke ~seed in
+    match (digests_ok, sanitize_ok, dst_ok, obs_ok, recovery_ok) with
+    | true, true, true, true, true -> `Ok ()
+    | false, _, _, _, _ -> `Error (false, "determinism violations detected")
+    | true, false, _, _, _ -> `Error (false, "sanitizer violations detected")
+    | true, true, false, _, _ -> `Error (false, "DST smoke tier failed")
+    | true, true, true, false, _ -> `Error (false, "observability smoke tier failed")
+    | true, true, true, true, false -> `Error (false, "crash-recovery smoke tier failed")
   end
 
 let cmd =
@@ -344,6 +438,6 @@ let cmd =
     Term.(
       ret
         (const main $ iterations_arg $ seed_arg $ size_arg $ no_sanitize_arg $ dst_seeds_arg
-       $ no_obs_arg $ apps_arg))
+       $ no_obs_arg $ recovery_arg $ apps_arg))
 
 let () = exit (Cmd.eval cmd)

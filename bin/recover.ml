@@ -1,0 +1,369 @@
+(* Durability driver: run a workload into a durable KV directory (with an
+   optional seeded crash), recover it, and verify the recovered state
+   against a serial oracle.  `cycle` chains kill/recover/verify across
+   every crash-point class in a temp dir — the CI recovery smoke. *)
+
+open Cmdliner
+module Db = Doradd_db
+module Persist = Doradd_persist
+module Cp = Persist.Crashpoint
+module Json = Doradd_obs.Json
+module Rng = Doradd_stats.Rng
+module Ycsb = Doradd_workload.Ycsb
+
+(* ---- workload (reproducible from the manifest) --------------------- *)
+
+let gen_txns ~seed ~n ~n_keys ~ops =
+  let cfg =
+    Ycsb.config ~n_keys ~ops_per_txn:ops ~hot_count:8 ~hot_stride:(n_keys / 8)
+      Ycsb.Mod_contention
+  in
+  let raw = Ycsb.generate cfg (Rng.create (seed lxor 0x7265_6376)) ~n in
+  Array.map
+    (fun (t : Ycsb.txn) ->
+      {
+        Db.Kv.id = t.id;
+        ops =
+          Array.map
+            (fun (o : Ycsb.op) ->
+              { Db.Kv.key = o.key; kind = (if o.is_write then Db.Kv.Update else Db.Kv.Read) })
+            t.ops;
+      })
+    raw
+
+let serial_digest ~txns ~n_keys ~prefix =
+  let s = Db.Store.create () in
+  Db.Store.populate s ~n:n_keys;
+  ignore (Db.Kv.run_sequential s (Array.sub txns 0 prefix));
+  Db.Kv.state_digest s ~keys:(Array.init n_keys Fun.id)
+
+(* ---- manifest ------------------------------------------------------ *)
+
+type manifest = {
+  seed : int;
+  n : int;
+  n_keys : int;
+  ops : int;
+  group_commit : int;
+  snapshot_every : int;
+}
+
+let manifest_path dir = Filename.concat dir "manifest.json"
+
+let write_manifest dir m =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let j =
+    Json.Obj
+      [
+        ("seed", Json.Num (float_of_int m.seed));
+        ("n", Json.Num (float_of_int m.n));
+        ("n_keys", Json.Num (float_of_int m.n_keys));
+        ("ops", Json.Num (float_of_int m.ops));
+        ("group_commit", Json.Num (float_of_int m.group_commit));
+        ("snapshot_every", Json.Num (float_of_int m.snapshot_every));
+      ]
+  in
+  let oc = open_out (manifest_path dir) in
+  output_string oc (Json.to_string j);
+  close_out oc
+
+let read_manifest dir =
+  let path = manifest_path dir in
+  if not (Sys.file_exists path) then failwith ("no manifest at " ^ path);
+  let ic = open_in path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let j = Json.parse_exn s in
+  let int_field name =
+    match Json.member name j with
+    | Some v -> (
+      match Json.to_float v with
+      | Some f -> int_of_float f
+      | None -> failwith ("manifest: bad " ^ name))
+    | None -> failwith ("manifest: missing " ^ name)
+  in
+  {
+    seed = int_field "seed";
+    n = int_field "n";
+    n_keys = int_field "n_keys";
+    ops = int_field "ops";
+    group_commit = int_field "group_commit";
+    snapshot_every = int_field "snapshot_every";
+  }
+
+let open_kv ~dir ~fsync m =
+  Db.Durable_kv.open_ ~dir ~n_keys:m.n_keys ~max_txns:m.n ~group_commit:m.group_commit
+    ~segment_bytes:4096 ~fsync ()
+
+(* ---- run ----------------------------------------------------------- *)
+
+type crash_spec = { point : Cp.point; nth : int }
+
+let parse_crash_at s =
+  let name, nth =
+    match String.index_opt s ':' with
+    | None -> (s, 1)
+    | Some i -> (
+      ( String.sub s 0 i,
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some k when k >= 1 -> k
+        | _ -> -1 ))
+  in
+  if nth < 1 then Error (`Msg "bad crash count (want POINT[:K], K >= 1)")
+  else
+    match Cp.of_string name with
+    | Some point -> Ok { point; nth }
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown crash point %S (one of: %s)" name
+             (String.concat ", " (List.map Cp.to_string Cp.points))))
+
+let crash_conv = Arg.conv (parse_crash_at, fun fmt c -> Format.fprintf fmt "%s:%d" (Cp.to_string c.point) c.nth)
+
+(* Returns (crashed_at, acked, submitted). *)
+let run_once ~dir ~fsync ~crash m =
+  write_manifest dir m;
+  let txns = gen_txns ~seed:m.seed ~n:m.n ~n_keys:m.n_keys ~ops:m.ops in
+  let kv = open_kv ~dir ~fsync m in
+  let start = Db.Durable_kv.recovered kv in
+  (match crash with
+  | None -> ()
+  | Some { point; nth } ->
+    let countdown = ref nth in
+    Cp.arm (fun p ->
+        if p = point then begin
+          decr countdown;
+          !countdown <= 0
+        end
+        else false));
+  let crashed =
+    try
+      for i = start to m.n - 1 do
+        ignore (Db.Durable_kv.submit kv txns.(i));
+        if m.snapshot_every > 0 && i > 0 && i mod m.snapshot_every = 0 then
+          ignore (Db.Durable_kv.snapshot kv)
+      done;
+      Db.Durable_kv.quiesce kv;
+      None
+    with Cp.Crashed p -> Some p
+  in
+  Cp.disarm ();
+  let acked = Db.Durable_kv.durable kv in
+  let submitted = Db.Durable_kv.submitted kv in
+  (match crashed with
+  | Some _ -> Db.Durable_kv.crash_close kv
+  | None -> Db.Durable_kv.close kv);
+  (crashed, acked, submitted)
+
+(* Returns (stats, recovered, digest, digest_matches_serial_prefix). *)
+let recover_once ~dir ~fsync m =
+  let kv = open_kv ~dir ~fsync m in
+  Db.Durable_kv.quiesce kv;
+  let stats = Db.Durable_kv.recovery_stats kv in
+  let recovered = Db.Durable_kv.recovered kv in
+  let digest = Db.Durable_kv.state_digest kv in
+  Db.Durable_kv.close kv;
+  let txns = gen_txns ~seed:m.seed ~n:m.n ~n_keys:m.n_keys ~ops:m.ops in
+  let expected = serial_digest ~txns ~n_keys:m.n_keys ~prefix:recovered in
+  (stats, recovered, digest, digest = expected)
+
+let stats_json (stats : Persist.Recovery.stats) =
+  [
+    ( "snapshot_watermark",
+      match stats.snapshot_watermark with
+      | None -> Json.Null
+      | Some w -> Json.Num (float_of_int w) );
+    ("wal_segments", Json.Num (float_of_int stats.wal_segments));
+    ("wal_records", Json.Num (float_of_int stats.wal_records));
+    ("replayed", Json.Num (float_of_int stats.replayed));
+    ("skipped", Json.Num (float_of_int stats.skipped));
+    ("torn", Json.Bool stats.torn);
+    ("duration_ns", Json.Num (float_of_int stats.duration_ns));
+  ]
+
+(* ---- commands ------------------------------------------------------ *)
+
+let dir_arg =
+  Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc:"Durable store directory.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+let n_arg =
+  Arg.(value & opt int 400 & info [ "txns" ] ~docv:"REQS" ~doc:"Transactions to submit.")
+
+let n_keys_arg =
+  Arg.(value & opt int 128 & info [ "n-keys" ] ~docv:"KEYS" ~doc:"Rows in the store.")
+
+let group_commit_arg =
+  Arg.(value & opt int 8 & info [ "group-commit" ] ~docv:"K" ~doc:"Group-commit batch size.")
+
+let snapshot_every_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "snapshot-every" ] ~docv:"K" ~doc:"Snapshot cadence in transactions (0 = never).")
+
+let crash_at_arg =
+  Arg.(
+    value
+    & opt (some crash_conv) None
+    & info [ "crash-at" ] ~docv:"POINT[:K]"
+        ~doc:
+          "Simulate a kill at the K-th (default first) hit of the crash point. Points: \
+           pre-append, mid-append, pre-fsync, post-fsync, mid-rotation, mid-snapshot, \
+           pre-snapshot-rename.")
+
+let no_fsync_arg =
+  Arg.(value & flag & info [ "no-fsync" ] ~doc:"Skip physical fsync (tests/benchmarks only).")
+
+let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON on stdout.")
+
+let mk_manifest seed n n_keys group_commit snapshot_every =
+  { seed; n; n_keys; ops = 4; group_commit; snapshot_every }
+
+let run_cmd =
+  let doc = "Run a seeded workload into a durable directory, optionally crashing." in
+  let run dir seed n n_keys group_commit snapshot_every crash no_fsync json =
+    let m = mk_manifest seed n n_keys group_commit snapshot_every in
+    let crashed, acked, submitted = run_once ~dir ~fsync:(not no_fsync) ~crash m in
+    let crashed_str = match crashed with None -> "no" | Some p -> Cp.to_string p in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("crashed", match crashed with None -> Json.Null | Some p -> Json.Str (Cp.to_string p));
+                ("acked_durable", Json.Num (float_of_int acked));
+                ("submitted", Json.Num (float_of_int submitted));
+              ]))
+    else
+      Printf.printf "run: %d submitted, %d acknowledged durable, crashed: %s\n" submitted acked
+        crashed_str;
+    match (crash, crashed) with
+    | Some _, None ->
+      prerr_endline "recover: --crash-at given but the crash point was never reached";
+      1
+    | _ -> 0
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ dir_arg $ seed_arg $ n_arg $ n_keys_arg $ group_commit_arg
+      $ snapshot_every_arg $ crash_at_arg $ no_fsync_arg $ json_arg)
+
+let recover_cmd =
+  let doc = "Recover a durable directory and report what was restored." in
+  let run dir no_fsync json =
+    match read_manifest dir with
+    | exception Failure msg ->
+      prerr_endline ("doradd-recover: " ^ msg);
+      2
+    | m ->
+    let stats, recovered, digest, ok = recover_once ~dir ~fsync:(not no_fsync) m in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              (stats_json stats
+              @ [
+                  ("recovered", Json.Num (float_of_int recovered));
+                  ("state_digest", Json.Str (Printf.sprintf "%x" (digest land max_int)));
+                  ("digest_matches_serial", Json.Bool ok);
+                ])))
+    else begin
+      print_endline (Persist.Recovery.stats_to_string stats);
+      Printf.printf "recovered prefix: %d of %d; serial-oracle digest match: %b\n" recovered m.n
+        ok
+    end;
+    if ok then 0 else 1
+  in
+  Cmd.v (Cmd.info "recover" ~doc) Term.(const run $ dir_arg $ no_fsync_arg $ json_arg)
+
+let verify_cmd =
+  let doc = "Verify a durable directory against the serial oracle (exit 1 on divergence)." in
+  let run dir no_fsync =
+    match read_manifest dir with
+    | exception Failure msg ->
+      prerr_endline ("doradd-recover: " ^ msg);
+      2
+    | m ->
+    let _, recovered, _, ok = recover_once ~dir ~fsync:(not no_fsync) m in
+    Printf.printf "verify: recovered %d transaction(s), digest %s\n" recovered
+      (if ok then "matches serial oracle" else "DIVERGES from serial oracle");
+    if ok then 0 else 1
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ dir_arg $ no_fsync_arg)
+
+(* kill/recover/verify across every crash-point class: the CI smoke. *)
+let cycle_cmd =
+  let doc = "Kill/recover/verify cycles across all crash points in a temp dir (CI smoke)." in
+  let points =
+    [ Cp.Pre_fsync; Cp.Mid_append; Cp.Post_fsync; Cp.Mid_rotation; Cp.Mid_snapshot;
+      Cp.Pre_snapshot_rename ]
+  in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let run seed n no_fsync json =
+    let failures = ref 0 in
+    let reports =
+      List.map
+        (fun point ->
+          let m = mk_manifest seed n 128 4 (n / 8) in
+          let dir = Filename.temp_dir "doradd_recover" "" in
+          Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+          (* snapshot-window points fire inside Snapshot.write; give the
+             run enough snapshots, and crash a few hits in so there is
+             both a snapshot and a WAL suffix to recover *)
+          let crash = Some { point; nth = 3 } in
+          let crashed, acked, submitted = run_once ~dir ~fsync:(not no_fsync) ~crash m in
+          let stats, recovered, _, ok = recover_once ~dir ~fsync:(not no_fsync) m in
+          let lost_ack = recovered < acked in
+          let overrun = recovered > submitted in
+          let pass = crashed <> None && ok && (not lost_ack) && not overrun in
+          if not pass then incr failures;
+          if not json then
+            Printf.printf "%-20s crashed=%-3s acked=%-4d recovered=%-4d %s\n"
+              (Cp.to_string point)
+              (match crashed with None -> "no" | Some _ -> "yes")
+              acked recovered
+              (if pass then "OK" else "FAIL");
+          Json.Obj
+            (stats_json stats
+            @ [
+                ("point", Json.Str (Cp.to_string point));
+                ("crashed", Json.Bool (crashed <> None));
+                ("acked_durable", Json.Num (float_of_int acked));
+                ("submitted", Json.Num (float_of_int submitted));
+                ("recovered", Json.Num (float_of_int recovered));
+                ("digest_matches_serial", Json.Bool ok);
+                ("pass", Json.Bool pass);
+              ]))
+        points
+    in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("seed", Json.Num (float_of_int seed));
+                ("n", Json.Num (float_of_int n));
+                ("cycles", Json.Arr reports);
+                ("pass", Json.Bool (!failures = 0));
+              ]));
+    if !failures = 0 then 0 else 1
+  in
+  Cmd.v (Cmd.info "cycle" ~doc) Term.(const run $ seed_arg $ n_arg $ no_fsync_arg $ json_arg)
+
+let cmd =
+  let doc = "DORADD durability driver: crash, recover, verify" in
+  Cmd.group (Cmd.info "doradd-recover" ~version:"1.0.0" ~doc)
+    [ run_cmd; recover_cmd; verify_cmd; cycle_cmd ]
+
+let () = exit (Cmd.eval' cmd)

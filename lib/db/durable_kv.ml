@@ -1,0 +1,123 @@
+module Core = Doradd_core
+
+(* Wire format: id(8) ++ nops(8) ++ (key(8) ++ kind(1))*, all LE. *)
+
+let encode_txn (txn : Kv.txn) =
+  let nops = Array.length txn.ops in
+  let b = Bytes.create (16 + (9 * nops)) in
+  Bytes.set_int64_le b 0 (Int64.of_int txn.id);
+  Bytes.set_int64_le b 8 (Int64.of_int nops);
+  Array.iteri
+    (fun i (op : Kv.op) ->
+      Bytes.set_int64_le b (16 + (9 * i)) (Int64.of_int op.key);
+      Bytes.set_uint8 b (16 + (9 * i) + 8)
+        (match op.kind with Kv.Read -> 0 | Kv.Update -> 1))
+    txn.ops;
+  Bytes.unsafe_to_string b
+
+let decode_txn s =
+  let fail why = failwith ("Durable_kv.decode_txn: " ^ why) in
+  let len = String.length s in
+  if len < 16 then fail "short header";
+  let b = Bytes.unsafe_of_string s in
+  let id = Int64.to_int (Bytes.get_int64_le b 0) in
+  let nops = Int64.to_int (Bytes.get_int64_le b 8) in
+  if nops < 0 || len <> 16 + (9 * nops) then fail "bad op count";
+  let ops =
+    Array.init nops (fun i ->
+        let key = Int64.to_int (Bytes.get_int64_le b (16 + (9 * i))) in
+        let kind =
+          match Bytes.get_uint8 b (16 + (9 * i) + 8) with
+          | 0 -> Kv.Read
+          | 1 -> Kv.Update
+          | k -> fail (Printf.sprintf "bad op kind %d" k)
+        in
+        ({ key; kind } : Kv.op))
+  in
+  ({ id; ops } : Kv.txn)
+
+type t = {
+  store : Store.t;
+  inner : Kv.txn Durable_store.t;
+  results : int array;
+  n_keys : int;
+}
+
+let open_ ~dir ~n_keys ~max_txns ?workers ?group_commit ?segment_bytes ?fsync ?fuzz
+    ?(rw = false) () =
+  if n_keys < 1 then invalid_arg "Durable_kv.open_: n_keys < 1";
+  if max_txns < 0 then invalid_arg "Durable_kv.open_: max_txns < 0";
+  let store = Store.create ~initial_capacity:(2 * n_keys) () in
+  Store.populate store ~n:n_keys;
+  let results = Array.make max_txns 0 in
+  let keys = Array.init n_keys Fun.id in
+  let capture () =
+    let buf = Buffer.create (8 + (n_keys * Row.byte_size)) in
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int n_keys);
+    Buffer.add_bytes buf b;
+    Array.iter
+      (fun key ->
+        Buffer.add_string buf (Row.snapshot (Core.Resource.get (Store.find_exn store key))))
+      keys;
+    Buffer.contents buf
+  in
+  let install data =
+    let fail why = failwith ("Durable_kv: bad snapshot: " ^ why) in
+    if String.length data < 8 then fail "short header";
+    let n = Int64.to_int (Bytes.get_int64_le (Bytes.unsafe_of_string data) 0) in
+    if n <> n_keys then fail (Printf.sprintf "snapshot has %d keys, store has %d" n n_keys);
+    if String.length data <> 8 + (n * Row.byte_size) then fail "wrong payload size";
+    Array.iter
+      (fun key ->
+        Row.restore
+          (Core.Resource.get (Store.find_exn store key))
+          (String.sub data (8 + (key * Row.byte_size)) Row.byte_size))
+      keys
+  in
+  let inner =
+    Durable_store.open_ ~dir ?workers ?group_commit ?segment_bytes ?fsync ?fuzz
+      ~state:(capture, install) ~encode:encode_txn ~decode:decode_txn
+      ~footprint:(Kv.footprint ~rw store)
+      ~execute:(Kv.execute store ~results)
+      ()
+  in
+  { store; inner; results; n_keys }
+
+let submit t (txn : Kv.txn) =
+  if txn.id <> Durable_store.submitted t.inner then
+    invalid_arg
+      (Printf.sprintf "Durable_kv.submit: txn id %d but next seqno is %d" txn.id
+         (Durable_store.submitted t.inner));
+  if txn.id >= Array.length t.results then invalid_arg "Durable_kv.submit: max_txns exceeded";
+  Array.iter
+    (fun (op : Kv.op) ->
+      if op.key < 0 || op.key >= t.n_keys then invalid_arg "Durable_kv.submit: key out of range")
+    txn.ops;
+  Durable_store.submit t.inner txn
+
+let flush t = Durable_store.flush t.inner
+
+let quiesce t = Durable_store.quiesce t.inner
+
+let snapshot t = Durable_store.snapshot t.inner
+
+let store t = t.store
+
+let results t = t.results
+
+let state_digest t = Kv.state_digest t.store ~keys:(Array.init t.n_keys Fun.id)
+
+let submitted t = Durable_store.submitted t.inner
+
+let durable t = Durable_store.durable t.inner
+
+let applied t = Durable_store.applied t.inner
+
+let recovered t = Durable_store.recovered t.inner
+
+let recovery_stats t = Durable_store.recovery_stats t.inner
+
+let close t = Durable_store.close t.inner
+
+let crash_close t = Durable_store.crash_close t.inner

@@ -1,0 +1,67 @@
+(** Durable flavour of the {!Kv} database: every transaction WAL-logged
+    before execution, full-state snapshots, recovery on open.
+
+    The transaction ids must be dense from 0 in submission order (they
+    index the per-transaction result digest array, exactly like
+    {!Kv.run_parallel}), so a transaction's id {e is} its log seqno —
+    recovery re-populates the same results slots it filled before the
+    crash. *)
+
+type t
+
+val open_ :
+  dir:string ->
+  n_keys:int ->
+  max_txns:int ->
+  ?workers:int ->
+  ?group_commit:int ->
+  ?segment_bytes:int ->
+  ?fsync:bool ->
+  ?fuzz:Doradd_core.Runtime.fuzz ->
+  ?rw:bool ->
+  unit ->
+  t
+(** Open (and recover) a durable KV database over keys [0, n_keys).
+    [max_txns] bounds the total transactions ever submitted (results are
+    preallocated — the hot path stays allocation-free). *)
+
+val submit : t -> Kv.txn -> int
+(** Log, then (after its group commit) execute.  The transaction's [id]
+    must equal the returned seqno.
+    @raise Invalid_argument on a non-dense id or out-of-range key. *)
+
+val flush : t -> unit
+
+val quiesce : t -> unit
+
+val snapshot : t -> int
+
+val store : t -> Store.t
+
+val results : t -> int array
+(** Per-transaction digests, indexed by id; slots not yet executed are
+    [0].  Recovered transactions' digests are re-derived by replay. *)
+
+val state_digest : t -> int
+(** Digest over all [n_keys] rows (quiesce first for a stable value). *)
+
+val submitted : t -> int
+
+val durable : t -> int
+
+val applied : t -> int
+
+val recovered : t -> int
+
+val recovery_stats : t -> Doradd_persist.Recovery.stats
+
+val close : t -> unit
+
+val crash_close : t -> unit
+
+(** {1 Wire format} (shared with the durable sequencer example) *)
+
+val encode_txn : Kv.txn -> string
+
+val decode_txn : string -> Kv.txn
+(** @raise Failure on a malformed payload. *)

@@ -1,0 +1,130 @@
+module Core = Doradd_core
+module Persist = Doradd_persist
+
+type 'txn t = {
+  dir : string;
+  wal : Persist.Wal.t;
+  runtime : Core.Runtime.t;
+  encode : 'txn -> string;
+  footprint : 'txn -> Core.Footprint.t;
+  execute : 'txn -> unit;
+  capture : (unit -> string) option;
+  group_commit : int;
+  mutable pending : 'txn list; (* appended, not yet delivered; newest first *)
+  mutable pending_n : int;
+  mutable delivered : int; (* handed to the runtime, incl. recovered replays *)
+  recovered : int;
+  recovery_stats : Persist.Recovery.stats;
+  mutable closed : bool;
+}
+
+let open_ ~dir ?workers ?(group_commit = 8) ?segment_bytes ?fsync ?fuzz ?state ~encode
+    ~decode ~footprint ~execute () =
+  if group_commit < 1 then invalid_arg "Durable_store.open_: group_commit < 1";
+  let runtime = Core.Runtime.create ?workers ?fuzz () in
+  (* Repair any torn tail first so recovery scans only clean data. *)
+  let wal = Persist.Wal.open_ ?segment_bytes ?fsync ~dir () in
+  let capture, install =
+    match state with
+    | None -> (None, None)
+    | Some (capture, install) ->
+      (Some capture, Some (fun ~watermark:_ data -> install data))
+  in
+  let stats =
+    Persist.Recovery.recover ~dir ?install
+      ~replay:(fun ~seqno:_ data ->
+        let txn = decode data in
+        Core.Runtime.schedule runtime (footprint txn) (fun () -> execute txn))
+      ()
+  in
+  Core.Runtime.drain runtime;
+  let recovered =
+    max (Persist.Wal.next_seqno wal)
+      (Option.value stats.Persist.Recovery.snapshot_watermark ~default:0)
+  in
+  {
+    dir;
+    wal;
+    runtime;
+    encode;
+    footprint;
+    execute;
+    capture;
+    group_commit;
+    pending = [];
+    pending_n = 0;
+    delivered = stats.Persist.Recovery.replayed;
+    recovered;
+    recovery_stats = stats;
+    closed = false;
+  }
+
+let check_open t name = if t.closed then invalid_arg ("Durable_store." ^ name ^ ": closed")
+
+let flush t =
+  check_open t "flush";
+  if t.pending_n > 0 || Persist.Wal.pending t.wal > 0 then begin
+    (* Durable first, deliver second: append-before-deliver. *)
+    Persist.Wal.sync t.wal;
+    List.iter
+      (fun txn -> Core.Runtime.schedule t.runtime (t.footprint txn) (fun () -> t.execute txn))
+      (List.rev t.pending);
+    t.delivered <- t.delivered + t.pending_n;
+    t.pending <- [];
+    t.pending_n <- 0
+  end
+
+let submit t txn =
+  check_open t "submit";
+  let seqno = Persist.Wal.append t.wal (t.encode txn) in
+  t.pending <- txn :: t.pending;
+  t.pending_n <- t.pending_n + 1;
+  if t.pending_n >= t.group_commit then flush t;
+  seqno
+
+let quiesce t =
+  flush t;
+  Core.Runtime.drain t.runtime
+
+let snapshot t =
+  check_open t "snapshot";
+  let capture =
+    match t.capture with
+    | Some c -> c
+    | None -> invalid_arg "Durable_store.snapshot: opened without ~state"
+  in
+  flush t;
+  let watermark = Persist.Wal.next_seqno t.wal in
+  let data = Core.Runtime.checkpoint t.runtime capture in
+  ignore (Persist.Snapshot.write ~dir:t.dir ~watermark data);
+  ignore (Persist.Wal.prune ~dir:t.dir ~before:watermark);
+  watermark
+
+let submitted t = Persist.Wal.next_seqno t.wal
+
+let durable t = Persist.Wal.durable_seqno t.wal + 1
+
+let applied t = t.delivered + (t.recovered - t.recovery_stats.Persist.Recovery.replayed)
+
+let recovered t = t.recovered
+
+let recovery_stats t = t.recovery_stats
+
+let runtime t = t.runtime
+
+let close t =
+  if not t.closed then begin
+    flush t;
+    t.closed <- true;
+    Core.Runtime.shutdown t.runtime;
+    Persist.Wal.close t.wal
+  end
+
+let crash_close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.pending <- [];
+    t.pending_n <- 0;
+    Core.Runtime.shutdown t.runtime;
+    Persist.Wal.crash_close t.wal
+  end

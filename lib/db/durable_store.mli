@@ -1,0 +1,88 @@
+(** Durable execution: WAL + snapshots wired to a DORADD runtime.
+
+    Glue between [doradd_persist] and the runtime, generic over the
+    transaction type.  The protocol is the paper's sequencing-layer
+    contract, append-before-deliver:
+
+    + {!submit} appends the encoded transaction to the WAL (buffered);
+    + {!flush} group-commits the batch ({!Doradd_persist.Wal.sync}) and
+      only {e then} schedules the batch on the runtime — a transaction
+      never executes before it is durable, so the log always covers the
+      in-memory state;
+    + {!snapshot} quiesces via [Runtime.checkpoint], captures state with
+      the caller's [capture], and installs it atomically, stamped with
+      the current log watermark.
+
+    {!open_} {e is} recovery: it loads the latest snapshot (if a
+    [state] capture/install pair is given), replays the WAL suffix
+    through a fresh runtime, and opens the log for append.  Because
+    replay is deterministic, the recovered state is bit-identical to the
+    pre-crash durable prefix. *)
+
+type 'txn t
+
+val open_ :
+  dir:string ->
+  ?workers:int ->
+  ?group_commit:int ->
+  ?segment_bytes:int ->
+  ?fsync:bool ->
+  ?fuzz:Doradd_core.Runtime.fuzz ->
+  ?state:(unit -> string) * (string -> unit) ->
+  encode:('txn -> string) ->
+  decode:(string -> 'txn) ->
+  footprint:('txn -> Doradd_core.Footprint.t) ->
+  execute:('txn -> unit) ->
+  unit ->
+  'txn t
+(** Open [dir] (recovering whatever it holds), start a runtime, and be
+    ready for {!submit}.  [group_commit] (default 8) is the submit count
+    that triggers an automatic {!flush}; [state] is [(capture, install)]
+    for snapshot support — [install] receives a snapshot payload before
+    replay, [capture] produces one under quiesce.  [fsync:false] is for
+    tests/benchmarks.  [fuzz] reaches the underlying runtime (DST).
+    @raise Failure on interior log corruption. *)
+
+val submit : 'txn t -> 'txn -> int
+(** Append to the log and return the assigned seqno.  The transaction
+    executes only after the group commit that covers it ({!flush},
+    automatic every [group_commit] submits, or {!close}). *)
+
+val flush : 'txn t -> unit
+(** Group commit: make every submitted transaction durable, then deliver
+    the batch to the runtime.  No-op when nothing is pending. *)
+
+val quiesce : 'txn t -> unit
+(** {!flush}, then wait until the runtime has executed everything. *)
+
+val snapshot : 'txn t -> int
+(** Quiesce, capture state, install a snapshot covering every submitted
+    transaction; returns its watermark.  Requires [state] at {!open_}.
+    Prunes WAL segments wholly covered by the snapshot. *)
+
+val submitted : 'txn t -> int
+(** Transactions in the log, including recovered ones. *)
+
+val durable : 'txn t -> int
+(** Count of transactions guaranteed durable (group-committed). *)
+
+val applied : 'txn t -> int
+(** Transactions whose effects are (or are becoming) part of in-memory
+    state: snapshot coverage, recovery replays, and delivered batches;
+    after {!quiesce} they have all executed. *)
+
+val recovered : 'txn t -> int
+(** Size of the durable prefix this instance recovered at {!open_}:
+    snapshot watermark plus replayed WAL suffix. *)
+
+val recovery_stats : 'txn t -> Doradd_persist.Recovery.stats
+
+val runtime : 'txn t -> Doradd_core.Runtime.t
+
+val close : 'txn t -> unit
+(** Flush, drain, shut the runtime down, close the log. *)
+
+val crash_close : 'txn t -> unit
+(** Simulated kill: discard unflushed submissions, abandon the WAL
+    buffer, but still join the worker domains (the process survives in
+    tests).  The directory is then exactly what a crash would leave. *)

@@ -1,0 +1,83 @@
+(* Wire format (all ints 8-byte LE):
+     NewOrder: 0(1) ++ w ++ d ++ c ++ nlines ++ (item ++ qty)*
+     Payment:  1(1) ++ w ++ d ++ c ++ amount *)
+
+let encode_txn = function
+  | Tpcc_db.New_order { no_w; no_d; no_c; lines } ->
+    let n = Array.length lines in
+    let b = Bytes.create (1 + (8 * 4) + (16 * n)) in
+    Bytes.set_uint8 b 0 0;
+    Bytes.set_int64_le b 1 (Int64.of_int no_w);
+    Bytes.set_int64_le b 9 (Int64.of_int no_d);
+    Bytes.set_int64_le b 17 (Int64.of_int no_c);
+    Bytes.set_int64_le b 25 (Int64.of_int n);
+    Array.iteri
+      (fun i (item, qty) ->
+        Bytes.set_int64_le b (33 + (16 * i)) (Int64.of_int item);
+        Bytes.set_int64_le b (33 + (16 * i) + 8) (Int64.of_int qty))
+      lines;
+    Bytes.unsafe_to_string b
+  | Tpcc_db.Payment { p_w; p_d; p_c; amount } ->
+    let b = Bytes.create (1 + (8 * 4)) in
+    Bytes.set_uint8 b 0 1;
+    Bytes.set_int64_le b 1 (Int64.of_int p_w);
+    Bytes.set_int64_le b 9 (Int64.of_int p_d);
+    Bytes.set_int64_le b 17 (Int64.of_int p_c);
+    Bytes.set_int64_le b 25 (Int64.of_int amount);
+    Bytes.unsafe_to_string b
+
+let decode_txn s =
+  let fail why = failwith ("Durable_tpcc.decode_txn: " ^ why) in
+  let len = String.length s in
+  if len < 33 then fail "short payload";
+  let b = Bytes.unsafe_of_string s in
+  let int_at pos = Int64.to_int (Bytes.get_int64_le b pos) in
+  match Bytes.get_uint8 b 0 with
+  | 0 ->
+    let n = int_at 25 in
+    if n < 0 || len <> 33 + (16 * n) then fail "bad line count";
+    Tpcc_db.New_order
+      {
+        no_w = int_at 1;
+        no_d = int_at 9;
+        no_c = int_at 17;
+        lines = Array.init n (fun i -> (int_at (33 + (16 * i)), int_at (33 + (16 * i) + 8)));
+      }
+  | 1 ->
+    if len <> 33 then fail "bad payment size";
+    Tpcc_db.Payment { p_w = int_at 1; p_d = int_at 9; p_c = int_at 17; amount = int_at 25 }
+  | k -> fail (Printf.sprintf "bad tag %d" k)
+
+type t = { db : Tpcc_db.t; inner : Tpcc_db.txn Durable_store.t }
+
+let open_ ~dir config ?workers ?group_commit ?segment_bytes ?fsync ?fuzz ?(rw = false) () =
+  let db = Tpcc_db.create config in
+  let inner =
+    Durable_store.open_ ~dir ?workers ?group_commit ?segment_bytes ?fsync ?fuzz
+      ~encode:encode_txn ~decode:decode_txn
+      ~footprint:(Tpcc_db.footprint ~rw db)
+      ~execute:(Tpcc_db.execute db) ()
+  in
+  { db; inner }
+
+let submit t txn = Durable_store.submit t.inner txn
+
+let flush t = Durable_store.flush t.inner
+
+let quiesce t = Durable_store.quiesce t.inner
+
+let db t = t.db
+
+let digest t = Tpcc_db.digest t.db
+
+let submitted t = Durable_store.submitted t.inner
+
+let durable t = Durable_store.durable t.inner
+
+let recovered t = Durable_store.recovered t.inner
+
+let recovery_stats t = Durable_store.recovery_stats t.inner
+
+let close t = Durable_store.close t.inner
+
+let crash_close t = Durable_store.crash_close t.inner

@@ -1,0 +1,51 @@
+(** Durable flavour of the TPC-C database: WAL-only (no snapshots —
+    recovery replays the whole log, which determinism makes exact; the
+    TPC-C tables don't expose a byte-level capture).  Same
+    append-before-deliver protocol as {!Durable_kv}. *)
+
+type t
+
+val open_ :
+  dir:string ->
+  Tpcc_db.config ->
+  ?workers:int ->
+  ?group_commit:int ->
+  ?segment_bytes:int ->
+  ?fsync:bool ->
+  ?fuzz:Doradd_core.Runtime.fuzz ->
+  ?rw:bool ->
+  unit ->
+  t
+(** Open (and recover by full replay) a durable TPC-C database.  The
+    [config] must match the one the log was written under — the wire
+    format carries transactions, not schema. *)
+
+val submit : t -> Tpcc_db.txn -> int
+
+val flush : t -> unit
+
+val quiesce : t -> unit
+
+val db : t -> Tpcc_db.t
+
+val digest : t -> int
+(** {!Tpcc_db.digest} of the underlying database (quiesce first). *)
+
+val submitted : t -> int
+
+val durable : t -> int
+
+val recovered : t -> int
+
+val recovery_stats : t -> Doradd_persist.Recovery.stats
+
+val close : t -> unit
+
+val crash_close : t -> unit
+
+(** {1 Wire format} *)
+
+val encode_txn : Tpcc_db.txn -> string
+
+val decode_txn : string -> Tpcc_db.txn
+(** @raise Failure on a malformed payload. *)

@@ -25,3 +25,9 @@ let write t v =
   done
 
 let checksum = read
+
+let snapshot t = Bytes.to_string t.payload
+
+let restore t s =
+  if String.length s <> byte_size then invalid_arg "Row.restore: wrong payload size";
+  Bytes.blit_string s 0 t.payload 0 byte_size

@@ -24,3 +24,10 @@ val write : t -> int -> unit
 
 val checksum : t -> int
 (** Same as {!read}; kept separate for intent at call sites. *)
+
+val snapshot : t -> string
+(** The raw payload, for durable snapshots. *)
+
+val restore : t -> string -> unit
+(** Overwrite the payload with a {!snapshot}'d image.
+    @raise Invalid_argument if the image is not {!byte_size} bytes. *)

@@ -60,6 +60,15 @@ val replication : t
     Never runs under the sanitizer (two runtimes share seqnos, which its
     global logs cannot distinguish). *)
 
+val crash_recovery : t
+(** Durable KV killed at a seeded crashpoint (torn append, pre/post
+    fsync, mid-rotation, mid-snapshot), then recovered from disk.  The
+    invariant demands the recovered state equal a serial replay of the
+    durable prefix (nothing acknowledged lost, nothing torn applied)
+    before the rest of the log resumes; the usual serial-equivalence
+    check then covers the full log.  Never runs under the sanitizer
+    (recovery replays on a second runtime over the same seqnos). *)
+
 val all : t list
 
 val names : string list

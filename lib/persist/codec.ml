@@ -1,0 +1,100 @@
+(* CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) over a 256-entry table
+   computed at module init.  Pure stdlib; an int holds the full uint32. *)
+
+let table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let mask32 = 0xFFFF_FFFF
+
+let crc32 ?(init = 0) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Codec.crc32: out of bounds";
+  let c = ref (init lxor mask32) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor mask32
+
+let crc32_string ?init s = crc32 ?init (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let header_bytes = 8
+
+let max_payload = 1 lsl 26
+
+let put_u32 b pos v =
+  Bytes.set_uint8 b pos (v land 0xFF);
+  Bytes.set_uint8 b (pos + 1) ((v lsr 8) land 0xFF);
+  Bytes.set_uint8 b (pos + 2) ((v lsr 16) land 0xFF);
+  Bytes.set_uint8 b (pos + 3) ((v lsr 24) land 0xFF)
+
+let get_u32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let frame payload =
+  let len = String.length payload in
+  if len > max_payload then invalid_arg "Codec.frame: payload too large";
+  let b = Bytes.create (header_bytes + len) in
+  put_u32 b 0 len;
+  put_u32 b 4 (crc32_string payload);
+  Bytes.blit_string payload 0 b header_bytes len;
+  Bytes.unsafe_to_string b
+
+let add_frame buf payload =
+  let len = String.length payload in
+  if len > max_payload then invalid_arg "Codec.add_frame: payload too large";
+  let h = Bytes.create header_bytes in
+  put_u32 h 0 len;
+  put_u32 h 4 (crc32_string payload);
+  Buffer.add_bytes buf h;
+  Buffer.add_string buf payload
+
+type error =
+  | Truncated
+  | Bad_length of int
+  | Bad_crc of { stored : int; computed : int }
+
+let error_to_string = function
+  | Truncated -> "torn tail (buffer ends mid-frame)"
+  | Bad_length n -> Printf.sprintf "bad frame length %d" n
+  | Bad_crc { stored; computed } ->
+    Printf.sprintf "CRC mismatch (stored %#x, computed %#x)" stored computed
+
+type read = Record of { payload : string; next : int } | End | Torn of error
+
+let read_at s ~pos =
+  let total = String.length s in
+  if pos < 0 || pos > total then invalid_arg "Codec.read_at: position out of bounds";
+  if pos = total then End
+  else if pos + header_bytes > total then Torn Truncated
+  else begin
+    let len = get_u32 s pos in
+    if len < 0 || len > max_payload then Torn (Bad_length len)
+    else if pos + header_bytes + len > total then Torn Truncated
+    else begin
+      let stored = get_u32 s (pos + 4) in
+      let payload = String.sub s (pos + header_bytes) len in
+      let computed = crc32_string payload in
+      if stored <> computed then Torn (Bad_crc { stored; computed })
+      else Record { payload; next = pos + header_bytes + len }
+    end
+  end
+
+let fold ?(pos = 0) s ~init ~f =
+  let rec go acc pos =
+    match read_at s ~pos with
+    | End -> (acc, pos, None)
+    | Torn e -> (acc, pos, Some e)
+    | Record { payload; next } -> go (f acc payload) next
+  in
+  go init pos

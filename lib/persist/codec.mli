@@ -1,0 +1,58 @@
+(** Dependency-free record framing: length prefix + CRC32 checksum.
+
+    Every durable artifact in this repository (WAL records, snapshot
+    bodies, persisted request logs) is a sequence of {e frames}:
+
+    {v
+      ┌───────────┬───────────┬───────────────────┐
+      │ len (4 B) │ crc (4 B) │ payload (len B)   │   little-endian
+      └───────────┴───────────┴───────────────────┘
+    v}
+
+    [crc] is the CRC32 (IEEE 802.3 polynomial) of the payload bytes, so
+    a reader can tell a {e torn tail} (the file ends mid-frame — the
+    normal aftermath of a crash) from {e corruption} (a complete frame
+    whose checksum lies).  Readers stop at the first bad frame; writers
+    get atomicity from "a frame is valid iff fully written". *)
+
+val crc32 : ?init:int -> Bytes.t -> pos:int -> len:int -> int
+(** CRC32 of [len] bytes starting at [pos].  [init] chains calls:
+    [crc32 ~init:(crc32 a) b] equals the CRC of [a ^ b].  Result is in
+    [0, 2^32). *)
+
+val crc32_string : ?init:int -> string -> int
+
+val header_bytes : int
+(** Frame overhead: 8 (4-byte length + 4-byte CRC). *)
+
+val max_payload : int
+(** Upper bound accepted on a frame's length field (64 MiB): a length
+    beyond it is corruption, not a huge record. *)
+
+val frame : string -> string
+(** [frame payload] is the full frame as a fresh string. *)
+
+val add_frame : Buffer.t -> string -> unit
+(** Append the frame for [payload] to a buffer (the writer hot path —
+    no intermediate string). *)
+
+type error =
+  | Truncated  (** the buffer ends mid-frame: a torn tail *)
+  | Bad_length of int  (** negative or > {!max_payload} length field *)
+  | Bad_crc of { stored : int; computed : int }
+
+val error_to_string : error -> string
+
+type read = Record of { payload : string; next : int } | End | Torn of error
+
+val read_at : string -> pos:int -> read
+(** Decode the frame starting at [pos].  [End] iff [pos] is exactly the
+    end of the buffer; [Torn] never raises. *)
+
+val fold :
+  ?pos:int -> string -> init:'a -> f:('a -> string -> 'a) -> 'a * int * error option
+(** Fold [f] over consecutive frames from [pos] (default 0).  Returns
+    [(acc, clean_end, tear)]: [clean_end] is the offset just past the
+    last valid frame, [tear] the reason decoding stopped short of the
+    end of the buffer (or [None] if it ended exactly at a frame
+    boundary). *)

@@ -1,0 +1,38 @@
+type point =
+  | Pre_append
+  | Mid_append
+  | Pre_fsync
+  | Post_fsync
+  | Mid_rotation
+  | Mid_snapshot
+  | Pre_snapshot_rename
+
+exception Crashed of point
+
+let points =
+  [ Pre_append; Mid_append; Pre_fsync; Post_fsync; Mid_rotation; Mid_snapshot;
+    Pre_snapshot_rename ]
+
+let to_string = function
+  | Pre_append -> "pre-append"
+  | Mid_append -> "mid-append"
+  | Pre_fsync -> "pre-fsync"
+  | Post_fsync -> "post-fsync"
+  | Mid_rotation -> "mid-rotation"
+  | Mid_snapshot -> "mid-snapshot"
+  | Pre_snapshot_rename -> "pre-snapshot-rename"
+
+let of_string s = List.find_opt (fun p -> to_string p = s) points
+
+let hook : (point -> bool) option Atomic.t = Atomic.make None
+
+let arm f = Atomic.set hook (Some f)
+
+let disarm () = Atomic.set hook None
+
+let armed () = Atomic.get hook <> None
+
+let hit p =
+  match Atomic.get hook with
+  | None -> ()
+  | Some f -> if f p then raise (Crashed p)

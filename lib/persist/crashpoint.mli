@@ -1,0 +1,44 @@
+(** Seeded crash injection for the durability subsystem.
+
+    A real crash kills the process between any two instructions; the
+    interesting ones for a WAL are the handful of windows where on-disk
+    state is mid-transition.  {!Wal} and {!Snapshot} call {!hit} at each
+    of those windows; the DST harness arms a seeded predicate that
+    raises {!Crashed} at the chosen one, and the test then {e abandons}
+    the live instance (no flush, no graceful close) and re-opens the
+    directory — exactly what crash recovery sees after a kill.
+
+    Disarmed cost is one atomic load per window, following the same
+    discipline as the runtime's fuzz hooks: production never pays for
+    the harness. *)
+
+type point =
+  | Pre_append  (** before a record is buffered *)
+  | Mid_append  (** between the two halves of a file write: a torn tail *)
+  | Pre_fsync  (** data written, not yet fsynced: unacknowledged suffix *)
+  | Post_fsync  (** fsync done, acknowledgement not yet propagated *)
+  | Mid_rotation  (** old segment sealed, new segment not yet created *)
+  | Mid_snapshot  (** between the two halves of the snapshot temp-file write *)
+  | Pre_snapshot_rename  (** snapshot temp file complete, rename pending *)
+
+exception Crashed of point
+
+val points : point list
+(** All points, in the order above. *)
+
+val to_string : point -> string
+(** Kebab-case name, e.g. ["mid-append"] (CLI / report format). *)
+
+val of_string : string -> point option
+
+val arm : (point -> bool) -> unit
+(** Install the predicate; {!hit} raises {!Crashed} at the first point
+    where it returns true.  Single global hook (last arm wins). *)
+
+val disarm : unit -> unit
+
+val armed : unit -> bool
+
+val hit : point -> unit
+(** Called by the persistence layer at each crash window.  No-op when
+    disarmed. *)

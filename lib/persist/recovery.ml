@@ -1,0 +1,73 @@
+module Obs = Doradd_obs
+
+let c_recoveries = Obs.Counters.counter "recovery.runs"
+let c_replayed = Obs.Counters.counter "recovery.replayed_records"
+let h_duration = Obs.Counters.histogram "recovery.duration_ns"
+
+type stats = {
+  snapshot_watermark : int option;
+  wal_segments : int;
+  wal_records : int;
+  replayed : int;
+  skipped : int;
+  torn : bool;
+  duration_ns : int;
+}
+
+let recover ~dir ?install ~replay () =
+  let t0 = Unix.gettimeofday () in
+  let snap =
+    match install with
+    | None -> None
+    | Some install ->
+      (match Snapshot.load_latest ~dir with
+      | None -> None
+      | Some s ->
+        install ~watermark:s.watermark s.data;
+        Some s.watermark)
+  in
+  let watermark = Option.value snap ~default:0 in
+  let scan = Wal.scan ~dir in
+  (match scan.records with
+  | [||] -> ()
+  | records ->
+    let oldest, _ = records.(0) in
+    if oldest > watermark then
+      failwith
+        (Printf.sprintf
+           "Recovery: log starts at seqno %d but snapshot covers only [0, %d): gap" oldest
+           watermark));
+  let replayed = ref 0 in
+  let skipped = ref 0 in
+  Array.iter
+    (fun (seqno, data) ->
+      if seqno >= watermark then begin
+        replay ~seqno data;
+        incr replayed
+      end
+      else incr skipped)
+    scan.records;
+  let duration_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  if Atomic.get Obs.Trace.armed then begin
+    Obs.Counters.incr c_recoveries;
+    Obs.Counters.add c_replayed !replayed;
+    Obs.Counters.record h_duration duration_ns
+  end;
+  {
+    snapshot_watermark = snap;
+    wal_segments = scan.scanned_segments;
+    wal_records = Array.length scan.records;
+    replayed = !replayed;
+    skipped = !skipped;
+    torn = scan.torn <> None;
+    duration_ns;
+  }
+
+let stats_to_string s =
+  Printf.sprintf
+    "recovered: snapshot=%s, %d wal record(s) in %d segment(s), replayed %d, skipped %d%s \
+     in %.2f ms"
+    (match s.snapshot_watermark with None -> "none" | Some w -> Printf.sprintf "@%d" w)
+    s.wal_records s.wal_segments s.replayed s.skipped
+    (if s.torn then ", torn tail" else "")
+    (float_of_int s.duration_ns /. 1e6)

@@ -1,0 +1,39 @@
+(** Crash recovery: latest snapshot + deterministic WAL replay.
+
+    The paper's argument for cheap recovery is determinism itself:
+    because execution against a fixed log is deterministic, replaying
+    the log from the last snapshot reproduces the pre-crash state
+    exactly — no undo, no ARIES-style repair.  This module does the
+    storage half (find the snapshot, scan the log, hand over the
+    suffix); the caller supplies [install] and [replay] so the actual
+    re-execution runs through a fresh runtime/pipeline and inherits the
+    same serial-equivalence guarantee as the original run. *)
+
+type stats = {
+  snapshot_watermark : int option;
+      (** watermark of the snapshot installed, [None] if from scratch *)
+  wal_segments : int;  (** segment files scanned *)
+  wal_records : int;  (** valid records found in the log *)
+  replayed : int;  (** records with seqno >= watermark, re-executed *)
+  skipped : int;  (** records already covered by the snapshot *)
+  torn : bool;  (** the log ended in a torn tail (truncated by next open) *)
+  duration_ns : int;  (** wall-clock recovery time *)
+}
+
+val recover :
+  dir:string ->
+  ?install:(watermark:int -> string -> unit) ->
+  replay:(seqno:int -> string -> unit) ->
+  unit ->
+  stats
+(** [recover ~dir ~install ~replay ()] loads the highest valid snapshot
+    (calling [install] with its watermark and payload), then calls
+    [replay] for every WAL record with seqno >= watermark, in seqno
+    order.  Without [install], snapshots are ignored and the whole log
+    replays from seqno 0.  Never reads past a torn tail.
+    @raise Failure on interior WAL corruption, or if the log has a gap
+    (its oldest record is newer than the snapshot watermark — a pruning
+    bug or missing snapshot). *)
+
+val stats_to_string : stats -> string
+(** One-line human summary. *)

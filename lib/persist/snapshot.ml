@@ -1,0 +1,114 @@
+let magic = "DORADDSNP1"
+
+let snap_name watermark = Printf.sprintf "snap-%016d.snap" watermark
+
+let is_snap name =
+  String.length name = 26
+  && String.sub name 0 5 = "snap-"
+  && Filename.check_suffix name ".snap"
+
+let mkdir_p dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
+let write_all fd s pos len =
+  let rec go pos len =
+    if len > 0 then begin
+      let n = Unix.write_substring fd s pos len in
+      go (pos + n) (len - n)
+    end
+  in
+  go pos len
+
+let write ~dir ~watermark data =
+  if watermark < 0 then invalid_arg "Snapshot.write: negative watermark";
+  mkdir_p dir;
+  let payload = Bytes.create (8 + String.length data) in
+  Bytes.set_int64_le payload 0 (Int64.of_int watermark);
+  Bytes.blit_string data 0 payload 8 (String.length data);
+  let content = magic ^ Codec.frame (Bytes.unsafe_to_string payload) in
+  let path = Filename.concat dir (snap_name watermark) in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (* two-halves write so an armed crash hook can leave a torn temp file *)
+  let len = String.length content in
+  let half = if Crashpoint.armed () then len / 2 else len in
+  write_all fd content 0 half;
+  if half < len then begin
+    Crashpoint.hit Crashpoint.Mid_snapshot;
+    write_all fd content half (len - half)
+  end;
+  Unix.fsync fd;
+  Unix.close fd;
+  Crashpoint.hit Crashpoint.Pre_snapshot_rename;
+  Unix.rename tmp path;
+  fsync_dir dir;
+  path
+
+type loaded = { watermark : int; data : string; path : string }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Validate one snapshot file; None if torn/corrupt/foreign. *)
+let load path =
+  match read_file path with
+  | exception Sys_error _ -> None
+  | content ->
+    let mlen = String.length magic in
+    if String.length content < mlen || String.sub content 0 mlen <> magic then None
+    else begin
+      match Codec.read_at content ~pos:mlen with
+      | Codec.End | Codec.Torn _ -> None
+      | Codec.Record { payload; next } ->
+        if next <> String.length content || String.length payload < 8 then None
+        else begin
+          let watermark =
+            Int64.to_int (Bytes.get_int64_le (Bytes.unsafe_of_string payload) 0)
+          in
+          if watermark < 0 then None
+          else Some { watermark; data = String.sub payload 8 (String.length payload - 8); path }
+        end
+    end
+
+let valid_snapshots dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter is_snap
+    |> List.filter_map (fun name -> load (Filename.concat dir name))
+    |> List.sort (fun a b -> compare b.watermark a.watermark)
+
+let load_latest ~dir = match valid_snapshots dir with [] -> None | s :: _ -> Some s
+
+let prune ~dir ~keep =
+  if keep < 0 then invalid_arg "Snapshot.prune: negative keep";
+  if not (Sys.file_exists dir) then 0
+  else begin
+    let removed = ref 0 in
+    (* stale temp files from crashed writes *)
+    Sys.readdir dir |> Array.to_list
+    |> List.iter (fun name ->
+           if Filename.check_suffix name ".tmp" && is_snap (Filename.chop_suffix name ".tmp")
+           then begin
+             Sys.remove (Filename.concat dir name);
+             incr removed
+           end);
+    valid_snapshots dir
+    |> List.iteri (fun i s ->
+           if i >= keep then begin
+             Sys.remove s.path;
+             incr removed
+           end);
+    !removed
+  end

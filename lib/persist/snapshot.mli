@@ -1,0 +1,41 @@
+(** Consistent state snapshots, atomically installed.
+
+    A snapshot is a single file capturing application state as of a log
+    {e watermark} [w]: it covers exactly the requests with seqno in
+    [\[0, w)], so recovery loads it and replays only the WAL suffix with
+    seqno >= [w].  The caller is responsible for quiescing execution
+    before capturing state (the runtime's [checkpoint] drains every
+    in-flight request, so state-at-watermark is well defined — the same
+    determinism that makes replay-based recovery exact).
+
+    Atomicity is the classic temp-file dance: write [*.tmp], fsync,
+    rename into place, fsync the directory.  A crash at any point leaves
+    either the old snapshot set or the old set plus a complete new file
+    — never a half-written visible snapshot.  {!load_latest} skips
+    unreadable or corrupt snapshot files, so even a surviving garbage
+    file only costs a scan, not recovery.
+
+    {2 On-disk layout}
+
+    {v
+      snap-<watermark, 16 digits>.snap :=
+        "DORADDSNP1" ++ Codec frame of (watermark(8 LE) ++ data)
+    v}
+
+    The watermark inside the (CRC-protected) frame is the trust root;
+    the file name is only a scan hint. *)
+
+val write : dir:string -> watermark:int -> string -> string
+(** [write ~dir ~watermark data] durably installs a snapshot and
+    returns its path.  Creates [dir] if needed. *)
+
+type loaded = { watermark : int; data : string; path : string }
+
+val load_latest : dir:string -> loaded option
+(** Highest-watermark valid snapshot, or [None].  Corrupt, torn or
+    foreign files are skipped (a crashed {!write} leaves at worst an
+    ignorable [*.tmp]).  Missing directory loads as [None]. *)
+
+val prune : dir:string -> keep:int -> int
+(** Delete all but the [keep] highest-watermark valid snapshots (and any
+    leftover [*.tmp]).  Returns the number of files removed. *)

@@ -1,0 +1,372 @@
+module Obs = Doradd_obs
+
+(* Observability (armed-guarded, same discipline as lib/core). *)
+let c_append = Obs.Counters.counter "wal.append_records"
+let c_append_bytes = Obs.Counters.counter "wal.append_bytes"
+let c_fsyncs = Obs.Counters.counter "wal.fsyncs"
+let c_rotations = Obs.Counters.counter "wal.rotations"
+let h_batch = Obs.Counters.histogram "wal.fsync_batch_records"
+let h_commit = Obs.Counters.histogram "wal.group_commit_ns"
+
+let magic = "DORADDWAL1"
+let header_len = String.length magic + 8 (* magic ++ base seqno *)
+
+let segment_name base = Printf.sprintf "wal-%016d.seg" base
+
+let segment_base name =
+  (* "wal-<16 digits>.seg"; anything else in the directory is ignored *)
+  if String.length name = 24 && String.sub name 0 4 = "wal-" && Filename.check_suffix name ".seg"
+  then int_of_string_opt (String.sub name 4 16)
+  else None
+
+type t = {
+  dir : string;
+  segment_bytes : int;
+  fsync : bool;
+  mutable fd : Unix.file_descr;
+  mutable fd_open : bool;
+  mutable seg_base : int;
+  mutable seg_size : int; (* header + records, on disk and buffered *)
+  mutable seg_records : int;
+  mutable next : int; (* next seqno to assign *)
+  durable : int Atomic.t; (* last seqno known on disk; -1 *)
+  buf : Buffer.t; (* appends since the last sync *)
+  mutable pending_records : int;
+  mutable closed : bool;
+  info : open_info;
+}
+
+and open_info = {
+  segments : int;
+  first_seqno : int;
+  next_seqno : int;
+  truncated_bytes : int;
+  dropped_segments : int;
+}
+
+let open_info t = t.info
+
+(* ---- low-level file helpers --------------------------------------- *)
+
+let mkdir_p dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Write in two halves with a crashpoint between them: the only way a
+   test can produce a genuinely torn record without a real kill.  The
+   split costs one extra syscall only while a crash hook is armed. *)
+let write_all fd s pos len =
+  let rec go pos len =
+    if len > 0 then begin
+      let n = Unix.write_substring fd s pos len in
+      go (pos + n) (len - n)
+    end
+  in
+  go pos len
+
+let write_split fd s =
+  let len = String.length s in
+  if Crashpoint.armed () && len > 1 then begin
+    let half = len / 2 in
+    write_all fd s 0 half;
+    Crashpoint.hit Crashpoint.Mid_append;
+    write_all fd s half (len - half)
+  end
+  else write_all fd s 0 len
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
+(* ---- segment parsing (shared by scan and open_) -------------------- *)
+
+type seg_parse = {
+  sp_path : string;
+  sp_base : int;
+  sp_records : (int * string) list; (* reversed *)
+  sp_count : int;
+  sp_clean_end : int;
+  sp_file_len : int;
+  sp_tear : Codec.error option;
+}
+
+let corrupt path what = failwith (Printf.sprintf "Wal: corrupt log: %s (%s)" what path)
+
+let parse_segment path base =
+  let content = read_file path in
+  let file_len = String.length content in
+  let header_ok =
+    file_len >= header_len
+    && String.sub content 0 (String.length magic) = magic
+    && Int64.to_int (Bytes.get_int64_le (Bytes.unsafe_of_string content) (String.length magic))
+       = base
+  in
+  if not header_ok then
+    { sp_path = path; sp_base = base; sp_records = []; sp_count = 0; sp_clean_end = 0;
+      sp_file_len = file_len; sp_tear = Some Codec.Truncated }
+  else begin
+    let rec go acc count pos =
+      match Codec.read_at content ~pos with
+      | Codec.End -> (acc, count, pos, None)
+      | Codec.Torn e -> (acc, count, pos, Some e)
+      | Codec.Record { payload; next } ->
+        if String.length payload < 8 then corrupt path "record shorter than its seqno";
+        let seqno = Int64.to_int (Bytes.get_int64_le (Bytes.unsafe_of_string payload) 0) in
+        if seqno <> base + count then
+          corrupt path
+            (Printf.sprintf "non-dense seqno %d where %d expected" seqno (base + count));
+        let data = String.sub payload 8 (String.length payload - 8) in
+        go ((seqno, data) :: acc) (count + 1) next
+    in
+    let records, count, clean_end, tear = go [] 0 header_len in
+    { sp_path = path; sp_base = base; sp_records = records; sp_count = count;
+      sp_clean_end = clean_end; sp_file_len = file_len; sp_tear = tear }
+  end
+
+let list_segments dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         match segment_base name with
+         | Some base -> Some (Filename.concat dir name, base)
+         | None -> None)
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+(* Parse every segment in base order, enforcing: dense seqnos within a
+   segment (parse_segment), segment bases that chain exactly, and no
+   valid data after a tear — a single sequential writer cannot produce
+   any of those, so they are corruption, not crash damage. *)
+let parse_dir dir =
+  let segs = list_segments dir in
+  let rec go acc expected = function
+    | [] -> List.rev acc
+    | (path, base) :: rest ->
+      (match expected with
+      | Some e when base <> e -> corrupt path (Printf.sprintf "segment base %d, expected %d" base e)
+      | _ -> ());
+      let sp = parse_segment path base in
+      if sp.sp_tear <> None && rest <> [] then
+        corrupt path "torn segment followed by later segments";
+      go (sp :: acc) (Some (base + sp.sp_count)) rest
+  in
+  go [] None segs
+
+type scan = {
+  records : (int * string) array;
+  torn : Codec.error option;
+  scanned_segments : int;
+}
+
+let scan ~dir =
+  if not (Sys.file_exists dir) then { records = [||]; torn = None; scanned_segments = 0 }
+  else begin
+    let parses = parse_dir dir in
+    let records =
+      List.concat_map (fun sp -> List.rev sp.sp_records) parses |> Array.of_list
+    in
+    let torn =
+      List.fold_left (fun acc sp -> if sp.sp_tear <> None then sp.sp_tear else acc) None parses
+    in
+    { records; torn; scanned_segments = List.length parses }
+  end
+
+(* ---- opening for append ------------------------------------------- *)
+
+let create_segment t base =
+  let path = Filename.concat t.dir (segment_name base) in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  t.fd <- fd;
+  t.fd_open <- true;
+  t.seg_base <- base;
+  t.seg_size <- header_len;
+  t.seg_records <- 0;
+  let header = Bytes.create header_len in
+  Bytes.blit_string magic 0 header 0 (String.length magic);
+  Bytes.set_int64_le header (String.length magic) (Int64.of_int base);
+  write_split fd (Bytes.unsafe_to_string header);
+  if t.fsync then begin
+    Unix.fsync fd;
+    fsync_dir t.dir
+  end
+
+let open_ ?(segment_bytes = 1 lsl 20) ?(fsync = true) ~dir () =
+  if segment_bytes < header_len + Codec.header_bytes + 16 then
+    invalid_arg "Wal.open_: segment_bytes too small";
+  mkdir_p dir;
+  let parses = parse_dir dir in
+  (* Repair crash damage: truncate the torn tail, drop headerless husks. *)
+  let truncated_bytes = ref 0 in
+  let dropped = ref 0 in
+  let live =
+    List.filter
+      (fun sp ->
+        match sp.sp_tear with
+        | None -> true
+        | Some _ when sp.sp_count = 0 ->
+          (* nothing valid in it (torn header or first record): remove *)
+          truncated_bytes := !truncated_bytes + sp.sp_file_len;
+          incr dropped;
+          Sys.remove sp.sp_path;
+          false
+        | Some _ ->
+          truncated_bytes := !truncated_bytes + (sp.sp_file_len - sp.sp_clean_end);
+          let fd = Unix.openfile sp.sp_path [ Unix.O_RDWR ] 0 in
+          Unix.ftruncate fd sp.sp_clean_end;
+          if fsync then Unix.fsync fd;
+          Unix.close fd;
+          true)
+      parses
+  in
+  let t =
+    {
+      dir;
+      segment_bytes;
+      fsync;
+      fd = Unix.stdin (* replaced below *);
+      fd_open = false;
+      seg_base = 0;
+      seg_size = 0;
+      seg_records = 0;
+      next = 0;
+      durable = Atomic.make (-1);
+      buf = Buffer.create 4096;
+      pending_records = 0;
+      closed = false;
+      info =
+        { segments = 0; first_seqno = 0; next_seqno = 0; truncated_bytes = 0;
+          dropped_segments = 0 };
+    }
+  in
+  (match List.rev live with
+  | [] ->
+    (* fresh log, or every segment was an empty husk: start at the base
+       the husk advertised (pruning may have moved the log's origin) *)
+    let base =
+      match parses with [] -> 0 | sp :: _ -> if live = [] then sp.sp_base else 0
+    in
+    create_segment t base;
+    t.next <- base
+  | last :: _ ->
+    let clean_end = match last.sp_tear with Some _ -> last.sp_clean_end | None -> last.sp_file_len in
+    let fd = Unix.openfile last.sp_path [ Unix.O_RDWR ] 0 in
+    ignore (Unix.lseek fd clean_end Unix.SEEK_SET);
+    t.fd <- fd;
+    t.fd_open <- true;
+    t.seg_base <- last.sp_base;
+    t.seg_size <- clean_end;
+    t.seg_records <- last.sp_count;
+    t.next <- last.sp_base + last.sp_count);
+  Atomic.set t.durable (t.next - 1);
+  let first_seqno = match live with sp :: _ -> sp.sp_base | [] -> t.seg_base in
+  let info =
+    {
+      segments = (match live with [] -> 1 | l -> List.length l);
+      first_seqno;
+      next_seqno = t.next;
+      truncated_bytes = !truncated_bytes;
+      dropped_segments = !dropped;
+    }
+  in
+  { t with info }
+
+(* ---- append / sync ------------------------------------------------- *)
+
+let check_open t name = if t.closed then invalid_arg ("Wal." ^ name ^ ": closed")
+
+let sync t =
+  check_open t "sync";
+  if Buffer.length t.buf > 0 || t.pending_records > 0 then begin
+    let armed = Atomic.get Obs.Trace.armed in
+    let t0 = if armed then Unix.gettimeofday () else 0.0 in
+    if Buffer.length t.buf > 0 then begin
+      write_split t.fd (Buffer.contents t.buf);
+      Buffer.clear t.buf
+    end;
+    Crashpoint.hit Crashpoint.Pre_fsync;
+    if t.fsync then Unix.fsync t.fd;
+    Atomic.set t.durable (t.next - 1);
+    if armed then begin
+      Obs.Counters.incr c_fsyncs;
+      Obs.Counters.record h_batch t.pending_records;
+      Obs.Counters.record h_commit
+        (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+    end;
+    t.pending_records <- 0;
+    Crashpoint.hit Crashpoint.Post_fsync
+  end
+
+let rotate t =
+  sync t;
+  Unix.close t.fd;
+  t.fd_open <- false;
+  if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_rotations;
+  Crashpoint.hit Crashpoint.Mid_rotation;
+  create_segment t t.next
+
+let append t data =
+  check_open t "append";
+  Crashpoint.hit Crashpoint.Pre_append;
+  let frame_total = Codec.header_bytes + 8 + String.length data in
+  if t.seg_records > 0 && t.seg_size + frame_total > t.segment_bytes then rotate t;
+  let seqno = t.next in
+  let payload = Bytes.create (8 + String.length data) in
+  Bytes.set_int64_le payload 0 (Int64.of_int seqno);
+  Bytes.blit_string data 0 payload 8 (String.length data);
+  Codec.add_frame t.buf (Bytes.unsafe_to_string payload);
+  t.next <- seqno + 1;
+  t.pending_records <- t.pending_records + 1;
+  t.seg_size <- t.seg_size + frame_total;
+  t.seg_records <- t.seg_records + 1;
+  if Atomic.get Obs.Trace.armed then begin
+    Obs.Counters.incr c_append;
+    Obs.Counters.add c_append_bytes frame_total
+  end;
+  seqno
+
+let durable_seqno t = Atomic.get t.durable
+
+let next_seqno t = t.next
+
+let pending t = t.pending_records
+
+let close t =
+  if not t.closed then begin
+    sync t;
+    t.closed <- true;
+    if t.fd_open then Unix.close t.fd;
+    t.fd_open <- false
+  end
+
+let crash_close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Buffer.clear t.buf;
+    if t.fd_open then (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    t.fd_open <- false
+  end
+
+(* ---- pruning ------------------------------------------------------- *)
+
+let prune ~dir ~before =
+  if not (Sys.file_exists dir) then 0
+  else begin
+    let parses = parse_dir dir in
+    let n = List.length parses in
+    let removed = ref 0 in
+    List.iteri
+      (fun i sp ->
+        if i < n - 1 && sp.sp_base + sp.sp_count <= before then begin
+          Sys.remove sp.sp_path;
+          incr removed
+        end)
+      parses;
+    !removed
+  end

@@ -1,0 +1,109 @@
+(** Append-only segmented write-ahead log with group commit.
+
+    One writer thread (DORADD's single logical dispatcher / sequencer —
+    the same thread that fixes the serial order) appends framed records;
+    any thread may read the {!durable_seqno} watermark.  The paper's
+    system model (§2) assumes the sequencing layer logs requests durably
+    before delivery; this is that log.
+
+    {2 On-disk layout}
+
+    A log directory holds numbered {e segments}:
+
+    {v
+      wal-0000000000000000.seg     segment, records [0, b1)
+      wal-00000000000000b1.seg     segment, records [b1, b2)
+      ...
+      wal-<base>.seg := "DORADDWAL1" ++ base(8 LE)    (18-byte header)
+                        ++ Codec frame*               (one per record)
+      record payload  := seqno(8 LE) ++ data
+    v}
+
+    Records carry their seqno so a reader can verify density; segments
+    carry their base so file names are a convenience, not a trust root.
+
+    {2 Group commit}
+
+    {!append} only buffers; {!sync} writes the buffer and fsyncs once,
+    then advances the durable watermark over the whole batch — the
+    classic group commit.  The caller picks the batching policy; the
+    durable {!Doradd_replication.Sequencer} uses the pipeline's adaptive
+    bounded batching (drain whatever queued during the previous fsync,
+    up to a cap), so batch size adapts to load exactly like the
+    dispatcher's SPSC batches.
+
+    {2 Crash safety}
+
+    Frames are CRC-checked (see {!Codec}), so {!open_} distinguishes a
+    torn tail (crash mid-write — truncated, log usable) from interior
+    corruption (refused).  Segments past a tear are discarded: a single
+    writer cannot have written beyond it. *)
+
+type t
+
+val open_ : ?segment_bytes:int -> ?fsync:bool -> dir:string -> unit -> t
+(** Open (creating the directory and first segment if needed), validate
+    every segment, truncate any torn tail, and position for append.
+    [segment_bytes] (default 1 MiB) bounds a segment before rotation;
+    [fsync:false] keeps every {!sync} semantics (watermark advance,
+    crashpoints) but skips the physical [fsync] — for tests and
+    benchmarks on throwaway data.
+    @raise Failure on interior corruption (a bad record {e before} valid
+    ones, or non-dense seqnos). *)
+
+type open_info = {
+  segments : int;  (** live segment files after truncation *)
+  first_seqno : int;  (** base of the oldest retained segment *)
+  next_seqno : int;  (** first seqno {!append} will assign *)
+  truncated_bytes : int;  (** torn-tail bytes discarded by this open *)
+  dropped_segments : int;  (** segment files discarded past a tear *)
+}
+
+val open_info : t -> open_info
+(** What {!open_} found (stable for the lifetime of [t]). *)
+
+val append : t -> string -> int
+(** Buffer one record; returns its seqno.  Not durable until {!sync}.
+    Rotates to a fresh segment first when the current one is full
+    (rotation seals the old segment with a sync). *)
+
+val sync : t -> unit
+(** Write all buffered records and fsync: the group-commit point.  On
+    return every appended record is durable and {!durable_seqno} covers
+    them.  No-op when nothing is pending and nothing was written since
+    the last sync. *)
+
+val durable_seqno : t -> int
+(** Highest seqno guaranteed on disk, [-1] if none.  Safe from any
+    thread (atomic). *)
+
+val next_seqno : t -> int
+
+val pending : t -> int
+(** Records appended but not yet synced. *)
+
+val close : t -> unit
+(** {!sync}, then close the file descriptor. *)
+
+val crash_close : t -> unit
+(** Abandon the log as a crash would: close the descriptor {e without}
+    flushing buffered records.  Unsynced appends are lost — that is the
+    point; tests use this between a simulated kill and re-{!open_}. *)
+
+(** {1 Reading (recovery path, no open handle needed)} *)
+
+type scan = {
+  records : (int * string) array;  (** (seqno, data), seqno-ascending, dense *)
+  torn : Codec.error option;  (** why the scan stopped early, if it did *)
+  scanned_segments : int;
+}
+
+val scan : dir:string -> scan
+(** Read every record up to the first tear.  Missing directory scans as
+    empty.  @raise Failure on interior corruption. *)
+
+val prune : dir:string -> before:int -> int
+(** Delete whole segments all of whose records have seqno < [before]
+    (i.e. are covered by a snapshot).  Never touches the last segment.
+    Returns the number of files removed.  Call only while no {!t} is
+    open on [dir]. *)

@@ -1,45 +1,92 @@
 module Mpmc = Doradd_queue.Mpmc
 module Backoff = Doradd_queue.Backoff
+module Wal = Doradd_persist.Wal
+
+type 'req durability = { wal : Wal.t; encode : 'req -> string }
 
 type 'req t = {
   input : 'req option Mpmc.t; (* None = shutdown *)
   domain : unit Domain.t;
   delivered : int Atomic.t;
-  log : 'req list ref; (* newest first; owned by the sequencer domain *)
+  log : 'req list Atomic.t; (* newest first; written by the sequencer domain *)
+  wal : Wal.t option;
   mutable stopped : bool;
 }
 
-let create ?(queue_capacity = 4096) ~deliver () =
+let create ?(queue_capacity = 4096) ?durability ?(max_batch = 64) ~deliver () =
+  if max_batch < 1 then invalid_arg "Sequencer.create: max_batch < 1";
   let input = Mpmc.create ~dummy:None ~capacity:queue_capacity in
   let delivered = Atomic.make 0 in
-  let log = ref [] in
+  let log = Atomic.make [] in
   let domain =
     Domain.spawn (fun () ->
         let b = Backoff.create () in
         let seqno = ref 0 in
-        let rec loop () =
-          match Mpmc.try_pop input with
-          | Some (Some req) ->
-            Backoff.reset b;
-            log := req :: !log;
-            deliver ~seqno:!seqno req;
-            incr seqno;
-            Atomic.incr delivered;
-            loop ()
-          | Some None -> ()
-          | None ->
-            Backoff.once b;
-            loop ()
+        let publish req =
+          (* single-writer: plain read-modify-write is race-free; the
+             Atomic.set publishes the new head to log_prefix readers *)
+          Atomic.set log (req :: Atomic.get log);
+          deliver ~seqno:!seqno req;
+          incr seqno;
+          Atomic.incr delivered
         in
-        loop ())
+        match durability with
+        | None ->
+          let rec loop () =
+            match Mpmc.try_pop input with
+            | Some (Some req) ->
+              Backoff.reset b;
+              publish req;
+              loop ()
+            | Some None -> ()
+            | None ->
+              Backoff.once b;
+              loop ()
+          in
+          loop ()
+        | Some { wal; encode } ->
+          (* Adaptive group commit, mirroring the pipeline's bounded
+             batching: each round drains whatever queued during the
+             previous round's fsync (capped at max_batch), appends the
+             whole batch, syncs once, and only then delivers — requests
+             are never visible to the consumer before they are durable. *)
+          let rec grab acc n =
+            if n >= max_batch then (List.rev acc, false)
+            else
+              match Mpmc.try_pop input with
+              | Some (Some req) ->
+                Backoff.reset b;
+                grab (req :: acc) (n + 1)
+              | Some None -> (List.rev acc, true)
+              | None ->
+                if acc = [] then begin
+                  Backoff.once b;
+                  grab acc n
+                end
+                else (List.rev acc, false)
+          in
+          let rec loop () =
+            let batch, stop = grab [] 0 in
+            (match batch with
+            | [] -> ()
+            | batch ->
+              List.iter (fun req -> ignore (Wal.append wal (encode req))) batch;
+              Wal.sync wal;
+              List.iter publish batch);
+            if not stop then loop ()
+          in
+          loop ())
   in
-  { input; domain; delivered; log; stopped = false }
+  let wal = Option.map (fun (d : _ durability) -> d.wal) durability in
+  { input; domain; delivered; log; wal; stopped = false }
 
 let submit t req =
   if t.stopped then invalid_arg "Sequencer.submit: stopped";
   Mpmc.push t.input (Some req)
 
 let delivered t = Atomic.get t.delivered
+
+let durable_watermark t = match t.wal with None -> -1 | Some w -> Wal.durable_seqno w
 
 let stop t =
   if not t.stopped then begin
@@ -48,9 +95,12 @@ let stop t =
     Domain.join t.domain
   end
 
-let log t =
-  if not t.stopped then invalid_arg "Sequencer.log: stop the sequencer first";
-  let arr = Array.of_list !(t.log) in
+let log_prefix t =
+  let arr = Array.of_list (Atomic.get t.log) in
   (* stored newest-first *)
   let n = Array.length arr in
   Array.init n (fun i -> arr.(n - 1 - i))
+
+let log t =
+  if not t.stopped then invalid_arg "Sequencer.log: stop the sequencer first";
+  log_prefix t

@@ -11,13 +11,39 @@
     The retained log is the recovery story: {!log} returns the exact
     ordered prefix delivered so far, and replaying it through a fresh
     runtime reproduces the pre-crash state bit-for-bit (deterministic
-    execution is what makes this sound); see the recovery tests. *)
+    execution is what makes this sound); see the recovery tests.
+
+    {2 Durable mode}
+
+    With {!type-durability}, the sequencer also implements the "logs them
+    durably" half of the system model: each request is appended to a
+    {!Doradd_persist.Wal} and group-committed {e before} delivery
+    (append-before-deliver), so a consumer never observes a request that
+    a crash could lose.  Batching is adaptive like the pipeline's —
+    whatever queued during the previous fsync commits as one batch,
+    capped at [max_batch] — so fsync cost amortises under load without
+    adding idle latency. *)
 
 type 'req t
 
-val create : ?queue_capacity:int -> deliver:(seqno:int -> 'req -> unit) -> unit -> 'req t
+type 'req durability = {
+  wal : Doradd_persist.Wal.t;  (** open log; the caller keeps ownership *)
+  encode : 'req -> string;  (** wire format for WAL records *)
+}
+
+val create :
+  ?queue_capacity:int ->
+  ?durability:'req durability ->
+  ?max_batch:int ->
+  deliver:(seqno:int -> 'req -> unit) ->
+  unit ->
+  'req t
 (** Start the sequencer domain.  [deliver] runs on that domain, in
-    sequence order, exactly once per request. *)
+    sequence order, exactly once per request.  With [durability], a
+    request is delivered only after the group commit covering it;
+    [max_batch] (default 64) caps the commit batch.  {!stop} does not
+    close the WAL — the caller owns it (recovery needs it after the
+    sequencer is gone). *)
 
 val submit : 'req t -> 'req -> unit
 (** Thread-safe: callable from any domain.  Blocks (with backoff) when
@@ -25,6 +51,17 @@ val submit : 'req t -> 'req -> unit
 
 val delivered : 'req t -> int
 (** Requests sequenced and delivered so far (racy snapshot). *)
+
+val durable_watermark : 'req t -> int
+(** Highest sequence number guaranteed on disk, [-1] if none (always
+    [-1] without {!type-durability}).  Safe from any thread, before or
+    after {!stop}. *)
+
+val log_prefix : 'req t -> 'req array
+(** Snapshot of the delivered log so far, in sequence order.  Safe from
+    any thread at any time; in durable mode every entry is covered by
+    {!durable_watermark}.  Grows monotonically — each call returns a
+    prefix of any later call's result. *)
 
 val stop : 'req t -> unit
 (** Stop accepting input, drain, and join the sequencer domain.  After

@@ -1,76 +1,112 @@
 module Sim_req = Doradd_sim.Sim_req
+module Codec = Doradd_persist.Codec
 
-let magic = "DORADDLOG1"
+let magic = "DORADDLOG2"
 
-(* Flat integer encoding via Buffer/Scanf-free binary I/O: every value is
-   a little-endian 63-bit int written as 8 bytes. *)
-let write_int oc v =
+(* Payloads are flat 8-byte little-endian ints, now wrapped in the
+   durability subsystem's CRC-checked frames: one frame for the request
+   count, then one frame per request, so a torn tail or a flipped byte is
+   detected per record instead of silently mis-parsing. *)
+
+let add_int buf v =
   let b = Bytes.create 8 in
   Bytes.set_int64_le b 0 (Int64.of_int v);
-  output_bytes oc b
+  Buffer.add_bytes buf b
 
-let read_int ic =
-  let b = Bytes.create 8 in
-  really_input ic b 0 8;
-  Int64.to_int (Bytes.get_int64_le b 0)
+let add_array buf a =
+  add_int buf (Array.length a);
+  Array.iter (add_int buf) a
 
-let write_array oc a =
-  write_int oc (Array.length a);
-  Array.iter (write_int oc) a
+let encode_req (r : Sim_req.t) =
+  let buf = Buffer.create 256 in
+  add_int buf r.Sim_req.id;
+  add_int buf r.Sim_req.arrival;
+  add_int buf (Array.length r.Sim_req.pieces);
+  Array.iter
+    (fun (p : Sim_req.piece) ->
+      add_array buf p.reads;
+      add_array buf p.writes;
+      add_array buf p.commutes;
+      add_int buf p.service)
+    r.Sim_req.pieces;
+  Buffer.contents buf
 
-let read_array ic =
-  let n = read_int ic in
-  if n < 0 || n > 1 lsl 30 then failwith "Trace.load: corrupt array length";
-  Array.init n (fun _ -> read_int ic)
+(* A tiny positional reader over one frame payload. *)
+type cursor = { s : string; mutable pos : int }
+
+let corrupt why = failwith ("Trace.load: corrupt record: " ^ why)
+
+let take_int c =
+  if c.pos + 8 > String.length c.s then corrupt "short payload";
+  let v = Int64.to_int (Bytes.get_int64_le (Bytes.unsafe_of_string c.s) c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let take_array c =
+  let n = take_int c in
+  if n < 0 || n > 1 lsl 30 then corrupt "bad array length";
+  Array.init n (fun _ -> take_int c)
+
+let decode_req payload =
+  let c = { s = payload; pos = 0 } in
+  let id = take_int c in
+  let arrival = take_int c in
+  let n_pieces = take_int c in
+  if n_pieces <= 0 || n_pieces > 64 then corrupt "bad piece count";
+  let pieces =
+    Array.init n_pieces (fun _ ->
+        let reads = take_array c in
+        let writes = take_array c in
+        let commutes = take_array c in
+        let service = take_int c in
+        Sim_req.piece ~reads ~writes ~commutes ~service ())
+  in
+  if c.pos <> String.length payload then corrupt "trailing bytes";
+  let r = Sim_req.make ~id pieces in
+  r.Sim_req.arrival <- arrival;
+  r
 
 let save ~path log =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  let count = Buffer.create 8 in
+  add_int count (Array.length log);
+  Codec.add_frame buf (Buffer.contents count);
+  Array.iter (fun r -> Codec.add_frame buf (encode_req r)) log;
   let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc magic;
-      write_int oc (Array.length log);
-      Array.iter
-        (fun r ->
-          write_int oc r.Sim_req.id;
-          write_int oc r.Sim_req.arrival;
-          write_int oc (Array.length r.Sim_req.pieces);
-          Array.iter
-            (fun (p : Sim_req.piece) ->
-              write_array oc p.reads;
-              write_array oc p.writes;
-              write_array oc p.commutes;
-              write_int oc p.service)
-            r.Sim_req.pieces)
-        log)
-
-let load_body ic =
-      let m = really_input_string ic (String.length magic) in
-      if m <> magic then failwith "Trace.load: not a DORADD log (bad magic)";
-      let n = read_int ic in
-      if n < 0 then failwith "Trace.load: corrupt count";
-      Array.init n (fun _ ->
-          let id = read_int ic in
-          let arrival = read_int ic in
-          let n_pieces = read_int ic in
-          if n_pieces <= 0 || n_pieces > 64 then failwith "Trace.load: corrupt piece count";
-          let pieces =
-            Array.init n_pieces (fun _ ->
-                let reads = read_array ic in
-                let writes = read_array ic in
-                let commutes = read_array ic in
-                let service = read_int ic in
-                Sim_req.piece ~reads ~writes ~commutes ~service ())
-          in
-          let r = Sim_req.make ~id pieces in
-          r.Sim_req.arrival <- arrival;
-          r)
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf)
 
 let load ~path =
-  let ic = try open_in_bin path with Sys_error e -> failwith ("Trace.load: " ^ e) in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> try load_body ic with End_of_file -> failwith "Trace.load: truncated file")
+  let content =
+    let ic = try open_in_bin path with Sys_error e -> failwith ("Trace.load: " ^ e) in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if
+    String.length content < String.length magic
+    || String.sub content 0 (String.length magic) <> magic
+  then failwith "Trace.load: not a DORADD log (bad magic)";
+  let next = ref (String.length magic) in
+  let read_frame what =
+    match Codec.read_at content ~pos:!next with
+    | Codec.Record { payload; next = n } ->
+      next := n;
+      payload
+    | Codec.End -> failwith (Printf.sprintf "Trace.load: truncated file (missing %s)" what)
+    | Codec.Torn e ->
+      failwith (Printf.sprintf "Trace.load: %s at %s" (Codec.error_to_string e) what)
+  in
+  let header = read_frame "header" in
+  if String.length header <> 8 then failwith "Trace.load: corrupt header";
+  let n = Int64.to_int (Bytes.get_int64_le (Bytes.unsafe_of_string header) 0) in
+  if n < 0 then failwith "Trace.load: corrupt count";
+  let log = Array.init n (fun i -> decode_req (read_frame (Printf.sprintf "request %d" i))) in
+  (match Codec.read_at content ~pos:!next with
+  | Codec.End -> ()
+  | Codec.Record _ -> failwith "Trace.load: trailing records beyond declared count"
+  | Codec.Torn e -> failwith ("Trace.load: " ^ Codec.error_to_string e ^ " after last record"));
+  log
 
 let describe log =
   let n = Array.length log in

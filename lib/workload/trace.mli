@@ -6,9 +6,11 @@
     full-scale TPC-C) are paid once; `bin/trace.exe` is the generator
     front-end.
 
-    Format: a small versioned header followed by a flat integer encoding
-    of each request (id, arrival, pieces with read/write/commute keys and
-    service) — portable across runs of the same build. *)
+    Format: a versioned magic, then CRC-checked length-prefixed frames
+    (the durability subsystem's {!Doradd_persist.Codec}): one frame for
+    the request count, then one per request (id, arrival, pieces with
+    read/write/commute keys and service, all 8-byte LE ints).  A torn
+    tail or flipped byte is rejected at {!load} instead of mis-parsing. *)
 
 val save : path:string -> Doradd_sim.Sim_req.t array -> unit
 (** Write a log.  Overwrites. *)

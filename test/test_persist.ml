@@ -1,0 +1,570 @@
+(* Durability subsystem tests: codec framing, segmented WAL, snapshots,
+   recovery, the durable KV store, and the durable sequencer — plus the
+   seeded crash matrix and a qcheck crash property, both checking the
+   central claim: recovery reproduces exactly the durable-prefix state. *)
+
+module P = Doradd_persist
+module Codec = P.Codec
+module Wal = P.Wal
+module Cp = P.Crashpoint
+module Db = Doradd_db
+module Rng = Doradd_stats.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let in_temp_dir f =
+  let dir = Filename.temp_dir "doradd_test_persist" "" in
+  Fun.protect ~finally:(fun () -> Cp.disarm (); rm_rf dir) (fun () -> f dir)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_vector () =
+  (* the standard IEEE 802.3 check value *)
+  checki "crc of '123456789'" 0xCBF43926 (Codec.crc32_string "123456789");
+  checki "crc of empty" 0 (Codec.crc32_string "");
+  checkb "incremental = one-shot" true
+    (Codec.crc32_string ~init:(Codec.crc32_string "1234") "56789"
+     = Codec.crc32_string "123456789")
+
+let test_frame_roundtrip () =
+  let payloads = [ ""; "x"; "hello world"; String.make 4096 '\xAB' ] in
+  let buf = Buffer.create 64 in
+  List.iter (fun p -> Codec.add_frame buf p) payloads;
+  let s = Buffer.contents buf in
+  checks "frame = add_frame" (String.concat "" (List.map Codec.frame payloads)) s;
+  let got, clean_end, torn = Codec.fold s ~init:[] ~f:(fun acc p -> p :: acc) in
+  checkb "all payloads back" true (List.rev got = payloads);
+  checki "clean end is total" (String.length s) clean_end;
+  checkb "no tear" true (torn = None)
+
+let test_torn_and_corrupt () =
+  let s = Codec.frame "first" ^ Codec.frame "second" in
+  (* truncated mid-second-frame: first survives, tear reported *)
+  let cut = String.sub s 0 (String.length s - 3) in
+  let got, clean_end, torn = Codec.fold cut ~init:[] ~f:(fun acc p -> p :: acc) in
+  checkb "first survives" true (got = [ "first" ]);
+  checki "clean end after first" (Codec.header_bytes + 5) clean_end;
+  checkb "tear is Truncated" true (torn = Some Codec.Truncated);
+  (* flipped payload byte: CRC catches it *)
+  let flipped = Bytes.of_string s in
+  Bytes.set flipped (Codec.header_bytes + 2)
+    (Char.chr (Char.code (Bytes.get flipped (Codec.header_bytes + 2)) lxor 1));
+  let _, _, torn = Codec.fold (Bytes.to_string flipped) ~init:() ~f:(fun () _ -> ()) in
+  checkb "flip detected" true (match torn with Some (Codec.Bad_crc _) -> true | _ -> false);
+  (* absurd length field *)
+  let bad_len = Bytes.of_string s in
+  Bytes.set bad_len 3 '\xFF';
+  let _, _, torn = Codec.fold (Bytes.to_string bad_len) ~init:() ~f:(fun () _ -> ()) in
+  checkb "bad length detected" true
+    (match torn with Some (Codec.Bad_length _) -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Wal                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_wal_append_reopen () =
+  in_temp_dir @@ fun dir ->
+  let w = Wal.open_ ~fsync:false ~dir () in
+  for i = 0 to 49 do
+    checki "dense seqnos" i (Wal.append w (Printf.sprintf "r%d" i))
+  done;
+  checki "nothing durable before sync" (-1) (Wal.durable_seqno w);
+  checki "pending counts appends" 50 (Wal.pending w);
+  Wal.sync w;
+  checki "sync advances watermark" 49 (Wal.durable_seqno w);
+  checki "pending drained" 0 (Wal.pending w);
+  Wal.close w;
+  let w = Wal.open_ ~fsync:false ~dir () in
+  let info = Wal.open_info w in
+  checki "reopen continues numbering" 50 info.next_seqno;
+  checki "no truncation on clean reopen" 0 info.truncated_bytes;
+  checki "next append continues" 50 (Wal.append w "r50");
+  Wal.close w;
+  let scan = Wal.scan ~dir in
+  checki "all records scanned" 51 (Array.length scan.records);
+  checkb "scan is dense and ordered" true
+    (Array.for_all Fun.id
+       (Array.mapi (fun i (s, d) -> s = i && d = Printf.sprintf "r%d" i) scan.records))
+
+let test_wal_rotation () =
+  in_temp_dir @@ fun dir ->
+  let w = Wal.open_ ~segment_bytes:256 ~fsync:false ~dir () in
+  for i = 0 to 99 do
+    ignore (Wal.append w (Printf.sprintf "record-%04d" i))
+  done;
+  Wal.close w;
+  let scan = Wal.scan ~dir in
+  checkb "rotation created segments" true (scan.scanned_segments > 3);
+  checki "no records lost across rotation" 100 (Array.length scan.records);
+  (* segments chain: reopen still assigns the next seqno *)
+  let w = Wal.open_ ~segment_bytes:256 ~fsync:false ~dir () in
+  checki "next after many segments" 100 (Wal.next_seqno w);
+  Wal.close w
+
+let last_segment dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun n -> Filename.check_suffix n ".seg")
+  |> List.sort compare |> List.rev |> List.hd |> Filename.concat dir
+
+let test_wal_torn_tail_truncated () =
+  in_temp_dir @@ fun dir ->
+  let w = Wal.open_ ~fsync:false ~dir () in
+  for i = 0 to 19 do
+    ignore (Wal.append w (Printf.sprintf "r%d" i))
+  done;
+  Wal.close w;
+  (* simulate a torn write: half a frame at the tail *)
+  let seg = last_segment dir in
+  let clean = read_file seg in
+  write_file seg (clean ^ String.sub (Codec.frame "torn-record") 0 7);
+  let scan = Wal.scan ~dir in
+  checki "tear hides only the torn record" 20 (Array.length scan.records);
+  checkb "tear reported" true (scan.torn <> None);
+  let w = Wal.open_ ~fsync:false ~dir () in
+  let info = Wal.open_info w in
+  checki "torn bytes truncated" 7 info.truncated_bytes;
+  checki "appends continue after repair" 20 (Wal.append w "fresh");
+  Wal.close w;
+  checks "file restored to clean prefix + new record" (clean ^ Codec.frame "\x14\x00\x00\x00\x00\x00\x00\x00fresh")
+    (read_file seg)
+
+let test_wal_interior_corruption_refused () =
+  in_temp_dir @@ fun dir ->
+  let w = Wal.open_ ~segment_bytes:256 ~fsync:false ~dir () in
+  for i = 0 to 49 do
+    ignore (Wal.append w (Printf.sprintf "payload-%04d" i))
+  done;
+  Wal.close w;
+  (* a bad frame is only provably corruption (vs a torn tail) when valid
+     data follows it — flip a byte in the OLDEST segment of several *)
+  let seg =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun n -> Filename.check_suffix n ".seg")
+    |> List.sort compare |> List.hd |> Filename.concat dir
+  in
+  let content = Bytes.of_string (read_file seg) in
+  let pos = Bytes.length content / 2 in
+  Bytes.set content pos (Char.chr (Char.code (Bytes.get content pos) lxor 0x10));
+  write_file seg (Bytes.to_string content);
+  checkb "scan refuses interior corruption" true
+    (match Wal.scan ~dir with exception Failure _ -> true | _ -> false);
+  checkb "open refuses interior corruption" true
+    (match Wal.open_ ~fsync:false ~dir () with exception Failure _ -> true | _ -> false)
+
+let test_wal_crash_close_loses_unsynced () =
+  in_temp_dir @@ fun dir ->
+  let w = Wal.open_ ~fsync:false ~dir () in
+  for i = 0 to 9 do
+    ignore (Wal.append w (Printf.sprintf "a%d" i))
+  done;
+  Wal.sync w;
+  for i = 10 to 14 do
+    ignore (Wal.append w (Printf.sprintf "b%d" i))
+  done;
+  (* 10..14 never synced: a crash must lose exactly these *)
+  Wal.crash_close w;
+  let scan = Wal.scan ~dir in
+  checki "synced prefix survives" 10 (Array.length scan.records);
+  checkb "no tear (clean batch boundary)" true (scan.torn = None)
+
+let test_wal_prune () =
+  in_temp_dir @@ fun dir ->
+  let w = Wal.open_ ~segment_bytes:256 ~fsync:false ~dir () in
+  for i = 0 to 99 do
+    ignore (Wal.append w (Printf.sprintf "record-%04d" i))
+  done;
+  Wal.close w;
+  let before = (Wal.scan ~dir).scanned_segments in
+  let removed = Wal.prune ~dir ~before:50 in
+  checkb "pruned some segments" true (removed > 0);
+  let scan = Wal.scan ~dir in
+  checki "segments reduced by prune" (before - removed) scan.scanned_segments;
+  let oldest, _ = scan.records.(0) in
+  checkb "only covered segments removed" true (oldest <= 50);
+  (* the tail is intact and the log still opens *)
+  let last, _ = scan.records.(Array.length scan.records - 1) in
+  checki "newest record kept" 99 last;
+  let w = Wal.open_ ~segment_bytes:256 ~fsync:false ~dir () in
+  checki "numbering unaffected" 100 (Wal.next_seqno w);
+  Wal.close w
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_roundtrip_latest () =
+  in_temp_dir @@ fun dir ->
+  ignore (P.Snapshot.write ~dir ~watermark:10 "ten");
+  ignore (P.Snapshot.write ~dir ~watermark:30 "thirty");
+  ignore (P.Snapshot.write ~dir ~watermark:20 "twenty");
+  match P.Snapshot.load_latest ~dir with
+  | None -> Alcotest.fail "no snapshot loaded"
+  | Some l ->
+    checki "highest watermark wins" 30 l.watermark;
+    checks "payload intact" "thirty" l.data
+
+let test_snapshot_skips_corrupt_and_tmp () =
+  in_temp_dir @@ fun dir ->
+  let keep = P.Snapshot.write ~dir ~watermark:5 "good" in
+  let newer = P.Snapshot.write ~dir ~watermark:9 "newer" in
+  (* corrupt the newest; loader must fall back to the older valid one *)
+  let c = Bytes.of_string (read_file newer) in
+  Bytes.set c (Bytes.length c - 2) '\x00';
+  write_file newer (Bytes.to_string c);
+  (* and a leftover temp file from a crashed write must be ignored *)
+  write_file (Filename.concat dir "snap-0000000000000099.snap.tmp") "half-written";
+  (match P.Snapshot.load_latest ~dir with
+  | None -> Alcotest.fail "no snapshot loaded"
+  | Some l ->
+    checki "fell back to valid snapshot" 5 l.watermark;
+    checks "valid payload" "good" l.data;
+    checks "path is the valid file" keep l.path);
+  (* prune removes the corrupt one (invalid => not kept) and the tmp *)
+  ignore (P.Snapshot.prune ~dir ~keep:1);
+  checkb "tmp removed by prune" true
+    (not (Sys.file_exists (Filename.concat dir "snap-0000000000000099.snap.tmp")))
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_recovery_snapshot_plus_suffix () =
+  in_temp_dir @@ fun dir ->
+  let w = Wal.open_ ~fsync:false ~dir () in
+  for i = 0 to 29 do
+    ignore (Wal.append w (Printf.sprintf "r%d" i))
+  done;
+  Wal.close w;
+  ignore (P.Snapshot.write ~dir ~watermark:12 "state@12");
+  let installed = ref None in
+  let replayed = ref [] in
+  let stats =
+    P.Recovery.recover ~dir
+      ~install:(fun ~watermark data -> installed := Some (watermark, data))
+      ~replay:(fun ~seqno data -> replayed := (seqno, data) :: !replayed)
+      ()
+  in
+  checkb "snapshot installed" true (!installed = Some (12, "state@12"));
+  checki "replays suffix only" 18 stats.replayed;
+  checki "skips covered prefix" 12 stats.skipped;
+  checkb "replay starts at watermark" true (List.rev !replayed |> List.hd = (12, "r12"));
+  (* without install, the whole log replays *)
+  let stats = P.Recovery.recover ~dir ~replay:(fun ~seqno:_ _ -> ()) () in
+  checki "full replay without snapshots" 30 stats.replayed
+
+let test_recovery_gap_refused () =
+  in_temp_dir @@ fun dir ->
+  let w = Wal.open_ ~segment_bytes:256 ~fsync:false ~dir () in
+  for i = 0 to 99 do
+    ignore (Wal.append w (Printf.sprintf "record-%04d" i))
+  done;
+  Wal.close w;
+  ignore (Wal.prune ~dir ~before:50);
+  (* log now starts past 0 and there is no snapshot covering the hole *)
+  checkb "gap refused" true
+    (match P.Recovery.recover ~dir ~install:(fun ~watermark:_ _ -> ()) ~replay:(fun ~seqno:_ _ -> ()) () with
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Durable KV store                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let n_keys = 64
+
+let gen_txns ~seed ~n =
+  let rng = Rng.create seed in
+  Array.init n (fun id ->
+      let ops =
+        Array.init 4 (fun _ ->
+            {
+              Db.Kv.key = Rng.int rng n_keys;
+              kind = (if Rng.bool rng then Db.Kv.Read else Db.Kv.Update);
+            })
+      in
+      { Db.Kv.id; ops })
+
+let serial_prefix txns r =
+  let s = Db.Store.create () in
+  Db.Store.populate s ~n:n_keys;
+  let results = Db.Kv.run_sequential s (Array.sub txns 0 r) in
+  (Db.Kv.state_digest s ~keys:(Array.init n_keys Fun.id), results)
+
+let test_txn_codec_roundtrip () =
+  let txns = gen_txns ~seed:11 ~n:50 in
+  Array.iter
+    (fun txn ->
+      checkb "kv txn roundtrip" true (Db.Durable_kv.decode_txn (Db.Durable_kv.encode_txn txn) = txn))
+    txns;
+  checkb "kv rejects garbage" true
+    (match Db.Durable_kv.decode_txn "nonsense" with exception Failure _ -> true | _ -> false);
+  (* tpcc wire format too *)
+  let db = Db.Tpcc_db.create { warehouses = 2; customers_per_district = 30; items = 200 } in
+  Array.iter
+    (fun txn ->
+      checkb "tpcc txn roundtrip" true
+        (Db.Durable_tpcc.decode_txn (Db.Durable_tpcc.encode_txn txn) = txn))
+    (Db.Tpcc_db.generate db (Rng.create 12) ~n:50)
+
+let test_durable_kv_cycle () =
+  in_temp_dir @@ fun dir ->
+  let txns = gen_txns ~seed:21 ~n:150 in
+  let kv = Db.Durable_kv.open_ ~dir ~n_keys ~max_txns:200 ~workers:2 ~group_commit:8 ~segment_bytes:2048 ~fsync:false () in
+  Array.iteri
+    (fun i txn ->
+      checki "submit returns seqno = id" i (Db.Durable_kv.submit kv txn);
+      if i = 70 then checki "snapshot covers submissions" 71 (Db.Durable_kv.snapshot kv))
+    txns;
+  Db.Durable_kv.quiesce kv;
+  checki "all durable after quiesce" 150 (Db.Durable_kv.durable kv);
+  let d1 = Db.Durable_kv.state_digest kv in
+  let r1 = Array.copy (Db.Durable_kv.results kv) in
+  Db.Durable_kv.close kv;
+  let expected_digest, expected_results = serial_prefix txns 150 in
+  checkb "parallel durable run matches serial" true (d1 = expected_digest);
+  checkb "results match serial" true (Array.sub r1 0 150 = expected_results);
+  (* reopen: recovery must reproduce the state *)
+  let kv2 = Db.Durable_kv.open_ ~dir ~n_keys ~max_txns:200 ~workers:2 ~fsync:false () in
+  Db.Durable_kv.quiesce kv2;
+  checki "recovered everything" 150 (Db.Durable_kv.recovered kv2);
+  checkb "used the snapshot" true
+    ((Db.Durable_kv.recovery_stats kv2).snapshot_watermark = Some 71);
+  checkb "recovered state identical" true (Db.Durable_kv.state_digest kv2 = d1);
+  (* and it keeps going: submit more on the recovered instance *)
+  let more = gen_txns ~seed:22 ~n:200 in
+  for i = 150 to 199 do
+    ignore (Db.Durable_kv.submit kv2 { (more.(i)) with id = i })
+  done;
+  Db.Durable_kv.quiesce kv2;
+  checki "continues numbering" 200 (Db.Durable_kv.submitted kv2);
+  Db.Durable_kv.close kv2
+
+let test_durable_kv_crash_loses_only_unsynced () =
+  in_temp_dir @@ fun dir ->
+  let txns = gen_txns ~seed:31 ~n:100 in
+  let kv = Db.Durable_kv.open_ ~dir ~n_keys ~max_txns:100 ~group_commit:16 ~fsync:false () in
+  Array.iter (fun txn -> ignore (Db.Durable_kv.submit kv txn)) txns;
+  (* 100 = 6*16 + 4: the last 4 are appended but not group-committed *)
+  let acked = Db.Durable_kv.durable kv in
+  checki "unsynced tail not acknowledged" 96 acked;
+  Db.Durable_kv.crash_close kv;
+  let kv2 = Db.Durable_kv.open_ ~dir ~n_keys ~max_txns:100 ~fsync:false () in
+  Db.Durable_kv.quiesce kv2;
+  checki "exactly the durable prefix recovered" 96 (Db.Durable_kv.recovered kv2);
+  let expected_digest, _ = serial_prefix txns 96 in
+  checkb "recovered state = serial prefix" true (Db.Durable_kv.state_digest kv2 = expected_digest);
+  Db.Durable_kv.close kv2
+
+(* ---- seeded crash matrix: >= 20 deterministic kill/recover cycles --- *)
+
+(* One kill/recover/verify cycle on the durable KV store; returns what
+   the oracle needs.  [fsync:false]: the crashpoints and buffer/watermark
+   machinery are identical, only the physical flush is skipped (check.exe
+   --recovery covers the real-fsync path). *)
+let crash_cycle ~seed ~n ~point ~nth ~group_commit ~cadence ~segment_bytes =
+  in_temp_dir @@ fun dir ->
+  let txns = gen_txns ~seed ~n in
+  let open_kv () =
+    Db.Durable_kv.open_ ~dir ~n_keys ~max_txns:n ~group_commit ~segment_bytes ~fsync:false ()
+  in
+  let kv = open_kv () in
+  let countdown = ref nth in
+  Cp.arm (fun p ->
+      if p = point then begin
+        decr countdown;
+        !countdown <= 0
+      end
+      else false);
+  let crashed =
+    try
+      Array.iteri
+        (fun i txn ->
+          ignore (Db.Durable_kv.submit kv txn);
+          if cadence > 0 && i > 0 && i mod cadence = 0 then ignore (Db.Durable_kv.snapshot kv))
+        txns;
+      false
+    with Cp.Crashed _ -> true
+  in
+  Cp.disarm ();
+  let acked = Db.Durable_kv.durable kv in
+  let submitted = Db.Durable_kv.submitted kv in
+  Db.Durable_kv.crash_close kv;
+  let kv2 = open_kv () in
+  Db.Durable_kv.quiesce kv2;
+  let recovered = Db.Durable_kv.recovered kv2 in
+  let digest = Db.Durable_kv.state_digest kv2 in
+  Db.Durable_kv.close kv2;
+  let expected_digest, _ = serial_prefix txns recovered in
+  (crashed, acked, submitted, recovered, digest = expected_digest)
+
+let matrix_points = [ Cp.Pre_fsync; Cp.Mid_append; Cp.Mid_rotation; Cp.Mid_snapshot ]
+
+let test_crash_matrix () =
+  (* 4 crash-point classes x 3 group-commit sizes x 2 snapshot cadences =
+     24 seeded kills, each verified against the serial oracle *)
+  let combo = ref 0 in
+  List.iter
+    (fun point ->
+      List.iter
+        (fun group_commit ->
+          List.iter
+            (fun cadence ->
+              incr combo;
+              let name =
+                Printf.sprintf "%s gc=%d cad=%d" (Cp.to_string point) group_commit cadence
+              in
+              let crashed, acked, submitted, recovered, digest_ok =
+                crash_cycle ~seed:(1000 + !combo) ~n:120 ~point ~nth:(1 + (!combo mod 4))
+                  ~group_commit ~cadence ~segment_bytes:256
+              in
+              checkb (name ^ ": crash point reached") true crashed;
+              checkb (name ^ ": no acknowledged request lost") true (recovered >= acked);
+              checkb (name ^ ": nothing beyond the log") true (recovered <= submitted);
+              checkb (name ^ ": recovered = serial durable prefix") true digest_ok)
+            [ 8; 16 ])
+        [ 1; 2; 4 ])
+    matrix_points;
+  checkb "matrix is >= 20 cycles" true (!combo >= 20)
+
+(* ---- qcheck: random workload x crash point x cadence ---------------- *)
+
+let prop_crash_recovery =
+  let all_points = Array.of_list Cp.points in
+  QCheck.Test.make ~name:"recovery = serial replay of durable prefix (random crashes)"
+    ~count:40
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 0 (Array.length all_points - 1)) (int_range 1 10)
+        (int_range 0 3))
+    (fun (seed, point_idx, nth, cadence_idx) ->
+      let point = all_points.(point_idx) in
+      let cadence =
+        (* snapshot-window points only fire if snapshots happen *)
+        match point with
+        | Cp.Mid_snapshot | Cp.Pre_snapshot_rename -> [| 8; 16; 24; 32 |].(cadence_idx)
+        | _ -> [| 0; 8; 16; 32 |].(cadence_idx)
+      in
+      let crashed, acked, submitted, recovered, digest_ok =
+        crash_cycle ~seed ~n:100 ~point ~nth ~group_commit:(1 + (seed mod 8)) ~cadence
+          ~segment_bytes:(256 + (seed mod 512))
+      in
+      (* some parameter draws never reach the crash point; the cycle then
+         degenerates to clean close + clean recovery, which must also
+         verify *)
+      ignore crashed;
+      recovered >= acked && recovered <= submitted && digest_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Durable sequencer                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_sequencer_durable () =
+  in_temp_dir @@ fun dir ->
+  let module Seq = Doradd_replication.Sequencer in
+  let wal = Wal.open_ ~fsync:false ~dir () in
+  let n = 500 in
+  let delivered = Array.make n (-1) in
+  let t =
+    Seq.create
+      ~durability:{ Seq.wal; encode = string_of_int }
+      ~deliver:(fun ~seqno req ->
+        (* append-before-deliver: every delivery must already be durable *)
+        assert (Wal.durable_seqno wal >= seqno);
+        delivered.(seqno) <- req)
+      ()
+  in
+  (* accessors are safe while running *)
+  checkb "log_prefix safe before stop" true (Array.length (Seq.log_prefix t) <= n);
+  checkb "log still guarded before stop" true
+    (match Seq.log t with exception Invalid_argument _ -> true | _ -> false);
+  for i = 0 to n - 1 do
+    Seq.submit t (i * 7)
+  done;
+  Seq.stop t;
+  checki "watermark covers everything" (n - 1) (Seq.durable_watermark t);
+  checkb "deliveries in order, durable first" true
+    (Array.for_all Fun.id (Array.mapi (fun i v -> v = i * 7) delivered));
+  checkb "log matches deliveries" true (Seq.log t = Array.init n (fun i -> i * 7));
+  Wal.close wal;
+  (* the WAL holds the same total order, decodable for replay *)
+  let scan = Wal.scan ~dir in
+  checki "wal record per request" n (Array.length scan.records);
+  checkb "wal order = delivery order" true
+    (Array.for_all Fun.id
+       (Array.mapi (fun i (s, d) -> s = i && int_of_string d = i * 7) scan.records))
+
+let test_sequencer_nondurable_unchanged () =
+  let module Seq = Doradd_replication.Sequencer in
+  let acc = ref [] in
+  let t = Seq.create ~deliver:(fun ~seqno req -> acc := (seqno, req) :: !acc) () in
+  checki "no wal, no watermark" (-1) (Seq.durable_watermark t);
+  for i = 0 to 99 do
+    Seq.submit t i
+  done;
+  Seq.stop t;
+  checki "all delivered" 100 (Seq.delivered t);
+  checkb "log unchanged semantics" true (Seq.log t = Array.init 100 Fun.id)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "persist"
+    [
+      ( "codec",
+        [
+          tc "crc32 vectors" `Quick test_crc32_vector;
+          tc "frame roundtrip" `Quick test_frame_roundtrip;
+          tc "torn and corrupt frames" `Quick test_torn_and_corrupt;
+        ] );
+      ( "wal",
+        [
+          tc "append, sync, reopen" `Quick test_wal_append_reopen;
+          tc "segment rotation" `Quick test_wal_rotation;
+          tc "torn tail truncated on open" `Quick test_wal_torn_tail_truncated;
+          tc "interior corruption refused" `Quick test_wal_interior_corruption_refused;
+          tc "crash_close loses only unsynced" `Quick test_wal_crash_close_loses_unsynced;
+          tc "prune covered segments" `Quick test_wal_prune;
+        ] );
+      ( "snapshot",
+        [
+          tc "roundtrip + latest wins" `Quick test_snapshot_roundtrip_latest;
+          tc "skips corrupt and tmp files" `Quick test_snapshot_skips_corrupt_and_tmp;
+        ] );
+      ( "recovery",
+        [
+          tc "snapshot + wal suffix" `Quick test_recovery_snapshot_plus_suffix;
+          tc "gap refused" `Quick test_recovery_gap_refused;
+        ] );
+      ( "durable-kv",
+        [
+          tc "txn wire formats roundtrip" `Quick test_txn_codec_roundtrip;
+          tc "submit/snapshot/recover cycle" `Quick test_durable_kv_cycle;
+          tc "crash loses only unsynced tail" `Quick test_durable_kv_crash_loses_only_unsynced;
+        ] );
+      ( "crash-matrix",
+        [
+          tc "24 seeded kills across all point classes" `Slow test_crash_matrix;
+          QCheck_alcotest.to_alcotest prop_crash_recovery;
+        ] );
+      ( "sequencer",
+        [
+          tc "durable mode: append before deliver" `Quick test_sequencer_durable;
+          tc "non-durable mode unchanged" `Quick test_sequencer_nondurable_unchanged;
+        ] );
+    ]

@@ -311,6 +311,36 @@ let test_trace_bad_file () =
     | exception Failure _ -> true
     | _ -> false)
 
+(* The framed format must reject crash/corruption damage, not mis-parse
+   it: a truncated tail (lost final record) and a single flipped payload
+   byte (caught by the frame CRC) both fail loudly. *)
+let test_trace_rejects_truncated_tail () =
+  let log = W.Synthetic.locks ~service:5_000 (Rng.create 45) ~n:100 in
+  let path = tmpfile () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      W.Trace.save ~path log;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let oc = open_out_bin path in
+      output_string oc (String.sub full 0 (String.length full - 5));
+      close_out oc;
+      checkb "rejects truncated tail" true
+        (match W.Trace.load ~path with exception Failure _ -> true | _ -> false))
+
+let test_trace_rejects_flipped_byte () =
+  let log = W.Synthetic.locks ~service:5_000 (Rng.create 46) ~n:100 in
+  let path = tmpfile () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      W.Trace.save ~path log;
+      let full = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+      (* flip a byte well inside some record payload *)
+      let pos = Bytes.length full / 2 in
+      Bytes.set full pos (Char.chr (Char.code (Bytes.get full pos) lxor 0x40));
+      let oc = open_out_bin path in
+      output_bytes oc full;
+      close_out oc;
+      checkb "rejects flipped byte" true
+        (match W.Trace.load ~path with exception Failure _ -> true | _ -> false))
+
 (* Every workload kind bin/trace_tool.exe can generate: save -> load ->
    save again must be byte-identical (the on-disk format is canonical, so
    a re-serialized log is the same file). *)
@@ -391,6 +421,8 @@ let () =
           tc "preserves arrivals" `Quick test_trace_preserves_arrivals;
           tc "re-serialize byte-identical (all kinds)" `Quick test_trace_reserialize_byte_identical;
           tc "bad file" `Quick test_trace_bad_file;
+          tc "rejects truncated tail" `Quick test_trace_rejects_truncated_tail;
+          tc "rejects flipped byte" `Quick test_trace_rejects_flipped_byte;
           tc "describe" `Quick test_trace_describe;
         ] );
     ]
