@@ -13,9 +13,13 @@
    seed sweep lives in bin/dst.exe).  A fourth pass is an observability
    smoke (doradd_obs): one traced run whose span log and exporters
    (Chrome trace_event JSON, metrics JSON) must stay structurally valid.
+   A fifth pass is the model-checker tier (doradd_chk): DPOR-exhaustive
+   exploration of the lock-free kernel's bounded scenarios plus the
+   planted-bug canaries (the deep sweep lives in bin/chk.exe).
    Exit code 0 iff everything matches, every sanitized replay is clean,
-   every DST seed passes, and the exporters validate — usable as a CI
-   gate for runtime changes. *)
+   every DST seed passes, the exporters validate, and every checker
+   scenario is interleaving-clean — usable as a CI gate for runtime
+   changes. *)
 
 module Core = Doradd_core
 module Db = Doradd_db
@@ -271,6 +275,50 @@ let obs_smoke ~seed ~n =
     ];
   spans_ok && chrome_ok && metrics_ok
 
+(* -- model-checker tier: DPOR over the lock-free kernel --------------- *)
+
+module Chk = Doradd_chk
+
+let chk_smoke ~bound =
+  let explore_row ~bound ok_of (s : Chk.Scenarios.t) =
+    let r = Chk.Engine.explore (s.Chk.Scenarios.make ~bound) in
+    let ok, detail = ok_of r in
+    let execs =
+      match r with
+      | Chk.Engine.Ok st -> string_of_int st.Chk.Engine.executions
+      | _ -> "-"
+    in
+    (ok, [ s.Chk.Scenarios.name; execs; detail; (if ok then "PASS" else "FAIL") ])
+  in
+  let healthy =
+    List.map
+      (explore_row ~bound (function
+        | Chk.Engine.Ok _ -> (true, "exhaustive, no violation")
+        | Chk.Engine.Violation { name; schedule; _ } ->
+          (false, Printf.sprintf "%s (schedule %s)" name (Chk.Engine.schedule_to_string schedule))
+        | Chk.Engine.Limit { what; _ } -> (false, "limit: " ^ what)))
+      (Chk.Scenarios.registry ())
+  in
+  (* the planted-bug twins are the tier's canaries: if the checker ever
+     stops finding them, the gate itself is broken *)
+  let planted =
+    List.map
+      (fun (s : Chk.Scenarios.t) ->
+        let expect = Option.get s.Chk.Scenarios.expect in
+        explore_row ~bound:2
+          (function
+            | Chk.Engine.Violation { name; _ } when name = expect -> (true, "caught " ^ name)
+            | _ -> (false, "MISSED " ^ expect))
+          s)
+      (Chk.Scenarios.planted ())
+  in
+  let rows = healthy @ planted in
+  Table.print
+    ~title:(Printf.sprintf "doradd-check: model checker (DPOR exhaustive, bound %d)" bound)
+    ~header:[ "scenario"; "executions"; "detail"; "verdict" ]
+    (List.map snd rows);
+  List.for_all fst rows
+
 (* -- recovery smoke: kill/recover/verify with real fsync -------------- *)
 
 module Persist = Doradd_persist
@@ -388,6 +436,13 @@ let no_obs_arg =
     & info [ "no-obs" ]
         ~doc:"Skip the observability smoke tier (traced run + exporter validation).")
 
+let chk_bound_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "chk-bound" ] ~docv:"N"
+        ~doc:"Per-process op bound for the model-checker tier (0 skips the tier; the deep \
+              sweep lives in chk.exe).")
+
 let recovery_arg =
   Arg.(
     value & flag
@@ -395,7 +450,7 @@ let recovery_arg =
         ~doc:"Run the crash-recovery smoke tier: kill/recover/verify cycles with real \
               fsync across the WAL/snapshot crash points.")
 
-let main iterations seed n no_sanitize dst_seeds no_obs recovery names =
+let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery names =
   let selected =
     if List.mem "all" names then apps
     else
@@ -421,14 +476,21 @@ let main iterations seed n no_sanitize dst_seeds no_obs recovery names =
     let sanitize_ok = no_sanitize || sanitize_table ~seed ~n in
     let dst_ok = dst_seeds <= 0 || dst_smoke ~seed ~seeds:dst_seeds in
     let obs_ok = no_obs || obs_smoke ~seed ~n in
+    let chk_ok = chk_bound <= 0 || chk_smoke ~bound:chk_bound in
     let recovery_ok = (not recovery) || recovery_smoke ~seed in
-    match (digests_ok, sanitize_ok, dst_ok, obs_ok, recovery_ok) with
-    | true, true, true, true, true -> `Ok ()
-    | false, _, _, _, _ -> `Error (false, "determinism violations detected")
-    | true, false, _, _, _ -> `Error (false, "sanitizer violations detected")
-    | true, true, false, _, _ -> `Error (false, "DST smoke tier failed")
-    | true, true, true, false, _ -> `Error (false, "observability smoke tier failed")
-    | true, true, true, true, false -> `Error (false, "crash-recovery smoke tier failed")
+    let failures =
+      List.filter_map
+        (fun (ok, msg) -> if ok then None else Some msg)
+        [
+          (digests_ok, "determinism violations detected");
+          (sanitize_ok, "sanitizer violations detected");
+          (dst_ok, "DST smoke tier failed");
+          (obs_ok, "observability smoke tier failed");
+          (chk_ok, "model-checker tier failed");
+          (recovery_ok, "crash-recovery smoke tier failed");
+        ]
+    in
+    match failures with [] -> `Ok () | msg :: _ -> `Error (false, msg)
   end
 
 let cmd =
@@ -438,6 +500,6 @@ let cmd =
     Term.(
       ret
         (const main $ iterations_arg $ seed_arg $ size_arg $ no_sanitize_arg $ dst_seeds_arg
-       $ no_obs_arg $ recovery_arg $ apps_arg))
+       $ no_obs_arg $ chk_bound_arg $ recovery_arg $ apps_arg))
 
 let () = exit (Cmd.eval cmd)

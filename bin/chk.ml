@@ -1,0 +1,269 @@
+(* doradd-chk: exhaustive interleaving checker for the lock-free kernel.
+
+   Runs the lib/chk DPOR explorer over the registered bounded scenarios
+   (the REAL Spsc/Mpmc/Node/Sequencer.Publication code, functored over a
+   traced atomic) and reports, per scenario, either exhaustive PASS with
+   exploration statistics or a minimal replayable counterexample
+   schedule.  Exit code 0 iff every selected scenario passes.
+
+   --bound scales per-process operation counts: the PR gate runs a small
+   bound (seconds), the nightly sweep a deeper one.  --self-test runs
+   the planted-bug twins (capacity-1 Vyukov overwrite, skipped
+   generation bump) and verifies the checker FINDS both and that the
+   shrunk counterexample replays — the canary that the exploration is
+   alive, same idiom as lint.exe --self-test.  --schedule replays one
+   comma-separated schedule against one scenario (counterexample
+   debugging). *)
+
+module Chk = Doradd_chk
+module Engine = Chk.Engine
+module Scenarios = Chk.Scenarios
+
+type row = {
+  scenario : Scenarios.t;
+  bound : int;
+  result : Engine.result;
+  shrunk : int list option;
+}
+
+let run_scenario ~bound ~mode ~preemptions ~max_steps ~max_executions (s : Scenarios.t) =
+  let prog = s.Scenarios.make ~bound in
+  let result =
+    Engine.explore ~mode ?preemption_bound:preemptions ~max_steps ~max_executions prog
+  in
+  let shrunk =
+    match result with
+    | Engine.Violation { name; schedule; _ } -> Some (Engine.shrink prog ~name schedule)
+    | _ -> None
+  in
+  { scenario = s; bound; result; shrunk }
+
+let passed row = match row.result with Engine.Ok _ -> true | _ -> false
+
+let pp_stats (st : Engine.stats) =
+  Printf.sprintf "executions=%d pruned=%d bound-pruned=%d steps=%d depth=%d" st.executions
+    st.pruned st.bound_pruned st.steps st.max_depth
+
+let pp_row row =
+  match row.result with
+  | Engine.Ok st -> Printf.printf "%-18s PASS       %s\n" row.scenario.Scenarios.name (pp_stats st)
+  | Engine.Violation { name; schedule; stats } ->
+    Printf.printf "%-18s VIOLATION  %s (%s)\n" row.scenario.Scenarios.name name (pp_stats stats);
+    Printf.printf "  schedule: %s\n" (Engine.schedule_to_string schedule);
+    (match row.shrunk with
+    | Some s ->
+      Printf.printf "  shrunk:   %s  (replay: chk.exe %s --bound %d --schedule %s)\n"
+        (Engine.schedule_to_string s) row.scenario.Scenarios.name row.bound
+        (Engine.schedule_to_string s)
+    | None -> ())
+  | Engine.Limit { what; schedule; stats } ->
+    Printf.printf "%-18s LIMIT      %s (%s)\n" row.scenario.Scenarios.name what (pp_stats stats);
+    if schedule <> [] then Printf.printf "  schedule: %s\n" (Engine.schedule_to_string schedule)
+
+(* hand-rolled JSON, same style as the other report emitters *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_row row =
+  let status, extra =
+    match row.result with
+    | Engine.Ok _ -> ("pass", "")
+    | Engine.Violation { name; schedule; _ } ->
+      ( "violation",
+        Printf.sprintf ", \"violation\": \"%s\", \"schedule\": \"%s\"%s" (json_escape name)
+          (Engine.schedule_to_string schedule)
+          (match row.shrunk with
+          | Some s -> Printf.sprintf ", \"shrunk\": \"%s\"" (Engine.schedule_to_string s)
+          | None -> "") )
+    | Engine.Limit { what; schedule; _ } ->
+      Printf.sprintf ", \"limit\": \"%s\", \"schedule\": \"%s\"" (json_escape what)
+        (Engine.schedule_to_string schedule)
+      |> fun e -> ("limit", e)
+  in
+  let st =
+    match row.result with
+    | Engine.Ok st | Engine.Violation { stats = st; _ } | Engine.Limit { stats = st; _ } -> st
+  in
+  Printf.sprintf
+    "{\"name\": \"%s\", \"bound\": %d, \"status\": \"%s\", \"executions\": %d, \"pruned\": %d, \
+     \"bound_pruned\": %d, \"steps\": %d, \"max_depth\": %d%s}"
+    (json_escape row.scenario.Scenarios.name)
+    row.bound status st.Engine.executions st.Engine.pruned st.Engine.bound_pruned st.Engine.steps
+    st.Engine.max_depth extra
+
+let print_json ~bound ~mode rows =
+  Printf.printf "{\"bound\": %d, \"mode\": \"%s\", \"scenarios\": [%s]}\n" bound
+    (match mode with `Dpor -> "dpor" | `Brute -> "brute")
+    (String.concat ", " (List.map json_of_row rows))
+
+(* --self-test: the checker must FIND both planted bugs, and the shrunk
+   counterexample must replay to the same violation. *)
+let self_test ~bound ~max_steps ~max_executions =
+  List.for_all
+    (fun (s : Scenarios.t) ->
+      let expect = match s.Scenarios.expect with Some e -> e | None -> assert false in
+      let prog = s.Scenarios.make ~bound in
+      match Engine.explore ~max_steps ~max_executions prog with
+      | Engine.Violation { name; schedule; stats } when name = expect -> (
+        let shrunk = Engine.shrink prog ~name schedule in
+        match Engine.run_schedule prog shrunk with
+        | Engine.Replay_violation { name = name'; _ } when name' = name ->
+          Printf.eprintf
+            "self-test: %s caught %s after %d executions; %d-step repro (%d switches) replays => \
+             PASS\n"
+            s.Scenarios.name name stats.Engine.executions (List.length shrunk)
+            (Engine.switches shrunk);
+          true
+        | _ ->
+          Printf.eprintf "self-test: %s caught %s but shrunk schedule does not replay => FAIL\n"
+            s.Scenarios.name name;
+          false)
+      | Engine.Violation { name; _ } ->
+        Printf.eprintf "self-test: %s found %s, expected %s => FAIL\n" s.Scenarios.name name expect;
+        false
+      | Engine.Ok st ->
+        Printf.eprintf "self-test: %s MISSED %s (%d executions explored, no violation) => FAIL\n"
+          s.Scenarios.name expect st.Engine.executions;
+        false
+      | Engine.Limit { what; _ } ->
+        Printf.eprintf "self-test: %s hit limit (%s) before finding %s => FAIL\n" s.Scenarios.name
+          what expect;
+        false)
+    (Scenarios.planted ())
+
+let replay name ~bound ~max_steps schedule_str =
+  match Scenarios.find name with
+  | None -> `Error (false, Printf.sprintf "unknown scenario %s" name)
+  | Some s -> (
+    let prog = s.Scenarios.make ~bound in
+    let sched =
+      try Engine.schedule_of_string schedule_str
+      with _ -> invalid_arg "bad --schedule (expected comma-separated process indices)"
+    in
+    match Engine.run_schedule ~max_steps prog sched with
+    | Engine.Replay_ok ->
+      Printf.printf "%s: schedule %s completes cleanly\n" name
+        (Engine.schedule_to_string sched);
+      `Ok ()
+    | Engine.Replay_violation { name = v; prefix } ->
+      Printf.printf "%s: violation %s at step %d (schedule %s)\n" name v (List.length prefix)
+        (Engine.schedule_to_string prefix);
+      `Ok ()
+    | Engine.Replay_invalid why -> `Error (false, Printf.sprintf "invalid schedule: %s" why))
+
+open Cmdliner
+
+let bound_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "b"; "bound" ] ~docv:"N"
+        ~doc:"Scenario size: per-process operation count scale. The PR gate uses 2; nightly 3+.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("dpor", `Dpor); ("brute", `Brute) ]) `Dpor
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Exploration mode: dpor (default) or brute (no reduction).")
+
+let preemptions_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "preemptions" ] ~docv:"K"
+        ~doc:"Bound involuntary context switches per schedule (default: unbounded).")
+
+let max_steps_arg =
+  Arg.(
+    value & opt int 50_000
+    & info [ "max-steps" ] ~docv:"N" ~doc:"Per-execution step budget (livelock detector).")
+
+let max_executions_arg =
+  Arg.(
+    value & opt int 2_000_000
+    & info [ "max-executions" ] ~docv:"N" ~doc:"Total execution budget across one scenario.")
+
+let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
+
+let self_test_arg =
+  Arg.(
+    value & flag
+    & info [ "self-test" ]
+        ~doc:
+          "Also run the planted-bug twins and fail unless the checker finds both and the shrunk \
+           counterexamples replay.")
+
+let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List scenarios and exit.")
+
+let schedule_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "schedule" ] ~docv:"P,P,..."
+        ~doc:"Replay one schedule against the single named scenario and exit.")
+
+let scenarios_arg =
+  let doc = "Scenarios to check (default: every non-planted scenario). See --list." in
+  Arg.(value & pos_all string [] & info [] ~docv:"SCENARIO" ~doc)
+
+let main bound mode preemptions max_steps max_executions json self_test_requested list_requested
+    schedule names =
+  if bound <= 0 then `Error (false, "--bound must be positive")
+  else if list_requested then begin
+    List.iter
+      (fun (s : Scenarios.t) ->
+        Printf.printf "%-18s %s%s\n" s.Scenarios.name s.Scenarios.descr
+          (if s.Scenarios.planted then "  [planted: self-test only]" else ""))
+      Scenarios.all;
+    `Ok ()
+  end
+  else
+    match (schedule, names) with
+    | Some sched, [ name ] -> replay name ~bound ~max_steps sched
+    | Some _, _ -> `Error (false, "--schedule needs exactly one scenario name")
+    | None, _ -> (
+      let selected =
+        if names = [] then Scenarios.registry ()
+        else
+          List.filter_map
+            (fun name ->
+              match Scenarios.find name with
+              | Some s -> Some s
+              | None ->
+                Printf.eprintf "doradd-chk: unknown scenario %s\n" name;
+                None)
+            names
+      in
+      if selected = [] then `Error (false, "no known scenario selected")
+      else
+        let rows =
+          List.map (run_scenario ~bound ~mode ~preemptions ~max_steps ~max_executions) selected
+        in
+        if json then print_json ~bound ~mode rows else List.iter pp_row rows;
+        let self_ok =
+          if self_test_requested then self_test ~bound ~max_steps ~max_executions else true
+        in
+        match (List.for_all passed rows, self_ok) with
+        | true, true -> `Ok ()
+        | false, _ -> `Error (false, "model checker found violations (or hit limits)")
+        | _, false -> `Error (false, "self-test failed: planted bugs not caught"))
+
+let cmd =
+  let doc = "Exhaustive interleaving checker (DPOR) for DORADD's lock-free kernel" in
+  Cmd.v
+    (Cmd.info "doradd-chk" ~version:"1.0.0" ~doc)
+    Term.(
+      ret
+        (const main $ bound_arg $ mode_arg $ preemptions_arg $ max_steps_arg $ max_executions_arg
+       $ json_arg $ self_test_arg $ list_arg $ schedule_arg $ scenarios_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,584 @@
+(* Dynamic partial-order reduction explorer (dscheck-style).
+
+   A scenario is re-executed from scratch once per explored schedule: the
+   processes run cooperatively on one domain, each pausing (via the
+   Tatomic.Yield effect) immediately BEFORE every atomic operation, so
+   the engine always knows each process's next operation and chooses
+   which one executes next.  After each complete execution the engine
+   computes, with vector clocks, which pairs of dependent operations
+   raced (were adjacent-in-causality with no happens-before path), and
+   inserts backtracking points before the earlier of each pair — the
+   classic Flanagan–Godefroid DPOR.  Sleep sets prune schedules that
+   only commute independent operations of already-explored subtrees.
+
+   Soundness scope: interleavings are explored at the granularity of
+   atomic operations under sequential consistency.  Plain (non-atomic)
+   loads/stores execute inside the segment that follows the preceding
+   atomic operation — exactly the release/acquire publication discipline
+   the kernel's algorithms are built on.  A bug that requires tearing a
+   plain access away from its publishing atomic is out of scope (as it
+   is for dscheck); everything expressible as an interleaving of the
+   virtualized atomics is covered exhaustively within the scenario
+   bound.
+
+   Optional preemption bounding caps the number of involuntary context
+   switches along a schedule, trading exhaustiveness for depth on big
+   scenarios (the nightly tier raises the bound). *)
+
+module ISet = Set.Make (Int)
+module Backoff = Doradd_queue.Backoff
+
+let debug = Sys.getenv_opt "CHK_DEBUG" <> None
+
+type instance = {
+  processes : (unit -> unit) array;
+  final_check : unit -> unit;  (* runs after all processes finish; raises Tatomic.Violation *)
+  digest : unit -> string;  (* final-state digest, for cross-validation *)
+}
+
+type program = unit -> instance
+
+type stats = {
+  executions : int;  (* complete traces checked *)
+  pruned : int;  (* sleep-set prunes (redundant branches cut early) *)
+  bound_pruned : int;  (* candidates skipped by the preemption bound *)
+  steps : int;  (* total transitions executed *)
+  max_depth : int;
+}
+
+type result =
+  | Ok of stats
+  | Violation of { name : string; schedule : int list; stats : stats }
+  | Limit of { what : string; schedule : int list; stats : stats }
+
+(* -- cooperative execution ------------------------------------------- *)
+
+type step_result =
+  | Done
+  | Paused of Op.t * (unit, step_result) Effect.Deep.continuation
+
+type proc = {
+  mutable k : (unit, step_result) Effect.Deep.continuation option;
+  mutable next_op : Op.t;  (* Op.none once finished *)
+}
+
+(* Run code that touches traced atomics OUTSIDE the scheduler — scenario
+   construction, final checks, digests — by resuming every yield
+   immediately (equivalent to running it alone, uninterleaved). *)
+let run_inline : type a. (unit -> a) -> a =
+ fun f ->
+  Effect.Deep.try_with f ()
+    {
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Tatomic.Yield _ ->
+            Some (fun (k : (b, _) Effect.Deep.continuation) -> Effect.Deep.continue k ())
+          | _ -> None);
+    }
+
+let handler : (unit, step_result) Effect.Deep.handler =
+  {
+    retc = (fun () -> Done);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Tatomic.Yield op ->
+          Some (fun (k : (a, step_result) Effect.Deep.continuation) -> Paused (op, k))
+        | _ -> None);
+  }
+
+(* Run a process from its start to its first pending atomic op.  The boot
+   segment is thread-local by construction (no atomic has been touched),
+   so running it eagerly is invisible to the other processes. *)
+let boot f =
+  let p = { k = None; next_op = Op.none } in
+  (match Effect.Deep.match_with f () handler with
+  | Done -> ()
+  | Paused (op, k) ->
+    p.next_op <- op;
+    p.k <- Some k);
+  p
+
+(* Execute the pending op (and the plain code after it) up to the next
+   atomic op or completion. *)
+let resume p =
+  match p.k with
+  | None -> invalid_arg "Engine.resume: process already finished"
+  | Some k -> (
+    p.k <- None;
+    p.next_op <- Op.none;
+    match Effect.Deep.continue k () with
+    | Done -> ()
+    | Paused (op, k) ->
+      p.next_op <- op;
+      p.k <- Some k)
+
+(* -- the DFS stack: one node per state along the current schedule ----- *)
+
+type node = {
+  mutable chosen : int;  (* process executed from this state *)
+  mutable op : Op.t;  (* the operation it executed *)
+  enabled : ISet.t;
+  next_ops : Op.t array;  (* pending op of every process at this state *)
+  sleep : ISet.t;
+  mutable backtrack : ISet.t;  (* processes to explore from this state *)
+  mutable explored : ISet.t;  (* processes already taken (or bound-skipped) *)
+}
+
+type stack = { mutable nodes : node option array; mutable len : int }
+
+let stack_create () = { nodes = Array.make 64 None; len = 0 }
+
+let stack_get st i =
+  match st.nodes.(i) with Some n -> n | None -> invalid_arg "Engine.stack_get"
+
+let stack_push st n =
+  if st.len = Array.length st.nodes then begin
+    let bigger = Array.make (2 * st.len) None in
+    Array.blit st.nodes 0 bigger 0 st.len;
+    st.nodes <- bigger
+  end;
+  st.nodes.(st.len) <- Some n;
+  st.len <- st.len + 1
+
+let stack_truncate st n =
+  for i = n to st.len - 1 do
+    st.nodes.(i) <- None
+  done;
+  st.len <- n
+
+let schedule_of_stack st ~upto =
+  List.init upto (fun i -> (stack_get st i).chosen)
+
+(* -- schedules as replayable one-liners ------------------------------ *)
+
+let schedule_to_string s = String.concat "," (List.map string_of_int s)
+
+let schedule_of_string str =
+  match String.trim str with
+  | "" -> []
+  | str -> List.map (fun tok -> int_of_string (String.trim tok)) (String.split_on_char ',' str)
+
+let switches = function
+  | [] -> 0
+  | first :: rest ->
+    let n = ref 0 and prev = ref first in
+    List.iter
+      (fun p ->
+        if p <> !prev then incr n;
+        prev := p)
+      rest;
+    !n
+
+(* -- preemption accounting ------------------------------------------- *)
+
+(* A switch at depth d is a preemption iff the previously running process
+   was still enabled there (i.e. the switch was a choice, not forced). *)
+let preemptions_before st ~upto =
+  let n = ref 0 in
+  for d = 1 to upto - 1 do
+    let cur = stack_get st d and prev = stack_get st (d - 1) in
+    if cur.chosen <> prev.chosen && ISet.mem prev.chosen cur.enabled then incr n
+  done;
+  !n
+
+let candidate_preemptions st ~depth q =
+  if depth = 0 then 0
+  else
+    let prev = stack_get st (depth - 1) in
+    let here = stack_get st depth in
+    preemptions_before st ~upto:depth
+    + (if q <> prev.chosen && ISet.mem prev.chosen here.enabled then 1 else 0)
+
+(* -- race analysis (Flanagan–Godefroid, vector clocks) ---------------- *)
+
+(* For each executed step j, find every earlier dependent step i of
+   another process with no happens-before path from i into j's process
+   (other than the direct i→j dependence itself): each such pair is a
+   race, and the schedule where j's process runs at state i instead is a
+   candidate the DFS must try.  Clocks propagate through processes and
+   through per-object last-access chains, exactly FG05.  Inserting a
+   backtrack for every racing pair (not just the latest per step) is a
+   sound over-approximation — at worst it explores a schedule twice. *)
+(* For each executed step j, find every earlier dependent step i of
+   another process with no happens-before path into j (other than the
+   direct i-j dependence): each such pair is a race whose reversal may
+   reach new states.  For a race (i, j), plain FG05 inserts proc(j) at
+   state pre(i) — but combined with sleep sets that is UNSOUND: proc(j)
+   can be asleep at pre(i) (its first op there commutes with what was
+   explored), and the equivalent class in the sibling subtree relies on
+   a race-addition pathway that was itself sleep-blocked, so the class
+   is lost (found by the qcheck cross-validation on 3-process
+   micro-programs).  The sound rule is Source-DPOR (Abdulla, Aronis,
+   Jonsson, Sagonas, POPL 2014): compute the INITIALS of
+   v = notdep(i,E)·proc(j) — the processes whose first event in v does
+   not happen-after anything else in v — and require the backtrack set
+   at pre(i) to intersect them, inserting one (preferring proc(j)) when
+   it does not. *)
+let analyze_races st nprocs =
+  let proc_clock = Array.init nprocs (fun _ -> Array.make nprocs (-1)) in
+  (* The happens-before must mirror Op.dependent exactly: a read
+     synchronizes with the last WRITE only (read-read pairs are
+     independent, so merging the last-access clock as in plain FG05
+     would manufacture false edges and mask real races behind a chain
+     of reads).  [write_clock] is the clock after the last write;
+     [read_clock] accumulates the clocks of every read since that
+     write — a subsequent write must be ordered after all of them. *)
+  let write_clock : (int, int array) Hashtbl.t = Hashtbl.create 32 in
+  let read_clock : (int, int array) Hashtbl.t = Hashtbl.create 32 in
+  let merge dst src =
+    for q = 0 to nprocs - 1 do
+      if src.(q) > dst.(q) then dst.(q) <- src.(q)
+    done
+  in
+  let len = st.len in
+  (* per-event post-clock (happens-before closure INCLUDING the event),
+     plus op/proc caches, for the initials computation *)
+  let clocks = Array.make len [||] in
+  let evop = Array.make len Op.none in
+  let evproc = Array.make len (-1) in
+  for j = 0 to len - 1 do
+    let nj = stack_get st j in
+    let p = nj.chosen and o = nj.op in
+    evop.(j) <- o;
+    evproc.(j) <- p;
+    if not (Op.is_none o) then begin
+      (* [pre] is p's clock BEFORE event j: the race condition must
+         exclude j's own incoming dependence edges.  [post] adds them. *)
+      let pre = proc_clock.(p) in
+      let post = Array.copy pre in
+      (match Hashtbl.find_opt write_clock o.Op.obj with
+      | Some wc -> merge post wc
+      | None -> ());
+      if not (Op.is_read_only o) then (
+        match Hashtbl.find_opt read_clock o.Op.obj with
+        | Some rc -> merge post rc
+        | None -> ());
+      post.(p) <- j;
+      clocks.(j) <- post;
+      (* [k happens-after m] over already-filled post-clocks *)
+      let hb k m = clocks.(k).(evproc.(m)) >= m in
+      for i = j - 1 downto 0 do
+        let ni = stack_get st i in
+        let q = evproc.(i) in
+        if q <> p && Op.dependent evop.(i) o && pre.(q) < i then begin
+          (* race (i, j).  v = the events in (i, j) that do not
+             happen-after i, then proc(j); its initials are the
+             processes that could run first at pre(i) in the reversal. *)
+          let in_v k = not (hb k i) in
+          let first = Array.make nprocs (-1) in
+          for k = i + 1 to j - 1 do
+            let qk = evproc.(k) in
+            if first.(qk) < 0 && in_v k then first.(qk) <- k
+          done;
+          if first.(p) < 0 then first.(p) <- j;
+          let initials = ref ISet.empty in
+          for q' = 0 to nprocs - 1 do
+            let k = first.(q') in
+            if k >= 0 then begin
+              let indep = ref true in
+              for m = i + 1 to k - 1 do
+                if !indep && in_v m && hb k m then indep := false
+              done;
+              if !indep then initials := ISet.add q' !initials
+            end
+          done;
+          let covered =
+            not (ISet.is_empty (ISet.inter (ISet.union ni.backtrack ni.explored) !initials))
+          in
+          if not covered then begin
+            let choice = if ISet.mem p !initials then p else ISet.min_elt !initials in
+            if debug then
+              Printf.eprintf "  race (%d:%d %s) <-> (%d:%d %s): add %d at %d\n" i q
+                (Op.to_string evop.(i)) j p (Op.to_string o) choice i;
+            if ISet.mem choice ni.enabled then ni.backtrack <- ISet.add choice ni.backtrack
+            else ni.backtrack <- ISet.union ni.backtrack ni.enabled
+          end
+        end
+      done;
+      (* commit j's clock and the per-object clocks *)
+      proc_clock.(p) <- Array.copy post;
+      if Op.is_read_only o then begin
+        match Hashtbl.find_opt read_clock o.Op.obj with
+        | Some rc -> merge rc post
+        | None -> Hashtbl.replace read_clock o.Op.obj (Array.copy post)
+      end
+      else begin
+        Hashtbl.replace write_clock o.Op.obj (Array.copy post);
+        Hashtbl.remove read_clock o.Op.obj
+      end
+    end
+    else clocks.(j) <- Array.make nprocs (-1)
+  done
+
+(* -- exploration ------------------------------------------------------ *)
+
+exception Abort of result
+
+let explore ?(mode = `Dpor) ?preemption_bound ?(max_executions = 200_000)
+    ?(max_steps = 50_000) ?on_final (prog : program) : result =
+  let st = stack_create () in
+  let executions = ref 0 and pruned = ref 0 and bound_pruned = ref 0 in
+  let steps = ref 0 and max_depth = ref 0 in
+  let stats () =
+    {
+      executions = !executions;
+      pruned = !pruned;
+      bound_pruned = !bound_pruned;
+      steps = !steps;
+      max_depth = !max_depth;
+    }
+  in
+  let nprocs = ref 0 in
+  (* One execution: replay the persisted prefix, then follow the default
+     policy (stay on the same process while it is enabled — minimal
+     context switches).  Returns true when the trace completed, false
+     when a sleep set pruned it. *)
+  let run_once () =
+    Tatomic.reset_ids ();
+    let inst = run_inline prog in
+    nprocs := Array.length inst.processes;
+    let procs =
+      try Array.map boot inst.processes
+      with Tatomic.Violation name ->
+        raise (Abort (Violation { name; schedule = []; stats = stats () }))
+    in
+    let enabled_set () =
+      let s = ref ISet.empty in
+      Array.iteri (fun i p -> if not (Op.is_none p.next_op) then s := ISet.add i !s) procs;
+      !s
+    in
+    let rec step d =
+      let enabled = enabled_set () in
+      if ISet.is_empty enabled then begin
+        (* complete trace: end-state invariants + cross-validation hook *)
+        (try run_inline inst.final_check
+         with Tatomic.Violation name ->
+           raise
+             (Abort
+                (Violation
+                   { name; schedule = schedule_of_stack st ~upto:d; stats = stats () })));
+        (match on_final with Some f -> f (run_inline inst.digest) | None -> ());
+        if debug then
+          Printf.eprintf "complete: %s\n"
+            (schedule_to_string (schedule_of_stack st ~upto:d));
+        true
+      end
+      else begin
+        let node =
+          if d < st.len then stack_get st d
+          else begin
+            let next_ops = Array.map (fun p -> p.next_op) procs in
+            let sleep =
+              if mode = `Brute || d = 0 then ISet.empty
+              else
+                let parent = stack_get st (d - 1) in
+                ISet.filter
+                  (fun q -> not (Op.dependent parent.next_ops.(q) parent.op))
+                  (ISet.union parent.sleep (ISet.remove parent.chosen parent.explored))
+            in
+            let awake = ISet.diff enabled sleep in
+            if ISet.is_empty awake then begin
+              (* every enabled process is asleep: this branch only
+                 commutes independent ops of explored subtrees *)
+              incr pruned;
+              raise Exit
+            end;
+            let prev = if d = 0 then -1 else (stack_get st (d - 1)).chosen in
+            let chosen = if ISet.mem prev awake then prev else ISet.min_elt awake in
+            let node =
+              {
+                chosen;
+                op = Op.none;
+                enabled;
+                next_ops;
+                sleep;
+                backtrack = (if mode = `Brute then enabled else ISet.singleton chosen);
+                explored = ISet.empty;
+              }
+            in
+            stack_push st node;
+            node
+          end
+        in
+        let p = node.chosen in
+        node.op <- procs.(p).next_op;
+        node.explored <- ISet.add p node.explored;
+        (try resume procs.(p)
+         with Tatomic.Violation name ->
+           raise
+             (Abort
+                (Violation
+                   { name; schedule = schedule_of_stack st ~upto:(d + 1); stats = stats () })));
+        incr steps;
+        if d + 1 > !max_depth then max_depth := d + 1;
+        if d + 1 > max_steps then
+          raise
+            (Abort
+               (Limit
+                  {
+                    what = Printf.sprintf "execution exceeded %d steps (livelock?)" max_steps;
+                    schedule = schedule_of_stack st ~upto:(d + 1);
+                    stats = stats ();
+                  }));
+        step (d + 1)
+      end
+    in
+    try step 0 with Exit -> false
+  in
+  (* Pick the deepest state with an unexplored backtrack candidate, stage
+     it as that state's next choice, and drop everything deeper. *)
+  let select_next () =
+    let rec at d =
+      if d < 0 then false
+      else begin
+        let node = stack_get st d in
+        let rec try_cand () =
+          let cand = ISet.diff (ISet.diff node.backtrack node.explored) node.sleep in
+          if ISet.is_empty cand then false
+          else begin
+            let q = ISet.min_elt cand in
+            match preemption_bound with
+            | Some b when candidate_preemptions st ~depth:d q > b ->
+              node.explored <- ISet.add q node.explored;
+              incr bound_pruned;
+              try_cand ()
+            | _ ->
+              node.chosen <- q;
+              node.op <- Op.none;
+              stack_truncate st (d + 1);
+              true
+          end
+        in
+        if try_cand () then true else at (d - 1)
+      end
+    in
+    at (st.len - 1)
+  in
+  (* Backoff must not cpu_relax/Thread.yield mid-exploration: spinning is
+     useless on a cooperative scheduler and Thread.yield would introduce
+     real-scheduler nondeterminism into replays. *)
+  Backoff.with_spin (Some ignore) @@ fun () ->
+  try
+    let continue_ = ref true in
+    while !continue_ do
+      let complete = run_once () in
+      if complete then incr executions;
+      if !executions > max_executions then
+        raise
+          (Abort
+             (Limit
+                {
+                  what = Printf.sprintf "more than %d executions" max_executions;
+                  schedule = [];
+                  stats = stats ();
+                }));
+      if mode = `Dpor then analyze_races st !nprocs;
+      continue_ := select_next ()
+    done;
+    Ok (stats ())
+  with Abort r -> r
+
+(* -- exact replay (one-liner repros, shrinking) ----------------------- *)
+
+type replay_outcome =
+  | Replay_ok
+  | Replay_violation of { name : string; prefix : int list }
+  | Replay_invalid of string
+
+let run_schedule ?(max_steps = 50_000) (prog : program) (sched : int list) : replay_outcome =
+  Backoff.with_spin (Some ignore) @@ fun () ->
+  Tatomic.reset_ids ();
+  let inst = run_inline prog in
+  let procs = Array.map boot inst.processes in
+  let n = Array.length procs in
+  let taken = ref [] in
+  let enabled p = p >= 0 && p < n && not (Op.is_none procs.(p).next_op) in
+  let exception Stop of replay_outcome in
+  let take d p =
+    if not (enabled p) then
+      raise (Stop (Replay_invalid (Printf.sprintf "process %d not enabled at step %d" p d)));
+    taken := p :: !taken;
+    (try resume procs.(p)
+     with Tatomic.Violation name ->
+       raise (Stop (Replay_violation { name; prefix = List.rev !taken })));
+    if d + 1 > max_steps then raise (Stop (Replay_invalid "step bound exceeded"))
+  in
+  try
+    List.iteri take sched;
+    (* past the planned prefix: default policy to completion *)
+    let d = ref (List.length sched) in
+    let rec drain () =
+      let prev = match !taken with p :: _ -> p | [] -> -1 in
+      let next =
+        if enabled prev then prev
+        else begin
+          let found = ref (-1) in
+          for p = n - 1 downto 0 do
+            if enabled p then found := p
+          done;
+          !found
+        end
+      in
+      if next >= 0 then begin
+        take !d next;
+        incr d;
+        drain ()
+      end
+    in
+    drain ();
+    (match run_inline inst.final_check with
+    | () -> Replay_ok
+    | exception Tatomic.Violation name -> Replay_violation { name; prefix = List.rev !taken })
+  with Stop r -> r
+
+(* -- counterexample minimization (the DST shrinker idiom: greedy
+      passes, re-validating after every candidate edit, to fixpoint) ---- *)
+
+let shrink ?(max_attempts = 400) (prog : program) ~name (sched : int list) : int list =
+  (* a violating replay already truncates at the failing step *)
+  let current =
+    match run_schedule prog sched with
+    | Replay_violation { name = n'; prefix } when n' = name -> ref prefix
+    | _ -> ref sched
+  in
+  let attempts = ref 0 in
+  let better cand =
+    incr attempts;
+    match run_schedule prog cand with
+    | Replay_violation { name = n'; prefix }
+      when n' = name
+           && (List.length prefix < List.length !current
+              || (List.length prefix = List.length !current && switches prefix < switches !current))
+      ->
+      current := prefix;
+      true
+    | _ -> false
+  in
+  let pass () =
+    (* try swapping each adjacent differing pair: fewer context switches
+       means a more readable counterexample *)
+    let improved = ref false in
+    let arr = Array.of_list !current in
+    let i = ref 0 in
+    while !i < Array.length arr - 1 && !attempts < max_attempts do
+      if arr.(!i) <> arr.(!i + 1) then begin
+        let cand = Array.copy arr in
+        let tmp = cand.(!i) in
+        cand.(!i) <- cand.(!i + 1);
+        cand.(!i + 1) <- tmp;
+        if better (Array.to_list cand) then begin
+          improved := true;
+          (* restart the pass from the (possibly shorter) new current *)
+          i := Array.length arr
+        end
+      end;
+      incr i
+    done;
+    !improved
+  in
+  let rec fix () = if pass () && !attempts < max_attempts then fix () in
+  fix ();
+  !current

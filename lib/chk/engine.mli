@@ -1,0 +1,77 @@
+(** Dynamic partial-order reduction explorer.
+
+    [explore prog] re-executes the scenario [prog] once per inequivalent
+    interleaving of its virtualized atomic operations ({!Tatomic}),
+    pruning schedules that only reorder independent operations
+    (Flanagan–Godefroid DPOR with sleep sets).  Counterexamples are
+    minimal-ish replayable schedules: comma-separated process indices,
+    one per executed atomic operation. *)
+
+type instance = {
+  processes : (unit -> unit) array;
+      (** the concurrent processes; index = process id in schedules *)
+  final_check : unit -> unit;
+      (** runs after every complete execution; raise {!Tatomic.Violation}
+          (via {!Tatomic.check}) on an end-state invariant breach *)
+  digest : unit -> string;
+      (** canonical final-state digest, used by the brute-force
+          cross-validation tests *)
+}
+
+type program = unit -> instance
+(** Scenarios are thunks: every execution rebuilds all state from
+    scratch (one-shot continuations force re-execution anyway). *)
+
+type stats = {
+  executions : int;  (** complete traces checked *)
+  pruned : int;  (** sleep-set prunes *)
+  bound_pruned : int;  (** candidates skipped by the preemption bound *)
+  steps : int;  (** total transitions executed *)
+  max_depth : int;  (** longest trace seen *)
+}
+
+type result =
+  | Ok of stats
+  | Violation of { name : string; schedule : int list; stats : stats }
+  | Limit of { what : string; schedule : int list; stats : stats }
+
+val explore :
+  ?mode:[ `Dpor | `Brute ] ->
+  ?preemption_bound:int ->
+  ?max_executions:int ->
+  ?max_steps:int ->
+  ?on_final:(string -> unit) ->
+  program ->
+  result
+(** [`Brute] disables the reduction (full enumeration) — it exists for
+    the cross-validation tests that check DPOR reaches the same final
+    states with strictly fewer executions.  [?preemption_bound] caps
+    involuntary context switches per schedule (exhaustive within the
+    bound).  [?on_final] receives the digest of every complete trace. *)
+
+(** {1 Replay and shrinking} *)
+
+type replay_outcome =
+  | Replay_ok
+  | Replay_violation of { name : string; prefix : int list }
+  | Replay_invalid of string
+
+val run_schedule : ?max_steps:int -> program -> int list -> replay_outcome
+(** Deterministically replay a schedule; past its end, scheduling
+    continues with the default (stay-on-current-process) policy. *)
+
+val shrink : ?max_attempts:int -> program -> name:string -> int list -> int list
+(** Greedy minimization of a violating schedule: truncate at the failing
+    step, then swap adjacent differing entries while the same violation
+    reproduces, preferring shorter schedules and fewer context
+    switches (the lib/dst shrinker idiom: re-validate after every
+    candidate edit, iterate to fixpoint). *)
+
+val schedule_to_string : int list -> string
+val schedule_of_string : string -> int list
+val switches : int list -> int
+
+val run_inline : (unit -> 'a) -> 'a
+(** Run code that uses traced atomics outside the scheduler (scenario
+    setup, ad-hoc inspection in tests) by resuming every yield
+    immediately — equivalent to running it alone, uninterleaved. *)

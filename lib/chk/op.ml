@@ -1,0 +1,31 @@
+(* One virtualized atomic operation: what a process is about to do to
+   which atomic object.  This is the alphabet the DPOR explorer reasons
+   over — two operations are dependent (their order can matter) iff they
+   touch the same object and at least one of them can write. *)
+
+type kind = Get | Set | Exchange | Cas | Faa
+
+type t = { kind : kind; obj : int }
+
+(* Sentinel "no pending operation" (finished process). *)
+let none = { kind = Get; obj = -1 }
+
+let is_none o = o.obj < 0
+
+let is_read_only o = match o.kind with Get -> true | Set | Exchange | Cas | Faa -> false
+
+(* Loads commute with loads; everything else on the same object is
+   order-sensitive.  A CAS is conservatively a writer even when it would
+   fail (its success is decided by the interleaving itself). *)
+let dependent a b =
+  a.obj >= 0 && a.obj = b.obj && not (is_read_only a && is_read_only b)
+
+let kind_to_string = function
+  | Get -> "get"
+  | Set -> "set"
+  | Exchange -> "xchg"
+  | Cas -> "cas"
+  | Faa -> "faa"
+
+let to_string o =
+  if is_none o then "-" else Printf.sprintf "%s@%d" (kind_to_string o.kind) o.obj

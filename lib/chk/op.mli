@@ -1,0 +1,19 @@
+(** The alphabet of the model checker: one virtualized atomic operation. *)
+
+type kind = Get | Set | Exchange | Cas | Faa
+
+type t = { kind : kind; obj : int }
+
+val none : t
+(** Sentinel for "no pending operation" (finished process). *)
+
+val is_none : t -> bool
+
+val is_read_only : t -> bool
+
+val dependent : t -> t -> bool
+(** Order-sensitivity: same object, not both loads.  This is the
+    (symmetric, conservative) dependence relation DPOR reduces by. *)
+
+val kind_to_string : kind -> string
+val to_string : t -> string

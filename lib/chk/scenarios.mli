@@ -1,0 +1,27 @@
+(** Bounded model-checking scenarios over the production lock-free code.
+
+    Each scenario instantiates the real functors ([Spsc.Make],
+    [Mpmc.Make], [Node.Make], [Sequencer.Publication.Make]) with
+    {!Tatomic} and checks conservation / ordering / publication
+    invariants across every inequivalent interleaving.  [planted]
+    scenarios are deliberately buggy twins for [chk.exe --self-test]. *)
+
+type t = {
+  name : string;
+  descr : string;
+  planted : bool;  (** buggy twin: run only by [--self-test] *)
+  expect : string option;  (** violation name [--self-test] must find *)
+  make : bound:int -> Engine.program;
+      (** [bound] scales per-process operation counts (the PR gate uses a
+          small bound; the nightly sweep a deeper one) *)
+}
+
+val all : t list
+
+val registry : unit -> t list
+(** The healthy scenarios: must pass exhaustively at any bound. *)
+
+val planted : unit -> t list
+(** The buggy twins: the checker must find each one's [expect]. *)
+
+val find : string -> t option

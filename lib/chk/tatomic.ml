@@ -1,0 +1,66 @@
+(* Traced atomics: the model checker's instantiation of
+   Doradd_queue.Atomic_intf.ATOMIC.
+
+   Every operation performs a [Yield] effect BEFORE touching memory; the
+   engine's handler captures the continuation, so the operation itself
+   executes exactly when the scheduler resumes the process.  Between two
+   yield points a process runs uninterrupted (the exploration is
+   cooperative and single-domain), which is what makes the memory op +
+   the plain code that follows it one atomic "transition" in the DPOR
+   sense.
+
+   Object ids are dense ints from a counter the engine resets before
+   every execution; because a replayed schedule prefix re-runs the exact
+   same code, ids are stable across the executions of one exploration. *)
+
+type 'a t = { mutable v : 'a; id : int }
+
+type _ Effect.t += Yield : Op.t -> unit Effect.t
+
+exception Violation of string
+(** Raised by scenario code (via {!check}) when an invariant does not
+    hold; the engine turns it into a counterexample trace. *)
+
+let id_counter = ref 0
+
+let reset_ids () = id_counter := 0
+
+let make v =
+  incr id_counter;
+  { v; id = !id_counter }
+
+let[@inline] yield kind id = Effect.perform (Yield { Op.kind; obj = id })
+
+let get r =
+  yield Op.Get r.id;
+  r.v
+
+let set r x =
+  yield Op.Set r.id;
+  r.v <- x
+
+let exchange r x =
+  yield Op.Exchange r.id;
+  let old = r.v in
+  r.v <- x;
+  old
+
+(* Same equality as stdlib Atomic.compare_and_set: physical. *)
+let compare_and_set r old nw =
+  yield Op.Cas r.id;
+  if r.v == old then begin
+    r.v <- nw;
+    true
+  end
+  else false
+
+let fetch_and_add (r : int t) n =
+  yield Op.Faa r.id;
+  let old = r.v in
+  r.v <- old + n;
+  old
+
+let incr r = ignore (fetch_and_add r 1)
+let decr r = ignore (fetch_and_add r (-1))
+
+let check name cond = if not cond then raise (Violation name)

@@ -1,0 +1,31 @@
+(** Traced atomics: the checker's {!Doradd_queue.Atomic_intf.ATOMIC}.
+
+    Each operation performs {!extension-Yield} before touching memory;
+    the engine schedules the continuation.  Satisfies [ATOMIC], so
+    [Spsc.Make (Tatomic)], [Mpmc.Make (Tatomic)], [Node.Make (Tatomic)]
+    and [Sequencer.Publication.Make (Tatomic)] model-check the real
+    production algorithms. *)
+
+type 'a t = { mutable v : 'a; id : int }
+
+type _ Effect.t += Yield : Op.t -> unit Effect.t
+
+exception Violation of string
+
+val reset_ids : unit -> unit
+(** Engine-only: reset the object-id counter before each execution so
+    ids are stable across replays of a schedule prefix. *)
+
+val make : 'a -> 'a t
+val get : 'a t -> 'a
+val set : 'a t -> 'a -> unit
+val exchange : 'a t -> 'a -> 'a
+val compare_and_set : 'a t -> 'a -> 'a -> bool
+val fetch_and_add : int t -> int -> int
+val incr : int t -> unit
+val decr : int t -> unit
+
+val check : string -> bool -> unit
+(** [check name cond] raises [Violation name] when [cond] is false —
+    scenario invariants call this from inside processes and final
+    checks. *)

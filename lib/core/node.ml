@@ -18,230 +18,265 @@
    straggling [add_dependent] against a stale reference resolves as
    "predecessor already complete" instead of landing an edge on a dead
    node.  The generation counter lets the Spawner detect such stale
-   references exactly (see spawner.ml). *)
+   references exactly (see spawner.ml).
 
-type outcome = Finished | Yield of (unit -> outcome)
+   The whole structure is a functor over the atomic operations
+   (Doradd_queue.Atomic_intf): production instantiates the stdlib
+   passthrough below; the model checker (lib/chk) instantiates [Make]
+   with a traced atomic and exhaustively interleaves the release/acquire
+   CASes against add_dependent/complete. *)
 
-type t = {
-  mutable seqno : int;
-  mutable gen : int; (* bumped at every acquire; dispatcher-only *)
-  mutable work_u : unit -> unit;
-  mutable work_s : unit -> outcome; (* [no_steps] unless cooperative *)
-  join : int Atomic.t;
-  deps : dep Atomic.t; (* Nil-terminated chain; Done_mark once complete *)
-  mutable pool : pool;
-  mutable self_cell : dep; (* this node's own free-list link *)
-}
+module Atomic_intf = Doradd_queue.Atomic_intf
 
-and dep = Nil | Done_mark | Cell of cell
+module type S = Node_intf.S
 
-and cell = {
-  mutable dnode : t;
-  mutable dnext : dep;
-  mutable dself : dep; (* the [Cell _] box wrapping this record *)
-  mutable cpool : pool; (* owning pool: released cells go back here *)
-}
+module Make (A : Atomic_intf.ATOMIC) = struct
+  type outcome = Finished | Yield of (unit -> outcome)
 
-and pool = { free_nodes : dep Atomic.t; free_cells : dep Atomic.t }
-
-(* Sentinel pool: never recycles — acquire always allocates fresh and
-   release drops to the GC.  Used by standalone [create] (tests). *)
-let no_pool = { free_nodes = Atomic.make Nil; free_cells = Atomic.make Nil }
-
-let no_work () = ()
-let no_steps () = Finished
-
-let dummy =
-  {
-    seqno = min_int;
-    gen = 0;
-    work_u = no_work;
-    work_s = no_steps;
-    join = Atomic.make 0;
-    deps = Atomic.make Done_mark;
-    pool = no_pool;
-    self_cell = Nil;
+  type t = {
+    mutable seqno : int;
+    mutable gen : int; (* bumped at every acquire; dispatcher-only *)
+    mutable work_u : unit -> unit;
+    mutable work_s : unit -> outcome; (* [no_steps] unless cooperative *)
+    join : int A.t;
+    deps : dep A.t; (* Nil-terminated chain; Done_mark once complete *)
+    mutable pool : pool;
+    mutable self_cell : dep; (* this node's own free-list link *)
   }
 
-let fresh_cell p =
-  let c = { dnode = dummy; dnext = Nil; dself = Nil; cpool = p } in
-  c.dself <- Cell c;
-  c
+  and dep = Nil | Done_mark | Cell of cell
 
-let fresh_node p =
-  let n =
+  and cell = {
+    mutable dnode : t;
+    mutable dnext : dep;
+    mutable dself : dep; (* the [Cell _] box wrapping this record *)
+    mutable cpool : pool; (* owning pool: released cells go back here *)
+  }
+
+  and pool = { free_nodes : dep A.t; free_cells : dep A.t }
+
+  (* Sentinel pool: never recycles — acquire always allocates fresh and
+     release drops to the GC.  Used by standalone [create] (tests). *)
+  let no_pool = { free_nodes = A.make Nil; free_cells = A.make Nil }
+
+  let no_work () = ()
+  let no_steps () = Finished
+
+  let dummy =
     {
-      seqno = 0;
+      seqno = min_int;
       gen = 0;
       work_u = no_work;
       work_s = no_steps;
-      join = Atomic.make 1;
-      deps = Atomic.make Nil;
-      pool = p;
+      join = A.make 0;
+      deps = A.make Done_mark;
+      pool = no_pool;
       self_cell = Nil;
     }
-  in
-  let c = { dnode = n; dnext = Nil; dself = Nil; cpool = p } in
-  c.dself <- Cell c;
-  n.self_cell <- c.dself;
-  n
 
-(* Treiber push: multi-producer safe (workers release concurrently). *)
-let rec free_push head d c =
-  let cur = Atomic.get head in
-  c.dnext <- cur;
-  if not (Atomic.compare_and_set head cur d) then free_push head d c
+  let fresh_cell p =
+    let c = { dnode = dummy; dnext = Nil; dself = Nil; cpool = p } in
+    c.dself <- Cell c;
+    c
 
-(* Treiber pop: single consumer (the pool-owning dispatcher), so no ABA. *)
-let rec free_pop head =
-  match Atomic.get head with
-  | Cell c as d -> if Atomic.compare_and_set head d c.dnext then d else free_pop head
-  | _ -> Nil
-
-let create_pool ~nodes ~cells =
-  let p = { free_nodes = Atomic.make Nil; free_cells = Atomic.make Nil } in
-  for _ = 1 to nodes do
-    let n = fresh_node p in
-    match n.self_cell with
-    | Cell c ->
-      c.dnext <- Atomic.get p.free_nodes;
-      Atomic.set p.free_nodes n.self_cell
-    | _ -> assert false
-  done;
-  for _ = 1 to cells do
-    let c = fresh_cell p in
-    c.dnext <- Atomic.get p.free_cells;
-    Atomic.set p.free_cells c.dself
-  done;
-  p
-
-let acquire_cell p =
-  if p == no_pool then (fresh_cell p).dself
-  else
-    match free_pop p.free_cells with
-    | Cell _ as d -> d
-    (* under-provisioned pool: grow once; the new cell recycles from now on *)
-    | _ -> (fresh_cell p).dself
-
-let release_cell c d =
-  c.dnode <- dummy;
-  if c.cpool != no_pool then free_push c.cpool.free_cells d c
-
-(* Reset at acquire (dispatcher thread): see header comment. *)
-let init n ~seqno =
-  n.gen <- n.gen + 1;
-  n.seqno <- seqno;
-  Atomic.set n.join 1;
-  Atomic.set n.deps Nil
-
-let acquire pool ~seqno work =
-  match (if pool == no_pool then Nil else free_pop pool.free_nodes) with
-  | Cell c ->
-    let n = c.dnode in
-    init n ~seqno;
-    n.work_u <- work;
-    n.work_s <- no_steps;
-    n
-  | _ ->
-    let n = fresh_node pool in
-    n.seqno <- seqno;
-    n.work_u <- work;
+  let fresh_node p =
+    let n =
+      {
+        seqno = 0;
+        gen = 0;
+        work_u = no_work;
+        work_s = no_steps;
+        join = A.make 1;
+        deps = A.make Nil;
+        pool = p;
+        self_cell = Nil;
+      }
+    in
+    let c = { dnode = n; dnext = Nil; dself = Nil; cpool = p } in
+    c.dself <- Cell c;
+    n.self_cell <- c.dself;
     n
 
-let acquire_steps pool ~seqno work =
-  match (if pool == no_pool then Nil else free_pop pool.free_nodes) with
-  | Cell c ->
-    let n = c.dnode in
-    init n ~seqno;
-    n.work_s <- work;
-    n.work_u <- no_work;
-    n
-  | _ ->
-    let n = fresh_node pool in
-    n.seqno <- seqno;
-    n.work_s <- work;
-    n
-
-let create ~seqno work = acquire no_pool ~seqno work
-let create_steps ~seqno work = acquire_steps no_pool ~seqno work
-
-let seqno t = t.seqno
-let generation t = t.gen
-
-(* Run the next step.  On a cooperative yield the continuation replaces
-   the node's work, so the node can simply be re-enqueued in the runnable
-   set and resumed later by any worker (paper §6: long-running procedures
-   park in the runnable-procedures set; dependents are only released at
-   completion, never at a yield). *)
-let run t =
-  if t.work_s != no_steps then
-    match t.work_s () with
-    | Finished -> `Finished
-    | Yield k ->
-      t.work_s <- k;
-      `Yielded
-  else begin
-    t.work_u ();
-    `Finished
-  end
-
-let rec add_cell pred c d =
-  match Atomic.get pred.deps with
-  | Done_mark ->
-    release_cell c d;
-    false
-  | cur ->
+  (* Treiber push: multi-producer safe (workers release concurrently). *)
+  let rec free_push head d c =
+    let cur = A.get head in
     c.dnext <- cur;
-    if Atomic.compare_and_set pred.deps cur d then true else add_cell pred c d
+    if not (A.compare_and_set head cur d) then free_push head d c
 
-let add_dependent pred succ =
-  match Atomic.get pred.deps with
-  | Done_mark -> false
-  | _ -> (
-    match acquire_cell succ.pool with
-    | Cell c as d ->
-      c.dnode <- succ;
-      add_cell pred c d
-    | _ -> assert false)
+  (* Treiber pop: single consumer (the pool-owning dispatcher), so no ABA. *)
+  let rec free_pop head =
+    match A.get head with
+    | Cell c as d -> if A.compare_and_set head d c.dnext then d else free_pop head
+    | _ -> Nil
 
-let incr_join t = Atomic.incr t.join
-let decr_join t = Atomic.fetch_and_add t.join (-1) = 1
-let release t = decr_join t
+  let create_pool ~nodes ~cells =
+    let p = { free_nodes = A.make Nil; free_cells = A.make Nil } in
+    for _ = 1 to nodes do
+      let n = fresh_node p in
+      match n.self_cell with
+      | Cell c ->
+        c.dnext <- A.get p.free_nodes;
+        A.set p.free_nodes n.self_cell
+      | _ -> assert false
+    done;
+    for _ = 1 to cells do
+      let c = fresh_cell p in
+      c.dnext <- A.get p.free_cells;
+      A.set p.free_cells c.dself
+    done;
+    p
 
-(* In-place chain reversal: dependents were prepended in registration
-   order, and we resolve them oldest-first (close to serial order) without
-   allocating a reversed copy. *)
-let rec rev_chain acc d =
-  match d with
-  | Cell c ->
-    let next = c.dnext in
-    c.dnext <- acc;
-    rev_chain d next
-  | _ -> acc
+  let acquire_cell p =
+    if p == no_pool then (fresh_cell p).dself
+    else
+      match free_pop p.free_cells with
+      | Cell _ as d -> d
+      (* under-provisioned pool: grow once; the new cell recycles from now on *)
+      | _ -> (fresh_cell p).dself
 
-let rec resolve_chain on_ready d =
-  match d with
-  | Cell c ->
-    let succ = c.dnode in
-    let next = c.dnext in
-    release_cell c d;
-    if decr_join succ then on_ready succ;
-    resolve_chain on_ready next
-  | _ -> ()
+  let release_cell c d =
+    c.dnode <- dummy;
+    if c.cpool != no_pool then free_push c.cpool.free_cells d c
 
-let complete t ~on_ready =
-  match Atomic.exchange t.deps Done_mark with
-  | Done_mark -> invalid_arg "Node.complete: already completed"
-  | chain -> resolve_chain on_ready (rev_chain Nil chain)
+  (* Reset at acquire (dispatcher thread): see header comment. *)
+  let init n ~seqno =
+    n.gen <- n.gen + 1;
+    n.seqno <- seqno;
+    A.set n.join 1;
+    A.set n.deps Nil
 
-(* Return a completed node to its pool.  Caller must guarantee no live
-   references remain (the runtime recycles only after [complete], and the
-   generation check in the Spawner neutralises stale Slot references). *)
-let recycle t =
-  if t.pool != no_pool then
-    match t.self_cell with
-    | Cell c -> free_push t.pool.free_nodes t.self_cell c
+  let acquire pool ~seqno work =
+    match (if pool == no_pool then Nil else free_pop pool.free_nodes) with
+    | Cell c ->
+      let n = c.dnode in
+      init n ~seqno;
+      n.work_u <- work;
+      n.work_s <- no_steps;
+      n
+    | _ ->
+      let n = fresh_node pool in
+      n.seqno <- seqno;
+      n.work_u <- work;
+      n
+
+  let acquire_steps pool ~seqno work =
+    match (if pool == no_pool then Nil else free_pop pool.free_nodes) with
+    | Cell c ->
+      let n = c.dnode in
+      init n ~seqno;
+      n.work_s <- work;
+      n.work_u <- no_work;
+      n
+    | _ ->
+      let n = fresh_node pool in
+      n.seqno <- seqno;
+      n.work_s <- work;
+      n
+
+  (* Checker-only planted bug: an acquire whose reset SKIPS the generation
+     bump, so a stale (node, gen, seqno) snapshot taken before recycling
+     still validates against the reincarnated node.  chk.exe --self-test
+     checks the DPOR explorer finds the resulting stale-reference
+     confusion.  Hidden from the production interface. *)
+  let unsafe_acquire_skipping_gen pool ~seqno work =
+    match (if pool == no_pool then Nil else free_pop pool.free_nodes) with
+    | Cell c ->
+      let n = c.dnode in
+      n.seqno <- seqno;
+      A.set n.join 1;
+      A.set n.deps Nil;
+      n.work_u <- work;
+      n.work_s <- no_steps;
+      n
+    | _ ->
+      let n = fresh_node pool in
+      n.seqno <- seqno;
+      n.work_u <- work;
+      n
+
+  let create ~seqno work = acquire no_pool ~seqno work
+  let create_steps ~seqno work = acquire_steps no_pool ~seqno work
+
+  let seqno t = t.seqno
+  let generation t = t.gen
+
+  (* Run the next step.  On a cooperative yield the continuation replaces
+     the node's work, so the node can simply be re-enqueued in the runnable
+     set and resumed later by any worker (paper §6: long-running procedures
+     park in the runnable-procedures set; dependents are only released at
+     completion, never at a yield). *)
+  let run t =
+    if t.work_s != no_steps then
+      match t.work_s () with
+      | Finished -> `Finished
+      | Yield k ->
+        t.work_s <- k;
+        `Yielded
+    else begin
+      t.work_u ();
+      `Finished
+    end
+
+  let rec add_cell pred c d =
+    match A.get pred.deps with
+    | Done_mark ->
+      release_cell c d;
+      false
+    | cur ->
+      c.dnext <- cur;
+      if A.compare_and_set pred.deps cur d then true else add_cell pred c d
+
+  let add_dependent pred succ =
+    match A.get pred.deps with
+    | Done_mark -> false
+    | _ -> (
+      match acquire_cell succ.pool with
+      | Cell c as d ->
+        c.dnode <- succ;
+        add_cell pred c d
+      | _ -> assert false)
+
+  let incr_join t = A.incr t.join
+  let decr_join t = A.fetch_and_add t.join (-1) = 1
+  let release t = decr_join t
+
+  (* In-place chain reversal: dependents were prepended in registration
+     order, and we resolve them oldest-first (close to serial order) without
+     allocating a reversed copy. *)
+  let rec rev_chain acc d =
+    match d with
+    | Cell c ->
+      let next = c.dnext in
+      c.dnext <- acc;
+      rev_chain d next
+    | _ -> acc
+
+  let rec resolve_chain on_ready d =
+    match d with
+    | Cell c ->
+      let succ = c.dnode in
+      let next = c.dnext in
+      release_cell c d;
+      if decr_join succ then on_ready succ;
+      resolve_chain on_ready next
     | _ -> ()
 
-let is_done t = match Atomic.get t.deps with Done_mark -> true | _ -> false
-let pending t = Atomic.get t.join
+  let complete t ~on_ready =
+    match A.exchange t.deps Done_mark with
+    | Done_mark -> invalid_arg "Node.complete: already completed"
+    | chain -> resolve_chain on_ready (rev_chain Nil chain)
+
+  (* Return a completed node to its pool.  Caller must guarantee no live
+     references remain (the runtime recycles only after [complete], and the
+     generation check in the Spawner neutralises stale Slot references). *)
+  let recycle t =
+    if t.pool != no_pool then
+      match t.self_cell with
+      | Cell c -> free_push t.pool.free_nodes t.self_cell c
+      | _ -> ()
+
+  let is_done t = match A.get t.deps with Done_mark -> true | _ -> false
+  let pending t = A.get t.join
+end
+
+include Make (Atomic_intf.Passthrough)

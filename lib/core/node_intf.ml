@@ -1,0 +1,93 @@
+(** Interface of the pooled DAG nodes, shared by every instantiation
+    of [Node.Make] (the production passthrough and the model checker's
+    traced build).  Lives in its own module so the signature is written
+    once. *)
+
+module type S = sig
+  type t
+
+  type outcome = Finished | Yield of (unit -> outcome)
+  (** Result of one execution step: cooperative procedures (§6 of the
+      paper) may [Yield] a continuation instead of running to completion in
+      one go. *)
+
+  (** {1 Pooled nodes} *)
+
+  type pool
+  (** A node + dependent-cell free list.  Workers release concurrently
+      (lock-free push); only the owning dispatcher thread may acquire
+      (single-consumer pop — this is what makes the pop ABA-free).  Grown
+      at {!create_pool} time; acquiring from an exhausted pool falls back
+      to a one-time heap allocation that then recycles like the rest. *)
+
+  val create_pool : nodes:int -> cells:int -> pool
+
+  val acquire : pool -> seqno:int -> (unit -> unit) -> t
+  (** Take a node from the pool (or allocate if exhausted) and initialise
+      it: join = 1 (the dispatch guard), empty dependent chain, generation
+      bumped.  Dispatcher thread only. *)
+
+  val acquire_steps : pool -> seqno:int -> (unit -> outcome) -> t
+  (** Like {!acquire} for a cooperative (yielding) procedure. *)
+
+  val recycle : t -> unit
+  (** Return a node to its pool.  Call only after {!complete}, when no live
+      references remain outside stale slot entries (which the generation
+      check neutralises).  No-op for nodes from {!create}.  Any thread. *)
+
+  val generation : t -> int
+  (** Bumped at every {!acquire}.  Read on the dispatcher thread only. *)
+
+  val dummy : t
+  (** Inert sentinel node (already completed, never runnable) used to fill
+      empty queue slots and "no writer" slot fields.  Never run, complete
+      or link it. *)
+
+  (** {1 Standalone nodes (tests, benches)} *)
+
+  val create : seqno:int -> (unit -> unit) -> t
+  (** [create ~seqno work] makes an unlinked, unpooled node with join = 1
+      (the dispatch guard).  [seqno] is the request's position in the serial
+      log; it is carried for tracing and determinism checks. *)
+
+  val create_steps : seqno:int -> (unit -> outcome) -> t
+  (** Like {!create} for a cooperative (yielding) procedure. *)
+
+  (** {1 Linking and execution} *)
+
+  val seqno : t -> int
+
+  val run : t -> [ `Finished | `Yielded ]
+  (** Execute the next step of the request body.  Call only when the node
+      is ready.  On [`Yielded] the node must be re-enqueued in the runnable
+      set — its dependents stay blocked until a later step finishes and
+      {!complete} runs, which keeps yielding deterministic. *)
+
+  val add_dependent : t -> t -> bool
+  (** [add_dependent pred succ] registers [succ] on [pred]'s dependent list
+      (the chain cell comes from [succ]'s pool).  Returns [false] if [pred]
+      had already completed, in which case the dependency is already
+      resolved and must not be counted. *)
+
+  val incr_join : t -> unit
+  (** Add one pending dependency.  Dispatcher side only. *)
+
+  val decr_join : t -> bool
+  (** Remove one pending dependency (or the dispatch guard); returns [true]
+      iff the counter reached zero, i.e. the node just became ready. *)
+
+  val release : t -> bool
+  (** Drop the dispatch guard.  [true] iff the node is ready to run now. *)
+
+  val complete : t -> on_ready:(t -> unit) -> unit
+  (** Mark the node done and resolve its outgoing edges, invoking [on_ready]
+      on every dependent whose join counter reaches zero (oldest
+      registration first).  Chain cells are returned to their pools.  Worker
+      side; must be called exactly once, after {!run}. *)
+
+  val is_done : t -> bool
+  (** True once {!complete} has run (or while the node sits in a pool). *)
+
+  val pending : t -> int
+  (** Current join value (racy; tests and tracing only). *)
+end

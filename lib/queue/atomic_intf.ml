@@ -1,0 +1,28 @@
+(* The atomic-operations signature the lock-free kernel is written
+   against.
+
+   Every algorithm whose correctness depends on the interleaving of
+   atomic loads/stores/CAS — the SPSC/MPMC rings, the node/cell
+   free-list pools, the sequencer's append-before-deliver publication —
+   is a functor over ATOMIC.  Production code instantiates it with
+   [Passthrough] (the stdlib [Atomic], a plain module alias, so the
+   passthrough build is the exact same code it always was); the model
+   checker (lib/chk) instantiates it with a traced implementation that
+   virtualizes every operation as a scheduler yield point and explores
+   the inequivalent interleavings exhaustively. *)
+
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+  val incr : int t -> unit
+  val decr : int t -> unit
+end
+
+(* A module alias, not a wrapper: zero cost by construction. *)
+module Passthrough : ATOMIC with type 'a t = 'a Atomic.t = Atomic

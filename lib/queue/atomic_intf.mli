@@ -1,0 +1,24 @@
+(** Atomic-operations signature for the functorized lock-free kernel.
+
+    The hot lock-free algorithms ({!Spsc}, {!Mpmc}, [Doradd_core.Node],
+    the sequencer's publication core) are functors over {!module-type-ATOMIC}
+    so the model checker ([doradd_chk]) can virtualize every atomic
+    operation as a yield point and enumerate interleavings, while
+    production instantiates {!Passthrough} — a plain alias of the stdlib
+    [Atomic], i.e. the exact same code as before the functorization. *)
+
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+  val incr : int t -> unit
+  val decr : int t -> unit
+end
+
+module Passthrough : ATOMIC with type 'a t = 'a Atomic.t
+(** The stdlib [Atomic], by module alias. *)

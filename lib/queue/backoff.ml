@@ -5,19 +5,39 @@ let c_backoff = Obs.Counters.counter "backoff.rounds"
 
 type t = { min_wait : int; max_wait : int; mutable wait : int }
 
+(* Injectable spin hook (DST / model checking): when set, it replaces the
+   cpu_relax spin AND the past-threshold Thread.yield, so a backoff round
+   has no scheduling side effect the harness didn't choose — this is what
+   makes chk/DST schedules exactly replayable.  Global rather than
+   per-instance because backoffs are created ad hoc inside blocking
+   operations; the wait-doubling state machine still advances normally so
+   hooked runs exercise the same saturation logic. *)
+let spin_hook : (int -> unit) option ref = ref None
+
+let set_spin f = spin_hook := f
+let clear_spin () = spin_hook := None
+
+let with_spin f body =
+  let saved = !spin_hook in
+  spin_hook := f;
+  Fun.protect ~finally:(fun () -> spin_hook := saved) body
+
 let create ?(min_wait = 1) ?(max_wait = 1024) () =
   if min_wait < 1 || max_wait < min_wait then invalid_arg "Backoff.create";
   { min_wait; max_wait; wait = min_wait }
 
 let once t =
   if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_backoff;
-  for _ = 1 to t.wait do
-    Domain.cpu_relax ()
-  done;
-  (* Past the spin threshold, also yield the OS thread: on oversubscribed
-     hosts the producer may be a descheduled domain that can only run if we
-     give up the core. *)
-  if t.wait >= t.max_wait then Thread.yield ();
+  (match !spin_hook with
+  | Some f -> f t.wait
+  | None ->
+    for _ = 1 to t.wait do
+      Domain.cpu_relax ()
+    done;
+    (* Past the spin threshold, also yield the OS thread: on oversubscribed
+       hosts the producer may be a descheduled domain that can only run if we
+       give up the core. *)
+    if t.wait >= t.max_wait then Thread.yield ());
   let w = t.wait * 2 in
   t.wait <- (if w > t.max_wait then t.max_wait else w)
 

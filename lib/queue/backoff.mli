@@ -18,3 +18,23 @@ val once : t -> unit
 
 val reset : t -> unit
 (** Return to the minimum wait; call after making progress. *)
+
+(** {1 Deterministic spinning (DST / model checking)}
+
+    In the same spirit as the {!Spsc.S.set_faults} / {!Mpmc.S.set_faults}
+    fault hooks: an injectable replacement for the spin/yield decision, so
+    a harness-controlled run has no [Domain.cpu_relax] / [Thread.yield]
+    side effects and every schedule is exactly replayable.  The hook
+    receives the current wait (the would-be spin count); the exponential
+    wait state still advances, so hooked runs cover the same saturation
+    transitions. *)
+
+val set_spin : (int -> unit) option -> unit
+(** Install (or with [None] remove) the global spin hook. *)
+
+val clear_spin : unit -> unit
+(** [clear_spin () = set_spin None]. *)
+
+val with_spin : (int -> unit) option -> (unit -> 'a) -> 'a
+(** Run a thunk with the hook installed, restoring the previous hook on
+    exit (exception-safe) — what chk and the DST runner use. *)

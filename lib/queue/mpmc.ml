@@ -9,7 +9,14 @@
    caller-supplied [dummy] filling empty slots (full/empty is decided by
    the sequence numbers, never by comparing against the dummy), and
    [pop_into] returns through a preallocated out-cell — so steady-state
-   push/pop traffic allocates nothing. *)
+   push/pop traffic allocates nothing.
+
+   The algorithm is a functor over the atomic operations (Atomic_intf):
+   production uses the stdlib passthrough below; the model checker
+   (lib/chk) instantiates [Make] with a traced atomic and explores every
+   inequivalent interleaving of the ticket CASes.  Obs counter handles
+   live outside the functor so every instantiation shares the same
+   registry entries. *)
 
 module Obs = Doradd_obs
 
@@ -20,132 +27,146 @@ let c_pop = Obs.Counters.counter "mpmc.pop"
 let c_pop_empty = Obs.Counters.counter "mpmc.pop_empty"
 let w_depth = Obs.Counters.watermark "mpmc.depth_hwm"
 
-type 'a slot = { seq : int Atomic.t; mutable value : 'a }
+module type S = Mpmc_intf.S
 
-type 'a t = {
-  slots : 'a slot array;
-  dummy : 'a;
-  mask : int;
-  head : int Atomic.t;
-  tail : int Atomic.t;
-  (* Fault-injection hooks (DST): when set, a [true] from [fault_push]
-     makes try_push report full and [true] from [fault_pop] makes try_pop
-     report empty, without touching the queue.  Spurious full/empty are
-     the only faults a lock-free bounded queue can exhibit to its caller,
-     so correct client code must already tolerate them — the hooks let the
-     test harness force the rarely-taken backpressure and overflow paths.
-     Per-instance on purpose: clients that use [try_pop = None] as an
-     end-of-stream signal (pipeline drain) must never be armed. *)
-  mutable fault_push : (unit -> bool) option;
-  mutable fault_pop : (unit -> bool) option;
-}
+module Make (A : Atomic_intf.ATOMIC) = struct
+  type 'a slot = { seq : int A.t; mutable value : 'a }
 
-type 'a out = { mutable value : 'a }
-
-let create ~dummy ~capacity =
-  (* Vyukov's scheme needs >= 2 slots: with a single slot, the ticket of
-     the producer one lap ahead equals the sequence number of the still
-     unconsumed slot (diff = 1 - cap = 0), so a second push would
-     overwrite the element and strand the consumer. *)
-  if capacity <= 0 then invalid_arg "Mpmc.create: capacity must be positive";
-  let cap = Capacity.next_pow2 ~who:"Mpmc.create" (max 2 capacity) in
-  {
-    slots = Array.init cap (fun i -> { seq = Atomic.make i; value = dummy });
-    dummy;
-    mask = cap - 1;
-    head = Atomic.make 0;
-    tail = Atomic.make 0;
-    fault_push = None;
-    fault_pop = None;
+  type 'a t = {
+    slots : 'a slot array;
+    dummy : 'a;
+    mask : int;
+    head : int A.t;
+    tail : int A.t;
+    (* Fault-injection hooks (DST): when set, a [true] from [fault_push]
+       makes try_push report full and [true] from [fault_pop] makes try_pop
+       report empty, without touching the queue.  Spurious full/empty are
+       the only faults a lock-free bounded queue can exhibit to its caller,
+       so correct client code must already tolerate them — the hooks let the
+       test harness force the rarely-taken backpressure and overflow paths.
+       Per-instance on purpose: clients that use [try_pop = None] as an
+       end-of-stream signal (pipeline drain) must never be armed. *)
+    mutable fault_push : (unit -> bool) option;
+    mutable fault_pop : (unit -> bool) option;
   }
 
-let capacity t = t.mask + 1
-let dummy t = t.dummy
-let make_out t = { value = t.dummy }
+  type 'a out = { mutable value : 'a }
 
-let set_faults t ~push ~pop =
-  t.fault_push <- push;
-  t.fault_pop <- pop
+  let make_raw ~dummy ~cap =
+    {
+      slots = Array.init cap (fun i -> { seq = A.make i; value = dummy });
+      dummy;
+      mask = cap - 1;
+      head = A.make 0;
+      tail = A.make 0;
+      fault_push = None;
+      fault_pop = None;
+    }
 
-let clear_faults t =
-  t.fault_push <- None;
-  t.fault_pop <- None
+  let create ~dummy ~capacity =
+    (* Vyukov's scheme needs >= 2 slots: with a single slot, the ticket of
+       the producer one lap ahead equals the sequence number of the still
+       unconsumed slot (diff = 1 - cap = 0), so a second push would
+       overwrite the element and strand the consumer. *)
+    if capacity <= 0 then invalid_arg "Mpmc.create: capacity must be positive";
+    make_raw ~dummy ~cap:(Capacity.next_pow2 ~who:"Mpmc.create" (max 2 capacity))
 
-let[@inline] push_faulted t = match t.fault_push with Some f -> f () | None -> false
-let[@inline] pop_faulted t = match t.fault_pop with Some f -> f () | None -> false
+  (* Checker-only: skip the >= 2 rounding, resurrecting the pre-fix
+     capacity-1 overwrite (caught by the PR-2 stress tests, now a planted
+     bug for chk.exe --self-test).  Hidden from the production interface. *)
+  let unsafe_create_exact ~dummy ~capacity =
+    make_raw ~dummy ~cap:(Capacity.next_pow2 ~who:"Mpmc.unsafe_create_exact" capacity)
 
-(* [tail] and [head] are two racing atomics, so their difference read
-   after the CAS can be stale or even negative under contention — clamp
-   to the only depths a bounded queue can actually hold before feeding
-   the watermark. *)
-let[@inline] observe_depth t =
-  let depth = Atomic.get t.tail - Atomic.get t.head in
-  let cap = t.mask + 1 in
-  let depth = if depth < 0 then 0 else if depth > cap then cap else depth in
-  Obs.Counters.observe w_depth depth
+  let capacity t = t.mask + 1
+  let dummy t = t.dummy
+  let make_out t = { value = t.dummy }
 
-(* Top-level recursion (a tail call compiled to a jump): a local
-   [let rec attempt () = ...] would allocate a closure per operation. *)
-let rec push_attempt t v =
-  let tail = Atomic.get t.tail in
-  let slot = t.slots.(tail land t.mask) in
-  let seq = Atomic.get slot.seq in
-  let diff = seq - tail in
-  if diff = 0 then
-    if Atomic.compare_and_set t.tail tail (tail + 1) then begin
-      slot.value <- v;
-      Atomic.set slot.seq (tail + 1);
-      true
-    end
-    else push_attempt t v
-  else if diff < 0 then false (* slot still holds the previous lap: full *)
-  else push_attempt t v (* another producer advanced tail; retry *)
+  let set_faults t ~push ~pop =
+    t.fault_push <- push;
+    t.fault_pop <- pop
 
-let try_push t v =
-  if push_faulted t then false
-  else
-  let ok = push_attempt t v in
-  if Atomic.get Obs.Trace.armed then begin
-    if ok then begin
-      Obs.Counters.incr c_push;
-      observe_depth t
-    end
-    else Obs.Counters.incr c_push_full
-  end;
-  ok
+  let clear_faults t =
+    t.fault_push <- None;
+    t.fault_pop <- None
 
-let push t v =
-  let b = Backoff.create () in
-  while not (try_push t v) do
-    Backoff.once b
-  done
+  let[@inline] push_faulted t = match t.fault_push with Some f -> f () | None -> false
+  let[@inline] pop_faulted t = match t.fault_pop with Some f -> f () | None -> false
 
-let rec pop_attempt t out =
-  let head = Atomic.get t.head in
-  let slot = t.slots.(head land t.mask) in
-  let seq = Atomic.get slot.seq in
-  let diff = seq - (head + 1) in
-  if diff = 0 then
-    if Atomic.compare_and_set t.head head (head + 1) then begin
-      out.value <- slot.value;
-      slot.value <- t.dummy;
-      Atomic.set slot.seq (head + t.mask + 1);
-      true
-    end
+  (* [tail] and [head] are two racing atomics, so their difference read
+     after the CAS can be stale or even negative under contention — clamp
+     to the only depths a bounded queue can actually hold before feeding
+     the watermark. *)
+  let[@inline] observe_depth t =
+    let depth = A.get t.tail - A.get t.head in
+    let cap = t.mask + 1 in
+    let depth = if depth < 0 then 0 else if depth > cap then cap else depth in
+    Obs.Counters.observe w_depth depth
+
+  (* Top-level recursion (a tail call compiled to a jump): a local
+     [let rec attempt () = ...] would allocate a closure per operation. *)
+  let rec push_attempt t v =
+    let tail = A.get t.tail in
+    let slot = t.slots.(tail land t.mask) in
+    let seq = A.get slot.seq in
+    let diff = seq - tail in
+    if diff = 0 then
+      if A.compare_and_set t.tail tail (tail + 1) then begin
+        slot.value <- v;
+        A.set slot.seq (tail + 1);
+        true
+      end
+      else push_attempt t v
+    else if diff < 0 then false (* slot still holds the previous lap: full *)
+    else push_attempt t v (* another producer advanced tail; retry *)
+
+  let try_push t v =
+    if push_faulted t then false
+    else
+    let ok = push_attempt t v in
+    if Atomic.get Obs.Trace.armed then begin
+      if ok then begin
+        Obs.Counters.incr c_push;
+        observe_depth t
+      end
+      else Obs.Counters.incr c_push_full
+    end;
+    ok
+
+  let push t v =
+    let b = Backoff.create () in
+    while not (try_push t v) do
+      Backoff.once b
+    done
+
+  let rec pop_attempt t out =
+    let head = A.get t.head in
+    let slot = t.slots.(head land t.mask) in
+    let seq = A.get slot.seq in
+    let diff = seq - (head + 1) in
+    if diff = 0 then
+      if A.compare_and_set t.head head (head + 1) then begin
+        out.value <- slot.value;
+        slot.value <- t.dummy;
+        A.set slot.seq (head + t.mask + 1);
+        true
+      end
+      else pop_attempt t out
+    else if diff < 0 then false (* slot not yet filled: empty *)
     else pop_attempt t out
-  else if diff < 0 then false (* slot not yet filled: empty *)
-  else pop_attempt t out
 
-let pop_into t out =
-  if pop_faulted t then false
-  else
-  let ok = pop_attempt t out in
-  if Atomic.get Obs.Trace.armed then
-    Obs.Counters.incr (if ok then c_pop else c_pop_empty);
-  ok
+  let pop_into t out =
+    if pop_faulted t then false
+    else
+    let ok = pop_attempt t out in
+    if Atomic.get Obs.Trace.armed then
+      Obs.Counters.incr (if ok then c_pop else c_pop_empty);
+    ok
 
-let try_pop t =
-  let out = { value = t.dummy } in
-  if pop_into t out then Some out.value else None
+  let try_pop t =
+    let out = { value = t.dummy } in
+    if pop_into t out then Some out.value else None
 
-let length t = Atomic.get t.tail - Atomic.get t.head
+  let length t = A.get t.tail - A.get t.head
+end
+
+include Make (Atomic_intf.Passthrough)

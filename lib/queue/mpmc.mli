@@ -10,58 +10,27 @@
     Allocation discipline: slots store ['a] directly — no ['a option]
     boxing.  A caller-supplied [dummy] fills empty slots so the GC never
     sees stale pointers; full/empty is decided by the sequence numbers,
-    never by comparing against the dummy.  {!pop_into} returns through a
-    preallocated out-cell, making steady-state traffic allocation-free. *)
+    never by comparing against the dummy.  {!S.pop_into} returns through a
+    preallocated out-cell, making steady-state traffic allocation-free.
 
-type 'a t
+    The algorithm is written once, as {!Make} over
+    {!Atomic_intf.ATOMIC}; the toplevel module is the zero-cost stdlib
+    instantiation (same interface and behavior as ever), while the model
+    checker ([doradd_chk]) instantiates {!Make} with a traced atomic and
+    enumerates the interleavings of the very same code. *)
 
-type 'a out = { mutable value : 'a }
-(** Preallocated out-cell for {!pop_into}: create one per consumer and
-    reuse it. *)
+module type S = Mpmc_intf.S
 
-val create : dummy:'a -> capacity:int -> 'a t
-(** Capacity is rounded up to a power of two, and to at least 2
-    (Vyukov's sequence-number scheme cannot distinguish full from empty
-    with a single slot).
-    @raise Invalid_argument if [capacity <= 0] or
-    [capacity > Capacity.max_capacity]. *)
+module Make (A : Atomic_intf.ATOMIC) : sig
+  include S
 
-val capacity : 'a t -> int
+  val unsafe_create_exact : dummy:'a -> capacity:int -> 'a t
+  (** Model-checker canary only: the constructor {e without} the >= 2
+      rounding, resurrecting the pre-PR-2 Vyukov capacity-1 overwrite bug.
+      [chk.exe --self-test] checks the DPOR explorer still finds it.
+      Never use outside [doradd_chk]. *)
+end
+(** The queue over an arbitrary atomic implementation (model checking). *)
 
-val dummy : 'a t -> 'a
-
-val make_out : 'a t -> 'a out
-(** A fresh out-cell initialised to the queue's dummy. *)
-
-val try_push : 'a t -> 'a -> bool
-(** [false] when the queue is full. *)
-
-val push : 'a t -> 'a -> unit
-(** Spins with backoff while full. *)
-
-val pop_into : 'a t -> 'a out -> bool
-(** Zero-alloc pop: on success writes the element into [out.value] and
-    returns [true]; on empty leaves [out] untouched and returns
-    [false]. *)
-
-val try_pop : 'a t -> 'a option
-(** [None] when the queue is empty.  Allocating convenience wrapper —
-    hot paths use {!pop_into}. *)
-
-val length : 'a t -> int
-(** Racy occupancy snapshot, for monitoring and tests only. *)
-
-(** {1 Fault injection (deterministic-simulation testing)} *)
-
-val set_faults : 'a t -> push:(unit -> bool) option -> pop:(unit -> bool) option -> unit
-(** Arm fault hooks on this queue: while [push] returns [true], [try_push]
-    reports full without attempting the push; while [pop] returns [true],
-    the pop variants report empty.  Spurious full/empty are the only
-    failure modes a bounded lock-free queue presents to callers, so
-    injecting them forces the rarely-taken backpressure/overflow paths
-    (dispatcher blocking, worker overflow-to-inline) while preserving
-    correctness of correct clients.  Never arm a queue whose consumer
-    treats [try_pop = None] as end-of-stream (e.g. the pipeline input
-    during drain).  Hooks may be probed concurrently from many domains. *)
-
-val clear_faults : 'a t -> unit
+include S
+(** The production instantiation: [Make (Atomic_intf.Passthrough)]. *)

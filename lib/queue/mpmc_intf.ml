@@ -1,0 +1,59 @@
+(** Interface of the Vyukov MPMC queue, shared by every instantiation
+    of [Mpmc.Make] (the production passthrough and the model checker's
+    traced build).  Lives in its own module so the signature is written
+    once. *)
+
+module type S = sig
+  type 'a t
+
+  type 'a out = { mutable value : 'a }
+  (** Preallocated out-cell for {!pop_into}: create one per consumer and
+      reuse it. *)
+
+  val create : dummy:'a -> capacity:int -> 'a t
+  (** Capacity is rounded up to a power of two, and to at least 2
+      (Vyukov's sequence-number scheme cannot distinguish full from empty
+      with a single slot).
+      @raise Invalid_argument if [capacity <= 0] or
+      [capacity > Capacity.max_capacity]. *)
+
+  val capacity : 'a t -> int
+
+  val dummy : 'a t -> 'a
+
+  val make_out : 'a t -> 'a out
+  (** A fresh out-cell initialised to the queue's dummy. *)
+
+  val try_push : 'a t -> 'a -> bool
+  (** [false] when the queue is full. *)
+
+  val push : 'a t -> 'a -> unit
+  (** Spins with backoff while full. *)
+
+  val pop_into : 'a t -> 'a out -> bool
+  (** Zero-alloc pop: on success writes the element into [out.value] and
+      returns [true]; on empty leaves [out] untouched and returns
+      [false]. *)
+
+  val try_pop : 'a t -> 'a option
+  (** [None] when the queue is empty.  Allocating convenience wrapper —
+      hot paths use {!pop_into}. *)
+
+  val length : 'a t -> int
+  (** Racy occupancy snapshot, for monitoring and tests only. *)
+
+  (** {1 Fault injection (deterministic-simulation testing)} *)
+
+  val set_faults : 'a t -> push:(unit -> bool) option -> pop:(unit -> bool) option -> unit
+  (** Arm fault hooks on this queue: while [push] returns [true], [try_push]
+      reports full without attempting the push; while [pop] returns [true],
+      the pop variants report empty.  Spurious full/empty are the only
+      failure modes a bounded lock-free queue presents to callers, so
+      injecting them forces the rarely-taken backpressure/overflow paths
+      (dispatcher blocking, worker overflow-to-inline) while preserving
+      correctness of correct clients.  Never arm a queue whose consumer
+      treats [try_pop = None] as end-of-stream (e.g. the pipeline input
+      during drain).  Hooks may be probed concurrently from many domains. *)
+
+  val clear_faults : 'a t -> unit
+end

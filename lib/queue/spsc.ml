@@ -9,7 +9,14 @@
    [pop_into] returns through a preallocated out-cell, [push_batch] /
    [pop_batch_into] publish a whole batch with a single index store, and
    the [_with] blocking variants take a caller-owned [Backoff.t] — so a
-   steady-state producer/consumer pair allocates nothing. *)
+   steady-state producer/consumer pair allocates nothing.
+
+   The algorithm is a functor over the atomic operations (Atomic_intf):
+   production uses the stdlib passthrough below; the model checker
+   (lib/chk) instantiates [Make] with a traced atomic that turns every
+   index load/store into a scheduler yield point.  Obs counter handles
+   live outside the functor so every instantiation shares the same
+   registry entries. *)
 
 module Obs = Doradd_obs
 
@@ -20,172 +27,178 @@ let c_pop = Obs.Counters.counter "spsc.pop"
 let c_pop_empty = Obs.Counters.counter "spsc.pop_empty"
 let w_depth = Obs.Counters.watermark "spsc.depth_hwm"
 
-type 'a t = {
-  slots : 'a array;
-  dummy : 'a;
-  mask : int;
-  head : int Atomic.t; (* next slot to pop *)
-  tail : int Atomic.t; (* next slot to push *)
-  (* DST fault hooks: force spurious full/empty (see Mpmc.set_faults). *)
-  mutable fault_push : (unit -> bool) option;
-  mutable fault_pop : (unit -> bool) option;
-}
+module type S = Spsc_intf.S
 
-type 'a out = { mutable value : 'a }
-
-let create ~dummy ~capacity =
-  let cap = Capacity.next_pow2 ~who:"Spsc.create" capacity in
-  {
-    slots = Array.make cap dummy;
-    dummy;
-    mask = cap - 1;
-    head = Atomic.make 0;
-    tail = Atomic.make 0;
-    fault_push = None;
-    fault_pop = None;
+module Make (A : Atomic_intf.ATOMIC) = struct
+  type 'a t = {
+    slots : 'a array;
+    dummy : 'a;
+    mask : int;
+    head : int A.t; (* next slot to pop *)
+    tail : int A.t; (* next slot to push *)
+    (* DST fault hooks: force spurious full/empty (see Mpmc.set_faults). *)
+    mutable fault_push : (unit -> bool) option;
+    mutable fault_pop : (unit -> bool) option;
   }
 
-let capacity t = t.mask + 1
-let dummy t = t.dummy
-let make_out t = { value = t.dummy }
+  type 'a out = { mutable value : 'a }
 
-let set_faults t ~push ~pop =
-  t.fault_push <- push;
-  t.fault_pop <- pop
+  let create ~dummy ~capacity =
+    let cap = Capacity.next_pow2 ~who:"Spsc.create" capacity in
+    {
+      slots = Array.make cap dummy;
+      dummy;
+      mask = cap - 1;
+      head = A.make 0;
+      tail = A.make 0;
+      fault_push = None;
+      fault_pop = None;
+    }
 
-let clear_faults t =
-  t.fault_push <- None;
-  t.fault_pop <- None
+  let capacity t = t.mask + 1
+  let dummy t = t.dummy
+  let make_out t = { value = t.dummy }
 
-let[@inline] push_faulted t = match t.fault_push with Some f -> f () | None -> false
-let[@inline] pop_faulted t = match t.fault_pop with Some f -> f () | None -> false
+  let set_faults t ~push ~pop =
+    t.fault_push <- push;
+    t.fault_pop <- pop
 
-(* Racing-index reads can transiently disagree, so the depth fed to the
-   watermark is clamped to the only values a bounded queue can hold. *)
-let[@inline] observe_depth t depth =
-  let cap = t.mask + 1 in
-  let depth = if depth < 0 then 0 else if depth > cap then cap else depth in
-  Obs.Counters.observe w_depth depth
+  let clear_faults t =
+    t.fault_push <- None;
+    t.fault_pop <- None
 
-let try_push t v =
-  if push_faulted t then false
-  else
-  let tail = Atomic.get t.tail in
-  let head = Atomic.get t.head in
-  if tail - head > t.mask then begin
-    if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_push_full;
-    false
-  end
-  else begin
-    t.slots.(tail land t.mask) <- v;
-    (* The Atomic.set publishes the slot write (release). *)
-    Atomic.set t.tail (tail + 1);
-    if Atomic.get Obs.Trace.armed then begin
-      Obs.Counters.incr c_push;
-      observe_depth t (tail + 1 - head)
-    end;
-    true
-  end
+  let[@inline] push_faulted t = match t.fault_push with Some f -> f () | None -> false
+  let[@inline] pop_faulted t = match t.fault_pop with Some f -> f () | None -> false
 
-let push_with t b v =
-  while not (try_push t v) do
-    Backoff.once b
-  done
+  (* Racing-index reads can transiently disagree, so the depth fed to the
+     watermark is clamped to the only values a bounded queue can hold. *)
+  let[@inline] observe_depth t depth =
+    let cap = t.mask + 1 in
+    let depth = if depth < 0 then 0 else if depth > cap then cap else depth in
+    Obs.Counters.observe w_depth depth
 
-let push t v = push_with t (Backoff.create ()) v
-
-(* All-or-nothing: either the whole batch fits and is published with one
-   tail store, or nothing is written. *)
-let push_batch t items ~len =
-  if len < 0 || len > Array.length items then invalid_arg "Spsc.push_batch";
-  if len = 0 then true
-  else if push_faulted t then false
-  else
-    let tail = Atomic.get t.tail in
-    let head = Atomic.get t.head in
-    if tail + len - head > t.mask + 1 then begin
+  let try_push t v =
+    if push_faulted t then false
+    else
+    let tail = A.get t.tail in
+    let head = A.get t.head in
+    if tail - head > t.mask then begin
       if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_push_full;
       false
     end
     else begin
-      for i = 0 to len - 1 do
-        t.slots.((tail + i) land t.mask) <- items.(i)
-      done;
-      Atomic.set t.tail (tail + len);
+      t.slots.(tail land t.mask) <- v;
+      (* The A.set publishes the slot write (release). *)
+      A.set t.tail (tail + 1);
       if Atomic.get Obs.Trace.armed then begin
-        Obs.Counters.add c_push len;
-        observe_depth t (tail + len - head)
+        Obs.Counters.incr c_push;
+        observe_depth t (tail + 1 - head)
       end;
       true
     end
 
-let pop_into t out =
-  if pop_faulted t then false
-  else
-  let head = Atomic.get t.head in
-  let tail = Atomic.get t.tail in
-  if head = tail then begin
-    if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop_empty;
-    false
-  end
-  else begin
-    let idx = head land t.mask in
-    out.value <- t.slots.(idx);
-    t.slots.(idx) <- t.dummy;
-    Atomic.set t.head (head + 1);
-    if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop;
-    true
-  end
+  let push_with t b v =
+    while not (try_push t v) do
+      Backoff.once b
+    done
 
-(* Drain everything available (up to [Array.length scratch]) with a single
-   head store; returns the number of elements written to [scratch]. *)
-let pop_batch_into t scratch =
-  if pop_faulted t then 0
-  else
-  let head = Atomic.get t.head in
-  let tail = Atomic.get t.tail in
-  let avail = tail - head in
-  let n = if avail < Array.length scratch then avail else Array.length scratch in
-  if n <= 0 then begin
-    if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop_empty;
-    0
-  end
-  else begin
-    for i = 0 to n - 1 do
-      let idx = (head + i) land t.mask in
-      scratch.(i) <- t.slots.(idx);
-      t.slots.(idx) <- t.dummy
-    done;
-    Atomic.set t.head (head + n);
-    if Atomic.get Obs.Trace.armed then Obs.Counters.add c_pop n;
-    n
-  end
+  let push t v = push_with t (Backoff.create ()) v
 
-let try_pop t =
-  if pop_faulted t then None
-  else
-  let head = Atomic.get t.head in
-  let tail = Atomic.get t.tail in
-  if head = tail then begin
-    if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop_empty;
-    None
-  end
-  else begin
-    let idx = head land t.mask in
-    let v = t.slots.(idx) in
-    t.slots.(idx) <- t.dummy;
-    Atomic.set t.head (head + 1);
-    if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop;
-    Some v
-  end
+  (* All-or-nothing: either the whole batch fits and is published with one
+     tail store, or nothing is written. *)
+  let push_batch t items ~len =
+    if len < 0 || len > Array.length items then invalid_arg "Spsc.push_batch";
+    if len = 0 then true
+    else if push_faulted t then false
+    else
+      let tail = A.get t.tail in
+      let head = A.get t.head in
+      if tail + len - head > t.mask + 1 then begin
+        if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_push_full;
+        false
+      end
+      else begin
+        for i = 0 to len - 1 do
+          t.slots.((tail + i) land t.mask) <- items.(i)
+        done;
+        A.set t.tail (tail + len);
+        if Atomic.get Obs.Trace.armed then begin
+          Obs.Counters.add c_push len;
+          observe_depth t (tail + len - head)
+        end;
+        true
+      end
 
-let rec pop_with t b out =
-  if pop_into t out then out.value
-  else begin
-    Backoff.once b;
-    pop_with t b out
-  end
+  let pop_into t out =
+    if pop_faulted t then false
+    else
+    let head = A.get t.head in
+    let tail = A.get t.tail in
+    if head = tail then begin
+      if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop_empty;
+      false
+    end
+    else begin
+      let idx = head land t.mask in
+      out.value <- t.slots.(idx);
+      t.slots.(idx) <- t.dummy;
+      A.set t.head (head + 1);
+      if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop;
+      true
+    end
 
-let pop t = pop_with t (Backoff.create ()) (make_out t)
+  (* Drain everything available (up to [Array.length scratch]) with a single
+     head store; returns the number of elements written to [scratch]. *)
+  let pop_batch_into t scratch =
+    if pop_faulted t then 0
+    else
+    let head = A.get t.head in
+    let tail = A.get t.tail in
+    let avail = tail - head in
+    let n = if avail < Array.length scratch then avail else Array.length scratch in
+    if n <= 0 then begin
+      if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop_empty;
+      0
+    end
+    else begin
+      for i = 0 to n - 1 do
+        let idx = (head + i) land t.mask in
+        scratch.(i) <- t.slots.(idx);
+        t.slots.(idx) <- t.dummy
+      done;
+      A.set t.head (head + n);
+      if Atomic.get Obs.Trace.armed then Obs.Counters.add c_pop n;
+      n
+    end
 
-let length t = Atomic.get t.tail - Atomic.get t.head
+  let try_pop t =
+    if pop_faulted t then None
+    else
+    let head = A.get t.head in
+    let tail = A.get t.tail in
+    if head = tail then begin
+      if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop_empty;
+      None
+    end
+    else begin
+      let idx = head land t.mask in
+      let v = t.slots.(idx) in
+      t.slots.(idx) <- t.dummy;
+      A.set t.head (head + 1);
+      if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_pop;
+      Some v
+    end
+
+  let rec pop_with t b out =
+    if pop_into t out then out.value
+    else begin
+      Backoff.once b;
+      pop_with t b out
+    end
+
+  let pop t = pop_with t (Backoff.create ()) (make_out t)
+
+  let length t = A.get t.tail - A.get t.head
+end
+
+include Make (Atomic_intf.Passthrough)

@@ -10,74 +10,20 @@
     boxing.  A caller-supplied [dummy] element fills empty slots so the GC
     never sees stale pointers; emptiness is decided by the indices alone,
     so the dummy may legitimately also occur in the stream.  With
-    {!pop_into} / {!push_batch} / {!pop_batch_into} and the [_with]
+    {!S.pop_into} / {!S.push_batch} / {!S.pop_batch_into} and the [_with]
     blocking variants, a steady-state producer/consumer pair allocates
-    nothing. *)
+    nothing.
 
-type 'a t
+    The algorithm is written once, as {!Make} over
+    {!Atomic_intf.ATOMIC}; the toplevel module is the zero-cost stdlib
+    instantiation (same interface and behavior as ever), while the model
+    checker ([doradd_chk]) instantiates {!Make} with a traced atomic and
+    enumerates the interleavings of the very same code. *)
 
-type 'a out = { mutable value : 'a }
-(** Preallocated out-cell for {!pop_into}: create one per consumer and
-    reuse it. *)
+module type S = Spsc_intf.S
 
-val create : dummy:'a -> capacity:int -> 'a t
-(** [create ~dummy ~capacity] allocates the ring; capacity is rounded up
-    to a power of two (the paper uses depth 4).
-    @raise Invalid_argument if [capacity <= 0] or
-    [capacity > Capacity.max_capacity]. *)
+module Make (A : Atomic_intf.ATOMIC) : S
+(** The ring over an arbitrary atomic implementation (model checking). *)
 
-val capacity : 'a t -> int
-
-val dummy : 'a t -> 'a
-
-val make_out : 'a t -> 'a out
-(** A fresh out-cell initialised to the queue's dummy. *)
-
-val try_push : 'a t -> 'a -> bool
-(** Producer side.  Returns [false] when full. *)
-
-val push : 'a t -> 'a -> unit
-(** Producer side; spins with backoff until space is available
-    (backpressure, as in the paper).  Allocates a fresh backoff — use
-    {!push_with} on allocation-sensitive paths. *)
-
-val push_with : 'a t -> Backoff.t -> 'a -> unit
-(** Blocking push spinning on a caller-owned backoff (zero-alloc). *)
-
-val push_batch : 'a t -> 'a array -> len:int -> bool
-(** [push_batch t items ~len] publishes [items.(0 .. len-1)] with a single
-    tail store.  All-or-nothing: returns [false] (nothing written) when
-    fewer than [len] slots are free.
-    @raise Invalid_argument if [len < 0] or [len > Array.length items]. *)
-
-val pop_into : 'a t -> 'a out -> bool
-(** Zero-alloc pop: on success writes the element into [out.value] and
-    returns [true]; on empty leaves [out] untouched and returns [false]. *)
-
-val pop_batch_into : 'a t -> 'a array -> int
-(** Drain up to [Array.length scratch] available elements with a single
-    head store; returns the count written to [scratch.(0 ..)] (0 when
-    empty). *)
-
-val try_pop : 'a t -> 'a option
-(** Consumer side.  Returns [None] when empty.  Allocating convenience
-    wrapper — hot paths use {!pop_into}. *)
-
-val pop : 'a t -> 'a
-(** Consumer side; spins with backoff until an element arrives.
-    Allocates — use {!pop_with} on hot paths. *)
-
-val pop_with : 'a t -> Backoff.t -> 'a out -> 'a
-(** Blocking pop through a caller-owned backoff and out-cell
-    (zero-alloc). *)
-
-val length : 'a t -> int
-(** Snapshot of the current occupancy (racy, for monitoring only). *)
-
-val set_faults : 'a t -> push:(unit -> bool) option -> pop:(unit -> bool) option -> unit
-(** Arm deterministic fault hooks: spurious full on the push variants,
-    spurious empty on the pop variants.  Same contract and caveats as
-    {!Mpmc.set_faults}; in particular never arm the pop side of a queue
-    whose consumer uses emptiness as an end-of-stream signal. *)
-
-val clear_faults : 'a t -> unit
+include S
+(** The production instantiation: [Make (Atomic_intf.Passthrough)]. *)

@@ -1,0 +1,74 @@
+(** Interface of the SPSC ring, shared by every instantiation of
+    [Spsc.Make] (the production passthrough and the model checker's
+    traced build).  Lives in its own module so the signature is written
+    once. *)
+
+module type S = sig
+  type 'a t
+
+  type 'a out = { mutable value : 'a }
+  (** Preallocated out-cell for {!pop_into}: create one per consumer and
+      reuse it. *)
+
+  val create : dummy:'a -> capacity:int -> 'a t
+  (** [create ~dummy ~capacity] allocates the ring; capacity is rounded up
+      to a power of two (the paper uses depth 4).
+      @raise Invalid_argument if [capacity <= 0] or
+      [capacity > Capacity.max_capacity]. *)
+
+  val capacity : 'a t -> int
+
+  val dummy : 'a t -> 'a
+
+  val make_out : 'a t -> 'a out
+  (** A fresh out-cell initialised to the queue's dummy. *)
+
+  val try_push : 'a t -> 'a -> bool
+  (** Producer side.  Returns [false] when full. *)
+
+  val push : 'a t -> 'a -> unit
+  (** Producer side; spins with backoff until space is available
+      (backpressure, as in the paper).  Allocates a fresh backoff — use
+      {!push_with} on allocation-sensitive paths. *)
+
+  val push_with : 'a t -> Backoff.t -> 'a -> unit
+  (** Blocking push spinning on a caller-owned backoff (zero-alloc). *)
+
+  val push_batch : 'a t -> 'a array -> len:int -> bool
+  (** [push_batch t items ~len] publishes [items.(0 .. len-1)] with a single
+      tail store.  All-or-nothing: returns [false] (nothing written) when
+      fewer than [len] slots are free.
+      @raise Invalid_argument if [len < 0] or [len > Array.length items]. *)
+
+  val pop_into : 'a t -> 'a out -> bool
+  (** Zero-alloc pop: on success writes the element into [out.value] and
+      returns [true]; on empty leaves [out] untouched and returns [false]. *)
+
+  val pop_batch_into : 'a t -> 'a array -> int
+  (** Drain up to [Array.length scratch] available elements with a single
+      head store; returns the count written to [scratch.(0 ..)] (0 when
+      empty). *)
+
+  val try_pop : 'a t -> 'a option
+  (** Consumer side.  Returns [None] when empty.  Allocating convenience
+      wrapper — hot paths use {!pop_into}. *)
+
+  val pop : 'a t -> 'a
+  (** Consumer side; spins with backoff until an element arrives.
+      Allocates — use {!pop_with} on hot paths. *)
+
+  val pop_with : 'a t -> Backoff.t -> 'a out -> 'a
+  (** Blocking pop through a caller-owned backoff and out-cell
+      (zero-alloc). *)
+
+  val length : 'a t -> int
+  (** Snapshot of the current occupancy (racy, for monitoring only). *)
+
+  val set_faults : 'a t -> push:(unit -> bool) option -> pop:(unit -> bool) option -> unit
+  (** Arm deterministic fault hooks: spurious full on the push variants,
+      spurious empty on the pop variants.  Same contract and caveats as
+      {!Mpmc.S.set_faults}; in particular never arm the pop side of a queue
+      whose consumer uses emptiness as an end-of-stream signal. *)
+
+  val clear_faults : 'a t -> unit
+end

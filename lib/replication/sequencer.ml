@@ -2,13 +2,63 @@ module Mpmc = Doradd_queue.Mpmc
 module Backoff = Doradd_queue.Backoff
 module Wal = Doradd_persist.Wal
 
+(* The lock-free heart of the sequencer: the append-before-deliver
+   publication protocol.  The sequencer domain is the single writer; any
+   thread may read.  Ordering contract: the log entry is published
+   (atomically) BEFORE the request is delivered, and the delivered
+   counter is bumped only after delivery — so a reader that observes
+   [delivered = n] is guaranteed to find at least [n] entries in the log.
+   Functorized over the atomics so the model checker can enumerate every
+   writer/reader interleaving of exactly this code. *)
+module Publication = struct
+  module type S = sig
+    type 'req t
+
+    val create : unit -> 'req t
+    val publish : 'req t -> 'req -> deliver:('req -> unit) -> unit
+    val delivered : 'req t -> int
+    val log_newest_first : 'req t -> 'req list
+    val snapshot : 'req t -> int * 'req list
+  end
+
+  module Make (A : Doradd_queue.Atomic_intf.ATOMIC) = struct
+    type 'req t = {
+      log : 'req list A.t; (* newest first; written by the sequencer domain *)
+      delivered : int A.t;
+    }
+
+    let create () = { log = A.make []; delivered = A.make 0 }
+
+    let publish t req ~deliver =
+      (* single-writer: plain read-modify-write is race-free; the A.set
+         publishes the new head to log readers *)
+      A.set t.log (req :: A.get t.log);
+      deliver req;
+      A.incr t.delivered
+
+    let delivered t = A.get t.delivered
+
+    let log_newest_first t = A.get t.log
+
+    (* Read [delivered] BEFORE the log: append-before-deliver means the
+       log read that follows must already cover every delivered entry —
+       the watermark-monotonicity invariant chk's seq-watermark scenario
+       checks. *)
+    let snapshot t =
+      let d = A.get t.delivered in
+      let l = A.get t.log in
+      (d, l)
+  end
+
+  include Make (Doradd_queue.Atomic_intf.Passthrough)
+end
+
 type 'req durability = { wal : Wal.t; encode : 'req -> string }
 
 type 'req t = {
   input : 'req option Mpmc.t; (* None = shutdown *)
   domain : unit Domain.t;
-  delivered : int Atomic.t;
-  log : 'req list Atomic.t; (* newest first; written by the sequencer domain *)
+  pub : 'req Publication.t;
   wal : Wal.t option;
   mutable stopped : bool;
 }
@@ -16,19 +66,15 @@ type 'req t = {
 let create ?(queue_capacity = 4096) ?durability ?(max_batch = 64) ~deliver () =
   if max_batch < 1 then invalid_arg "Sequencer.create: max_batch < 1";
   let input = Mpmc.create ~dummy:None ~capacity:queue_capacity in
-  let delivered = Atomic.make 0 in
-  let log = Atomic.make [] in
+  let pub = Publication.create () in
   let domain =
     Domain.spawn (fun () ->
         let b = Backoff.create () in
         let seqno = ref 0 in
         let publish req =
-          (* single-writer: plain read-modify-write is race-free; the
-             Atomic.set publishes the new head to log_prefix readers *)
-          Atomic.set log (req :: Atomic.get log);
-          deliver ~seqno:!seqno req;
-          incr seqno;
-          Atomic.incr delivered
+          Publication.publish pub req ~deliver:(fun req ->
+              deliver ~seqno:!seqno req;
+              incr seqno)
         in
         match durability with
         | None ->
@@ -78,13 +124,13 @@ let create ?(queue_capacity = 4096) ?durability ?(max_batch = 64) ~deliver () =
           loop ())
   in
   let wal = Option.map (fun (d : _ durability) -> d.wal) durability in
-  { input; domain; delivered; log; wal; stopped = false }
+  { input; domain; pub; wal; stopped = false }
 
 let submit t req =
   if t.stopped then invalid_arg "Sequencer.submit: stopped";
   Mpmc.push t.input (Some req)
 
-let delivered t = Atomic.get t.delivered
+let delivered t = Publication.delivered t.pub
 
 let durable_watermark t = match t.wal with None -> -1 | Some w -> Wal.durable_seqno w
 
@@ -96,7 +142,7 @@ let stop t =
   end
 
 let log_prefix t =
-  let arr = Array.of_list (Atomic.get t.log) in
+  let arr = Array.of_list (Publication.log_newest_first t.pub) in
   (* stored newest-first *)
   let n = Array.length arr in
   Array.init n (fun i -> arr.(n - 1 - i))

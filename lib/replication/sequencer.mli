@@ -24,6 +24,42 @@
     capped at [max_batch] — so fsync cost amortises under load without
     adding idle latency. *)
 
+(** The sequencer's lock-free publication core, exposed for the model
+    checker: the log entry is published {e before} delivery, and the
+    delivered watermark is bumped only {e after} delivery, so a reader
+    observing [delivered = n] must find at least [n] log entries
+    ({!Publication.S.snapshot} reads in exactly that order).  The
+    toplevel instantiation is the zero-cost stdlib one the sequencer
+    domain below runs; [doradd_chk]'s seq-watermark scenario instantiates
+    {!Publication.Make} with a traced atomic and enumerates every
+    writer/reader interleaving. *)
+module Publication : sig
+  module type S = sig
+    type 'req t
+
+    val create : unit -> 'req t
+
+    val publish : 'req t -> 'req -> deliver:('req -> unit) -> unit
+    (** Single writer only: append to the log, deliver, then bump the
+        delivered watermark. *)
+
+    val delivered : 'req t -> int
+    (** Any thread: requests delivered so far. *)
+
+    val log_newest_first : 'req t -> 'req list
+    (** Any thread: the published log, newest entry first. *)
+
+    val snapshot : 'req t -> int * 'req list
+    (** Any thread: [(delivered, log_newest_first)], reading the
+        watermark first — append-before-deliver guarantees
+        [List.length log >= delivered]. *)
+  end
+
+  module Make (A : Doradd_queue.Atomic_intf.ATOMIC) : S
+
+  include S
+end
+
 type 'req t
 
 type 'req durability = {

@@ -1,4 +1,3 @@
-module Rng = Doradd_stats.Rng
 module Distributions = Doradd_stats.Distributions
 
 let schedule_all ~engine ~start ~gaps ~log ~sink =

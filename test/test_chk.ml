@@ -1,0 +1,273 @@
+(* Tests for the lib/chk model checker itself.
+
+   The checker is the layer we trust to find interleaving bugs in the
+   lock-free kernel, so it gets its own correctness net:
+   - every registry scenario explores clean at a small bound;
+   - both planted-bug twins are FOUND, and the shrunk counterexample
+     replays to the same violation (the checker's canary);
+   - DPOR is cross-validated against brute-force full enumeration: same
+     set of reachable final-state digests, never more executions — on
+     the real scenarios, on a handcrafted fully-independent program
+     (where the reduction must be strict), and on qcheck-random 2-3
+     process micro-programs over 1-2 shared atomics. *)
+
+module Chk = Doradd_chk
+module Engine = Chk.Engine
+module Scenarios = Chk.Scenarios
+module Tatomic = Chk.Tatomic
+
+let explore_digests ?mode prog =
+  let tbl = Hashtbl.create 64 in
+  let r = Engine.explore ?mode ~on_final:(fun d -> Hashtbl.replace tbl d ()) prog in
+  let digests = List.sort compare (Hashtbl.fold (fun d () acc -> d :: acc) tbl []) in
+  (r, digests)
+
+let stats_of = function
+  | Engine.Ok st | Engine.Violation { stats = st; _ } | Engine.Limit { stats = st; _ } -> st
+
+(* -- registry scenarios ----------------------------------------------- *)
+
+let test_registry_clean () =
+  List.iter
+    (fun (s : Scenarios.t) ->
+      match Engine.explore (s.Scenarios.make ~bound:1) with
+      | Engine.Ok st ->
+        Alcotest.(check bool)
+          (s.Scenarios.name ^ " explored something")
+          true (st.Engine.executions > 0)
+      | Engine.Violation { name; schedule; _ } ->
+        Alcotest.failf "%s: unexpected violation %s (schedule %s)" s.Scenarios.name name
+          (Engine.schedule_to_string schedule)
+      | Engine.Limit { what; _ } -> Alcotest.failf "%s: hit limit: %s" s.Scenarios.name what)
+    (Scenarios.registry ())
+
+let test_exploration_deterministic () =
+  List.iter
+    (fun (s : Scenarios.t) ->
+      let r1, d1 = explore_digests (s.Scenarios.make ~bound:1) in
+      let r2, d2 = explore_digests (s.Scenarios.make ~bound:1) in
+      Alcotest.(check int)
+        (s.Scenarios.name ^ " same executions")
+        (stats_of r1).Engine.executions (stats_of r2).Engine.executions;
+      Alcotest.(check (list string)) (s.Scenarios.name ^ " same digests") d1 d2)
+    (Scenarios.registry ())
+
+(* -- planted bugs ------------------------------------------------------ *)
+
+let test_planted_found () =
+  List.iter
+    (fun (s : Scenarios.t) ->
+      let expect = Option.get s.Scenarios.expect in
+      let prog = s.Scenarios.make ~bound:2 in
+      match Engine.explore prog with
+      | Engine.Violation { name; schedule; _ } ->
+        Alcotest.(check string) (s.Scenarios.name ^ " violation name") expect name;
+        let shrunk = Engine.shrink prog ~name schedule in
+        Alcotest.(check bool)
+          (s.Scenarios.name ^ " shrunk no longer")
+          true
+          (List.length shrunk <= List.length schedule);
+        (match Engine.run_schedule prog shrunk with
+        | Engine.Replay_violation { name = name'; _ } ->
+          Alcotest.(check string) (s.Scenarios.name ^ " replayed violation") expect name'
+        | Engine.Replay_ok -> Alcotest.failf "%s: shrunk schedule replays clean" s.Scenarios.name
+        | Engine.Replay_invalid why ->
+          Alcotest.failf "%s: shrunk schedule invalid: %s" s.Scenarios.name why)
+      | Engine.Ok _ -> Alcotest.failf "%s: planted bug MISSED" s.Scenarios.name
+      | Engine.Limit { what; _ } ->
+        Alcotest.failf "%s: limit before finding bug: %s" s.Scenarios.name what)
+    (Scenarios.planted ())
+
+(* -- DPOR vs brute-force cross-validation ------------------------------ *)
+
+let check_dpor_matches_brute ?(strict = false) name prog =
+  let rb, db = explore_digests ~mode:`Brute prog in
+  let rd, dd = explore_digests ~mode:`Dpor prog in
+  (match (rb, rd) with
+  | Engine.Ok _, Engine.Ok _ -> ()
+  | _ -> Alcotest.failf "%s: non-Ok exploration" name);
+  Alcotest.(check (list string)) (name ^ ": same reachable final states") db dd;
+  let eb = (stats_of rb).Engine.executions and ed = (stats_of rd).Engine.executions in
+  if strict then
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: dpor strictly fewer (%d < %d)" name ed eb)
+      true (ed < eb)
+  else
+    Alcotest.(check bool) (Printf.sprintf "%s: dpor <= brute (%d <= %d)" name ed eb) true (ed <= eb)
+
+let test_scenarios_vs_brute () =
+  List.iter
+    (fun name ->
+      let s = Option.get (Scenarios.find name) in
+      check_dpor_matches_brute name (s.Scenarios.make ~bound:1))
+    [ "spsc-push-pop"; "spsc-batch"; "spsc-out-alias"; "mpmc-cap1"; "pool-recycle"; "seq-watermark" ]
+
+(* Two processes on disjoint atomics: every interleaving is equivalent,
+   so DPOR must collapse the 2-process diamond to a single execution
+   while brute explores all of them. *)
+let test_independent_strict_reduction () =
+  let prog () =
+    let a = Tatomic.make 0 and b = Tatomic.make 0 in
+    let pa () =
+      Tatomic.set a 1;
+      Tatomic.set a 2
+    in
+    let pb () =
+      Tatomic.set b 1;
+      Tatomic.set b 2
+    in
+    {
+      Engine.processes = [| pa; pb |];
+      final_check =
+        (fun () ->
+          Tatomic.check "final-a" (Tatomic.get a = 2);
+          Tatomic.check "final-b" (Tatomic.get b = 2));
+      digest = (fun () -> Printf.sprintf "%d/%d" (Tatomic.get a) (Tatomic.get b));
+    }
+  in
+  check_dpor_matches_brute ~strict:true "independent-2x2" prog;
+  let rd, _ = explore_digests ~mode:`Dpor prog in
+  Alcotest.(check int) "independent program needs exactly 1 execution" 1
+    (stats_of rd).Engine.executions;
+  let rb, _ = explore_digests ~mode:`Brute prog in
+  (* 4 steps, choose 2 for process a: C(4,2) = 6 interleavings *)
+  Alcotest.(check int) "brute explores the full diamond" 6 (stats_of rb).Engine.executions
+
+(* -- qcheck micro-programs -------------------------------------------- *)
+
+type mop = MGet | MSet of int | MFaa of int | MCas of int * int
+
+let mop_to_string (o, op) =
+  match op with
+  | MGet -> Printf.sprintf "g%d" o
+  | MSet v -> Printf.sprintf "s%d=%d" o v
+  | MFaa n -> Printf.sprintf "f%d+%d" o n
+  | MCas (a, b) -> Printf.sprintf "c%d:%d>%d" o a b
+
+let micro_program nobjs (procs : (int * mop) list array) () =
+  let objs = Array.init nobjs (fun _ -> Tatomic.make 0) in
+  let logs = Array.map (fun _ -> ref []) procs in
+  let run i () =
+    List.iter
+      (fun (o, op) ->
+        let r = objs.(o) in
+        let log v = logs.(i) := v :: !(logs.(i)) in
+        match op with
+        | MGet -> log (Tatomic.get r)
+        | MSet v ->
+          Tatomic.set r v;
+          log (-1)
+        | MFaa n -> log (Tatomic.fetch_and_add r n)
+        | MCas (a, b) -> log (if Tatomic.compare_and_set r a b then 1 else 0))
+      procs.(i)
+  in
+  {
+    Engine.processes = Array.init (Array.length procs) run;
+    final_check = (fun () -> ());
+    digest =
+      (fun () ->
+        let vals =
+          String.concat "," (Array.to_list (Array.map (fun r -> string_of_int (Tatomic.get r)) objs))
+        in
+        let obs =
+          String.concat "|"
+            (Array.to_list
+               (Array.map (fun l -> String.concat "," (List.rev_map string_of_int !l)) logs))
+        in
+        vals ^ "#" ^ obs);
+  }
+
+let micro_gen =
+  let open QCheck.Gen in
+  int_range 1 2 >>= fun nobjs ->
+  int_range 2 3 >>= fun nprocs ->
+  let op =
+    int_range 0 (nobjs - 1) >>= fun o ->
+    oneof
+      [
+        return (o, MGet);
+        (int_range 1 3 >|= fun v -> (o, MSet v));
+        return (o, MFaa 1);
+        (pair (int_range 0 2) (int_range 1 3) >|= fun (a, b) -> (o, MCas (a, b)));
+      ]
+  in
+  list_size (int_range 1 3) op |> list_repeat nprocs >|= fun ops -> (nobjs, Array.of_list ops)
+
+let micro_print (nobjs, procs) =
+  Printf.sprintf "objs=%d procs=[%s]" nobjs
+    (String.concat " ; "
+       (Array.to_list (Array.map (fun l -> String.concat "," (List.map mop_to_string l)) procs)))
+
+let micro_qcheck =
+  QCheck.Test.make ~count:60 ~name:"dpor = brute on random micro-programs"
+    (QCheck.make ~print:micro_print micro_gen)
+    (fun (nobjs, procs) ->
+      let prog = micro_program nobjs procs in
+      let rb, db = explore_digests ~mode:`Brute prog in
+      let rd, dd = explore_digests ~mode:`Dpor prog in
+      match (rb, rd) with
+      | Engine.Ok sb, Engine.Ok sd ->
+        if db <> dd then QCheck.Test.fail_reportf "digest sets differ";
+        if sd.Engine.executions > sb.Engine.executions then
+          QCheck.Test.fail_reportf "dpor explored more than brute (%d > %d)" sd.Engine.executions
+            sb.Engine.executions;
+        true
+      | _ -> QCheck.Test.fail_reportf "non-Ok exploration")
+
+(* -- engine plumbing --------------------------------------------------- *)
+
+let test_schedule_strings () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (list int))
+        "roundtrip" s
+        (Engine.schedule_of_string (Engine.schedule_to_string s)))
+    [ []; [ 0 ]; [ 0; 1; 0; 2 ] ];
+  Alcotest.(check int) "switches" 3 (Engine.switches [ 0; 0; 1; 0; 0; 2 ])
+
+let test_preemption_bound () =
+  let s = Option.get (Scenarios.find "spsc-push-pop") in
+  let prog = s.Scenarios.make ~bound:2 in
+  let unbounded = Engine.explore prog in
+  let bounded = Engine.explore ~preemption_bound:0 prog in
+  match (unbounded, bounded) with
+  | Engine.Ok su, Engine.Ok sb ->
+    Alcotest.(check bool)
+      (Printf.sprintf "bounded explores no more (%d <= %d)" sb.Engine.executions
+         su.Engine.executions)
+      true
+      (sb.Engine.executions <= su.Engine.executions)
+  | _ -> Alcotest.fail "non-Ok exploration"
+
+let test_run_inline () =
+  let n =
+    Engine.run_inline (fun () ->
+        let a = Tatomic.make 1 in
+        Tatomic.set a (Tatomic.get a + 41);
+        Tatomic.get a)
+  in
+  Alcotest.(check int) "run_inline executes traced code" 42 n
+
+let () =
+  Alcotest.run "chk"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "registry clean at bound 1" `Quick test_registry_clean;
+          Alcotest.test_case "exploration is deterministic" `Quick test_exploration_deterministic;
+          Alcotest.test_case "planted bugs found + shrunk repro replays" `Quick test_planted_found;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "scenarios: dpor = brute" `Quick test_scenarios_vs_brute;
+          Alcotest.test_case "independent ops: strict reduction" `Quick
+            test_independent_strict_reduction;
+          QCheck_alcotest.to_alcotest micro_qcheck;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "schedule strings" `Quick test_schedule_strings;
+          Alcotest.test_case "preemption bounding" `Quick test_preemption_bound;
+          Alcotest.test_case "run_inline" `Quick test_run_inline;
+        ] );
+    ]

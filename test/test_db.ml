@@ -2,7 +2,6 @@
    transactions, TPC-C) on the real multicore runtime. *)
 
 module Db = Doradd_db
-module Core = Doradd_core
 module Rng = Doradd_stats.Rng
 
 let checkb = Alcotest.check Alcotest.bool
