@@ -424,12 +424,85 @@ let run_gates () =
   let alloc_ok = run_alloc_gate () in
   if not (obs_ok && alloc_ok) then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: sharded-scaling sweep (simulated, EXPERIMENTS.md table)     *)
+(* ------------------------------------------------------------------ *)
+
+module B = Doradd_baselines
+module W = Doradd_workload
+
+(* Peak TPCC-NP throughput of the sharded model over shards × cross-shard
+   ratio.  Per-shard resources are constant (workers_per_shard, one
+   dispatcher pipeline each), so the sweep measures scale-out: how far the
+   sequencer-merge design lifts the serial-dispatcher ceiling, and what
+   cross-shard synchronisation costs. *)
+let sharded_grid () =
+  let warehouses = 64 and workers_per_shard = 5 and n = 20_000 in
+  let partition k = W.Tpcc.partition_key ~warehouses k in
+  List.concat_map
+    (fun cross ->
+      let txns = W.Tpcc.generate ~remote_pct:cross ~warehouses (St.Rng.create 42) ~n in
+      let log = W.Tpcc.to_sim ~split:false txns in
+      List.map
+        (fun shards ->
+          let cfg =
+            B.M_sharded.config ~shards ~workers_per_shard ~partition ~keys_per_req:0 ()
+          in
+          (cross, shards, B.M_sharded.max_throughput cfg ~log))
+        [ 1; 2; 4; 8 ])
+    [ 0; 10; 50 ]
+
+let run_sharded ~json =
+  let grid = sharded_grid () in
+  if json then begin
+    (* machine-readable, one object per config: the CI scaling artifact *)
+    print_string "[\n";
+    List.iteri
+      (fun i (cross, shards, tput) ->
+        let base =
+          List.find_map
+            (fun (c, s, t) -> if c = cross && s = 1 then Some t else None)
+            grid
+        in
+        let speedup = match base with Some b when b > 0.0 -> tput /. b | _ -> 1.0 in
+        Printf.printf
+          "  {\"cross_pct\": %d, \"shards\": %d, \"throughput_rps\": %.0f, \"speedup\": %.2f}%s\n"
+          cross shards tput speedup
+          (if i = List.length grid - 1 then "" else ","))
+      grid;
+    print_string "]\n"
+  end
+  else begin
+    print_endline "=== Sharded scaling (simulated TPCC-NP, 64 warehouses) ===";
+    let rows =
+      List.map
+        (fun (cross, shards, tput) ->
+          let base =
+            List.find_map
+              (fun (c, s, t) -> if c = cross && s = 1 then Some t else None)
+              grid
+          in
+          let speedup = match base with Some b when b > 0.0 -> tput /. b | _ -> 1.0 in
+          [
+            Printf.sprintf "%d%%" cross;
+            string_of_int shards;
+            St.Table.fmt_rate tput;
+            Printf.sprintf "%.2fx" speedup;
+          ])
+        grid
+    in
+    St.Table.print ~header:[ "cross-shard"; "shards"; "throughput"; "speedup" ] rows;
+    print_newline ()
+  end
+
 let () =
   (* `bench/main.exe micro` skips the (slow) figure regeneration and runs
      only the host microbenchmarks; `bench/main.exe gates` runs only the
      two regression gates (disarmed-guard overhead + hot-path allocation)
      — the fast PR-blocking CI step. *)
   if Array.exists (( = ) "gates") Sys.argv then run_gates ()
+  else if Array.exists (( = ) "sharded-json") Sys.argv then run_sharded ~json:true
+  else if Array.exists (( = ) "sharded") Sys.argv then run_sharded ~json:false
   else begin
     if Array.exists (( = ) "micro") Sys.argv then begin
       run_real_runtime_bench ();

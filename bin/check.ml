@@ -404,6 +404,73 @@ let recovery_smoke ~seed =
     (List.map snd rows);
   List.for_all fst rows
 
+(* -- sharded tier: N dispatcher pipelines vs serial ------------------- *)
+
+(* The sharded determinism contract, end to end on the real runtime:
+   final digest, per-request results, AND per-resource commit order must
+   be invariant in the shard count — for a KV mix with genuine
+   cross-shard transactions and for TPCC-NP with remote order lines. *)
+let sharded_tier ~seed ~n ~shards =
+  let shard_counts = List.sort_uniq compare [ 1; 2; shards ] in
+  let n = min n 2_000 in
+  let kv_rows =
+    let n_keys = 96 in
+    let rng = Rng.create (seed lxor 0x0073_6872) in
+    let txns =
+      Array.init n (fun id ->
+          let ops =
+            Array.init
+              (1 + Rng.int rng 4)
+              (fun _ ->
+                {
+                  Db.Kv.key = Rng.int rng n_keys;
+                  kind = (if Rng.int rng 4 = 0 then Db.Kv.Read else Db.Kv.Update);
+                })
+          in
+          { Db.Kv.id; ops })
+    in
+    let sd, sr, so = Db.Sharded_kv.run_serial ~n_keys txns in
+    List.map
+      (fun k ->
+        let d, r, o = Db.Sharded_kv.run_sharded ~workers_per_shard:2 ~shards:k ~n_keys txns in
+        let ok = d = sd && r = sr && o = so in
+        ( ok,
+          [
+            "kv"; string_of_int k;
+            (if d = sd then "ok" else "DIVERGES");
+            (if r = sr then "ok" else "DIVERGES");
+            (if o = so then "ok" else "DIVERGES");
+            (if ok then "PASS" else "FAIL");
+          ] ))
+      shard_counts
+  in
+  let tpcc_rows =
+    let cfg = { Db.Tpcc_db.warehouses = 8; customers_per_district = 40; items = 400 } in
+    let gen = Db.Tpcc_db.create cfg in
+    let txns = Db.Tpcc_db.generate ~remote_pct:10 gen (Rng.create (seed lxor 0x0074_7063)) ~n in
+    let reference = Db.Tpcc_db.create cfg in
+    Db.Tpcc_db.run_sequential reference txns;
+    let expected = Db.Tpcc_db.digest reference in
+    List.map
+      (fun k ->
+        let db = Db.Tpcc_db.create cfg in
+        Db.Tpcc_db.run_sharded ~workers_per_shard:2 ~shards:k db txns;
+        let ok = Db.Tpcc_db.digest db = expected in
+        ( ok,
+          [
+            "tpcc-np 10% remote"; string_of_int k;
+            (if ok then "ok" else "DIVERGES"); "-"; "-";
+            (if ok then "PASS" else "FAIL");
+          ] ))
+      shard_counts
+  in
+  let rows = kv_rows @ tpcc_rows in
+  Table.print
+    ~title:(Printf.sprintf "doradd-check: sharded runtime (up to %d shards) vs serial" shards)
+    ~header:[ "application"; "shards"; "digest"; "results"; "commit order"; "verdict" ]
+    (List.map snd rows);
+  List.for_all fst rows
+
 open Cmdliner
 
 let iterations_arg =
@@ -443,6 +510,14 @@ let chk_bound_arg =
         ~doc:"Per-process op bound for the model-checker tier (0 skips the tier; the deep \
               sweep lives in chk.exe).")
 
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Run the sharded-runtime tier with up to N dispatcher pipelines (0 skips \
+              the tier): digest, result, and commit-order invariance of the sharded \
+              runtime vs serial for KV and cross-shard TPCC-NP.")
+
 let recovery_arg =
   Arg.(
     value & flag
@@ -450,7 +525,7 @@ let recovery_arg =
         ~doc:"Run the crash-recovery smoke tier: kill/recover/verify cycles with real \
               fsync across the WAL/snapshot crash points.")
 
-let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery names =
+let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery shards names =
   let selected =
     if List.mem "all" names then apps
     else
@@ -478,6 +553,7 @@ let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery names
     let obs_ok = no_obs || obs_smoke ~seed ~n in
     let chk_ok = chk_bound <= 0 || chk_smoke ~bound:chk_bound in
     let recovery_ok = (not recovery) || recovery_smoke ~seed in
+    let sharded_ok = shards <= 0 || sharded_tier ~seed ~n ~shards in
     let failures =
       List.filter_map
         (fun (ok, msg) -> if ok then None else Some msg)
@@ -488,6 +564,7 @@ let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery names
           (obs_ok, "observability smoke tier failed");
           (chk_ok, "model-checker tier failed");
           (recovery_ok, "crash-recovery smoke tier failed");
+          (sharded_ok, "sharded determinism tier failed");
         ]
     in
     match failures with [] -> `Ok () | msg :: _ -> `Error (false, msg)
@@ -500,6 +577,6 @@ let cmd =
     Term.(
       ret
         (const main $ iterations_arg $ seed_arg $ size_arg $ no_sanitize_arg $ dst_seeds_arg
-       $ no_obs_arg $ chk_bound_arg $ recovery_arg $ apps_arg))
+       $ no_obs_arg $ chk_bound_arg $ recovery_arg $ shards_arg $ apps_arg))
 
 let () = exit (Cmd.eval cmd)

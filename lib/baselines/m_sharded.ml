@@ -1,0 +1,227 @@
+module Engine = Doradd_sim.Engine
+module Sim_req = Doradd_sim.Sim_req
+module Metrics = Doradd_sim.Metrics
+module Int_table = Doradd_sim.Int_table
+
+type config = {
+  shards : int;
+  workers_per_shard : int;
+  dispatch_cores : int;
+  sequencer_ns : int;
+  dispatch_ns : int;
+  worker_overhead_ns : int;
+  cross_check_ns : int;
+  service_extra_ns : int;
+  rw : bool;
+  partition : int -> int;
+}
+
+let config ?(shards = 4) ?(workers_per_shard = 5) ?(dispatch_cores = 3)
+    ?(sequencer_ns = Params.handler_ns) ?dispatch_ns
+    ?(worker_overhead_ns = Params.worker_overhead_ns)
+    ?(cross_check_ns = 2 * Params.lock_atomic_ns) ?(service_extra_ns = 0) ?(rw = false)
+    ?partition ~keys_per_req () =
+  if shards <= 0 then invalid_arg "M_sharded.config: shards";
+  if workers_per_shard <= 0 then invalid_arg "M_sharded.config: workers_per_shard";
+  let dispatch_ns =
+    match dispatch_ns with
+    | Some d -> d
+    | None -> if keys_per_req <= 0 then -1 else Params.dispatch_ns ~keys:keys_per_req
+  in
+  let partition =
+    match partition with Some f -> f | None -> fun k -> abs k mod shards
+  in
+  { shards; workers_per_shard; dispatch_cores; sequencer_ns; dispatch_ns;
+    worker_overhead_ns; cross_check_ns; service_extra_ns; rw; partition }
+
+(* Per-shard participant of one request (mirrors the runtime's cross-shard
+   protocol): the request's footprint restricted to this shard, linked into
+   this shard's DAG.  Dependents are released only when the whole request
+   commits — a participant holds its restricted footprint while parked. *)
+type pnode = {
+  shard : int;
+  reads : int list;
+  writes : int list;
+  commutes : int list;
+  rnode : rnode;
+  mutable join : int;
+  mutable dependents : pnode list;
+  mutable finished : bool;
+}
+
+and rnode = {
+  req : Sim_req.t;
+  body_service : int;  (* total service; charged once, on the last arriver *)
+  parts_total : int;
+  mutable arrived : int;
+  mutable parts : pnode list;  (* spawned participants, any order *)
+}
+
+type key_state = { mutable last_write : pnode option; mutable readers : pnode list }
+
+let run ?on_complete cfg ~arrivals ~log =
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  let pipeline_latency = Params.pipeline_latency_ns ~stages:cfg.dispatch_cores in
+  (* the sequencer is the only serial station every request crosses *)
+  let seq_free = ref 0 in
+  let disp_free = Array.make cfg.shards 0 in
+  (* keys are partitioned, so one table serves all shards *)
+  let keys =
+    Int_table.create ~initial_capacity:65536
+      ~dummy:{ last_write = None; readers = [] }
+      ()
+  in
+  let key_state k =
+    match Int_table.find keys k with
+    | Some s -> s
+    | None ->
+      let s = { last_write = None; readers = [] } in
+      Int_table.set keys k s;
+      s
+  in
+  let idle = Array.make cfg.shards cfg.workers_per_shard in
+  let ready = Array.init cfg.shards (fun _ -> Queue.create ()) in
+  let commit r =
+    let now = Engine.now engine in
+    Metrics.complete metrics ~arrival:r.req.Sim_req.arrival ~now;
+    (match on_complete with Some f -> f r.req ~now | None -> ());
+    r.parts
+  in
+  let rec push_ready p =
+    Queue.push p ready.(p.shard);
+    try_start p.shard
+  and resolve p =
+    p.finished <- true;
+    List.iter
+      (fun d ->
+        d.join <- d.join - 1;
+        if d.join = 0 then push_ready d)
+      (List.rev p.dependents)
+  and try_start shard =
+    if idle.(shard) > 0 && not (Queue.is_empty ready.(shard)) then begin
+      let p = Queue.pop ready.(shard) in
+      let r = p.rnode in
+      r.arrived <- r.arrived + 1;
+      idle.(shard) <- idle.(shard) - 1;
+      let now = Engine.now engine in
+      if r.arrived = r.parts_total then
+        (* last arriver: every participant's footprint is held across all
+           shards, so this worker runs the whole body, then commits *)
+        Engine.schedule_at engine
+          (now + cfg.worker_overhead_ns + r.body_service)
+          (fun () ->
+            let parts = commit r in
+            idle.(shard) <- idle.(shard) + 1;
+            List.iter resolve parts;
+            try_start shard)
+      else
+        (* early arriver: record arrival and park.  The worker is freed —
+           a parked participant costs no core — but its dependents stay
+           blocked until the commit above resolves them. *)
+        Engine.schedule_at engine
+          (now + cfg.cross_check_ns)
+          (fun () ->
+            idle.(shard) <- idle.(shard) + 1;
+            try_start shard);
+      try_start shard
+    end
+  in
+  let register node pred =
+    if pred != node && not pred.finished then begin
+      node.join <- node.join + 1;
+      pred.dependents <- node :: pred.dependents
+    end
+  in
+  let link_exclusive node k =
+    let s = key_state k in
+    (match s.readers with
+    | [] -> ( match s.last_write with None -> () | Some p -> register node p)
+    | readers -> List.iter (register node) readers);
+    s.last_write <- Some node;
+    s.readers <- []
+  in
+  let link_read node k =
+    let s = key_state k in
+    (match s.last_write with None -> () | Some p -> register node p);
+    s.readers <- node :: s.readers
+  in
+  (* spawn one participant: runs at this shard's dispatch completion, in
+     stamp order (the dispatcher is a serial FIFO station) *)
+  let spawn r ~shard ~reads ~writes ~commutes =
+    let node =
+      { shard; reads; writes; commutes; rnode = r; join = 0; dependents = [];
+        finished = false }
+    in
+    r.parts <- node :: r.parts;
+    if cfg.rw then begin
+      List.iter (link_read node) reads;
+      List.iter (link_exclusive node) writes;
+      List.iter (link_exclusive node) commutes
+    end
+    else begin
+      List.iter (link_exclusive node) reads;
+      List.iter (link_exclusive node) writes;
+      List.iter (link_exclusive node) commutes
+    end;
+    if node.join = 0 then push_ready node
+  in
+  (* arrival: the sequencer stamps the request and routes its restricted
+     footprint to every touched shard's dispatcher *)
+  let reads_by = Array.make cfg.shards [] in
+  let writes_by = Array.make cfg.shards [] in
+  let commutes_by = Array.make cfg.shards [] in
+  let nkeys_by = Array.make cfg.shards 0 in
+  let arrive req =
+    let now = Engine.now engine in
+    let start = max now !seq_free in
+    let stamp_done = start + cfg.sequencer_ns in
+    seq_free := stamp_done;
+    Array.fill reads_by 0 cfg.shards [];
+    Array.fill writes_by 0 cfg.shards [];
+    Array.fill commutes_by 0 cfg.shards [];
+    Array.fill nkeys_by 0 cfg.shards 0;
+    let add by k =
+      let s = cfg.partition k mod cfg.shards in
+      let s = if s < 0 then s + cfg.shards else s in
+      by.(s) <- k :: by.(s);
+      nkeys_by.(s) <- nkeys_by.(s) + 1
+    in
+    let body_service = ref 0 in
+    Array.iter
+      (fun (piece : Sim_req.piece) ->
+        body_service := !body_service + piece.service + cfg.service_extra_ns;
+        Array.iter (add reads_by) piece.reads;
+        Array.iter (add writes_by) piece.writes;
+        Array.iter (add commutes_by) piece.commutes)
+      req.Sim_req.pieces;
+    let touched = ref [] in
+    for s = cfg.shards - 1 downto 0 do
+      if nkeys_by.(s) > 0 then touched := s :: !touched
+    done;
+    let touched = match !touched with [] -> [ 0 ] | l -> l in
+    let r =
+      { req; body_service = !body_service; parts_total = List.length touched;
+        arrived = 0; parts = [] }
+    in
+    List.iter
+      (fun s ->
+        let cost =
+          if cfg.dispatch_ns >= 0 then cfg.dispatch_ns
+          else Params.spawn_base_ns + (Params.spawn_key_ns * nkeys_by.(s))
+        in
+        let dstart = max stamp_done disp_free.(s) in
+        let ddone = dstart + cost in
+        disp_free.(s) <- ddone;
+        let reads = reads_by.(s) and writes = writes_by.(s) and commutes = commutes_by.(s) in
+        Engine.schedule_at engine (ddone + pipeline_latency) (fun () ->
+            spawn r ~shard:s ~reads ~writes ~commutes))
+      touched
+  in
+  Load.drive ~engine arrivals ~log ~sink:arrive;
+  Engine.run engine;
+  metrics
+
+let max_throughput cfg ~log =
+  let m = run cfg ~arrivals:(Load.Uniform { rate = Load.overload_rate }) ~log in
+  Metrics.throughput m

@@ -1,0 +1,68 @@
+(** Event-level model of the sharded runtime ([lib/core/sharded_runtime]).
+
+    N dispatcher pipelines, each with its own worker pool and runnable
+    set; a single cheap sequencer station stamps every request and routes
+    its footprint, restricted per shard by the partition function, to
+    every touched shard's dispatcher.  Each shard links its restricted
+    footprints into its local DAG in stamp order.
+
+    Single-shard requests never synchronise: they flow arrival →
+    sequencer → home-shard dispatcher → local DAG → local worker pool,
+    exactly the {!M_doradd} pipeline with the dispatcher station
+    N-way-parallel.  Cross-shard requests follow the runtime's
+    sequence-number-merge protocol: one participant per touched shard;
+    early arrivers pay a brief arrival check on a worker and park
+    (freeing the core but holding their restricted footprint); the last
+    arriver executes the whole body and commits, releasing every
+    participant's dependents on every shard.
+
+    The model charges each shard's dispatcher only for the keys that land
+    on it, so sharding multiplies dispatcher capacity — the serial
+    dispatcher is DORADD's scaling ceiling (§5.4) and the sequencer
+    (stamp + route, no per-key work) is far cheaper, which is what the
+    sharded-scaling experiment quantifies. *)
+
+type config = {
+  shards : int;
+  workers_per_shard : int;
+  dispatch_cores : int;  (** pipeline stages per shard dispatcher *)
+  sequencer_ns : int;  (** serial stamp-and-route cost per request *)
+  dispatch_ns : int;
+      (** per-shard dispatch cost per request; negative selects the
+          per-key cost model base + per-key × restricted keys *)
+  worker_overhead_ns : int;
+  cross_check_ns : int;
+      (** early-arriver cost: pop, arrival count, park *)
+  service_extra_ns : int;  (** per-piece extra service *)
+  rw : bool;  (** honour read/write modes; [false] = every access exclusive *)
+  partition : int -> int;  (** key → shard (reduced mod [shards]) *)
+}
+
+val config :
+  ?shards:int ->
+  ?workers_per_shard:int ->
+  ?dispatch_cores:int ->
+  ?sequencer_ns:int ->
+  ?dispatch_ns:int ->
+  ?worker_overhead_ns:int ->
+  ?cross_check_ns:int ->
+  ?service_extra_ns:int ->
+  ?rw:bool ->
+  ?partition:(int -> int) ->
+  keys_per_req:int ->
+  unit ->
+  config
+(** Defaults: 4 shards × 5 workers, 3-stage dispatchers, sequencer =
+    {!Params.handler_ns}, dispatch cost from {!Params.dispatch_ns} for
+    [keys_per_req] ([<= 0] charges each shard by its restricted key
+    count), partition = [abs key mod shards]. *)
+
+val run :
+  ?on_complete:(Doradd_sim.Sim_req.t -> now:int -> unit) ->
+  config ->
+  arrivals:Load.t ->
+  log:Doradd_sim.Sim_req.t array ->
+  Doradd_sim.Metrics.t
+
+val max_throughput : config -> log:Doradd_sim.Sim_req.t array -> float
+(** Peak sustainable rate, measured under overload. *)

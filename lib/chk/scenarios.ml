@@ -264,6 +264,82 @@ let seq_watermark ~bound () =
         Printf.sprintf "delivered=%d log=%s" d (ints log));
   }
 
+(* -- cross-shard sequence-number merge -------------------------------- *)
+
+(* The sharded runtime's cross-shard protocol (lib/core/sharded_runtime)
+   on two shards, with traced atomics at exactly the shipped algorithm's
+   synchronisation points: an arrivals counter (fetch_and_add) and a
+   committed flag.  Each shard commits a local pre-suffix, then its
+   participant of one cross-shard transaction arrives; the LAST arriver —
+   and only it — runs the body and commits the transaction at its merged
+   position on both shards, then releases both post-suffixes (the model
+   of the parked participant resuming: a bounded checker cannot spin on
+   the committed flag, so the releases are driven by the committer).
+
+   The watermark-agreement invariant: when the body runs, both shards'
+   watermarks sit exactly at their pre-suffix maxima — every lower stamp
+   committed, nothing past the merge point.  The planted twin runs the
+   body eagerly on the FIRST arrival (the bug the arrivals counter
+   exists to prevent); schedules where the partner shard's pre-suffix
+   has not yet committed then violate merge-agreement. *)
+let shard_merge_make eager ~bound () =
+  let pre = min (max bound 1) 2 in
+  (* global stamps: shard 0 pre = 0..pre-1, shard 1 pre = pre..2pre-1,
+     cross = 2pre, posts above it *)
+  let pre_max0 = pre - 1 and pre_max1 = (2 * pre) - 1 in
+  let cross = 2 * pre in
+  let post0 = cross + 1 and post1 = cross + 2 in
+  let w0 = Tatomic.make (-1) and w1 = Tatomic.make (-1) in
+  let arrivals = Tatomic.make 0 in
+  let body_runs = Tatomic.make 0 in
+  let committed = Tatomic.make false in
+  let commit w st =
+    Tatomic.check "shard-watermark-monotone" (Tatomic.get w < st);
+    Tatomic.set w st
+  in
+  let run_body () =
+    Tatomic.check "merge-agreement"
+      (Tatomic.get w0 = pre_max0 && Tatomic.get w1 = pre_max1 && not (Tatomic.get committed));
+    Tatomic.incr body_runs;
+    Tatomic.set committed true;
+    (* the cross transaction commits at its merged position on BOTH
+       shards, then the committer releases both post-suffixes *)
+    commit w0 cross;
+    commit w1 cross;
+    commit w0 post0;
+    commit w1 post1
+  in
+  let arrive () =
+    let a = Tatomic.fetch_and_add arrivals 1 in
+    if eager && a = 0 then run_body () (* planted: doesn't wait for the partner *)
+    else if a = 1 && not (Tatomic.get committed) then run_body ()
+  in
+  let shard0 () =
+    for st = 0 to pre_max0 do
+      commit w0 st
+    done;
+    arrive ()
+  in
+  let shard1 () =
+    for st = pre to pre_max1 do
+      commit w1 st
+    done;
+    arrive ()
+  in
+  {
+    Engine.processes = [| shard0; shard1 |];
+    final_check =
+      (fun () ->
+        Tatomic.check "merge-committed" (Tatomic.get committed);
+        Tatomic.check "merge-exactly-once" (Tatomic.get body_runs = 1);
+        Tatomic.check "merge-final-watermarks"
+          (Tatomic.get w0 = post0 && Tatomic.get w1 = post1));
+    digest =
+      (fun () ->
+        Printf.sprintf "w0=%d w1=%d runs=%d arrivals=%d" (Tatomic.get w0) (Tatomic.get w1)
+          (Tatomic.get body_runs) (Tatomic.get arrivals));
+  }
+
 (* -- registry --------------------------------------------------------- *)
 
 let all : t list =
@@ -318,6 +394,13 @@ let all : t list =
       make = seq_watermark;
     };
     {
+      name = "shard-merge";
+      descr = "cross-shard merge: last arriver runs body at the agreed watermark, exactly once";
+      planted = false;
+      expect = None;
+      make = shard_merge_make false;
+    };
+    {
       name = "planted-mpmc-cap1";
       descr = "PLANTED: capacity-1 ring without the >=2 rounding (pre-fix Vyukov overwrite)";
       planted = true;
@@ -334,6 +417,13 @@ let all : t list =
       planted = true;
       expect = Some "pool-stale-generation";
       make = (fun ~bound -> pool_recycle_make Node.unsafe_acquire_skipping_gen ~bound);
+    };
+    {
+      name = "planted-shard-merge";
+      descr = "PLANTED: first arriver runs the cross-shard body without waiting for its partner";
+      planted = true;
+      expect = Some "merge-agreement";
+      make = shard_merge_make true;
     };
   ]
 

@@ -41,6 +41,47 @@ let mode_at (t : t) i = snd t.(i)
 
 (* Binary search by slot id — footprints are normalized (sorted, deduped),
    and this runs on the sanitizer's instrumented access path. *)
+(* ---- sharding: deterministic partition of a footprint ---- *)
+
+let home_shard ~shards (t : t) =
+  if Array.length t = 0 then 0 else Slot.shard ~shards (fst t.(0))
+
+let touched_shards ~shards (t : t) =
+  if shards <= 1 then [ 0 ]
+  else begin
+    let seen = Array.make shards false in
+    Array.iter (fun (s, _) -> seen.(Slot.shard ~shards s) <- true) t;
+    let acc = ref [] in
+    for s = shards - 1 downto 0 do
+      if seen.(s) then acc := s :: !acc
+    done;
+    match !acc with [] -> [ 0 ] | l -> l
+  end
+
+let spans ~shards (t : t) =
+  match touched_shards ~shards t with [] | [ _ ] -> false | _ -> true
+
+(* Filtering a normalized array preserves normalization (sorted by slot
+   id, deduped), so the result is a valid footprint as-is. *)
+let restrict ~shards ~shard (t : t) : t =
+  let n = Array.length t in
+  let kept = ref 0 in
+  for i = 0 to n - 1 do
+    if Slot.shard ~shards (fst t.(i)) = shard then incr kept
+  done;
+  if !kept = n then t
+  else begin
+    let out = Array.make !kept t.(0) in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if Slot.shard ~shards (fst t.(i)) = shard then begin
+        out.(!j) <- t.(i);
+        incr j
+      end
+    done;
+    out
+  end
+
 let mode_of t slot =
   let id = Slot.id slot in
   let rec go lo hi =

@@ -47,3 +47,28 @@ val mode_of : t -> Slot.t -> mode option
     [None] when the footprint does not mention the slot.  After
     normalization [Write] dominates, so a slot declared both ways reports
     [Write]. *)
+
+(** {1 Sharding}
+
+    The sharded runtime partitions resources with {!Slot.shard} — a pure
+    function of each slot's partition key — and splits a footprint into
+    per-shard sub-footprints.  Because a footprint is normalized and
+    restriction only filters it, every sub-footprint is normalized too,
+    and the union of the restrictions over all touched shards is exactly
+    the original footprint. *)
+
+val home_shard : shards:int -> t -> int
+(** Shard of the lowest-id slot; [0] for the empty footprint.  The
+    single-shard fast path schedules a non-spanning request here. *)
+
+val touched_shards : shards:int -> t -> int list
+(** Distinct shards the footprint touches, ascending.  Never empty: the
+    empty footprint reports [[0]] so it still has a home to run on. *)
+
+val spans : shards:int -> t -> bool
+(** Whether the footprint touches more than one shard — i.e. the request
+    needs the cross-shard sequence-number-merge path. *)
+
+val restrict : shards:int -> shard:int -> t -> t
+(** The sub-footprint of slots assigned to [shard].  Returns the
+    footprint unchanged (no copy) when every slot already lives there. *)

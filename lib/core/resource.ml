@@ -1,8 +1,10 @@
 type 'a t = { slot : Slot.t; mutable value : 'a }
 
-let create value = { slot = Slot.create (); value }
+let create ?pkey value = { slot = Slot.create ?pkey (); value }
 
 let slot t = t.slot
+
+let shard ~shards t = Slot.shard ~shards t.slot
 
 (* Sanitized mode (see Sanitizer): one atomic load and a never-taken
    branch when off — the accessors below stay lock-free and allocation-

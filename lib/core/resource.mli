@@ -9,10 +9,16 @@
 
 type 'a t
 
-val create : 'a -> 'a t
+val create : ?pkey:int -> 'a -> 'a t
+(** [pkey] is the partition key for sharded deployments (see
+    {!Slot.create}): pass the application-level identity (KV key, TPC-C
+    warehouse) so shard assignment is stable across store instances. *)
 
 val slot : 'a t -> Slot.t
 (** The scheduling slot to put in footprints. *)
+
+val shard : shards:int -> 'a t -> int
+(** Deterministic shard assignment of this resource ({!Slot.shard}). *)
 
 val get : 'a t -> 'a
 (** Read the value.  Only call from a procedure whose footprint includes

@@ -74,27 +74,54 @@ let rec try_place t node start i n =
    the completing worker's own queue, like any worker push.
 
    Each drained node is first offered to the queues again (they may have
-   emptied meanwhile); only if still full does it run inline, stepping
-   through cooperative yields.  Exceptions are reported through the
-   failure hook and the node still completes, as in the worker loop.
-   Allocation here (the stdlib queue, closures) is fine: this path only
-   runs when the system is saturated. *)
+   emptied meanwhile); only if still full does it run inline.  Exceptions
+   are reported through the failure hook and the node still completes, as
+   in the worker loop.
+
+   A node that yields inline is NOT spun to completion here: a yielded
+   request may be parked on external progress — a cross-shard participant
+   (Sharded_runtime) waits for its partner shards to arrive — and with
+   every queue full and this worker pinned on the spin, the work that
+   unparks it could sit unreachable in this very shard's queues (with one
+   worker per shard that is a deadlock).  Instead the yielded node is
+   re-offered to the queues, and while they stay full the worker swaps in
+   one queued ready node and runs it — the drain stays work-conserving
+   and the parked node retries after real progress.
+
+   Allocation here (the stdlib queue, out-cell, closures) is fine: this
+   path only runs when the system is saturated. *)
+let rec sweep_pop t out start i n =
+  if i >= n then false
+  else if Mpmc.pop_into t.queues.((start + i) mod n) out then true
+  else sweep_pop t out start (i + 1) n
+
 let run_overflow t ~worker node =
   let pending = Queue.create () in
   let on_ready d = Queue.push d pending in
   Queue.push node pending;
   let n = Array.length t.queues in
+  let out = Mpmc.make_out t.queues.(0) in
+  let finish node =
+    Node.complete node ~on_ready;
+    t.on_complete node
+  in
   while not (Queue.is_empty pending) do
     let node = Queue.pop pending in
     if not (try_place t node worker 0 n) then begin
-      let rec step () =
-        match (try Node.run node with e -> t.on_failure node e; `Finished) with
-        | `Yielded -> step ()
-        | `Finished ->
-          Node.complete node ~on_ready;
-          t.on_complete node
-      in
-      step ()
+      match (try Node.run node with e -> t.on_failure node e; `Finished) with
+      | `Finished -> finish node
+      | `Yielded ->
+        if not (try_place t node worker 0 n) then begin
+          (* Still full: run one queued node inline so the retry of the
+             parked node follows real progress, not a tight spin. *)
+          if sweep_pop t out worker 0 n then begin
+            let stolen = out.Mpmc.value in
+            match (try Node.run stolen with e -> t.on_failure stolen e; `Finished) with
+            | `Finished -> finish stolen
+            | `Yielded -> Queue.push stolen pending
+          end;
+          Queue.push node pending
+        end
     end
   done
 

@@ -55,7 +55,6 @@ let worker_loop rs ~worker ~stop ~completed ~failures ~stall =
       let node = out.Doradd_queue.Mpmc.value in
       out.Doradd_queue.Mpmc.value <- Node.dummy;
       if Atomic.get Obs.Trace.armed then Obs.Counters.incr c_worker_busy;
-      Backoff.reset b;
       (* A raising procedure is still a *deterministic* outcome (same
          input, same exception), so the request completes — releasing its
          dependents — and the failure is recorded for the caller rather
@@ -64,11 +63,18 @@ let worker_loop rs ~worker ~stop ~completed ~failures ~stall =
       | `Finished ->
         Node.complete node ~on_ready;
         Node.recycle node;
-        Atomic.incr completed
+        Atomic.incr completed;
+        Backoff.reset b
       | `Yielded ->
         (* park the procedure back in the runnable set; its dependents
-           stay blocked until it finishes (§6) *)
-        Runnable_set.push_worker rs ~worker node);
+           stay blocked until it finishes (§6).  A yield is a wait, not
+           progress: back off instead of resetting, so a worker whose
+           queue holds only parked procedures (a cross-shard participant
+           waiting for a partner shard) yields the core rather than
+           hot-cycling pop/park — on an oversubscribed host the partner
+           can only arrive if this domain gives up the CPU. *)
+        Runnable_set.push_worker rs ~worker node;
+        Backoff.once b);
       loop ()
     end
     else begin

@@ -1,0 +1,183 @@
+(* Sharded multi-dispatcher front (see the .mli for the protocol).
+
+   Plumbing: the sequencer (caller) thread owns one bounded SPSC queue
+   per shard; each shard's dispatcher domain drains its queue in FIFO
+   order and feeds its own Runtime.  SPSC is exactly right here — one
+   producer (the sequencer), one consumer (the shard dispatcher) — and
+   a full queue blocks the sequencer, which is the same bounded-queue
+   backpressure the single-dispatcher pipeline has.
+
+   Liveness: each shard links requests in stamp order, so every
+   cross-shard wait points from a higher stamp to a lower one and the
+   lowest incomplete stamp is always executable.  Parked participants
+   yield rather than block, so workers stay work-conserving while a
+   partner shard catches up (Runnable_set.run_overflow cooperates: it
+   never spins a yielded node to completion inline). *)
+
+module Spsc = Doradd_queue.Spsc
+module Backoff = Doradd_queue.Backoff
+
+type msg =
+  | Single of Footprint.t * (unit -> unit)
+  | Part of Footprint.t * (unit -> Node.outcome)
+  | Stop
+
+type shard = {
+  rt : Runtime.t;
+  input : msg Spsc.t;
+  consumed : int Atomic.t; (* msgs the dispatcher has fed to its runtime *)
+  mutable enqueued : int; (* msgs pushed; sequencer thread only *)
+  mutable domain : unit Domain.t option;
+}
+
+type t = {
+  shard_tab : shard array;
+  n : int;
+  mutable stamps : int; (* global sequence number; sequencer thread only *)
+  mutable cross_count : int;
+  fail_mu : Mutex.t;
+  mutable fails : (int * exn) list; (* (stamp, exn), unordered *)
+  mutable live : bool;
+}
+
+let dispatcher_loop sh =
+  let out = Spsc.make_out sh.input in
+  let bk = Backoff.create () in
+  let rec loop () =
+    match Spsc.pop_with sh.input bk out with
+    | Single (fp, work) ->
+      Runtime.schedule sh.rt fp work;
+      Atomic.incr sh.consumed;
+      loop ()
+    | Part (fp, step) ->
+      Runtime.schedule_steps sh.rt fp step;
+      Atomic.incr sh.consumed;
+      loop ()
+    | Stop -> Atomic.incr sh.consumed
+  in
+  loop ()
+
+let create ?(workers_per_shard = 1) ?queue_capacity ?(input_capacity = 1024) ?fuzz ~shards ()
+    =
+  if shards <= 0 then invalid_arg "Sharded_runtime.create";
+  let shard_tab =
+    Array.init shards (fun _ ->
+        {
+          rt = Runtime.create ~workers:workers_per_shard ?queue_capacity ?fuzz ();
+          input = Spsc.create ~dummy:Stop ~capacity:input_capacity;
+          consumed = Atomic.make 0;
+          enqueued = 0;
+          domain = None;
+        })
+  in
+  let t =
+    {
+      shard_tab;
+      n = shards;
+      stamps = 0;
+      cross_count = 0;
+      fail_mu = Mutex.create ();
+      fails = [];
+      live = true;
+    }
+  in
+  Array.iter (fun sh -> sh.domain <- Some (Domain.spawn (fun () -> dispatcher_loop sh))) shard_tab;
+  t
+
+let shards t = t.n
+
+let shard_of_slot t slot = Slot.shard ~shards:t.n slot
+
+let record_failure t stamp e =
+  Mutex.lock t.fail_mu;
+  t.fails <- (stamp, e) :: t.fails;
+  Mutex.unlock t.fail_mu
+
+let push sh msg =
+  Spsc.push sh.input msg;
+  sh.enqueued <- sh.enqueued + 1
+
+let schedule t fp work =
+  if not t.live then invalid_arg "Sharded_runtime.schedule: shut down";
+  let stamp = t.stamps in
+  t.stamps <- stamp + 1;
+  let body () = try work () with e -> record_failure t stamp e in
+  match Footprint.touched_shards ~shards:t.n fp with
+  | [] | [ _ ] ->
+    (* Single-shard fast path: the home dispatcher links it like any
+       local request; no cross-shard synchronization at all. *)
+    let home = Footprint.home_shard ~shards:t.n fp in
+    push t.shard_tab.(home) (Single (fp, body))
+  | touched ->
+    t.cross_count <- t.cross_count + 1;
+    let parts = List.length touched in
+    let arrivals = Atomic.make 0 in
+    let committed = Atomic.make false in
+    (* Each shard's participant runs this step once its local
+       sub-footprint is exclusively held.  The last arriver — at which
+       point every touched resource on every shard is held — runs the
+       body exactly once; the others park on the completion flag.
+       Atomic set/get on [committed] is the release/acquire pair that
+       publishes the body's writes to the parked participants' shards. *)
+    let rec wait () = if Atomic.get committed then Node.Finished else Node.Yield wait in
+    let step () =
+      if 1 + Atomic.fetch_and_add arrivals 1 = parts then begin
+        body ();
+        Atomic.set committed true;
+        Node.Finished
+      end
+      else wait ()
+    in
+    List.iter
+      (fun s ->
+        push t.shard_tab.(s) (Part (Footprint.restrict ~shards:t.n ~shard:s fp, step)))
+      touched
+
+let stamped t = t.stamps
+
+let cross t = t.cross_count
+
+let completed t =
+  let parts = Array.fold_left (fun acc sh -> acc + Runtime.completed sh.rt) 0 t.shard_tab in
+  (* Each cross-shard request contributes one completed participant per
+     touched shard; subtract the extras so a request counts once. *)
+  parts - (Array.fold_left (fun acc sh -> acc + Runtime.scheduled sh.rt) 0 t.shard_tab - t.stamps)
+
+let failures t =
+  Mutex.lock t.fail_mu;
+  let fs = t.fails in
+  Mutex.unlock t.fail_mu;
+  List.sort (fun (a, _) (b, _) -> compare a b) fs
+
+let drain t =
+  Array.iter
+    (fun sh ->
+      let target = sh.enqueued in
+      let bk = Backoff.create () in
+      while Atomic.get sh.consumed < target do
+        Backoff.once bk
+      done;
+      Runtime.drain sh.rt)
+    t.shard_tab
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Array.iter
+      (fun sh ->
+        Spsc.push sh.input Stop;
+        sh.enqueued <- sh.enqueued + 1)
+      t.shard_tab;
+    Array.iter
+      (fun sh ->
+        (match sh.domain with Some d -> Domain.join d | None -> ());
+        sh.domain <- None)
+      t.shard_tab;
+    Array.iter (fun sh -> Runtime.shutdown sh.rt) t.shard_tab
+  end
+
+let run_log ?workers_per_shard ?queue_capacity ?input_capacity ?fuzz ~shards fp exec log =
+  let t = create ?workers_per_shard ?queue_capacity ?input_capacity ?fuzz ~shards () in
+  Array.iter (fun entry -> schedule t (fp entry) (fun () -> exec entry)) log;
+  drain t;
+  shutdown t

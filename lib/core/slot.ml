@@ -28,6 +28,7 @@ and rchain = RNil | RCell of rcell
 
 type t = {
   id : int;
+  pkey : int; (* partition key: shard assignment input (see [shard]) *)
   mutable writer : Node.t; (* Node.dummy = no writer *)
   mutable writer_gen : int;
   mutable writer_seqno : int;
@@ -37,9 +38,11 @@ type t = {
 
 let next_id = Atomic.make 0
 
-let create () =
+let create ?pkey () =
+  let id = Atomic.fetch_and_add next_id 1 in
   {
-    id = Atomic.fetch_and_add next_id 1;
+    id;
+    pkey = (match pkey with Some k -> k | None -> id);
     writer = Node.dummy;
     writer_gen = 0;
     writer_seqno = 0;
@@ -48,6 +51,14 @@ let create () =
   }
 
 let id t = t.id
+
+let pkey t = t.pkey
+
+(* The deterministic partition function: a pure function of the caller-
+   chosen partition key, so two stores populated with the same keys agree
+   on shard assignment even though their slot ids differ.  Identity mod
+   keeps the mapping predictable for tests and workload generators. *)
+let shard ~shards t = if shards <= 1 then 0 else abs t.pkey mod shards
 
 let has_writer t = t.writer != Node.dummy
 let writer t = t.writer

@@ -32,11 +32,23 @@ and rchain = RNil | RCell of rcell
 
 type t
 
-val create : unit -> t
-(** Fresh slot with a process-unique id. *)
+val create : ?pkey:int -> unit -> t
+(** Fresh slot with a process-unique id.  [pkey] is the partition key
+    consumed by {!shard}; it defaults to the fresh id, which is unique
+    but {e not} stable across store instances — callers that need two
+    stores to agree on shard assignment (the shard-count-invariance
+    tests) must pass an application-level key. *)
 
 val id : t -> int
 (** Unique id; footprints are deduplicated by it. *)
+
+val pkey : t -> int
+(** The partition key given to {!create}. *)
+
+val shard : shards:int -> t -> int
+(** [shard ~shards t] assigns the slot to one of [shards] shards:
+    [abs (pkey t) mod shards] — a pure function of the partition key, so
+    the assignment is deterministic across runs and store instances. *)
 
 val has_writer : t -> bool
 (** Whether a writer has been recorded since the last {!clear}. *)

@@ -1,20 +1,21 @@
 (* Wire format (all ints 8-byte LE):
-     NewOrder: 0(1) ++ w ++ d ++ c ++ nlines ++ (item ++ qty)*
+     NewOrder: 0(1) ++ w ++ d ++ c ++ nlines ++ (supply ++ item ++ qty)*
      Payment:  1(1) ++ w ++ d ++ c ++ amount *)
 
 let encode_txn = function
   | Tpcc_db.New_order { no_w; no_d; no_c; lines } ->
     let n = Array.length lines in
-    let b = Bytes.create (1 + (8 * 4) + (16 * n)) in
+    let b = Bytes.create (1 + (8 * 4) + (24 * n)) in
     Bytes.set_uint8 b 0 0;
     Bytes.set_int64_le b 1 (Int64.of_int no_w);
     Bytes.set_int64_le b 9 (Int64.of_int no_d);
     Bytes.set_int64_le b 17 (Int64.of_int no_c);
     Bytes.set_int64_le b 25 (Int64.of_int n);
     Array.iteri
-      (fun i (item, qty) ->
-        Bytes.set_int64_le b (33 + (16 * i)) (Int64.of_int item);
-        Bytes.set_int64_le b (33 + (16 * i) + 8) (Int64.of_int qty))
+      (fun i (supply, item, qty) ->
+        Bytes.set_int64_le b (33 + (24 * i)) (Int64.of_int supply);
+        Bytes.set_int64_le b (33 + (24 * i) + 8) (Int64.of_int item);
+        Bytes.set_int64_le b (33 + (24 * i) + 16) (Int64.of_int qty))
       lines;
     Bytes.unsafe_to_string b
   | Tpcc_db.Payment { p_w; p_d; p_c; amount } ->
@@ -35,13 +36,17 @@ let decode_txn s =
   match Bytes.get_uint8 b 0 with
   | 0 ->
     let n = int_at 25 in
-    if n < 0 || len <> 33 + (16 * n) then fail "bad line count";
+    if n < 0 || len <> 33 + (24 * n) then fail "bad line count";
     Tpcc_db.New_order
       {
         no_w = int_at 1;
         no_d = int_at 9;
         no_c = int_at 17;
-        lines = Array.init n (fun i -> (int_at (33 + (16 * i)), int_at (33 + (16 * i) + 8)));
+        lines =
+          Array.init n (fun i ->
+              ( int_at (33 + (24 * i)),
+                int_at (33 + (24 * i) + 8),
+                int_at (33 + (24 * i) + 16) ));
       }
   | 1 ->
     if len <> 33 then fail "bad payment size";

@@ -1,0 +1,170 @@
+module Core = Doradd_core
+module Wal = Doradd_persist.Wal
+module Shard_merge = Doradd_persist.Shard_merge
+
+(* KV wire format (ints 8-byte LE): id ++ nops ++ (key ++ kind(1))*.
+   The WAL record payload is this prefixed with the global stamp
+   (Shard_merge.encode_stamped). *)
+
+let encode_txn (txn : Kv.txn) =
+  let n = Array.length txn.ops in
+  let b = Bytes.create (16 + (9 * n)) in
+  Bytes.set_int64_le b 0 (Int64.of_int txn.id);
+  Bytes.set_int64_le b 8 (Int64.of_int n);
+  Array.iteri
+    (fun i (op : Kv.op) ->
+      Bytes.set_int64_le b (16 + (9 * i)) (Int64.of_int op.key);
+      Bytes.set_uint8 b (16 + (9 * i) + 8) (match op.kind with Kv.Read -> 0 | Kv.Update -> 1))
+    txn.ops;
+  Bytes.unsafe_to_string b
+
+let decode_txn s =
+  let fail why = failwith ("Sharded_durable_kv.decode_txn: " ^ why) in
+  let len = String.length s in
+  if len < 16 then fail "short payload";
+  let b = Bytes.unsafe_of_string s in
+  let int_at pos = Int64.to_int (Bytes.get_int64_le b pos) in
+  let n = int_at 8 in
+  if n < 0 || len <> 16 + (9 * n) then fail "bad op count";
+  {
+    Kv.id = int_at 0;
+    ops =
+      Array.init n (fun i ->
+          {
+            Kv.key = int_at (16 + (9 * i));
+            kind =
+              (match Bytes.get_uint8 b (16 + (9 * i) + 8) with
+              | 0 -> Kv.Read
+              | 1 -> Kv.Update
+              | k -> fail (Printf.sprintf "bad op kind %d" k));
+          });
+  }
+
+type t = {
+  store : Store.t;
+  rt : Core.Sharded_runtime.t;
+  wals : Wal.t array; (* one per shard, at dir/shard-<i> *)
+  results : int array;
+  n_shards : int;
+  n_keys : int;
+  group_commit : int;
+  mutable stamps : int; (* next global stamp; sequencer thread only *)
+  mutable pending : int; (* stamps appended since the last sync *)
+  mutable acked : int; (* stamps covered by the last group commit *)
+  recovered : int;
+  merge_stats : Shard_merge.stats;
+}
+
+let shard_dir dir s = Filename.concat dir (Printf.sprintf "shard-%d" s)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+
+let touched_shards_of ~shards store txn =
+  Core.Footprint.touched_shards ~shards (Kv.footprint store txn)
+
+let open_ ~dir ~shards ?workers_per_shard ?queue_capacity ?(group_commit = 8) ?segment_bytes
+    ?fsync ~n_keys ~max_txns () =
+  if shards <= 0 then invalid_arg "Sharded_durable_kv.open_";
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let store = Store.create ~initial_capacity:(2 * n_keys) () in
+  Store.populate store ~n:n_keys;
+  (* Recovery: scan every shard log, merge by stamp, keep the contiguous
+     prefix.  The logs are then REWRITTEN to exactly that prefix: stamps
+     beyond the first gap are unreachable forever (replaying them would
+     diverge from the serial order), and leaving them on disk would
+     collide with re-issued stamps on the next crash. *)
+  let scans = Array.init shards (fun s -> (Wal.scan ~dir:(shard_dir dir s)).Wal.records) in
+  let stamped = Array.map (Array.map (fun (_seq, data) -> Shard_merge.decode_stamped data)) scans in
+  let prefix, stats = Shard_merge.merge stamped in
+  if stats.Shard_merge.mismatches > 0 then
+    failwith "Sharded_durable_kv.open_: shard logs disagree on a stamp";
+  let txns = Array.map decode_txn prefix in
+  (* rewrite the logs from the merged prefix *)
+  for s = 0 to shards - 1 do
+    rm_rf (shard_dir dir s)
+  done;
+  let wals =
+    Array.init shards (fun s -> Wal.open_ ?segment_bytes ?fsync ~dir:(shard_dir dir s) ())
+  in
+  Array.iteri
+    (fun stamp txn ->
+      let payload = Shard_merge.encode_stamped stamp prefix.(stamp) in
+      List.iter
+        (fun s -> ignore (Wal.append wals.(s) payload))
+        (touched_shards_of ~shards store txn))
+    txns;
+  Array.iter Wal.sync wals;
+  (* replay the durable prefix serially — the recovered state is by
+     construction the serial execution of stamps [0 .. watermark] *)
+  let results = Array.make max_txns 0 in
+  Array.iter (fun txn -> Kv.execute store ~results txn) txns;
+  let rt = Core.Sharded_runtime.create ?workers_per_shard ?queue_capacity ~shards () in
+  {
+    store;
+    rt;
+    wals;
+    results;
+    n_shards = shards;
+    n_keys;
+    group_commit;
+    stamps = Array.length txns;
+    pending = 0;
+    acked = Array.length txns;
+    recovered = Array.length txns;
+    merge_stats = stats;
+  }
+
+let flush t =
+  Array.iter Wal.sync t.wals;
+  t.acked <- t.stamps;
+  t.pending <- 0
+
+(* WAL-before-execute: the record reaches every touched shard's log
+   buffer before the transaction is handed to the runtime, and group
+   commit syncs all logs together, so an acked stamp is durable on every
+   shard that will replay it. *)
+let submit t (txn : Kv.txn) =
+  let stamp = t.stamps in
+  let payload = Shard_merge.encode_stamped stamp (encode_txn txn) in
+  let touched = touched_shards_of ~shards:t.n_shards t.store txn in
+  List.iter (fun s -> ignore (Wal.append t.wals.(s) payload)) touched;
+  t.stamps <- stamp + 1;
+  t.pending <- t.pending + 1;
+  if t.pending >= t.group_commit then flush t;
+  Core.Sharded_runtime.schedule t.rt
+    (Kv.footprint t.store txn)
+    (fun () -> Kv.execute t.store ~results:t.results txn)
+
+let quiesce t =
+  flush t;
+  Core.Sharded_runtime.drain t.rt
+
+let submitted t = t.stamps
+
+let acked t = t.acked
+
+let recovered t = t.recovered
+
+let merge_stats t = t.merge_stats
+
+let results t = t.results
+
+let state_digest t = Kv.state_digest t.store ~keys:(Array.init t.n_keys (fun k -> k))
+
+let close t =
+  quiesce t;
+  Core.Sharded_runtime.shutdown t.rt;
+  Array.iter Wal.close t.wals
+
+let crash_close t =
+  (* A crash loses whatever was buffered and in flight: close the logs
+     without syncing.  The runtime domains are joined only so the
+     process can reuse the cores; the store is abandoned. *)
+  Array.iter Wal.crash_close t.wals;
+  Core.Sharded_runtime.shutdown t.rt

@@ -1,0 +1,74 @@
+(** Durable sharded KV: one WAL segment stream per shard, merged by
+    global sequence number on recovery.
+
+    Write path (WAL-before-execute, as {!Durable_store}): the sequencer
+    stamps each transaction, appends the stamped record to the log of
+    {e every} shard its footprint touches, group-commits all logs
+    together every [group_commit] submissions, and only then hands the
+    transaction to the sharded runtime.
+
+    Recovery ({!open_}) scans all N shard logs, merges them by stamp
+    ({!Doradd_persist.Shard_merge}), replays the contiguous durable
+    prefix serially, and rewrites the logs to exactly that prefix — no
+    shard's log is left ahead of the merge watermark.  The recovered
+    state therefore equals the serial execution of stamps
+    [0 .. watermark], with [watermark + 1 >= acked] (group commit never
+    acks a stamp that could be lost). *)
+
+type t
+
+val encode_txn : Kv.txn -> string
+(** Wire format (ints 8-byte LE): id ++ nops ++ (key ++ kind(1))*.
+    Exposed for tests. *)
+
+val decode_txn : string -> Kv.txn
+(** Inverse of {!encode_txn}; raises [Failure] on malformed input. *)
+
+val open_ :
+  dir:string ->
+  shards:int ->
+  ?workers_per_shard:int ->
+  ?queue_capacity:int ->
+  ?group_commit:int ->
+  ?segment_bytes:int ->
+  ?fsync:bool ->
+  n_keys:int ->
+  max_txns:int ->
+  unit ->
+  t
+(** Recover from [dir]'s shard logs (creating them if absent), then
+    start the sharded runtime.  [group_commit] (default 8) is the
+    submissions-per-sync batch; [fsync:false] keeps sync semantics
+    without physical fsyncs (tests). *)
+
+val submit : t -> Kv.txn -> unit
+(** Stamp, log to every touched shard, maybe group-commit, schedule.
+    Sequencer thread only. *)
+
+val flush : t -> unit
+(** Force a group commit: sync every shard log and advance [acked]. *)
+
+val quiesce : t -> unit
+(** {!flush}, then drain the runtime. *)
+
+val submitted : t -> int
+(** Stamps issued so far, including recovered ones. *)
+
+val acked : t -> int
+(** Stamps known durable on every shard that logs them. *)
+
+val recovered : t -> int
+(** Transactions replayed from the merged logs by this {!open_}. *)
+
+val merge_stats : t -> Doradd_persist.Shard_merge.stats
+(** What the recovery merge found. *)
+
+val results : t -> int array
+
+val state_digest : t -> int
+
+val close : t -> unit
+(** Flush, drain, shut the runtime down, close the logs. *)
+
+val crash_close : t -> unit
+(** Simulate a crash: abandon buffered records without syncing. *)

@@ -1,0 +1,92 @@
+module Core = Doradd_core
+
+(* Per-key commit-order witness.  Appended inside the transaction body
+   while the key's resource is exclusively held, so the log is exactly
+   the order in which writers committed against that key.  Mutation from
+   worker domains of different shards is safe for the same reason row
+   mutation is: the scheduler serializes holders of the key, and the
+   cross-shard completion flag (Sharded_runtime) carries the
+   happens-before edge between shards. *)
+type t = {
+  store : Store.t;
+  rt : Core.Sharded_runtime.t;
+  results : int array;
+  order : int list array; (* per key, newest first; [||] when not recording *)
+  n_shards : int;
+}
+
+let create ~shards ?workers_per_shard ?queue_capacity ?input_capacity ?fuzz
+    ?(record_order = true) ~n_keys ~max_txns () =
+  let store = Store.create ~initial_capacity:(2 * n_keys) () in
+  Store.populate store ~n:n_keys;
+  {
+    store;
+    rt = Core.Sharded_runtime.create ?workers_per_shard ?queue_capacity ?input_capacity ?fuzz ~shards ();
+    results = Array.make max_txns 0;
+    order = (if record_order then Array.make n_keys [] else [||]);
+    n_shards = shards;
+  }
+
+let shard_of_key t key = Core.Resource.shard ~shards:t.n_shards (Store.find_exn t.store key)
+
+let record_order t (txn : Kv.txn) =
+  if Array.length t.order > 0 then
+    Array.iter
+      (fun (op : Kv.op) ->
+        match op.kind with
+        | Kv.Update -> t.order.(op.key) <- txn.id :: t.order.(op.key)
+        | Kv.Read -> ())
+      txn.ops
+
+let submit ?rw t txn =
+  let fp = Kv.footprint ?rw t.store txn in
+  Core.Sharded_runtime.schedule t.rt fp (fun () ->
+      record_order t txn;
+      Kv.execute t.store ~results:t.results txn)
+
+let drain t = Core.Sharded_runtime.drain t.rt
+
+let shutdown t = Core.Sharded_runtime.shutdown t.rt
+
+let cross t = Core.Sharded_runtime.cross t.rt
+
+let results t = t.results
+
+let state_digest t ~n_keys = Kv.state_digest t.store ~keys:(Array.init n_keys (fun k -> k))
+
+let commit_order t =
+  Array.map (fun l -> Array.of_list (List.rev l)) t.order
+
+(* Serial reference: the same witnesses computed by in-thread execution —
+   what every shard count must reproduce byte-for-byte. *)
+let run_serial ~n_keys txns =
+  let store = Store.create ~initial_capacity:(2 * n_keys) () in
+  Store.populate store ~n:n_keys;
+  let results = Array.make (Array.length txns) 0 in
+  let order = Array.make n_keys [] in
+  Array.iter
+    (fun (txn : Kv.txn) ->
+      Array.iter
+        (fun (op : Kv.op) ->
+          match op.kind with
+          | Kv.Update -> order.(op.key) <- txn.id :: order.(op.key)
+          | Kv.Read -> ())
+        txn.ops;
+      Kv.execute store ~results txn)
+    txns;
+  let digest = Kv.state_digest store ~keys:(Array.init n_keys (fun k -> k)) in
+  (digest, results, Array.map (fun l -> Array.of_list (List.rev l)) order)
+
+(* One-shot convenience mirroring [Kv.run_parallel]: create, replay,
+   tear down, return the three witnesses. *)
+let run_sharded ?rw ?workers_per_shard ?queue_capacity ?fuzz ~shards ~n_keys txns =
+  let t =
+    create ~shards ?workers_per_shard ?queue_capacity ?fuzz ~n_keys
+      ~max_txns:(Array.length txns) ()
+  in
+  Array.iter (fun txn -> submit ?rw t txn) txns;
+  drain t;
+  let digest = state_digest t ~n_keys in
+  let order = commit_order t in
+  shutdown t;
+  (digest, Array.copy t.results, order)

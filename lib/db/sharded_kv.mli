@@ -1,0 +1,65 @@
+(** Sharded KV front: the KV workload on {!Doradd_core.Sharded_runtime},
+    with keys partitioned by the deterministic partition function
+    (partition key = KV key) and a per-key {e commit-order witness}.
+
+    The witness is what the shard-count-invariance battery checks beyond
+    state digests: each transaction appends its id to every key it
+    updates while holding that key exclusively, so [commit_order] is the
+    exact per-resource execution order.  Determinism requires it to be
+    byte-identical for every shard count, including 1 and the serial
+    reference ({!run_serial}).  Reads under [rw=true] are unordered
+    relative to each other, so only [Update] ops are witnessed. *)
+
+type t
+
+val create :
+  shards:int ->
+  ?workers_per_shard:int ->
+  ?queue_capacity:int ->
+  ?input_capacity:int ->
+  ?fuzz:Doradd_core.Runtime.fuzz ->
+  ?record_order:bool ->
+  n_keys:int ->
+  max_txns:int ->
+  unit ->
+  t
+(** Populate keys [0, n_keys) and start the sharded runtime.
+    [record_order] (default true) arms the commit-order witness;
+    [max_txns] bounds transaction ids (results are indexed by id). *)
+
+val shard_of_key : t -> int -> int
+(** Shard owning a key — the partition function on the key's slot. *)
+
+val submit : ?rw:bool -> t -> Kv.txn -> unit
+(** Stamp and enqueue (global-sequencer thread only). *)
+
+val drain : t -> unit
+
+val shutdown : t -> unit
+
+val cross : t -> int
+(** Transactions that spanned shards so far. *)
+
+val results : t -> int array
+
+val state_digest : t -> n_keys:int -> int
+
+val commit_order : t -> int array array
+(** Per key, the ids of committed updaters in commit order (oldest
+    first).  Empty array when [record_order] was false. *)
+
+val run_serial : n_keys:int -> Kv.txn array -> int * int array * int array array
+(** In-thread serial reference: (state digest, results, commit order) —
+    the witnesses every shard count must reproduce exactly. *)
+
+val run_sharded :
+  ?rw:bool ->
+  ?workers_per_shard:int ->
+  ?queue_capacity:int ->
+  ?fuzz:Doradd_core.Runtime.fuzz ->
+  shards:int ->
+  n_keys:int ->
+  Kv.txn array ->
+  int * int array * int array array
+(** One-shot replay: create, submit the whole log, drain, shut down;
+    returns (state digest, results, commit order). *)

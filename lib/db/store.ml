@@ -4,7 +4,9 @@ type t = { table : (int, Row.t Resource.t) Hashtbl.t }
 
 let create ?(initial_capacity = 1024) () = { table = Hashtbl.create initial_capacity }
 
-let add t key = Hashtbl.replace t.table key (Resource.create (Row.create ~key))
+(* The key doubles as the partition key, so two stores populated with
+   the same keys agree on shard assignment (Slot.shard). *)
+let add t key = Hashtbl.replace t.table key (Resource.create ~pkey:key (Row.create ~key))
 
 let populate t ~n =
   for key = 0 to n - 1 do

@@ -42,36 +42,42 @@ let default_config = { warehouses = 1; customers_per_district = 3_000; items = 1
 let create (cfg : config) =
   if cfg.warehouses <= 0 || cfg.customers_per_district <= 0 || cfg.items <= 0 then
     invalid_arg "Tpcc_db.create";
+  (* Partition key = owning warehouse for every row, so the sharded
+     runtime's partition function gives warehouse affinity: a NewOrder is
+     cross-shard exactly when it draws stock from a remote warehouse that
+     hashes to a different shard (TPCC-NP's distributed-transaction
+     knob). *)
   {
     cfg;
     warehouses =
       Array.init cfg.warehouses (fun w ->
-          Resource.create { w_tax = (w mod 20) * 10; w_ytd = 0 });
+          Resource.create ~pkey:w { w_tax = (w mod 20) * 10; w_ytd = 0 });
     districts =
-      Array.init cfg.warehouses (fun _ ->
+      Array.init cfg.warehouses (fun w ->
           Array.init 10 (fun d ->
-              Resource.create
+              Resource.create ~pkey:w
                 { d_tax = (d mod 20) * 10; d_ytd = 0; d_next_o_id = 1; d_orders = [] }));
     customers =
-      Array.init (cfg.warehouses * 10) (fun _ ->
+      Array.init (cfg.warehouses * 10) (fun wd ->
           Array.init cfg.customers_per_district (fun _ ->
-              Resource.create { c_balance = 0; c_ytd_payment = 0; c_payment_cnt = 0 }));
+              Resource.create ~pkey:(wd / 10)
+                { c_balance = 0; c_ytd_payment = 0; c_payment_cnt = 0 }));
     stocks =
-      Array.init cfg.warehouses (fun _ ->
+      Array.init cfg.warehouses (fun w ->
           Array.init cfg.items (fun _ ->
-              Resource.create { s_quantity = 100; s_ytd = 0; s_order_cnt = 0 }));
+              Resource.create ~pkey:w { s_quantity = 100; s_ytd = 0; s_order_cnt = 0 }));
     item_price = Array.init cfg.items (fun i -> 100 + (i mod 9_900));
   }
 
 let config t = t.cfg
 
-type new_order = { no_w : int; no_d : int; no_c : int; lines : (int * int) array }
+type new_order = { no_w : int; no_d : int; no_c : int; lines : (int * int * int) array }
 
 type payment = { p_w : int; p_d : int; p_c : int; amount : int }
 
 type txn = New_order of new_order | Payment of payment
 
-let generate t rng ~n =
+let generate ?(remote_pct = 0) t rng ~n =
   let cfg = t.cfg in
   Array.init n (fun i ->
       let w = Rng.int rng cfg.warehouses in
@@ -80,11 +86,25 @@ let generate t rng ~n =
       if i land 1 = 0 then begin
         let ol_cnt = 5 + Rng.int rng 11 in
         let lines =
-          Array.init ol_cnt (fun _ -> (Rng.int rng cfg.items, 1 + Rng.int rng 10))
+          Array.init ol_cnt (fun _ ->
+              (* TPC-C's remote-supply rule: with probability remote_pct%
+                 an order line draws stock from another warehouse — the
+                 order then spans warehouses (and, sharded, spans
+                 shards). *)
+              let supply =
+                if cfg.warehouses > 1 && Rng.int rng 100 < remote_pct then
+                  (w + 1 + Rng.int rng (cfg.warehouses - 1)) mod cfg.warehouses
+                else w
+              in
+              (supply, Rng.int rng cfg.items, 1 + Rng.int rng 10))
         in
         New_order { no_w = w; no_d = d; no_c = c; lines }
       end
       else Payment { p_w = w; p_d = d; p_c = c; amount = 100 + Rng.int rng 500_000 })
+
+let is_remote = function
+  | New_order o -> Array.exists (fun (supply, _, _) -> supply <> o.no_w) o.lines
+  | Payment _ -> false
 
 let customer_res t ~w ~d ~c = t.customers.((w * 10) + d).(c)
 
@@ -97,7 +117,8 @@ let footprint ?(rw = false) t txn =
       if rw then Resource.read r else Resource.write r
     in
     let stocks =
-      Array.to_list (Array.map (fun (i, _) -> Resource.write t.stocks.(o.no_w).(i)) o.lines)
+      Array.to_list
+        (Array.map (fun (supply, i, _) -> Resource.write t.stocks.(supply).(i)) o.lines)
     in
     Core.Footprint.of_list
       (whouse :: cust :: Resource.write t.districts.(o.no_w).(o.no_d) :: stocks)
@@ -118,8 +139,8 @@ let execute t txn =
     d.d_next_o_id <- o_id + 1;
     let o_lines =
       Array.map
-        (fun (item, qty) ->
-          let s = Resource.get t.stocks.(o.no_w).(item) in
+        (fun (supply, item, qty) ->
+          let s = Resource.get t.stocks.(supply).(item) in
           (* TPC-C stock update: decrement, restock when low *)
           if s.s_quantity - qty >= 10 then s.s_quantity <- s.s_quantity - qty
           else s.s_quantity <- s.s_quantity - qty + 91;
@@ -143,6 +164,10 @@ let execute t txn =
 
 let run_parallel ?rw ?workers t txns =
   Core.Runtime.run_log ?workers (footprint ?rw t) (execute t) txns
+
+let run_sharded ?rw ?workers_per_shard ?queue_capacity ?fuzz ~shards t txns =
+  Core.Sharded_runtime.run_log ?workers_per_shard ?queue_capacity ?fuzz ~shards
+    (footprint ?rw t) (execute t) txns
 
 let run_sequential t txns = Core.Runtime.run_sequential (execute t) txns
 

@@ -33,16 +33,25 @@ type new_order = {
   no_w : int;
   no_d : int;
   no_c : int;
-  lines : (int * int) array;  (** (item id, quantity) *)
+  lines : (int * int * int) array;  (** (supplying warehouse, item id, quantity) *)
 }
 
 type payment = { p_w : int; p_d : int; p_c : int; amount : int (** cents *) }
 
 type txn = New_order of new_order | Payment of payment
 
-val generate : t -> Doradd_stats.Rng.t -> n:int -> txn array
+val generate : ?remote_pct:int -> t -> Doradd_stats.Rng.t -> n:int -> txn array
 (** Equal NewOrder/Payment mix, 5–15 order lines, warehouse/district/
-    customer drawn uniformly — the §5.1 TPCC-NP configuration. *)
+    customer drawn uniformly — the §5.1 TPCC-NP configuration.
+    [remote_pct] (default 0) is the per-line probability (percent) that
+    an order line draws stock from a remote warehouse, TPC-C's
+    distributed-transaction knob: a remote NewOrder spans warehouses and,
+    under the sharded runtime's warehouse-affine partition, spans
+    shards. *)
+
+val is_remote : txn -> bool
+(** Whether the transaction touches a warehouse other than its home
+    warehouse (always [false] for Payment). *)
 
 val footprint : ?rw:bool -> t -> txn -> Doradd_core.Footprint.t
 (** [rw=false]: every access exclusive (paper semantics).  [rw=true]:
@@ -51,6 +60,19 @@ val footprint : ?rw:bool -> t -> txn -> Doradd_core.Footprint.t
 val execute : t -> txn -> unit
 
 val run_parallel : ?rw:bool -> ?workers:int -> t -> txn array -> unit
+
+val run_sharded :
+  ?rw:bool ->
+  ?workers_per_shard:int ->
+  ?queue_capacity:int ->
+  ?fuzz:Doradd_core.Runtime.fuzz ->
+  shards:int ->
+  t ->
+  txn array ->
+  unit
+(** Replay the log through {!Doradd_core.Sharded_runtime} with rows
+    partitioned by warehouse; remote NewOrders take the cross-shard
+    merge path.  The final state is shard-count invariant. *)
 
 val run_sequential : t -> txn array -> unit
 

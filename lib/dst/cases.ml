@@ -494,8 +494,87 @@ let crash_recovery =
   in
   { name = "crash-recovery"; default_n = 160; serial; parallel }
 
+(* ---- cross-shard: sharded runtime vs the serial oracle -------------- *)
+
+(* The sharded runtime under fuzz: a seed-derived shard count and
+   cross-shard ratio, KV transactions bucketed so that a key's shard is
+   [key mod shards] (the partition function on pkey = key), queue faults
+   and worker stalls from the usual plan.  The oracle demands the full
+   determinism contract of [Sharded_runtime]: final digest, per-request
+   results, and the per-resource commit order must all equal the serial
+   run — the order is folded into the digest.  Never runs under the
+   sanitizer: a cross-shard body touches remote-shard resources under the
+   restricted participant footprint (see sharded_runtime.mli). *)
+let cross_shard =
+  let n_keys = 240 in
+  (* shard count must be derived identically in both closures: the log
+     itself depends on it (keys are drawn per shard bucket) *)
+  let shape ~seed =
+    let rng = Rng.create (seed lxor 0x0058_5368) in
+    let shards = [| 1; 2; 4; 8 |].(Rng.int rng 4) in
+    let cross_pct = [| 0; 5; 20; 50 |].(Rng.int rng 4) in
+    (shards, cross_pct)
+  in
+  let txns ~seed ~n ~shards ~cross_pct =
+    let rng = Rng.create (seed lxor 0x0043_5353) in
+    let key_in s = (Rng.int rng (n_keys / shards) * shards) + s in
+    Array.init n (fun id ->
+        let cross = shards > 1 && Rng.int rng 100 < cross_pct in
+        let ops =
+          if cross then begin
+            (* ops split across two distinct shards *)
+            let s1 = Rng.int rng shards in
+            let s2 = (s1 + 1 + Rng.int rng (shards - 1)) mod shards in
+            Array.init
+              (2 + Rng.int rng 3)
+              (fun i ->
+                let s = if i land 1 = 0 then s1 else s2 in
+                {
+                  Db.Kv.key = key_in s;
+                  kind = (if Rng.int rng 4 = 0 then Db.Kv.Read else Db.Kv.Update);
+                })
+          end
+          else begin
+            let s = Rng.int rng shards in
+            Array.init
+              (1 + Rng.int rng 3)
+              (fun _ ->
+                {
+                  Db.Kv.key = key_in s;
+                  kind = (if Rng.int rng 4 = 0 then Db.Kv.Read else Db.Kv.Update);
+                })
+          end
+        in
+        { Db.Kv.id; ops })
+  in
+  let fold_order digest order =
+    Array.fold_left
+      (fun acc per_key ->
+        Array.fold_left (fun a id -> (a * 31) + id) ((acc * 17) + 1) per_key)
+      digest order
+  in
+  let serial ~seed ~n =
+    let shards, cross_pct = shape ~seed in
+    let log = txns ~seed ~n ~shards ~cross_pct in
+    let digest, results, order = Db.Sharded_kv.run_serial ~n_keys log in
+    { digest = fold_order digest order; results; invariant = None }
+  in
+  let parallel ~seed ~n ~workers ~queue_capacity ~fuzz ~sanitize:_ =
+    let shards, cross_pct = shape ~seed in
+    let log = txns ~seed ~n ~shards ~cross_pct in
+    let workers_per_shard = 1 + (workers land 1) in
+    let digest, results, order =
+      Db.Sharded_kv.run_sharded ~workers_per_shard ~queue_capacity ?fuzz ~shards ~n_keys log
+    in
+    ({ digest = fold_order digest order; results; invariant = None }, None)
+  in
+  { name = "cross-shard"; default_n = 96; serial; parallel }
+
 let all =
-  [ counters; kv; kv_rw; ycsb; ledger; tpcc; yield; deep_chain; replication; crash_recovery ]
+  [
+    counters; kv; kv_rw; ycsb; ledger; tpcc; yield; deep_chain; replication; crash_recovery;
+    cross_shard;
+  ]
 
 let find name = List.find_opt (fun c -> c.name = name) all
 

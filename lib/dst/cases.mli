@@ -69,6 +69,16 @@ val crash_recovery : t
     check then covers the full log.  Never runs under the sanitizer
     (recovery replays on a second runtime over the same seqnos). *)
 
+val cross_shard : t
+(** Sharded runtime ([Sharded_runtime] through [Sharded_kv]) with a
+    seed-derived shard count (1–8) and cross-shard ratio (0–50%), under
+    the plan's queue faults and worker stalls.  The oracle covers the
+    full sharded determinism contract: state digest, per-request results,
+    and per-resource commit order (folded into the digest) must equal the
+    serial run for any shard count.  Never runs under the sanitizer
+    (cross-shard bodies touch remote-shard resources under the restricted
+    participant footprint). *)
+
 val all : t list
 
 val names : string list

@@ -1,0 +1,48 @@
+type stats = {
+  total : int;
+  duplicates : int;
+  mismatches : int;
+  watermark : int;
+  dropped : int;
+}
+
+let encode_stamped stamp data =
+  let n = String.length data in
+  let b = Bytes.create (8 + n) in
+  Bytes.set_int64_le b 0 (Int64.of_int stamp);
+  Bytes.blit_string data 0 b 8 n;
+  Bytes.unsafe_to_string b
+
+let decode_stamped s =
+  if String.length s < 8 then failwith "Shard_merge.decode_stamped: short payload";
+  let stamp = Int64.to_int (Bytes.get_int64_le (Bytes.unsafe_of_string s) 0) in
+  (stamp, String.sub s 8 (String.length s - 8))
+
+let merge per_shard =
+  let total = Array.fold_left (fun acc recs -> acc + Array.length recs) 0 per_shard in
+  let tbl : (int, string) Hashtbl.t = Hashtbl.create (max 16 total) in
+  let duplicates = ref 0 in
+  let mismatches = ref 0 in
+  Array.iter
+    (Array.iter (fun (stamp, data) ->
+         match Hashtbl.find_opt tbl stamp with
+         | None -> Hashtbl.add tbl stamp data
+         | Some prev ->
+           incr duplicates;
+           if not (String.equal prev data) then incr mismatches))
+    per_shard;
+  let distinct = Hashtbl.length tbl in
+  let watermark = ref (-1) in
+  (* stamps start at 0: walk forward until the first gap *)
+  while Hashtbl.mem tbl (!watermark + 1) do
+    incr watermark
+  done;
+  let prefix = Array.init (!watermark + 1) (fun stamp -> Hashtbl.find tbl stamp) in
+  ( prefix,
+    {
+      total;
+      duplicates = !duplicates;
+      mismatches = !mismatches;
+      watermark = !watermark;
+      dropped = distinct - (!watermark + 1);
+    } )

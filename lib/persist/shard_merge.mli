@@ -1,0 +1,46 @@
+(** Sequence-number merge of per-shard WAL streams.
+
+    The sharded runtime logs every transaction to the WAL of {e each}
+    shard its footprint touches, with the global sequencer stamp inside
+    the payload — per-partition dependency logs in the style of Yao et
+    al. (PAPERS.md).  Recovery scans all N shard logs independently and
+    merges them back into one serial prefix:
+
+    - records are keyed by their global stamp, so the union of the scans
+      reconstructs the stamp order regardless of how appends interleaved
+      across shard logs;
+    - a cross-shard transaction appears once per touched shard; the
+      duplicates are collapsed (and checked for byte-equality — copies
+      of one stamp must agree);
+    - only the longest {e contiguous} stamp prefix is replayable: a gap
+      means some transaction was lost in the crash, and nothing after it
+      may execute, or shards would disagree with the serial order.
+      Records beyond the gap — shards "ahead of the merge watermark" —
+      are dropped.
+
+    Replaying the merged prefix serially (or through the sharded runtime
+    again) reproduces exactly the durable prefix of the original serial
+    order. *)
+
+type stats = {
+  total : int;  (** records scanned across all shard logs *)
+  duplicates : int;  (** extra copies of cross-shard records collapsed *)
+  mismatches : int;  (** duplicate stamps whose payloads disagreed *)
+  watermark : int;  (** highest stamp of the contiguous prefix; -1 if none *)
+  dropped : int;  (** distinct stamps beyond the first gap, discarded *)
+}
+
+val merge : (int * string) array array -> string array * stats
+(** [merge per_shard] takes, for each shard, its decoded [(stamp, data)]
+    records (any order) and returns the payloads of the contiguous
+    stamp prefix [0 .. watermark], stamp-ascending.  When payloads of a
+    duplicated stamp disagree, the first scanned copy wins and
+    [mismatches] counts the disagreement — callers treat a non-zero
+    count as corruption. *)
+
+val decode_stamped : string -> int * string
+(** Split a WAL record payload written as [stamp(8 LE) ++ data].
+    @raise Failure on a short payload. *)
+
+val encode_stamped : int -> string -> string
+(** [encode_stamped stamp data] is the inverse of {!decode_stamped}. *)

@@ -21,11 +21,21 @@ let customer_key ~w ~d ~c = 100_000 + (((w * 10) + d) * 3_000) + c
 let stock_key ~w ~i = 10_000_000 + (w * 100_000) + i
 let fresh_base = 1_000_000_000
 
-let generate ~warehouses rng ~n =
+(* Home warehouse of a key — the partition key for the sharded model.
+   Fresh insert keys embed the inserting warehouse so that an order's
+   insert rows stay on its home shard: fresh_base + seq * warehouses + w. *)
+let partition_key ~warehouses k =
+  if k >= fresh_base then (k - fresh_base) mod warehouses
+  else if k >= 10_000_000 then (k - 10_000_000) / 100_000
+  else if k >= 100_000 then (k - 100_000) / 3_000 / 10
+  else if k >= 1_000 then (k - 1_000) / 10
+  else k
+
+let generate ?(remote_pct = 1) ~warehouses rng ~n =
   if warehouses <= 0 then invalid_arg "Tpcc.generate: warehouses must be positive";
-  let fresh = ref fresh_base in
-  let next_fresh () =
-    let k = !fresh in
+  let fresh = ref 0 in
+  let next_fresh w =
+    let k = fresh_base + (!fresh * warehouses) + w in
     incr fresh;
     k
   in
@@ -34,9 +44,11 @@ let generate ~warehouses rng ~n =
       let district = Rng.int rng 10 in
       let customer = Rng.int rng 3_000 in
       if id land 1 = 0 then begin
-        (* NewOrder: 5..15 order lines; 1% touch a remote warehouse's stock *)
+        (* NewOrder: 5..15 order lines; remote_pct% (TPC-C default 1%)
+           touch a remote warehouse's stock — the cross-shard ratio knob
+           for the sharded experiments *)
         let ol_cnt = 5 + Rng.int rng 11 in
-        let remote = Rng.int rng 100 = 0 && warehouses > 1 in
+        let remote = Rng.int rng 100 < remote_pct && warehouses > 1 in
         let stock_w =
           if remote then (warehouse + 1 + Rng.int rng (warehouses - 1)) mod warehouses
           else warehouse
@@ -45,7 +57,7 @@ let generate ~warehouses rng ~n =
           Array.init ol_cnt (fun _ -> stock_key ~w:stock_w ~i:(Rng.int rng 100_000))
         in
         (* inserts: one order row, one new-order row, one row per order line *)
-        let fresh_keys = Array.init (2 + ol_cnt) (fun _ -> next_fresh ()) in
+        let fresh_keys = Array.init (2 + ol_cnt) (fun _ -> next_fresh warehouse) in
         { id; kind = New_order; warehouse; district; customer; stock_keys; fresh_keys; remote }
       end
       else
@@ -56,7 +68,7 @@ let generate ~warehouses rng ~n =
           district;
           customer;
           stock_keys = [||];
-          fresh_keys = [| next_fresh () |];
+          fresh_keys = [| next_fresh warehouse |];
           remote = false;
         })
 

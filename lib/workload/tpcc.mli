@@ -31,10 +31,13 @@ type txn = {
   customer : int;
   stock_keys : int array;  (** NewOrder only: items ordered *)
   fresh_keys : int array;  (** insert rows: conflict-free *)
-  remote : bool;  (** NewOrder: 1% of orders touch a remote warehouse *)
+  remote : bool;  (** NewOrder: order touches a remote warehouse's stock *)
 }
 
-val generate : warehouses:int -> Doradd_stats.Rng.t -> n:int -> txn array
+val generate : ?remote_pct:int -> warehouses:int -> Doradd_stats.Rng.t -> n:int -> txn array
+(** [remote_pct] (default 1, TPC-C's rate) is the percentage of
+    NewOrders that draw stock from a remote warehouse — the cross-shard
+    ratio knob for the sharded-scaling experiments. *)
 
 (** Key encodings, exposed for tests. *)
 val warehouse_key : int -> int
@@ -42,6 +45,11 @@ val warehouse_key : int -> int
 val district_key : w:int -> d:int -> int
 val customer_key : w:int -> d:int -> c:int -> int
 val stock_key : w:int -> i:int -> int
+
+val partition_key : warehouses:int -> int -> int
+(** Home warehouse of a key — the partition key for the sharded model.
+    Fresh insert keys embed their warehouse, so a NewOrder's insert rows
+    are home-shard even when its stock lines are remote. *)
 
 type cost = {
   new_order : int;  (** main-piece service, ns *)

@@ -133,7 +133,7 @@ let test_tpcc_new_order_semantics () =
   let db = Db.Tpcc_db.create small_cfg in
   checki "initial next_o_id" 1 (Db.Tpcc_db.district_next_o_id db ~w:0 ~d:0);
   Db.Tpcc_db.execute db
-    (Db.Tpcc_db.New_order { no_w = 0; no_d = 0; no_c = 0; lines = [| (5, 3); (9, 2) |] });
+    (Db.Tpcc_db.New_order { no_w = 0; no_d = 0; no_c = 0; lines = [| (0, 5, 3); (0, 9, 2) |] });
   checki "next_o_id bumped" 2 (Db.Tpcc_db.district_next_o_id db ~w:0 ~d:0);
   checki "order recorded" 1 (Db.Tpcc_db.district_order_count db ~w:0 ~d:0);
   checki "stock decremented" 97 (Db.Tpcc_db.stock_quantity db ~w:0 ~i:5);
@@ -144,7 +144,7 @@ let test_tpcc_stock_restock () =
   (* order item 0 ten at a time until restock triggers: 100 -> ... -> <10+qty *)
   for _ = 1 to 12 do
     Db.Tpcc_db.execute db
-      (Db.Tpcc_db.New_order { no_w = 0; no_d = 0; no_c = 0; lines = [| (0, 10) |] })
+      (Db.Tpcc_db.New_order { no_w = 0; no_d = 0; no_c = 0; lines = [| (0, 0, 10) |] })
   done;
   let q = Db.Tpcc_db.stock_quantity db ~w:0 ~i:0 in
   checkb "restocked (never below 0)" true (q > 0);
@@ -209,7 +209,8 @@ let test_tpcc_generate_bounds () =
       | Db.Tpcc_db.New_order o ->
         checkb "warehouse in range" true (o.Db.Tpcc_db.no_w < small_cfg.Db.Tpcc_db.warehouses);
         Array.iter
-          (fun (i, q) ->
+          (fun (s, i, q) ->
+            checkb "supply in range" true (s < small_cfg.Db.Tpcc_db.warehouses);
             checkb "item in range" true (i < small_cfg.Db.Tpcc_db.items);
             checkb "qty 1..10" true (q >= 1 && q <= 10))
           o.Db.Tpcc_db.lines

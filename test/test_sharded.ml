@@ -1,0 +1,250 @@
+(* Tests for the sharded runtime: the partition function, the
+   cross-shard merge protocol, and the central shard-count-invariance
+   property — for any shard count N, the final store digest, the
+   per-request results, and the per-resource commit order are
+   byte-identical to the N=1 (and serial) run. *)
+
+module Core = Doradd_core
+module Db = Doradd_db
+module Rng = Doradd_stats.Rng
+module Ycsb = Doradd_workload.Ycsb
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Partition function                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_slot_pkey () =
+  let s = Core.Slot.create ~pkey:42 () in
+  checki "pkey stored" 42 (Core.Slot.pkey s);
+  checki "shard = pkey mod n" 2 (Core.Slot.shard ~shards:4 s);
+  checki "single shard collapses" 0 (Core.Slot.shard ~shards:1 s);
+  (* pkey defaults to the slot id, which is at least unique *)
+  let a = Core.Slot.create () and b = Core.Slot.create () in
+  checkb "default pkeys distinct" true (Core.Slot.pkey a <> Core.Slot.pkey b)
+
+let test_partition_stable_across_instances () =
+  (* two stores populated with the same keys must agree on shard
+     placement — the property slot ids (a global counter) do not have *)
+  let mk () =
+    let s = Db.Store.create () in
+    Db.Store.populate s ~n:32;
+    s
+  in
+  let s1 = mk () and s2 = mk () in
+  for k = 0 to 31 do
+    checki
+      (Printf.sprintf "key %d same shard in both stores" k)
+      (Core.Resource.shard ~shards:4 (Db.Store.find_exn s1 k))
+      (Core.Resource.shard ~shards:4 (Db.Store.find_exn s2 k))
+  done
+
+let test_footprint_shards () =
+  let slot pkey = Core.Slot.create ~pkey () in
+  let fp =
+    Core.Footprint.of_list
+      [ (slot 0, Core.Footprint.Write); (slot 1, Core.Footprint.Write); (slot 5, Core.Footprint.Write) ]
+  in
+  (match Core.Footprint.touched_shards ~shards:4 fp with
+  | [ 0; 1 ] -> ()
+  | l ->
+    Alcotest.failf "touched_shards: expected [0; 1], got [%s]"
+      (String.concat "; " (List.map string_of_int l)));
+  checkb "spans shards" true (Core.Footprint.spans ~shards:4 fp);
+  checkb "does not span at 1" false (Core.Footprint.spans ~shards:1 fp);
+  let r0 = Core.Footprint.restrict ~shards:4 ~shard:0 fp in
+  let r1 = Core.Footprint.restrict ~shards:4 ~shard:1 fp in
+  checki "shard 0 keeps pkey 0" 1 (Core.Footprint.length r0);
+  checki "shard 1 keeps pkeys 1 and 5" 2 (Core.Footprint.length r1);
+  checki "restrict to only shard is identity" (Core.Footprint.length fp)
+    (Core.Footprint.length (Core.Footprint.restrict ~shards:1 ~shard:0 fp))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard protocol on the raw runtime                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_cross_body_executes_once () =
+  let a = Core.Resource.create ~pkey:0 0 and b = Core.Resource.create ~pkey:1 0 in
+  let n = 200 in
+  let hits = Array.make n 0 in
+  let rt = Core.Sharded_runtime.create ~shards:2 ~workers_per_shard:2 () in
+  let fp =
+    Core.Footprint.of_slots [ Core.Resource.slot a; Core.Resource.slot b ]
+  in
+  for i = 0 to n - 1 do
+    Core.Sharded_runtime.schedule rt fp (fun () ->
+        (* unsynchronised increment: only safe if the body runs exactly
+           once, on exactly one shard, serialised by the footprint *)
+        hits.(i) <- hits.(i) + 1;
+        Core.Resource.set a (Core.Resource.get a + 1);
+        Core.Resource.set b (Core.Resource.get b + 1))
+  done;
+  Core.Sharded_runtime.drain rt;
+  Core.Sharded_runtime.shutdown rt;
+  checki "every body ran exactly once" n (Array.fold_left ( + ) 0 hits);
+  checkb "no double execution" true (Array.for_all (fun h -> h = 1) hits);
+  checki "resource a" n (Core.Resource.peek a);
+  checki "resource b" n (Core.Resource.peek b);
+  checki "all scheduled cross-shard" n (Core.Sharded_runtime.cross rt)
+
+let test_failure_recorded_by_stamp () =
+  let a = Core.Resource.create ~pkey:0 0 in
+  let rt = Core.Sharded_runtime.create ~shards:2 () in
+  let fp = Core.Footprint.of_slots [ Core.Resource.slot a ] in
+  Core.Sharded_runtime.schedule rt fp (fun () -> Core.Resource.set a 1);
+  Core.Sharded_runtime.schedule rt fp (fun () -> failwith "boom");
+  Core.Sharded_runtime.schedule rt fp (fun () -> Core.Resource.set a 3);
+  Core.Sharded_runtime.drain rt;
+  Core.Sharded_runtime.shutdown rt;
+  (match Core.Sharded_runtime.failures rt with
+  | [ (stamp, _) ] -> checki "failing stamp" 1 stamp
+  | l -> Alcotest.failf "expected one failure, got %d" (List.length l));
+  checki "later txns still ran" 3 (Core.Resource.peek a)
+
+(* ------------------------------------------------------------------ *)
+(* Shard-count invariance (the qcheck property)                        *)
+(* ------------------------------------------------------------------ *)
+
+let shard_counts = [ 1; 2; 4; 8 ]
+
+(* random KV workload with an explicit cross-shard mix: some txns stay
+   in one [key mod 8] bucket (single-shard at every N that divides 8),
+   others mix buckets *)
+let random_kv_txns ~seed ~n ~n_keys ~cross_pct =
+  let rng = Rng.create (seed lxor 0x0073_6864) in
+  Array.init n (fun id ->
+      let ops = 1 + Rng.int rng 4 in
+      let bucket = Rng.int rng 8 in
+      Array.init ops (fun _ ->
+          let key =
+            if Rng.int rng 100 < cross_pct then Rng.int rng n_keys
+            else (Rng.int rng (n_keys / 8) * 8) + bucket
+          in
+          { Db.Kv.key; kind = (if Rng.int rng 4 = 0 then Db.Kv.Read else Db.Kv.Update) })
+      |> fun ops -> { Db.Kv.id; ops })
+
+let check_invariance ~what ~n_keys txns =
+  let s_digest, s_results, s_order = Db.Sharded_kv.run_serial ~n_keys txns in
+  List.for_all
+    (fun shards ->
+      let d, r, o =
+        Db.Sharded_kv.run_sharded ~workers_per_shard:2 ~shards ~n_keys txns
+      in
+      let ok = d = s_digest && r = s_results && o = s_order in
+      if not ok then
+        Printf.eprintf "%s: shards=%d digest %s results %s order %s\n%!" what shards
+          (if d = s_digest then "ok" else "MISMATCH")
+          (if r = s_results then "ok" else "MISMATCH")
+          (if o = s_order then "ok" else "MISMATCH");
+      ok)
+    shard_counts
+
+let prop_kv_invariance =
+  QCheck.Test.make ~name:"sharded kv: digest+results+commit order invariant over N" ~count:12
+    QCheck.(triple (int_range 1 1_000_000) (int_range 20 120) (int_range 0 60))
+    (fun (seed, n, cross_pct) ->
+      let n_keys = 64 in
+      let txns = random_kv_txns ~seed ~n ~n_keys ~cross_pct in
+      check_invariance ~what:"kv" ~n_keys txns)
+
+let prop_ycsb_invariance =
+  QCheck.Test.make ~name:"sharded ycsb: digest+results+commit order invariant over N" ~count:6
+    QCheck.(pair (int_range 1 1_000_000) (int_range 20 100))
+    (fun (seed, n) ->
+      let n_keys = 128 in
+      let cfg =
+        Ycsb.config ~n_keys ~ops_per_txn:6 ~hot_count:8 ~hot_stride:(n_keys / 8)
+          Ycsb.Mod_contention
+      in
+      let txns =
+        Array.map
+          (fun (t : Ycsb.txn) ->
+            {
+              Db.Kv.id = t.id;
+              ops =
+                Array.map
+                  (fun (o : Ycsb.op) ->
+                    { Db.Kv.key = o.key; kind = (if o.is_write then Db.Kv.Update else Db.Kv.Read) })
+                  t.ops;
+            })
+          (Ycsb.generate cfg (Rng.create seed) ~n)
+      in
+      check_invariance ~what:"ycsb" ~n_keys txns)
+
+let tpcc_cfg = { Db.Tpcc_db.warehouses = 8; customers_per_district = 20; items = 40 }
+
+let prop_tpcc_invariance =
+  QCheck.Test.make ~name:"sharded tpcc-np: digest invariant over N (cross-warehouse orders)"
+    ~count:5
+    QCheck.(pair (int_range 1 1_000_000) (int_range 0 50))
+    (fun (seed, remote_pct) ->
+      let gen = Db.Tpcc_db.create tpcc_cfg in
+      let txns = Db.Tpcc_db.generate ~remote_pct gen (Rng.create seed) ~n:300 in
+      let reference = Db.Tpcc_db.create tpcc_cfg in
+      Db.Tpcc_db.run_sequential reference txns;
+      let expected = Db.Tpcc_db.digest reference in
+      List.for_all
+        (fun shards ->
+          let db = Db.Tpcc_db.create tpcc_cfg in
+          Db.Tpcc_db.run_sharded ~workers_per_shard:2 ~shards db txns;
+          Db.Tpcc_db.digest db = expected)
+        shard_counts)
+
+let test_tpcc_remote_spans_shards () =
+  let gen = Db.Tpcc_db.create tpcc_cfg in
+  let txns = Db.Tpcc_db.generate ~remote_pct:100 gen (Rng.create 3) ~n:400 in
+  let remote = Array.exists Db.Tpcc_db.is_remote txns in
+  checkb "100% remote generates remote orders" true remote;
+  (* a remote NewOrder's footprint must span shards under the
+     warehouse-affine partition *)
+  let spans =
+    Array.exists
+      (fun t ->
+        Db.Tpcc_db.is_remote t
+        && Core.Footprint.spans ~shards:tpcc_cfg.Db.Tpcc_db.warehouses
+             (Db.Tpcc_db.footprint gen t))
+      txns
+  in
+  checkb "remote order spans shards" true spans
+
+(* shard counts that do not divide the bucket modulus still agree: the
+   contract quantifies over every N, not just powers of two *)
+let test_odd_shard_counts () =
+  let n_keys = 48 in
+  let txns = random_kv_txns ~seed:99 ~n:80 ~n_keys ~cross_pct:30 in
+  let s_digest, s_results, s_order = Db.Sharded_kv.run_serial ~n_keys txns in
+  List.iter
+    (fun shards ->
+      let d, r, o = Db.Sharded_kv.run_sharded ~shards ~n_keys txns in
+      checki (Printf.sprintf "digest (%d shards)" shards) s_digest d;
+      checkb (Printf.sprintf "results (%d shards)" shards) true (r = s_results);
+      checkb (Printf.sprintf "order (%d shards)" shards) true (o = s_order))
+    [ 3; 5; 7 ]
+
+let () =
+  Alcotest.run "sharded"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "slot pkey and shard" `Quick test_slot_pkey;
+          Alcotest.test_case "stable across store instances" `Quick
+            test_partition_stable_across_instances;
+          Alcotest.test_case "footprint shard queries" `Quick test_footprint_shards;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "cross body executes once" `Quick test_cross_body_executes_once;
+          Alcotest.test_case "failures recorded by stamp" `Quick test_failure_recorded_by_stamp;
+          Alcotest.test_case "remote tpcc order spans shards" `Quick
+            test_tpcc_remote_spans_shards;
+        ] );
+      ( "invariance",
+        [
+          QCheck_alcotest.to_alcotest prop_kv_invariance;
+          QCheck_alcotest.to_alcotest prop_ycsb_invariance;
+          QCheck_alcotest.to_alcotest prop_tpcc_invariance;
+          Alcotest.test_case "odd shard counts" `Quick test_odd_shard_counts;
+        ] );
+    ]
