@@ -471,6 +471,90 @@ let sharded_tier ~seed ~n ~shards =
     (List.map snd rows);
   List.for_all fst rows
 
+(* -- suspend tier: forced effects-based suspensions vs serial --------- *)
+
+(* The suspendable-transaction contract under forced suspension: every KV
+   transaction dispatched through [schedule_suspendable] with seed-derived
+   yields (0-3 per txn), and TPCC-NP with 10% remote order lines whose
+   cross-shard early arrivers park on the effects waitset.  Digest,
+   per-request results, and per-resource commit order must still be
+   byte-identical to serial at every shard count, and the suspend/resume
+   counters must balance after each drain (every park resumed exactly
+   once, nothing resumed twice). *)
+let suspend_tier ~seed ~n =
+  let n = min n 2_000 in
+  let shard_counts = [ 1; 2; 4 ] in
+  let balance f =
+    let s0 = Core.Effects.suspend_count () and r0 = Core.Effects.resume_count () in
+    let out = f () in
+    let ds = Core.Effects.suspend_count () - s0 and dr = Core.Effects.resume_count () - r0 in
+    (out, ds, dr)
+  in
+  let kv_rows =
+    let n_keys = 96 in
+    let rng = Rng.create (seed lxor 0x7375_7370) in
+    let txns =
+      Array.init n (fun id ->
+          let ops =
+            Array.init
+              (1 + Rng.int rng 4)
+              (fun _ ->
+                {
+                  Db.Kv.key = Rng.int rng n_keys;
+                  kind = (if Rng.int rng 4 = 0 then Db.Kv.Read else Db.Kv.Update);
+                })
+          in
+          { Db.Kv.id; ops })
+    in
+    let suspends_of id = (id * 31) lxor seed land 3 in
+    let sd, sr, so = Db.Sharded_kv.run_serial ~n_keys txns in
+    List.map
+      (fun k ->
+        let (d, r, o), ds, dr =
+          balance (fun () ->
+              Db.Sharded_kv.run_sharded ~workers_per_shard:2 ~shards:k ~n_keys ~suspends_of txns)
+        in
+        let ok = d = sd && r = sr && o = so && ds = dr && ds > 0 in
+        ( ok,
+          [
+            "kv forced yields"; string_of_int k;
+            (if d = sd && r = sr && o = so then "ok" else "DIVERGES");
+            Printf.sprintf "%d/%d" ds dr;
+            (if ok then "PASS" else "FAIL");
+          ] ))
+      shard_counts
+  in
+  let tpcc_rows =
+    let cfg = { Db.Tpcc_db.warehouses = 8; customers_per_district = 40; items = 400 } in
+    let gen = Db.Tpcc_db.create cfg in
+    let txns = Db.Tpcc_db.generate ~remote_pct:10 gen (Rng.create (seed lxor 0x7370_7463)) ~n in
+    let reference = Db.Tpcc_db.create cfg in
+    Db.Tpcc_db.run_sequential reference txns;
+    let expected = Db.Tpcc_db.digest reference in
+    List.map
+      (fun k ->
+        let db = Db.Tpcc_db.create cfg in
+        let (), ds, dr =
+          balance (fun () -> Db.Tpcc_db.run_sharded ~workers_per_shard:2 ~shards:k db txns)
+        in
+        (* parks are schedule-dependent (only EARLY cross-shard arrivers
+           suspend), so assert balance, not a count *)
+        let ok = Db.Tpcc_db.digest db = expected && ds = dr in
+        ( ok,
+          [
+            "tpcc-np 10% remote"; string_of_int k;
+            (if Db.Tpcc_db.digest db = expected then "ok" else "DIVERGES");
+            Printf.sprintf "%d/%d" ds dr;
+            (if ok then "PASS" else "FAIL");
+          ] ))
+      shard_counts
+  in
+  let rows = kv_rows @ tpcc_rows in
+  Table.print ~title:"doradd-check: suspendable transactions (forced suspends) vs serial"
+    ~header:[ "application"; "shards"; "digest+results+order"; "susp/res"; "verdict" ]
+    (List.map snd rows);
+  List.for_all fst rows
+
 open Cmdliner
 
 let iterations_arg =
@@ -525,7 +609,16 @@ let recovery_arg =
         ~doc:"Run the crash-recovery smoke tier: kill/recover/verify cycles with real \
               fsync across the WAL/snapshot crash points.")
 
-let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery shards names =
+let suspend_arg =
+  Arg.(
+    value & flag
+    & info [ "suspend" ]
+        ~doc:"Run the suspendable-transaction tier: KV with seed-derived forced yields \
+              per transaction and 10%-remote TPCC-NP (cross-shard parks), dispatched \
+              through the effects handler, must stay byte-identical to serial with \
+              balanced suspend/resume counters.")
+
+let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery shards suspend names =
   let selected =
     if List.mem "all" names then apps
     else
@@ -554,6 +647,7 @@ let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery shard
     let chk_ok = chk_bound <= 0 || chk_smoke ~bound:chk_bound in
     let recovery_ok = (not recovery) || recovery_smoke ~seed in
     let sharded_ok = shards <= 0 || sharded_tier ~seed ~n ~shards in
+    let suspend_ok = (not suspend) || suspend_tier ~seed ~n in
     let failures =
       List.filter_map
         (fun (ok, msg) -> if ok then None else Some msg)
@@ -565,6 +659,7 @@ let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery shard
           (chk_ok, "model-checker tier failed");
           (recovery_ok, "crash-recovery smoke tier failed");
           (sharded_ok, "sharded determinism tier failed");
+          (suspend_ok, "suspendable-transaction tier failed");
         ]
     in
     match failures with [] -> `Ok () | msg :: _ -> `Error (false, msg)
@@ -577,6 +672,6 @@ let cmd =
     Term.(
       ret
         (const main $ iterations_arg $ seed_arg $ size_arg $ no_sanitize_arg $ dst_seeds_arg
-       $ no_obs_arg $ chk_bound_arg $ recovery_arg $ shards_arg $ apps_arg))
+       $ no_obs_arg $ chk_bound_arg $ recovery_arg $ shards_arg $ suspend_arg $ apps_arg))
 
 let () = exit (Cmd.eval cmd)

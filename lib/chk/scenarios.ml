@@ -20,6 +20,7 @@ module Spsc = Doradd_queue.Spsc.Make (Tatomic)
 module Mpmc = Doradd_queue.Mpmc.Make (Tatomic)
 module Node = Doradd_core.Node.Make (Tatomic)
 module Pub = Doradd_replication.Sequencer.Publication.Make (Tatomic)
+module Waitset = Doradd_core.Waitset.Make (Tatomic)
 
 type t = {
   name : string;
@@ -340,6 +341,69 @@ let shard_merge_make eager ~bound () =
           (Tatomic.get body_runs) (Tatomic.get arrivals));
   }
 
+(* -- waitset suspend/resume hand-off ---------------------------------- *)
+
+(* The effects layer's park-vs-fire race (lib/core/waitset): concurrent
+   waiters CAS themselves onto the trigger while the firer exchanges the
+   chain for Fired.  The contract under every interleaving: a park that
+   returned [true] is resumed exactly once (no lost wakeup, no double
+   resume); a park that returned [false] lost to a completed fire, so the
+   waiter continues inline; the one resume batch is stamp-ascending; a
+   second fire is a no-op.  The planted twin parks through the
+   get-then-set window ([unsafe_park_lossy]): schedules where the fire's
+   exchange lands between the two bury Fired under a Waiting chain nobody
+   will ever fire again — the stuck waiter trips [suspend-lost-wakeup]. *)
+let suspend_handoff_make park_fn ~bound () =
+  let waiters = min (max bound 1) 3 in
+  let w = Waitset.create () in
+  let resumed = Array.make waiters 0 in
+  let parked = Array.make waiters false in
+  let inline = Array.make waiters false in
+  let batches = ref [] in
+  let waiter i () =
+    if
+      park_fn w ~stamp:(i + 1) (fun () ->
+          Tatomic.check "suspend-double-resume" (resumed.(i) = 0);
+          resumed.(i) <- resumed.(i) + 1)
+    then parked.(i) <- true
+    else begin
+      (* refused park: the fire must already have completed *)
+      Tatomic.check "suspend-refusal-before-fire" (Waitset.fired w);
+      inline.(i) <- true
+    end
+  in
+  let firer () =
+    let on_batch stamps =
+      let l = Array.to_list stamps in
+      batches := l :: !batches;
+      Tatomic.check "suspend-batch-stamp-order" (List.sort compare l = l)
+    in
+    Waitset.fire ~on_batch w;
+    (* a second fire obtains Fired from the exchange: no second batch *)
+    Waitset.fire ~on_batch w
+  in
+  {
+    Engine.processes = Array.init (waiters + 1) (fun i -> if i < waiters then waiter i else firer);
+    final_check =
+      (fun () ->
+        for i = 0 to waiters - 1 do
+          if parked.(i) then Tatomic.check "suspend-lost-wakeup" (resumed.(i) = 1)
+          else begin
+            Tatomic.check "suspend-inline-continue" inline.(i);
+            Tatomic.check "suspend-double-resume" (resumed.(i) = 0)
+          end
+        done;
+        Tatomic.check "suspend-single-batch" (List.length !batches <= 1);
+        Tatomic.check "suspend-fired" (Waitset.fired w));
+    digest =
+      (fun () ->
+        Printf.sprintf "parked=%s resumed=%s batches=%d"
+          (ints (List.filter_map (fun i -> if parked.(i) then Some (i + 1) else None)
+               (List.init waiters Fun.id)))
+          (ints (Array.to_list resumed))
+          (List.length !batches));
+  }
+
 (* -- registry --------------------------------------------------------- *)
 
 let all : t list =
@@ -401,6 +465,13 @@ let all : t list =
       make = shard_merge_make false;
     };
     {
+      name = "suspend-handoff";
+      descr = "waitset park vs fire: no lost wakeup, exactly-once stamp-ordered resume";
+      planted = false;
+      expect = None;
+      make = (fun ~bound -> suspend_handoff_make Waitset.park ~bound);
+    };
+    {
       name = "planted-mpmc-cap1";
       descr = "PLANTED: capacity-1 ring without the >=2 rounding (pre-fix Vyukov overwrite)";
       planted = true;
@@ -424,6 +495,13 @@ let all : t list =
       planted = true;
       expect = Some "merge-agreement";
       make = shard_merge_make true;
+    };
+    {
+      name = "planted-suspend-lossy-park";
+      descr = "PLANTED: park with a get-then-set window (racing fire buried, waiter stuck)";
+      planted = true;
+      expect = Some "suspend-lost-wakeup";
+      make = (fun ~bound -> suspend_handoff_make Waitset.unsafe_park_lossy ~bound);
     };
   ]
 

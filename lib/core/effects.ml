@@ -1,0 +1,140 @@
+(* Effects-based suspendable transactions.
+
+   A transaction scheduled through [Runtime.schedule_suspendable] runs
+   inside a deep effect handler ([run] below).  The body can then wait —
+   a cross-shard barrier, a durable-read miss, an explicit [yield] —
+   without burning its worker: performing [Suspend trig] captures the
+   continuation as a one-shot fiber, parks it on [trig]'s wait-set keyed
+   by the request's stamp, and returns [Node.Suspended] to the worker
+   loop, which simply moves on to other ready work.  When the trigger
+   fires, the wait-set runs the resume closures in stamp order; each one
+   installs its continuation as the node's next step and pushes the node
+   back into the runnable set, where any worker (on any domain — OCaml
+   one-shot continuations resume cross-domain) picks it up.
+
+   Determinism: a parked transaction keeps exclusive access to its
+   declared footprint — its DAG dependents are only released at
+   completion, never at a suspension — so for any schedule of suspends
+   and resumes the final state, per-request results, and per-resource
+   commit order are byte-identical to serial execution.  Resume order
+   within a batch is stamp order (Waitset sorts), the schedule closest
+   to serial; it is checked, not assumed (DST case "suspend").
+
+   Allocation: this path allocates (the fiber, the handler record, the
+   resume closures).  That is deliberate — suspension is a wait, waits
+   are rare, and the suspend-free fast path ([Runtime.schedule]) never
+   touches a handler, which is what keeps the PR 4 alloc gate at
+   0 B/op.  A fiber costs ~32 B even when the body never performs;
+   installing handlers on plain dispatch would forfeit the gate. *)
+
+open Effect
+open Effect.Deep
+
+type trigger = Waitset.t
+
+let trigger = Waitset.create
+
+type _ Effect.t +=
+  | Suspend : trigger -> unit Effect.t
+  | Reschedule : unit Effect.t
+
+(* Always-on counters (plain atomics, no Obs arming needed): tests assert
+   exact suspend/resume accounting — an early cross-shard arriver must
+   suspend exactly once, and after a drain every suspend must have been
+   matched by a resume. *)
+let suspends = Atomic.make 0
+let resumes = Atomic.make 0
+let suspend_count () = Atomic.get suspends
+let resume_count () = Atomic.get resumes
+
+let reset_counters () =
+  Atomic.set suspends 0;
+  Atomic.set resumes 0
+
+(* DST observer: called with each resume batch's stamps, in the order the
+   wait-set runs them.  The suspend case's resume-order oracle hangs off
+   this hook. *)
+let null_observer (_ : int array) = ()
+let batch_observer = Atomic.make null_observer
+
+let set_batch_observer f =
+  Atomic.set batch_observer (match f with Some f -> f | None -> null_observer)
+
+(* Planted bug (dst.exe --self-test only): fire in reverse-park order
+   instead of stamp order.  The resume-order invariant must catch it. *)
+let lifo_fire = Atomic.make false
+let unsafe_set_lifo_fire b = Atomic.set lifo_fire b
+
+let fire trig =
+  let on_batch b = (Atomic.get batch_observer) b in
+  if Atomic.get lifo_fire then Waitset.unsafe_fire_unsorted ~on_batch trig
+  else Waitset.fire ~on_batch trig
+
+(* Per-domain flag: set while a suspendable fiber is executing on this
+   domain, so library code ([Service.fetch], app helpers) can make
+   waiting conditional — a plain [schedule]d body has no handler and
+   must not perform. *)
+let in_fiber_key = Domain.DLS.new_key (fun () -> ref false)
+
+let can_suspend () = !(Domain.DLS.get in_fiber_key)
+
+let with_fiber_flag f =
+  let r = Domain.DLS.get in_fiber_key in
+  let saved = !r in
+  r := true;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+let yield () = if can_suspend () then perform Reschedule
+
+let await trig =
+  (* fast path: an already-fired trigger costs one load, no fiber
+     machinery.  The slow path re-checks under park's CAS, so a fire
+     racing this load is never lost. *)
+  if not (Waitset.fired trig) then
+    if can_suspend () then perform (Suspend trig)
+    else invalid_arg "Effects.await: not inside a suspendable transaction"
+
+let run ~rs ~node ~wrap body =
+  let stamp = Node.seqno node in
+  let workers = Runnable_set.workers rs in
+  (* Resume protocol: install the continuation as the node's next step,
+     then hand the node to the runnable set.  The push's release fence
+     publishes the [set_step] write (and, transitively, everything the
+     firing thread wrote before [fire]) to whichever worker pops the
+     node.  [wrap] re-applies the per-step brackets (sanitizer context,
+     commit tracing) the runtime attached at schedule time. *)
+  let repush k =
+    Atomic.incr resumes;
+    Node.set_step node (wrap (fun () -> with_fiber_flag (fun () -> continue k ())));
+    Runnable_set.push_worker rs ~worker:(stamp mod workers) node
+  in
+  with_fiber_flag (fun () ->
+      match_with body ()
+        {
+          retc = (fun () -> Node.Finished);
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Suspend trig ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    if Waitset.park trig ~stamp (fun () -> repush k) then begin
+                      Atomic.incr suspends;
+                      Node.Suspended
+                    end
+                    else
+                      (* lost the race to a concurrent fire: nothing to
+                         wait for, continue inline on this worker *)
+                      continue k ())
+              | Reschedule ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    (* a yield is a suspension whose trigger is already
+                       pulled: park-and-push in one motion, giving the
+                       worker a chance to run other ready requests *)
+                    Atomic.incr suspends;
+                    repush k;
+                    Node.Suspended)
+              | _ -> None);
+        })

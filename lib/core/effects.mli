@@ -1,0 +1,83 @@
+(** Effects-based suspendable transactions: the Suspend/Resume pair that
+    lets a transaction body wait mid-execution without losing its worker.
+
+    A body scheduled through {!Runtime.schedule_suspendable} executes
+    inside a deep handler ({!run}).  Waiting — {!await} on a
+    {!type-trigger}, or an explicit {!yield} — captures the continuation
+    as a one-shot fiber, parks it on the trigger's {!Waitset} keyed by
+    the request's stamp, and frees the worker; {!fire} resumes the
+    parked batch in stamp order by pushing each node back into the
+    runnable set.  While parked, the transaction keeps exclusive access
+    to its declared footprint (dependents are released only at
+    completion), so any schedule of suspends and resumes yields final
+    state, per-request results, and per-resource commit order
+    byte-identical to serial — the contract the DST "suspend" case, the
+    chk "suspend-handoff" scenario, and [test/test_effects.ml] enforce.
+
+    The suspend-free fast path ({!Runtime.schedule}) never installs a
+    handler and stays 0 B/op; this module's paths may allocate. *)
+
+type trigger
+(** A one-shot condition transactions can wait on (a {!Waitset.t}). *)
+
+val trigger : unit -> trigger
+
+val fire : trigger -> unit
+(** Fire the trigger: resume every parked waiter, lowest stamp first.
+    Idempotent; a fire racing a park never loses the waiter (the park
+    CAS observes the fired state and continues inline). *)
+
+val await : trigger -> unit
+(** Suspend the current transaction until the trigger fires.  No-op if
+    it already fired.  Must be called from inside a suspendable
+    transaction ({!can_suspend}); raises [Invalid_argument] otherwise.
+    Worker-loop liveness is the scheduler's concern: parked nodes leave
+    the runnable set entirely (no re-park polling). *)
+
+val yield : unit -> unit
+(** Reschedule the current transaction: park-and-push in one motion,
+    letting the worker interleave other ready requests.  A no-op when
+    called outside a suspendable transaction, so application bodies may
+    call it unconditionally. *)
+
+val can_suspend : unit -> bool
+(** True while the calling domain is executing a suspendable fiber. *)
+
+(** {1 Accounting and hooks (tests, DST)} *)
+
+val suspend_count : unit -> int
+(** Suspensions that actually parked (inline already-fired continues are
+    not counted).  Process-global, always on. *)
+
+val resume_count : unit -> int
+(** Parked continuations pushed back into a runnable set.  After a full
+    drain, equals {!suspend_count}'s delta over the same window. *)
+
+val reset_counters : unit -> unit
+
+val set_batch_observer : (int array -> unit) option -> unit
+(** DST oracle hook: observe each resume batch's stamps in the order the
+    wait-set runs them (must be ascending — the resume-order contract).
+    Called from whatever domain fires; must be domain-safe.  [None]
+    clears. *)
+
+val unsafe_set_lifo_fire : bool -> unit
+(** Planted bug for [dst.exe --self-test]: make {!fire} resume in
+    reverse-park order instead of stamp order.  Never use outside the
+    DST harness. *)
+
+(** {1 Runtime internals} *)
+
+val run :
+  rs:Runnable_set.t ->
+  node:Node.t ->
+  wrap:((unit -> Node.outcome) -> unit -> Node.outcome) ->
+  (unit -> unit) ->
+  Node.outcome
+(** [run ~rs ~node ~wrap body] executes [body] under the suspend
+    handler: returns [Finished] if it ran to completion, or [Suspended]
+    after a park (the resume closure re-enqueues [node] on [rs] when the
+    trigger fires).  [wrap] is applied to every resumed step so the
+    schedule-time brackets (sanitizer context, commit tracing) travel
+    with the continuation.  Called by {!Runtime.schedule_suspendable};
+    not meant for direct use. *)

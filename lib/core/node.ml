@@ -31,7 +31,7 @@ module Atomic_intf = Doradd_queue.Atomic_intf
 module type S = Node_intf.S
 
 module Make (A : Atomic_intf.ATOMIC) = struct
-  type outcome = Finished | Yield of (unit -> outcome)
+  type outcome = Finished | Yield of (unit -> outcome) | Suspended
 
   type t = {
     mutable seqno : int;
@@ -212,10 +212,19 @@ module Make (A : Atomic_intf.ATOMIC) = struct
       | Yield k ->
         t.work_s <- k;
         `Yielded
+      | Suspended ->
+        (* Hands off: the wait-set resume closure owns the node from the
+           moment the park landed — it may already have installed the
+           continuation ([set_step]) and re-enqueued the node on another
+           domain, so writing [work_s] here would race with (or clobber)
+           the resumption. *)
+        `Suspended
     else begin
       t.work_u ();
       `Finished
     end
+
+  let set_step t k = t.work_s <- k
 
   let rec add_cell pred c d =
     match A.get pred.deps with

@@ -6,10 +6,15 @@
 module type S = sig
   type t
 
-  type outcome = Finished | Yield of (unit -> outcome)
+  type outcome = Finished | Yield of (unit -> outcome) | Suspended
   (** Result of one execution step: cooperative procedures (§6 of the
       paper) may [Yield] a continuation instead of running to completion in
-      one go. *)
+      one go.  [Suspended] means the step captured its continuation on an
+      effects fiber and parked it on a {!Waitset} trigger ({!Effects}): the
+      node is {e not} in the runnable set and must not be re-enqueued,
+      completed, or otherwise touched by the worker that observed it — the
+      resume closure (possibly already running on another domain) owns the
+      node from the instant the park lands. *)
 
   (** {1 Pooled nodes} *)
 
@@ -57,11 +62,20 @@ module type S = sig
 
   val seqno : t -> int
 
-  val run : t -> [ `Finished | `Yielded ]
+  val run : t -> [ `Finished | `Yielded | `Suspended ]
   (** Execute the next step of the request body.  Call only when the node
       is ready.  On [`Yielded] the node must be re-enqueued in the runnable
       set — its dependents stay blocked until a later step finishes and
-      {!complete} runs, which keeps yielding deterministic. *)
+      {!complete} runs, which keeps yielding deterministic.  On
+      [`Suspended] the caller must not touch the node at all (see
+      {!type-outcome}): the wait-set resume closure re-enqueues it, and may
+      already have done so concurrently. *)
+
+  val set_step : t -> (unit -> outcome) -> unit
+  (** Replace the node's next cooperative step.  Used by the effects layer
+      to install the captured continuation before re-enqueueing a resumed
+      node; the caller must hold exclusive ownership of the node (a parked
+      node's owner is whoever the wait-set hands the resume to). *)
 
   val add_dependent : t -> t -> bool
   (** [add_dependent pred succ] registers [succ] on [pred]'s dependent list

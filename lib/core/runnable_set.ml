@@ -110,6 +110,10 @@ let run_overflow t ~worker node =
     if not (try_place t node worker 0 n) then begin
       match (try Node.run node with e -> t.on_failure node e; `Finished) with
       | `Finished -> finish node
+      (* [`Suspended]: the node left the runnable set through a wait-set
+         park — the resume closure owns it now (it may already be running
+         on another domain), so drop it from the worklist untouched. *)
+      | `Suspended -> ()
       | `Yielded ->
         if not (try_place t node worker 0 n) then begin
           (* Still full: run one queued node inline so the retry of the
@@ -118,6 +122,7 @@ let run_overflow t ~worker node =
             let stolen = out.Mpmc.value in
             match (try Node.run stolen with e -> t.on_failure stolen e; `Finished) with
             | `Finished -> finish stolen
+            | `Suspended -> ()
             | `Yielded -> Queue.push stolen pending
           end;
           Queue.push node pending

@@ -74,7 +74,14 @@ let worker_loop rs ~worker ~stop ~completed ~failures ~stall =
            hot-cycling pop/park — on an oversubscribed host the partner
            can only arrive if this domain gives up the CPU. *)
         Runnable_set.push_worker rs ~worker node;
-        Backoff.once b);
+        Backoff.once b
+      | `Suspended ->
+        (* The step captured its continuation on a fiber and parked it on
+           a wait-set (Effects).  The node is out of the runnable set and
+           out of our hands — the resume closure may already be running
+           it on another domain — so touch nothing and move on.  Real
+           work happened (a partial body), so reset the backoff. *)
+        Backoff.reset b);
       loop ()
     end
     else begin
@@ -141,7 +148,11 @@ let rec sanitize_steps fp ~seqno work () =
   Fun.protect ~finally:Sanitizer.leave (fun () ->
       match work () with
       | Node.Finished -> Node.Finished
-      | Node.Yield k -> Node.Yield (sanitize_steps fp ~seqno k))
+      | Node.Yield k -> Node.Yield (sanitize_steps fp ~seqno k)
+      (* suspendable procedures bracket their own resumptions (see
+         [schedule_suspendable]'s wrap); a [Suspended] here just exits
+         this step's context *)
+      | Node.Suspended -> Node.Suspended)
 
 (* Traced mode: bracket the procedure body with execute-start/commit span
    events.  Wrapped at schedule time like the sanitizer brackets, and kept
@@ -159,6 +170,7 @@ let traced_steps ~seqno work =
       Obs.Trace.record Obs.Trace.Commit ~seqno;
       Node.Finished
     | Node.Yield k -> Node.Yield (wrap ~first:false k)
+    | Node.Suspended -> Node.Suspended
   in
   wrap ~first:true work
 
@@ -191,6 +203,46 @@ let schedule_steps t fp work =
   in
   let node = Node.acquire_steps t.pool ~seqno work in
   Spawner.schedule t.rs node fp
+
+(* Suspendable dispatch: run the body inside the Effects handler so it
+   can wait ([Effects.await], [yield]) without burning its worker.  The
+   schedule-time brackets (sanitizer context, commit tracing) cannot
+   simply wrap the whole body as in [schedule] — a suspension exits the
+   worker mid-body — so they are packaged as a per-step [wrap] that the
+   effect handler re-applies to every resumed continuation: each
+   resumption enters and leaves the request's sanitizer context like a
+   cooperative step, and the commit event fires on whichever step
+   finishes.  Allocation on this path is fine (suspension is a wait);
+   the handler-free [schedule] fast path is what the 0 B/op gate
+   holds. *)
+let schedule_suspendable t fp work =
+  let seqno = t.next_seq in
+  t.next_seq <- seqno + 1;
+  Atomic.incr t.scheduled;
+  let sanitizing = Atomic.get Sanitizer.tracking in
+  let tracing = Atomic.get Obs.Trace.armed in
+  if tracing then Obs.Trace.record Obs.Trace.Spawn ~seqno;
+  let commit_on_finish step () =
+    match step () with
+    | Node.Finished ->
+      if tracing then Obs.Trace.record Obs.Trace.Commit ~seqno;
+      Node.Finished
+    | o -> o
+  in
+  let wrap step =
+    if sanitizing then sanitize_steps fp ~seqno (commit_on_finish step)
+    else commit_on_finish step
+  in
+  let node_ref = ref Node.dummy in
+  let first () =
+    if tracing then Obs.Trace.record Obs.Trace.Exec_start ~seqno;
+    Effects.run ~rs:t.rs ~node:!node_ref ~wrap work
+  in
+  let node = Node.acquire_steps t.pool ~seqno (wrap first) in
+  node_ref := node;
+  Spawner.schedule t.rs node fp
+
+let yield = Effects.yield
 
 let scheduled t = Atomic.get t.scheduled
 

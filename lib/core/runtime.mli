@@ -52,6 +52,25 @@ val schedule_steps : t -> Footprint.t -> (unit -> Node.outcome) -> unit
     so yielding never violates determinism; it only lets the worker
     interleave other ready requests. *)
 
+val schedule_suspendable : t -> Footprint.t -> (unit -> unit) -> unit
+(** Schedule a transaction that may suspend mid-body: the work runs
+    inside the {!Effects} handler, so it can {!Effects.await} a trigger
+    or call {!yield} without burning its worker — the continuation is
+    captured as a one-shot fiber, parked on the trigger's wait-set keyed
+    by the request's stamp, and resumed in stamp order when the trigger
+    fires (on any worker domain).  While parked the transaction keeps
+    exclusive access to its footprint (dependents release only at
+    completion), so any schedule of suspends and resumes is
+    byte-identical to serial.  This path allocates (fiber + handler,
+    ~tens of bytes per request even suspend-free); latency-critical
+    suspend-free work belongs on {!schedule}. *)
+
+val yield : unit -> unit
+(** Reschedule the calling transaction, letting its worker interleave
+    other ready requests.  Only meaningful inside a body scheduled with
+    {!schedule_suspendable}; a no-op everywhere else, so application
+    code may call it unconditionally.  (Re-export of {!Effects.yield}.) *)
+
 val scheduled : t -> int
 (** Requests scheduled so far. *)
 

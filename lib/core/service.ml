@@ -29,3 +29,22 @@ let touch r =
     ignore (Sys.opaque_identity (Resource.peek r))
   end
   else if Atomic.get Doradd_obs.Trace.armed then Doradd_obs.Counters.incr c_dropped
+
+(* Read-side miss hook: models a prefetch that didn't land (cold cache,
+   durable read still in flight).  Production default: never miss, so
+   [fetch] is [Resource.get] plus one atomic load. *)
+let fetch_miss : (unit -> bool) Atomic.t = Atomic.make (fun () -> false)
+
+let set_fetch_miss f =
+  Atomic.set fetch_miss (match f with Some f -> f | None -> fun () -> false)
+
+let c_fetch_wait = Doradd_obs.Counters.counter "service.fetch_wait"
+
+let fetch r =
+  if (Atomic.get fetch_miss) () && Effects.can_suspend () then begin
+    if Atomic.get Doradd_obs.Trace.armed then Doradd_obs.Counters.incr c_fetch_wait;
+    (* a miss is a wait, not a result change: reschedule once, letting
+       the worker run other ready requests while the line arrives *)
+    Effects.yield ()
+  end;
+  Resource.get r

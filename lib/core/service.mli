@@ -41,3 +41,19 @@ val set_drop_prefetch : (unit -> bool) option -> unit
     dropping any subset must not change any observable result — the DST
     harness both exploits this (timing perturbation) and verifies it
     (serial-equivalence oracle).  Process-global; pass [None] to clear. *)
+
+val fetch : 'a Resource.t -> 'a
+(** Read a resource from inside a request body, waiting out a miss: when
+    the miss hook fires {e and} the body is suspendable
+    ({!Effects.can_suspend}), the transaction reschedules once — parking
+    its continuation so the worker can run other ready requests, the
+    paper's hide-the-miss move at request granularity — then reads.  In
+    production (no hook) this is exactly [Resource.get] plus one atomic
+    load; in a plain non-suspendable body it never suspends. *)
+
+val set_fetch_miss : (unit -> bool) option -> unit
+(** DST fault hook driving {!fetch}: while the function returns [true],
+    suspendable fetches take the reschedule path.  A miss is a wait, not
+    a semantic change — any subset of fetches missing must leave every
+    observable identical (serial-equivalence oracle).  Process-global;
+    pass [None] to clear. *)

@@ -9,17 +9,18 @@
 
    Liveness: each shard links requests in stamp order, so every
    cross-shard wait points from a higher stamp to a lower one and the
-   lowest incomplete stamp is always executable.  Parked participants
-   yield rather than block, so workers stay work-conserving while a
-   partner shard catches up (Runnable_set.run_overflow cooperates: it
-   never spins a yielded node to completion inline). *)
+   lowest incomplete stamp is always executable.  Early arrivers suspend
+   (Effects.await) — the continuation parks on the barrier trigger and
+   the worker moves on to other ready work; the last arriver runs the
+   body and fires the trigger, which re-enqueues the parked participants
+   exactly once each.  No polling, no re-park loop. *)
 
 module Spsc = Doradd_queue.Spsc
 module Backoff = Doradd_queue.Backoff
 
 type msg =
   | Single of Footprint.t * (unit -> unit)
-  | Part of Footprint.t * (unit -> Node.outcome)
+  | Part of Footprint.t * (unit -> unit)
   | Stop
 
 type shard = {
@@ -49,8 +50,8 @@ let dispatcher_loop sh =
       Runtime.schedule sh.rt fp work;
       Atomic.incr sh.consumed;
       loop ()
-    | Part (fp, step) ->
-      Runtime.schedule_steps sh.rt fp step;
+    | Part (fp, work) ->
+      Runtime.schedule_suspendable sh.rt fp work;
       Atomic.incr sh.consumed;
       loop ()
     | Stop -> Atomic.incr sh.consumed
@@ -97,6 +98,31 @@ let push sh msg =
   Spsc.push sh.input msg;
   sh.enqueued <- sh.enqueued + 1
 
+(* Cross-shard barrier.  Each shard's participant runs this step once its
+   local sub-footprint is exclusively held.  The last arriver — at which
+   point every touched resource on every shard is held — runs the body
+   exactly once and fires the trigger; earlier arrivers suspend on it
+   (the continuation parks, the worker moves on) and are resumed by the
+   fire.  Publication: a park CAS-releases the continuation to the
+   firer's exchange, and the resumed step reaches its next worker
+   through a runnable-queue push/pop, so the body's writes are visible
+   to every resumed participant's shard without a separate flag. *)
+let schedule_cross t fp body touched =
+  t.cross_count <- t.cross_count + 1;
+  let parts = List.length touched in
+  let arrivals = Atomic.make 0 in
+  let trig = Effects.trigger () in
+  let part () =
+    if 1 + Atomic.fetch_and_add arrivals 1 = parts then begin
+      body ();
+      Effects.fire trig
+    end
+    else Effects.await trig
+  in
+  List.iter
+    (fun s -> push t.shard_tab.(s) (Part (Footprint.restrict ~shards:t.n ~shard:s fp, part)))
+    touched
+
 let schedule t fp work =
   if not t.live then invalid_arg "Sharded_runtime.schedule: shut down";
   let stamp = t.stamps in
@@ -105,33 +131,26 @@ let schedule t fp work =
   match Footprint.touched_shards ~shards:t.n fp with
   | [] | [ _ ] ->
     (* Single-shard fast path: the home dispatcher links it like any
-       local request; no cross-shard synchronization at all. *)
+       local request; no cross-shard synchronization, no handler, 0 B/op. *)
     let home = Footprint.home_shard ~shards:t.n fp in
     push t.shard_tab.(home) (Single (fp, body))
+  | touched -> schedule_cross t fp body touched
+
+let schedule_suspendable t fp work =
+  if not t.live then invalid_arg "Sharded_runtime.schedule_suspendable: shut down";
+  let stamp = t.stamps in
+  t.stamps <- stamp + 1;
+  let body () = try work () with e -> record_failure t stamp e in
+  match Footprint.touched_shards ~shards:t.n fp with
+  | [] | [ _ ] ->
+    (* Single-shard, but the body may await/yield: dispatch through the
+       effects handler on the home shard. *)
+    let home = Footprint.home_shard ~shards:t.n fp in
+    push t.shard_tab.(home) (Part (fp, body))
   | touched ->
-    t.cross_count <- t.cross_count + 1;
-    let parts = List.length touched in
-    let arrivals = Atomic.make 0 in
-    let committed = Atomic.make false in
-    (* Each shard's participant runs this step once its local
-       sub-footprint is exclusively held.  The last arriver — at which
-       point every touched resource on every shard is held — runs the
-       body exactly once; the others park on the completion flag.
-       Atomic set/get on [committed] is the release/acquire pair that
-       publishes the body's writes to the parked participants' shards. *)
-    let rec wait () = if Atomic.get committed then Node.Finished else Node.Yield wait in
-    let step () =
-      if 1 + Atomic.fetch_and_add arrivals 1 = parts then begin
-        body ();
-        Atomic.set committed true;
-        Node.Finished
-      end
-      else wait ()
-    in
-    List.iter
-      (fun s ->
-        push t.shard_tab.(s) (Part (Footprint.restrict ~shards:t.n ~shard:s fp, step)))
-      touched
+    (* cross-shard participants already run suspendably; the body may
+       itself await/yield on top of the barrier *)
+    schedule_cross t fp body touched
 
 let stamped t = t.stamps
 

@@ -21,17 +21,21 @@
     and never synchronize with other shards.
 
     A request whose footprint spans shards is scheduled at its merged
-    position on {e every} touched shard as a cooperative participant
-    ({!Runtime.schedule_steps}): each participant holds that shard's
-    sub-footprint ({!Footprint.restrict}) exclusively, arrivals are
-    counted on a shared atomic, the last arriver runs the body exactly
-    once — at that point every touched resource on every shard has
-    granted the request exclusive access, so the body may legally touch
-    all of them — and earlier arrivers park with [Node.Yield] until the
-    body's completion flag flips (release/acquire on the flag publishes
-    the body's writes).  Because every shard links in stamp order, all
-    cross-shard waits point from higher stamps to lower ones and the
-    wait graph is acyclic.
+    position on {e every} touched shard as a suspendable participant
+    ({!Runtime.schedule_suspendable}): each participant holds that
+    shard's sub-footprint ({!Footprint.restrict}) exclusively, arrivals
+    are counted on a shared atomic, and the last arriver runs the body
+    exactly once — at that point every touched resource on every shard
+    has granted the request exclusive access, so the body may legally
+    touch all of them.  Earlier arrivers suspend exactly once
+    ({!Effects.await} on the barrier trigger): the continuation parks on
+    the trigger's wait-set and the worker moves on to other ready work —
+    no yield-poll spinning.  The last arriver's {!Effects.fire} resumes
+    them in stamp order (the park CAS / fire exchange pair plus the
+    runnable-queue hand-off publish the body's writes to every resumed
+    shard).  Because every shard links in stamp order, all cross-shard
+    waits point from higher stamps to lower ones and the wait graph is
+    acyclic.
 
     Determinism contract: all {!schedule} calls from one thread, in
     serial-log order, procedures touch only their declared footprint —
@@ -72,6 +76,14 @@ val schedule : t -> Footprint.t -> (unit -> unit) -> unit
 (** [schedule t fp work] stamps the request with the next global
     sequence number and enqueues it to every touched shard.  Global
     sequencer thread only (single caller thread, serial-log order). *)
+
+val schedule_suspendable : t -> Footprint.t -> (unit -> unit) -> unit
+(** Like {!schedule}, but the body runs inside the {!Effects} handler
+    even on the single-shard path, so it may {!Effects.await} a trigger
+    or call {!Runtime.yield} mid-body.  (Cross-shard bodies are always
+    suspendable — the barrier itself suspends — so for a spanning
+    footprint the two entry points are equivalent.)  Same sequencer
+    contract and determinism guarantees as {!schedule}. *)
 
 val stamped : t -> int
 (** Requests stamped by the global sequencer so far. *)

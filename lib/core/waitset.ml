@@ -1,0 +1,100 @@
+(* Deterministic wait-set: a one-shot trigger that parked continuations
+   key themselves onto by stamp (the request's global sequence number).
+
+   The state is a single atomic holding either the LIFO chain of parked
+   entries or the Fired sentinel.  [park] is a CAS prepend that loses to
+   a concurrent [fire] (the CAS re-reads and observes Fired, so the
+   caller continues inline instead of parking into the void — no lost
+   wakeup).  [fire] exchanges the chain for Fired — the exchange is what
+   makes resumption exactly-once: a second fire, or a fire racing a
+   park, obtains either Fired or a chain no other thread can still see.
+
+   Resume order is part of the determinism contract (the DST suspend
+   case checks it): [fire] sorts the captured chain by stamp ascending
+   before running the entries, so a resume batch always releases the
+   lowest stamped waiter first — the schedule closest to serial order,
+   and the order the paper's dispatcher would have produced.
+
+   Publication: the park CAS releases the entry (and the continuation it
+   closes over) to the firing thread's exchange, which acquires it; the
+   firer's pre-fire writes reach the resumed continuation through
+   whatever hand-off [run] performs (the runnable-set push in
+   production).  No separate committed flag is needed.
+
+   Functorized over ATOMIC like the rest of the kernel: production uses
+   the stdlib passthrough below; the model checker instantiates [Make]
+   with the traced atomic and exhaustively interleaves park vs fire
+   (scenario "suspend-handoff"), including the planted lossy twin. *)
+
+module Atomic_intf = Doradd_queue.Atomic_intf
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+  val fired : t -> bool
+  val park : t -> stamp:int -> (unit -> unit) -> bool
+  val fire : ?on_batch:(int array -> unit) -> t -> unit
+  val unsafe_park_lossy : t -> stamp:int -> (unit -> unit) -> bool
+  val unsafe_fire_unsorted : ?on_batch:(int array -> unit) -> t -> unit
+end
+
+module Make (A : Atomic_intf.ATOMIC) = struct
+  type entry = { stamp : int; run : unit -> unit; next : state }
+  and state = Empty | Fired | Waiting of entry
+
+  type t = state A.t
+
+  let create () = A.make Empty
+
+  let fired t = match A.get t with Fired -> true | _ -> false
+
+  let rec park t ~stamp run =
+    match A.get t with
+    | Fired -> false
+    | cur ->
+      if A.compare_and_set t cur (Waiting { stamp; run; next = cur }) then true
+      else park t ~stamp run
+
+  (* Planted twin (checker self-test only): the park that loses wakeups.
+     The get-then-set window lets a concurrent fire's exchange land
+     between the two, after which the set buries Fired under a Waiting
+     chain nobody will ever fire again.  chk.exe --self-test asserts the
+     DPOR explorer finds the resulting stuck waiter. *)
+  let unsafe_park_lossy t ~stamp run =
+    match A.get t with
+    | Fired -> false
+    | cur ->
+      A.set t (Waiting { stamp; run; next = cur });
+      true
+
+  let rec collect acc = function
+    | Waiting e -> collect (e :: acc) e.next
+    | Empty | Fired -> acc
+
+  let run_batch on_batch entries =
+    match entries with
+    | [] -> ()
+    | _ ->
+      on_batch (Array.of_list (List.map (fun e -> e.stamp) entries));
+      List.iter (fun e -> e.run ()) entries
+
+  let fire ?(on_batch = fun (_ : int array) -> ()) t =
+    match A.exchange t Fired with
+    | Empty | Fired -> ()
+    | Waiting _ as chain ->
+      (* [collect] reverses the LIFO chain into park order; the sort then
+         imposes stamp order regardless of how parks interleaved. *)
+      run_batch on_batch
+        (List.sort (fun a b -> compare a.stamp b.stamp) (collect [] chain))
+
+  (* Planted twin (DST self-test only): resumes in chain (reverse-park)
+     order instead of stamp order.  The suspend case's resume-order
+     invariant must catch it. *)
+  let unsafe_fire_unsorted ?(on_batch = fun (_ : int array) -> ()) t =
+    match A.exchange t Fired with
+    | Empty | Fired -> ()
+    | Waiting _ as chain -> run_batch on_batch (List.rev (collect [] chain))
+end
+
+include Make (Atomic_intf.Passthrough)

@@ -1,0 +1,56 @@
+(** Deterministic wait-set: the one-shot trigger suspended transactions
+    park on, resumed in stamp order when the trigger fires.
+
+    A trigger is a single atomic cell: either a chain of parked entries
+    (each carrying the waiter's stamp and a resume closure) or a Fired
+    sentinel.  {!S.park} CAS-prepends and loses cleanly to a concurrent
+    {!S.fire} (the caller is told to continue inline — no lost wakeup);
+    {!S.fire} exchanges the chain for the sentinel (resumption is
+    exactly-once) and runs the captured entries in {e stamp order} — the
+    resume order is part of the checked determinism contract, not an
+    accident of park timing.
+
+    Functorized over {!Doradd_queue.Atomic_intf.ATOMIC}: the toplevel
+    module is the stdlib instantiation used by {!Effects}; the model
+    checker instantiates {!Make} with its traced atomic and sweeps park
+    vs fire exhaustively (scenario "suspend-handoff"). *)
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+
+  val fired : t -> bool
+  (** True once {!fire} has run (racy peek; callers that must not miss a
+      concurrent fire rely on {!park}'s CAS instead). *)
+
+  val park : t -> stamp:int -> (unit -> unit) -> bool
+  (** [park t ~stamp run] registers [run] to be called when [t] fires.
+      Returns [false] if [t] had already fired — the caller must then
+      continue inline; [run] will never be called. *)
+
+  val fire : ?on_batch:(int array -> unit) -> t -> unit
+  (** Fire the trigger: atomically capture the parked chain, then run
+      every entry in stamp-ascending order.  Idempotent — only the call
+      that captures the chain runs anything.  [on_batch] (if given)
+      receives the stamps in resume order before the entries run (the
+      DST resume-order oracle hangs off this). *)
+
+  val unsafe_park_lossy : t -> stamp:int -> (unit -> unit) -> bool
+  (** Planted twin for [chk.exe --self-test]: {!park} with the CAS
+      replaced by get-then-set, so a concurrent fire can be buried and
+      the waiter lost.  Never use outside [doradd_chk]. *)
+
+  val unsafe_fire_unsorted : ?on_batch:(int array -> unit) -> t -> unit
+  (** Planted twin for [dst.exe --self-test]: {!fire} without the stamp
+      sort (entries run in reverse-park order).  Never use outside the
+      DST harness. *)
+end
+
+module Make (_ : Doradd_queue.Atomic_intf.ATOMIC) : S
+(** The wait-set over an arbitrary atomic implementation (model
+    checking). *)
+
+include S
+(** The production instantiation:
+    [Make (Doradd_queue.Atomic_intf.Passthrough)]. *)

@@ -38,11 +38,21 @@ let record_order t (txn : Kv.txn) =
         | Kv.Read -> ())
       txn.ops
 
-let submit ?rw t txn =
+let submit ?rw ?(suspends = 0) t txn =
   let fp = Kv.footprint ?rw t.store txn in
-  Core.Sharded_runtime.schedule t.rt fp (fun () ->
-      record_order t txn;
-      Kv.execute t.store ~results:t.results txn)
+  let body () =
+    record_order t txn;
+    (* forced suspend points: each yield parks the transaction (footprint
+       still exclusively held) and lets the worker run other ready work —
+       determinism must be unaffected, which is what the suspend smoke
+       tier and the invariance battery check *)
+    for _ = 1 to suspends do
+      Core.Runtime.yield ()
+    done;
+    Kv.execute t.store ~results:t.results txn
+  in
+  if suspends = 0 then Core.Sharded_runtime.schedule t.rt fp body
+  else Core.Sharded_runtime.schedule_suspendable t.rt fp body
 
 let drain t = Core.Sharded_runtime.drain t.rt
 
@@ -79,12 +89,16 @@ let run_serial ~n_keys txns =
 
 (* One-shot convenience mirroring [Kv.run_parallel]: create, replay,
    tear down, return the three witnesses. *)
-let run_sharded ?rw ?workers_per_shard ?queue_capacity ?fuzz ~shards ~n_keys txns =
+let run_sharded ?rw ?workers_per_shard ?queue_capacity ?fuzz ?suspends_of ~shards ~n_keys
+    txns =
   let t =
     create ~shards ?workers_per_shard ?queue_capacity ?fuzz ~n_keys
       ~max_txns:(Array.length txns) ()
   in
-  Array.iter (fun txn -> submit ?rw t txn) txns;
+  let suspends_for (txn : Kv.txn) =
+    match suspends_of with None -> 0 | Some f -> f txn.Kv.id
+  in
+  Array.iter (fun txn -> submit ?rw ~suspends:(suspends_for txn) t txn) txns;
   drain t;
   let digest = state_digest t ~n_keys in
   let order = commit_order t in

@@ -30,8 +30,13 @@ val create :
 val shard_of_key : t -> int -> int
 (** Shard owning a key — the partition function on the key's slot. *)
 
-val submit : ?rw:bool -> t -> Kv.txn -> unit
-(** Stamp and enqueue (global-sequencer thread only). *)
+val submit : ?rw:bool -> ?suspends:int -> t -> Kv.txn -> unit
+(** Stamp and enqueue (global-sequencer thread only).  [suspends] > 0
+    dispatches the transaction suspendably
+    ({!Doradd_core.Sharded_runtime.schedule_suspendable}) with that many
+    forced {!Doradd_core.Runtime.yield} points inside the body — the
+    transaction parks while holding its footprint, which must not change
+    any witness. *)
 
 val drain : t -> unit
 
@@ -57,9 +62,12 @@ val run_sharded :
   ?workers_per_shard:int ->
   ?queue_capacity:int ->
   ?fuzz:Doradd_core.Runtime.fuzz ->
+  ?suspends_of:(int -> int) ->
   shards:int ->
   n_keys:int ->
   Kv.txn array ->
   int * int array * int array array
 (** One-shot replay: create, submit the whole log, drain, shut down;
-    returns (state digest, results, commit order). *)
+    returns (state digest, results, commit order).  [suspends_of id]
+    gives each transaction's forced-suspend count (see {!submit});
+    omitted means plain, suspend-free dispatch. *)

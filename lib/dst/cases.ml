@@ -570,10 +570,119 @@ let cross_shard =
   in
   { name = "cross-shard"; default_n = 96; serial; parallel }
 
+(* ---- suspend: effects-based suspendable transactions ---------------- *)
+
+(* Transactions dispatched through the effects handler
+   ([Runtime.schedule_suspendable]) with seed-derived suspend points:
+   0–3 explicit yields per txn, a read through the miss-hooked
+   [Service.fetch], and ~1/3 of txns awaiting one of a few shared
+   triggers fired by dedicated firer txns stamped deterministically
+   last.  The firers' footprints are private singleton cells, so no DAG
+   edge can park a firer behind a waiter (every trigger provably fires).
+   On top of the usual serial-equivalence oracle the case checks the
+   suspension contract itself: every resume batch the wait-sets run must
+   be stamp-ascending (the planted LIFO-fire bug in dst --self-test
+   trips exactly this), and after the drain every park must have been
+   resumed exactly once.  Suspensions are waits, not semantics, so the
+   serial reference simply runs the bodies straight-line.  Never runs
+   under the sanitizer: a fire from inside a request body may execute
+   resumed continuations inline on the firing worker (queue-full
+   overflow), nesting request contexts. *)
+let suspend =
+  let n_cells = 48 in
+  let groups ~seed = 1 + Rng.int (Rng.create (seed lxor 0x0053_7573)) 3 in
+  let log ~seed ~n ~groups =
+    let rng = Rng.create (seed lxor 0x0073_7573) in
+    Array.init (max 1 (n - groups)) (fun id ->
+        let ks = Array.init (1 + Rng.int rng 3) (fun _ -> Rng.int rng n_cells) in
+        let group = if Rng.int rng 3 = 0 then Some (Rng.int rng groups) else None in
+        (id, ks, group, Rng.int rng 4))
+  in
+  let apply cells (id, ks, _, _) =
+    Array.iter (fun k -> Core.Resource.update cells.(k) (fun v -> (v * 31) + id)) ks
+  in
+  let serial ~seed ~n =
+    let cells = Array.init n_cells (fun _ -> Core.Resource.create 0) in
+    Array.iter (apply cells) (log ~seed ~n ~groups:(groups ~seed));
+    { digest = counters_digest cells; results = [||]; invariant = None }
+  in
+  let parallel ~seed ~n ~workers ~queue_capacity ~fuzz ~sanitize:_ =
+    let groups = groups ~seed in
+    let reqs = log ~seed ~n ~groups in
+    let cells = Array.init n_cells (fun _ -> Core.Resource.create 0) in
+    let triggers = Array.init groups (fun _ -> Core.Effects.trigger ()) in
+    let firer_cells = Array.init groups (fun _ -> Core.Resource.create 0) in
+    let bad_batch = Atomic.make None in
+    let ascending b =
+      let ok = ref true in
+      for i = 1 to Array.length b - 1 do
+        if b.(i - 1) >= b.(i) then ok := false
+      done;
+      !ok
+    in
+    Core.Effects.set_batch_observer
+      (Some
+         (fun b ->
+           if (not (ascending b)) && Atomic.get bad_batch = None then
+             Atomic.set bad_batch (Some (Array.to_list b))));
+    (* seeded fetch misses: read-side waits compose with the plan's
+       queue faults and stalls.  The subset that misses is allowed to be
+       schedule-dependent — a miss is a wait, never a result. *)
+    let miss_ctr = Atomic.make (seed land 0xffff) in
+    Core.Service.set_fetch_miss
+      (Some (fun () -> Atomic.fetch_and_add miss_ctr 1 land 7 = 0));
+    let s0 = Core.Effects.suspend_count () and r0 = Core.Effects.resume_count () in
+    Fun.protect
+      ~finally:(fun () ->
+        Core.Effects.set_batch_observer None;
+        Core.Service.set_fetch_miss None)
+    @@ fun () ->
+    let t = Core.Runtime.create ~workers ~queue_capacity ?fuzz () in
+    Array.iter
+      (fun ((_, ks, group, yields) as req) ->
+        let fp =
+          Core.Footprint.of_slots
+            (Array.to_list (Array.map (fun k -> Core.Resource.slot cells.(k)) ks))
+        in
+        Core.Runtime.schedule_suspendable t fp (fun () ->
+            Harness.straggle ();
+            (match group with Some g -> Core.Effects.await triggers.(g) | None -> ());
+            for _ = 1 to yields do
+              Core.Runtime.yield ()
+            done;
+            ignore (Sys.opaque_identity (Core.Service.fetch cells.(ks.(0))));
+            apply cells req))
+      reqs;
+    Array.iteri
+      (fun g fc ->
+        Core.Runtime.schedule t
+          (Core.Footprint.of_slots [ Core.Resource.slot fc ])
+          (fun () ->
+            Harness.straggle ();
+            Core.Effects.fire triggers.(g)))
+      firer_cells;
+    Core.Runtime.shutdown t;
+    let s1 = Core.Effects.suspend_count () and r1 = Core.Effects.resume_count () in
+    let invariant =
+      match Atomic.get bad_batch with
+      | Some b ->
+        Some
+          ("resume batch out of stamp order: "
+          ^ String.concat "," (List.map string_of_int b))
+      | None when s1 - s0 <> r1 - r0 ->
+        Some
+          (Printf.sprintf "suspend/resume imbalance: %d parks, %d resumes" (s1 - s0)
+             (r1 - r0))
+      | None -> None
+    in
+    ({ digest = counters_digest cells; results = [||]; invariant }, None)
+  in
+  { name = "suspend"; default_n = 128; serial; parallel }
+
 let all =
   [
     counters; kv; kv_rw; ycsb; ledger; tpcc; yield; deep_chain; replication; crash_recovery;
-    cross_shard;
+    cross_shard; suspend;
   ]
 
 let find name = List.find_opt (fun c -> c.name = name) all

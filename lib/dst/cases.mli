@@ -79,6 +79,18 @@ val cross_shard : t
     (cross-shard bodies touch remote-shard resources under the restricted
     participant footprint). *)
 
+val suspend : t
+(** Effects-based suspendable transactions
+    ([Runtime.schedule_suspendable]): 0–3 seed-derived yields per txn,
+    reads through the miss-hooked [Service.fetch], and ~1/3 of txns
+    awaiting shared triggers fired by deterministically-last firer txns
+    with private footprints.  Besides serial equivalence, the case's own
+    invariants demand every resume batch be stamp-ascending and every
+    park be resumed exactly once — the planted LIFO-fire bug
+    ([Effects.unsafe_set_lifo_fire]) in [dst --self-test] is caught
+    here.  Never runs under the sanitizer (a fire may execute resumed
+    continuations inline on the firing worker). *)
+
 val all : t list
 
 val names : string list

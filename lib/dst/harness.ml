@@ -15,7 +15,13 @@ let straggle () =
 
 let clear () =
   Atomic.set straggle_hook (fun () -> 0);
-  Core.Service.set_drop_prefetch None
+  Core.Service.set_drop_prefetch None;
+  Core.Service.set_fetch_miss None
+(* NOT cleared here: Effects.unsafe_set_lifo_fire.  [clear] runs between
+   every shrinker re-execution (with_plan's finally), and the self-test
+   arms that planted bug around a whole run_case call — resetting it here
+   would disarm the canary mid-shrink.  The self-test manages the flag
+   with its own Fun.protect. *)
 
 let fuzz_of_plan dec (p : Plan.t) : Core.Runtime.fuzz option =
   let rotations =

@@ -171,6 +171,21 @@ let self_test () =
   (* 5. a plain fuzzed seed must pass end to end *)
   let r = run_seed ~shrink:false ~seed:5 () in
   expect "baseline fuzzed seed failed the oracle stack" (seed_ok r);
+  (* 6. resume-order canary: with the planted LIFO fire armed, the
+     suspend case's batch-ascending invariant must trip — with a shrunk
+     repro — and the clean twin must pass on the same seed *)
+  let suspend = Cases.suspend in
+  let n = suspend.Cases.default_n in
+  Doradd_core.Effects.unsafe_set_lifo_fire true;
+  let _, lifo_failures, lifo_repro =
+    Fun.protect
+      ~finally:(fun () -> Doradd_core.Effects.unsafe_set_lifo_fire false)
+      (fun () -> run_case ~shrink:true ~sanitize:false suspend ~seed:6 ~n)
+  in
+  expect "planted LIFO fire escaped the resume-order invariant" (lifo_failures <> []);
+  expect "planted LIFO fire produced no shrunk repro" (lifo_repro <> None);
+  let _, clean_failures, _ = run_case ~shrink:false ~sanitize:false suspend ~seed:6 ~n in
+  expect "clean suspend case flagged (false positive)" (clean_failures = []);
   match List.rev !errors with [] -> Ok () | es -> Error es
 
 (* ---- JSON (hand-rolled, same idiom as Doradd_analysis.Report) ------- *)

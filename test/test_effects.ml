@@ -1,0 +1,284 @@
+(* Tests for the effects-based suspendable transactions (Effects +
+   Waitset + Runtime.schedule_suspendable): resume order is stamp order,
+   resumption is exactly-once, nested suspends compose, suspension works
+   inside cross-shard bodies, and — the central property — a program
+   with fuzzed suspend points is byte-identical to its straight-line
+   serial run. *)
+
+module Core = Doradd_core
+module Rng = Doradd_stats.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let fp_of r = Core.Footprint.of_slots [ Core.Resource.slot r ]
+
+(* ------------------------------------------------------------------ *)
+(* Wait-set unit behaviour                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_waitset_basics () =
+  let t = Core.Waitset.create () in
+  checkb "not fired at creation" false (Core.Waitset.fired t);
+  let ran = ref [] in
+  checkb "park before fire accepted" true
+    (Core.Waitset.park t ~stamp:7 (fun () -> ran := 7 :: !ran));
+  checkb "second park accepted" true
+    (Core.Waitset.park t ~stamp:3 (fun () -> ran := 3 :: !ran));
+  let batch = ref [||] in
+  Core.Waitset.fire ~on_batch:(fun b -> batch := Array.copy b) t;
+  checkb "fired after fire" true (Core.Waitset.fired t);
+  checkb "entries ran in stamp order" true (List.rev !ran = [ 3; 7 ]);
+  checkb "batch observed stamps ascending" true (!batch = [| 3; 7 |]);
+  (* exactly-once: a second fire runs nothing *)
+  Core.Waitset.fire t;
+  checki "no re-runs on double fire" 2 (List.length !ran);
+  (* a park against a fired trigger is refused: continue inline *)
+  checkb "park after fire refused" false
+    (Core.Waitset.park t ~stamp:9 (fun () -> ran := 9 :: !ran));
+  checki "refused park never runs" 2 (List.length !ran)
+
+(* ------------------------------------------------------------------ *)
+(* Resume order and exactly-once on the real runtime                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_resume_stamp_order () =
+  Core.Effects.reset_counters ();
+  let batches = ref [] in
+  Core.Effects.set_batch_observer (Some (fun b -> batches := Array.copy b :: !batches));
+  Fun.protect
+    ~finally:(fun () -> Core.Effects.set_batch_observer None)
+    (fun () ->
+      let rt = Core.Runtime.create ~workers:1 () in
+      let trig = Core.Effects.trigger () in
+      let m = 8 in
+      let cells = Array.init m (fun i -> Core.Resource.create i) in
+      (* single worker, FIFO queue: waiters park in stamp order, then the
+         firer runs; the resumed bodies append here from that worker *)
+      let order = ref [] in
+      for i = 0 to m - 1 do
+        Core.Runtime.schedule_suspendable rt (fp_of cells.(i)) (fun () ->
+            Core.Effects.await trig;
+            order := i :: !order)
+      done;
+      let fcell = Core.Resource.create 0 in
+      Core.Runtime.schedule_suspendable rt (fp_of fcell) (fun () -> Core.Effects.fire trig);
+      Core.Runtime.drain rt;
+      Core.Runtime.shutdown rt;
+      checkb "post-await bodies ran in stamp order" true
+        (List.rev !order = List.init m Fun.id);
+      (match !batches with
+      | [ b ] -> checkb "one batch, stamps ascending 0..m-1" true (b = Array.init m Fun.id)
+      | l -> Alcotest.failf "expected exactly one resume batch, got %d" (List.length l));
+      checki "every waiter suspended once" m (Core.Effects.suspend_count ());
+      checki "every suspension resumed once" m (Core.Effects.resume_count ()))
+
+let test_exactly_once_resume () =
+  Core.Effects.reset_counters ();
+  let rt = Core.Runtime.create ~workers:4 () in
+  let trig = Core.Effects.trigger () in
+  let m = 64 in
+  let cells = Array.init m (fun _ -> Core.Resource.create 0) in
+  for i = 0 to m - 1 do
+    Core.Runtime.schedule_suspendable rt (fp_of cells.(i)) (fun () ->
+        Core.Effects.await trig;
+        (* unsynchronised increment: correct only if the continuation
+           after the await runs exactly once *)
+        Core.Resource.update cells.(i) succ)
+  done;
+  let fcell = Core.Resource.create 0 in
+  (* two firers race: fire is idempotent, resumption exactly-once *)
+  let gcell = Core.Resource.create 0 in
+  Core.Runtime.schedule_suspendable rt (fp_of fcell) (fun () -> Core.Effects.fire trig);
+  Core.Runtime.schedule_suspendable rt (fp_of gcell) (fun () -> Core.Effects.fire trig);
+  Core.Runtime.drain rt;
+  Core.Runtime.shutdown rt;
+  Array.iteri
+    (fun i c -> checki (Printf.sprintf "waiter %d ran its tail exactly once" i) 1 (Core.Resource.peek c))
+    cells;
+  (* with 4 workers some waiters may observe the trigger already fired
+     and continue inline (never parked): those count as neither suspend
+     nor resume, so the two counters still balance *)
+  checki "resumes = suspends after drain" (Core.Effects.suspend_count ())
+    (Core.Effects.resume_count ());
+  checkb "no over-resumption" true (Core.Effects.suspend_count () <= m)
+
+let test_nested_suspends () =
+  Core.Effects.reset_counters ();
+  (* one worker makes the parks deterministic: the FIFO queue guarantees
+     the waiter parks on trig1 before firer1 runs, and the second firer
+     is only scheduled (from this thread) once the second park is
+     observed — so the same transaction genuinely parks twice *)
+  let rt = Core.Runtime.create ~workers:1 () in
+  let trig1 = Core.Effects.trigger () and trig2 = Core.Effects.trigger () in
+  let marks = Atomic.make [] in
+  let mark m =
+    let rec add () =
+      let cur = Atomic.get marks in
+      if not (Atomic.compare_and_set marks cur (m :: cur)) then add ()
+    in
+    add ()
+  in
+  let wcell = Core.Resource.create 0 in
+  Core.Runtime.schedule_suspendable rt (fp_of wcell) (fun () ->
+      mark 1;
+      Core.Effects.await trig1;
+      mark 2;
+      Core.Effects.await trig2;
+      mark 3);
+  let f1 = Core.Resource.create 0 in
+  Core.Runtime.schedule_suspendable rt (fp_of f1) (fun () -> Core.Effects.fire trig1);
+  while Core.Effects.suspend_count () < 2 do
+    Domain.cpu_relax ()
+  done;
+  let f2 = Core.Resource.create 0 in
+  Core.Runtime.schedule_suspendable rt (fp_of f2) (fun () -> Core.Effects.fire trig2);
+  Core.Runtime.drain rt;
+  Core.Runtime.shutdown rt;
+  checkb "marks in program order" true (List.rev (Atomic.get marks) = [ 1; 2; 3 ]);
+  checki "two genuine parks" 2 (Core.Effects.suspend_count ());
+  checki "two resumes" 2 (Core.Effects.resume_count ())
+
+let test_await_outside_fiber_raises () =
+  let trig = Core.Effects.trigger () in
+  (match Core.Effects.await trig with
+  | () -> Alcotest.fail "await outside a suspendable transaction must raise"
+  | exception Invalid_argument _ -> ());
+  (* yield, by contrast, is a no-op outside fibers so plain bodies and
+     library helpers may call it unconditionally *)
+  Core.Runtime.yield ();
+  (* and await on an already-fired trigger is a no-op anywhere *)
+  Core.Effects.fire trig;
+  Core.Effects.await trig
+
+(* ------------------------------------------------------------------ *)
+(* Suspension inside a cross-shard body                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_suspend_in_cross_shard_body () =
+  Core.Effects.reset_counters ();
+  let a = Core.Resource.create ~pkey:0 0 and b = Core.Resource.create ~pkey:1 0 in
+  let n = 100 in
+  let hits = Array.make n 0 in
+  let rt = Core.Sharded_runtime.create ~shards:2 ~workers_per_shard:2 () in
+  let fp = Core.Footprint.of_slots [ Core.Resource.slot a; Core.Resource.slot b ] in
+  for i = 0 to n - 1 do
+    Core.Sharded_runtime.schedule rt fp (fun () ->
+        hits.(i) <- hits.(i) + 1;
+        let va = Core.Resource.get a in
+        (* the body runs on the last arriver's fiber, so it may suspend
+           on top of the barrier the participants already crossed *)
+        Core.Runtime.yield ();
+        Core.Resource.set a (va + 1);
+        Core.Runtime.yield ();
+        Core.Resource.set b (Core.Resource.get b + 1))
+  done;
+  Core.Sharded_runtime.drain rt;
+  Core.Sharded_runtime.shutdown rt;
+  checkb "every body ran exactly once" true (Array.for_all (fun h -> h = 1) hits);
+  checki "resource a" n (Core.Resource.peek a);
+  checki "resource b" n (Core.Resource.peek b);
+  checkb "no failures" true (Core.Sharded_runtime.failures rt = []);
+  checki "resumes = suspends" (Core.Effects.suspend_count ()) (Core.Effects.resume_count ());
+  (* every body yielded twice on top of whatever the barrier parked *)
+  checkb "bodies actually suspended" true (Core.Effects.suspend_count () >= 2 * n)
+
+(* ------------------------------------------------------------------ *)
+(* The property: fuzzed suspend points are serial-equivalent           *)
+(* ------------------------------------------------------------------ *)
+
+(* random multi-step KV programs: each op reads its key into a running
+   sum, then adds a delta.  Suspend points are derived from the seed: a
+   per-op coin decides whether to yield before the op, and reads go
+   through Service.fetch with a miss hook armed, so both wait sites get
+   exercised. *)
+type op = { key : int; delta : int }
+
+let gen_program ~seed ~n ~n_keys =
+  let rng = Rng.create (seed lxor 0x00ef_fec7) in
+  Array.init n (fun _ ->
+      Array.init
+        (1 + Rng.int rng 5)
+        (fun _ -> { key = Rng.int rng n_keys; delta = Rng.int rng 9 }))
+
+let serial_run ~n_keys txns =
+  let store = Array.make n_keys 0 in
+  let results =
+    Array.map
+      (fun ops ->
+        Array.fold_left
+          (fun acc { key; delta } ->
+            let v = store.(key) in
+            store.(key) <- v + delta;
+            acc + v)
+          0 ops)
+      txns
+  in
+  (Array.to_list store, Array.to_list results)
+
+let suspendable_run ~seed ~workers ~n_keys txns =
+  let cells = Array.init n_keys (fun _ -> Core.Resource.create 0) in
+  let results = Array.make (Array.length txns) 0 in
+  (* impure seeded coin: which fetches miss is not deterministic across
+     schedules, and must not need to be — a miss is a wait, not a result *)
+  let ctr = Atomic.make seed in
+  Core.Service.set_fetch_miss (Some (fun () -> Atomic.fetch_and_add ctr 1 land 3 = 0));
+  Fun.protect
+    ~finally:(fun () -> Core.Service.set_fetch_miss None)
+    (fun () ->
+      let rt = Core.Runtime.create ~workers () in
+      let yield_rng = Rng.create (seed lxor 0x0079_6c64) in
+      Array.iteri
+        (fun id ops ->
+          let fp =
+            Core.Footprint.of_list
+              (Array.to_list
+                 (Array.map
+                    (fun { key; _ } -> (Core.Resource.slot cells.(key), Core.Footprint.Write))
+                    ops))
+          in
+          (* seed-derived suspend points, fixed at schedule time *)
+          let yields = Array.map (fun _ -> Rng.int yield_rng 4 = 0) ops in
+          Core.Runtime.schedule_suspendable rt fp (fun () ->
+              let acc = ref 0 in
+              Array.iteri
+                (fun i { key; delta } ->
+                  if yields.(i) then Core.Runtime.yield ();
+                  let v = Core.Service.fetch cells.(key) in
+                  Core.Resource.set cells.(key) (v + delta);
+                  acc := !acc + v)
+                ops;
+              results.(id) <- !acc))
+        txns;
+      Core.Runtime.drain rt;
+      Core.Runtime.shutdown rt);
+  (Array.to_list (Array.map Core.Resource.peek cells), Array.to_list results)
+
+let prop_fuzzed_suspends_serial_equiv =
+  QCheck.Test.make
+    ~name:"suspendable kv: fuzzed suspend points = straight-line serial" ~count:15
+    QCheck.(triple (int_range 1 1_000_000) (int_range 10 80) (int_range 1 4))
+    (fun (seed, n, workers) ->
+      let n_keys = 32 in
+      let txns = gen_program ~seed ~n ~n_keys in
+      let s_store, s_results = serial_run ~n_keys txns in
+      let p_store, p_results = suspendable_run ~seed ~workers ~n_keys txns in
+      s_store = p_store && s_results = p_results)
+
+let () =
+  Alcotest.run "effects"
+    [
+      ( "waitset",
+        [ Alcotest.test_case "park/fire unit behaviour" `Quick test_waitset_basics ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "resume in stamp order" `Quick test_resume_stamp_order;
+          Alcotest.test_case "exactly-once resume" `Quick test_exactly_once_resume;
+          Alcotest.test_case "nested suspends" `Quick test_nested_suspends;
+          Alcotest.test_case "await outside fiber raises; yield no-op" `Quick
+            test_await_outside_fiber_raises;
+          Alcotest.test_case "suspend inside cross-shard body" `Quick
+            test_suspend_in_cross_shard_body;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_fuzzed_suspends_serial_equiv ]);
+    ]

@@ -89,6 +89,43 @@ let test_cross_body_executes_once () =
   checki "resource b" n (Core.Resource.peek b);
   checki "all scheduled cross-shard" n (Core.Sharded_runtime.cross rt)
 
+(* PR 7's early arrivers re-parked with Node.Yield in a poll loop; they
+   now suspend exactly once per wait (Effects.await on the barrier
+   trigger).  With one worker per shard and shard 0 held busy by local
+   txns, shard 1's participants genuinely arrive early — so suspensions
+   must happen, at most one per early arriver, each matched by exactly
+   one resume. *)
+let test_early_arriver_suspends_once () =
+  Core.Effects.reset_counters ();
+  let a = Core.Resource.create ~pkey:0 0 and b = Core.Resource.create ~pkey:1 0 in
+  let rt = Core.Sharded_runtime.create ~shards:2 ~workers_per_shard:1 () in
+  let fa = Core.Footprint.of_slots [ Core.Resource.slot a ] in
+  let fab = Core.Footprint.of_slots [ Core.Resource.slot a; Core.Resource.slot b ] in
+  let n_local = 40 and n_cross = 50 in
+  for _ = 1 to n_local do
+    (* slow shard-0 locals: shard 1's cross participants overtake them *)
+    Core.Sharded_runtime.schedule rt fa (fun () ->
+        for _ = 1 to 2_000 do
+          Domain.cpu_relax ()
+        done;
+        Core.Resource.update a succ)
+  done;
+  for _ = 1 to n_cross do
+    Core.Sharded_runtime.schedule rt fab (fun () ->
+        Core.Resource.update a succ;
+        Core.Resource.update b succ)
+  done;
+  Core.Sharded_runtime.drain rt;
+  Core.Sharded_runtime.shutdown rt;
+  checki "all txns applied to a" (n_local + n_cross) (Core.Resource.peek a);
+  checki "all cross txns applied to b" n_cross (Core.Resource.peek b);
+  let s = Core.Effects.suspend_count () in
+  checkb "early arrivers actually suspended" true (s >= 1);
+  (* 2 shards: each cross txn has exactly one early arriver, and an early
+     arriver suspends at most once — no re-park polling *)
+  checkb "at most one suspension per cross txn" true (s <= n_cross);
+  checki "every suspension resumed exactly once" s (Core.Effects.resume_count ())
+
 let test_failure_recorded_by_stamp () =
   let a = Core.Resource.create ~pkey:0 0 in
   let rt = Core.Sharded_runtime.create ~shards:2 () in
@@ -125,12 +162,12 @@ let random_kv_txns ~seed ~n ~n_keys ~cross_pct =
           { Db.Kv.key; kind = (if Rng.int rng 4 = 0 then Db.Kv.Read else Db.Kv.Update) })
       |> fun ops -> { Db.Kv.id; ops })
 
-let check_invariance ~what ~n_keys txns =
+let check_invariance ?suspends_of ~what ~n_keys txns =
   let s_digest, s_results, s_order = Db.Sharded_kv.run_serial ~n_keys txns in
   List.for_all
     (fun shards ->
       let d, r, o =
-        Db.Sharded_kv.run_sharded ~workers_per_shard:2 ~shards ~n_keys txns
+        Db.Sharded_kv.run_sharded ?suspends_of ~workers_per_shard:2 ~shards ~n_keys txns
       in
       let ok = d = s_digest && r = s_results && o = s_order in
       if not ok then
@@ -148,6 +185,20 @@ let prop_kv_invariance =
       let n_keys = 64 in
       let txns = random_kv_txns ~seed ~n ~n_keys ~cross_pct in
       check_invariance ~what:"kv" ~n_keys txns)
+
+(* the same invariance property with forced suspend points: every txn
+   parks 0-3 times (seed-derived) while holding its footprint; all
+   witnesses must stay byte-identical to the straight-line serial run *)
+let prop_kv_invariance_suspended =
+  QCheck.Test.make
+    ~name:"sharded kv + forced suspends: digest+results+commit order invariant over N"
+    ~count:8
+    QCheck.(triple (int_range 1 1_000_000) (int_range 20 100) (int_range 0 60))
+    (fun (seed, n, cross_pct) ->
+      let n_keys = 64 in
+      let txns = random_kv_txns ~seed ~n ~n_keys ~cross_pct in
+      let suspends_of id = (id * 31) lxor seed land 3 in
+      check_invariance ~suspends_of ~what:"kv+suspend" ~n_keys txns)
 
 let prop_ycsb_invariance =
   QCheck.Test.make ~name:"sharded ycsb: digest+results+commit order invariant over N" ~count:6
@@ -236,6 +287,8 @@ let () =
       ( "protocol",
         [
           Alcotest.test_case "cross body executes once" `Quick test_cross_body_executes_once;
+          Alcotest.test_case "early arriver suspends once" `Quick
+            test_early_arriver_suspends_once;
           Alcotest.test_case "failures recorded by stamp" `Quick test_failure_recorded_by_stamp;
           Alcotest.test_case "remote tpcc order spans shards" `Quick
             test_tpcc_remote_spans_shards;
@@ -243,6 +296,7 @@ let () =
       ( "invariance",
         [
           QCheck_alcotest.to_alcotest prop_kv_invariance;
+          QCheck_alcotest.to_alcotest prop_kv_invariance_suspended;
           QCheck_alcotest.to_alcotest prop_ycsb_invariance;
           QCheck_alcotest.to_alcotest prop_tpcc_invariance;
           Alcotest.test_case "odd shard counts" `Quick test_odd_shard_counts;
