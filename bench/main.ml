@@ -527,12 +527,91 @@ let run_sharded ~json =
     print_newline ()
   end
 
+(* ------------------------------------------------------------------ *)
+(* Part 6: TCP front end over loopback (real sockets, one process)     *)
+(* ------------------------------------------------------------------ *)
+
+module Net = Doradd_net
+
+(* Server and open-loop clients in one process over 127.0.0.1: the
+   end-to-end cost of the wire path (framing, reassembly, sequencing,
+   scheduling, reply routing) on this host.  The unpaced row probes
+   saturation throughput; the paced webserver row holds an open-loop
+   arrival rate under capacity so the p99/p999 tail reflects the bimodal
+   service-time mix, not a saturated queue. *)
+let net_grid () =
+  let one ~name ~workload ~rate ~requests =
+    let server =
+      Net.Server.start { Net.Server.default_config with shards = 2 } (Net.Backend.kv ())
+    in
+    let report =
+      Fun.protect
+        ~finally:(fun () -> Net.Server.stop server)
+        (fun () ->
+          Net.Loadgen.run
+            {
+              Net.Loadgen.default_cfg with
+              port = Net.Server.port server;
+              connections = 4;
+              rate;
+              requests;
+              workload;
+            })
+    in
+    (name, rate, report)
+  in
+  [
+    one ~name:"kv unpaced" ~workload:Net.Loadgen.kv_default ~rate:0.0 ~requests:20_000;
+    one ~name:"webserver bimodal, paced" ~workload:Net.Loadgen.webserver ~rate:1_500.0
+      ~requests:3_000;
+  ]
+
+let run_net ~json =
+  let grid = net_grid () in
+  if json then begin
+    print_string "[\n";
+    List.iteri
+      (fun i (name, rate, (r : Net.Loadgen.report)) ->
+        Printf.printf
+          "  {\"workload\": %S, \"rate_rps\": %.0f, \"requests\": %d, \
+           \"throughput_rps\": %.0f, \"p50_ns\": %d, \"p99_ns\": %d, \"p999_ns\": %d, \
+           \"max_ns\": %d}%s\n"
+          name rate r.Net.Loadgen.received r.Net.Loadgen.throughput
+          r.Net.Loadgen.p50_ns r.Net.Loadgen.p99_ns r.Net.Loadgen.p999_ns
+          r.Net.Loadgen.max_ns
+          (if i = List.length grid - 1 then "" else ","))
+      grid;
+    print_string "]\n"
+  end
+  else begin
+    print_endline "=== TCP front end (loopback, 4 open-loop connections) ===";
+    let rows =
+      List.map
+        (fun (name, rate, (r : Net.Loadgen.report)) ->
+          [
+            name;
+            (if rate > 0.0 then Printf.sprintf "%.0f/s" rate else "unpaced");
+            St.Table.fmt_rate r.Net.Loadgen.throughput;
+            St.Table.fmt_ns r.Net.Loadgen.p50_ns;
+            St.Table.fmt_ns r.Net.Loadgen.p99_ns;
+            St.Table.fmt_ns r.Net.Loadgen.p999_ns;
+          ])
+        grid
+    in
+    St.Table.print
+      ~header:[ "workload"; "arrival rate"; "throughput"; "p50"; "p99"; "p999" ]
+      rows;
+    print_newline ()
+  end
+
 let () =
   (* `bench/main.exe micro` skips the (slow) figure regeneration and runs
      only the host microbenchmarks; `bench/main.exe gates` runs only the
      two regression gates (disarmed-guard overhead + hot-path allocation)
      — the fast PR-blocking CI step. *)
   if Array.exists (( = ) "gates") Sys.argv then run_gates ()
+  else if Array.exists (( = ) "net-json") Sys.argv then run_net ~json:true
+  else if Array.exists (( = ) "net") Sys.argv then run_net ~json:false
   else if Array.exists (( = ) "sharded-json") Sys.argv then run_sharded ~json:true
   else if Array.exists (( = ) "sharded") Sys.argv then run_sharded ~json:false
   else begin

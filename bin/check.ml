@@ -555,6 +555,133 @@ let suspend_tier ~seed ~n =
     (List.map snd rows);
   List.for_all fst rows
 
+(* -- net tier: loopback TCP smoke — wire determinism end to end ------- *)
+
+module Net = Doradd_net
+
+(* The win condition for the TCP front end: the digest a client observes
+   over loopback (and every per-request result it was sent) is
+   byte-identical to an in-process serial replay of the server's request
+   log.  Open-loop clients over 127.0.0.1 against KV (bimodal webserver
+   mix) and 10%-remote TPCC-NP; one KV row runs in durable mode and also
+   checks the WAL scan against the retained request log. *)
+let net_tier ~seed ~n =
+  let n = min n 2_000 in
+  let one ~name ~make_backend ~workload ~shards ~wal_dir =
+    let server =
+      Net.Server.start
+        {
+          Net.Server.default_config with
+          shards;
+          wal_dir;
+          wal_fsync = false (* real-fsync durability is the recovery tier's job *);
+        }
+        (make_backend ())
+    in
+    let report =
+      Net.Loadgen.run
+        {
+          Net.Loadgen.default_cfg with
+          port = Net.Server.port server;
+          connections = 4;
+          requests = n;
+          seed;
+          workload;
+          collect_replies = true;
+        }
+    in
+    Net.Server.stop server;
+    let log = Net.Server.request_log server in
+    let sdigest, sresults = Net.Backend.replay_serial make_backend log in
+    let digest_ok = Net.Server.digest server = sdigest in
+    let replies_ok =
+      Array.length report.Net.Loadgen.replies = n
+      && Array.for_all
+           (fun (stamp, status, result) ->
+             stamp >= 0 && stamp < n
+             &&
+             match sresults.(stamp) with
+             | Some r -> status = Net.Wire.status_ok && result = r
+             | None -> status = Net.Wire.status_malformed && result = 0)
+           report.Net.Loadgen.replies
+    in
+    let counts_ok = report.Net.Loadgen.received = n && Array.length log = n in
+    let wal_ok =
+      match wal_dir with
+      | None -> true
+      | Some _ ->
+        let records = Net.Server.wal_records server in
+        Array.length records = Array.length log
+        && Array.for_all
+             (fun (seqno, data) -> seqno >= 0 && seqno < n && data = log.(seqno))
+             records
+    in
+    let ok = digest_ok && replies_ok && counts_ok && wal_ok in
+    ( ok,
+      [
+        name;
+        string_of_int shards;
+        string_of_int report.Net.Loadgen.received;
+        (if digest_ok then "ok" else "DIVERGES");
+        (if replies_ok then "ok" else "DIVERGES");
+        (match wal_dir with
+        | None -> "-"
+        | Some _ -> if wal_ok then "matches log" else "DIVERGES");
+        (if ok then "PASS" else "FAIL");
+      ] )
+  in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let kv_keys = 4096 in
+  let tpcc_cfg = { Db.Tpcc_db.warehouses = 8; customers_per_district = 40; items = 400 } in
+  let kv_row =
+    one ~name:"kv webserver mix" ~make_backend:(fun () -> Net.Backend.kv ~n_keys:kv_keys ())
+      ~workload:
+        (Net.Loadgen.Kv
+           {
+             n_keys = kv_keys;
+             ops_per_txn = 4;
+             update_pct = 50;
+             heavy_pct = 10;
+             light_work = 50;
+             heavy_work = 2_000;
+           })
+      ~shards:2 ~wal_dir:None
+  in
+  let tpcc_row =
+    one ~name:"tpcc-np 10% remote"
+      ~make_backend:(fun () -> Net.Backend.tpcc ~config:tpcc_cfg ())
+      ~workload:(Net.Loadgen.Tpcc { config = tpcc_cfg; remote_pct = 10 })
+      ~shards:4 ~wal_dir:None
+  in
+  let durable_row =
+    let dir = Filename.temp_dir "doradd_check_net" "" in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    one ~name:"kv durable"
+      ~make_backend:(fun () -> Net.Backend.kv ~n_keys:kv_keys ())
+      ~workload:
+        (Net.Loadgen.Kv
+           {
+             n_keys = kv_keys;
+             ops_per_txn = 4;
+             update_pct = 50;
+             heavy_pct = 0;
+             light_work = 0;
+             heavy_work = 0;
+           })
+      ~shards:2 ~wal_dir:(Some dir)
+  in
+  let rows = [ kv_row; tpcc_row; durable_row ] in
+  Table.print ~title:"doradd-check: TCP front end (loopback) vs serial replay of the wire log"
+    ~header:[ "workload"; "shards"; "replies"; "digest"; "results"; "wal"; "verdict" ]
+    (List.map snd rows);
+  List.for_all fst rows
+
 open Cmdliner
 
 let iterations_arg =
@@ -618,7 +745,17 @@ let suspend_arg =
               through the effects handler, must stay byte-identical to serial with \
               balanced suspend/resume counters.")
 
-let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery shards suspend names =
+let net_arg =
+  Arg.(
+    value & flag
+    & info [ "net" ]
+        ~doc:"Run the TCP front-end smoke tier: open-loop clients over loopback against \
+              the KV and 10%-remote TPCC-NP backends (one KV run durable); the digest \
+              and every reply a client observed must match an in-process serial replay \
+              of the server's request log, and the durable run's WAL scan must equal \
+              that log.")
+
+let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery shards suspend net names =
   let selected =
     if List.mem "all" names then apps
     else
@@ -648,6 +785,7 @@ let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery shard
     let recovery_ok = (not recovery) || recovery_smoke ~seed in
     let sharded_ok = shards <= 0 || sharded_tier ~seed ~n ~shards in
     let suspend_ok = (not suspend) || suspend_tier ~seed ~n in
+    let net_ok = (not net) || net_tier ~seed ~n in
     let failures =
       List.filter_map
         (fun (ok, msg) -> if ok then None else Some msg)
@@ -660,6 +798,7 @@ let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery shard
           (recovery_ok, "crash-recovery smoke tier failed");
           (sharded_ok, "sharded determinism tier failed");
           (suspend_ok, "suspendable-transaction tier failed");
+          (net_ok, "TCP front-end smoke tier failed");
         ]
     in
     match failures with [] -> `Ok () | msg :: _ -> `Error (false, msg)
@@ -672,6 +811,7 @@ let cmd =
     Term.(
       ret
         (const main $ iterations_arg $ seed_arg $ size_arg $ no_sanitize_arg $ dst_seeds_arg
-       $ no_obs_arg $ chk_bound_arg $ recovery_arg $ shards_arg $ suspend_arg $ apps_arg))
+       $ no_obs_arg $ chk_bound_arg $ recovery_arg $ shards_arg $ suspend_arg $ net_arg
+       $ apps_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,127 @@
+(* doradd-loadgen: separate-process open-loop load generator.
+
+   Poisson arrivals at a configured aggregate rate over N connections
+   against a running server.exe; prints the latency distribution
+   (p50/p99/p999 — open-loop, so queueing delay is measured, not
+   hidden) and optionally writes the JSON report CI archives as an
+   artifact. *)
+
+module Net = Doradd_net
+module Table = Doradd_stats.Table
+
+let run host port connections rate requests seed workload_name remote_pct warehouses
+    json_path =
+  let workload =
+    match workload_name with
+    | "kv" -> Ok Net.Loadgen.kv_default
+    | "webserver" -> Ok Net.Loadgen.webserver
+    | "tpcc" ->
+      Ok
+        (Net.Loadgen.Tpcc
+           {
+             config = { Net.Backend.small_tpcc_config with warehouses };
+             remote_pct;
+           })
+    | other -> Error (Printf.sprintf "unknown workload %S (kv|webserver|tpcc)" other)
+  in
+  match workload with
+  | Error msg -> `Error (false, msg)
+  | Ok workload ->
+    let report =
+      Net.Loadgen.run
+        {
+          Net.Loadgen.host;
+          port;
+          connections;
+          rate;
+          requests;
+          seed;
+          workload;
+          collect_replies = false;
+        }
+    in
+    let fmt_ns ns = Printf.sprintf "%.1fus" (float_of_int ns /. 1e3) in
+    Table.print
+      ~title:
+        (Printf.sprintf "doradd-loadgen: %s, %d conns, %s" workload_name connections
+           (if rate > 0.0 then Printf.sprintf "%.0f req/s open-loop" rate
+            else "unpaced"))
+      ~header:[ "metric"; "value" ]
+      [
+        [ "sent"; string_of_int report.Net.Loadgen.sent ];
+        [ "received"; string_of_int report.Net.Loadgen.received ];
+        [ "malformed"; string_of_int report.Net.Loadgen.malformed ];
+        [ "recv errors"; string_of_int report.Net.Loadgen.recv_errors ];
+        [ "throughput"; Printf.sprintf "%.0f req/s" report.Net.Loadgen.throughput ];
+        [ "latency mean"; fmt_ns (int_of_float report.Net.Loadgen.mean_ns) ];
+        [ "latency p50"; fmt_ns report.Net.Loadgen.p50_ns ];
+        [ "latency p99"; fmt_ns report.Net.Loadgen.p99_ns ];
+        [ "latency p999"; fmt_ns report.Net.Loadgen.p999_ns ];
+        [ "latency max"; fmt_ns report.Net.Loadgen.max_ns ];
+      ];
+    (match json_path with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Net.Loadgen.report_to_json report));
+      Printf.printf "doradd-loadgen: wrote %s\n%!" path);
+    if report.Net.Loadgen.received = requests then `Ok ()
+    else `Error (false, "not every request was answered")
+
+open Cmdliner
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+
+let port_arg =
+  Arg.(value & opt int 7477 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let connections_arg =
+  Arg.(value & opt int 8 & info [ "c"; "connections" ] ~docv:"N" ~doc:"Concurrent connections.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "r"; "rate" ] ~docv:"RPS"
+        ~doc:"Aggregate open-loop arrival rate (Poisson), requests/second; 0 = unpaced.")
+
+let requests_arg =
+  Arg.(value & opt int 10_000 & info [ "n"; "requests" ] ~docv:"N" ~doc:"Total requests.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let workload_arg =
+  Arg.(
+    value & opt string "kv"
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:"Workload: kv, webserver (bimodal service times), or tpcc.")
+
+let remote_pct_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "remote-pct" ] ~docv:"PCT" ~doc:"TPCC: percent remote order lines.")
+
+let warehouses_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "warehouses" ] ~docv:"N"
+        ~doc:"TPCC: warehouse count (must match the server's).")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH" ~doc:"Write the JSON report to $(docv).")
+
+let cmd =
+  let doc = "Open-loop load generator for doradd-server" in
+  Cmd.v
+    (Cmd.info "doradd-loadgen" ~version:"1.0.0" ~doc)
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg $ connections_arg $ rate_arg $ requests_arg
+       $ seed_arg $ workload_arg $ remote_pct_arg $ warehouses_arg $ json_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,110 @@
+(* doradd-server: the TCP front end as a standalone process.
+
+   Binds the framed RPC server (lib/net) over the chosen backend and
+   runs until SIGINT/SIGTERM, then drains — every sequenced request
+   executes and is answered — and prints the connection/frame counters.
+   Pair with loadgen.exe from another process for the open-loop
+   latency experiments (EXPERIMENTS.md). *)
+
+module Net = Doradd_net
+
+let run host port backend_name shards workers_per_shard durable no_fsync n_keys
+    warehouses =
+  let backend =
+    match backend_name with
+    | "kv" -> Ok (Net.Backend.kv ~n_keys ())
+    | "tpcc" ->
+      Ok
+        (Net.Backend.tpcc
+           ~config:{ Net.Backend.small_tpcc_config with warehouses }
+           ())
+    | other -> Error (Printf.sprintf "unknown backend %S (kv|tpcc)" other)
+  in
+  match backend with
+  | Error msg -> `Error (false, msg)
+  | Ok backend ->
+    let server =
+      Net.Server.start
+        {
+          Net.Server.host;
+          port;
+          shards;
+          workers_per_shard;
+          wal_dir = durable;
+          wal_fsync = not no_fsync;
+        }
+        backend
+    in
+    Printf.printf "doradd-server: %s backend on %s:%d (%d shards%s)\n%!"
+      backend.Net.Backend.name host (Net.Server.port server) shards
+      (match durable with
+      | Some dir -> Printf.sprintf ", durable in %s" dir
+      | None -> "");
+    let stop_requested = Atomic.make false in
+    let request_stop _ = Atomic.set stop_requested true in
+    ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
+    ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
+    while not (Atomic.get stop_requested) do
+      Unix.sleepf 0.2
+    done;
+    Printf.printf "doradd-server: draining...\n%!";
+    Net.Server.stop server;
+    let s = Net.Server.stats server in
+    Printf.printf
+      "doradd-server: %d conns, %d requests in, %d replies out, %d malformed, %d \
+       framing errors, %d torn, %d dropped replies\n\
+       doradd-server: state digest %d over %d logged requests\n%!"
+      s.Net.Server.accepted s.Net.Server.frames_in s.Net.Server.replies_out
+      s.Net.Server.malformed s.Net.Server.framing_errors s.Net.Server.torn_disconnects
+      s.Net.Server.dropped_replies (Net.Server.digest server)
+      (Array.length (Net.Server.request_log server));
+    `Ok ()
+
+open Cmdliner
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+
+let port_arg =
+  Arg.(value & opt int 7477 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Listen port (0 = ephemeral).")
+
+let backend_arg =
+  Arg.(value & opt string "kv" & info [ "backend" ] ~docv:"NAME" ~doc:"Backend: kv or tpcc.")
+
+let shards_arg =
+  Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"Dispatcher pipelines.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "workers-per-shard" ] ~docv:"N" ~doc:"Worker domains per shard.")
+
+let durable_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "durable" ] ~docv:"DIR"
+        ~doc:"Durable mode: group-commit every request to a WAL in $(docv) before delivery.")
+
+let no_fsync_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fsync" ] ~doc:"Keep WAL semantics but skip the physical fsync.")
+
+let keys_arg =
+  Arg.(value & opt int 65_536 & info [ "keys" ] ~docv:"N" ~doc:"KV backend: keyspace size.")
+
+let warehouses_arg =
+  Arg.(
+    value & opt int 2 & info [ "warehouses" ] ~docv:"N" ~doc:"TPCC backend: warehouse count.")
+
+let cmd =
+  let doc = "Serve the DORADD deterministic runtime over TCP" in
+  Cmd.v
+    (Cmd.info "doradd-server" ~version:"1.0.0" ~doc)
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg $ backend_arg $ shards_arg $ workers_arg
+       $ durable_arg $ no_fsync_arg $ keys_arg $ warehouses_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,114 @@
+module Core = Doradd_core
+module Db = Doradd_db
+
+type prepared = { fp : Core.Footprint.t; run : unit -> int }
+
+type t = {
+  name : string;
+  prepare : stamp:int -> string -> (prepared, string) result;
+  digest : unit -> int;
+}
+
+(* Deterministic busy-work: state-neutral, so it stretches service time
+   (the bimodal webserver scenario) without touching determinism. *)
+let spin n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + i
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let kv ?(n_keys = 65_536) () =
+  let store = Db.Store.create ~initial_capacity:(2 * n_keys) () in
+  Db.Store.populate store ~n:n_keys;
+  let prepare ~stamp body =
+    match Wire.decode_kv body with
+    | Error _ as e -> e
+    | Ok { work; ops } ->
+      if Array.exists (fun (op : Wire.kv_op) -> op.key >= n_keys) ops then
+        Error "kv key out of range"
+      else begin
+        let txn =
+          {
+            Db.Kv.id = stamp;
+            ops =
+              Array.map
+                (fun (op : Wire.kv_op) ->
+                  {
+                    Db.Kv.key = op.key;
+                    kind = (if op.update then Db.Kv.Update else Db.Kv.Read);
+                  })
+                ops;
+          }
+        in
+        let run () =
+          spin work;
+          (* Kv.execute's body, but returning the read digest instead of
+             landing it in a stamp-indexed array (the server's stamp
+             space is unbounded). *)
+          let digest = ref 0 in
+          Array.iter
+            (fun (op : Db.Kv.op) ->
+              let row = Core.Resource.get (Db.Store.find_exn store op.key) in
+              match op.kind with
+              | Db.Kv.Read -> digest := (!digest * 31) + Db.Row.read row
+              | Db.Kv.Update -> Db.Row.write row ((stamp * 131) + op.key))
+            txn.ops;
+          !digest
+        in
+        Ok { fp = Db.Kv.footprint store txn; run }
+      end
+  in
+  let digest () =
+    Db.Kv.state_digest store ~keys:(Array.init n_keys (fun k -> k))
+  in
+  { name = "kv"; prepare; digest }
+
+let small_tpcc_config =
+  { Db.Tpcc_db.warehouses = 2; customers_per_district = 300; items = 10_000 }
+
+let tpcc ?(config = small_tpcc_config) () =
+  let db = Db.Tpcc_db.create config in
+  let in_scale (txn : Db.Tpcc_db.txn) =
+    let wdc w d c =
+      w >= 0 && w < config.warehouses && d >= 0 && d < 10 && c >= 0
+      && c < config.customers_per_district
+    in
+    match txn with
+    | Db.Tpcc_db.New_order o ->
+      wdc o.no_w o.no_d o.no_c
+      && Array.for_all
+           (fun (sw, item, qty) ->
+             sw >= 0 && sw < config.warehouses && item >= 0 && item < config.items
+             && qty >= 0)
+           o.lines
+    | Db.Tpcc_db.Payment p -> wdc p.p_w p.p_d p.p_c && p.amount >= 0
+  in
+  let prepare ~stamp:_ body =
+    match Wire.decode_tpcc body with
+    | Error _ as e -> e
+    | Ok txn ->
+      if not (in_scale txn) then Error "tpcc id out of scale"
+      else
+        Ok
+          {
+            fp = Db.Tpcc_db.footprint db txn;
+            run =
+              (fun () ->
+                Db.Tpcc_db.execute db txn;
+                0);
+          }
+  in
+  { name = "tpcc"; prepare; digest = (fun () -> Db.Tpcc_db.digest db) }
+
+let replay_serial make bodies =
+  let b = make () in
+  let results =
+    Array.mapi
+      (fun stamp body ->
+        match b.prepare ~stamp body with
+        | Error _ -> None
+        | Ok p -> Some (p.run ()))
+      bodies
+  in
+  (b.digest (), results)

@@ -1,0 +1,55 @@
+(** Server-side workload backends: the bridge from an opaque request
+    body (a decoded {!Wire} frame payload) to a footprint-declared
+    transaction the deterministic runtime can schedule.
+
+    A backend owns its state and knows nothing about sockets, stamps or
+    scheduling policy; the server sequences bodies, calls {!prepare}
+    with the assigned stamp, and runs [run] under the returned
+    footprint.  Because [prepare] is pure name resolution (no state
+    mutation) and [run]'s effect depends only on [(stamp, body)], the
+    serial replay of the same body log through a fresh backend —
+    {!replay_serial} — must reproduce both every per-request result and
+    the final {!digest}.  That equality is the wire-determinism win
+    condition checked by [check.exe --net] and [test/test_net.ml]. *)
+
+type prepared = {
+  fp : Doradd_core.Footprint.t;
+  run : unit -> int;
+      (** Execute the transaction body.  Must only be called while the
+          runtime holds [fp]; the returned value is the reply's [result]
+          (KV read digest, 0 for TPCC). *)
+}
+
+type t = {
+  name : string;
+  prepare : stamp:int -> string -> (prepared, string) result;
+      (** Decode and name-resolve [body].  [Error] marks the request
+          malformed: it has already consumed its stamp, gets a
+          {!Wire.status_malformed} reply, and must leave state
+          untouched (replay treats it as a no-op). *)
+  digest : unit -> int;
+      (** Deterministic checksum of the full backend state.  Only
+          meaningful when the runtime is drained. *)
+}
+
+val kv : ?n_keys:int -> unit -> t
+(** YCSB-style row store over [n_keys] (default 65536) pre-populated
+    keys.  Bodies are {!Wire.decode_kv}; out-of-range keys are
+    malformed.  [work] spins before the row accesses — the bimodal
+    service-time knob. *)
+
+val tpcc : ?config:Doradd_db.Tpcc_db.config -> unit -> t
+(** TPCC-NP over {!Doradd_db.Tpcc_db}.  Bodies are {!Wire.decode_tpcc};
+    ids outside the configured scale are malformed.  [config] defaults
+    to 2 warehouses at 1/10 stock scale (cheap to build per test). *)
+
+val small_tpcc_config : Doradd_db.Tpcc_db.config
+(** The default [tpcc] scale: 2 warehouses, 300 customers/district,
+    10000 items. *)
+
+val replay_serial : (unit -> t) -> string array -> int * int option array
+(** [replay_serial make bodies] runs the body log serially (stamp =
+    index) through a fresh backend and returns
+    [(digest, per-stamp results)] — [None] for malformed bodies.  The
+    deterministic reference every networked execution is compared
+    against. *)

@@ -1,0 +1,66 @@
+module Codec = Doradd_persist.Codec
+module Sysio = Doradd_persist.Sysio
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Frame_reader.t;
+  buf : Bytes.t;
+  mutable closed : bool;
+}
+
+let connect ?(host = "127.0.0.1") ~port () =
+  Sysio.ignore_sigpipe ();
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; reader = Frame_reader.create (); buf = Bytes.create 8192; closed = false }
+
+type recv_error =
+  | Eof
+  | Torn
+  | Framing of Codec.error
+  | Decode of string
+
+let recv_error_to_string = function
+  | Eof -> "connection closed"
+  | Torn -> "connection closed mid-frame"
+  | Framing e -> "framing: " ^ Codec.error_to_string e
+  | Decode msg -> "decode: " ^ msg
+
+let send_raw t s = Sysio.write_all t.fd s ~pos:0 ~len:(String.length s)
+
+let send t ~req_id ~body =
+  send_raw t (Codec.frame (Wire.encode_request ~req_id ~body))
+
+let rec recv t =
+  match Frame_reader.next t.reader with
+  | `Error e -> Error (Framing e)
+  | `Frame payload -> (
+    match Wire.decode_reply payload with
+    | Ok r -> Ok r
+    | Error msg -> Error (Decode msg))
+  | `Need_more -> (
+    match Sysio.read t.fd t.buf ~pos:0 ~len:(Bytes.length t.buf) with
+    | 0 ->
+      Error (match Frame_reader.at_eof t.reader with Some _ -> Torn | None -> Eof)
+    | n ->
+      Frame_reader.feed t.reader t.buf ~pos:0 ~len:n;
+      recv t
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      Error Torn)
+
+let call t ~req_id ~body =
+  send t ~req_id ~body;
+  match recv t with
+  | Ok r -> r
+  | Error e -> failwith ("Client.call: " ^ recv_error_to_string e)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+  end

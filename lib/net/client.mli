@@ -1,0 +1,38 @@
+(** Minimal blocking client for the {!Server} protocol: framed requests
+    out, framed replies in.
+
+    Thread contract: at most one sending thread and one receiving
+    thread per connection (the open-loop generator's sender/receiver
+    split).  [send] and [recv] touch disjoint state — the socket is
+    full-duplex — but neither is reentrant. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** TCP connect (with TCP_NODELAY) to [host] (default 127.0.0.1). *)
+
+type recv_error =
+  | Eof  (** clean close at a frame boundary *)
+  | Torn  (** the server vanished mid-frame *)
+  | Framing of Doradd_persist.Codec.error
+  | Decode of string  (** frame arrived intact but is not a reply *)
+
+val recv_error_to_string : recv_error -> string
+
+val send : t -> req_id:int -> body:string -> unit
+(** Frame and write one request.  @raise Unix.Unix_error on a dead
+    peer (EPIPE/ECONNRESET). *)
+
+val send_raw : t -> string -> unit
+(** Write raw bytes, unframed — the tests' torn-frame / bad-CRC
+    injection point. *)
+
+val recv : t -> (Wire.reply, recv_error) result
+(** Block until one complete reply frame arrives. *)
+
+val call : t -> req_id:int -> body:string -> Wire.reply
+(** [send] then [recv] — the synchronous one-outstanding-request
+    convenience.  @raise Failure on any [recv] error. *)
+
+val close : t -> unit
+(** Idempotent. *)

@@ -1,0 +1,48 @@
+module Codec = Doradd_persist.Codec
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable start : int; (* first unconsumed byte *)
+  mutable len : int; (* valid bytes from [start] *)
+}
+
+let create ?(initial_capacity = 4096) () =
+  { buf = Bytes.create (max 64 initial_capacity); start = 0; len = 0 }
+
+let pending t = t.len
+
+let feed t chunk ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length chunk then
+    invalid_arg "Frame_reader.feed: chunk out of bounds";
+  let cap = Bytes.length t.buf in
+  if t.start + t.len + len > cap then begin
+    if t.len + len <= cap then begin
+      (* compact: slide the unconsumed suffix back to the origin *)
+      Bytes.blit t.buf t.start t.buf 0 t.len;
+      t.start <- 0
+    end
+    else begin
+      let cap' = ref (max 64 cap) in
+      while t.len + len > !cap' do
+        cap' := !cap' * 2
+      done;
+      let buf' = Bytes.create !cap' in
+      Bytes.blit t.buf t.start buf' 0 t.len;
+      t.buf <- buf';
+      t.start <- 0
+    end
+  end;
+  Bytes.blit chunk pos t.buf (t.start + t.len) len;
+  t.len <- t.len + len
+
+let next t =
+  match Codec.read_bytes_at t.buf ~pos:t.start ~limit:(t.start + t.len) with
+  | Codec.End -> `Need_more
+  | Codec.Torn Codec.Truncated -> `Need_more (* incomplete, not torn — yet *)
+  | Codec.Torn e -> `Error e
+  | Codec.Record { payload; next } ->
+    t.len <- t.len - (next - t.start);
+    t.start <- (if t.len = 0 then 0 else next);
+    `Frame payload
+
+let at_eof t = if t.len = 0 then None else Some Codec.Truncated

@@ -1,0 +1,41 @@
+(** Incremental reassembly of {!Doradd_persist.Codec} frames from a byte
+    stream.
+
+    A TCP read returns an arbitrary chunk: half a header, three frames
+    and a torn fourth, one byte.  The reader buffers chunks and yields
+    complete frames, mapping every failure onto the {e existing}
+    {!Doradd_persist.Codec.error} taxonomy rather than inventing a
+    second one:
+
+    - an incomplete frame is simply not ready yet ([`Need_more]) — it
+      becomes {!Doradd_persist.Codec.Truncated} only when the caller
+      reaches end-of-stream with bytes still pending ({!at_eof});
+    - a header whose length field is out of bounds is
+      [Bad_length] — fatal, the stream can never resynchronise;
+    - a complete frame with a lying checksum is [Bad_crc] — equally
+      fatal on a reliable transport (the bytes were wrong at the peer).
+
+    Single consumer; not thread-safe. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+(** Fresh reader.  The internal buffer starts at [initial_capacity]
+    (default 4096) and grows to fit the largest in-flight frame. *)
+
+val feed : t -> Bytes.t -> pos:int -> len:int -> unit
+(** Append [len] received bytes starting at [pos].  The chunk is copied;
+    the caller may reuse the buffer immediately. *)
+
+val next : t -> [ `Frame of string | `Need_more | `Error of Doradd_persist.Codec.error ]
+(** Extract the next complete frame's payload.  [`Error] is sticky
+    ground truth about the stream — the connection should be closed; the
+    reader does not attempt resynchronisation. *)
+
+val pending : t -> int
+(** Buffered bytes not yet consumed by a complete frame. *)
+
+val at_eof : t -> Doradd_persist.Codec.error option
+(** Call at end-of-stream: [Some Truncated] if the peer went away
+    mid-frame (the wire equivalent of a torn WAL tail), [None] for a
+    clean close at a frame boundary. *)

@@ -1,0 +1,265 @@
+module Db = Doradd_db
+module Obs = Doradd_obs
+module Rng = Doradd_stats.Rng
+module Dist = Doradd_stats.Distributions
+module H = Doradd_stats.Histogram
+
+type workload =
+  | Kv of {
+      n_keys : int;
+      ops_per_txn : int;
+      update_pct : int;
+      heavy_pct : int;
+      light_work : int;
+      heavy_work : int;
+    }
+  | Tpcc of { config : Db.Tpcc_db.config; remote_pct : int }
+
+let kv_default =
+  Kv
+    {
+      n_keys = 65_536;
+      ops_per_txn = 4;
+      update_pct = 50;
+      heavy_pct = 0;
+      light_work = 0;
+      heavy_work = 0;
+    }
+
+let webserver =
+  Kv
+    {
+      n_keys = 65_536;
+      ops_per_txn = 2;
+      update_pct = 20;
+      heavy_pct = 10;
+      light_work = 200;
+      heavy_work = 10_000;
+    }
+
+type cfg = {
+  host : string;
+  port : int;
+  connections : int;
+  rate : float;
+  requests : int;
+  seed : int;
+  workload : workload;
+  collect_replies : bool;
+}
+
+let default_cfg =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    connections = 4;
+    rate = 0.0;
+    requests = 2_000;
+    seed = 42;
+    workload = kv_default;
+    collect_replies = false;
+  }
+
+type report = {
+  sent : int;
+  received : int;
+  ok : int;
+  malformed : int;
+  recv_errors : int;
+  elapsed_s : float;
+  throughput : float;
+  mean_ns : float;
+  p50_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  max_ns : int;
+  replies : (int * int * int) array;
+}
+
+let h_latency = Obs.Counters.histogram "net.client.latency_ns"
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* One request body.  [i] is the connection-local request index — TPCC
+   alternates NewOrder/Payment on its parity, mirroring
+   [Tpcc_db.generate]'s mix without building a client-side database. *)
+let gen_body workload rng i =
+  match workload with
+  | Kv { n_keys; ops_per_txn; update_pct; heavy_pct; light_work; heavy_work } ->
+    let ops =
+      Array.init ops_per_txn (fun _ ->
+          { Wire.key = Rng.int rng n_keys; update = Rng.int rng 100 < update_pct })
+    in
+    let work =
+      if heavy_pct > 0 && Rng.int rng 100 < heavy_pct then heavy_work
+      else light_work
+    in
+    Wire.encode_kv { Wire.work; ops }
+  | Tpcc { config; remote_pct } ->
+    let w = Rng.int rng config.warehouses in
+    let d = Rng.int rng 10 in
+    let c = Rng.int rng config.customers_per_district in
+    let txn =
+      if i land 1 = 0 then begin
+        let lines =
+          Array.init
+            (5 + Rng.int rng 11)
+            (fun _ ->
+              let supply =
+                if config.warehouses > 1 && Rng.int rng 100 < remote_pct then
+                  (w + 1 + Rng.int rng (config.warehouses - 1))
+                  mod config.warehouses
+                else w
+              in
+              (supply, Rng.int rng config.items, 1 + Rng.int rng 10))
+        in
+        Db.Tpcc_db.New_order { no_w = w; no_d = d; no_c = c; lines }
+      end
+      else
+        Db.Tpcc_db.Payment { p_w = w; p_d = d; p_c = c; amount = 100 + Rng.int rng 500_000 }
+    in
+    Wire.encode_tpcc txn
+
+type conn_state = {
+  client : Client.t;
+  n : int;  (** requests this connection owes *)
+  send_ts : int array;  (** ns send timestamp, indexed by req_id *)
+  mutable c_sent : int;
+  mutable c_received : int;
+  mutable c_ok : int;
+  mutable c_malformed : int;
+  mutable c_recv_error : bool;
+  mutable c_replies : (int * int * int) list;
+}
+
+let sender cfg (st : conn_state) rng =
+  (* mean inter-arrival gap for this connection's share of the total
+     rate; draws are exponential, so arrivals are Poisson *)
+  let mean_gap =
+    if cfg.rate > 0.0 then float_of_int cfg.connections /. cfg.rate else 0.0
+  in
+  let next = ref (Unix.gettimeofday ()) in
+  (try
+     for i = 0 to st.n - 1 do
+       if mean_gap > 0.0 then begin
+         next := !next +. Dist.exponential rng ~mean:mean_gap;
+         let delay = !next -. Unix.gettimeofday () in
+         if delay > 0.0 then Unix.sleepf delay
+       end;
+       let body = gen_body cfg.workload rng i in
+       st.send_ts.(i) <- now_ns ();
+       Client.send st.client ~req_id:i ~body;
+       st.c_sent <- st.c_sent + 1
+     done
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+     (* server gone: the receiver will report the hole *)
+     ())
+
+let receiver cfg (st : conn_state) =
+  let rec loop () =
+    if st.c_received < st.n then
+      match Client.recv st.client with
+      | Ok r ->
+        if r.Wire.req_id >= 0 && r.Wire.req_id < st.n then begin
+          Obs.Counters.record h_latency (now_ns () - st.send_ts.(r.Wire.req_id));
+          st.c_received <- st.c_received + 1;
+          if r.Wire.status = Wire.status_ok then st.c_ok <- st.c_ok + 1
+          else st.c_malformed <- st.c_malformed + 1;
+          if cfg.collect_replies then
+            st.c_replies <- (r.Wire.stamp, r.Wire.status, r.Wire.result) :: st.c_replies;
+          loop ()
+        end
+        else st.c_recv_error <- true
+      | Error _ -> st.c_recv_error <- true
+  in
+  loop ()
+
+let run cfg =
+  if cfg.connections <= 0 then invalid_arg "Loadgen.run: connections";
+  Obs.Counters.with_hist h_latency H.clear;
+  let root = Rng.create cfg.seed in
+  let states =
+    Array.init cfg.connections (fun c ->
+        let n =
+          (cfg.requests / cfg.connections)
+          + (if c < cfg.requests mod cfg.connections then 1 else 0)
+        in
+        {
+          client = Client.connect ~host:cfg.host ~port:cfg.port ();
+          n;
+          send_ts = Array.make (max 1 n) 0;
+          c_sent = 0;
+          c_received = 0;
+          c_ok = 0;
+          c_malformed = 0;
+          c_recv_error = false;
+          c_replies = [];
+        })
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    Array.to_list states
+    |> List.concat_map (fun st ->
+           let rng = Rng.split root in
+           [
+             Thread.create (fun () -> sender cfg st rng) ();
+             Thread.create (fun () -> receiver cfg st) ();
+           ])
+  in
+  List.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  Array.iter (fun st -> Client.close st.client) states;
+  let sum f = Array.fold_left (fun acc st -> acc + f st) 0 states in
+  let received = sum (fun st -> st.c_received) in
+  let mean_ns, p50_ns, p99_ns, p999_ns, max_ns =
+    Obs.Counters.with_hist h_latency (fun h ->
+        ( H.mean h,
+          H.percentile h 50.0,
+          H.percentile h 99.0,
+          H.percentile h 99.9,
+          H.max_value h ))
+  in
+  {
+    sent = sum (fun st -> st.c_sent);
+    received;
+    ok = sum (fun st -> st.c_ok);
+    malformed = sum (fun st -> st.c_malformed);
+    recv_errors = sum (fun st -> if st.c_recv_error then 1 else 0);
+    elapsed_s;
+    throughput = (if elapsed_s > 0.0 then float_of_int received /. elapsed_s else 0.0);
+    mean_ns;
+    p50_ns;
+    p99_ns;
+    p999_ns;
+    max_ns;
+    replies =
+      (let all =
+         Array.fold_left (fun acc st -> List.rev_append st.c_replies acc) [] states
+       in
+       let a = Array.of_list all in
+       Array.sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) a;
+       a);
+  }
+
+let report_to_json r =
+  let module J = Obs.Json in
+  Obs.Json.to_string
+    (J.Obj
+       [
+         ("sent", J.Num (float_of_int r.sent));
+         ("received", J.Num (float_of_int r.received));
+         ("ok", J.Num (float_of_int r.ok));
+         ("malformed", J.Num (float_of_int r.malformed));
+         ("recv_errors", J.Num (float_of_int r.recv_errors));
+         ("elapsed_s", J.Num r.elapsed_s);
+         ("throughput_rps", J.Num r.throughput);
+         ( "latency_ns",
+           J.Obj
+             [
+               ("mean", J.Num r.mean_ns);
+               ("p50", J.Num (float_of_int r.p50_ns));
+               ("p99", J.Num (float_of_int r.p99_ns));
+               ("p999", J.Num (float_of_int r.p999_ns));
+               ("max", J.Num (float_of_int r.max_ns));
+             ] );
+       ])

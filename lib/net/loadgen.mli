@@ -1,0 +1,80 @@
+(** Open-loop load generator for the TCP front end.
+
+    Each connection runs a sender thread and a receiver thread.  The
+    sender draws Poisson arrivals ({!Doradd_stats.Distributions}
+    exponential inter-arrival gaps at the per-connection rate) and
+    writes requests {e on schedule, without waiting for replies} — the
+    open-loop discipline, so measured latency includes the queueing a
+    closed-loop client would hide (coordinated omission).  The receiver
+    matches replies by [req_id] against the recorded send times and
+    feeds end-to-end latency into the
+    ["net.client.latency_ns"] {!Doradd_obs.Counters} histogram
+    (p50/p99/p999 in the report).
+
+    [rate <= 0] disables pacing: send back-to-back (the throughput
+    probe used by [bench net]). *)
+
+type workload =
+  | Kv of {
+      n_keys : int;
+      ops_per_txn : int;
+      update_pct : int;  (** per-op probability (percent) of Update *)
+      heavy_pct : int;
+          (** percent of requests carrying [heavy_work] instead of
+              [light_work] — the webserver-style bimodal service-time
+              mix (0 = uniform) *)
+      light_work : int;
+      heavy_work : int;
+    }
+  | Tpcc of { config : Doradd_db.Tpcc_db.config; remote_pct : int }
+
+val kv_default : workload
+(** 65536 keys, 4 ops/txn, 50% updates, no bimodal work. *)
+
+val webserver : workload
+(** The bimodal scenario: mostly cheap requests (cache hits) with a
+    10% heavy tail (handler doing real work) — 10k spin vs 200 spin. *)
+
+type cfg = {
+  host : string;
+  port : int;
+  connections : int;
+  rate : float;  (** total requests/second across all connections *)
+  requests : int;  (** total requests across all connections *)
+  seed : int;
+  workload : workload;
+  collect_replies : bool;
+      (** retain every (stamp, status, result) — the determinism
+          check's client-side witness *)
+}
+
+val default_cfg : cfg
+(** 4 connections, unpaced, 2000 requests, seed 42, [kv_default],
+    not collecting.  [port] must be overridden. *)
+
+type report = {
+  sent : int;
+  received : int;
+  ok : int;
+  malformed : int;  (** replies with {!Wire.status_malformed} *)
+  recv_errors : int;  (** connections that died before all replies *)
+  elapsed_s : float;
+  throughput : float;  (** received / elapsed *)
+  mean_ns : float;
+  p50_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  max_ns : int;
+  replies : (int * int * int) array;
+      (** (stamp, status, result) sorted by stamp; empty unless
+          [collect_replies] *)
+}
+
+val run : cfg -> report
+(** Run to completion (every connection sent its share and received a
+    reply — or an error — for each).  Clears the latency histogram at
+    start; safe to call repeatedly. *)
+
+val report_to_json : report -> string
+(** The CI artifact payload: one JSON object with counts, throughput
+    and the latency percentiles. *)

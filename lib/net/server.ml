@@ -1,0 +1,302 @@
+module Core = Doradd_core
+module Codec = Doradd_persist.Codec
+module Sysio = Doradd_persist.Sysio
+module Wal = Doradd_persist.Wal
+module Sequencer = Doradd_replication.Sequencer
+module Obs = Doradd_obs
+
+type config = {
+  host : string;
+  port : int;
+  shards : int;
+  workers_per_shard : int;
+  wal_dir : string option;
+  wal_fsync : bool;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    shards = 2;
+    workers_per_shard = 1;
+    wal_dir = None;
+    wal_fsync = true;
+  }
+
+type stats = {
+  accepted : int;
+  frames_in : int;
+  replies_out : int;
+  framing_errors : int;
+  torn_disconnects : int;
+  malformed : int;
+  dropped_replies : int;
+}
+
+(* Armed-gated observability mirrors of the internal stats atomics, so a
+   traced run exports the front end alongside the runtime counters. *)
+let c_frames_in = Obs.Counters.counter "net.frames.in"
+let c_replies_out = Obs.Counters.counter "net.replies.out"
+let armed () = Atomic.get Obs.Trace.armed
+
+type conn = {
+  fd : Unix.file_descr;
+  wmu : Mutex.t;  (** serialises reply writes from worker domains *)
+  mutable alive : bool;  (** under [wmu]; false once the peer is gone *)
+}
+
+type req = { body : string; conn : conn; req_id : int }
+
+type t = {
+  cfg : config;
+  backend : Backend.t;
+  lfd : Unix.file_descr;
+  bound_port : int;
+  rt : Core.Sharded_runtime.t;
+  seq : req Sequencer.t;
+  wal : Wal.t option;
+  stopping : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  conns_mu : Mutex.t;
+  mutable conns : (conn * Thread.t) list;
+  mutable stopped : bool;
+  s_accepted : int Atomic.t;
+  s_frames_in : int Atomic.t;
+  s_replies_out : int Atomic.t;
+  s_framing_errors : int Atomic.t;
+  s_torn : int Atomic.t;
+  s_malformed : int Atomic.t;
+  s_dropped : int Atomic.t;
+}
+
+(* Reply writes race with nothing but each other (per-conn mutex) and
+   with the connection dying.  A dead peer raises EPIPE (SIGPIPE is
+   ignored process-wide) or ECONNRESET: mark the connection dead and
+   drop — its already-sequenced requests still execute, only the answers
+   stop flowing. *)
+let send_reply t conn (reply : Wire.reply) =
+  let frame = Codec.frame (Wire.encode_reply reply) in
+  Mutex.lock conn.wmu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wmu)
+    (fun () ->
+      if not conn.alive then Atomic.incr t.s_dropped
+      else
+        try
+          Sysio.write_all conn.fd frame ~pos:0 ~len:(String.length frame);
+          Atomic.incr t.s_replies_out;
+          if armed () then Obs.Counters.incr c_replies_out
+        with
+        | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+          conn.alive <- false;
+          Atomic.incr t.s_dropped)
+
+(* Runs on the sequencer domain — the single thread allowed to call
+   Sharded_runtime.schedule, and it is handed requests in stamp order:
+   the sequencer contract holds by construction. *)
+let deliver t ~seqno (r : req) =
+  match t.backend.prepare ~stamp:seqno r.body with
+  | Ok p ->
+    Core.Sharded_runtime.schedule t.rt p.fp (fun () ->
+        let result = p.run () in
+        send_reply t r.conn
+          { Wire.req_id = r.req_id; stamp = seqno; status = Wire.status_ok; result })
+  | Error _ ->
+    (* The stamp is consumed and the log entry retained either way, so
+       serial replay sees exactly what the parallel run saw. *)
+    Atomic.incr t.s_malformed;
+    send_reply t r.conn
+      {
+        Wire.req_id = r.req_id;
+        stamp = seqno;
+        status = Wire.status_malformed;
+        result = 0;
+      }
+
+(* [select]-with-timeout polling loops, not blocking reads: portable
+   shutdown without close-from-another-thread games. *)
+let poll_tick = 0.2
+
+let readable fd =
+  match Unix.select [ fd ] [] [] poll_tick with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let kill_conn conn =
+  Mutex.lock conn.wmu;
+  conn.alive <- false;
+  Mutex.unlock conn.wmu;
+  (* Kill the TCP, but leave the descriptor open: a reply already in
+     flight on a worker domain may still target it, and closing here
+     would let the OS reuse the fd number for a new connection.  The
+     descriptor is reclaimed in [stop]. *)
+  try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ()
+
+let reader_loop t conn =
+  let reader = Frame_reader.create () in
+  let buf = Bytes.create 8192 in
+  let poison () =
+    Atomic.incr t.s_framing_errors;
+    kill_conn conn
+  in
+  let rec drain_frames () =
+    match Frame_reader.next reader with
+    | `Need_more -> `Continue
+    | `Error _ ->
+      poison ();
+      `Stop
+    | `Frame payload -> (
+      Atomic.incr t.s_frames_in;
+      if armed () then Obs.Counters.incr c_frames_in;
+      match Wire.decode_request payload with
+      | Error _ ->
+        poison ();
+        `Stop
+      | Ok (req_id, body) ->
+        Sequencer.submit t.seq { body; conn; req_id };
+        drain_frames ())
+  in
+  let rec loop () =
+    if Atomic.get t.stopping then kill_conn conn
+    else if not (readable conn.fd) then loop ()
+    else
+      match Sysio.read conn.fd buf ~pos:0 ~len:(Bytes.length buf) with
+      | 0 ->
+        (match Frame_reader.at_eof reader with
+        | Some _ -> Atomic.incr t.s_torn
+        | None -> ());
+        kill_conn conn
+      | n ->
+        Frame_reader.feed reader buf ~pos:0 ~len:n;
+        (match drain_frames () with `Continue -> loop () | `Stop -> ())
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        Atomic.incr t.s_torn;
+        kill_conn conn
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> kill_conn conn
+  in
+  loop ()
+
+let accept_loop t =
+  while not (Atomic.get t.stopping) do
+    if readable t.lfd then
+      match Sysio.retry (fun () -> Unix.accept ~cloexec:true t.lfd) with
+      | fd, _addr ->
+        Atomic.incr t.s_accepted;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error (_, _, _) -> ());
+        let conn = { fd; wmu = Mutex.create (); alive = true } in
+        let th = Thread.create (fun () -> reader_loop t conn) () in
+        Mutex.lock t.conns_mu;
+        t.conns <- (conn, th) :: t.conns;
+        Mutex.unlock t.conns_mu
+      | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EBADF), _, _) -> ()
+  done
+
+let start cfg backend =
+  Sysio.ignore_sigpipe ();
+  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+     Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+     Unix.listen lfd 128
+   with e ->
+     Unix.close lfd;
+     raise e);
+  let bound_port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let rt =
+    Core.Sharded_runtime.create ~workers_per_shard:cfg.workers_per_shard
+      ~shards:cfg.shards ()
+  in
+  let wal =
+    Option.map (fun dir -> Wal.open_ ~fsync:cfg.wal_fsync ~dir ()) cfg.wal_dir
+  in
+  let t_ref = ref None in
+  let seq =
+    Sequencer.create
+      ?durability:
+        (Option.map (fun wal -> { Sequencer.wal; encode = (fun r -> r.body) }) wal)
+      ~deliver:(fun ~seqno r ->
+        match !t_ref with Some t -> deliver t ~seqno r | None -> assert false)
+      ()
+  in
+  let t =
+    {
+      cfg;
+      backend;
+      lfd;
+      bound_port;
+      rt;
+      seq;
+      wal;
+      stopping = Atomic.make false;
+      accept_thread = None;
+      conns_mu = Mutex.create ();
+      conns = [];
+      stopped = false;
+      s_accepted = Atomic.make 0;
+      s_frames_in = Atomic.make 0;
+      s_replies_out = Atomic.make 0;
+      s_framing_errors = Atomic.make 0;
+      s_torn = Atomic.make 0;
+      s_malformed = Atomic.make 0;
+      s_dropped = Atomic.make 0;
+    }
+  in
+  t_ref := Some t;
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let port t = t.bound_port
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    Option.iter Thread.join t.accept_thread;
+    Unix.close t.lfd;
+    Mutex.lock t.conns_mu;
+    let conns = t.conns in
+    Mutex.unlock t.conns_mu;
+    List.iter (fun (_, th) -> Thread.join th) conns;
+    (* Readers are gone: everything submitted is in the sequencer's
+       queue.  Stop drains it (delivering — and in durable mode
+       committing — every request), then the runtime drain executes the
+       backlog and writes the last replies. *)
+    Sequencer.stop t.seq;
+    Core.Sharded_runtime.drain t.rt;
+    List.iter
+      (fun ((conn : conn), _) ->
+        Mutex.lock conn.wmu;
+        conn.alive <- false;
+        Mutex.unlock conn.wmu;
+        try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ())
+      conns;
+    Core.Sharded_runtime.shutdown t.rt;
+    Option.iter Wal.close t.wal
+  end
+
+let request_log t = Array.map (fun r -> r.body) (Sequencer.log_prefix t.seq)
+
+let digest t = t.backend.Backend.digest ()
+
+let stats t =
+  {
+    accepted = Atomic.get t.s_accepted;
+    frames_in = Atomic.get t.s_frames_in;
+    replies_out = Atomic.get t.s_replies_out;
+    framing_errors = Atomic.get t.s_framing_errors;
+    torn_disconnects = Atomic.get t.s_torn;
+    malformed = Atomic.get t.s_malformed;
+    dropped_replies = Atomic.get t.s_dropped;
+  }
+
+let wal_records t =
+  match t.cfg.wal_dir with
+  | None -> [||]
+  | Some dir -> (Wal.scan ~dir).Wal.records

@@ -1,0 +1,91 @@
+(** The TCP front end: a framed RPC server in front of the sequencer and
+    the sharded deterministic runtime.
+
+    {v
+      client ──frame──▶ reader thread ──submit──▶ Sequencer (stamp, WAL)
+                                                     │ deliver (seq domain)
+                                                     ▼
+                                          Sharded_runtime.schedule
+                                                     │ worker domain
+                                                     ▼
+      client ◀─frame── per-conn locked write ◀── reply {stamp,result}
+     v}
+
+    One {!Doradd_persist.Codec} frame is one request; one frame is one
+    reply.  Each accepted connection gets a reader thread that
+    reassembles frames ({!Frame_reader}) and submits bodies to the
+    {!Doradd_replication.Sequencer} — the only component that orders
+    anything.  Delivery runs on the sequencer domain, which is therefore
+    the single thread calling {!Doradd_core.Sharded_runtime.schedule},
+    in stamp order: exactly the sequencer contract.  Replies are written
+    from worker domains under a per-connection mutex and routed by the
+    request's stamp, so a client can match pipelined requests via its
+    own [req_id] and audit the global order via [stamp].
+
+    Error policy, from the outside in:
+    - {e framing} violations (bad CRC, bad length, torn stream, a
+      payload too short to carry [req_id]) poison the connection: it is
+      shut down, nothing after the violation is sequenced;
+    - {e application} violations (undecodable or out-of-scale body)
+      are sequenced anyway — the stamp is consumed, the reply carries
+      {!Wire.status_malformed}, state is untouched — so the request log
+      stays dense and serial replay needs no side channel;
+    - a peer that disappears stops receiving replies (EPIPE/ECONNRESET
+      on write marks the connection dead; the write is dropped and
+      counted) but its already-sequenced requests still execute.
+
+    In durable mode every request body is group-committed to the WAL
+    before delivery (append-before-deliver, inherited from the
+    sequencer), so a crash cannot lose an executed request. *)
+
+type config = {
+  host : string;  (** bind address, e.g. "127.0.0.1" *)
+  port : int;  (** 0 picks an ephemeral port — see {!port} *)
+  shards : int;
+  workers_per_shard : int;
+  wal_dir : string option;  (** [Some dir] enables durable mode *)
+  wal_fsync : bool;  (** [false] keeps group-commit semantics but skips
+                         the physical fsync (tests on throwaway data) *)
+}
+
+val default_config : config
+(** 127.0.0.1, ephemeral port, 2 shards, 1 worker/shard, not durable. *)
+
+type stats = {
+  accepted : int;  (** connections accepted *)
+  frames_in : int;  (** request frames successfully reassembled *)
+  replies_out : int;  (** reply frames written *)
+  framing_errors : int;  (** connections poisoned by a framing violation *)
+  torn_disconnects : int;  (** peers that vanished mid-frame *)
+  malformed : int;  (** sequenced requests with undecodable bodies *)
+  dropped_replies : int;  (** replies to already-dead connections *)
+}
+
+type t
+
+val start : config -> Backend.t -> t
+(** Bind, listen, start the accept thread, the sequencer domain and the
+    sharded runtime.  @raise Unix.Unix_error if the address is taken. *)
+
+val port : t -> int
+(** The bound port (the ephemeral one if [config.port] was 0). *)
+
+val stop : t -> unit
+(** Stop accepting, join every reader, drain the sequencer and the
+    runtime (every sequenced request executes and its reply is written
+    or dropped), close all sockets, shut the runtime down, close the
+    WAL.  Idempotent. *)
+
+val request_log : t -> string array
+(** Bodies in stamp order — the deterministic replay input.  Stable
+    after {!stop}; before it, a consistent prefix. *)
+
+val digest : t -> int
+(** Backend state digest.  Call after {!stop} (or any drained point). *)
+
+val stats : t -> stats
+
+val wal_records : t -> (int * string) array
+(** Durable mode only: scan the WAL directory and return
+    [(seqno, body)] records — must equal the indexed {!request_log}.
+    Returns [[||]] when not durable.  Call after {!stop}. *)

@@ -1,0 +1,193 @@
+module Tpcc = Doradd_db.Tpcc_db
+
+type reply = { req_id : int; stamp : int; status : int; result : int }
+
+let status_ok = 0
+let status_malformed = 1
+let max_req_id = 0xFFFF_FFFF
+
+(* Little-endian primitive accessors.  Decoders are bounds-checked by
+   construction: every [need] precedes its reads, so hostile input can
+   only produce [Error], never an exception. *)
+
+let put_u8 b pos v = Bytes.set b pos (Char.chr (v land 0xFF))
+let put_u16 b pos v =
+  put_u8 b pos v;
+  put_u8 b (pos + 1) (v lsr 8)
+
+let put_u32 b pos v =
+  put_u16 b pos v;
+  put_u16 b (pos + 2) (v lsr 16)
+
+let put_i64 b pos v = Bytes.set_int64_le b pos (Int64.of_int v)
+let get_u8 s pos = Char.code (String.get s pos)
+let get_u16 s pos = get_u8 s pos lor (get_u8 s (pos + 1) lsl 8)
+
+let get_u32 s pos =
+  (* Same saturation as Codec: exact on 64-bit ints, [max_int] when the
+     top byte cannot shift into a 31-bit int (then any range check
+     downstream rejects it). *)
+  let lo = get_u16 s pos
+  and b2 = get_u8 s (pos + 2)
+  and b3 = get_u8 s (pos + 3) in
+  if b3 lsr (Sys.int_size - 25) <> 0 then max_int
+  else lo lor (b2 lsl 16) lor (b3 lsl 24)
+
+let get_i64 s pos = Int64.to_int (String.get_int64_le s pos)
+
+(* {2 Request envelope} *)
+
+let encode_request ~req_id ~body =
+  if req_id < 0 || req_id > max_req_id then
+    invalid_arg "Wire.encode_request: req_id out of range";
+  let b = Bytes.create (4 + String.length body) in
+  put_u32 b 0 req_id;
+  Bytes.blit_string body 0 b 4 (String.length body);
+  Bytes.unsafe_to_string b
+
+let decode_request s =
+  if String.length s < 4 then Error "request shorter than req_id header"
+  else Ok (get_u32 s 0, String.sub s 4 (String.length s - 4))
+
+(* {2 Reply} *)
+
+let reply_bytes = 4 + 8 + 1 + 8
+
+let encode_reply r =
+  let b = Bytes.create reply_bytes in
+  put_u32 b 0 r.req_id;
+  put_i64 b 4 r.stamp;
+  put_u8 b 12 r.status;
+  put_i64 b 13 r.result;
+  Bytes.unsafe_to_string b
+
+let decode_reply s =
+  if String.length s <> reply_bytes then Error "reply has wrong length"
+  else
+    Ok
+      {
+        req_id = get_u32 s 0;
+        stamp = get_i64 s 4;
+        status = get_u8 s 12;
+        result = get_i64 s 13;
+      }
+
+(* {2 KV body} *)
+
+type kv_op = { key : int; update : bool }
+type kv = { work : int; ops : kv_op array }
+
+let encode_kv { work; ops } =
+  let n = Array.length ops in
+  if work < 0 || work > max_req_id then invalid_arg "Wire.encode_kv: work out of range";
+  if n > 0xFFFF then invalid_arg "Wire.encode_kv: too many ops";
+  let b = Bytes.create (1 + 4 + 2 + (5 * n)) in
+  Bytes.set b 0 'K';
+  put_u32 b 1 work;
+  put_u16 b 5 n;
+  Array.iteri
+    (fun i { key; update } ->
+      if key < 0 || key > max_req_id then invalid_arg "Wire.encode_kv: key out of range";
+      let off = 7 + (5 * i) in
+      put_u8 b off (if update then Char.code 'U' else Char.code 'R');
+      put_u32 b (off + 1) key)
+    ops;
+  Bytes.unsafe_to_string b
+
+let decode_kv s =
+  let len = String.length s in
+  if len < 7 then Error "kv body shorter than header"
+  else if s.[0] <> 'K' then Error "kv body has wrong tag"
+  else begin
+    let work = get_u32 s 1 in
+    let n = get_u16 s 5 in
+    if len <> 7 + (5 * n) then Error "kv body length disagrees with op count"
+    else begin
+      let bad = ref None in
+      let ops =
+        Array.init n (fun i ->
+            let off = 7 + (5 * i) in
+            let update =
+              match s.[off] with
+              | 'U' -> true
+              | 'R' -> false
+              | c ->
+                if !bad = None then
+                  bad := Some (Printf.sprintf "kv op %d has bad kind %C" i c);
+                false
+            in
+            { key = get_u32 s (off + 1); update })
+      in
+      match !bad with Some e -> Error e | None -> Ok { work; ops }
+    end
+  end
+
+(* {2 TPCC body} *)
+
+let encode_tpcc txn =
+  match txn with
+  | Tpcc.New_order { no_w; no_d; no_c; lines } ->
+    let n = Array.length lines in
+    if n > 0xFFFF then invalid_arg "Wire.encode_tpcc: too many lines";
+    let b = Bytes.create (2 + 12 + 2 + (12 * n)) in
+    Bytes.set b 0 'T';
+    Bytes.set b 1 'N';
+    put_u32 b 2 no_w;
+    put_u32 b 6 no_d;
+    put_u32 b 10 no_c;
+    put_u16 b 14 n;
+    Array.iteri
+      (fun i (sw, item, qty) ->
+        let off = 16 + (12 * i) in
+        put_u32 b off sw;
+        put_u32 b (off + 4) item;
+        put_u32 b (off + 8) qty)
+      lines;
+    Bytes.unsafe_to_string b
+  | Tpcc.Payment { p_w; p_d; p_c; amount } ->
+    let b = Bytes.create (2 + 12 + 8) in
+    Bytes.set b 0 'T';
+    Bytes.set b 1 'P';
+    put_u32 b 2 p_w;
+    put_u32 b 6 p_d;
+    put_u32 b 10 p_c;
+    put_i64 b 14 amount;
+    Bytes.unsafe_to_string b
+
+let decode_tpcc s =
+  let len = String.length s in
+  if len < 2 then Error "tpcc body shorter than tag"
+  else if s.[0] <> 'T' then Error "tpcc body has wrong tag"
+  else
+    match s.[1] with
+    | 'N' ->
+      if len < 16 then Error "tpcc new-order body too short"
+      else begin
+        let n = get_u16 s 14 in
+        if len <> 16 + (12 * n) then
+          Error "tpcc new-order length disagrees with line count"
+        else
+          Ok
+            (Tpcc.New_order
+               {
+                 no_w = get_u32 s 2;
+                 no_d = get_u32 s 6;
+                 no_c = get_u32 s 10;
+                 lines =
+                   Array.init n (fun i ->
+                       let off = 16 + (12 * i) in
+                       (get_u32 s off, get_u32 s (off + 4), get_u32 s (off + 8)));
+               })
+      end
+    | 'P' ->
+      if len <> 22 then Error "tpcc payment body has wrong length"
+      else
+        Ok
+          (Tpcc.Payment
+             {
+               p_w = get_u32 s 2;
+               p_d = get_u32 s 6;
+               p_c = get_u32 s 10;
+               amount = get_i64 s 14;
+             })
+    | c -> Error (Printf.sprintf "tpcc body has bad kind %C" c)

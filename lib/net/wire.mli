@@ -1,0 +1,68 @@
+(** The RPC payload formats carried inside {!Doradd_persist.Codec}
+    frames — one frame per request, one frame per reply.
+
+    {v
+     request payload   = req_id:u32 ++ body
+     reply payload     = req_id:u32 ++ stamp:u64 ++ status:u8 ++ result:i64
+     kv body           = 'K' ++ work:u32 ++ n_ops:u16 ++ (kind:u8 ++ key:u32)*
+     tpcc body         = 'T' ++ 'N' ++ w:u32 d:u32 c:u32 ++ n:u16 ++ (sw:u32 item:u32 qty:u32)*
+                       | 'T' ++ 'P' ++ w:u32 d:u32 c:u32 ++ amount:i64
+    v}
+
+    All integers little-endian.  [req_id] is a client-chosen correlation
+    id, echoed verbatim (connection-local; the open-loop generator uses
+    dense per-connection ids).  [stamp] is the sequencer's global
+    sequence number — the position of this request in the deterministic
+    total order, which is also its index in the server's request log.
+
+    Decoders never raise on hostile input: every length, tag and range
+    violation comes back as [Error] (the syscall-hardening contract the
+    server's connection handler relies on). *)
+
+type reply = {
+  req_id : int;
+  stamp : int;
+  status : int;  (** {!status_ok} or {!status_malformed} *)
+  result : int;  (** KV read digest; 0 for TPCC and malformed requests *)
+}
+
+val status_ok : int
+val status_malformed : int
+(** The request consumed a stamp but its body failed to parse or
+    referenced out-of-range state; the store is untouched. *)
+
+val max_req_id : int
+(** Largest encodable correlation id (2^32 - 1). *)
+
+val encode_request : req_id:int -> body:string -> string
+(** @raise Invalid_argument if [req_id] is outside [0, max_req_id]. *)
+
+val decode_request : string -> (int * string, string) result
+(** [(req_id, body)]. *)
+
+val encode_reply : reply -> string
+
+val decode_reply : string -> (reply, string) result
+
+(** {2 KV body} *)
+
+type kv_op = { key : int; update : bool }
+
+type kv = {
+  work : int;
+      (** Spin iterations the server burns inside the transaction body
+          before touching rows — the bimodal service-time knob of the
+          webserver scenario.  State-neutral, so it never affects
+          determinism. *)
+  ops : kv_op array;
+}
+
+val encode_kv : kv -> string
+
+val decode_kv : string -> (kv, string) result
+
+(** {2 TPCC body} *)
+
+val encode_tpcc : Doradd_db.Tpcc_db.txn -> string
+
+val decode_tpcc : string -> (Doradd_db.Tpcc_db.txn, string) result

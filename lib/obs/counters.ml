@@ -92,6 +92,7 @@ type hist_snapshot = {
   hs_mean : float;
   hs_p50 : int;
   hs_p99 : int;
+  hs_p999 : int;
   hs_max : int;
 }
 
@@ -113,6 +114,7 @@ let snapshot () =
                     hs_mean = H.mean hist;
                     hs_p50 = H.percentile hist 50.0;
                     hs_p99 = H.percentile hist 99.0;
+                    hs_p999 = H.percentile hist 99.9;
                     hs_max = H.max_value hist;
                   })
             in

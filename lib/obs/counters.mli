@@ -44,6 +44,7 @@ type hist_snapshot = {
   hs_mean : float;
   hs_p50 : int;
   hs_p99 : int;
+  hs_p999 : int;  (** p99.9 — the open-loop load generator's tail metric *)
   hs_max : int;
 }
 

@@ -128,6 +128,7 @@ let metrics_json ?events () =
                      ("mean", Json.Num s.hs_mean);
                      ("p50", num s.hs_p50);
                      ("p99", num s.hs_p99);
+                     ("p999", num s.hs_p999);
                      ("max", num s.hs_max);
                    ] ))
              hs) );

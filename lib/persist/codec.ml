@@ -35,11 +35,20 @@ let put_u32 b pos v =
   Bytes.set_uint8 b (pos + 2) ((v lsr 16) land 0xFF);
   Bytes.set_uint8 b (pos + 3) ((v lsr 24) land 0xFF)
 
-let get_u32 s pos =
-  Char.code s.[pos]
-  lor (Char.code s.[pos + 1] lsl 8)
-  lor (Char.code s.[pos + 2] lsl 16)
-  lor (Char.code s.[pos + 3] lsl 24)
+(* The header's length/crc fields are unsigned 32-bit.  [b3 lsl 24] is
+   only exact when the native int has at least 33 value bits; on 32-bit
+   OCaml (31-bit ints) the top byte would overflow into the sign bit and
+   an attacker-controlled header could sign-extend past the
+   [len < 0 || len > max_payload] guard in [read_at].  When the shifted
+   byte cannot be represented, saturate to [max_int] — still >
+   [max_payload], so oversized headers are rejected, never misread. *)
+let get_u32_bytes b pos =
+  let b0 = Char.code (Bytes.get b pos)
+  and b1 = Char.code (Bytes.get b (pos + 1))
+  and b2 = Char.code (Bytes.get b (pos + 2))
+  and b3 = Char.code (Bytes.get b (pos + 3)) in
+  if b3 lsr (Sys.int_size - 25) <> 0 then max_int
+  else b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
 
 let frame payload =
   let len = String.length payload in
@@ -72,23 +81,33 @@ let error_to_string = function
 
 type read = Record of { payload : string; next : int } | End | Torn of error
 
-let read_at s ~pos =
-  let total = String.length s in
-  if pos < 0 || pos > total then invalid_arg "Codec.read_at: position out of bounds";
-  if pos = total then End
-  else if pos + header_bytes > total then Torn Truncated
+(* Bytes variant with an explicit valid-data limit: what the network
+   layer's incremental reassembly reads against (its receive buffer is
+   longer than the bytes actually received).  [Torn Truncated] there
+   means "need more bytes", and becomes a real torn frame only at
+   connection EOF — one error taxonomy for disk and wire. *)
+let read_bytes_at b ~pos ~limit =
+  if limit > Bytes.length b then invalid_arg "Codec.read_bytes_at: limit out of bounds";
+  if pos < 0 || pos > limit then invalid_arg "Codec.read_bytes_at: position out of bounds";
+  if pos = limit then End
+  else if pos + header_bytes > limit then Torn Truncated
   else begin
-    let len = get_u32 s pos in
+    let len = get_u32_bytes b pos in
     if len < 0 || len > max_payload then Torn (Bad_length len)
-    else if pos + header_bytes + len > total then Torn Truncated
+    else if pos + header_bytes + len > limit then Torn Truncated
     else begin
-      let stored = get_u32 s (pos + 4) in
-      let payload = String.sub s (pos + header_bytes) len in
-      let computed = crc32_string payload in
+      let stored = get_u32_bytes b (pos + 4) in
+      let computed = crc32 b ~pos:(pos + header_bytes) ~len in
       if stored <> computed then Torn (Bad_crc { stored; computed })
-      else Record { payload; next = pos + header_bytes + len }
+      else
+        Record
+          { payload = Bytes.sub_string b (pos + header_bytes) len;
+            next = pos + header_bytes + len }
     end
   end
+
+let read_at s ~pos =
+  read_bytes_at (Bytes.unsafe_of_string s) ~pos ~limit:(String.length s)
 
 let fold ?(pos = 0) s ~init ~f =
   let rec go acc pos =

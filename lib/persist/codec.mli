@@ -47,7 +47,19 @@ type read = Record of { payload : string; next : int } | End | Torn of error
 
 val read_at : string -> pos:int -> read
 (** Decode the frame starting at [pos].  [End] iff [pos] is exactly the
-    end of the buffer; [Torn] never raises. *)
+    end of the buffer; [Torn] never raises.  Length fields are decoded
+    as {e unsigned} 32-bit values on every platform: a header whose top
+    byte would overflow the native int (32-bit OCaml) saturates above
+    {!max_payload} and is rejected as [Bad_length], never sign-extended
+    past the guards. *)
+
+val read_bytes_at : Bytes.t -> pos:int -> limit:int -> read
+(** Like {!read_at} but over the valid prefix [\[0, limit)] of a byte
+    buffer — the incremental-reassembly entry point: a reader that is
+    still receiving treats [Torn Truncated] as "need more bytes" and
+    only promotes it to a real torn frame at end-of-stream, keeping the
+    disk and wire paths on one error taxonomy.  The payload is copied
+    out, so the caller may reuse the buffer. *)
 
 val fold :
   ?pos:int -> string -> init:'a -> f:('a -> string -> 'a) -> 'a * int * error option

@@ -1,0 +1,36 @@
+(* EINTR-safe syscall helpers shared by the WAL and the socket layer.
+   All descriptors here are blocking: EAGAIN/EWOULDBLOCK can still leak
+   out of some stacks on sockets, and retrying them is harmless for a
+   blocking fd, so they are folded into the retry set. *)
+
+let rec retry f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    retry f
+
+let write_all fd s ~pos ~len =
+  let rec go pos len =
+    if len > 0 then begin
+      let n = retry (fun () -> Unix.write_substring fd s pos len) in
+      go (pos + n) (len - n)
+    end
+  in
+  go pos len
+
+let read fd b ~pos ~len = retry (fun () -> Unix.read fd b pos len)
+
+let fsync_dir dir =
+  let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      try retry (fun () -> Unix.fsync fd) with
+      (* not-supported-on-directory is the only benign outcome; EIO and
+         friends are real durability failures and must propagate *)
+      | Unix.Unix_error ((Unix.EINVAL | Unix.EBADF), _, _) -> ())
+
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception (Invalid_argument _ | Sys_error _) -> ()

@@ -1,0 +1,36 @@
+(** EINTR-safe syscall helpers shared by the durability layer and the
+    network front end.
+
+    Every blocking syscall in this repository that can return [EINTR]
+    (or, on sockets, a spurious [EAGAIN]) goes through {!retry}: a signal
+    landing mid-[write] must never poison a WAL record or tear a wire
+    frame.  The helpers assume {e blocking} descriptors — retrying
+    [EAGAIN] on a non-blocking fd would spin. *)
+
+val retry : (unit -> 'a) -> 'a
+(** Run [f], retrying as long as it raises
+    [Unix_error (EINTR | EAGAIN | EWOULDBLOCK, _, _)].  Every other
+    exception propagates. *)
+
+val write_all : Unix.file_descr -> string -> pos:int -> len:int -> unit
+(** Write exactly [len] bytes of [s] starting at [pos], looping over
+    short writes and retrying interrupted ones.  Raises the underlying
+    [Unix_error] on a real failure (e.g. [EPIPE] on a closed peer —
+    callers that treat that as connection-close catch it, see
+    {!Doradd_net.Server}). *)
+
+val read : Unix.file_descr -> Bytes.t -> pos:int -> len:int -> int
+(** One [Unix.read], retried on [EINTR]: returns the number of bytes
+    read, [0] at end of file.  Never returns a negative value. *)
+
+val fsync_dir : string -> unit
+(** [fsync] the directory itself so a just-created or just-removed entry
+    survives a crash.  Filesystems that cannot sync a directory handle
+    report [EINVAL]/[EBADF] — those are expected and ignored; {e every
+    other} error (e.g. [EIO], a real durability loss) propagates. *)
+
+val ignore_sigpipe : unit -> unit
+(** Install [Signal_ignore] for [SIGPIPE] (idempotent): a peer that
+    disappears mid-write must surface as an [EPIPE] [Unix_error] on the
+    write, not kill the process.  No-op on platforms without the
+    signal. *)

@@ -60,32 +60,21 @@ let read_file path =
 
 (* Write in two halves with a crashpoint between them: the only way a
    test can produce a genuinely torn record without a real kill.  The
-   split costs one extra syscall only while a crash hook is armed. *)
-let write_all fd s pos len =
-  let rec go pos len =
-    if len > 0 then begin
-      let n = Unix.write_substring fd s pos len in
-      go (pos + n) (len - n)
-    end
-  in
-  go pos len
-
+   split costs one extra syscall only while a crash hook is armed.
+   Sysio.write_all retries EINTR/short writes — a signal mid-append must
+   not abandon a half-written record (that would poison the log as
+   interior corruption on the next scan, not a repairable torn tail). *)
 let write_split fd s =
   let len = String.length s in
   if Crashpoint.armed () && len > 1 then begin
     let half = len / 2 in
-    write_all fd s 0 half;
+    Sysio.write_all fd s ~pos:0 ~len:half;
     Crashpoint.hit Crashpoint.Mid_append;
-    write_all fd s half (len - half)
+    Sysio.write_all fd s ~pos:half ~len:(len - half)
   end
-  else write_all fd s 0 len
+  else Sysio.write_all fd s ~pos:0 ~len
 
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | exception Unix.Unix_error _ -> ()
-  | fd ->
-    (try Unix.fsync fd with Unix.Unix_error _ -> ());
-    Unix.close fd
+let fsync_dir = Sysio.fsync_dir
 
 (* ---- segment parsing (shared by scan and open_) -------------------- *)
 
@@ -193,7 +182,7 @@ let create_segment t base =
   Bytes.set_int64_le header (String.length magic) (Int64.of_int base);
   write_split fd (Bytes.unsafe_to_string header);
   if t.fsync then begin
-    Unix.fsync fd;
+    Sysio.retry (fun () -> Unix.fsync fd);
     fsync_dir t.dir
   end
 
@@ -220,7 +209,7 @@ let open_ ?(segment_bytes = 1 lsl 20) ?(fsync = true) ~dir () =
           truncated_bytes := !truncated_bytes + (sp.sp_file_len - sp.sp_clean_end);
           let fd = Unix.openfile sp.sp_path [ Unix.O_RDWR ] 0 in
           Unix.ftruncate fd sp.sp_clean_end;
-          if fsync then Unix.fsync fd;
+          if fsync then Sysio.retry (fun () -> Unix.fsync fd);
           Unix.close fd;
           true)
       parses
@@ -291,7 +280,7 @@ let sync t =
       Buffer.clear t.buf
     end;
     Crashpoint.hit Crashpoint.Pre_fsync;
-    if t.fsync then Unix.fsync t.fd;
+    if t.fsync then Sysio.retry (fun () -> Unix.fsync t.fd);
     Atomic.set t.durable (t.next - 1);
     if armed then begin
       Obs.Counters.incr c_fsyncs;
