@@ -682,6 +682,284 @@ let net_tier ~seed ~n =
     (List.map snd rows);
   List.for_all fst rows
 
+module Repl = Doradd_repl
+
+(* The win condition for the replication layer: kill the primary
+   mid-stream (in-process SIGKILL stand-in: every socket cut first, WAL
+   crash-closed) and the surviving cluster's state must equal a serial
+   replay of the acked durable prefix — every write the client saw
+   acknowledged sits in the new primary's log at its acked stamp with
+   its acked result, nothing acked is lost, the survivors' logs agree,
+   and a rejoining ex-primary converges to the same digest.  Replica
+   reads are checked against the staleness bound: a read at
+   [min_stamp = w] must reflect a log position >= w, and once writes
+   stop, exactly the full-prefix state. *)
+let repl_tier ~seed ~n =
+  let n = min n 400 in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let dir = Filename.temp_dir "doradd_check_repl" "" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let kv_keys = 4096 in
+  let make_backend () = Net.Backend.kv ~n_keys:kv_keys () in
+  (* Pre-bind the replication listeners so the full peer topology is
+     known before any node starts. *)
+  let bind_listener port =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 64;
+    let port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> assert false
+    in
+    (fd, port)
+  in
+  let listeners = Array.init 3 (fun _ -> bind_listener 0) in
+  let rport i = snd listeners.(i) in
+  let peers i =
+    List.filter_map
+      (fun j -> if j = i then None else Some (j, "127.0.0.1", rport j))
+      [ 0; 1; 2 ]
+  in
+  let start_node ?repl_fd ?backup_of i initial_role =
+    Repl.Node.start
+      (Repl.Node.make_config ~node_id:i
+         ~data_dir:(Filename.concat dir (Printf.sprintf "n%d" i))
+         ?repl_fd ?backup_of ~peers:(peers i) ~fsync:false ~sync_replicas:1
+         ~heartbeat_s:0.01 ~election_timeout_s:0.3 ~initial_role ())
+      (make_backend ())
+  in
+  let n0 = start_node ~repl_fd:(fst listeners.(0)) 0 `Primary in
+  let hint = ("127.0.0.1", rport 0) in
+  let n1 = start_node ~repl_fd:(fst listeners.(1)) ~backup_of:hint 1 `Backup in
+  let n2 = start_node ~repl_fd:(fst listeners.(2)) ~backup_of:hint 2 `Backup in
+  let wait_port node =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    while Repl.Node.client_port node = 0 && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.005
+    done;
+    Repl.Node.client_port node
+  in
+  let ports = List.map wait_port [ n0; n1; n2 ] in
+  let session =
+    Net.Client.Session.create ~addrs:(List.map (fun p -> ("127.0.0.1", p)) ports) ()
+  in
+  let rng = Random.State.make [| seed; 0x5e91 |] in
+  let kill_at = (n / 4) + (Random.State.int rng (max 1 (n / 2))) in
+  let acked = ref [] and n_acked = ref 0 and n_failed = ref 0 in
+  let killed = ref false in
+  let t_kill = ref 0.0 and t_recovered = ref 0.0 in
+  for i = 0 to n - 1 do
+    let n_ops = 1 + Random.State.int rng 3 in
+    let body =
+      Net.Wire.encode_kv
+        {
+          Net.Wire.work = 0;
+          ops =
+            Array.init n_ops (fun _ ->
+                {
+                  Net.Wire.key = Random.State.int rng kv_keys;
+                  update = Random.State.bool rng;
+                });
+        }
+    in
+    (match Net.Client.Session.call ~retry_budget_s:20.0 session ~req_id:i ~body with
+    | Ok r when r.Net.Wire.status = Net.Wire.status_ok ->
+      incr n_acked;
+      if !killed && !t_recovered = 0.0 then t_recovered := Unix.gettimeofday ();
+      acked := (r.Net.Wire.stamp, body, r.Net.Wire.result) :: !acked
+    | Ok _ | Error _ -> incr n_failed);
+    if (not !killed) && !n_acked >= kill_at then begin
+      killed := true;
+      t_kill := Unix.gettimeofday ();
+      Repl.Node.kill n0
+    end
+  done;
+  Net.Client.Session.close session;
+  let recovery_ms =
+    if !t_recovered > 0.0 then (!t_recovered -. !t_kill) *. 1000.0 else -1.0
+  in
+  let new_primary, replica =
+    match (Repl.Node.role n1, Repl.Node.role n2) with
+    | Repl.Node.Primary, _ -> (Some n1, n2)
+    | _, Repl.Node.Primary -> (Some n2, n1)
+    | _ -> (None, n1)
+  in
+  (* Staleness bound: with writes stopped, a read at min_stamp = the new
+     primary's durable watermark must execute at a position covering the
+     full log and return exactly the full-replay read result. *)
+  let reads_attempted = 20 in
+  let reads_ok = ref 0 in
+  let expected_read =
+    match new_primary with
+    | None -> fun _ -> None
+    | Some p ->
+      let w = Repl.Node.durable p in
+      let bodies = Array.map snd (Repl.Node.wal_records p) in
+      let oracle = make_backend () in
+      Array.iteri
+        (fun stamp body ->
+          match oracle.Net.Backend.prepare ~stamp body with
+          | Ok prep -> ignore (prep.Net.Backend.run ())
+          | Error _ -> ())
+        bodies;
+      fun body ->
+        match oracle.Net.Backend.prepare ~stamp:(Array.length bodies) body with
+        | Ok prep -> Some (w, prep.Net.Backend.run ())
+        | Error _ -> None
+  in
+  (match new_primary with
+  | None -> ()
+  | Some _ -> (
+    match Net.Client.connect ~port:(Repl.Node.client_port replica) () with
+    | exception Unix.Unix_error (_, _, _) -> ()
+    | c ->
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close c)
+        (fun () ->
+          for i = 0 to reads_attempted - 1 do
+            let inner =
+              Net.Wire.encode_kv
+                {
+                  Net.Wire.work = 0;
+                  ops =
+                    [| { Net.Wire.key = Random.State.int rng kv_keys; update = false } |];
+                }
+            in
+            match expected_read inner with
+            | None -> ()
+            | Some (w, expect) -> (
+              Net.Client.send c ~req_id:i
+                ~body:(Net.Wire.encode_read ~min_stamp:w ~body:inner);
+              match Net.Client.recv ~timeout_s:5.0 c with
+              | Ok r
+                when r.Net.Wire.status = Net.Wire.status_ok
+                     && r.Net.Wire.stamp >= w
+                     && r.Net.Wire.result = expect ->
+                incr reads_ok
+              | Ok _ | Error _ -> ())
+          done)))
+  ;
+  (* Rejoin the crashed ex-primary over its surviving data dir: it must
+     adopt the new epoch, catch up, and apply each entry exactly once. *)
+  let l0 = bind_listener (rport 0) in
+  let n0b =
+    match new_primary with
+    | Some p ->
+      Some
+        (start_node ~repl_fd:(fst l0)
+           ~backup_of:("127.0.0.1", rport (Repl.Node.node_id p))
+           0 `Backup)
+    | None ->
+      Unix.close (fst l0);
+      None
+  in
+  let rejoin_ok =
+    match (n0b, new_primary) with
+    | Some node, Some p ->
+      let target = Repl.Node.durable p in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait () =
+        if Repl.Node.applied node >= target then true
+        else if Unix.gettimeofday () > deadline then false
+        else begin
+          Unix.sleepf 0.01;
+          wait ()
+        end
+      in
+      wait ()
+    | _ -> false
+  in
+  (match n0b with Some node -> Repl.Node.stop node | None -> ());
+  Repl.Node.stop n1;
+  Repl.Node.stop n2;
+  (* Offline verification from the durable logs. *)
+  let log_of node = Repl.Node.wal_records node in
+  let logs = [ log_of n1; log_of n2 ] @ (match n0b with Some x -> [ log_of x ] | None -> []) in
+  let prefix_ok =
+    match logs with
+    | a :: rest ->
+      List.for_all
+        (fun b ->
+          let common = min (Array.length a) (Array.length b) in
+          let ok = ref true in
+          for s = 0 to common - 1 do
+            if a.(s) <> b.(s) then ok := false
+          done;
+          !ok)
+        rest
+    | [] -> true
+  in
+  let primary_log =
+    match new_primary with Some p -> log_of p | None -> [||]
+  in
+  let sdigest, sresults =
+    Net.Backend.replay_serial make_backend (Array.map snd primary_log)
+  in
+  let lost = ref 0 in
+  List.iter
+    (fun (stamp, body, result) ->
+      let present =
+        stamp >= 0
+        && stamp < Array.length primary_log
+        && snd primary_log.(stamp) = body
+        && sresults.(stamp) = Some result
+      in
+      if not present then incr lost)
+    !acked;
+  let digests =
+    List.map Repl.Node.digest
+      ([ n1; n2 ] @ match n0b with Some x -> [ x ] | None -> [])
+  in
+  let digest_ok = List.for_all (fun d -> d = sdigest) digests in
+  let elected_ok = new_primary <> None && recovery_ms >= 0.0 in
+  let reads_row_ok = !reads_ok = reads_attempted in
+  let chaos_ok = elected_ok && !lost = 0 && !n_acked = n in
+  let converge_ok = rejoin_ok && prefix_ok && digest_ok in
+  let rows =
+    [
+      ( chaos_ok,
+        [
+          "kill-the-primary";
+          Printf.sprintf "%d/%d acked" !n_acked n;
+          Printf.sprintf "%d lost" !lost;
+          (match new_primary with
+          | Some p -> Printf.sprintf "n%d in %.0f ms" (Repl.Node.node_id p) recovery_ms
+          | None -> "NO PRIMARY");
+          (if chaos_ok then "PASS" else "FAIL");
+        ] );
+      ( reads_row_ok,
+        [
+          "stale-bounded reads";
+          Printf.sprintf "%d/%d" !reads_ok reads_attempted;
+          "-";
+          "-";
+          (if reads_row_ok then "PASS" else "FAIL");
+        ] );
+      ( converge_ok,
+        [
+          "rejoin + replay";
+          (if rejoin_ok then "caught up" else "LAGGING");
+          (if prefix_ok then "prefixes agree" else "DIVERGES");
+          (if digest_ok then "digests = serial" else "DIVERGES");
+          (if converge_ok then "PASS" else "FAIL");
+        ] );
+    ]
+  in
+  Table.print
+    ~title:
+      "doradd-check: replication (3 nodes, sync=1) vs serial replay of the acked prefix"
+    ~header:[ "phase"; "acked/reads"; "loss/prefix"; "primary/digest"; "verdict" ]
+    (List.map snd rows);
+  List.for_all fst rows
+
 open Cmdliner
 
 let iterations_arg =
@@ -755,7 +1033,17 @@ let net_arg =
               of the server's request log, and the durable run's WAL scan must equal \
               that log.")
 
-let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery shards suspend net names =
+let repl_arg =
+  Arg.(
+    value & flag
+    & info [ "repl" ]
+        ~doc:"Run the replication failover tier: a 3-node in-process cluster \
+              (sync-replicas 1) whose primary is killed mid-stream.  The surviving \
+              nodes' state must equal a serial replay of the acked durable prefix \
+              (no acked write lost), replica reads must honour their staleness \
+              bound, and the rejoined ex-primary must converge to the same digest.")
+
+let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery shards suspend net repl names =
   let selected =
     if List.mem "all" names then apps
     else
@@ -786,6 +1074,7 @@ let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery shard
     let sharded_ok = shards <= 0 || sharded_tier ~seed ~n ~shards in
     let suspend_ok = (not suspend) || suspend_tier ~seed ~n in
     let net_ok = (not net) || net_tier ~seed ~n in
+    let repl_ok = (not repl) || repl_tier ~seed ~n in
     let failures =
       List.filter_map
         (fun (ok, msg) -> if ok then None else Some msg)
@@ -799,6 +1088,7 @@ let main iterations seed n no_sanitize dst_seeds no_obs chk_bound recovery shard
           (sharded_ok, "sharded determinism tier failed");
           (suspend_ok, "suspendable-transaction tier failed");
           (net_ok, "TCP front-end smoke tier failed");
+          (repl_ok, "replication failover tier failed");
         ]
     in
     match failures with [] -> `Ok () | msg :: _ -> `Error (false, msg)
@@ -812,6 +1102,6 @@ let cmd =
       ret
         (const main $ iterations_arg $ seed_arg $ size_arg $ no_sanitize_arg $ dst_seeds_arg
        $ no_obs_arg $ chk_bound_arg $ recovery_arg $ shards_arg $ suspend_arg $ net_arg
-       $ apps_arg))
+       $ repl_arg $ apps_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -61,8 +61,8 @@ let case_arg =
     & opt (some string) None
     & info [ "case" ] ~docv:"CASE"
         ~doc:"Pin the workload case (default: the seed picks one). One of: counters, kv, kv-rw, \
-              ycsb, ledger, tpcc, yield, deep-chain, replication, crash-recovery, cross-shard, \
-              suspend.")
+              ycsb, ledger, tpcc, yield, deep-chain, replication, crash-recovery, failover, \
+              cross-shard, suspend.")
 
 let n_arg =
   Arg.(

@@ -10,7 +10,7 @@ module Net = Doradd_net
 module Table = Doradd_stats.Table
 
 let run host port connections rate requests seed workload_name remote_pct warehouses
-    json_path =
+    min_stamp json_path =
   let workload =
     match workload_name with
     | "kv" -> Ok Net.Loadgen.kv_default
@@ -22,7 +22,10 @@ let run host port connections rate requests seed workload_name remote_pct wareho
              config = { Net.Backend.small_tpcc_config with warehouses };
              remote_pct;
            })
-    | other -> Error (Printf.sprintf "unknown workload %S (kv|webserver|tpcc)" other)
+    | "replica-read" ->
+      Ok (Net.Loadgen.Replica_read { n_keys = 65_536; ops_per_txn = 1; min_stamp })
+    | other ->
+      Error (Printf.sprintf "unknown workload %S (kv|webserver|tpcc|replica-read)" other)
   in
   match workload with
   | Error msg -> `Error (false, msg)
@@ -96,7 +99,15 @@ let workload_arg =
   Arg.(
     value & opt string "kv"
     & info [ "w"; "workload" ] ~docv:"NAME"
-        ~doc:"Workload: kv, webserver (bimodal service times), or tpcc.")
+        ~doc:"Workload: kv, webserver (bimodal service times), tpcc, or replica-read \
+              (stale-bounded reads against a replica's client port).")
+
+let min_stamp_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "min-stamp" ] ~docv:"STAMP"
+        ~doc:"replica-read: staleness bound — the replica holds each read until its \
+              applied watermark covers $(docv).")
 
 let remote_pct_arg =
   Arg.(
@@ -122,6 +133,7 @@ let cmd =
     Term.(
       ret
         (const run $ host_arg $ port_arg $ connections_arg $ rate_arg $ requests_arg
-       $ seed_arg $ workload_arg $ remote_pct_arg $ warehouses_arg $ json_arg))
+       $ seed_arg $ workload_arg $ remote_pct_arg $ warehouses_arg $ min_stamp_arg
+       $ json_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,547 @@
+(* doradd-repl: multi-process chaos driver for the replication layer.
+
+   `cycle` boots a real 3-process cluster (one server.exe per node,
+   separate WAL dirs), drives a closed-loop client through the
+   reconnecting Session, SIGKILLs the primary at a seeded point
+   mid-stream, and lets the survivors elect, recover and keep serving.
+   Afterwards it verifies the paper-level claim offline, from the WALs
+   themselves:
+
+     surviving cluster state == serial replay of the acked durable prefix
+
+   i.e. the new primary's log replays to exactly the digest the process
+   printed on shutdown, every client-acked write sits in that log at its
+   acked stamp with its acked result, and the two survivor logs agree on
+   their common prefix.  The client-observed recovery window (last ack
+   before the kill -> first ack after) is reported and, with --json,
+   emitted machine-readably for CI trending. *)
+
+module Net = Doradd_net
+module Wal = Doradd_persist.Wal
+module Table = Doradd_stats.Table
+
+let pf = Printf.eprintf
+
+(* ---- small utilities -------------------------------------------------- *)
+
+let free_port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let p =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  Unix.close fd;
+  p
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let spawn ~bin ~args ~log =
+  let fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let pid = Unix.create_process bin (Array.of_list (bin :: args)) Unix.stdin fd fd in
+  Unix.close fd;
+  pid
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* The node prints "... digest %d" as its last word on shutdown. *)
+let parse_digest log =
+  let s = try read_file log with Sys_error _ -> "" in
+  let key = "digest " in
+  let rec last_from i acc =
+    match String.index_from_opt s i 'd' with
+    | None -> acc
+    | Some j ->
+      if j + String.length key <= String.length s
+         && String.sub s j (String.length key) = key
+      then last_from (j + 1) (Some (j + String.length key))
+      else last_from (j + 1) acc
+  in
+  match last_from 0 None with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    if !stop < String.length s && s.[!stop] = '-' then incr stop;
+    while !stop < String.length s && s.[!stop] >= '0' && s.[!stop] <= '9' do
+      incr stop
+    done;
+    int_of_string_opt (String.sub s start (!stop - start))
+
+let wait_listening ~port ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if Unix.gettimeofday () > deadline then false
+    else
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+      | () ->
+        Unix.close fd;
+        true
+      | exception Unix.Unix_error (_, _, _) ->
+        Unix.close fd;
+        Unix.sleepf 0.05;
+        go ()
+  in
+  go ()
+
+(* ---- the chaos cycle -------------------------------------------------- *)
+
+type acked = { a_stamp : int; a_body : string; a_result : int }
+
+let cycle seed ops kill_after server_bin dir no_fsync json =
+  let dir =
+    match dir with
+    | Some d -> d
+    | None ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "doradd-repl-%d-%d" (Unix.getpid ()) seed)
+  in
+  let server_bin =
+    match server_bin with
+    | Some b -> b
+    | None -> Filename.concat (Filename.dirname Sys.executable_name) "server.exe"
+  in
+  if not (Sys.file_exists server_bin) then
+    `Error (false, Printf.sprintf "server binary %s not found" server_bin)
+  else begin
+    let kill_after =
+      if kill_after >= 0 then kill_after
+      else (ops / 4) + (abs seed * 7919 mod max 1 (ops / 2))
+    in
+    mkdir_p dir;
+    let cport = Array.init 3 (fun _ -> free_port ()) in
+    let rport = Array.init 3 (fun _ -> free_port ()) in
+    let data i = Filename.concat dir (Printf.sprintf "n%d" i) in
+    let log i = Filename.concat dir (Printf.sprintf "n%d.log" i) in
+    let peers_of i =
+      List.filter (fun j -> j <> i) [ 0; 1; 2 ]
+      |> List.map (fun j -> Printf.sprintf "%d@127.0.0.1:%d" j rport.(j))
+      |> String.concat ","
+    in
+    let common i =
+      [
+        "--node-id"; string_of_int i;
+        "--durable"; data i;
+        "--port"; string_of_int cport.(i);
+        "--repl-port"; string_of_int rport.(i);
+        "--peers"; peers_of i;
+        "--sync-replicas"; "1";
+        "--backend"; "kv";
+      ]
+      @ (if no_fsync then [ "--no-fsync" ] else [])
+    in
+    let pids = Array.make 3 0 in
+    pids.(0) <- spawn ~bin:server_bin ~args:(common 0 @ [ "--primary" ]) ~log:(log 0);
+    for i = 1 to 2 do
+      pids.(i) <-
+        spawn ~bin:server_bin
+          ~args:
+            (common i @ [ "--backup-of"; Printf.sprintf "127.0.0.1:%d" rport.(0) ])
+          ~log:(log i)
+    done;
+    let cleanup () =
+      Array.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error (_, _, _) -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error (_, _, _) -> ())
+        pids
+    in
+    Fun.protect ~finally:cleanup @@ fun () ->
+    if not (Array.for_all (fun p -> wait_listening ~port:p ~timeout_s:15.0) cport)
+    then `Error (false, "cluster did not come up (see logs in " ^ dir ^ ")")
+    else begin
+      pf "repl-cycle: cluster up in %s (kill primary after %d acks)\n%!" dir
+        kill_after;
+      let addrs = Array.to_list (Array.map (fun p -> ("127.0.0.1", p)) cport) in
+      let session = Net.Client.Session.create ~addrs () in
+      let rng = Random.State.make [| seed; 0xd0add |] in
+      let body _i =
+        let n_ops = 1 + Random.State.int rng 3 in
+        Net.Wire.encode_kv
+          {
+            Net.Wire.work = 0;
+            ops =
+              Array.init n_ops (fun _ ->
+                  {
+                    Net.Wire.key = Random.State.int rng 4096;
+                    update = Random.State.bool rng;
+                  });
+          }
+      in
+      let acked = ref [] in
+      let n_acked = ref 0 in
+      let failed = ref 0 in
+      let killed = ref false in
+      let t_kill = ref 0.0 in
+      let t_recovered = ref 0.0 in
+      for i = 0 to ops - 1 do
+        let b = body i in
+        (match Net.Client.Session.call session ~req_id:i ~body:b with
+        | Ok r when r.Net.Wire.status = Net.Wire.status_ok ->
+          incr n_acked;
+          if !killed && !t_recovered = 0.0 then t_recovered := Unix.gettimeofday ();
+          acked := { a_stamp = r.Net.Wire.stamp; a_body = b; a_result = r.Net.Wire.result } :: !acked
+        | Ok _ | Error _ -> incr failed);
+        if (not !killed) && !n_acked >= kill_after then begin
+          killed := true;
+          t_kill := Unix.gettimeofday ();
+          pf "repl-cycle: SIGKILL primary (pid %d) after %d acks\n%!" pids.(0)
+            !n_acked;
+          Unix.kill pids.(0) Sys.sigkill;
+          ignore (Unix.waitpid [] pids.(0))
+        end
+      done;
+      let events = Net.Client.Session.events session in
+      let timeouts =
+        List.length (List.filter (function `Timeout _ -> true | _ -> false) events)
+      in
+      let bounces =
+        List.length
+          (List.filter (function `Not_primary _ -> true | _ -> false) events)
+      in
+      let recovery_window_ms =
+        if !t_recovered > 0.0 then (!t_recovered -. !t_kill) *. 1000.0 else -1.0
+      in
+      (* Who is primary now?  Probe the survivors with a no-op write. *)
+      let probe_write port =
+        match Net.Client.connect ~port () with
+        | exception Unix.Unix_error (_, _, _) -> None
+        | c ->
+          Fun.protect
+            ~finally:(fun () -> Net.Client.close c)
+            (fun () ->
+              Net.Client.send c ~req_id:999_000
+                ~body:(Net.Wire.encode_kv { Net.Wire.work = 0; ops = [||] });
+              match Net.Client.recv ~timeout_s:5.0 c with
+              | Ok r -> Some r.Net.Wire.status
+              | Error _ -> None)
+      in
+      let new_primary =
+        if probe_write cport.(1) = Some Net.Wire.status_ok then 1
+        else if probe_write cport.(2) = Some Net.Wire.status_ok then 2
+        else -1
+      in
+      let replica = if new_primary = 1 then 2 else 1 in
+      (* Stale-bounded reads against the surviving replica. *)
+      let last_stamp =
+        List.fold_left (fun m a -> max m a.a_stamp) (-1) !acked
+      in
+      let reads_attempted = 10 in
+      let reads_ok = ref 0 in
+      (if new_primary > 0 && last_stamp >= 0 then
+         match Net.Client.connect ~port:cport.(replica) () with
+         | exception Unix.Unix_error (_, _, _) -> ()
+         | c ->
+           Fun.protect
+             ~finally:(fun () -> Net.Client.close c)
+             (fun () ->
+               for i = 0 to reads_attempted - 1 do
+                 let inner =
+                   Net.Wire.encode_kv
+                     {
+                       Net.Wire.work = 0;
+                       ops = [| { Net.Wire.key = i; update = false } |];
+                     }
+                 in
+                 Net.Client.send c ~req_id:(998_000 + i)
+                   ~body:(Net.Wire.encode_read ~min_stamp:last_stamp ~body:inner);
+                 match Net.Client.recv ~timeout_s:5.0 c with
+                 | Ok r
+                   when r.Net.Wire.status = Net.Wire.status_ok
+                        && r.Net.Wire.stamp >= last_stamp ->
+                   incr reads_ok
+                 | Ok _ | Error _ -> ()
+               done));
+      (* Graceful stop for the survivors so they print their digests. *)
+      List.iter
+        (fun i ->
+          try Unix.kill pids.(i) Sys.sigterm with Unix.Unix_error (_, _, _) -> ())
+        [ 1; 2 ];
+      List.iter (fun i -> ignore (Unix.waitpid [] pids.(i))) [ 1; 2 ];
+      (* ---- offline verification from the WALs ------------------------- *)
+      let logs = Array.init 3 (fun i -> (Wal.scan ~dir:(data i)).Wal.records) in
+      let survivor_a = logs.(1) and survivor_b = logs.(2) in
+      let common = min (Array.length survivor_a) (Array.length survivor_b) in
+      let prefix_ok = ref true in
+      for s = 0 to common - 1 do
+        if survivor_a.(s) <> survivor_b.(s) then prefix_ok := false
+      done;
+      let primary_log = if new_primary > 0 then logs.(new_primary) else [||] in
+      let bodies = Array.map snd primary_log in
+      let replay_digest, replay_results =
+        Net.Backend.replay_serial (fun () -> Net.Backend.kv ()) bodies
+      in
+      let printed_digest =
+        if new_primary > 0 then parse_digest (log new_primary) else None
+      in
+      let digest_match = printed_digest = Some replay_digest in
+      let lost_acked = ref 0 in
+      List.iter
+        (fun a ->
+          let present =
+            a.a_stamp < Array.length primary_log
+            && snd primary_log.(a.a_stamp) = a.a_body
+            && replay_results.(a.a_stamp) = Some a.a_result
+          in
+          if not present then incr lost_acked)
+        !acked;
+      let ok =
+        !prefix_ok && digest_match && !lost_acked = 0 && new_primary > 0
+        && !reads_ok = reads_attempted
+      in
+      pf
+        "repl-cycle: %d/%d acked (%d failed, %d timeouts, %d bounces), new \
+         primary n%d, recovery %.1f ms\n\
+         repl-cycle: prefix_ok=%b digest_match=%b (replay %d) lost_acked=%d \
+         replica_reads %d/%d => %s\n\
+         %!"
+        !n_acked ops !failed timeouts bounces new_primary recovery_window_ms
+        !prefix_ok digest_match replay_digest !lost_acked !reads_ok
+        reads_attempted
+        (if ok then "PASS" else "FAIL");
+      if json then
+        Printf.printf
+          "{ \"seed\": %d, \"ops\": %d, \"kill_after\": %d, \"acked\": %d, \
+           \"failed\": %d, \"timeouts\": %d, \"not_primary_bounces\": %d, \
+           \"new_primary\": %d, \"recovery_window_ms\": %.3f, \"log_len\": %d, \
+           \"prefix_ok\": %b, \"digest_match\": %b, \"replay_digest\": %d, \
+           \"lost_acked\": %d, \"replica_reads_ok\": %d, \
+           \"replica_reads_attempted\": %d, \"pass\": %b }\n"
+          seed ops kill_after !n_acked !failed timeouts bounces new_primary
+          recovery_window_ms (Array.length primary_log) !prefix_ok digest_match
+          replay_digest !lost_acked !reads_ok reads_attempted ok;
+      if ok then `Ok () else `Error (false, "replication cycle failed verification")
+    end
+  end
+
+(* ---- replica-read bench ------------------------------------------------ *)
+
+(* The off-primary scaling row: boot primary + one backup, preload writes
+   through the primary, then measure stale-bounded read throughput against
+   the replica's client port — first alone, then while the primary is
+   absorbing a concurrent write stream.  Staleness is checked from the
+   collected replies: every read's stamp must be >= the preload watermark. *)
+let bench seed requests connections server_bin dir no_fsync json =
+  let dir =
+    match dir with
+    | Some d -> d
+    | None ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "doradd-replbench-%d-%d" (Unix.getpid ()) seed)
+  in
+  let server_bin =
+    match server_bin with
+    | Some b -> b
+    | None -> Filename.concat (Filename.dirname Sys.executable_name) "server.exe"
+  in
+  if not (Sys.file_exists server_bin) then
+    `Error (false, Printf.sprintf "server binary %s not found" server_bin)
+  else begin
+    mkdir_p dir;
+    let cport = Array.init 2 (fun _ -> free_port ()) in
+    let rport = Array.init 2 (fun _ -> free_port ()) in
+    let data i = Filename.concat dir (Printf.sprintf "n%d" i) in
+    let log i = Filename.concat dir (Printf.sprintf "n%d.log" i) in
+    let peers_of i =
+      let j = 1 - i in
+      Printf.sprintf "%d@127.0.0.1:%d" j rport.(j)
+    in
+    let common i =
+      [
+        "--node-id"; string_of_int i;
+        "--durable"; data i;
+        "--port"; string_of_int cport.(i);
+        "--repl-port"; string_of_int rport.(i);
+        "--peers"; peers_of i;
+        "--sync-replicas"; "1";
+        "--backend"; "kv";
+      ]
+      @ (if no_fsync then [ "--no-fsync" ] else [])
+    in
+    let pids = Array.make 2 0 in
+    pids.(0) <- spawn ~bin:server_bin ~args:(common 0 @ [ "--primary" ]) ~log:(log 0);
+    pids.(1) <-
+      spawn ~bin:server_bin
+        ~args:(common 1 @ [ "--backup-of"; Printf.sprintf "127.0.0.1:%d" rport.(0) ])
+        ~log:(log 1);
+    let cleanup () =
+      Array.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error (_, _, _) -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error (_, _, _) -> ())
+        pids
+    in
+    Fun.protect ~finally:cleanup @@ fun () ->
+    if not (Array.for_all (fun p -> wait_listening ~port:p ~timeout_s:15.0) cport)
+    then `Error (false, "cluster did not come up (see logs in " ^ dir ^ ")")
+    else begin
+      let writes : Net.Loadgen.workload =
+        Net.Loadgen.Kv
+          {
+            n_keys = 4096;
+            ops_per_txn = 2;
+            update_pct = 100;
+            heavy_pct = 0;
+            light_work = 0;
+            heavy_work = 0;
+          }
+      in
+      let lg ?(collect = false) ~port ~workload ~seed () =
+        Net.Loadgen.run
+          {
+            Net.Loadgen.default_cfg with
+            port;
+            connections;
+            requests;
+            seed;
+            workload;
+            collect_replies = collect;
+          }
+      in
+      pf "repl-bench: cluster up in %s, %d reqs x %d conns per phase\n%!" dir
+        requests connections;
+      (* Phase 1: preload the primary; the max acked stamp is the bound
+         every replica read must cover. *)
+      let w0 = lg ~collect:true ~port:cport.(0) ~workload:writes ~seed () in
+      let wmark =
+        Array.fold_left (fun m (s, _, _) -> max m s) (-1) w0.Net.Loadgen.replies
+      in
+      (* Phase 2: stale-bounded reads against the replica, alone. *)
+      let reads : Net.Loadgen.workload =
+        Net.Loadgen.Replica_read { n_keys = 4096; ops_per_txn = 1; min_stamp = wmark }
+      in
+      let r0 = lg ~collect:true ~port:cport.(1) ~workload:reads ~seed:(seed + 1) () in
+      let stale_ok =
+        Array.for_all
+          (fun (s, status, _) -> status = Net.Wire.status_ok && s >= wmark)
+          r0.Net.Loadgen.replies
+        && Array.length r0.Net.Loadgen.replies = requests
+      in
+      (* Phase 3: the same read stream while the primary absorbs writes —
+         the off-primary claim.  Latency histograms are shared, so only
+         the per-report throughputs are meaningful here. *)
+      let cw = ref None in
+      let t =
+        Thread.create
+          (fun () -> cw := Some (lg ~port:cport.(0) ~workload:writes ~seed:(seed + 2) ()))
+          ()
+      in
+      let cr = lg ~port:cport.(1) ~workload:reads ~seed:(seed + 3) () in
+      Thread.join t;
+      let cw = Option.get !cw in
+      Array.iter
+        (fun pid ->
+          try Unix.kill pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ())
+        pids;
+      Array.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+      let fmt_us ns = Printf.sprintf "%.1fus" (float_of_int ns /. 1e3) in
+      let rps r = Printf.sprintf "%.0f req/s" r.Net.Loadgen.throughput in
+      Table.print
+        ~title:
+          (Printf.sprintf
+             "doradd-repl bench: replica reads off-primary (stale bound = stamp %d)"
+             wmark)
+        ~header:[ "phase"; "throughput"; "p50"; "p99"; "verdict" ]
+        [
+          [ "primary writes"; rps w0; fmt_us w0.Net.Loadgen.p50_ns;
+            fmt_us w0.Net.Loadgen.p99_ns; "-" ];
+          [ "replica reads (alone)"; rps r0; fmt_us r0.Net.Loadgen.p50_ns;
+            fmt_us r0.Net.Loadgen.p99_ns;
+            (if stale_ok then "stale bound held" else "STALE READ") ];
+          [ "replica reads + writes"; rps cr; "-"; "-"; "-" ];
+          [ "concurrent writes"; rps cw; "-"; "-"; "-" ];
+        ];
+      let complete r = r.Net.Loadgen.received = requests in
+      let ok = stale_ok && complete w0 && complete r0 && complete cr && complete cw in
+      if json then
+        Printf.printf
+          "{ \"seed\": %d, \"requests\": %d, \"connections\": %d, \"wmark\": %d, \
+           \"write_rps\": %.1f, \"replica_read_rps\": %.1f, \
+           \"concurrent_read_rps\": %.1f, \"concurrent_write_rps\": %.1f, \
+           \"stale_bound_held\": %b, \"pass\": %b }\n"
+          seed requests connections wmark w0.Net.Loadgen.throughput
+          r0.Net.Loadgen.throughput cr.Net.Loadgen.throughput
+          cw.Net.Loadgen.throughput stale_ok ok;
+      if ok then `Ok () else `Error (false, "replica-read bench failed verification")
+    end
+  end
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Chaos seed.")
+
+let ops_arg =
+  Arg.(value & opt int 300 & info [ "n"; "ops" ] ~docv:"N" ~doc:"Client operations.")
+
+let kill_after_arg =
+  Arg.(
+    value & opt int (-1)
+    & info [ "kill-after" ] ~docv:"K"
+        ~doc:"SIGKILL the primary after $(docv) acked ops (default: seed-derived).")
+
+let server_bin_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "server-bin" ] ~docv:"PATH"
+        ~doc:"server.exe to spawn (default: sibling of this binary).")
+
+let dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Scratch directory (default: under TMPDIR).")
+
+let no_fsync_arg =
+  Arg.(value & flag & info [ "no-fsync" ] ~doc:"Skip physical fsync in the nodes.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON report on stdout.")
+
+let cycle_cmd =
+  let doc = "Boot a 3-process cluster, kill the primary, verify the survivors" in
+  Cmd.v
+    (Cmd.info "cycle" ~doc)
+    Term.(
+      ret
+        (const cycle $ seed_arg $ ops_arg $ kill_after_arg $ server_bin_arg
+       $ dir_arg $ no_fsync_arg $ json_arg))
+
+let requests_arg =
+  Arg.(
+    value & opt int 4000
+    & info [ "requests" ] ~docv:"N" ~doc:"Requests per bench phase.")
+
+let connections_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "c"; "connections" ] ~docv:"N" ~doc:"Concurrent connections per phase.")
+
+let bench_cmd =
+  let doc =
+    "Measure stale-bounded read throughput against a replica, alone and while \
+     the primary absorbs a concurrent write stream"
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(
+      ret
+        (const bench $ seed_arg $ requests_arg $ connections_arg $ server_bin_arg
+       $ dir_arg $ no_fsync_arg $ json_arg))
+
+let cmd =
+  let doc = "Chaos driver for DORADD replication" in
+  Cmd.group (Cmd.info "doradd-repl" ~version:"1.0.0" ~doc) [ cycle_cmd; bench_cmd ]
+
+let () = exit (Cmd.eval cmd)

@@ -4,24 +4,118 @@
    runs until SIGINT/SIGTERM, then drains — every sequenced request
    executes and is answered — and prints the connection/frame counters.
    Pair with loadgen.exe from another process for the open-loop
-   latency experiments (EXPERIMENTS.md). *)
+   latency experiments (EXPERIMENTS.md).
+
+   With --node-id the process joins a replication cluster instead
+   (lib/repl): --primary makes it serve and ship its WAL; otherwise it
+   follows whatever primary welcomes it, doubles as a read replica, and
+   stands for election when the primary goes quiet. *)
 
 module Net = Doradd_net
+module Repl = Doradd_repl
+
+let make_backend backend_name n_keys warehouses () =
+  match backend_name with
+  | "kv" -> Ok (Net.Backend.kv ~n_keys ())
+  | "tpcc" ->
+    Ok
+      (Net.Backend.tpcc ~config:{ Net.Backend.small_tpcc_config with warehouses } ())
+  | other -> Error (Printf.sprintf "unknown backend %S (kv|tpcc)" other)
+
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "bad address %S (want HOST:PORT)" s)
+  | Some i -> (
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | None -> Error (Printf.sprintf "bad port in %S" s)
+    | Some p -> Ok (String.sub s 0 i, p))
+
+let parse_peers s =
+  if s = "" then Ok []
+  else
+    String.split_on_char ',' s
+    |> List.fold_left
+         (fun acc item ->
+           match acc with
+           | Error _ as e -> e
+           | Ok acc -> (
+             match String.index_opt item '@' with
+             | None -> Error (Printf.sprintf "bad peer %S (want ID@HOST:PORT)" item)
+             | Some i -> (
+               match
+                 ( int_of_string_opt (String.sub item 0 i),
+                   parse_addr (String.sub item (i + 1) (String.length item - i - 1)) )
+               with
+               | Some id, Ok (h, p) -> Ok ((id, h, p) :: acc)
+               | None, _ -> Error (Printf.sprintf "bad peer id in %S" item)
+               | _, Error e -> Error e)))
+         (Ok [])
+    |> Result.map List.rev
+
+let install_stop () =
+  let stop_requested = Atomic.make false in
+  let request_stop _ = Atomic.set stop_requested true in
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
+  stop_requested
+
+let run_replicated ~host ~port ~backend ~shards ~workers_per_shard ~data_dir
+    ~no_fsync ~node_id ~repl_port ~backup_of ~peers ~sync_replicas ~heartbeat_ms
+    ~election_timeout_ms ~primary =
+  let cfg =
+    Repl.Node.make_config ~host ~client_port:port ~repl_port ?backup_of ~peers
+      ~shards ~workers_per_shard ~fsync:(not no_fsync) ~sync_replicas
+      ~heartbeat_s:(float_of_int heartbeat_ms /. 1000.)
+      ~election_timeout_s:(float_of_int election_timeout_ms /. 1000.)
+      ~initial_role:(if primary then `Primary else `Backup)
+      ~node_id ~data_dir ()
+  in
+  let node = Repl.Node.start cfg backend in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Repl.Node.client_port node = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  Printf.printf
+    "doradd-server: node %d (%s) on %s — clients %d, replication %d, epoch %d, data %s\n%!"
+    node_id
+    (Repl.Node.role_to_string (Repl.Node.role node))
+    host (Repl.Node.client_port node) (Repl.Node.repl_port node)
+    (Repl.Node.epoch node) data_dir;
+  let stop_requested = install_stop () in
+  let last_role = ref (Repl.Node.role node) in
+  while not (Atomic.get stop_requested) do
+    Unix.sleepf 0.1;
+    let r = Repl.Node.role node in
+    if r <> !last_role then begin
+      last_role := r;
+      Printf.printf "doradd-server: node %d is now %s (epoch %d)\n%!" node_id
+        (Repl.Node.role_to_string r) (Repl.Node.epoch node)
+    end
+  done;
+  Printf.printf "doradd-server: node %d stopping...\n%!" node_id;
+  Repl.Node.stop node;
+  Printf.printf
+    "doradd-server: node %d stopped as %s, epoch %d, durable %d, digest %d\n%!"
+    node_id
+    (Repl.Node.role_to_string (Repl.Node.role node))
+    (Repl.Node.epoch node) (Repl.Node.durable node) (Repl.Node.digest node);
+  `Ok ()
 
 let run host port backend_name shards workers_per_shard durable no_fsync n_keys
-    warehouses =
-  let backend =
-    match backend_name with
-    | "kv" -> Ok (Net.Backend.kv ~n_keys ())
-    | "tpcc" ->
-      Ok
-        (Net.Backend.tpcc
-           ~config:{ Net.Backend.small_tpcc_config with warehouses }
-           ())
-    | other -> Error (Printf.sprintf "unknown backend %S (kv|tpcc)" other)
-  in
-  match backend with
+    warehouses node_id repl_port backup_of peers sync_replicas heartbeat_ms
+    election_timeout_ms primary =
+  match make_backend backend_name n_keys warehouses () with
   | Error msg -> `Error (false, msg)
+  | Ok backend when node_id >= 0 -> (
+    match (durable, parse_peers peers, Option.map parse_addr backup_of) with
+    | None, _, _ ->
+      `Error (false, "replicated mode needs --durable DIR as the node's data dir")
+    | _, Error e, _ | _, _, Some (Error e) -> `Error (false, e)
+    | Some data_dir, Ok peers, backup_of ->
+      let backup_of = Option.map Result.get_ok backup_of in
+      run_replicated ~host ~port ~backend ~shards ~workers_per_shard ~data_dir
+        ~no_fsync ~node_id ~repl_port ~backup_of ~peers ~sync_replicas
+        ~heartbeat_ms ~election_timeout_ms ~primary)
   | Ok backend ->
     let server =
       Net.Server.start
@@ -40,10 +134,7 @@ let run host port backend_name shards workers_per_shard durable no_fsync n_keys
       (match durable with
       | Some dir -> Printf.sprintf ", durable in %s" dir
       | None -> "");
-    let stop_requested = Atomic.make false in
-    let request_stop _ = Atomic.set stop_requested true in
-    ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
-    ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
+    let stop_requested = install_stop () in
     while not (Atomic.get stop_requested) do
       Unix.sleepf 0.2
     done;
@@ -98,6 +189,53 @@ let warehouses_arg =
   Arg.(
     value & opt int 2 & info [ "warehouses" ] ~docv:"N" ~doc:"TPCC backend: warehouse count.")
 
+let node_id_arg =
+  Arg.(
+    value & opt int (-1)
+    & info [ "node-id" ] ~docv:"ID"
+        ~doc:"Join a replication cluster as node $(docv) (needs --durable).")
+
+let repl_port_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "repl-port" ] ~docv:"PORT"
+        ~doc:"Replication/election listen port (0 = ephemeral).")
+
+let backup_of_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backup-of" ] ~docv:"HOST:PORT"
+        ~doc:"Replication address to try first when following.")
+
+let peers_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "peers" ] ~docv:"ID@HOST:PORT,..."
+        ~doc:"Every other cluster member's replication address.")
+
+let sync_replicas_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "sync-replicas" ] ~docv:"K"
+        ~doc:"Acks required before a write commits (0 = async replication).")
+
+let heartbeat_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "heartbeat-ms" ] ~docv:"MS" ~doc:"Primary heartbeat interval.")
+
+let election_timeout_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "election-timeout-ms" ] ~docv:"MS"
+        ~doc:"Silence before a backup stands for election.")
+
+let primary_arg =
+  Arg.(
+    value & flag
+    & info [ "primary" ] ~doc:"Start as the cluster's initial primary.")
+
 let cmd =
   let doc = "Serve the DORADD deterministic runtime over TCP" in
   Cmd.v
@@ -105,6 +243,8 @@ let cmd =
     Term.(
       ret
         (const run $ host_arg $ port_arg $ backend_arg $ shards_arg $ workers_arg
-       $ durable_arg $ no_fsync_arg $ keys_arg $ warehouses_arg))
+       $ durable_arg $ no_fsync_arg $ keys_arg $ warehouses_arg $ node_id_arg
+       $ repl_port_arg $ backup_of_arg $ peers_arg $ sync_replicas_arg
+       $ heartbeat_arg $ election_timeout_arg $ primary_arg))
 
 let () = exit (Cmd.eval cmd)

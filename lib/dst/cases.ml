@@ -494,6 +494,130 @@ let crash_recovery =
   in
   { name = "crash-recovery"; default_n = 160; serial; parallel }
 
+(* ---- failover: kill the primary, elect, resume ---------------------- *)
+
+(* The lib/repl failover story with the network replaced by the seeded
+   simulation: a primary ships its log as {!Doradd_repl.Protocol} entry
+   frames (each roundtripped through the real codec), a seed-derived
+   kill point truncates the stream to the acked prefix and loses the
+   in-flight suffix, the surviving backup replays the prefix on a
+   fuzzed runtime (invariant: state ≡ serial replay of the acked
+   prefix), the election order [candidate_geq] must pick a winner
+   holding that prefix and fence the stale epoch, and the client's
+   retried suffix then brings the promoted backup to full
+   serial-equivalent state (the outer oracle).  Like [replication],
+   never runs under the sanitizer: prefix and resume execute on two
+   runtimes over overlapping seqnos. *)
+let failover =
+  let module Proto = Doradd_repl.Protocol in
+  let module Wire = Doradd_net.Wire in
+  let n_keys = 96 in
+  let all_keys = Array.init n_keys Fun.id in
+  let txns ~seed ~n =
+    kv_txns ~seed:(seed lxor 0x0046_6c76) ~n ~n_keys ~ops:4 ~contention:Ycsb.Mod_contention
+  in
+  let store () =
+    let s = Db.Store.create () in
+    Db.Store.populate s ~n:n_keys;
+    s
+  in
+  let body_of (t : Db.Kv.txn) =
+    Wire.encode_kv
+      {
+        Wire.work = 0;
+        ops =
+          Array.map
+            (fun (o : Db.Kv.op) -> { Wire.key = o.key; update = o.kind = Db.Kv.Update })
+            t.ops;
+      }
+  in
+  let serial_prefix log r =
+    let s = store () in
+    let results = Db.Kv.run_sequential s (Array.sub log 0 r) in
+    (Db.Kv.state_digest s ~keys:all_keys, results)
+  in
+  let serial ~seed ~n =
+    let log = txns ~seed ~n in
+    let digest, results = serial_prefix log n in
+    { digest; results; invariant = None }
+  in
+  let parallel ~seed ~n ~workers ~queue_capacity ~fuzz ~sanitize:_ =
+    let log = txns ~seed ~n in
+    let rng = Rng.create (seed lxor 0x0046_4f56) in
+    let epoch = Rng.int rng 5 in
+    (* acked prefix length; entries [kill, kill+lag) were shipped but
+       still in flight when the primary died — lost with it *)
+    let kill = max 1 (min (n - 1) ((n / 4) + Rng.int rng (max 1 (n / 2)))) in
+    let lag = Rng.int rng 4 in
+    let bad = ref [] in
+    let check name ok = if (not ok) && not (List.mem name !bad) then bad := name :: !bad in
+    (* ship every frame through the real codec; hostile bytes must come
+       back as errors, never exceptions *)
+    for seqno = 0 to min n (kill + lag) - 1 do
+      let body = body_of log.(seqno) in
+      let frame = Proto.encode (Proto.Entry { e_epoch = epoch; e_seqno = seqno; e_body = body }) in
+      match Proto.decode frame with
+      | Ok (Proto.Entry { e_epoch; e_seqno; e_body }) ->
+        check "entry frame roundtrip diverged"
+          (e_epoch = epoch && e_seqno = seqno && e_body = body);
+        (* truncations inside the 17-byte entry header must be errors
+           (past it they are legal frames with a shorter body — torn
+           bodies are the Codec CRC's job, not the protocol's) *)
+        check "hostile decode raised or accepted garbage"
+          (match Proto.decode (String.sub frame 0 (Rng.int rng 17)) with
+          | Ok _ | (exception _) -> false
+          | Error _ -> true)
+      | Ok _ | Error _ -> check "entry frame failed to decode" false
+    done;
+    (* the surviving backup replays the acked prefix on its own fuzzed
+       runtime; its state must equal a serial replay of that prefix *)
+    let s = store () in
+    let results = Array.make n 0 in
+    Core.Runtime.run_log ~workers ~queue_capacity ?fuzz
+      (Db.Kv.footprint ~rw:false s)
+      (fun txn ->
+        Harness.straggle ();
+        Db.Kv.execute s ~results txn)
+      (Array.sub log 0 kill);
+    let prefix_digest, prefix_results = serial_prefix log kill in
+    check "backup state differs from serial replay of the acked prefix"
+      (Db.Kv.state_digest s ~keys:all_keys = prefix_digest);
+    check "backup results differ on the acked prefix"
+      (Array.for_all (fun i -> results.(i) = prefix_results.(i)) (Array.init kill Fun.id));
+    (* election: the survivor holds seqnos up to [kill - 1]; a peer that
+       lost its tail sits [behind] entries back.  The election order must
+       pick the holder of the acked prefix, and ties must break upward. *)
+    let behind = 1 + Rng.int rng 3 in
+    check "election order dropped the acked prefix"
+      (Proto.candidate_geq ~durable:(kill - 1, 1) ~than:(kill - 1 - behind, 2)
+      && not (Proto.candidate_geq ~durable:(kill - 1 - behind, 2) ~than:(kill - 1, 1)));
+    check "election tie must break to the higher node id"
+      (Proto.candidate_geq ~durable:(kill - 1, 2) ~than:(kill - 1, 1)
+      && not (Proto.candidate_geq ~durable:(kill - 1, 1) ~than:(kill - 1, 2)));
+    (* fencing: the new epoch rejects the dead primary's frames *)
+    (match
+       Proto.decode
+         (Proto.encode (Proto.Reject { r_epoch = epoch + 1; r_reason = Proto.Stale_epoch }))
+     with
+    | Ok (Proto.Reject { r_epoch; r_reason = Proto.Stale_epoch }) ->
+      check "fence epoch regressed" (r_epoch > epoch)
+    | Ok _ | Error _ -> check "reject frame roundtrip diverged" false);
+    (* the client retries its unacked suffix (including the lost
+       in-flight entries) against the promoted backup; the outer oracle
+       then demands full serial equivalence *)
+    Core.Runtime.run_log ~workers ~queue_capacity ?fuzz
+      (Db.Kv.footprint ~rw:false s)
+      (fun txn ->
+        Harness.straggle ();
+        Db.Kv.execute s ~results txn)
+      (Array.sub log kill (n - kill));
+    let invariant =
+      match !bad with [] -> None | b -> Some (String.concat "; " (List.rev b))
+    in
+    ({ digest = Db.Kv.state_digest s ~keys:all_keys; results; invariant }, None)
+  in
+  { name = "failover"; default_n = 128; serial; parallel }
+
 (* ---- cross-shard: sharded runtime vs the serial oracle -------------- *)
 
 (* The sharded runtime under fuzz: a seed-derived shard count and
@@ -682,7 +806,7 @@ let suspend =
 let all =
   [
     counters; kv; kv_rw; ycsb; ledger; tpcc; yield; deep_chain; replication; crash_recovery;
-    cross_shard; suspend;
+    failover; cross_shard; suspend;
   ]
 
 let find name = List.find_opt (fun c -> c.name = name) all

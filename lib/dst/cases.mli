@@ -69,6 +69,18 @@ val crash_recovery : t
     check then covers the full log.  Never runs under the sanitizer
     (recovery replays on a second runtime over the same seqnos). *)
 
+val failover : t
+(** Kill-the-primary with the network replaced by the simulation: the
+    log ships as real {!Doradd_repl.Protocol} entry frames (codec
+    roundtripped, hostile truncations must decode to errors), a seeded
+    kill point truncates to the acked prefix and drops the in-flight
+    suffix, the surviving backup's fuzzed replay must equal a serial
+    replay of that prefix, the election order must pick a winner holding
+    it (ties break upward) and fence the stale epoch, and the client's
+    retried suffix must bring the promoted backup to full
+    serial-equivalent state.  Never runs under the sanitizer (prefix and
+    resume run on two runtimes over overlapping seqnos). *)
+
 val cross_shard : t
 (** Sharded runtime ([Sharded_runtime] through [Sharded_kv]) with a
     seed-derived shard count (1–8) and cross-shard ratio (0–50%), under

@@ -7,6 +7,7 @@ type t = {
   name : string;
   prepare : stamp:int -> string -> (prepared, string) result;
   digest : unit -> int;
+  read_only : string -> bool;
 }
 
 (* Deterministic busy-work: state-neutral, so it stretches service time
@@ -62,7 +63,12 @@ let kv ?(n_keys = 65_536) () =
   let digest () =
     Db.Kv.state_digest store ~keys:(Array.init n_keys (fun k -> k))
   in
-  { name = "kv"; prepare; digest }
+  let read_only body =
+    match Wire.decode_kv body with
+    | Error _ -> false
+    | Ok { ops; _ } -> Array.for_all (fun (op : Wire.kv_op) -> not op.update) ops
+  in
+  { name = "kv"; prepare; digest; read_only }
 
 let small_tpcc_config =
   { Db.Tpcc_db.warehouses = 2; customers_per_district = 300; items = 10_000 }
@@ -99,7 +105,13 @@ let tpcc ?(config = small_tpcc_config) () =
                 0);
           }
   in
-  { name = "tpcc"; prepare; digest = (fun () -> Db.Tpcc_db.digest db) }
+  {
+    name = "tpcc";
+    prepare;
+    digest = (fun () -> Db.Tpcc_db.digest db);
+    (* Both TPCC-NP transaction kinds write. *)
+    read_only = (fun _ -> false);
+  }
 
 let replay_serial make bodies =
   let b = make () in

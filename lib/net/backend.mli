@@ -30,6 +30,10 @@ type t = {
   digest : unit -> int;
       (** Deterministic checksum of the full backend state.  Only
           meaningful when the runtime is drained. *)
+  read_only : string -> bool;
+      (** [true] iff running [body] cannot mutate state — what lets a
+          read replica execute it locally without diverging from the
+          primary's log.  Must be conservative: when in doubt, [false]. *)
 }
 
 val kv : ?n_keys:int -> unit -> t

@@ -24,34 +24,56 @@ type recv_error =
   | Torn
   | Framing of Codec.error
   | Decode of string
+  | Timeout
 
 let recv_error_to_string = function
   | Eof -> "connection closed"
   | Torn -> "connection closed mid-frame"
   | Framing e -> "framing: " ^ Codec.error_to_string e
   | Decode msg -> "decode: " ^ msg
+  | Timeout -> "timed out waiting for reply"
 
 let send_raw t s = Sysio.write_all t.fd s ~pos:0 ~len:(String.length s)
 
 let send t ~req_id ~body =
   send_raw t (Codec.frame (Wire.encode_request ~req_id ~body))
 
-let rec recv t =
+(* [deadline] is an absolute [gettimeofday] instant, or none for the
+   original block-forever behaviour.  select (EINTR-retried) bounds each
+   wait; a byte that arrives resets nothing — the deadline is absolute,
+   so a trickling server cannot extend it indefinitely. *)
+let rec recv_deadline t deadline =
   match Frame_reader.next t.reader with
   | `Error e -> Error (Framing e)
   | `Frame payload -> (
     match Wire.decode_reply payload with
     | Ok r -> Ok r
     | Error msg -> Error (Decode msg))
-  | `Need_more -> (
-    match Sysio.read t.fd t.buf ~pos:0 ~len:(Bytes.length t.buf) with
-    | 0 ->
-      Error (match Frame_reader.at_eof t.reader with Some _ -> Torn | None -> Eof)
-    | n ->
-      Frame_reader.feed t.reader t.buf ~pos:0 ~len:n;
-      recv t
-    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-      Error Torn)
+  | `Need_more ->
+    let ready =
+      match deadline with
+      | None -> true
+      | Some d ->
+        let remaining = d -. Unix.gettimeofday () in
+        remaining > 0.0
+        &&
+        let r, _, _ = Sysio.retry (fun () -> Unix.select [ t.fd ] [] [] remaining) in
+        r <> []
+    in
+    if not ready then Error Timeout
+    else begin
+      match Sysio.read t.fd t.buf ~pos:0 ~len:(Bytes.length t.buf) with
+      | 0 ->
+        Error (match Frame_reader.at_eof t.reader with Some _ -> Torn | None -> Eof)
+      | n ->
+        Frame_reader.feed t.reader t.buf ~pos:0 ~len:n;
+        recv_deadline t deadline
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Error Torn
+    end
+
+let recv ?timeout_s t =
+  recv_deadline t
+    (Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s)
 
 let call t ~req_id ~body =
   send t ~req_id ~body;
@@ -64,3 +86,138 @@ let close t =
     t.closed <- true;
     try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Reconnecting session                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  type event =
+    [ `Timeout of int  (** req_id that timed out; the connection was dropped *)
+    | `Reconnected of string * int  (** established a connection to (host, port) *)
+    | `Not_primary of string * int  (** (host, port) refused a write *) ]
+
+  type session = {
+    addrs : (string * int) array;
+    req_timeout_s : float;
+    max_backoff_s : float;
+    mutable conn : t option;
+    mutable conn_addr : string * int;
+    mutable next_addr : int;
+    mutable backoff_s : float;
+    mutable ev : event list; (* newest first *)
+    mutable session_closed : bool;
+  }
+
+  type nonrec t = session
+
+  let create ?(req_timeout_s = 1.0) ?(max_backoff_s = 0.2) ~addrs () =
+    if addrs = [] then invalid_arg "Client.Session.create: no addresses";
+    {
+      addrs = Array.of_list addrs;
+      req_timeout_s;
+      max_backoff_s;
+      conn = None;
+      conn_addr = List.hd addrs;
+      next_addr = 0;
+      backoff_s = 0.001;
+      ev = [];
+      session_closed = false;
+    }
+
+  let push_event s e = s.ev <- e :: s.ev
+
+  let events s =
+    let es = List.rev s.ev in
+    s.ev <- [];
+    es
+
+  let drop_conn s =
+    (match s.conn with Some c -> close c | None -> ());
+    s.conn <- None
+
+  let connected s = s.conn <> None
+
+  (* Try the next address in round-robin order; on failure sleep the
+     current backoff and double it (capped).  A success resets the
+     backoff so the next outage starts probing quickly again. *)
+  let try_connect_once s =
+    let host, port = s.addrs.(s.next_addr mod Array.length s.addrs) in
+    s.next_addr <- s.next_addr + 1;
+    match connect ~host ~port () with
+    | c ->
+      s.conn <- Some c;
+      s.conn_addr <- (host, port);
+      s.backoff_s <- 0.001;
+      push_event s (`Reconnected (host, port));
+      true
+    | exception Unix.Unix_error (_, _, _) ->
+      Unix.sleepf s.backoff_s;
+      s.backoff_s <- Float.min s.max_backoff_s (s.backoff_s *. 2.0);
+      false
+
+  let rec ensure_conn s deadline =
+    if s.session_closed then invalid_arg "Client.Session: closed";
+    match s.conn with
+    | Some c -> Some c
+    | None ->
+      if Unix.gettimeofday () >= deadline then None
+      else if try_connect_once s then s.conn
+      else ensure_conn s deadline
+
+  (* At-least-once: a request that timed out may still have executed
+     (and even have been replicated) before the reply was lost — the
+     resend then executes again under a fresh stamp.  The deterministic
+     log keeps both; exactly-once would need client-side dedup ids,
+     which the experiments do not require. *)
+  let call ?(retry_budget_s = 30.0) s ~req_id ~body =
+    let deadline = Unix.gettimeofday () +. retry_budget_s in
+    let rec attempt () =
+      if Unix.gettimeofday () >= deadline then
+        Error "Client.Session.call: retry budget exhausted"
+      else
+        match ensure_conn s deadline with
+        | None -> Error "Client.Session.call: could not connect before deadline"
+        | Some c -> (
+          match send c ~req_id ~body with
+          | exception Unix.Unix_error (_, _, _) ->
+            drop_conn s;
+            attempt ()
+          | () -> (
+            let reply_deadline =
+              Float.min deadline (Unix.gettimeofday () +. s.req_timeout_s)
+            in
+            match recv_deadline c (Some reply_deadline) with
+            | Ok r when r.Wire.req_id = req_id ->
+              if r.Wire.status = Wire.status_not_primary then begin
+                (* Reached a replica or a fenced ex-primary: rotate to
+                   the next address and retry there. *)
+                push_event s (`Not_primary s.conn_addr);
+                drop_conn s;
+                Unix.sleepf s.backoff_s;
+                s.backoff_s <- Float.min s.max_backoff_s (s.backoff_s *. 2.0);
+                attempt ()
+              end
+              else Ok r
+            | Ok _ ->
+              (* A reply for a request this session no longer owns can
+                 only mean protocol confusion; resynchronise by
+                 reconnecting. *)
+              drop_conn s;
+              attempt ()
+            | Error Timeout ->
+              push_event s (`Timeout req_id);
+              drop_conn s;
+              attempt ()
+            | Error _ ->
+              drop_conn s;
+              attempt ()))
+    in
+    attempt ()
+
+  let close s =
+    if not s.session_closed then begin
+      s.session_closed <- true;
+      drop_conn s
+    end
+end

@@ -16,6 +16,7 @@ type recv_error =
   | Torn  (** the server vanished mid-frame *)
   | Framing of Doradd_persist.Codec.error
   | Decode of string  (** frame arrived intact but is not a reply *)
+  | Timeout  (** no complete reply within the caller's [timeout_s] *)
 
 val recv_error_to_string : recv_error -> string
 
@@ -27,8 +28,13 @@ val send_raw : t -> string -> unit
 (** Write raw bytes, unframed — the tests' torn-frame / bad-CRC
     injection point. *)
 
-val recv : t -> (Wire.reply, recv_error) result
-(** Block until one complete reply frame arrives. *)
+val recv : ?timeout_s:float -> t -> (Wire.reply, recv_error) result
+(** Block until one complete reply frame arrives.  With [timeout_s],
+    wait at most that long ([select]-bounded, absolute from the call):
+    a server that dies holding our request yields [Error Timeout]
+    instead of blocking forever.  After a [Timeout] the connection may
+    have a half-delivered frame buffered — callers should treat the
+    connection as poisoned and reconnect (what {!Session} does). *)
 
 val call : t -> req_id:int -> body:string -> Wire.reply
 (** [send] then [recv] — the synchronous one-outstanding-request
@@ -36,3 +42,59 @@ val call : t -> req_id:int -> body:string -> Wire.reply
 
 val close : t -> unit
 (** Idempotent. *)
+
+(** Reconnect-with-backoff session over a set of candidate addresses —
+    what failover experiments drive so they measure the recovery window
+    instead of hanging on a dead primary.
+
+    One thread drives a session (strictly synchronous: one outstanding
+    request).  [call] retries through timeouts, dead connections and
+    [status_not_primary] bounces, rotating round-robin through [addrs]
+    with exponential backoff (1 ms doubling to [max_backoff_s]), until
+    it has a reply or the per-call retry budget is spent.  Every
+    timeout drops the connection first — after a missed deadline the
+    stream position is unknowable, so resynchronisation is a fresh
+    connection.
+
+    Delivery is {e at-least-once}: a timed-out request may have
+    executed before its reply was lost, and the resend executes again
+    under a fresh stamp.  The experiments' verifiers compare against
+    the server's actual log, so duplicates are visible, not silent. *)
+module Session : sig
+  type t
+
+  type event =
+    [ `Timeout of int  (** req_id that timed out; the connection was dropped *)
+    | `Reconnected of string * int  (** established a connection to (host, port) *)
+    | `Not_primary of string * int  (** (host, port) refused a write *) ]
+
+  val create :
+    ?req_timeout_s:float ->
+    ?max_backoff_s:float ->
+    addrs:(string * int) list ->
+    unit ->
+    t
+  (** No connection is attempted until the first {!call}.
+      [req_timeout_s] (default 1.0) bounds each individual wait for a
+      reply; [max_backoff_s] (default 0.2) caps the reconnect backoff.
+      @raise Invalid_argument on an empty [addrs]. *)
+
+  val call :
+    ?retry_budget_s:float ->
+    t ->
+    req_id:int ->
+    body:string ->
+    (Wire.reply, string) result
+  (** Send and await one request, retrying across reconnects for at
+      most [retry_budget_s] (default 30) of wall clock. *)
+
+  val events : t -> event list
+  (** Drain accumulated events, oldest first — the failover
+      experiment's record of when the outage was noticed and when
+      service resumed. *)
+
+  val connected : t -> bool
+
+  val close : t -> unit
+  (** Idempotent. *)
+end

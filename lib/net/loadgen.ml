@@ -14,6 +14,7 @@ type workload =
       heavy_work : int;
     }
   | Tpcc of { config : Db.Tpcc_db.config; remote_pct : int }
+  | Replica_read of { n_keys : int; ops_per_txn : int; min_stamp : int }
 
 let kv_default =
   Kv
@@ -119,6 +120,12 @@ let gen_body workload rng i =
         Db.Tpcc_db.Payment { p_w = w; p_d = d; p_c = c; amount = 100 + Rng.int rng 500_000 }
     in
     Wire.encode_tpcc txn
+  | Replica_read { n_keys; ops_per_txn; min_stamp } ->
+    let ops =
+      Array.init ops_per_txn (fun _ ->
+          { Wire.key = Rng.int rng n_keys; update = false })
+    in
+    Wire.encode_read ~min_stamp ~body:(Wire.encode_kv { Wire.work = 0; ops })
 
 type conn_state = {
   client : Client.t;

@@ -27,6 +27,11 @@ type workload =
       heavy_work : int;
     }
   | Tpcc of { config : Doradd_db.Tpcc_db.config; remote_pct : int }
+  | Replica_read of { n_keys : int; ops_per_txn : int; min_stamp : int }
+      (** stale-bounded read-only kv requests ({!Wire.encode_read}
+          wrapping a zero-work read body) — point it at a replica's
+          client port; every reply's [stamp] is the log position the
+          read actually executed at, [>= min_stamp] *)
 
 val kv_default : workload
 (** 65536 keys, 4 ops/txn, 50% updates, no bimodal work. *)

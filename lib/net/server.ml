@@ -24,6 +24,25 @@ let default_config =
     wal_fsync = true;
   }
 
+(* Integration points for the replication layer (lib/repl), which wraps
+   a server rather than forking it:
+   - [admit] runs on the reader thread before a request is sequenced;
+     returning [Some status] refuses it without consuming a stamp (the
+     fencing path: an ex-primary answers status_not_primary instead of
+     sequencing writes nobody will replicate).
+   - [gate_reply] intercepts each executed request's reply: instead of
+     writing it immediately, the server hands over a [release] thunk so
+     the owner can hold replies until the replication commit watermark
+     covers the stamp (synchronous replication).  [release] is safe to
+     call from any thread, at most once; calling it after [stop] drops
+     the reply harmlessly. *)
+type hooks = {
+  admit : (unit -> int option) option;
+  gate_reply : (stamp:int -> release:(unit -> unit) -> unit) option;
+}
+
+let no_hooks = { admit = None; gate_reply = None }
+
 type stats = {
   accepted : int;
   frames_in : int;
@@ -51,6 +70,7 @@ type req = { body : string; conn : conn; req_id : int }
 type t = {
   cfg : config;
   backend : Backend.t;
+  hooks : hooks;
   lfd : Unix.file_descr;
   bound_port : int;
   rt : Core.Sharded_runtime.t;
@@ -100,8 +120,13 @@ let deliver t ~seqno (r : req) =
   | Ok p ->
     Core.Sharded_runtime.schedule t.rt p.fp (fun () ->
         let result = p.run () in
-        send_reply t r.conn
-          { Wire.req_id = r.req_id; stamp = seqno; status = Wire.status_ok; result })
+        let reply () =
+          send_reply t r.conn
+            { Wire.req_id = r.req_id; stamp = seqno; status = Wire.status_ok; result }
+        in
+        match t.hooks.gate_reply with
+        | None -> reply ()
+        | Some gate -> gate ~stamp:seqno ~release:reply)
   | Error _ ->
     (* The stamp is consumed and the log entry retained either way, so
        serial replay sees exactly what the parallel run saw. *)
@@ -154,9 +179,16 @@ let reader_loop t conn =
       | Error _ ->
         poison ();
         `Stop
-      | Ok (req_id, body) ->
-        Sequencer.submit t.seq { body; conn; req_id };
-        drain_frames ())
+      | Ok (req_id, body) -> (
+        match Option.bind t.hooks.admit (fun f -> f ()) with
+        | Some status ->
+          (* Refused before sequencing: no stamp consumed, no log entry.
+             [stamp = -1] marks a reply that never entered the order. *)
+          send_reply t conn { Wire.req_id; stamp = -1; status; result = 0 };
+          drain_frames ()
+        | None ->
+          Sequencer.submit t.seq { body; conn; req_id };
+          drain_frames ()))
   in
   let rec loop () =
     if Atomic.get t.stopping then kill_conn conn
@@ -194,7 +226,7 @@ let accept_loop t =
       | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EBADF), _, _) -> ()
   done
 
-let start cfg backend =
+let start ?(hooks = no_hooks) cfg backend =
   Sysio.ignore_sigpipe ();
   let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
@@ -221,6 +253,10 @@ let start cfg backend =
     Sequencer.create
       ?durability:
         (Option.map (fun wal -> { Sequencer.wal; encode = (fun r -> r.body) }) wal)
+      (* Stamps continue the existing log: a restarted or promoted
+         primary must not re-number from zero, or shipped frames would
+         collide with history the replicas already hold. *)
+      ~first_seqno:(match wal with Some w -> Wal.next_seqno w | None -> 0)
       ~deliver:(fun ~seqno r ->
         match !t_ref with Some t -> deliver t ~seqno r | None -> assert false)
       ()
@@ -229,6 +265,7 @@ let start cfg backend =
     {
       cfg;
       backend;
+      hooks;
       lfd;
       bound_port;
       rt;
@@ -282,6 +319,10 @@ let stop t =
   end
 
 let request_log t = Array.map (fun r -> r.body) (Sequencer.log_prefix t.seq)
+
+let durable_watermark t = Sequencer.durable_watermark t.seq
+
+let delivered t = Sequencer.delivered t.seq
 
 let digest t = t.backend.Backend.digest ()
 

@@ -61,11 +61,31 @@ type stats = {
   dropped_replies : int;  (** replies to already-dead connections *)
 }
 
+(** Integration points for the replication layer ({!Doradd_repl}),
+    which wraps a server rather than forking it. *)
+type hooks = {
+  admit : (unit -> int option) option;
+      (** Ran on the reader thread before a request is sequenced;
+          [Some status] refuses it with that reply status and
+          [stamp = -1], consuming no stamp — how a fenced ex-primary
+          bounces writes with {!Wire.status_not_primary}. *)
+  gate_reply : (stamp:int -> release:(unit -> unit) -> unit) option;
+      (** Intercepts each executed request's reply: the server hands
+          over a [release] thunk instead of writing immediately, so the
+          owner can hold replies until the replication commit watermark
+          covers [stamp].  [release] may be called from any thread, at
+          most once; after {!stop} it drops the reply harmlessly. *)
+}
+
+val no_hooks : hooks
+
 type t
 
-val start : config -> Backend.t -> t
+val start : ?hooks:hooks -> config -> Backend.t -> t
 (** Bind, listen, start the accept thread, the sequencer domain and the
-    sharded runtime.  @raise Unix.Unix_error if the address is taken. *)
+    sharded runtime.  In durable mode, stamps continue from the
+    existing WAL ([Wal.next_seqno]) rather than restarting at zero.
+    @raise Unix.Unix_error if the address is taken. *)
 
 val port : t -> int
 (** The bound port (the ephemeral one if [config.port] was 0). *)
@@ -84,6 +104,13 @@ val digest : t -> int
 (** Backend state digest.  Call after {!stop} (or any drained point). *)
 
 val stats : t -> stats
+
+val durable_watermark : t -> int
+(** Highest stamp guaranteed on disk ([-1] when empty or not durable).
+    Any thread — this is what the replication feed tails. *)
+
+val delivered : t -> int
+(** Requests sequenced and delivered so far (racy snapshot). *)
 
 val wal_records : t -> (int * string) array
 (** Durable mode only: scan the WAL directory and return

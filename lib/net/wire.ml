@@ -4,6 +4,7 @@ type reply = { req_id : int; stamp : int; status : int; result : int }
 
 let status_ok = 0
 let status_malformed = 1
+let status_not_primary = 2
 let max_req_id = 0xFFFF_FFFF
 
 (* Little-endian primitive accessors.  Decoders are bounds-checked by
@@ -120,6 +121,26 @@ let decode_kv s =
       in
       match !bad with Some e -> Error e | None -> Ok { work; ops }
     end
+  end
+
+(* {2 Stale-bounded replica read envelope} *)
+
+let encode_read ~min_stamp ~body =
+  if min_stamp < 0 then invalid_arg "Wire.encode_read: min_stamp < 0";
+  let b = Bytes.create (1 + 8 + String.length body) in
+  Bytes.set b 0 'S';
+  put_i64 b 1 min_stamp;
+  Bytes.blit_string body 0 b 9 (String.length body);
+  Bytes.unsafe_to_string b
+
+let decode_read s =
+  let len = String.length s in
+  if len < 9 then Error "read envelope shorter than header"
+  else if s.[0] <> 'S' then Error "read envelope has wrong tag"
+  else begin
+    let min_stamp = get_i64 s 1 in
+    if min_stamp < 0 then Error "read envelope has negative min_stamp"
+    else Ok (min_stamp, String.sub s 9 (len - 9))
   end
 
 (* {2 TPCC body} *)

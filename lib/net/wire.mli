@@ -4,6 +4,7 @@
     {v
      request payload   = req_id:u32 ++ body
      reply payload     = req_id:u32 ++ stamp:u64 ++ status:u8 ++ result:i64
+     read envelope     = 'S' ++ min_stamp:i64 ++ body     (replica reads)
      kv body           = 'K' ++ work:u32 ++ n_ops:u16 ++ (kind:u8 ++ key:u32)*
      tpcc body         = 'T' ++ 'N' ++ w:u32 d:u32 c:u32 ++ n:u16 ++ (sw:u32 item:u32 qty:u32)*
                        | 'T' ++ 'P' ++ w:u32 d:u32 c:u32 ++ amount:i64
@@ -22,7 +23,8 @@
 type reply = {
   req_id : int;
   stamp : int;
-  status : int;  (** {!status_ok} or {!status_malformed} *)
+  status : int;
+      (** {!status_ok}, {!status_malformed} or {!status_not_primary} *)
   result : int;  (** KV read digest; 0 for TPCC and malformed requests *)
 }
 
@@ -30,6 +32,11 @@ val status_ok : int
 val status_malformed : int
 (** The request consumed a stamp but its body failed to parse or
     referenced out-of-range state; the store is untouched. *)
+
+val status_not_primary : int
+(** The node refused the request without consuming a stamp: it is a
+    read replica (writes must go to the primary), a fenced ex-primary,
+    or mid-failover.  Clients should reconnect elsewhere and retry. *)
 
 val max_req_id : int
 (** Largest encodable correlation id (2^32 - 1). *)
@@ -43,6 +50,20 @@ val decode_request : string -> (int * string, string) result
 val encode_reply : reply -> string
 
 val decode_reply : string -> (reply, string) result
+
+(** {2 Stale-bounded replica read envelope}
+
+    Wraps an ordinary (read-only) body with the freshness floor the
+    replica must reach before executing it: the replica suspends the
+    read until its applied watermark covers [min_stamp].  The reply's
+    [stamp] is the log position the read actually executed at, which is
+    always [>= min_stamp]. *)
+
+val encode_read : min_stamp:int -> body:string -> string
+(** @raise Invalid_argument if [min_stamp < 0]. *)
+
+val decode_read : string -> (int * string, string) result
+(** [(min_stamp, body)]. *)
 
 (** {2 KV body} *)
 

@@ -342,6 +342,50 @@ let crash_close t =
     t.fd_open <- false
   end
 
+(* ---- streaming tail (replication shipping path) -------------------- *)
+
+let tail_from ?upto ~dir ~from () =
+  if not (Sys.file_exists dir) then Seq.empty
+  else begin
+    let segs = list_segments dir in
+    (* A segment covers [base, next_base): the successor's base lets us
+       skip whole files below [from] without reading them.  Anything
+       based past [upto] is irrelevant too. *)
+    let rec relevant = function
+      | [] -> []
+      | (path, base) :: rest ->
+        if (match upto with Some u -> base > u | None -> false) then []
+        else begin
+          match rest with
+          | (_, nbase) :: _ when nbase <= from -> relevant rest
+          | _ -> (path, base) :: relevant rest
+        end
+    in
+    let segs = relevant segs in
+    let keep (seqno, _) =
+      seqno >= from && (match upto with Some u -> seqno <= u | None -> true)
+    in
+    let rec seq_of_segs segs () =
+      match segs with
+      | [] -> Seq.Nil
+      | (path, base) :: rest ->
+        let sp = parse_segment path base in
+        (* Same trust rules as [parse_dir]: a tear is only acceptable at
+           the very end of the log, and bases must chain exactly.  A
+           torn last segment is crash damage, i.e. end-of-data: stop. *)
+        if sp.sp_tear <> None && rest <> [] then
+          corrupt path "torn segment followed by later segments";
+        (match rest with
+        | (rpath, rbase) :: _ when rbase <> base + sp.sp_count ->
+          corrupt rpath
+            (Printf.sprintf "segment base %d, expected %d" rbase (base + sp.sp_count))
+        | _ -> ());
+        let records = List.filter keep (List.rev sp.sp_records) in
+        Seq.append (List.to_seq records) (seq_of_segs rest) ()
+    in
+    seq_of_segs segs
+  end
+
 (* ---- pruning ------------------------------------------------------- *)
 
 let prune ~dir ~before =

@@ -102,6 +102,22 @@ val scan : dir:string -> scan
 (** Read every record up to the first tear.  Missing directory scans as
     empty.  @raise Failure on interior corruption. *)
 
+val tail_from : ?upto:int -> dir:string -> from:int -> unit -> (int * string) Seq.t
+(** Stream records with seqno in [[from], [upto]] (both inclusive;
+    [upto] defaults to unbounded), seqno-ascending, loading one segment
+    at a time — the replication shipping path, where the primary tails
+    its own live log and must not re-read gigabytes of history per
+    batch.  Segments wholly below [from] are skipped without being read
+    (the successor segment's base bounds a file's coverage, so the skip
+    is name-driven).  A torn tail is treated as end-of-data, exactly as
+    {!scan} does; callers ship only up to {!durable_seqno} and so never
+    reach it.  If [from] predates the oldest retained segment (pruning),
+    the stream simply begins at the oldest record — the caller must
+    check the first seqno it receives.  Safe to call while a writer has
+    the directory open: the writer is append-only and a mid-write race
+    can only manifest as a torn tail.
+    @raise Failure on interior corruption, as {!scan}. *)
+
 val prune : dir:string -> before:int -> int
 (** Delete whole segments all of whose records have seqno < [before]
     (i.e. are covered by a snapshot).  Never touches the last segment.

@@ -1,0 +1,157 @@
+module Codec = Doradd_persist.Codec
+module Sysio = Doradd_persist.Sysio
+module Wal = Doradd_persist.Wal
+module Frame_reader = Doradd_net.Frame_reader
+module Obs = Doradd_obs
+
+let c_applied = Obs.Counters.counter "repl.entries_applied"
+let c_fenced = Obs.Counters.counter "repl.fenced_frames"
+let h_batch = Obs.Counters.histogram "repl.apply_batch"
+let armed () = Atomic.get Obs.Trace.armed
+
+type outcome =
+  | Stopped  (** the owner asked us to stop *)
+  | Silent  (** heartbeat timeout: the primary has gone quiet *)
+  | Disconnected  (** clean-ish socket death; try the next peer *)
+  | Rejected of Protocol.reason  (** the peer refused us *)
+  | Stale_primary of int
+      (** the peer's epoch is behind ours: we fenced it (payload = its
+          epoch); try elsewhere *)
+
+let poll_tick = 0.05
+
+let readable fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let send fd msg =
+  let f = Codec.frame (Protocol.encode msg) in
+  try
+    Sysio.write_all fd f ~pos:0 ~len:(String.length f);
+    true
+  with Unix.Unix_error (_, _, _) -> false
+
+(* The backup half of the shipping protocol, run on the node's role
+   thread — the single thread that appends to this replica's WAL and
+   schedules onto its runtime, so the deterministic-order contract holds
+   by construction.
+
+   Per wakeup: drain every buffered frame, appending entries to the WAL
+   as they decode; then group-sync once, ack the new durable watermark,
+   and only then hand the batch to [apply] (schedule).  Append before
+   ack is what makes the primary's commit watermark meaningful; sync
+   before schedule keeps applied <= durable, so a replica's executed
+   state is always a prefix of what it has acknowledged. *)
+let run ~fd ~node_id ~epoch ~on_epoch ~wal ~apply ~on_heartbeat ~serve_reads
+    ~election_timeout_s ~stopping () =
+  let reader = Frame_reader.create () in
+  let buf = Bytes.create 65536 in
+  let outcome = ref None in
+  let finish o = if !outcome = None then outcome := Some o in
+  let epoch = ref epoch in
+  let welcomed = ref false in
+  let last_rx = ref (Unix.gettimeofday ()) in
+  let batch = ref [] in
+  if not (send fd (Protocol.Hello { h_epoch = !epoch; h_next = Wal.next_seqno wal; h_node = node_id }))
+  then finish Disconnected;
+  let fence peer_epoch =
+    if armed () then Obs.Counters.incr c_fenced;
+    ignore (send fd (Protocol.Reject { r_epoch = !epoch; r_reason = Protocol.Stale_epoch }));
+    finish (Stale_primary peer_epoch)
+  in
+  let handle (msg : Protocol.msg) =
+    last_rx := Unix.gettimeofday ();
+    match msg with
+    | Protocol.Welcome { w_epoch; w_next } ->
+      if w_epoch < !epoch then fence w_epoch
+      else if w_next <> Wal.next_seqno wal then
+        (* The primary would ship from somewhere else than we asked —
+           protocol confusion; bail. *)
+        finish Disconnected
+      else begin
+        if w_epoch > !epoch then begin
+          epoch := w_epoch;
+          on_epoch w_epoch
+        end;
+        welcomed := true
+      end
+    | Protocol.Reject { r_reason; r_epoch } ->
+      if r_epoch > !epoch then begin
+        epoch := r_epoch;
+        on_epoch r_epoch
+      end;
+      finish (Rejected r_reason)
+    | Protocol.Entry { e_epoch; e_seqno; e_body } ->
+      if not !welcomed then finish Disconnected
+      else if e_epoch <> !epoch then fence e_epoch
+      else if e_seqno <> Wal.next_seqno wal then finish Disconnected
+      else begin
+        ignore (Wal.append wal e_body);
+        batch := (e_seqno, e_body) :: !batch
+      end
+    | Protocol.Heartbeat { b_epoch; b_commit } ->
+      if b_epoch < !epoch then fence b_epoch
+      else begin
+        if b_epoch > !epoch then begin
+          epoch := b_epoch;
+          on_epoch b_epoch
+        end;
+        on_heartbeat ~commit:b_commit
+      end
+    | Protocol.Hello _ | Protocol.Ack _ | Protocol.Vote_req _ | Protocol.Vote _ ->
+      finish Disconnected
+  in
+  let rec drain () =
+    if !outcome <> None then ()
+    else
+      match Frame_reader.next reader with
+      | `Need_more -> ()
+      | `Error _ -> finish Disconnected
+      | `Frame payload -> (
+        match Protocol.decode payload with
+        | Error _ -> finish Disconnected
+        | Ok msg ->
+          handle msg;
+          drain ())
+  in
+  let flush_batch () =
+    match List.rev !batch with
+    | [] -> ()
+    | entries ->
+      batch := [];
+      Wal.sync wal;
+      ignore
+        (send fd
+           (Protocol.Ack
+              { a_epoch = !epoch; a_durable = Wal.durable_seqno wal; a_node = node_id }));
+      if armed () then begin
+        Obs.Counters.add c_applied (List.length entries);
+        Obs.Counters.record h_batch (List.length entries)
+      end;
+      List.iter (fun (seqno, body) -> apply ~seqno body) entries
+  in
+  while !outcome = None do
+    if stopping () then finish Stopped
+    else begin
+      if readable fd poll_tick then begin
+        match Sysio.read fd buf ~pos:0 ~len:(Bytes.length buf) with
+        | 0 -> finish Disconnected
+        | n ->
+          Frame_reader.feed reader buf ~pos:0 ~len:n;
+          drain ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+          ->
+          finish Disconnected
+      end;
+      flush_batch ();
+      serve_reads ();
+      if
+        !outcome = None
+        && Unix.gettimeofday () -. !last_rx > election_timeout_s
+      then finish Silent
+    end
+  done;
+  flush_batch ();
+  Option.get !outcome

@@ -1,0 +1,44 @@
+(** Backup-side shipping loop: hello, then append → group-sync → ack →
+    schedule, with epoch fencing and silence detection.
+
+    Runs on the node's role thread — the single thread appending to the
+    replica WAL and scheduling onto the replica runtime, so replicated
+    entries enter the deterministic runtime in exactly the primary's
+    stamp order.  The invariant the ordering buys: at every instant,
+    executed state ⊆ acknowledged prefix ⊆ shipped prefix, each a clean
+    log prefix.
+
+    Fencing: every inbound frame carries the primary's epoch.  A frame
+    below our epoch is answered with [reject (Stale_epoch)] and the
+    connection abandoned ([Stale_primary]); a higher epoch is adopted
+    via [on_epoch] (persist before acting).  Density is enforced
+    against the WAL itself: an entry whose seqno is not exactly
+    [Wal.next_seqno] ends the session. *)
+
+type outcome =
+  | Stopped  (** the owner asked us to stop *)
+  | Silent  (** heartbeat timeout: the primary has gone quiet *)
+  | Disconnected  (** socket death or protocol violation; try the next peer *)
+  | Rejected of Protocol.reason  (** the peer refused us *)
+  | Stale_primary of int
+      (** we fenced a deposed primary (payload: its stale epoch) *)
+
+val run :
+  fd:Unix.file_descr ->
+  node_id:int ->
+  epoch:int ->
+  on_epoch:(int -> unit) ->
+  wal:Doradd_persist.Wal.t ->
+  apply:(seqno:int -> string -> unit) ->
+  on_heartbeat:(commit:int -> unit) ->
+  serve_reads:(unit -> unit) ->
+  election_timeout_s:float ->
+  stopping:(unit -> bool) ->
+  unit ->
+  outcome
+(** Drive one connected replication socket until it ends.  [apply] is
+    called after the covering group-sync, in seqno order, from this
+    thread — the node schedules it onto the replica runtime.
+    [serve_reads] is called once per poll tick so pending stale-bounded
+    reads get scheduled between batches.  [on_heartbeat] reports the
+    primary's advertised commit watermark.  Does not close [fd]. *)

@@ -1,0 +1,34 @@
+module Sysio = Doradd_persist.Sysio
+
+let file = "EPOCH"
+
+let path dir = Filename.concat dir file
+
+let load ~dir =
+  let p = path dir in
+  if not (Sys.file_exists p) then 0
+  else begin
+    let ic = open_in_bin p in
+    let line =
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic)
+    in
+    match int_of_string_opt (String.trim line) with
+    | Some e when e >= 0 -> e
+    | _ -> failwith (Printf.sprintf "Epochs.load: corrupt epoch file %s" p)
+  end
+
+let store ~dir epoch =
+  if epoch < 0 then invalid_arg "Epochs.store: negative epoch";
+  if not (Sys.file_exists dir) then
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let p = path dir in
+  let tmp = p ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let s = string_of_int epoch ^ "\n" in
+      Sysio.write_all fd s ~pos:0 ~len:(String.length s);
+      Sysio.retry (fun () -> Unix.fsync fd));
+  Unix.rename tmp p;
+  Sysio.fsync_dir dir

@@ -1,0 +1,17 @@
+(** Persistent epoch: one small file per data directory recording the
+    highest primaryship term this node has acknowledged.
+
+    The epoch is the fencing token.  A node that votes a new primary in
+    (or wins an election itself) durably records the new term {e before}
+    acting on it, so a crash-and-restart cannot resurrect an older view
+    and accept frames from a deposed primary.  Written with the usual
+    tmp + fsync + rename + dir-fsync dance — readers see either the old
+    epoch or the new one, never a torn write. *)
+
+val load : dir:string -> int
+(** The recorded epoch, [0] if the directory has none yet.
+    @raise Failure on a corrupt epoch file. *)
+
+val store : dir:string -> int -> unit
+(** Atomically persist [epoch] (creating [dir] if needed).
+    @raise Invalid_argument on a negative epoch. *)

@@ -1,0 +1,260 @@
+module Codec = Doradd_persist.Codec
+module Sysio = Doradd_persist.Sysio
+module Wal = Doradd_persist.Wal
+module Frame_reader = Doradd_net.Frame_reader
+module Obs = Doradd_obs
+
+let c_shipped = Obs.Counters.counter "repl.entries_shipped"
+let c_acks = Obs.Counters.counter "repl.acks_in"
+let c_heartbeats = Obs.Counters.counter "repl.heartbeats_out"
+let h_ship_lag = Obs.Counters.histogram "repl.ship_lag_stamps"
+let h_ack_ns = Obs.Counters.histogram "repl.ack_ns"
+let armed () = Atomic.get Obs.Trace.armed
+
+(* One registered backup.  Writes (welcome, entries, heartbeats) come
+   from a single shipper thread; acks are read by the serve thread; the
+   [b_alive] flag is the only cross-thread signal and flips one way. *)
+type backup = {
+  b_node : int;
+  b_fd : Unix.file_descr;
+  mutable b_alive : bool;
+  mutable b_acked : int;
+  mutable b_sent : int;
+  mutable b_sent_at : float;
+}
+
+type t = {
+  node_id : int;
+  epoch : int;
+  dir : string;
+  durable : unit -> int;
+  sync_replicas : int;
+  heartbeat_s : float;
+  on_commit : int -> unit;
+  on_fenced : int -> unit;
+  mu : Mutex.t;
+  mutable conns : backup list; (* dead ones stay: frozen acks still bound commit *)
+  mutable commit_sync : int; (* monotone; only meaningful when sync_replicas >= 1 *)
+  mutable stopping : bool;
+}
+
+let create ~node_id ~epoch ~dir ~durable ~sync_replicas ~heartbeat_s ~on_commit
+    ~on_fenced () =
+  if sync_replicas < 0 then invalid_arg "Feed.create: sync_replicas < 0";
+  {
+    node_id;
+    epoch;
+    dir;
+    durable;
+    sync_replicas;
+    heartbeat_s;
+    on_commit;
+    on_fenced;
+    mu = Mutex.create ();
+    conns = [];
+    commit_sync = -1;
+    stopping = false;
+  }
+
+(* Async (sync_replicas = 0): local durability is the commit point, as
+   on a standalone durable server.  Sync (k >= 1): an entry commits when
+   the primary AND at least k backups hold it durably — the k-th largest
+   ack, capped by our own watermark.  A dead backup's ack freezes, so it
+   keeps counting only for the prefix it actually stored. *)
+let commit t =
+  if t.sync_replicas = 0 then t.durable ()
+  else begin
+    Mutex.lock t.mu;
+    let c = t.commit_sync in
+    Mutex.unlock t.mu;
+    c
+  end
+
+let backups t =
+  Mutex.lock t.mu;
+  let n = List.length (List.filter (fun b -> b.b_alive) t.conns) in
+  Mutex.unlock t.mu;
+  n
+
+let recompute t =
+  if t.sync_replicas >= 1 then begin
+    Mutex.lock t.mu;
+    let acks =
+      List.map (fun b -> b.b_acked) t.conns |> List.sort (fun a b -> compare b a)
+    in
+    let kth =
+      if List.length acks >= t.sync_replicas then List.nth acks (t.sync_replicas - 1)
+      else -1
+    in
+    let c = min (t.durable ()) kth in
+    let advanced = c > t.commit_sync in
+    if advanced then t.commit_sync <- c;
+    let c' = t.commit_sync in
+    Mutex.unlock t.mu;
+    if advanced then t.on_commit c'
+  end
+
+let send_msg b msg =
+  let f = Codec.frame (Protocol.encode msg) in
+  try Sysio.write_all b.b_fd f ~pos:0 ~len:(String.length f)
+  with Unix.Unix_error (_, _, _) -> b.b_alive <- false
+
+let shipper t b ~start =
+  let cursor = ref start in
+  let last_hb = ref 0.0 in
+  while b.b_alive && not t.stopping do
+    let d = t.durable () in
+    if !cursor <= d then begin
+      let expected = ref !cursor in
+      (try
+         Wal.tail_from ~dir:t.dir ~from:!cursor ~upto:d ()
+         |> Seq.iter (fun (seqno, body) ->
+                if seqno <> !expected then begin
+                  (* The backup asked for records we no longer retain
+                     (pruned) or the log is inconsistent: it cannot be
+                     caught up from here. *)
+                  send_msg b
+                    (Protocol.Reject
+                       { r_epoch = t.epoch; r_reason = Protocol.Log_gap });
+                  b.b_alive <- false
+                end;
+                if not b.b_alive then raise Exit;
+                incr expected;
+                send_msg b
+                  (Protocol.Entry
+                     { e_epoch = t.epoch; e_seqno = seqno; e_body = body });
+                if not b.b_alive then raise Exit)
+       with Exit -> ());
+      if b.b_alive then begin
+        if armed () then Obs.Counters.add c_shipped (d - !cursor + 1);
+        b.b_sent <- d;
+        b.b_sent_at <- Unix.gettimeofday ();
+        cursor := d + 1
+      end
+    end
+    else Unix.sleepf 0.001;
+    let now = Unix.gettimeofday () in
+    if b.b_alive && now -. !last_hb >= t.heartbeat_s then begin
+      last_hb := now;
+      if armed () then Obs.Counters.incr c_heartbeats;
+      send_msg b (Protocol.Heartbeat { b_epoch = t.epoch; b_commit = commit t })
+    end
+  done
+
+let poll_tick = 0.05
+
+let readable fd =
+  match Unix.select [ fd ] [] [] poll_tick with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let handle_ack t b (msg : Protocol.msg) =
+  match msg with
+  | Protocol.Ack { a_epoch; a_durable; a_node } ->
+    if a_epoch > t.epoch then begin
+      (* A backup that has acknowledged a newer primary: we are deposed.
+         Stop shipping; the owner flips the node to Fenced. *)
+      b.b_alive <- false;
+      t.on_fenced a_epoch
+    end
+    else if a_epoch = t.epoch && a_node = b.b_node then begin
+      if armed () then begin
+        Obs.Counters.incr c_acks;
+        Obs.Counters.record h_ship_lag (max 0 (t.durable () - a_durable));
+        if a_durable >= b.b_sent && b.b_sent_at > 0.0 then
+          Obs.Counters.record h_ack_ns
+            (int_of_float ((Unix.gettimeofday () -. b.b_sent_at) *. 1e9))
+      end;
+      if a_durable > b.b_acked then begin
+        b.b_acked <- a_durable;
+        recompute t
+      end
+    end
+  | Protocol.Reject { r_epoch; _ } ->
+    b.b_alive <- false;
+    if r_epoch > t.epoch then t.on_fenced r_epoch
+  | _ ->
+    (* A backup has exactly two things to say; anything else poisons the
+       connection, mirroring the RPC server's framing policy. *)
+    b.b_alive <- false
+
+let serve t fd ~reader ~(hello : Protocol.hello) =
+  let b =
+    {
+      b_node = hello.h_node;
+      b_fd = fd;
+      b_alive = true;
+      b_acked = -1;
+      b_sent = -1;
+      b_sent_at = 0.0;
+    }
+  in
+  Mutex.lock t.mu;
+  t.conns <- b :: t.conns;
+  Mutex.unlock t.mu;
+  send_msg b (Protocol.Welcome { w_epoch = t.epoch; w_next = hello.h_next });
+  let shipper_thread = Thread.create (fun () -> shipper t b ~start:hello.h_next) () in
+  let buf = Bytes.create 8192 in
+  let rec drain () =
+    match Frame_reader.next reader with
+    | `Need_more -> `Continue
+    | `Error _ ->
+      b.b_alive <- false;
+      `Stop
+    | `Frame payload -> (
+      match Protocol.decode payload with
+      | Error _ ->
+        b.b_alive <- false;
+        `Stop
+      | Ok msg ->
+        handle_ack t b msg;
+        if b.b_alive then drain () else `Stop)
+  in
+  (* Frames may already sit buffered behind the hello. *)
+  let rec loop pending =
+    if t.stopping || not b.b_alive then ()
+    else
+      match pending with
+      | `Stop -> ()
+      | `Continue ->
+        if not (readable fd) then loop `Continue
+        else begin
+          match Sysio.read fd buf ~pos:0 ~len:(Bytes.length buf) with
+          | 0 ->
+            b.b_alive <- false
+          | n ->
+            Frame_reader.feed reader buf ~pos:0 ~len:n;
+            loop (drain ())
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+            ->
+            b.b_alive <- false
+        end
+  in
+  loop (drain ());
+  b.b_alive <- false;
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ());
+  Thread.join shipper_thread;
+  try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+let wait_commit t ~upto ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if commit t >= upto then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Unix.sleepf 0.001;
+      go ()
+    end
+  in
+  go ()
+
+let stop t =
+  t.stopping <- true;
+  Mutex.lock t.mu;
+  let conns = t.conns in
+  Mutex.unlock t.mu;
+  List.iter
+    (fun b ->
+      try Unix.shutdown b.b_fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ())
+    conns

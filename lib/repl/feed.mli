@@ -1,0 +1,59 @@
+(** Primary-side log shipping: one shipper per connected backup tailing
+    the durable WAL, ack collection, and the replication commit
+    watermark.
+
+    The feed never touches the sequencer or the runtime — it reads the
+    same WAL the durable sequencer writes, via {!Doradd_persist.Wal}'s
+    segment-aware [tail_from], bounded by the durable watermark.
+    Shipping is therefore trivially consistent with the serial order:
+    the log {e is} the order.
+
+    Commit semantics: with [sync_replicas = 0] an entry commits when it
+    is locally durable (async replication — a failover may lose the
+    shipped-but-unacked suffix, which is the documented contract).  With
+    [sync_replicas = k >= 1] an entry commits once the primary and at
+    least [k] backups hold it durably: commit = min(own durable, k-th
+    largest backup ack), monotone.  [on_commit] fires on every advance —
+    the node releases gated client replies there.
+
+    Fencing: an [ack] or [reject] carrying an epoch above ours means a
+    newer primary exists; shipping stops and [on_fenced] fires. *)
+
+type t
+
+val create :
+  node_id:int ->
+  epoch:int ->
+  dir:string ->
+  durable:(unit -> int) ->
+  sync_replicas:int ->
+  heartbeat_s:float ->
+  on_commit:(int -> unit) ->
+  on_fenced:(int -> unit) ->
+  unit ->
+  t
+(** [durable] is polled (any thread) for the primary's own watermark —
+    typically {!Doradd_net.Server.durable_watermark}.  [on_commit] and
+    [on_fenced] are called from feed threads; they must not block on
+    feed state. *)
+
+val serve : t -> Unix.file_descr -> reader:Doradd_net.Frame_reader.t -> hello:Protocol.hello -> unit
+(** Serve one backup on a connected replication socket whose [hello]
+    was already consumed ([reader] may hold further buffered frames).
+    Sends [welcome], spawns the shipper, then reads acks in the calling
+    thread until the backup disconnects, poisons the stream, or
+    {!stop}.  Closes [fd] before returning. *)
+
+val commit : t -> int
+(** Current commit watermark ([-1] while nothing qualifies). *)
+
+val backups : t -> int
+(** Currently connected (live) backups. *)
+
+val wait_commit : t -> upto:int -> timeout_s:float -> bool
+(** Poll until the commit watermark reaches [upto] — the graceful-stop
+    helper that lets final replies flush.  [false] on timeout. *)
+
+val stop : t -> unit
+(** Stop shipping and shut every backup socket; {!serve} calls then
+    return.  Does not join them — they run on their owner's threads. *)

@@ -1,0 +1,103 @@
+module Effects = Doradd_core.Effects
+
+(* The applied-watermark gate.  Entries complete out of order across
+   worker domains; [applied] is the highest stamp w such that every
+   entry <= w has fully executed — the replica's freshness guarantee.
+   Stale-bounded reads wait on stamp-keyed triggers: a read at
+   [min_stamp = w] parks (via Effects, keeping its worker) until the
+   contiguous completed prefix covers w.
+
+   Deadlock argument for awaiting inside a transaction: the applier
+   schedules a read only after it has scheduled every entry <= w, so
+   each such entry is either a DAG predecessor of the read (completes
+   before the read's body ever runs) or independent of its footprint
+   (free to run on other workers while the read is parked).  Nothing
+   the gate waits for can be waiting on the parked read. *)
+
+type t = {
+  mu : Mutex.t;
+  applied : int Atomic.t;
+  completed : (int, unit) Hashtbl.t; (* out-of-order completions > applied *)
+  triggers : (int, Effects.trigger) Hashtbl.t; (* min_stamp -> trigger *)
+}
+
+let create ~applied () =
+  if applied < -1 then invalid_arg "Gate.create: applied < -1";
+  {
+    mu = Mutex.create ();
+    applied = Atomic.make applied;
+    completed = Hashtbl.create 64;
+    triggers = Hashtbl.create 16;
+  }
+
+let applied t = Atomic.get t.applied
+
+(* Fire outside the lock: firing resumes parked continuations into
+   runnable sets and must not nest under our mutex. *)
+let complete t seqno =
+  if seqno < 0 then invalid_arg "Gate.complete: negative seqno";
+  Mutex.lock t.mu;
+  let to_fire =
+    if seqno <= Atomic.get t.applied then []
+    else begin
+      Hashtbl.replace t.completed seqno ();
+      let w = ref (Atomic.get t.applied) in
+      while Hashtbl.mem t.completed (!w + 1) do
+        incr w;
+        Hashtbl.remove t.completed !w
+      done;
+      if !w > Atomic.get t.applied then begin
+        Atomic.set t.applied !w;
+        let fired =
+          Hashtbl.fold (fun s tr acc -> if s <= !w then (s, tr) :: acc else acc)
+            t.triggers []
+        in
+        List.iter (fun (s, _) -> Hashtbl.remove t.triggers s) fired;
+        List.sort (fun (a, _) (b, _) -> compare a b) fired
+      end
+      else []
+    end
+  in
+  Mutex.unlock t.mu;
+  List.iter (fun (_, tr) -> Effects.fire tr) to_fire
+
+let trigger_for t w =
+  Mutex.lock t.mu;
+  let r =
+    if Atomic.get t.applied >= w then None
+    else
+      Some
+        (match Hashtbl.find_opt t.triggers w with
+        | Some tr -> tr
+        | None ->
+          let tr = Effects.trigger () in
+          Hashtbl.add t.triggers w tr;
+          tr)
+  in
+  Mutex.unlock t.mu;
+  r
+
+let await t w =
+  if w >= 0 then
+    match trigger_for t w with
+    | None -> ()
+    | Some tr ->
+      (* A completion racing this park is safe: [fire] on an
+         already-fired trigger is idempotent and a park that loses the
+         race continues inline (the Effects contract). *)
+      Effects.await tr
+
+(* Blocking fallback for plain threads (tests, verifiers): a poll loop
+   rather than a condvar so shutdown cannot strand a waiter. *)
+let await_blocking ?(timeout_s = 5.0) t w =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if applied t >= w then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.yield ();
+      Unix.sleepf 0.0005;
+      go ()
+    end
+  in
+  go ()

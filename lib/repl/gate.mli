@@ -1,0 +1,38 @@
+(** The applied-watermark gate: turns out-of-order entry completions
+    into a monotone contiguous watermark, and lets stale-bounded reads
+    suspend until the watermark covers their freshness floor.
+
+    The backup applier calls {!complete} from worker domains as each
+    replicated entry finishes executing; {!applied} is the largest [w]
+    with every entry [<= w] complete.  A replica read carrying
+    [min_stamp = w] calls {!await} from inside its (suspendable)
+    transaction body: if the watermark already covers [w] it returns
+    immediately, otherwise it parks on a stamp-keyed
+    {!Doradd_core.Effects} trigger — keeping its worker — and resumes
+    when {!complete} advances past [w].  Safe because the applier only
+    schedules a read after scheduling every entry [<= w]: the gate can
+    never wait on work that is waiting on the parked read. *)
+
+type t
+
+val create : applied:int -> unit -> t
+(** [applied] is the initial contiguous watermark ([-1] for an empty
+    log; a recovered replica passes its replayed prefix end). *)
+
+val applied : t -> int
+(** Any thread, lock-free read. *)
+
+val complete : t -> int -> unit
+(** Mark entry [seqno] fully executed.  Thread-safe; duplicate and
+    out-of-order completions are fine.  When the contiguous prefix
+    advances, triggers at or below the new watermark fire in ascending
+    stamp order. *)
+
+val await : t -> int -> unit
+(** Suspend the current transaction until [applied >= w].  Immediate if
+    already covered; no-op for negative [w].  Must run inside a
+    suspendable transaction (it may call {!Doradd_core.Effects.await}). *)
+
+val await_blocking : ?timeout_s:float -> t -> int -> bool
+(** Plain-thread fallback: poll until covered or [timeout_s] (default
+    5 s) elapses; [false] on timeout. *)

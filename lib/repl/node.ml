@@ -1,0 +1,975 @@
+module Core = Doradd_core
+module Net = Doradd_net
+module Codec = Doradd_persist.Codec
+module Sysio = Doradd_persist.Sysio
+module Wal = Doradd_persist.Wal
+module Recovery = Doradd_persist.Recovery
+module Obs = Doradd_obs
+
+let c_elections = Obs.Counters.counter "repl.elections_won"
+let c_replica_reads = Obs.Counters.counter "repl.replica_reads"
+let h_detect = Obs.Counters.histogram "repl.failover_detect_ns"
+let h_failover = Obs.Counters.histogram "repl.failover_window_ns"
+let armed () = Atomic.get Obs.Trace.armed
+
+type role = Primary | Backup | Candidate | Fenced
+
+let role_to_string = function
+  | Primary -> "primary"
+  | Backup -> "backup"
+  | Candidate -> "candidate"
+  | Fenced -> "fenced"
+
+type config = {
+  node_id : int;
+  host : string;
+  client_port : int;
+  repl_port : int;
+  repl_fd : Unix.file_descr option;
+  backup_of : (string * int) option;
+  peers : (int * string * int) list;
+  data_dir : string;
+  shards : int;
+  workers_per_shard : int;
+  fsync : bool;
+  sync_replicas : int;
+  heartbeat_s : float;
+  election_timeout_s : float;
+  initial_role : [ `Primary | `Backup ];
+}
+
+let make_config ?(host = "127.0.0.1") ?(client_port = 0) ?(repl_port = 0) ?repl_fd
+    ?backup_of ?(peers = []) ?(shards = 2) ?(workers_per_shard = 1) ?(fsync = true)
+    ?(sync_replicas = 1) ?(heartbeat_s = 0.05) ?(election_timeout_s = 0.5)
+    ?(initial_role = `Backup) ~node_id ~data_dir () =
+  {
+    node_id;
+    host;
+    client_port;
+    repl_port;
+    repl_fd;
+    backup_of;
+    peers;
+    data_dir;
+    shards;
+    workers_per_shard;
+    fsync;
+    sync_replicas;
+    heartbeat_s;
+    election_timeout_s;
+    initial_role;
+  }
+
+(* Replica-front connection (stale-bounded reads). *)
+type fconn = { f_fd : Unix.file_descr; f_wmu : Mutex.t; mutable f_alive : bool }
+
+type read_req = { rc : fconn; r_id : int; r_min : int; r_body : string }
+
+type t = {
+  cfg : config;
+  backend : Net.Backend.t;
+  mu : Mutex.t;
+  mutable epoch : int;
+  mutable voted_term : int;
+  mutable role : role;
+  mutable server : Net.Server.t option;
+  mutable feed : Feed.t option;
+  mutable wal : Wal.t option;
+  mutable rt : Core.Sharded_runtime.t option;
+  mutable gate : Gate.t option;
+  mutable applier_fd : Unix.file_descr option;
+  mutable commit_hint : int;
+  mutable last_contact : float;
+  mutable outage_at : float option;
+  mutable elections_won : int;
+  election_rng : Random.State.t;
+  mutable final_durable : int; (* snapshot taken at stop, after draining *)
+  mutable final_applied : int;
+  (* gated client replies (sync replication) *)
+  gr_mu : Mutex.t;
+  gr : (int, unit -> unit) Hashtbl.t;
+  mutable gr_commit : int;
+  (* replication listener *)
+  repl_lfd : Unix.file_descr;
+  repl_port : int;
+  mutable repl_threads : Thread.t list;
+  repl_mu : Mutex.t;
+  (* replica front *)
+  mutable front_lfd : Unix.file_descr option;
+  mutable front_port : int;
+  mutable front_stop : bool;
+  mutable front_accept : Thread.t option;
+  mutable front_conns : fconn list;
+  mutable front_threads : Thread.t list;
+  front_mu : Mutex.t;
+  read_q : read_req Queue.t;
+  read_mu : Mutex.t;
+  mutable pending_reads : read_req list; (* applier thread only *)
+  stopping : bool Atomic.t;
+  mutable killed : bool;
+  mutable role_thread : Thread.t option;
+  mutable accept_thread : Thread.t option;
+  mutable stopped : bool;
+}
+
+let poll_tick = 0.05
+
+let readable ?(timeout = poll_tick) fd =
+  match Unix.select [ fd ] [] [] timeout with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let sleep_or_stop t s =
+  let deadline = Unix.gettimeofday () +. s in
+  while (not (Atomic.get t.stopping)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done
+
+let send_framed fd msg =
+  let f = Codec.frame (Protocol.encode msg) in
+  try
+    Sysio.write_all fd f ~pos:0 ~len:(String.length f);
+    true
+  with Unix.Unix_error (_, _, _) -> false
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* ---- public accessors ---------------------------------------------- *)
+
+let role t = with_mu t (fun () -> t.role)
+let epoch t = with_mu t (fun () -> t.epoch)
+let node_id t = t.cfg.node_id
+let repl_port t = t.repl_port
+let elections_won t = with_mu t (fun () -> t.elections_won)
+let commit_hint t = with_mu t (fun () -> t.commit_hint)
+
+let client_port t =
+  with_mu t (fun () ->
+      match t.server with
+      | Some s -> Net.Server.port s
+      | None -> t.front_port)
+
+let durable_unlocked t =
+  match (t.server, t.wal) with
+  | Some s, _ -> Net.Server.durable_watermark s
+  | None, Some w -> Wal.durable_seqno w
+  | None, None -> -1
+
+let durable t =
+  with_mu t (fun () ->
+      match durable_unlocked t with -1 when t.stopped -> t.final_durable | d -> d)
+
+let applied t =
+  with_mu t (fun () ->
+      match t.gate with
+      | Some g -> Gate.applied g
+      | None when t.stopped -> t.final_applied
+      | None -> durable_unlocked t)
+
+let commit t =
+  with_mu t (fun () ->
+      match t.feed with Some f -> Feed.commit f | None -> t.commit_hint)
+
+let digest t = t.backend.Net.Backend.digest ()
+
+let wal_records t = (Wal.scan ~dir:t.cfg.data_dir).Wal.records
+
+(* ---- gated replies (sync replication) ------------------------------- *)
+
+let gate_reply t ~stamp ~release =
+  Mutex.lock t.gr_mu;
+  if stamp <= t.gr_commit then begin
+    Mutex.unlock t.gr_mu;
+    release ()
+  end
+  else begin
+    Hashtbl.replace t.gr stamp release;
+    Mutex.unlock t.gr_mu
+  end
+
+let release_upto t w =
+  Mutex.lock t.gr_mu;
+  if w > t.gr_commit then t.gr_commit <- w;
+  let ready = Hashtbl.fold (fun s r acc -> if s <= w then (s, r) :: acc else acc) t.gr [] in
+  List.iter (fun (s, _) -> Hashtbl.remove t.gr s) ready;
+  Mutex.unlock t.gr_mu;
+  List.sort (fun (a, _) (b, _) -> compare a b) ready
+  |> List.iter (fun (_, release) -> release ())
+
+(* ---- epoch handling -------------------------------------------------- *)
+
+let adopt_epoch t e =
+  let changed =
+    with_mu t (fun () ->
+        if e > t.epoch then begin
+          t.epoch <- e;
+          true
+        end
+        else false)
+  in
+  if changed then Epochs.store ~dir:t.cfg.data_dir e
+
+let fenced t e =
+  adopt_epoch t e;
+  with_mu t (fun () -> if t.role = Primary then t.role <- Fenced)
+
+(* ---- votes ----------------------------------------------------------- *)
+
+let handle_vote t ~term ~durable:cand_d ~node:cand_id =
+  with_mu t (fun () ->
+      let my_d = durable_unlocked t in
+      (* Leader stickiness: a live (unfenced) primary never votes a
+         challenger in — without it, a freshly promoted primary with no
+         new writes yet could tie-grant the other backup (equal durable,
+         higher id) and the cluster would split into two primaries whose
+         uncommitted tails diverge.  Deposition happens only through the
+         epoch fence.  A [Fenced] ex-primary knows it is deposed and
+         votes normally. *)
+      let granted =
+        t.role <> Primary
+        && term > max t.epoch t.voted_term
+        && Protocol.candidate_geq ~durable:(cand_d, cand_id) ~than:(my_d, t.cfg.node_id)
+      in
+      (* Adopt the term even when refusing: our own next candidacy then
+         starts above it, so the preferred node's term leapfrogs the
+         refused one's instead of chasing it forever. *)
+      if term > t.voted_term then t.voted_term <- term;
+      Protocol.Vote
+        {
+          g_term = term;
+          g_granted = granted;
+          g_epoch = t.epoch;
+          g_durable = my_d;
+          g_node = t.cfg.node_id;
+        })
+
+let vote_rpc ~host ~port ~term ~durable:my_d ~node ~timeout_s =
+  match Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (_, _, _) -> None
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+      (fun () ->
+        match
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+        with
+        | exception Unix.Unix_error (_, _, _) -> None
+        | () ->
+          if
+            not
+              (send_framed fd
+                 (Protocol.Vote_req { v_term = term; v_durable = my_d; v_node = node }))
+          then None
+          else begin
+            let reader = Net.Frame_reader.create () in
+            let buf = Bytes.create 4096 in
+            let deadline = Unix.gettimeofday () +. timeout_s in
+            let rec await () =
+              match Net.Frame_reader.next reader with
+              | `Error _ -> None
+              | `Frame p -> (
+                match Protocol.decode p with
+                | Ok (Protocol.Vote { g_term; g_granted; g_epoch; _ }) ->
+                  Some (g_term, g_granted, g_epoch)
+                | Ok _ | Error _ -> None)
+              | `Need_more ->
+                let remaining = deadline -. Unix.gettimeofday () in
+                if remaining <= 0.0 then None
+                else if not (readable ~timeout:remaining fd) then None
+                else begin
+                  match Sysio.read fd buf ~pos:0 ~len:(Bytes.length buf) with
+                  | 0 -> None
+                  | n ->
+                    Net.Frame_reader.feed reader buf ~pos:0 ~len:n;
+                    await ()
+                  | exception Unix.Unix_error (_, _, _) -> None
+                end
+            in
+            await ()
+          end)
+
+(* ---- replica front --------------------------------------------------- *)
+
+let front_reply t fc (reply : Net.Wire.reply) =
+  ignore t;
+  let frame = Codec.frame (Net.Wire.encode_reply reply) in
+  Mutex.lock fc.f_wmu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock fc.f_wmu)
+    (fun () ->
+      if fc.f_alive then
+        try Sysio.write_all fc.f_fd frame ~pos:0 ~len:(String.length frame)
+        with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+          fc.f_alive <- false)
+
+let kill_fconn fc =
+  Mutex.lock fc.f_wmu;
+  fc.f_alive <- false;
+  Mutex.unlock fc.f_wmu;
+  try Unix.shutdown fc.f_fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ()
+
+let front_reader t fc =
+  let reader = Net.Frame_reader.create () in
+  let buf = Bytes.create 8192 in
+  let rec drain () =
+    match Net.Frame_reader.next reader with
+    | `Need_more -> `Continue
+    | `Error _ ->
+      kill_fconn fc;
+      `Stop
+    | `Frame payload -> (
+      match Net.Wire.decode_request payload with
+      | Error _ ->
+        kill_fconn fc;
+        `Stop
+      | Ok (req_id, body) ->
+        if String.length body > 0 && body.[0] = 'S' then begin
+          match Net.Wire.decode_read body with
+          | Error _ ->
+            front_reply t fc
+              {
+                Net.Wire.req_id;
+                stamp = -1;
+                status = Net.Wire.status_malformed;
+                result = 0;
+              }
+          | Ok (min_stamp, inner) ->
+            Mutex.lock t.read_mu;
+            Queue.push { rc = fc; r_id = req_id; r_min = min_stamp; r_body = inner }
+              t.read_q;
+            Mutex.unlock t.read_mu
+        end
+        else
+          (* Writes (and reads not wrapped in the read envelope) belong
+             on the primary. *)
+          front_reply t fc
+            {
+              Net.Wire.req_id;
+              stamp = -1;
+              status = Net.Wire.status_not_primary;
+              result = 0;
+            };
+        drain ())
+  in
+  let rec loop () =
+    if Atomic.get t.stopping || t.front_stop || not fc.f_alive then kill_fconn fc
+    else if not (readable fc.f_fd) then loop ()
+    else
+      match Sysio.read fc.f_fd buf ~pos:0 ~len:(Bytes.length buf) with
+      | 0 -> kill_fconn fc
+      | n ->
+        Net.Frame_reader.feed reader buf ~pos:0 ~len:n;
+        (match drain () with `Continue -> loop () | `Stop -> ())
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+        kill_fconn fc
+  in
+  (* The reader owns its fd: close it the moment the connection dies
+     (under the write mutex, so a concurrent reply can never hit a
+     reused fd number) and deregister — a long outage sees hundreds of
+     client reconnects, and fds held until stop_front would blow past
+     FD_SETSIZE and poison every select in the process. *)
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock fc.f_wmu;
+      fc.f_alive <- false;
+      (try Unix.close fc.f_fd with Unix.Unix_error (_, _, _) -> ());
+      Mutex.unlock fc.f_wmu;
+      Mutex.lock t.front_mu;
+      t.front_conns <- List.filter (fun c -> c != fc) t.front_conns;
+      Mutex.unlock t.front_mu)
+    loop
+
+let front_accept_loop t lfd =
+  while (not (Atomic.get t.stopping)) && not t.front_stop do
+    if readable lfd then
+      match Sysio.retry (fun () -> Unix.accept ~cloexec:true lfd) with
+      | fd, _ ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error (_, _, _) -> ());
+        let fc = { f_fd = fd; f_wmu = Mutex.create (); f_alive = true } in
+        let th = Thread.create (fun () -> front_reader t fc) () in
+        Mutex.lock t.front_mu;
+        t.front_conns <- fc :: t.front_conns;
+        t.front_threads <- th :: t.front_threads;
+        Mutex.unlock t.front_mu
+      | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EBADF | Unix.EINVAL), _, _)
+        ->
+        ()
+  done;
+  try Unix.close lfd with Unix.Unix_error (_, _, _) -> ()
+
+let start_front t =
+  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+     Unix.bind lfd
+       (Unix.ADDR_INET
+          ( Unix.inet_addr_of_string t.cfg.host,
+            if t.front_port > 0 then t.front_port else t.cfg.client_port ));
+     Unix.listen lfd 64
+   with e ->
+     Unix.close lfd;
+     raise e);
+  let port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  with_mu t (fun () ->
+      t.front_lfd <- Some lfd;
+      t.front_port <- port;
+      t.front_stop <- false);
+  t.front_accept <- Some (Thread.create (fun () -> front_accept_loop t lfd) ())
+
+let stop_front t =
+  t.front_stop <- true;
+  (match t.front_lfd with
+  | Some lfd -> (
+    (* Nudge the accept loop: shutdown unblocks select on most
+       platforms; the loop also polls. *)
+    try Unix.shutdown lfd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ())
+  | None -> ());
+  (match t.front_accept with Some th -> Thread.join th | None -> ());
+  t.front_accept <- None;
+  t.front_lfd <- None;
+  Mutex.lock t.front_mu;
+  let conns = t.front_conns and threads = t.front_threads in
+  t.front_conns <- [];
+  t.front_threads <- [];
+  Mutex.unlock t.front_mu;
+  List.iter kill_fconn conns;
+  (* Each reader thread closes its own fd on the way out. *)
+  List.iter Thread.join threads
+
+(* ---- stale-bounded reads --------------------------------------------- *)
+
+(* Applier thread only.  A read at [min_stamp = w] is scheduled once
+   entries [0, w] have been scheduled; its body then suspends on the
+   gate until they have all {e completed}, runs, and replies with the
+   position it executed at. *)
+let serve_reads t wal rt gate () =
+  Mutex.lock t.read_mu;
+  let arrivals = ref [] in
+  while not (Queue.is_empty t.read_q) do
+    arrivals := Queue.pop t.read_q :: !arrivals
+  done;
+  Mutex.unlock t.read_mu;
+  t.pending_reads <- t.pending_reads @ List.rev !arrivals;
+  if t.pending_reads <> [] then begin
+    let next = Wal.next_seqno wal in
+    let ready, waiting = List.partition (fun r -> r.r_min < next) t.pending_reads in
+    t.pending_reads <- waiting;
+    List.iter
+      (fun r ->
+        if not (t.backend.Net.Backend.read_only r.r_body) then
+          front_reply t r.rc
+            {
+              Net.Wire.req_id = r.r_id;
+              stamp = -1;
+              status = Net.Wire.status_not_primary;
+              result = 0;
+            }
+        else begin
+          match t.backend.Net.Backend.prepare ~stamp:next r.r_body with
+          | Error _ ->
+            front_reply t r.rc
+              {
+                Net.Wire.req_id = r.r_id;
+                stamp = -1;
+                status = Net.Wire.status_malformed;
+                result = 0;
+              }
+          | Ok p ->
+            if armed () then Obs.Counters.incr c_replica_reads;
+            let min_stamp = r.r_min and rc = r.rc and req_id = r.r_id in
+            Core.Sharded_runtime.schedule_suspendable rt p.Net.Backend.fp (fun () ->
+                Gate.await gate min_stamp;
+                let result = p.Net.Backend.run () in
+                front_reply t rc
+                  { Net.Wire.req_id; stamp = next; status = Net.Wire.status_ok; result })
+        end)
+      ready
+  end
+
+let drop_pending_reads t =
+  t.pending_reads <- [];
+  Mutex.lock t.read_mu;
+  Queue.clear t.read_q;
+  Mutex.unlock t.read_mu
+
+(* ---- local recovery -------------------------------------------------- *)
+
+let recover_local t =
+  if Sys.file_exists t.cfg.data_dir then begin
+    let replay ~seqno body =
+      match t.backend.Net.Backend.prepare ~stamp:seqno body with
+      | Ok p -> ignore (p.Net.Backend.run ())
+      | Error _ -> ()
+    in
+    ignore (Recovery.recover ~dir:t.cfg.data_dir ~replay ())
+  end
+
+(* ---- primary --------------------------------------------------------- *)
+
+let server_config t =
+  {
+    Net.Server.host = t.cfg.host;
+    port = (if t.front_port > 0 then t.front_port else t.cfg.client_port);
+    shards = t.cfg.shards;
+    workers_per_shard = t.cfg.workers_per_shard;
+    wal_dir = Some t.cfg.data_dir;
+    wal_fsync = t.cfg.fsync;
+  }
+
+let become_primary t =
+  let feed =
+    Feed.create ~node_id:t.cfg.node_id ~epoch:(epoch t) ~dir:t.cfg.data_dir
+      ~durable:(fun () ->
+        match t.server with Some s -> Net.Server.durable_watermark s | None -> -1)
+      ~sync_replicas:t.cfg.sync_replicas ~heartbeat_s:t.cfg.heartbeat_s
+      ~on_commit:(fun w -> release_upto t w)
+      ~on_fenced:(fun e -> fenced t e)
+      ()
+  in
+  let hooks =
+    {
+      Net.Server.admit =
+        Some
+          (fun () ->
+            if role t = Primary then None else Some Net.Wire.status_not_primary);
+      gate_reply =
+        (if t.cfg.sync_replicas > 0 then
+           Some (fun ~stamp ~release -> gate_reply t ~stamp ~release)
+         else None);
+    }
+  in
+  let server = Net.Server.start ~hooks (server_config t) t.backend in
+  with_mu t (fun () ->
+      t.feed <- Some feed;
+      t.server <- Some server;
+      t.front_port <- Net.Server.port server;
+      t.role <- Primary);
+  (* Sit here until asked to stop; a fenced primary keeps its server
+     alive so clients get status_not_primary bounces instead of
+     connection refusals. *)
+  while not (Atomic.get t.stopping) do
+    Unix.sleepf 0.02
+  done
+
+(* ---- backup / election ----------------------------------------------- *)
+
+let connect_fd host port =
+  match Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (_, _, _) -> None
+  | fd -> (
+    match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
+    | () ->
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error (_, _, _) -> ());
+      Some fd
+    | exception Unix.Unix_error (_, _, _) ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      None)
+
+let primary_candidates t =
+  let hint = match t.cfg.backup_of with Some a -> [ a ] | None -> [] in
+  hint @ List.map (fun (_, h, p) -> (h, p)) t.cfg.peers
+
+type election_result = Won of int | Lost
+
+let run_election t wal =
+  let term, my_d =
+    with_mu t (fun () ->
+        t.role <- Candidate;
+        let term = max t.epoch t.voted_term + 1 in
+        t.voted_term <- term;
+        (term, Wal.durable_seqno wal))
+  in
+  (match t.outage_at with
+  | Some at when armed () ->
+    Obs.Counters.record h_detect (int_of_float ((Unix.gettimeofday () -. at) *. 1e9))
+  | _ -> ());
+  let votes = ref 1 in
+  let higher = ref (-1) in
+  List.iter
+    (fun (_, host, port) ->
+      if not (Atomic.get t.stopping) then
+        match
+          vote_rpc ~host ~port ~term ~durable:my_d ~node:t.cfg.node_id ~timeout_s:0.5
+        with
+        | None -> ()
+        | Some (g_term, g_granted, g_epoch) ->
+          if g_epoch > !higher then higher := g_epoch;
+          if g_granted && g_term = term then incr votes)
+    t.cfg.peers;
+  let cluster = 1 + List.length t.cfg.peers in
+  if !higher >= term then begin
+    (* Someone already acknowledges a primaryship at or past our term:
+       fall back to following it. *)
+    adopt_epoch t !higher;
+    with_mu t (fun () -> t.role <- Backup);
+    Lost
+  end
+  else if 2 * !votes > cluster then Won term
+  else begin
+    with_mu t (fun () -> t.role <- Backup);
+    Lost
+  end
+
+(* Promotion: seal the replica machinery, then come back up as a full
+   primary on the same client port, stamps continuing from our durable
+   log.  The epoch was persisted before we got here, so a crash
+   mid-promotion cannot regress the fence. *)
+let promote t wal rt gate term =
+  ignore gate;
+  stop_front t;
+  drop_pending_reads t;
+  Core.Sharded_runtime.drain rt;
+  Core.Sharded_runtime.shutdown rt;
+  Wal.close wal;
+  with_mu t (fun () ->
+      t.wal <- None;
+      t.rt <- None;
+      t.gate <- None;
+      t.elections_won <- t.elections_won + 1);
+  ignore term;
+  (match t.outage_at with
+  | Some at when armed () ->
+    Obs.Counters.record h_failover (int_of_float ((Unix.gettimeofday () -. at) *. 1e9));
+    if armed () then Obs.Counters.incr c_elections
+  | _ -> if armed () then Obs.Counters.incr c_elections);
+  t.outage_at <- None
+
+let become_backup t =
+  let wal = Wal.open_ ~fsync:t.cfg.fsync ~dir:t.cfg.data_dir () in
+  let rt =
+    Core.Sharded_runtime.create ~workers_per_shard:t.cfg.workers_per_shard
+      ~shards:t.cfg.shards ()
+  in
+  let gate = Gate.create ~applied:(Wal.next_seqno wal - 1) () in
+  with_mu t (fun () ->
+      t.wal <- Some wal;
+      t.rt <- Some rt;
+      t.gate <- Some gate;
+      t.role <- Backup);
+  start_front t;
+  t.last_contact <- Unix.gettimeofday ();
+  let apply ~seqno body =
+    t.last_contact <- Unix.gettimeofday ();
+    match t.backend.Net.Backend.prepare ~stamp:seqno body with
+    | Ok p ->
+      Core.Sharded_runtime.schedule rt p.Net.Backend.fp (fun () ->
+          ignore (p.Net.Backend.run ());
+          Gate.complete gate seqno)
+    | Error _ ->
+      (* Malformed bodies consumed a stamp on the primary; the replica
+         log keeps them so replay stays dense. *)
+      Gate.complete gate seqno
+  in
+  let on_heartbeat ~commit =
+    t.last_contact <- Unix.gettimeofday ();
+    with_mu t (fun () -> if commit > t.commit_hint then t.commit_hint <- commit)
+  in
+  let serve = serve_reads t wal rt gate in
+  let rec follow () =
+    if Atomic.get t.stopping then ()
+    else begin
+      let session_outcome = ref None in
+      let addrs = primary_candidates t in
+      List.iter
+        (fun (host, port) ->
+          if !session_outcome = None && not (Atomic.get t.stopping) then
+            match connect_fd host port with
+            | None -> ()
+            | Some fd ->
+              t.applier_fd <- Some fd;
+              let outcome =
+                Applier.run ~fd ~node_id:t.cfg.node_id ~epoch:(epoch t)
+                  ~on_epoch:(adopt_epoch t) ~wal ~apply ~on_heartbeat
+                  ~serve_reads:serve ~election_timeout_s:t.cfg.election_timeout_s
+                  ~stopping:(fun () -> Atomic.get t.stopping)
+                  ()
+              in
+              t.applier_fd <- None;
+              (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+              (match outcome with
+              | Applier.Stopped -> session_outcome := Some `Stop
+              | Applier.Silent -> session_outcome := Some `Elect
+              | Applier.Disconnected | Applier.Rejected _ | Applier.Stale_primary _ ->
+                ()))
+        addrs;
+      (* Keep pending reads moving even while disconnected. *)
+      serve ();
+      let decision =
+        match !session_outcome with
+        | Some d -> d
+        | None ->
+          if
+            Unix.gettimeofday () -. t.last_contact > t.cfg.election_timeout_s
+            && not (Atomic.get t.stopping)
+          then `Elect
+          else `Retry
+      in
+      match decision with
+      | `Stop -> ()
+      | `Retry ->
+        sleep_or_stop t 0.02;
+        follow ()
+      | `Elect -> (
+        if t.outage_at = None then t.outage_at <- Some t.last_contact;
+        let lost () =
+          t.last_contact <- Unix.gettimeofday ();
+          (* Randomized stagger (the Raft trick): two losers must not
+             keep splitting the vote in lockstep. *)
+          sleep_or_stop t
+            (t.cfg.election_timeout_s
+            *. (0.2 +. (0.6 *. Random.State.float t.election_rng 1.0)));
+          follow ()
+        in
+        match run_election t wal with
+        | Won term ->
+          (* Atomically claim primaryship — but abandon the win if we
+             acknowledged a higher term while our last vote was in
+             flight (the challenger may have won it; two primaries must
+             never coexist).  The role flips under the same lock that
+             grants votes, so once we are Primary no later challenger
+             can be granted a tie. *)
+          let ours =
+            with_mu t (fun () ->
+                if t.voted_term > term then false
+                else begin
+                  t.epoch <- term;
+                  t.role <- Primary;
+                  true
+                end)
+          in
+          if not ours then lost ()
+          else begin
+            (* Persist the fence before acting as primary. *)
+            Epochs.store ~dir:t.cfg.data_dir term;
+            promote t wal rt gate term;
+            become_primary t
+          end
+        | Lost -> lost ())
+    end
+  in
+  follow ()
+
+let role_loop t =
+  recover_local t;
+  match t.cfg.initial_role with
+  | `Primary -> become_primary t
+  | `Backup -> become_backup t
+
+(* ---- replication listener -------------------------------------------- *)
+
+let repl_dispatch t fd =
+  let reader = Net.Frame_reader.create () in
+  let buf = Bytes.create 8192 in
+  let close () = try Unix.close fd with Unix.Unix_error (_, _, _) -> () in
+  let rec drain () =
+    match Net.Frame_reader.next reader with
+    | `Need_more -> `Continue
+    | `Error _ -> `Close
+    | `Frame payload -> (
+      match Protocol.decode payload with
+      | Error _ -> `Close
+      | Ok (Protocol.Hello h) -> (
+        let feed = with_mu t (fun () -> if t.role = Primary then t.feed else None) in
+        match feed with
+        | Some feed ->
+          (* Feed.serve owns and closes the fd. *)
+          Feed.serve feed fd ~reader ~hello:h;
+          `Served
+        | None ->
+          ignore
+            (send_framed fd
+               (Protocol.Reject
+                  { r_epoch = epoch t; r_reason = Protocol.Not_primary }));
+          `Close)
+      | Ok (Protocol.Vote_req { v_term; v_durable; v_node }) ->
+        let reply = handle_vote t ~term:v_term ~durable:v_durable ~node:v_node in
+        if send_framed fd reply then drain () else `Close
+      | Ok _ -> `Close)
+  in
+  let rec loop () =
+    if Atomic.get t.stopping then close ()
+    else if not (readable fd) then loop ()
+    else
+      match Sysio.read fd buf ~pos:0 ~len:(Bytes.length buf) with
+      | 0 -> close ()
+      | n -> (
+        Net.Frame_reader.feed reader buf ~pos:0 ~len:n;
+        match drain () with
+        | `Continue -> loop ()
+        | `Close -> close ()
+        | `Served -> ())
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+        close ()
+  in
+  loop ()
+
+let repl_accept_loop t =
+  while not (Atomic.get t.stopping) do
+    if readable t.repl_lfd then
+      match Sysio.retry (fun () -> Unix.accept ~cloexec:true t.repl_lfd) with
+      | fd, _ ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error (_, _, _) -> ());
+        let th = Thread.create (fun () -> repl_dispatch t fd) () in
+        Mutex.lock t.repl_mu;
+        t.repl_threads <- th :: t.repl_threads;
+        Mutex.unlock t.repl_mu
+      | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EBADF | Unix.EINVAL), _, _)
+        ->
+        ()
+  done
+
+(* ---- lifecycle ------------------------------------------------------- *)
+
+let start cfg backend =
+  Sysio.ignore_sigpipe ();
+  if cfg.sync_replicas > List.length cfg.peers then
+    invalid_arg "Node.start: sync_replicas exceeds peer count";
+  let repl_lfd =
+    match cfg.repl_fd with
+    | Some fd -> fd
+    | None ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd
+           (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.repl_port));
+         Unix.listen fd 64
+       with e ->
+         Unix.close fd;
+         raise e);
+      fd
+  in
+  let repl_port =
+    match Unix.getsockname repl_lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let t =
+    {
+      cfg;
+      backend;
+      mu = Mutex.create ();
+      epoch = Epochs.load ~dir:cfg.data_dir;
+      voted_term = 0;
+      role = Backup;
+      server = None;
+      feed = None;
+      wal = None;
+      rt = None;
+      gate = None;
+      applier_fd = None;
+      commit_hint = -1;
+      last_contact = Unix.gettimeofday ();
+      outage_at = None;
+      elections_won = 0;
+      election_rng =
+        Random.State.make
+          [| cfg.node_id; int_of_float (Unix.gettimeofday () *. 1e6) land 0xffffff |];
+      final_durable = -1;
+      final_applied = -1;
+      gr_mu = Mutex.create ();
+      gr = Hashtbl.create 64;
+      gr_commit = -1;
+      repl_lfd;
+      repl_port;
+      repl_threads = [];
+      repl_mu = Mutex.create ();
+      front_lfd = None;
+      front_port = 0;
+      front_stop = false;
+      front_accept = None;
+      front_conns = [];
+      front_threads = [];
+      front_mu = Mutex.create ();
+      read_q = Queue.create ();
+      read_mu = Mutex.create ();
+      pending_reads = [];
+      stopping = Atomic.make false;
+      killed = false;
+      role_thread = None;
+      accept_thread = None;
+      stopped = false;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> repl_accept_loop t) ());
+  t.role_thread <- Some (Thread.create (fun () -> role_loop t) ());
+  t
+
+let stop_ ~graceful t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    t.killed <- not graceful;
+    Atomic.set t.stopping true;
+    if not graceful then begin
+      (* Abortive: cut every wire first so nothing else escapes this
+         node — the in-process stand-in for SIGKILL.  Internal teardown
+         below is just resource reclamation. *)
+      (try Unix.shutdown t.repl_lfd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ());
+      (match t.applier_fd with
+      | Some fd -> (
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ())
+      | None -> ());
+      (match t.feed with Some f -> Feed.stop f | None -> ());
+      Mutex.lock t.front_mu;
+      List.iter kill_fconn t.front_conns;
+      Mutex.unlock t.front_mu
+    end;
+    (match t.role_thread with Some th -> Thread.join th | None -> ());
+    t.role_thread <- None;
+    t.final_durable <- durable_unlocked t;
+    t.final_applied <-
+      (match t.gate with Some g -> Gate.applied g | None -> t.final_durable);
+    (* Primary-side teardown. *)
+    (match t.server with
+    | Some s ->
+      (match t.feed with
+      | Some f when graceful && t.cfg.sync_replicas > 0 ->
+        (* Let in-flight replies flush: acks for everything durable. *)
+        ignore
+          (Feed.wait_commit f ~upto:(Net.Server.durable_watermark s) ~timeout_s:2.0)
+      | _ -> ());
+      Net.Server.stop s;
+      t.server <- None
+    | None -> ());
+    (match t.feed with
+    | Some f ->
+      Feed.stop f;
+      t.feed <- None
+    | None -> ());
+    (* Backup-side teardown. *)
+    stop_front t;
+    drop_pending_reads t;
+    (match t.rt with
+    | Some rt ->
+      Core.Sharded_runtime.drain rt;
+      Core.Sharded_runtime.shutdown rt;
+      t.rt <- None
+    | None -> ());
+    (match t.wal with
+    | Some w ->
+      if graceful then Wal.close w else Wal.crash_close w;
+      t.wal <- None
+    | None -> ());
+    (* Listener + dispatch threads. *)
+    (try Unix.close t.repl_lfd with Unix.Unix_error (_, _, _) -> ());
+    Mutex.lock t.repl_mu;
+    let dispatchers = t.repl_threads in
+    t.repl_threads <- [];
+    Mutex.unlock t.repl_mu;
+    List.iter Thread.join dispatchers;
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    t.accept_thread <- None
+  end
+
+let stop t = stop_ ~graceful:true t
+let kill t = stop_ ~graceful:false t

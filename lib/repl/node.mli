@@ -1,0 +1,143 @@
+(** A replicated node: the failover state machine tying together the
+    primary-side {!Feed}, the backup-side {!Applier}, the read {!Gate}
+    and the persistent {!Epochs} fence.
+
+    Roles and transitions:
+    {v
+       `Backup ──connect──▶ Backup ──silence──▶ Candidate
+                              ▲                     │ majority, by
+                              │ lost / higher epoch │ (durable, id)
+                              └─────────────────────┤
+                                                    ▼
+       `Primary ─────────────────────────────▶ Primary ──newer epoch──▶ Fenced
+    v}
+
+    A backup follows whichever peer welcomes it: entries are appended to
+    the local WAL, group-synced, acknowledged, then scheduled onto a
+    local {!Doradd_core.Sharded_runtime} in stamp order — so the replica
+    re-derives the primary's state deterministically and doubles as a
+    read replica ({!Doradd_net.Wire.encode_read} against [client_port]).
+    A stale-bounded read at [min_stamp = w] suspends (via the effects
+    runtime) until the applied watermark covers [w] and replies with the
+    log position it actually executed at.
+
+    When the primary goes quiet for [election_timeout_s], backups elect
+    by [(durable watermark, node id)] — the winner provably holds every
+    committed entry when [sync_replicas >= 1].  A live primary never
+    grants votes (leader stickiness), and a winner that acknowledged a
+    higher term while its own votes were in flight abandons the win —
+    together these guarantee at most one unfenced primary, so replica
+    logs never diverge even on the uncommitted tail.  It persists the bumped
+    epoch {e before} serving (a crash mid-promotion cannot regress the
+    fence), recovers, and comes back up as a full primary on the same
+    client port with stamps continuing from its durable log.  The deposed
+    primary, on its next contact with the cluster, sees the higher epoch
+    and flips to [Fenced]: its server stays up but bounces every request
+    with {!Doradd_net.Wire.status_not_primary}, so clients re-route.
+
+    Commit vs. loss: with [sync_replicas = k >= 1] a reply is released
+    only once [k] backups hold the entry durably, so an acknowledged
+    write survives any single failover; unacknowledged writes (at most
+    the unacked suffix) may be lost and will time out client-side.  With
+    [k = 0] (async) acked-but-unshipped writes can be lost — the
+    documented async contract. *)
+
+type role = Primary | Backup | Candidate | Fenced
+
+val role_to_string : role -> string
+
+type config = {
+  node_id : int;  (** unique, >= 0; ties in elections break upward *)
+  host : string;
+  client_port : int;  (** client-facing port; 0 picks ephemeral *)
+  repl_port : int;  (** replication/election port; 0 picks ephemeral *)
+  repl_fd : Unix.file_descr option;
+      (** pre-bound listening socket for the replication port (lets
+          tests fix a full peer topology before any node starts);
+          overrides [repl_port] *)
+  backup_of : (string * int) option;
+      (** replication address to try first when following *)
+  peers : (int * string * int) list;
+      (** [(node_id, host, repl_port)] of every {e other} cluster member *)
+  data_dir : string;
+  shards : int;
+  workers_per_shard : int;
+  fsync : bool;
+  sync_replicas : int;
+  heartbeat_s : float;
+  election_timeout_s : float;
+  initial_role : [ `Primary | `Backup ];
+}
+
+val make_config :
+  ?host:string ->
+  ?client_port:int ->
+  ?repl_port:int ->
+  ?repl_fd:Unix.file_descr ->
+  ?backup_of:string * int ->
+  ?peers:(int * string * int) list ->
+  ?shards:int ->
+  ?workers_per_shard:int ->
+  ?fsync:bool ->
+  ?sync_replicas:int ->
+  ?heartbeat_s:float ->
+  ?election_timeout_s:float ->
+  ?initial_role:[ `Primary | `Backup ] ->
+  node_id:int ->
+  data_dir:string ->
+  unit ->
+  config
+(** Defaults: loopback, ephemeral ports, 2 shards x 1 worker, fsync on,
+    [sync_replicas = 1], 50ms heartbeat, 500ms election timeout,
+    [`Backup]. *)
+
+type t
+
+val start : config -> Doradd_net.Backend.t -> t
+(** Recover local WAL state into [backend], then assume
+    [config.initial_role].  Returns immediately; the role machine runs
+    on background threads.
+    @raise Invalid_argument if [sync_replicas] exceeds the peer count. *)
+
+val role : t -> role
+val epoch : t -> int
+val node_id : t -> int
+
+val client_port : t -> int
+(** Actual bound client-facing port (replica front or primary server —
+    the same number across a promotion).  [0] until the role thread has
+    bound it. *)
+
+val repl_port : t -> int
+
+val durable : t -> int
+(** Local durable watermark ([-1] when empty). *)
+
+val applied : t -> int
+(** Replica applied watermark; equals {!durable} on a primary. *)
+
+val commit : t -> int
+(** Replication commit watermark: own feed's on a primary, the
+    heartbeat-advertised hint on a backup. *)
+
+val commit_hint : t -> int
+val elections_won : t -> int
+
+val digest : t -> int
+(** Backend state digest — meaningful once stopped (runtime drained). *)
+
+val wal_records : t -> (int * string) array
+(** Scan this node's WAL directory: [(seqno, body)] in seqno order.
+    Call after {!stop} or {!kill}. *)
+
+val stop : t -> unit
+(** Graceful: drain in-flight work, flush final gated replies (bounded
+    wait for acks), sync and close the WAL, join every thread.
+    Idempotent. *)
+
+val kill : t -> unit
+(** Abortive, the in-process stand-in for SIGKILL: every socket is shut
+    down {e first} — no further frame, ack or reply escapes — then
+    internal resources are reclaimed quietly ([Wal.crash_close]: the
+    unsynced buffer is dropped, as a crash would).  The node cannot be
+    restarted; start a fresh one over the same [data_dir]. *)

@@ -1,0 +1,218 @@
+(* Replication channel messages.  One Codec frame carries exactly one
+   message; the tag byte dispatches.  All integers little-endian.
+   Decoders are total on hostile input: every length/tag/range violation
+   is an [Error], never an exception — the same contract as Wire. *)
+
+type reason = Not_primary | Stale_epoch | Log_gap
+
+type hello = { h_epoch : int; h_next : int; h_node : int }
+
+type msg =
+  | Hello of hello
+  | Welcome of { w_epoch : int; w_next : int }
+  | Reject of { r_epoch : int; r_reason : reason }
+  | Entry of { e_epoch : int; e_seqno : int; e_body : string }
+  | Heartbeat of { b_epoch : int; b_commit : int }
+  | Ack of { a_epoch : int; a_durable : int; a_node : int }
+  | Vote_req of { v_term : int; v_durable : int; v_node : int }
+  | Vote of {
+      g_term : int;
+      g_granted : bool;
+      g_epoch : int;
+      g_durable : int;
+      g_node : int;
+    }
+
+let reason_to_string = function
+  | Not_primary -> "not primary"
+  | Stale_epoch -> "stale epoch"
+  | Log_gap -> "log gap"
+
+let max_node = 0xFFFF_FFFF
+
+(* ---- primitives ---------------------------------------------------- *)
+
+let put_u8 b pos v = Bytes.set b pos (Char.chr (v land 0xFF))
+
+let put_u32 b pos v =
+  put_u8 b pos v;
+  put_u8 b (pos + 1) (v lsr 8);
+  put_u8 b (pos + 2) (v lsr 16);
+  put_u8 b (pos + 3) (v lsr 24)
+
+let put_i64 b pos v = Bytes.set_int64_le b pos (Int64.of_int v)
+let get_u8 s pos = Char.code (String.get s pos)
+
+let get_u32 s pos =
+  (* Saturating, as in Wire/Codec: exact on 64-bit ints. *)
+  let b0 = get_u8 s pos
+  and b1 = get_u8 s (pos + 1)
+  and b2 = get_u8 s (pos + 2)
+  and b3 = get_u8 s (pos + 3) in
+  if b3 lsr (Sys.int_size - 25) <> 0 then max_int
+  else b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+let get_i64 s pos = Int64.to_int (String.get_int64_le s pos)
+
+let reason_code = function Not_primary -> 0 | Stale_epoch -> 1 | Log_gap -> 2
+
+let reason_of_code = function
+  | 0 -> Ok Not_primary
+  | 1 -> Ok Stale_epoch
+  | 2 -> Ok Log_gap
+  | c -> Error (Printf.sprintf "reject has bad reason %d" c)
+
+(* ---- encoding ------------------------------------------------------- *)
+
+let check_seq name v = if v < 0 then invalid_arg ("Protocol.encode: " ^ name ^ " < 0")
+let check_wm name v = if v < -1 then invalid_arg ("Protocol.encode: " ^ name ^ " < -1")
+
+let check_node v =
+  if v < 0 || v > max_node then invalid_arg "Protocol.encode: node_id out of range"
+
+let encode = function
+  | Hello { h_epoch; h_next; h_node } ->
+    check_seq "epoch" h_epoch;
+    check_seq "next" h_next;
+    check_node h_node;
+    let b = Bytes.create 21 in
+    Bytes.set b 0 'H';
+    put_i64 b 1 h_epoch;
+    put_i64 b 9 h_next;
+    put_u32 b 17 h_node;
+    Bytes.unsafe_to_string b
+  | Welcome { w_epoch; w_next } ->
+    check_seq "epoch" w_epoch;
+    check_seq "next" w_next;
+    let b = Bytes.create 17 in
+    Bytes.set b 0 'W';
+    put_i64 b 1 w_epoch;
+    put_i64 b 9 w_next;
+    Bytes.unsafe_to_string b
+  | Reject { r_epoch; r_reason } ->
+    check_seq "epoch" r_epoch;
+    let b = Bytes.create 10 in
+    Bytes.set b 0 'J';
+    put_i64 b 1 r_epoch;
+    put_u8 b 9 (reason_code r_reason);
+    Bytes.unsafe_to_string b
+  | Entry { e_epoch; e_seqno; e_body } ->
+    check_seq "epoch" e_epoch;
+    check_seq "seqno" e_seqno;
+    let n = String.length e_body in
+    let b = Bytes.create (17 + n) in
+    Bytes.set b 0 'E';
+    put_i64 b 1 e_epoch;
+    put_i64 b 9 e_seqno;
+    Bytes.blit_string e_body 0 b 17 n;
+    Bytes.unsafe_to_string b
+  | Heartbeat { b_epoch; b_commit } ->
+    check_seq "epoch" b_epoch;
+    check_wm "commit" b_commit;
+    let b = Bytes.create 17 in
+    Bytes.set b 0 'B';
+    put_i64 b 1 b_epoch;
+    put_i64 b 9 b_commit;
+    Bytes.unsafe_to_string b
+  | Ack { a_epoch; a_durable; a_node } ->
+    check_seq "epoch" a_epoch;
+    check_wm "durable" a_durable;
+    check_node a_node;
+    let b = Bytes.create 21 in
+    Bytes.set b 0 'A';
+    put_i64 b 1 a_epoch;
+    put_i64 b 9 a_durable;
+    put_u32 b 17 a_node;
+    Bytes.unsafe_to_string b
+  | Vote_req { v_term; v_durable; v_node } ->
+    check_seq "term" v_term;
+    check_wm "durable" v_durable;
+    check_node v_node;
+    let b = Bytes.create 21 in
+    Bytes.set b 0 'V';
+    put_i64 b 1 v_term;
+    put_i64 b 9 v_durable;
+    put_u32 b 17 v_node;
+    Bytes.unsafe_to_string b
+  | Vote { g_term; g_granted; g_epoch; g_durable; g_node } ->
+    check_seq "term" g_term;
+    check_seq "epoch" g_epoch;
+    check_wm "durable" g_durable;
+    check_node g_node;
+    let b = Bytes.create 30 in
+    Bytes.set b 0 'G';
+    put_i64 b 1 g_term;
+    put_u8 b 9 (if g_granted then 1 else 0);
+    put_i64 b 10 g_epoch;
+    put_i64 b 18 g_durable;
+    put_u32 b 26 g_node;
+    Bytes.unsafe_to_string b
+
+(* ---- decoding ------------------------------------------------------- *)
+
+let need s n what = if String.length s <> n then Error (what ^ " has wrong length") else Ok ()
+
+let ( let* ) = Result.bind
+
+let seq_field what v = if v < 0 then Error (what ^ " is negative") else Ok v
+let wm_field what v = if v < -1 then Error (what ^ " is below -1") else Ok v
+
+let decode s =
+  if String.length s < 1 then Error "empty message"
+  else
+    match s.[0] with
+    | 'H' ->
+      let* () = need s 21 "hello" in
+      let* h_epoch = seq_field "hello epoch" (get_i64 s 1) in
+      let* h_next = seq_field "hello next" (get_i64 s 9) in
+      Ok (Hello { h_epoch; h_next; h_node = get_u32 s 17 })
+    | 'W' ->
+      let* () = need s 17 "welcome" in
+      let* w_epoch = seq_field "welcome epoch" (get_i64 s 1) in
+      let* w_next = seq_field "welcome next" (get_i64 s 9) in
+      Ok (Welcome { w_epoch; w_next })
+    | 'J' ->
+      let* () = need s 10 "reject" in
+      let* r_epoch = seq_field "reject epoch" (get_i64 s 1) in
+      let* r_reason = reason_of_code (get_u8 s 9) in
+      Ok (Reject { r_epoch; r_reason })
+    | 'E' ->
+      if String.length s < 17 then Error "entry shorter than header"
+      else
+        let* e_epoch = seq_field "entry epoch" (get_i64 s 1) in
+        let* e_seqno = seq_field "entry seqno" (get_i64 s 9) in
+        Ok (Entry { e_epoch; e_seqno; e_body = String.sub s 17 (String.length s - 17) })
+    | 'B' ->
+      let* () = need s 17 "heartbeat" in
+      let* b_epoch = seq_field "heartbeat epoch" (get_i64 s 1) in
+      let* b_commit = wm_field "heartbeat commit" (get_i64 s 9) in
+      Ok (Heartbeat { b_epoch; b_commit })
+    | 'A' ->
+      let* () = need s 21 "ack" in
+      let* a_epoch = seq_field "ack epoch" (get_i64 s 1) in
+      let* a_durable = wm_field "ack durable" (get_i64 s 9) in
+      Ok (Ack { a_epoch; a_durable; a_node = get_u32 s 17 })
+    | 'V' ->
+      let* () = need s 21 "vote-req" in
+      let* v_term = seq_field "vote-req term" (get_i64 s 1) in
+      let* v_durable = wm_field "vote-req durable" (get_i64 s 9) in
+      Ok (Vote_req { v_term; v_durable; v_node = get_u32 s 17 })
+    | 'G' ->
+      let* () = need s 30 "vote" in
+      let* g_term = seq_field "vote term" (get_i64 s 1) in
+      let* g_granted =
+        match get_u8 s 9 with
+        | 0 -> Ok false
+        | 1 -> Ok true
+        | c -> Error (Printf.sprintf "vote has bad granted flag %d" c)
+      in
+      let* g_epoch = seq_field "vote epoch" (get_i64 s 10) in
+      let* g_durable = wm_field "vote durable" (get_i64 s 18) in
+      Ok (Vote { g_term; g_granted; g_epoch; g_durable; g_node = get_u32 s 26 })
+    | c -> Error (Printf.sprintf "unknown message tag %C" c)
+
+(* Candidate ordering for elections: higher durable watermark wins, node
+   id breaks ties — a deterministic total order so two candidates can
+   never both believe they hold the better log. *)
+let candidate_geq ~durable:(d1, n1) ~than:(d2, n2) =
+  d1 > d2 || (d1 = d2 && n1 >= n2)

@@ -63,14 +63,16 @@ type 'req t = {
   mutable stopped : bool;
 }
 
-let create ?(queue_capacity = 4096) ?durability ?(max_batch = 64) ~deliver () =
+let create ?(queue_capacity = 4096) ?durability ?(max_batch = 64) ?(first_seqno = 0)
+    ~deliver () =
   if max_batch < 1 then invalid_arg "Sequencer.create: max_batch < 1";
+  if first_seqno < 0 then invalid_arg "Sequencer.create: first_seqno < 0";
   let input = Mpmc.create ~dummy:None ~capacity:queue_capacity in
   let pub = Publication.create () in
   let domain =
     Domain.spawn (fun () ->
         let b = Backoff.create () in
-        let seqno = ref 0 in
+        let seqno = ref first_seqno in
         let publish req =
           Publication.publish pub req ~deliver:(fun req ->
               deliver ~seqno:!seqno req;

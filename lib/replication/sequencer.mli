@@ -71,14 +71,18 @@ val create :
   ?queue_capacity:int ->
   ?durability:'req durability ->
   ?max_batch:int ->
+  ?first_seqno:int ->
   deliver:(seqno:int -> 'req -> unit) ->
   unit ->
   'req t
 (** Start the sequencer domain.  [deliver] runs on that domain, in
     sequence order, exactly once per request.  With [durability], a
     request is delivered only after the group commit covering it;
-    [max_batch] (default 64) caps the commit batch.  {!stop} does not
-    close the WAL — the caller owns it (recovery needs it after the
+    [max_batch] (default 64) caps the commit batch.  [first_seqno]
+    (default 0) is the seqno assigned to the first request — a restarted
+    or newly promoted primary passes [Wal.next_seqno] so stamps continue
+    the existing log instead of re-numbering from zero.  {!stop} does
+    not close the WAL — the caller owns it (recovery needs it after the
     sequencer is gone). *)
 
 val submit : 'req t -> 'req -> unit

@@ -1,0 +1,568 @@
+(* Replication tests: protocol codec totality, the persistent epoch
+   fence, the applied-watermark gate, segment-aware WAL tailing, the
+   applier's fencing/density rules over a scripted socket, and live
+   multi-node clusters — whose central claim is the failover win
+   condition: at every kill point the surviving replica's state equals
+   a serial replay of the acked durable prefix. *)
+
+module Repl = Doradd_repl
+module Proto = Repl.Protocol
+module Net = Doradd_net
+module Wire = Net.Wire
+module Persist = Doradd_persist
+module Wal = Persist.Wal
+module Codec = Persist.Codec
+module Rng = Doradd_stats.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_tmp_dir f =
+  let dir = Filename.temp_dir "doradd_repl_test" "" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let random_msg rng =
+  let wm () = Rng.int rng 1000 - 1 in
+  match Rng.int rng 8 with
+  | 0 ->
+    Proto.Hello { h_epoch = Rng.int rng 1000; h_next = Rng.int rng 1000; h_node = Rng.int rng 100 }
+  | 1 -> Proto.Welcome { w_epoch = Rng.int rng 1000; w_next = Rng.int rng 1000 }
+  | 2 ->
+    Proto.Reject
+      {
+        r_epoch = Rng.int rng 1000;
+        r_reason = [| Proto.Not_primary; Proto.Stale_epoch; Proto.Log_gap |].(Rng.int rng 3);
+      }
+  | 3 ->
+    Proto.Entry
+      {
+        e_epoch = Rng.int rng 1000;
+        e_seqno = Rng.int rng 100_000;
+        e_body = String.init (Rng.int rng 48) (fun _ -> Char.chr (Rng.int rng 256));
+      }
+  | 4 -> Proto.Heartbeat { b_epoch = Rng.int rng 1000; b_commit = wm () }
+  | 5 -> Proto.Ack { a_epoch = Rng.int rng 1000; a_durable = wm (); a_node = Rng.int rng 100 }
+  | 6 -> Proto.Vote_req { v_term = Rng.int rng 1000; v_durable = wm (); v_node = Rng.int rng 100 }
+  | _ ->
+    Proto.Vote
+      {
+        g_term = Rng.int rng 1000;
+        g_granted = Rng.bool rng;
+        g_epoch = Rng.int rng 1000;
+        g_durable = wm ();
+        g_node = Rng.int rng 100;
+      }
+
+let test_protocol_roundtrips () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 400 do
+    let m = random_msg rng in
+    match Proto.decode (Proto.encode m) with
+    | Ok m' -> checkb "roundtrip" true (m = m')
+    | Error e -> Alcotest.fail e
+  done
+
+let prop_protocol_total =
+  QCheck.Test.make ~name:"decode is total on hostile bytes" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s ->
+      (match Proto.decode s with Ok _ | Error _ -> true)
+      (* truncations of valid encodings must never raise either *)
+      &&
+      let m = random_msg (Rng.create (Hashtbl.hash s)) in
+      let e = Proto.encode m in
+      List.for_all
+        (fun k -> match Proto.decode (String.sub e 0 k) with Ok _ | Error _ -> true)
+        (List.init (String.length e) Fun.id))
+
+let test_candidate_geq () =
+  checkb "higher durable wins" true (Proto.candidate_geq ~durable:(5, 1) ~than:(4, 9));
+  checkb "lower durable loses" false (Proto.candidate_geq ~durable:(3, 9) ~than:(4, 1));
+  checkb "tie breaks up" true (Proto.candidate_geq ~durable:(4, 2) ~than:(4, 1));
+  checkb "tie equal id" true (Proto.candidate_geq ~durable:(4, 1) ~than:(4, 1));
+  checkb "tie breaks down" false (Proto.candidate_geq ~durable:(4, 1) ~than:(4, 2));
+  checkb "empty log loses" false (Proto.candidate_geq ~durable:(-1, 9) ~than:(0, 0))
+
+(* ------------------------------------------------------------------ *)
+(* Epochs                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_epochs () =
+  with_tmp_dir @@ fun dir ->
+  let dir = Filename.concat dir "node" in
+  checki "no file" 0 (Repl.Epochs.load ~dir);
+  Repl.Epochs.store ~dir 7;
+  checki "store/load" 7 (Repl.Epochs.load ~dir);
+  Repl.Epochs.store ~dir 9;
+  checki "overwrite" 9 (Repl.Epochs.load ~dir);
+  let oc = open_out (Filename.concat dir "EPOCH") in
+  output_string oc "not a number";
+  close_out oc;
+  checkb "corrupt file refused" true
+    (match Repl.Epochs.load ~dir with exception Failure _ -> true | _ -> false);
+  checkb "negative refused" true
+    (match Repl.Epochs.store ~dir (-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Gate                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_gate_contiguity () =
+  let g = Repl.Gate.create ~applied:(-1) () in
+  checki "empty" (-1) (Repl.Gate.applied g);
+  Repl.Gate.complete g 2;
+  Repl.Gate.complete g 1;
+  checki "gap holds" (-1) (Repl.Gate.applied g);
+  Repl.Gate.complete g 0;
+  checki "prefix closes" 2 (Repl.Gate.applied g);
+  Repl.Gate.complete g 1;
+  checki "duplicate is fine" 2 (Repl.Gate.applied g);
+  checkb "await below watermark immediate" true (Repl.Gate.await_blocking ~timeout_s:0.5 g 2);
+  checkb "await beyond times out" false (Repl.Gate.await_blocking ~timeout_s:0.05 g 5);
+  Repl.Gate.complete g 3;
+  Repl.Gate.complete g 4;
+  Repl.Gate.complete g 5;
+  checkb "await after advance" true (Repl.Gate.await_blocking ~timeout_s:0.5 g 5)
+
+(* ------------------------------------------------------------------ *)
+(* Wal.tail_from = scan suffix                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_tail_from =
+  QCheck.Test.make ~name:"tail_from = scan filtered to [from, upto]" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      with_tmp_dir @@ fun dir ->
+      let rng = Rng.create (seed lxor 0x7a11) in
+      (* tiny segments force rotations mid-range *)
+      let wal = Wal.open_ ~segment_bytes:(64 + Rng.int rng 192) ~fsync:false ~dir () in
+      let n = 1 + Rng.int rng 120 in
+      for i = 0 to n - 1 do
+        ignore
+          (Wal.append wal
+             (String.init (Rng.int rng 24) (fun k -> Char.chr ((i + k) land 0xff))));
+        if Rng.int rng 4 = 0 then Wal.sync wal
+      done;
+      Wal.close wal;
+      let all = (Wal.scan ~dir).Wal.records in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        let from = Rng.int rng (n + 4) - 2 in
+        let upto =
+          if Rng.bool rng then None else Some (from + Rng.int rng (n - from + 4))
+        in
+        let got = List.of_seq (Wal.tail_from ?upto ~dir ~from ()) in
+        let want =
+          Array.to_list all
+          |> List.filter (fun (s, _) ->
+                 s >= from && match upto with None -> true | Some u -> s <= u)
+        in
+        if got <> want then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Applier fencing and density over a scripted socket                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive Applier.run on one end of a socketpair and play the primary by
+   hand on the other: read its hello, answer welcome, then misbehave. *)
+let with_scripted_applier ~epoch ~script check_outcome =
+  with_tmp_dir @@ fun dir ->
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let wal = Wal.open_ ~fsync:false ~dir () in
+  let adopted = ref [] in
+  let applied = ref [] in
+  let outcome = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        outcome :=
+          Some
+            (Repl.Applier.run ~fd:a ~node_id:1 ~epoch
+               ~on_epoch:(fun e -> adopted := e :: !adopted)
+               ~wal
+               ~apply:(fun ~seqno body -> applied := (seqno, body) :: !applied)
+               ~on_heartbeat:(fun ~commit:_ -> ())
+               ~serve_reads:(fun () -> ())
+               ~election_timeout_s:5.0
+               ~stopping:(fun () -> false)
+               ()))
+      ()
+  in
+  let reader = Net.Frame_reader.create () in
+  let buf = Bytes.create 4096 in
+  let rec read_frame () =
+    match Net.Frame_reader.next reader with
+    | `Frame f -> (
+      match Proto.decode f with Ok m -> m | Error e -> Alcotest.fail e)
+    | `Error e -> Alcotest.fail (Codec.error_to_string e)
+    | `Need_more ->
+      let k = Unix.read b buf 0 (Bytes.length buf) in
+      if k = 0 then Alcotest.fail "applier closed early";
+      Net.Frame_reader.feed reader buf ~pos:0 ~len:k;
+      read_frame ()
+  in
+  let send m =
+    let f = Codec.frame (Proto.encode m) in
+    ignore (Unix.write_substring b f 0 (String.length f))
+  in
+  (match read_frame () with
+  | Proto.Hello h ->
+    checki "hello epoch" epoch h.Proto.h_epoch;
+    checki "hello next" 0 h.Proto.h_next
+  | _ -> Alcotest.fail "expected hello");
+  script ~send ~read_frame ~shutdown:(fun () -> Unix.shutdown b Unix.SHUTDOWN_ALL);
+  Thread.join th;
+  Unix.close b;
+  Wal.close wal;
+  check_outcome ~outcome:(Option.get !outcome) ~adopted:!adopted ~applied:!applied
+
+let test_applier_fences_stale_epoch () =
+  with_scripted_applier ~epoch:5
+    ~script:(fun ~send ~read_frame ~shutdown:_ ->
+      send (Proto.Welcome { w_epoch = 5; w_next = 0 });
+      (* a deposed primary's frame: below our epoch *)
+      send (Proto.Entry { e_epoch = 3; e_seqno = 0; e_body = "stale" });
+      match read_frame () with
+      | Proto.Reject { r_reason = Proto.Stale_epoch; r_epoch } ->
+        checki "reject carries our fence" 5 r_epoch
+      | _ -> Alcotest.fail "expected stale-epoch reject")
+    (fun ~outcome ~adopted:_ ~applied ->
+      checkb "outcome" true (outcome = Repl.Applier.Stale_primary 3);
+      checkb "nothing applied" true (applied = []))
+
+let test_applier_adopts_higher_epoch () =
+  with_scripted_applier ~epoch:2
+    ~script:(fun ~send ~read_frame ~shutdown ->
+      send (Proto.Welcome { w_epoch = 4; w_next = 0 });
+      send (Proto.Entry { e_epoch = 4; e_seqno = 0; e_body = "fresh" });
+      (match read_frame () with
+      | Proto.Ack { a_durable; _ } -> checki "acked" 0 a_durable
+      | _ -> Alcotest.fail "expected ack");
+      shutdown ())
+    (fun ~outcome ~adopted ~applied ->
+      checkb "outcome" true (outcome = Repl.Applier.Disconnected);
+      checkb "adopted the higher epoch" true (List.mem 4 adopted);
+      checkb "applied the entry" true (applied = [ (0, "fresh") ]))
+
+let test_applier_rejects_gap () =
+  with_scripted_applier ~epoch:1
+    ~script:(fun ~send ~read_frame:_ ~shutdown:_ ->
+      send (Proto.Welcome { w_epoch = 1; w_next = 0 });
+      (* density violation: seqno 3 when the wal expects 0 *)
+      send (Proto.Entry { e_epoch = 1; e_seqno = 3; e_body = "gap" }))
+    (fun ~outcome ~adopted:_ ~applied ->
+      checkb "outcome" true (outcome = Repl.Applier.Disconnected);
+      checkb "nothing applied" true (applied = []))
+
+(* ------------------------------------------------------------------ *)
+(* Live clusters                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bind_listener () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 64;
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, p) -> (fd, p)
+  | Unix.ADDR_UNIX _ -> assert false
+
+let wait_port node =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Repl.Node.client_port node = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  let p = Repl.Node.client_port node in
+  if p = 0 then Alcotest.fail "node never bound its client port";
+  p
+
+let kv_body rng =
+  Wire.encode_kv
+    {
+      Wire.work = 0;
+      ops =
+        Array.init (1 + Rng.int rng 3) (fun _ ->
+            { Wire.key = Rng.int rng 1024; update = Rng.bool rng });
+    }
+
+let make_backend () = Net.Backend.kv ~n_keys:1024 ()
+
+let serial_digest bodies = fst (Net.Backend.replay_serial make_backend bodies)
+
+(* A cluster of [n] nodes with pre-bound replication listeners so the
+   peer topology is complete before any node starts.  Node 0 is the
+   initial primary. *)
+let start_cluster ?(sync_replicas = 1) ~dir n =
+  let listeners = Array.init n (fun _ -> bind_listener ()) in
+  let peers i =
+    List.filter_map
+      (fun j -> if j = i then None else Some (j, "127.0.0.1", snd listeners.(j)))
+      (List.init n Fun.id)
+  in
+  Array.init n (fun i ->
+      Repl.Node.start
+        (Repl.Node.make_config ~node_id:i
+           ~data_dir:(Filename.concat dir (Printf.sprintf "n%d" i))
+           ~repl_fd:(fst listeners.(i))
+           ?backup_of:(if i = 0 then None else Some ("127.0.0.1", snd listeners.(0)))
+           ~peers:(peers i) ~fsync:false ~sync_replicas ~heartbeat_s:0.01
+           ~election_timeout_s:0.2
+           ~initial_role:(if i = 0 then `Primary else `Backup)
+           ())
+        (make_backend ()))
+
+let test_single_node_restart_exactly_once () =
+  with_tmp_dir @@ fun dir ->
+  let run_batch ~start k =
+    let listeners = [| bind_listener () |] in
+    let node =
+      Repl.Node.start
+        (Repl.Node.make_config ~node_id:0 ~data_dir:(Filename.concat dir "n0")
+           ~repl_fd:(fst listeners.(0)) ~peers:[] ~fsync:false ~sync_replicas:0
+           ~initial_role:`Primary ())
+        (make_backend ())
+    in
+    let c = Net.Client.connect ~port:(wait_port node) () in
+    let rng = Rng.create (41 + start) in
+    for i = 0 to k - 1 do
+      let r = Net.Client.call c ~req_id:i ~body:(kv_body rng) in
+      checki "status" Wire.status_ok r.Wire.status;
+      (* stamps continue exactly where the previous incarnation stopped *)
+      checki "stamp" (start + i) r.Wire.stamp
+    done;
+    Net.Client.close c;
+    Repl.Node.stop node;
+    node
+  in
+  let a = run_batch ~start:0 20 in
+  let b = run_batch ~start:20 15 in
+  let log = Repl.Node.wal_records b in
+  checki "dense log across restart" 35 (Array.length log);
+  Array.iteri (fun i (s, _) -> checki "seqno" i s) log;
+  (* each entry applied exactly once: the restarted node's digest equals
+     one serial replay of the full log *)
+  checki "digest" (serial_digest (Array.map snd log)) (Repl.Node.digest b);
+  ignore a
+
+let test_two_node_replication_converges () =
+  with_tmp_dir @@ fun dir ->
+  let nodes = start_cluster ~dir 2 in
+  let c = Net.Client.connect ~port:(wait_port nodes.(0)) () in
+  let rng = Rng.create 99 in
+  for i = 0 to 39 do
+    let r = Net.Client.call c ~req_id:i ~body:(kv_body rng) in
+    checki "status" Wire.status_ok r.Wire.status
+  done;
+  Net.Client.close c;
+  Repl.Node.stop nodes.(0);
+  Repl.Node.stop nodes.(1);
+  let l0 = Repl.Node.wal_records nodes.(0) and l1 = Repl.Node.wal_records nodes.(1) in
+  checkb "logs identical" true (l0 = l1);
+  checki "all shipped" 40 (Array.length l1);
+  let want = serial_digest (Array.map snd l0) in
+  checki "primary digest" want (Repl.Node.digest nodes.(0));
+  checki "backup digest" want (Repl.Node.digest nodes.(1))
+
+(* The kill-point invariant: wherever the primary dies, every write the
+   client saw acknowledged is in the surviving backup's log at its acked
+   stamp, and the backup's state is a serial replay of its own log
+   (a clean prefix of the primary's). *)
+let test_kill_point_acked_prefix () =
+  let rng = Rng.create 1234 in
+  for _round = 1 to 3 do
+    with_tmp_dir @@ fun dir ->
+    let nodes = start_cluster ~dir 2 in
+    let c = Net.Client.connect ~port:(wait_port nodes.(0)) () in
+    let kill_at = 5 + Rng.int rng 20 in
+    let acked = ref [] in
+    (try
+       for i = 0 to 29 do
+         let body = kv_body rng in
+         let r = Net.Client.call c ~req_id:i ~body in
+         if r.Wire.status = Wire.status_ok then acked := (r.Wire.stamp, body) :: !acked;
+         if List.length !acked = kill_at then Repl.Node.kill nodes.(0)
+       done
+     with _ -> ());
+    Net.Client.close c;
+    Repl.Node.stop nodes.(1);
+    let backup_log = Repl.Node.wal_records nodes.(1) in
+    let primary_log = Repl.Node.wal_records nodes.(0) in
+    (* backup holds a clean prefix of the dead primary's durable log *)
+    checkb "backup is a prefix" true
+      (Array.length backup_log <= Array.length primary_log
+      && Array.for_all
+           (fun i -> backup_log.(i) = primary_log.(i))
+           (Array.init (Array.length backup_log) Fun.id));
+    (* every acked write is present at its acked stamp *)
+    List.iter
+      (fun (stamp, body) ->
+        checkb "acked write survives" true
+          (stamp < Array.length backup_log && snd backup_log.(stamp) = body))
+      !acked;
+    checki "backup state = serial replay of its log"
+      (serial_digest (Array.map snd backup_log))
+      (Repl.Node.digest nodes.(1))
+  done
+
+let test_stale_bounded_read () =
+  with_tmp_dir @@ fun dir ->
+  let nodes = start_cluster ~dir 2 in
+  let c = Net.Client.connect ~port:(wait_port nodes.(0)) () in
+  let rng = Rng.create 7 in
+  let last = ref (-1) in
+  for i = 0 to 24 do
+    let r = Net.Client.call c ~req_id:i ~body:(kv_body rng) in
+    checki "status" Wire.status_ok r.Wire.status;
+    last := r.Wire.stamp
+  done;
+  Net.Client.close c;
+  (* oracle: replay the primary's full log, then run the read at the
+     position the replica will execute it at (log end, writes stopped) *)
+  let bodies = Array.map snd (Repl.Node.wal_records nodes.(0)) in
+  let oracle = make_backend () in
+  Array.iteri
+    (fun stamp body ->
+      match oracle.Net.Backend.prepare ~stamp body with
+      | Ok p -> ignore (p.Net.Backend.run ())
+      | Error e -> Alcotest.fail e)
+    bodies;
+  let rc = Net.Client.connect ~port:(wait_port nodes.(1)) () in
+  for i = 0 to 9 do
+    let inner =
+      Wire.encode_kv
+        { Wire.work = 0; ops = [| { Wire.key = Rng.int rng 1024; update = false } |] }
+    in
+    let expect =
+      match oracle.Net.Backend.prepare ~stamp:(Array.length bodies) inner with
+      | Ok p -> p.Net.Backend.run ()
+      | Error e -> Alcotest.fail e
+    in
+    let r =
+      Net.Client.call rc ~req_id:i ~body:(Wire.encode_read ~min_stamp:!last ~body:inner)
+    in
+    checki "read status" Wire.status_ok r.Wire.status;
+    checkb "staleness bound" true (r.Wire.stamp >= !last);
+    checki "read result" expect r.Wire.result
+  done;
+  (* a write against the replica must bounce, not execute *)
+  let r = Net.Client.call rc ~req_id:99 ~body:(kv_body rng) in
+  checki "write bounced" Wire.status_not_primary r.Wire.status;
+  Net.Client.close rc;
+  Repl.Node.stop nodes.(0);
+  Repl.Node.stop nodes.(1)
+
+let test_failover_elects_and_converges () =
+  with_tmp_dir @@ fun dir ->
+  let nodes = start_cluster ~dir 3 in
+  let addrs = Array.to_list (Array.map (fun n -> ("127.0.0.1", wait_port n)) nodes) in
+  let session = Net.Client.Session.create ~req_timeout_s:0.5 ~addrs () in
+  let rng = Rng.create 5 in
+  let ok = ref 0 in
+  for i = 0 to 39 do
+    (match Net.Client.Session.call ~retry_budget_s:15.0 session ~req_id:i ~body:(kv_body rng) with
+    | Ok r when r.Wire.status = Wire.status_ok -> incr ok
+    | Ok _ | Error _ -> ());
+    if i = 14 then Repl.Node.kill nodes.(0)
+  done;
+  Net.Client.Session.close session;
+  checki "every write eventually acked" 40 !ok;
+  let survivors = [ nodes.(1); nodes.(2) ] in
+  checkb "someone took over" true
+    (List.exists (fun n -> Repl.Node.role n = Repl.Node.Primary) survivors);
+  checkb "epoch advanced" true (List.exists (fun n -> Repl.Node.epoch n > 0) survivors);
+  List.iter Repl.Node.stop survivors;
+  let logs = List.map Repl.Node.wal_records survivors in
+  let digests = List.map Repl.Node.digest survivors in
+  let primary_log =
+    List.fold_left (fun a l -> if Array.length l > Array.length a then l else a) [||] logs
+  in
+  let want = serial_digest (Array.map snd primary_log) in
+  List.iter (fun d -> checki "survivor digest = serial replay" want d) digests
+
+(* ------------------------------------------------------------------ *)
+(* Client session: reconnect and timeout                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_reconnect_and_timeout () =
+  (* a listener that never accepts: connects succeed, replies never come *)
+  let black_hole, bh_port = bind_listener () in
+  with_tmp_dir @@ fun dir ->
+  let nodes = start_cluster ~dir 1 ~sync_replicas:0 in
+  let live = wait_port nodes.(0) in
+  let session =
+    Net.Client.Session.create ~req_timeout_s:0.1
+      ~addrs:[ ("127.0.0.1", bh_port); ("127.0.0.1", live) ]
+      ()
+  in
+  let rng = Rng.create 3 in
+  (match Net.Client.Session.call ~retry_budget_s:10.0 session ~req_id:0 ~body:(kv_body rng) with
+  | Ok r -> checki "status" Wire.status_ok r.Wire.status
+  | Error e -> Alcotest.fail e);
+  let events = Net.Client.Session.events session in
+  checkb "timed out on the black hole" true
+    (List.exists (function `Timeout _ -> true | _ -> false) events);
+  checkb "reconnected to the live node" true
+    (List.exists (function `Reconnected (_, p) -> p = live | _ -> false) events);
+  (* with every address dead, the budget bounds the call *)
+  Repl.Node.kill nodes.(0);
+  let t0 = Unix.gettimeofday () in
+  (match Net.Client.Session.call ~retry_budget_s:0.5 session ~req_id:1 ~body:(kv_body rng) with
+  | Ok _ -> Alcotest.fail "call succeeded against a dead cluster"
+  | Error _ -> ());
+  checkb "budget respected" true (Unix.gettimeofday () -. t0 < 5.0);
+  Net.Client.Session.close session;
+  Unix.close black_hole
+
+let () =
+  Alcotest.run "repl"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_protocol_roundtrips;
+          QCheck_alcotest.to_alcotest prop_protocol_total;
+          Alcotest.test_case "election order" `Quick test_candidate_geq;
+        ] );
+      ( "epochs",
+        [ Alcotest.test_case "persist / corrupt / negative" `Quick test_epochs ] );
+      ( "gate",
+        [ Alcotest.test_case "contiguity and await" `Quick test_gate_contiguity ] );
+      ("wal", [ QCheck_alcotest.to_alcotest prop_tail_from ]);
+      ( "applier",
+        [
+          Alcotest.test_case "stale epoch is fenced" `Quick test_applier_fences_stale_epoch;
+          Alcotest.test_case "higher epoch is adopted" `Quick
+            test_applier_adopts_higher_epoch;
+          Alcotest.test_case "seqno gap ends the session" `Quick test_applier_rejects_gap;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "restart applies exactly once" `Quick
+            test_single_node_restart_exactly_once;
+          Alcotest.test_case "two nodes converge" `Quick test_two_node_replication_converges;
+          Alcotest.test_case "acked prefix survives any kill point" `Quick
+            test_kill_point_acked_prefix;
+          Alcotest.test_case "stale-bounded replica reads" `Quick test_stale_bounded_read;
+          Alcotest.test_case "failover elects and converges" `Quick
+            test_failover_elects_and_converges;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "reconnect, timeout, budget" `Quick
+            test_session_reconnect_and_timeout;
+        ] );
+    ]
