@@ -734,7 +734,7 @@ let repl_tier ~seed ~n =
          ~data_dir:(Filename.concat dir (Printf.sprintf "n%d" i))
          ?repl_fd ?backup_of ~peers:(peers i) ~fsync:false ~sync_replicas:1
          ~heartbeat_s:0.01 ~election_timeout_s:0.3 ~initial_role ())
-      (make_backend ())
+      make_backend
   in
   let n0 = start_node ~repl_fd:(fst listeners.(0)) 0 `Primary in
   let hint = ("127.0.0.1", rport 0) in

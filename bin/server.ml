@@ -59,7 +59,7 @@ let install_stop () =
   ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
   stop_requested
 
-let run_replicated ~host ~port ~backend ~shards ~workers_per_shard ~data_dir
+let run_replicated ~host ~port ~make_backend ~shards ~workers_per_shard ~data_dir
     ~no_fsync ~node_id ~repl_port ~backup_of ~peers ~sync_replicas ~heartbeat_ms
     ~election_timeout_ms ~primary =
   let cfg =
@@ -70,7 +70,7 @@ let run_replicated ~host ~port ~backend ~shards ~workers_per_shard ~data_dir
       ~initial_role:(if primary then `Primary else `Backup)
       ~node_id ~data_dir ()
   in
-  let node = Repl.Node.start cfg backend in
+  let node = Repl.Node.start cfg make_backend in
   let deadline = Unix.gettimeofday () +. 5.0 in
   while Repl.Node.client_port node = 0 && Unix.gettimeofday () < deadline do
     Unix.sleepf 0.01
@@ -106,14 +106,20 @@ let run host port backend_name shards workers_per_shard durable no_fsync n_keys
     election_timeout_ms primary =
   match make_backend backend_name n_keys warehouses () with
   | Error msg -> `Error (false, msg)
-  | Ok backend when node_id >= 0 -> (
+  | Ok _ when node_id >= 0 -> (
     match (durable, parse_peers peers, Option.map parse_addr backup_of) with
     | None, _, _ ->
       `Error (false, "replicated mode needs --durable DIR as the node's data dir")
     | _, Error e, _ | _, _, Some (Error e) -> `Error (false, e)
     | Some data_dir, Ok peers, backup_of ->
       let backup_of = Option.map Result.get_ok backup_of in
-      run_replicated ~host ~port ~backend ~shards ~workers_per_shard ~data_dir
+      (* The node rebuilds its backend from scratch when log
+         reconciliation truncates a divergent suffix — hence a factory,
+         validated once above. *)
+      let make_backend () =
+        Result.get_ok (make_backend backend_name n_keys warehouses ())
+      in
+      run_replicated ~host ~port ~make_backend ~shards ~workers_per_shard ~data_dir
         ~no_fsync ~node_id ~repl_port ~backup_of ~peers ~sync_replicas
         ~heartbeat_ms ~election_timeout_ms ~primary)
   | Ok backend ->

@@ -555,16 +555,19 @@ let failover =
        back as errors, never exceptions *)
     for seqno = 0 to min n (kill + lag) - 1 do
       let body = body_of log.(seqno) in
-      let frame = Proto.encode (Proto.Entry { e_epoch = epoch; e_seqno = seqno; e_body = body }) in
+      let frame =
+        Proto.encode
+          (Proto.Entry { e_epoch = epoch; e_seqno = seqno; e_origin = epoch; e_body = body })
+      in
       match Proto.decode frame with
-      | Ok (Proto.Entry { e_epoch; e_seqno; e_body }) ->
+      | Ok (Proto.Entry { e_epoch; e_seqno; e_origin; e_body }) ->
         check "entry frame roundtrip diverged"
-          (e_epoch = epoch && e_seqno = seqno && e_body = body);
-        (* truncations inside the 17-byte entry header must be errors
+          (e_epoch = epoch && e_seqno = seqno && e_origin = epoch && e_body = body);
+        (* truncations inside the 25-byte entry header must be errors
            (past it they are legal frames with a shorter body — torn
            bodies are the Codec CRC's job, not the protocol's) *)
         check "hostile decode raised or accepted garbage"
-          (match Proto.decode (String.sub frame 0 (Rng.int rng 17)) with
+          (match Proto.decode (String.sub frame 0 (Rng.int rng 25)) with
           | Ok _ | (exception _) -> false
           | Error _ -> true)
       | Ok _ | Error _ -> check "entry frame failed to decode" false
@@ -589,11 +592,22 @@ let failover =
        pick the holder of the acked prefix, and ties must break upward. *)
     let behind = 1 + Rng.int rng 3 in
     check "election order dropped the acked prefix"
-      (Proto.candidate_geq ~durable:(kill - 1, 1) ~than:(kill - 1 - behind, 2)
-      && not (Proto.candidate_geq ~durable:(kill - 1 - behind, 2) ~than:(kill - 1, 1)));
+      (Proto.candidate_geq ~cand:(epoch, kill - 1, 1) ~than:(epoch, kill - 1 - behind, 2)
+      && not
+           (Proto.candidate_geq ~cand:(epoch, kill - 1 - behind, 2)
+              ~than:(epoch, kill - 1, 1)));
     check "election tie must break to the higher node id"
-      (Proto.candidate_geq ~durable:(kill - 1, 2) ~than:(kill - 1, 1)
-      && not (Proto.candidate_geq ~durable:(kill - 1, 1) ~than:(kill - 1, 2)));
+      (Proto.candidate_geq ~cand:(epoch, kill - 1, 2) ~than:(epoch, kill - 1, 1)
+      && not (Proto.candidate_geq ~cand:(epoch, kill - 1, 1) ~than:(epoch, kill - 1, 2)));
+    (* the last-entry epoch dominates length: a longer log of uncommitted
+       writes from a deposed primaryship must lose to a shorter
+       newer-epoch log *)
+    check "election order let a deposed primaryship's longer log win"
+      (Proto.candidate_geq ~cand:(epoch + 1, kill - 1 - behind, 1)
+         ~than:(epoch, kill - 1, 2)
+      && not
+           (Proto.candidate_geq ~cand:(epoch, kill - 1, 2)
+              ~than:(epoch + 1, kill - 1 - behind, 1)));
     (* fencing: the new epoch rejects the dead primary's frames *)
     (match
        Proto.decode

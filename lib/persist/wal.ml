@@ -386,6 +386,52 @@ let tail_from ?upto ~dir ~from () =
     seq_of_segs segs
   end
 
+(* ---- suffix truncation (replication reconciliation path) ----------- *)
+
+let truncate_from ?(fsync = true) ~dir ~from () =
+  if from < 0 then invalid_arg "Wal.truncate_from: negative seqno";
+  if not (Sys.file_exists dir) then 0
+  else
+    match parse_dir dir with
+    | [] -> 0
+    | first :: _ as parses ->
+      if from < first.sp_base then
+        failwith
+          (Printf.sprintf
+             "Wal.truncate_from: seqno %d predates the retained log (base %d)" from
+             first.sp_base);
+      let dropped = ref 0 in
+      List.iteri
+        (fun i sp ->
+          if i > 0 && sp.sp_base >= from then begin
+            dropped := !dropped + sp.sp_count;
+            Sys.remove sp.sp_path
+          end
+          else if sp.sp_base + sp.sp_count > from then begin
+            (* The cut falls inside this segment: re-walk its frames to
+               the byte offset where record [from] starts.  (For the
+               oldest segment with [sp_base = from] that offset is the
+               header — the file survives empty so the log keeps its
+               origin even when everything after the base goes.) *)
+            let content = read_file sp.sp_path in
+            let rec offset_of pos seqno =
+              if seqno >= from then pos
+              else
+                match Codec.read_at content ~pos with
+                | Codec.Record { next; _ } -> offset_of next (seqno + 1)
+                | Codec.End | Codec.Torn _ -> pos
+            in
+            let cut = offset_of header_len sp.sp_base in
+            dropped := !dropped + (sp.sp_base + sp.sp_count - from);
+            let fd = Unix.openfile sp.sp_path [ Unix.O_RDWR ] 0 in
+            Unix.ftruncate fd cut;
+            if fsync then Sysio.retry (fun () -> Unix.fsync fd);
+            Unix.close fd
+          end)
+        parses;
+      if fsync then fsync_dir dir;
+      !dropped
+
 (* ---- pruning ------------------------------------------------------- *)
 
 let prune ~dir ~before =

@@ -118,6 +118,20 @@ val tail_from : ?upto:int -> dir:string -> from:int -> unit -> (int * string) Se
     can only manifest as a torn tail.
     @raise Failure on interior corruption, as {!scan}. *)
 
+val truncate_from : ?fsync:bool -> dir:string -> from:int -> unit -> int
+(** Discard every record with seqno >= [from]: delete whole segments
+    based at or past it and physically truncate the segment the cut
+    falls in at the record boundary (the replication reconciliation
+    path — a rejoining backup drops a durable-but-divergent suffix the
+    new primary never acknowledged).  The oldest segment is truncated
+    to its header rather than removed, so the log keeps its origin.
+    Returns the number of records discarded.  Call only while no {!t}
+    is open on [dir].
+    @raise Invalid_argument on a negative [from].
+    @raise Failure if [from] predates the oldest retained record (the
+    suffix cannot be cut without losing the log's origin), or on
+    interior corruption. *)
+
 val prune : dir:string -> before:int -> int
 (** Delete whole segments all of whose records have seqno < [before]
     (i.e. are covered by a snapshot).  Never touches the last segment.

@@ -17,6 +17,11 @@ type outcome =
   | Stale_primary of int
       (** the peer's epoch is behind ours: we fenced it (payload = its
           epoch); try elsewhere *)
+  | Truncate of int
+      (** the primary's welcome resumes below our log end: our suffix
+          from the payload seqno on diverges (durable-but-uncommitted
+          output of a deposed primaryship) and must be cut — the owner
+          truncates WAL + epoch index, rebuilds state, and re-joins *)
 
 let poll_tick = 0.05
 
@@ -44,7 +49,7 @@ let send fd msg =
    ack is what makes the primary's commit watermark meaningful; sync
    before schedule keeps applied <= durable, so a replica's executed
    state is always a prefix of what it has acknowledged. *)
-let run ~fd ~node_id ~epoch ~on_epoch ~wal ~apply ~on_heartbeat ~serve_reads
+let run ~fd ~node_id ~epoch ~on_epoch ~wal ~elog ~apply ~on_heartbeat ~serve_reads
     ~election_timeout_s ~stopping () =
   let reader = Frame_reader.create () in
   let buf = Bytes.create 65536 in
@@ -54,7 +59,16 @@ let run ~fd ~node_id ~epoch ~on_epoch ~wal ~apply ~on_heartbeat ~serve_reads
   let welcomed = ref false in
   let last_rx = ref (Unix.gettimeofday ()) in
   let batch = ref [] in
-  if not (send fd (Protocol.Hello { h_epoch = !epoch; h_next = Wal.next_seqno wal; h_node = node_id }))
+  if
+    not
+      (send fd
+         (Protocol.Hello
+            {
+              h_epoch = !epoch;
+              h_next = Wal.next_seqno wal;
+              h_last_epoch = Elog.last_epoch elog ~next:(Wal.next_seqno wal);
+              h_node = node_id;
+            }))
   then finish Disconnected;
   let fence peer_epoch =
     if armed () then Obs.Counters.incr c_fenced;
@@ -66,10 +80,16 @@ let run ~fd ~node_id ~epoch ~on_epoch ~wal ~apply ~on_heartbeat ~serve_reads
     match msg with
     | Protocol.Welcome { w_epoch; w_next } ->
       if w_epoch < !epoch then fence w_epoch
-      else if w_next <> Wal.next_seqno wal then
-        (* The primary would ship from somewhere else than we asked —
-           protocol confusion; bail. *)
+      else if w_next > Wal.next_seqno wal then
+        (* The primary would ship from beyond our log end — protocol
+           confusion; bail. *)
         finish Disconnected
+      else if w_next < Wal.next_seqno wal then
+        (* Our suffix from [w_next] on diverges from the primary's
+           authoritative log (Raft's consistency check failed there):
+           hand the cut point to the owner, which truncates and
+           re-joins. *)
+        finish (Truncate w_next)
       else begin
         if w_epoch > !epoch then begin
           epoch := w_epoch;
@@ -83,11 +103,15 @@ let run ~fd ~node_id ~epoch ~on_epoch ~wal ~apply ~on_heartbeat ~serve_reads
         on_epoch r_epoch
       end;
       finish (Rejected r_reason)
-    | Protocol.Entry { e_epoch; e_seqno; e_body } ->
+    | Protocol.Entry { e_epoch; e_seqno; e_origin; e_body } ->
       if not !welcomed then finish Disconnected
       else if e_epoch <> !epoch then fence e_epoch
       else if e_seqno <> Wal.next_seqno wal then finish Disconnected
       else begin
+        (* Record the creating primaryship before the append so our
+           epoch-run index mirrors the primary's — that is what our own
+           hello (and a later candidacy) reports as last-entry epoch. *)
+        Elog.note elog ~epoch:e_origin ~first_seqno:e_seqno;
         ignore (Wal.append wal e_body);
         batch := (e_seqno, e_body) :: !batch
       end

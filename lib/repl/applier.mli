@@ -8,6 +8,14 @@
     executed state ⊆ acknowledged prefix ⊆ shipped prefix, each a clean
     log prefix.
 
+    Joining: [hello] reports our next seqno {e and} the epoch of our
+    last log entry (from {!Elog}); the primary's [welcome] may resume
+    below what we asked for, meaning our suffix diverges — surfaced as
+    [Truncate] for the owner to cut the log and rebuild.  Each accepted
+    entry's origin epoch is recorded in [elog] before the append, so
+    this replica reports honest last-entry epochs in later hellos and
+    candidacies.
+
     Fencing: every inbound frame carries the primary's epoch.  A frame
     below our epoch is answered with [reject (Stale_epoch)] and the
     connection abandoned ([Stale_primary]); a higher epoch is adopted
@@ -22,6 +30,11 @@ type outcome =
   | Rejected of Protocol.reason  (** the peer refused us *)
   | Stale_primary of int
       (** we fenced a deposed primary (payload: its stale epoch) *)
+  | Truncate of int
+      (** the primary's welcome resumed below our log end: our suffix
+          from the payload seqno on diverges and must be cut — the
+          owner truncates WAL + epoch index, rebuilds replica state
+          from the surviving prefix, and re-joins *)
 
 val run :
   fd:Unix.file_descr ->
@@ -29,6 +42,7 @@ val run :
   epoch:int ->
   on_epoch:(int -> unit) ->
   wal:Doradd_persist.Wal.t ->
+  elog:Elog.t ->
   apply:(seqno:int -> string -> unit) ->
   on_heartbeat:(commit:int -> unit) ->
   serve_reads:(unit -> unit) ->

@@ -1,0 +1,119 @@
+module Sysio = Doradd_persist.Sysio
+
+let file = "EBOUNDS"
+
+(* Epoch runs, ascending in both components.  A run [(e, s)] says every
+   log entry with seqno >= s (up to the next run's start) was created by
+   the primary of epoch [e].  Positions before the first run are the
+   implicit epoch-0 prefix. *)
+type t = {
+  dir : string;
+  mu : Mutex.t;
+  mutable runs : (int * int) list;
+}
+
+let path dir = Filename.concat dir file
+
+let parse_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ e; s ] -> (
+    match (int_of_string_opt e, int_of_string_opt s) with
+    | Some e, Some s when e >= 0 && s >= 0 -> Some (e, s)
+    | _ -> None)
+  | _ -> None
+
+let load ~dir =
+  let p = path dir in
+  let runs =
+    if not (Sys.file_exists p) then []
+    else begin
+      let ic = open_in_bin p in
+      let lines =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let acc = ref [] in
+            (try
+               while true do
+                 acc := input_line ic :: !acc
+               done
+             with End_of_file -> ());
+            List.rev !acc)
+      in
+      let runs =
+        List.filter_map
+          (fun l -> if String.trim l = "" then None else Some (parse_line l))
+          lines
+      in
+      if List.mem None runs then
+        failwith (Printf.sprintf "Elog.load: corrupt epoch-run file %s" p);
+      let runs = List.filter_map Fun.id runs in
+      let rec ascending = function
+        | (e1, s1) :: ((e2, s2) :: _ as rest) ->
+          if e1 >= e2 || s1 > s2 then
+            failwith (Printf.sprintf "Elog.load: non-ascending runs in %s" p)
+          else ascending rest
+        | _ -> ()
+      in
+      ascending runs;
+      runs
+    end
+  in
+  { dir; mu = Mutex.create (); runs }
+
+(* Same tmp + fsync + rename + dir-fsync dance as Epochs: readers see
+   either the old run list or the new one, never a torn write.  The file
+   is tiny — one line per primaryship that actually appended. *)
+let persist t =
+  if not (Sys.file_exists t.dir) then
+    (try Unix.mkdir t.dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let p = path t.dir in
+  let tmp = p ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let body =
+        String.concat ""
+          (List.map (fun (e, s) -> Printf.sprintf "%d %d\n" e s) t.runs)
+      in
+      Sysio.write_all fd body ~pos:0 ~len:(String.length body);
+      Sysio.retry (fun () -> Unix.fsync fd));
+  Unix.rename tmp p;
+  Sysio.fsync_dir t.dir
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let note t ~epoch ~first_seqno =
+  if epoch < 0 || first_seqno < 0 then invalid_arg "Elog.note: negative field";
+  with_mu t (fun () ->
+      let last = match List.rev t.runs with (e, _) :: _ -> e | [] -> 0 in
+      (* Equal epoch: same run, nothing new.  Lower epoch: a replayed
+         prefix we already cover — never regress the index. *)
+      if epoch > last then begin
+        (* A new run dominates any recorded run starting at or past it
+           (positions it now covers), keeping the list ascending. *)
+        t.runs <-
+          List.filter (fun (_, s) -> s < first_seqno) t.runs @ [ (epoch, first_seqno) ];
+        persist t
+      end)
+
+let epoch_at t seqno =
+  with_mu t (fun () ->
+      List.fold_left (fun acc (e, s) -> if s <= seqno then e else acc) 0 t.runs)
+
+let last_epoch t ~next = if next <= 0 then 0 else epoch_at t (next - 1)
+
+let run_start t ~at =
+  with_mu t (fun () ->
+      List.fold_left (fun acc (_, s) -> if s <= at then s else acc) 0 t.runs)
+
+let truncate t ~next =
+  with_mu t (fun () ->
+      let keep = List.filter (fun (_, s) -> s < next) t.runs in
+      if List.length keep <> List.length t.runs then begin
+        t.runs <- keep;
+        persist t
+      end)

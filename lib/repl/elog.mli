@@ -1,0 +1,48 @@
+(** Persistent epoch-run index: which primaryship epoch created each
+    log position.
+
+    The WAL stores bare [(seqno, body)] records; replication
+    reconciliation and elections additionally need Raft's per-entry
+    term.  Since a primary appends a single contiguous run per epoch,
+    the full map compresses to a short list of runs
+    [(epoch, first_seqno)] — one line per primaryship that actually
+    appended — kept in an fsynced [EBOUNDS] file next to the WAL and
+    the [EPOCH] fence.
+
+    Positions below the first run are the implicit epoch-0 prefix, so a
+    fresh log needs no file at all.  All operations are thread-safe.
+
+    Crash ordering: a run may be noted (and persisted) before the WAL
+    records it describes reach disk, so after a crash the index can
+    point past the end of the log — callers reconcile at open by
+    {!truncate}-ing the index to the recovered log length.  The reverse
+    (records on disk whose run was lost) merely under-reports the last
+    epoch, which reconciliation treats conservatively. *)
+
+type t
+
+val load : dir:string -> t
+(** Load the run index, empty if the directory has none.
+    @raise Failure on a corrupt or non-ascending file. *)
+
+val note : t -> epoch:int -> first_seqno:int -> unit
+(** Record that entries from [first_seqno] on are created by [epoch].
+    No-op when [epoch] does not exceed the last recorded run (same
+    primaryship, or a replayed prefix) — the index never regresses.
+    Persists before returning when it extends the index.
+    @raise Invalid_argument on negative fields. *)
+
+val epoch_at : t -> int -> int
+(** Epoch of the entry at a seqno ([0] below the first run). *)
+
+val last_epoch : t -> next:int -> int
+(** Epoch of the last entry of a log whose next seqno is [next] —
+    [epoch_at (next - 1)], or [0] for an empty log. *)
+
+val run_start : t -> at:int -> int
+(** First seqno of the run containing [at] ([0] below the first run) —
+    the reconciliation back-off target. *)
+
+val truncate : t -> next:int -> unit
+(** Drop runs starting at or past [next] (the log was cut to [next]).
+    Persists when it changes the index. *)

@@ -1,11 +1,10 @@
 module Sysio = Doradd_persist.Sysio
 
 let file = "EPOCH"
+let voted_file = "VOTED"
 
-let path dir = Filename.concat dir file
-
-let load ~dir =
-  let p = path dir in
+let load_int ~dir ~file ~what =
+  let p = Filename.concat dir file in
   if not (Sys.file_exists p) then 0
   else begin
     let ic = open_in_bin p in
@@ -14,21 +13,32 @@ let load ~dir =
     in
     match int_of_string_opt (String.trim line) with
     | Some e when e >= 0 -> e
-    | _ -> failwith (Printf.sprintf "Epochs.load: corrupt epoch file %s" p)
+    | _ -> failwith (Printf.sprintf "Epochs.load: corrupt %s file %s" what p)
   end
 
-let store ~dir epoch =
-  if epoch < 0 then invalid_arg "Epochs.store: negative epoch";
+let store_int ~dir ~file v =
   if not (Sys.file_exists dir) then
     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  let p = path dir in
+  let p = Filename.concat dir file in
   let tmp = p ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      let s = string_of_int epoch ^ "\n" in
+      let s = string_of_int v ^ "\n" in
       Sysio.write_all fd s ~pos:0 ~len:(String.length s);
       Sysio.retry (fun () -> Unix.fsync fd));
   Unix.rename tmp p;
   Sysio.fsync_dir dir
+
+let load ~dir = load_int ~dir ~file ~what:"epoch"
+
+let store ~dir epoch =
+  if epoch < 0 then invalid_arg "Epochs.store: negative epoch";
+  store_int ~dir ~file epoch
+
+let load_voted ~dir = load_int ~dir ~file:voted_file ~what:"voted-term"
+
+let store_voted ~dir term =
+  if term < 0 then invalid_arg "Epochs.store_voted: negative term";
+  store_int ~dir ~file:voted_file term

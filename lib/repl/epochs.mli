@@ -15,3 +15,15 @@ val load : dir:string -> int
 val store : dir:string -> int -> unit
 (** Atomically persist [epoch] (creating [dir] if needed).
     @raise Invalid_argument on a negative epoch. *)
+
+val load_voted : dir:string -> int
+(** The highest election term this node has granted a vote in, [0] if
+    it never voted.  Kept in a separate [VOTED] file with the same
+    atomicity: a vote must be durable {e before} the reply leaves, or a
+    crash-and-restart could grant the same term twice and elect two
+    primaries.
+    @raise Failure on a corrupt voted-term file. *)
+
+val store_voted : dir:string -> int -> unit
+(** Atomically persist the granted term (creating [dir] if needed).
+    @raise Invalid_argument on a negative term. *)

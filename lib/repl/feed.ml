@@ -11,40 +11,46 @@ let h_ship_lag = Obs.Counters.histogram "repl.ship_lag_stamps"
 let h_ack_ns = Obs.Counters.histogram "repl.ack_ns"
 let armed () = Atomic.get Obs.Trace.armed
 
-(* One registered backup.  Writes (welcome, entries, heartbeats) come
-   from a single shipper thread; acks are read by the serve thread; the
-   [b_alive] flag is the only cross-thread signal and flips one way. *)
+(* One registered backup.  Welcome/entries/heartbeats come from a single
+   shipper thread and acks from the serve thread, so every cross-thread
+   field is atomic: [b_alive] flips one way, [b_acked] is monotone (the
+   OCaml multicore memory model makes plain mutable fields here a data
+   race even when the torn values are benign). *)
 type backup = {
   b_node : int;
   b_fd : Unix.file_descr;
-  mutable b_alive : bool;
-  mutable b_acked : int;
-  mutable b_sent : int;
-  mutable b_sent_at : float;
+  b_alive : bool Atomic.t;
+  b_acked : int Atomic.t;
+  b_sent : int Atomic.t;
+  b_sent_at : float Atomic.t;
 }
 
 type t = {
   node_id : int;
   epoch : int;
   dir : string;
+  elog : Elog.t;
   durable : unit -> int;
   sync_replicas : int;
   heartbeat_s : float;
   on_commit : int -> unit;
   on_fenced : int -> unit;
   mu : Mutex.t;
-  mutable conns : backup list; (* dead ones stay: frozen acks still bound commit *)
+  mutable conns : backup list;
+      (* a dead conn stays until its node reconnects: the frozen ack
+         still bounds commit for the prefix that node durably holds *)
   mutable commit_sync : int; (* monotone; only meaningful when sync_replicas >= 1 *)
-  mutable stopping : bool;
+  stopping : bool Atomic.t;
 }
 
-let create ~node_id ~epoch ~dir ~durable ~sync_replicas ~heartbeat_s ~on_commit
-    ~on_fenced () =
+let create ~node_id ~epoch ~dir ~elog ~durable ~sync_replicas ~heartbeat_s
+    ~on_commit ~on_fenced () =
   if sync_replicas < 0 then invalid_arg "Feed.create: sync_replicas < 0";
   {
     node_id;
     epoch;
     dir;
+    elog;
     durable;
     sync_replicas;
     heartbeat_s;
@@ -53,14 +59,15 @@ let create ~node_id ~epoch ~dir ~durable ~sync_replicas ~heartbeat_s ~on_commit
     mu = Mutex.create ();
     conns = [];
     commit_sync = -1;
-    stopping = false;
+    stopping = Atomic.make false;
   }
 
 (* Async (sync_replicas = 0): local durability is the commit point, as
    on a standalone durable server.  Sync (k >= 1): an entry commits when
    the primary AND at least k backups hold it durably — the k-th largest
-   ack, capped by our own watermark.  A dead backup's ack freezes, so it
-   keeps counting only for the prefix it actually stored. *)
+   per-node ack, capped by our own watermark.  A dead backup's ack
+   freezes, so it keeps counting only for the prefix it actually
+   stored. *)
 let commit t =
   if t.sync_replicas = 0 then t.durable ()
   else begin
@@ -72,15 +79,28 @@ let commit t =
 
 let backups t =
   Mutex.lock t.mu;
-  let n = List.length (List.filter (fun b -> b.b_alive) t.conns) in
+  let n = List.length (List.filter (fun b -> Atomic.get b.b_alive) t.conns) in
   Mutex.unlock t.mu;
   n
 
+(* The k-th largest ack over {e distinct nodes} — a node that left a
+   frozen dead conn behind and reconnected must count once, at the max
+   of its acks, or a single replica could contribute two acks and let
+   commit advance past what k distinct replicas hold. *)
 let recompute t =
   if t.sync_replicas >= 1 then begin
     Mutex.lock t.mu;
+    let per_node = Hashtbl.create 8 in
+    List.iter
+      (fun b ->
+        let a = Atomic.get b.b_acked in
+        match Hashtbl.find_opt per_node b.b_node with
+        | Some a' when a' >= a -> ()
+        | _ -> Hashtbl.replace per_node b.b_node a)
+      t.conns;
     let acks =
-      List.map (fun b -> b.b_acked) t.conns |> List.sort (fun a b -> compare b a)
+      Hashtbl.fold (fun _ a acc -> a :: acc) per_node []
+      |> List.sort (fun a b -> compare b a)
     in
     let kth =
       if List.length acks >= t.sync_replicas then List.nth acks (t.sync_replicas - 1)
@@ -94,15 +114,37 @@ let recompute t =
     if advanced then t.on_commit c'
   end
 
+(* Where to resume shipping for a joiner whose log ends at [h_next] with
+   last-entry epoch [h_last_epoch], given our own log ends at [p_next]
+   (Raft's AppendEntries consistency check, one round per epoch run):
+
+   - a joiner claiming more log than we have must cut back to [p_next]
+     (its extra suffix is durable-but-uncommitted output of a deposed
+     primaryship — we are primary, our log is authoritative);
+   - matching last-entry epochs mean matching prefixes (an epoch has one
+     primary, which assigns each seqno one body), so resume at [h_next];
+   - mismatched epochs mean the suffix diverges somewhere at or before
+     [h_next - 1]: back off to the start of our epoch run covering that
+     position and let the joiner re-hello from there — strictly earlier
+     each round, so the loop terminates.
+
+   A resume point below the joiner's [h_next] instructs it to truncate
+   (see {!Applier}). *)
+let resume_point ~elog ~p_next ~h_next ~h_last_epoch =
+  if h_next = 0 then 0
+  else if h_next > p_next then p_next
+  else if Elog.epoch_at elog (h_next - 1) = h_last_epoch then h_next
+  else Elog.run_start elog ~at:(h_next - 1)
+
 let send_msg b msg =
   let f = Codec.frame (Protocol.encode msg) in
   try Sysio.write_all b.b_fd f ~pos:0 ~len:(String.length f)
-  with Unix.Unix_error (_, _, _) -> b.b_alive <- false
+  with Unix.Unix_error (_, _, _) -> Atomic.set b.b_alive false
 
 let shipper t b ~start =
   let cursor = ref start in
   let last_hb = ref 0.0 in
-  while b.b_alive && not t.stopping do
+  while Atomic.get b.b_alive && not (Atomic.get t.stopping) do
     let d = t.durable () in
     if !cursor <= d then begin
       let expected = ref !cursor in
@@ -116,25 +158,30 @@ let shipper t b ~start =
                   send_msg b
                     (Protocol.Reject
                        { r_epoch = t.epoch; r_reason = Protocol.Log_gap });
-                  b.b_alive <- false
+                  Atomic.set b.b_alive false
                 end;
-                if not b.b_alive then raise Exit;
+                if not (Atomic.get b.b_alive) then raise Exit;
                 incr expected;
                 send_msg b
                   (Protocol.Entry
-                     { e_epoch = t.epoch; e_seqno = seqno; e_body = body });
-                if not b.b_alive then raise Exit)
+                     {
+                       e_epoch = t.epoch;
+                       e_seqno = seqno;
+                       e_origin = Elog.epoch_at t.elog seqno;
+                       e_body = body;
+                     });
+                if not (Atomic.get b.b_alive) then raise Exit)
        with Exit -> ());
-      if b.b_alive then begin
+      if Atomic.get b.b_alive then begin
         if armed () then Obs.Counters.add c_shipped (d - !cursor + 1);
-        b.b_sent <- d;
-        b.b_sent_at <- Unix.gettimeofday ();
+        Atomic.set b.b_sent d;
+        Atomic.set b.b_sent_at (Unix.gettimeofday ());
         cursor := d + 1
       end
     end
     else Unix.sleepf 0.001;
     let now = Unix.gettimeofday () in
-    if b.b_alive && now -. !last_hb >= t.heartbeat_s then begin
+    if Atomic.get b.b_alive && now -. !last_hb >= t.heartbeat_s then begin
       last_hb := now;
       if armed () then Obs.Counters.incr c_heartbeats;
       send_msg b (Protocol.Heartbeat { b_epoch = t.epoch; b_commit = commit t })
@@ -155,65 +202,81 @@ let handle_ack t b (msg : Protocol.msg) =
     if a_epoch > t.epoch then begin
       (* A backup that has acknowledged a newer primary: we are deposed.
          Stop shipping; the owner flips the node to Fenced. *)
-      b.b_alive <- false;
+      Atomic.set b.b_alive false;
       t.on_fenced a_epoch
     end
     else if a_epoch = t.epoch && a_node = b.b_node then begin
       if armed () then begin
         Obs.Counters.incr c_acks;
         Obs.Counters.record h_ship_lag (max 0 (t.durable () - a_durable));
-        if a_durable >= b.b_sent && b.b_sent_at > 0.0 then
+        if a_durable >= Atomic.get b.b_sent && Atomic.get b.b_sent_at > 0.0 then
           Obs.Counters.record h_ack_ns
-            (int_of_float ((Unix.gettimeofday () -. b.b_sent_at) *. 1e9))
+            (int_of_float ((Unix.gettimeofday () -. Atomic.get b.b_sent_at) *. 1e9))
       end;
-      if a_durable > b.b_acked then begin
-        b.b_acked <- a_durable;
+      if a_durable > Atomic.get b.b_acked then begin
+        Atomic.set b.b_acked a_durable;
         recompute t
       end
     end
   | Protocol.Reject { r_epoch; _ } ->
-    b.b_alive <- false;
+    Atomic.set b.b_alive false;
     if r_epoch > t.epoch then t.on_fenced r_epoch
   | _ ->
     (* A backup has exactly two things to say; anything else poisons the
        connection, mirroring the RPC server's framing policy. *)
-    b.b_alive <- false
+    Atomic.set b.b_alive false
 
 let serve t fd ~reader ~(hello : Protocol.hello) =
+  let start =
+    resume_point ~elog:t.elog ~p_next:(t.durable () + 1) ~h_next:hello.h_next
+      ~h_last_epoch:hello.h_last_epoch
+  in
   let b =
     {
       b_node = hello.h_node;
       b_fd = fd;
-      b_alive = true;
-      b_acked = -1;
-      b_sent = -1;
-      b_sent_at = 0.0;
+      b_alive = Atomic.make true;
+      b_acked = Atomic.make (-1);
+      b_sent = Atomic.make (-1);
+      b_sent_at = Atomic.make 0.0;
     }
   in
   Mutex.lock t.mu;
-  t.conns <- b :: t.conns;
+  (* This connection supersedes any earlier one from the same node:
+     absorb the superseded acks (the node still durably holds that
+     prefix — capped at the reconciled resume point, beyond which its
+     log may be about to be truncated) and drop the old conns, or
+     reconnect churn would both grow [t.conns] without bound and let one
+     node ack twice. *)
+  let mine, others = List.partition (fun c -> c.b_node = hello.h_node) t.conns in
+  List.iter (fun c -> Atomic.set c.b_alive false) mine;
+  let inherited =
+    List.fold_left (fun acc c -> max acc (Atomic.get c.b_acked)) (-1) mine
+  in
+  Atomic.set b.b_acked (min inherited (start - 1));
+  t.conns <- b :: others;
   Mutex.unlock t.mu;
-  send_msg b (Protocol.Welcome { w_epoch = t.epoch; w_next = hello.h_next });
-  let shipper_thread = Thread.create (fun () -> shipper t b ~start:hello.h_next) () in
+  send_msg b (Protocol.Welcome { w_epoch = t.epoch; w_next = start });
+  let shipper_thread = Thread.create (fun () -> shipper t b ~start) () in
   let buf = Bytes.create 8192 in
   let rec drain () =
     match Frame_reader.next reader with
     | `Need_more -> `Continue
     | `Error _ ->
-      b.b_alive <- false;
+      Atomic.set b.b_alive false;
       `Stop
     | `Frame payload -> (
       match Protocol.decode payload with
       | Error _ ->
-        b.b_alive <- false;
+        Atomic.set b.b_alive false;
         `Stop
       | Ok msg ->
         handle_ack t b msg;
-        if b.b_alive then drain () else `Stop)
+        if Atomic.get b.b_alive then drain () else `Stop)
   in
   (* Frames may already sit buffered behind the hello. *)
   let rec loop pending =
-    if t.stopping || not b.b_alive then ()
+    if Atomic.get t.stopping || not (Atomic.get b.b_alive) then ()
     else
       match pending with
       | `Stop -> ()
@@ -222,17 +285,17 @@ let serve t fd ~reader ~(hello : Protocol.hello) =
         else begin
           match Sysio.read fd buf ~pos:0 ~len:(Bytes.length buf) with
           | 0 ->
-            b.b_alive <- false
+            Atomic.set b.b_alive false
           | n ->
             Frame_reader.feed reader buf ~pos:0 ~len:n;
             loop (drain ())
           | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
             ->
-            b.b_alive <- false
+            Atomic.set b.b_alive false
         end
   in
   loop (drain ());
-  b.b_alive <- false;
+  Atomic.set b.b_alive false;
   (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ());
   Thread.join shipper_thread;
   try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
@@ -250,7 +313,7 @@ let wait_commit t ~upto ~timeout_s =
   go ()
 
 let stop t =
-  t.stopping <- true;
+  Atomic.set t.stopping true;
   Mutex.lock t.mu;
   let conns = t.conns in
   Mutex.unlock t.mu;

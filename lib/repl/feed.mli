@@ -13,8 +13,17 @@
     shipped-but-unacked suffix, which is the documented contract).  With
     [sync_replicas = k >= 1] an entry commits once the primary and at
     least [k] backups hold it durably: commit = min(own durable, k-th
-    largest backup ack), monotone.  [on_commit] fires on every advance —
-    the node releases gated client replies there.
+    largest ack over {e distinct nodes}), monotone.  Acks are
+    aggregated per node (max over that node's connections, live or
+    dead) so a reconnecting backup can never contribute twice, and a
+    reconnect supersedes the node's earlier connections.  [on_commit]
+    fires on every advance — the node releases gated client replies
+    there.
+
+    Joining: a backup's [hello] carries its next seqno and last-entry
+    epoch; {!resume_point} reconciles them against our own log and
+    epoch-run index, possibly instructing the backup to truncate a
+    divergent suffix inherited from a deposed primaryship.
 
     Fencing: an [ack] or [reject] carrying an epoch above ours means a
     newer primary exists; shipping stops and [on_fenced] fires. *)
@@ -25,6 +34,7 @@ val create :
   node_id:int ->
   epoch:int ->
   dir:string ->
+  elog:Elog.t ->
   durable:(unit -> int) ->
   sync_replicas:int ->
   heartbeat_s:float ->
@@ -36,6 +46,14 @@ val create :
     typically {!Doradd_net.Server.durable_watermark}.  [on_commit] and
     [on_fenced] are called from feed threads; they must not block on
     feed state. *)
+
+val resume_point : elog:Elog.t -> p_next:int -> h_next:int -> h_last_epoch:int -> int
+(** Reconciled shipping resume point for a joiner whose log ends at
+    [h_next] with last-entry epoch [h_last_epoch], given the primary's
+    own log ends at [p_next] and [elog] is its epoch-run index — Raft's
+    AppendEntries consistency check, one back-off round per epoch run.
+    A result below [h_next] instructs the joiner to truncate its
+    divergent suffix down to the result before re-joining. *)
 
 val serve : t -> Unix.file_descr -> reader:Doradd_net.Frame_reader.t -> hello:Protocol.hello -> unit
 (** Serve one backup on a connected replication socket whose [hello]

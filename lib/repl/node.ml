@@ -67,7 +67,13 @@ type read_req = { rc : fconn; r_id : int; r_min : int; r_body : string }
 
 type t = {
   cfg : config;
-  backend : Net.Backend.t;
+  make_backend : unit -> Net.Backend.t;
+  mutable backend : Net.Backend.t;
+      (* replaced wholesale when a divergent log suffix is truncated:
+         replicas apply beyond the commit point, so cutting the log
+         means rebuilding state from the surviving prefix.  Written on
+         the role thread under [mu]; cross-thread readers take [mu]. *)
+  elog : Elog.t;
   mu : Mutex.t;
   mutable epoch : int;
   mutable voted_term : int;
@@ -173,7 +179,9 @@ let commit t =
   with_mu t (fun () ->
       match t.feed with Some f -> Feed.commit f | None -> t.commit_hint)
 
-let digest t = t.backend.Net.Backend.digest ()
+let digest t =
+  let b = with_mu t (fun () -> t.backend) in
+  b.Net.Backend.digest ()
 
 let wal_records t = (Wal.scan ~dir:t.cfg.data_dir).Wal.records
 
@@ -218,9 +226,10 @@ let fenced t e =
 
 (* ---- votes ----------------------------------------------------------- *)
 
-let handle_vote t ~term ~durable:cand_d ~node:cand_id =
+let handle_vote t ~term ~durable:cand_d ~last_epoch:cand_e ~node:cand_id =
   with_mu t (fun () ->
       let my_d = durable_unlocked t in
+      let my_e = Elog.last_epoch t.elog ~next:(my_d + 1) in
       (* Leader stickiness: a live (unfenced) primary never votes a
          challenger in — without it, a freshly promoted primary with no
          new writes yet could tie-grant the other backup (equal durable,
@@ -231,12 +240,20 @@ let handle_vote t ~term ~durable:cand_d ~node:cand_id =
       let granted =
         t.role <> Primary
         && term > max t.epoch t.voted_term
-        && Protocol.candidate_geq ~durable:(cand_d, cand_id) ~than:(my_d, t.cfg.node_id)
+        && Protocol.candidate_geq ~cand:(cand_e, cand_d, cand_id)
+             ~than:(my_e, my_d, t.cfg.node_id)
       in
       (* Adopt the term even when refusing: our own next candidacy then
          starts above it, so the preferred node's term leapfrogs the
-         refused one's instead of chasing it forever. *)
-      if term > t.voted_term then t.voted_term <- term;
+         refused one's instead of chasing it forever.  Persist before
+         the reply can leave — still under [mu], so the VOTED file
+         advances in the same order as the in-memory term — or a
+         crash-restart could grant the same term twice and seat two
+         primaries. *)
+      if term > t.voted_term then begin
+        t.voted_term <- term;
+        Epochs.store_voted ~dir:t.cfg.data_dir term
+      end;
       Protocol.Vote
         {
           g_term = term;
@@ -246,7 +263,7 @@ let handle_vote t ~term ~durable:cand_d ~node:cand_id =
           g_node = t.cfg.node_id;
         })
 
-let vote_rpc ~host ~port ~term ~durable:my_d ~node ~timeout_s =
+let vote_rpc ~host ~port ~term ~durable:my_d ~last_epoch ~node ~timeout_s =
   match Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (_, _, _) -> None
   | fd ->
@@ -261,7 +278,13 @@ let vote_rpc ~host ~port ~term ~durable:my_d ~node ~timeout_s =
           if
             not
               (send_framed fd
-                 (Protocol.Vote_req { v_term = term; v_durable = my_d; v_node = node }))
+                 (Protocol.Vote_req
+                    {
+                      v_term = term;
+                      v_durable = my_d;
+                      v_last_epoch = last_epoch;
+                      v_node = node;
+                    }))
           then None
           else begin
             let reader = Net.Frame_reader.create () in
@@ -502,6 +525,9 @@ let drop_pending_reads t =
 
 (* ---- local recovery -------------------------------------------------- *)
 
+(* Replay the local WAL into the (fresh) backend; returns the next
+   seqno — i.e. the recovered log length, since replication logs are
+   dense from 0. *)
 let recover_local t =
   if Sys.file_exists t.cfg.data_dir then begin
     let replay ~seqno body =
@@ -509,8 +535,10 @@ let recover_local t =
       | Ok p -> ignore (p.Net.Backend.run ())
       | Error _ -> ()
     in
-    ignore (Recovery.recover ~dir:t.cfg.data_dir ~replay ())
+    let stats = Recovery.recover ~dir:t.cfg.data_dir ~replay () in
+    stats.Recovery.wal_records
   end
+  else 0
 
 (* ---- primary --------------------------------------------------------- *)
 
@@ -527,6 +555,7 @@ let server_config t =
 let become_primary t =
   let feed =
     Feed.create ~node_id:t.cfg.node_id ~epoch:(epoch t) ~dir:t.cfg.data_dir
+      ~elog:t.elog
       ~durable:(fun () ->
         match t.server with Some s -> Net.Server.durable_watermark s | None -> -1)
       ~sync_replicas:t.cfg.sync_replicas ~heartbeat_s:t.cfg.heartbeat_s
@@ -581,12 +610,16 @@ let primary_candidates t =
 type election_result = Won of int | Lost
 
 let run_election t wal =
-  let term, my_d =
+  let term, my_d, my_e =
     with_mu t (fun () ->
         t.role <- Candidate;
         let term = max t.epoch t.voted_term + 1 in
         t.voted_term <- term;
-        (term, Wal.durable_seqno wal))
+        (* The self-vote is a grant like any other: durable before any
+           peer can see the candidacy. *)
+        Epochs.store_voted ~dir:t.cfg.data_dir term;
+        let d = Wal.durable_seqno wal in
+        (term, d, Elog.last_epoch t.elog ~next:(d + 1)))
   in
   (match t.outage_at with
   | Some at when armed () ->
@@ -598,7 +631,8 @@ let run_election t wal =
     (fun (_, host, port) ->
       if not (Atomic.get t.stopping) then
         match
-          vote_rpc ~host ~port ~term ~durable:my_d ~node:t.cfg.node_id ~timeout_s:0.5
+          vote_rpc ~host ~port ~term ~durable:my_d ~last_epoch:my_e
+            ~node:t.cfg.node_id ~timeout_s:0.5
         with
         | None -> ()
         | Some (g_term, g_granted, g_epoch) ->
@@ -629,13 +663,17 @@ let promote t wal rt gate term =
   drop_pending_reads t;
   Core.Sharded_runtime.drain rt;
   Core.Sharded_runtime.shutdown rt;
+  (* Everything we append from here on belongs to our new primaryship:
+     record the epoch run while the WAL is still open.  (If we crash
+     before appending anything the dangling run is reconciled away at
+     restart.) *)
+  Elog.note t.elog ~epoch:term ~first_seqno:(Wal.next_seqno wal);
   Wal.close wal;
   with_mu t (fun () ->
       t.wal <- None;
       t.rt <- None;
       t.gate <- None;
       t.elections_won <- t.elections_won + 1);
-  ignore term;
   (match t.outage_at with
   | Some at when armed () ->
     Obs.Counters.record h_failover (int_of_float ((Unix.gettimeofday () -. at) *. 1e9));
@@ -643,7 +681,7 @@ let promote t wal rt gate term =
   | _ -> if armed () then Obs.Counters.incr c_elections);
   t.outage_at <- None
 
-let become_backup t =
+let rec become_backup t =
   let wal = Wal.open_ ~fsync:t.cfg.fsync ~dir:t.cfg.data_dir () in
   let rt =
     Core.Sharded_runtime.create ~workers_per_shard:t.cfg.workers_per_shard
@@ -675,7 +713,7 @@ let become_backup t =
   in
   let serve = serve_reads t wal rt gate in
   let rec follow () =
-    if Atomic.get t.stopping then ()
+    if Atomic.get t.stopping then `Done
     else begin
       let session_outcome = ref None in
       let addrs = primary_candidates t in
@@ -685,19 +723,20 @@ let become_backup t =
             match connect_fd host port with
             | None -> ()
             | Some fd ->
-              t.applier_fd <- Some fd;
+              with_mu t (fun () -> t.applier_fd <- Some fd);
               let outcome =
                 Applier.run ~fd ~node_id:t.cfg.node_id ~epoch:(epoch t)
-                  ~on_epoch:(adopt_epoch t) ~wal ~apply ~on_heartbeat
+                  ~on_epoch:(adopt_epoch t) ~wal ~elog:t.elog ~apply ~on_heartbeat
                   ~serve_reads:serve ~election_timeout_s:t.cfg.election_timeout_s
                   ~stopping:(fun () -> Atomic.get t.stopping)
                   ()
               in
-              t.applier_fd <- None;
+              with_mu t (fun () -> t.applier_fd <- None);
               (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
               (match outcome with
               | Applier.Stopped -> session_outcome := Some `Stop
               | Applier.Silent -> session_outcome := Some `Elect
+              | Applier.Truncate n -> session_outcome := Some (`Truncate n)
               | Applier.Disconnected | Applier.Rejected _ | Applier.Stale_primary _ ->
                 ()))
         addrs;
@@ -714,7 +753,8 @@ let become_backup t =
           else `Retry
       in
       match decision with
-      | `Stop -> ()
+      | `Stop -> `Done
+      | `Truncate n -> `Truncate n
       | `Retry ->
         sleep_or_stop t 0.02;
         follow ()
@@ -751,17 +791,46 @@ let become_backup t =
             (* Persist the fence before acting as primary. *)
             Epochs.store ~dir:t.cfg.data_dir term;
             promote t wal rt gate term;
-            become_primary t
+            become_primary t;
+            `Done
           end
         | Lost -> lost ())
     end
   in
-  follow ()
+  match follow () with
+  | `Done -> ()
+  | `Truncate n ->
+    (* The primary told us our suffix from [n] on diverges.  Replicas
+       apply beyond the commit point, so the backend may already hold
+       effects of the doomed entries: seal the replica machinery, cut
+       WAL + epoch index, rebuild state from the surviving prefix, and
+       re-join — the next hello then matches the primary's log. *)
+    stop_front t;
+    drop_pending_reads t;
+    Core.Sharded_runtime.drain rt;
+    Core.Sharded_runtime.shutdown rt;
+    Wal.close wal;
+    with_mu t (fun () ->
+        t.wal <- None;
+        t.rt <- None;
+        t.gate <- None);
+    ignore (Wal.truncate_from ~fsync:t.cfg.fsync ~dir:t.cfg.data_dir ~from:n ());
+    Elog.truncate t.elog ~next:n;
+    with_mu t (fun () -> t.backend <- t.make_backend ());
+    ignore (recover_local t);
+    t.last_contact <- Unix.gettimeofday ();
+    if not (Atomic.get t.stopping) then become_backup t
 
 let role_loop t =
-  recover_local t;
+  let next = recover_local t in
+  (* Reconcile the epoch-run index with the recovered log: a run noted
+     just before a crash may point past the log end. *)
+  Elog.truncate t.elog ~next;
   match t.cfg.initial_role with
-  | `Primary -> become_primary t
+  | `Primary ->
+    (* Anything this primaryship appends extends the log from here. *)
+    if epoch t > 0 then Elog.note t.elog ~epoch:(epoch t) ~first_seqno:next;
+    become_primary t
   | `Backup -> become_backup t
 
 (* ---- replication listener -------------------------------------------- *)
@@ -778,20 +847,36 @@ let repl_dispatch t fd =
       match Protocol.decode payload with
       | Error _ -> `Close
       | Ok (Protocol.Hello h) -> (
-        let feed = with_mu t (fun () -> if t.role = Primary then t.feed else None) in
-        match feed with
-        | Some feed ->
-          (* Feed.serve owns and closes the fd. *)
-          Feed.serve feed fd ~reader ~hello:h;
-          `Served
-        | None ->
+        if h.Protocol.h_epoch > epoch t then begin
+          (* The joiner has acknowledged a primaryship we have not even
+             heard of: whatever we think our role is, it is stale.
+             Adopt the fence (deposing ourselves if primary) and bounce
+             the joiner — it retries its candidate list. *)
+          fenced t h.Protocol.h_epoch;
           ignore
             (send_framed fd
                (Protocol.Reject
                   { r_epoch = epoch t; r_reason = Protocol.Not_primary }));
-          `Close)
-      | Ok (Protocol.Vote_req { v_term; v_durable; v_node }) ->
-        let reply = handle_vote t ~term:v_term ~durable:v_durable ~node:v_node in
+          `Close
+        end
+        else
+          let feed = with_mu t (fun () -> if t.role = Primary then t.feed else None) in
+          match feed with
+          | Some feed ->
+            (* Feed.serve owns and closes the fd. *)
+            Feed.serve feed fd ~reader ~hello:h;
+            `Served
+          | None ->
+            ignore
+              (send_framed fd
+                 (Protocol.Reject
+                    { r_epoch = epoch t; r_reason = Protocol.Not_primary }));
+            `Close)
+      | Ok (Protocol.Vote_req { v_term; v_durable; v_last_epoch; v_node }) ->
+        let reply =
+          handle_vote t ~term:v_term ~durable:v_durable ~last_epoch:v_last_epoch
+            ~node:v_node
+        in
         if send_framed fd reply then drain () else `Close
       | Ok _ -> `Close)
   in
@@ -830,7 +915,7 @@ let repl_accept_loop t =
 
 (* ---- lifecycle ------------------------------------------------------- *)
 
-let start cfg backend =
+let start cfg make_backend =
   Sysio.ignore_sigpipe ();
   if cfg.sync_replicas > List.length cfg.peers then
     invalid_arg "Node.start: sync_replicas exceeds peer count";
@@ -857,10 +942,12 @@ let start cfg backend =
   let t =
     {
       cfg;
-      backend;
+      make_backend;
+      backend = make_backend ();
+      elog = Elog.load ~dir:cfg.data_dir;
       mu = Mutex.create ();
       epoch = Epochs.load ~dir:cfg.data_dir;
-      voted_term = 0;
+      voted_term = Epochs.load_voted ~dir:cfg.data_dir;
       role = Backup;
       server = None;
       feed = None;
@@ -915,7 +1002,7 @@ let stop_ ~graceful t =
          node — the in-process stand-in for SIGKILL.  Internal teardown
          below is just resource reclamation. *)
       (try Unix.shutdown t.repl_lfd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ());
-      (match t.applier_fd with
+      (match with_mu t (fun () -> t.applier_fd) with
       | Some fd -> (
         try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ())
       | None -> ());

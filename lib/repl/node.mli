@@ -5,8 +5,8 @@
     Roles and transitions:
     {v
        `Backup ──connect──▶ Backup ──silence──▶ Candidate
-                              ▲                     │ majority, by
-                              │ lost / higher epoch │ (durable, id)
+                              ▲                     │ majority, by (last
+                              │ lost / higher epoch │ epoch, durable, id)
                               └─────────────────────┤
                                                     ▼
        `Primary ─────────────────────────────▶ Primary ──newer epoch──▶ Fenced
@@ -22,18 +22,32 @@
     log position it actually executed at.
 
     When the primary goes quiet for [election_timeout_s], backups elect
-    by [(durable watermark, node id)] — the winner provably holds every
-    committed entry when [sync_replicas >= 1].  A live primary never
-    grants votes (leader stickiness), and a winner that acknowledged a
-    higher term while its own votes were in flight abandons the win —
-    together these guarantee at most one unfenced primary, so replica
-    logs never diverge even on the uncommitted tail.  It persists the bumped
+    by [(last-entry epoch, durable watermark, node id)] — Raft's
+    up-to-date rule over the {!Elog} epoch-run index, so the winner
+    provably holds every committed entry when [sync_replicas >= 1] even
+    against a longer log of durable-but-uncommitted writes from a
+    deposed primaryship.  Vote grants are persisted (a [VOTED] file)
+    {e before} the reply leaves, so a crash-restarted voter cannot
+    grant the same term twice.  A live primary never grants votes
+    (leader stickiness), and a winner that acknowledged a higher term
+    while its own votes were in flight abandons the win — together
+    these guarantee at most one unfenced primary.  It persists the bumped
     epoch {e before} serving (a crash mid-promotion cannot regress the
     fence), recovers, and comes back up as a full primary on the same
     client port with stamps continuing from its durable log.  The deposed
     primary, on its next contact with the cluster, sees the higher epoch
     and flips to [Fenced]: its server stays up but bounces every request
     with {!Doradd_net.Wire.status_not_primary}, so clients re-route.
+
+    A rejoining node whose log diverges from the current primary's
+    (a durable-but-uncommitted suffix written by a deposed
+    primaryship) is reconciled at hello time: the primary compares the
+    joiner's last-entry epoch against its own epoch-run index and
+    resumes shipping below the divergence point; the joiner truncates
+    its WAL and epoch index there, rebuilds replica state from the
+    surviving prefix via a fresh backend, and re-joins.  This is why
+    {!start} takes a backend {e factory}: replicas apply entries beyond
+    the commit point, so cutting the log means rebuilding state.
 
     Commit vs. loss: with [sync_replicas = k >= 1] a reply is released
     only once [k] backups hold the entry durably, so an acknowledged
@@ -93,10 +107,13 @@ val make_config :
 
 type t
 
-val start : config -> Doradd_net.Backend.t -> t
-(** Recover local WAL state into [backend], then assume
-    [config.initial_role].  Returns immediately; the role machine runs
-    on background threads.
+val start : config -> (unit -> Doradd_net.Backend.t) -> t
+(** [start cfg make_backend] builds a backend, recovers local WAL state
+    into it, then assumes [config.initial_role].  Returns immediately;
+    the role machine runs on background threads.  [make_backend] must
+    produce a {e fresh, empty} backend on every call — it is re-invoked
+    when log reconciliation truncates a divergent suffix and replica
+    state must be rebuilt from the surviving prefix.
     @raise Invalid_argument if [sync_replicas] exceeds the peer count. *)
 
 val role : t -> role

@@ -5,16 +5,16 @@
 
 type reason = Not_primary | Stale_epoch | Log_gap
 
-type hello = { h_epoch : int; h_next : int; h_node : int }
+type hello = { h_epoch : int; h_next : int; h_last_epoch : int; h_node : int }
 
 type msg =
   | Hello of hello
   | Welcome of { w_epoch : int; w_next : int }
   | Reject of { r_epoch : int; r_reason : reason }
-  | Entry of { e_epoch : int; e_seqno : int; e_body : string }
+  | Entry of { e_epoch : int; e_seqno : int; e_origin : int; e_body : string }
   | Heartbeat of { b_epoch : int; b_commit : int }
   | Ack of { a_epoch : int; a_durable : int; a_node : int }
-  | Vote_req of { v_term : int; v_durable : int; v_node : int }
+  | Vote_req of { v_term : int; v_durable : int; v_last_epoch : int; v_node : int }
   | Vote of {
       g_term : int;
       g_granted : bool;
@@ -71,15 +71,17 @@ let check_node v =
   if v < 0 || v > max_node then invalid_arg "Protocol.encode: node_id out of range"
 
 let encode = function
-  | Hello { h_epoch; h_next; h_node } ->
+  | Hello { h_epoch; h_next; h_last_epoch; h_node } ->
     check_seq "epoch" h_epoch;
     check_seq "next" h_next;
+    check_seq "last_epoch" h_last_epoch;
     check_node h_node;
-    let b = Bytes.create 21 in
+    let b = Bytes.create 29 in
     Bytes.set b 0 'H';
     put_i64 b 1 h_epoch;
     put_i64 b 9 h_next;
-    put_u32 b 17 h_node;
+    put_i64 b 17 h_last_epoch;
+    put_u32 b 25 h_node;
     Bytes.unsafe_to_string b
   | Welcome { w_epoch; w_next } ->
     check_seq "epoch" w_epoch;
@@ -96,15 +98,17 @@ let encode = function
     put_i64 b 1 r_epoch;
     put_u8 b 9 (reason_code r_reason);
     Bytes.unsafe_to_string b
-  | Entry { e_epoch; e_seqno; e_body } ->
+  | Entry { e_epoch; e_seqno; e_origin; e_body } ->
     check_seq "epoch" e_epoch;
     check_seq "seqno" e_seqno;
+    check_seq "origin" e_origin;
     let n = String.length e_body in
-    let b = Bytes.create (17 + n) in
+    let b = Bytes.create (25 + n) in
     Bytes.set b 0 'E';
     put_i64 b 1 e_epoch;
     put_i64 b 9 e_seqno;
-    Bytes.blit_string e_body 0 b 17 n;
+    put_i64 b 17 e_origin;
+    Bytes.blit_string e_body 0 b 25 n;
     Bytes.unsafe_to_string b
   | Heartbeat { b_epoch; b_commit } ->
     check_seq "epoch" b_epoch;
@@ -124,15 +128,17 @@ let encode = function
     put_i64 b 9 a_durable;
     put_u32 b 17 a_node;
     Bytes.unsafe_to_string b
-  | Vote_req { v_term; v_durable; v_node } ->
+  | Vote_req { v_term; v_durable; v_last_epoch; v_node } ->
     check_seq "term" v_term;
     check_wm "durable" v_durable;
+    check_seq "last_epoch" v_last_epoch;
     check_node v_node;
-    let b = Bytes.create 21 in
+    let b = Bytes.create 29 in
     Bytes.set b 0 'V';
     put_i64 b 1 v_term;
     put_i64 b 9 v_durable;
-    put_u32 b 17 v_node;
+    put_i64 b 17 v_last_epoch;
+    put_u32 b 25 v_node;
     Bytes.unsafe_to_string b
   | Vote { g_term; g_granted; g_epoch; g_durable; g_node } ->
     check_seq "term" g_term;
@@ -162,10 +168,11 @@ let decode s =
   else
     match s.[0] with
     | 'H' ->
-      let* () = need s 21 "hello" in
+      let* () = need s 29 "hello" in
       let* h_epoch = seq_field "hello epoch" (get_i64 s 1) in
       let* h_next = seq_field "hello next" (get_i64 s 9) in
-      Ok (Hello { h_epoch; h_next; h_node = get_u32 s 17 })
+      let* h_last_epoch = seq_field "hello last epoch" (get_i64 s 17) in
+      Ok (Hello { h_epoch; h_next; h_last_epoch; h_node = get_u32 s 25 })
     | 'W' ->
       let* () = need s 17 "welcome" in
       let* w_epoch = seq_field "welcome epoch" (get_i64 s 1) in
@@ -177,11 +184,14 @@ let decode s =
       let* r_reason = reason_of_code (get_u8 s 9) in
       Ok (Reject { r_epoch; r_reason })
     | 'E' ->
-      if String.length s < 17 then Error "entry shorter than header"
+      if String.length s < 25 then Error "entry shorter than header"
       else
         let* e_epoch = seq_field "entry epoch" (get_i64 s 1) in
         let* e_seqno = seq_field "entry seqno" (get_i64 s 9) in
-        Ok (Entry { e_epoch; e_seqno; e_body = String.sub s 17 (String.length s - 17) })
+        let* e_origin = seq_field "entry origin" (get_i64 s 17) in
+        Ok
+          (Entry
+             { e_epoch; e_seqno; e_origin; e_body = String.sub s 25 (String.length s - 25) })
     | 'B' ->
       let* () = need s 17 "heartbeat" in
       let* b_epoch = seq_field "heartbeat epoch" (get_i64 s 1) in
@@ -193,10 +203,11 @@ let decode s =
       let* a_durable = wm_field "ack durable" (get_i64 s 9) in
       Ok (Ack { a_epoch; a_durable; a_node = get_u32 s 17 })
     | 'V' ->
-      let* () = need s 21 "vote-req" in
+      let* () = need s 29 "vote-req" in
       let* v_term = seq_field "vote-req term" (get_i64 s 1) in
       let* v_durable = wm_field "vote-req durable" (get_i64 s 9) in
-      Ok (Vote_req { v_term; v_durable; v_node = get_u32 s 17 })
+      let* v_last_epoch = seq_field "vote-req last epoch" (get_i64 s 17) in
+      Ok (Vote_req { v_term; v_durable; v_last_epoch; v_node = get_u32 s 25 })
     | 'G' ->
       let* () = need s 30 "vote" in
       let* g_term = seq_field "vote term" (get_i64 s 1) in
@@ -211,8 +222,12 @@ let decode s =
       Ok (Vote { g_term; g_granted; g_epoch; g_durable; g_node = get_u32 s 26 })
     | c -> Error (Printf.sprintf "unknown message tag %C" c)
 
-(* Candidate ordering for elections: higher durable watermark wins, node
-   id breaks ties — a deterministic total order so two candidates can
+(* Candidate ordering for elections, Raft's up-to-date check: the epoch
+   of the last log entry dominates (a longer log of durable-but-
+   uncommitted writes from a deposed primaryship must lose to a shorter
+   log holding newer-epoch entries), then the durable watermark, then
+   the node id — a deterministic total order so two candidates can
    never both believe they hold the better log. *)
-let candidate_geq ~durable:(d1, n1) ~than:(d2, n2) =
-  d1 > d2 || (d1 = d2 && n1 >= n2)
+let candidate_geq ~cand:(e1, d1, n1) ~than:(e2, d2, n2) =
+  e1 > e2
+  || (e1 = e2 && (d1 > d2 || (d1 = d2 && n1 >= n2)))

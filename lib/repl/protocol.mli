@@ -3,23 +3,32 @@
     frame (the same framing the client RPC path and the WAL use).
 
     {v
-      hello     = 'H' ++ epoch:i64 ++ next:i64 ++ node:u32     backup → primary
+      hello     = 'H' ++ epoch:i64 ++ next:i64
+                      ++ last_epoch:i64 ++ node:u32            backup → primary
       welcome   = 'W' ++ epoch:i64 ++ next:i64                 primary → backup
       reject    = 'J' ++ epoch:i64 ++ reason:u8
-      entry     = 'E' ++ epoch:i64 ++ seqno:i64 ++ body        primary → backup
+      entry     = 'E' ++ epoch:i64 ++ seqno:i64
+                      ++ origin:i64 ++ body                    primary → backup
       heartbeat = 'B' ++ epoch:i64 ++ commit:i64               primary → backup
       ack       = 'A' ++ epoch:i64 ++ durable:i64 ++ node:u32  backup → primary
-      vote-req  = 'V' ++ term:i64 ++ durable:i64 ++ node:u32   candidate → peer
+      vote-req  = 'V' ++ term:i64 ++ durable:i64
+                      ++ last_epoch:i64 ++ node:u32            candidate → peer
       vote      = 'G' ++ term:i64 ++ granted:u8 ++ epoch:i64
                       ++ durable:i64 ++ node:u32               peer → candidate
     v}
 
     A backup opens the conversation with [hello] carrying the next
-    seqno it needs; the primary answers [welcome] and streams [entry]
-    frames from there, interleaved with [heartbeat]s when idle.  The
-    backup appends, group-syncs, and answers [ack] with its durable
-    watermark.  Every message carries the sender's epoch so either side
-    can fence a stale peer ([reject] with [Stale_epoch]).
+    seqno it needs and the epoch of its last log entry
+    ({!Elog.last_epoch} — Raft's last-term); the primary answers
+    [welcome] with the reconciled resume point (which may be {e below}
+    the asked-for seqno, instructing the backup to truncate a divergent
+    suffix) and streams [entry] frames from there, interleaved with
+    [heartbeat]s when idle.  Each [entry] carries both the shipping
+    primary's epoch (the fence) and the entry's {e origin} epoch (the
+    primaryship that created it — what the backup records in its own
+    {!Elog}).  The backup appends, group-syncs, and answers [ack] with
+    its durable watermark.  Every message carries the sender's epoch so
+    either side can fence a stale peer ([reject] with [Stale_epoch]).
 
     Watermark fields ([commit], [durable]) admit [-1] (empty log);
     seqnos, epochs and terms are non-negative.  Decoders are total on
@@ -27,16 +36,16 @@
 
 type reason = Not_primary | Stale_epoch | Log_gap
 
-type hello = { h_epoch : int; h_next : int; h_node : int }
+type hello = { h_epoch : int; h_next : int; h_last_epoch : int; h_node : int }
 
 type msg =
   | Hello of hello
   | Welcome of { w_epoch : int; w_next : int }
   | Reject of { r_epoch : int; r_reason : reason }
-  | Entry of { e_epoch : int; e_seqno : int; e_body : string }
+  | Entry of { e_epoch : int; e_seqno : int; e_origin : int; e_body : string }
   | Heartbeat of { b_epoch : int; b_commit : int }
   | Ack of { a_epoch : int; a_durable : int; a_node : int }
-  | Vote_req of { v_term : int; v_durable : int; v_node : int }
+  | Vote_req of { v_term : int; v_durable : int; v_last_epoch : int; v_node : int }
   | Vote of {
       g_term : int;
       g_granted : bool;
@@ -55,9 +64,12 @@ val encode : msg -> string
 
 val decode : string -> (msg, string) result
 
-val candidate_geq : durable:int * int -> than:int * int -> bool
-(** [candidate_geq ~durable:(d1, id1) ~than:(d2, id2)]: the election
-    order — a voter grants only to candidates whose
-    [(durable watermark, node id)] is lexicographically at or above its
-    own, so the winner provably holds every acked (hence committed)
-    entry. *)
+val candidate_geq : cand:int * int * int -> than:int * int * int -> bool
+(** [candidate_geq ~cand:(e1, d1, id1) ~than:(e2, d2, id2)]: the
+    election order — a voter grants only to candidates whose
+    [(last-entry epoch, durable watermark, node id)] is
+    lexicographically at or above its own.  Comparing the last entry's
+    epoch {e before} log length (Raft's up-to-date rule) means a longer
+    log of durable-but-uncommitted writes from a deposed primaryship
+    loses to a shorter log holding newer-epoch entries, so the winner
+    provably holds every acked (hence committed) entry. *)

@@ -36,7 +36,13 @@ let random_msg rng =
   let wm () = Rng.int rng 1000 - 1 in
   match Rng.int rng 8 with
   | 0 ->
-    Proto.Hello { h_epoch = Rng.int rng 1000; h_next = Rng.int rng 1000; h_node = Rng.int rng 100 }
+    Proto.Hello
+      {
+        h_epoch = Rng.int rng 1000;
+        h_next = Rng.int rng 1000;
+        h_last_epoch = Rng.int rng 1000;
+        h_node = Rng.int rng 100;
+      }
   | 1 -> Proto.Welcome { w_epoch = Rng.int rng 1000; w_next = Rng.int rng 1000 }
   | 2 ->
     Proto.Reject
@@ -49,11 +55,19 @@ let random_msg rng =
       {
         e_epoch = Rng.int rng 1000;
         e_seqno = Rng.int rng 100_000;
+        e_origin = Rng.int rng 1000;
         e_body = String.init (Rng.int rng 48) (fun _ -> Char.chr (Rng.int rng 256));
       }
   | 4 -> Proto.Heartbeat { b_epoch = Rng.int rng 1000; b_commit = wm () }
   | 5 -> Proto.Ack { a_epoch = Rng.int rng 1000; a_durable = wm (); a_node = Rng.int rng 100 }
-  | 6 -> Proto.Vote_req { v_term = Rng.int rng 1000; v_durable = wm (); v_node = Rng.int rng 100 }
+  | 6 ->
+    Proto.Vote_req
+      {
+        v_term = Rng.int rng 1000;
+        v_durable = wm ();
+        v_last_epoch = Rng.int rng 1000;
+        v_node = Rng.int rng 100;
+      }
   | _ ->
     Proto.Vote
       {
@@ -87,12 +101,21 @@ let prop_protocol_total =
         (List.init (String.length e) Fun.id))
 
 let test_candidate_geq () =
-  checkb "higher durable wins" true (Proto.candidate_geq ~durable:(5, 1) ~than:(4, 9));
-  checkb "lower durable loses" false (Proto.candidate_geq ~durable:(3, 9) ~than:(4, 1));
-  checkb "tie breaks up" true (Proto.candidate_geq ~durable:(4, 2) ~than:(4, 1));
-  checkb "tie equal id" true (Proto.candidate_geq ~durable:(4, 1) ~than:(4, 1));
-  checkb "tie breaks down" false (Proto.candidate_geq ~durable:(4, 1) ~than:(4, 2));
-  checkb "empty log loses" false (Proto.candidate_geq ~durable:(-1, 9) ~than:(0, 0))
+  checkb "higher durable wins" true
+    (Proto.candidate_geq ~cand:(0, 5, 1) ~than:(0, 4, 9));
+  checkb "lower durable loses" false
+    (Proto.candidate_geq ~cand:(0, 3, 9) ~than:(0, 4, 1));
+  checkb "tie breaks up" true (Proto.candidate_geq ~cand:(0, 4, 2) ~than:(0, 4, 1));
+  checkb "tie equal id" true (Proto.candidate_geq ~cand:(0, 4, 1) ~than:(0, 4, 1));
+  checkb "tie breaks down" false (Proto.candidate_geq ~cand:(0, 4, 1) ~than:(0, 4, 2));
+  checkb "empty log loses" false (Proto.candidate_geq ~cand:(0, -1, 9) ~than:(0, 0, 0));
+  (* Raft's up-to-date rule: last-entry epoch dominates log length — a
+     longer log of uncommitted writes from a deposed primaryship loses
+     to a shorter newer-epoch log. *)
+  checkb "newer epoch beats longer log" true
+    (Proto.candidate_geq ~cand:(3, 4, 1) ~than:(2, 90, 2));
+  checkb "older epoch loses despite length" false
+    (Proto.candidate_geq ~cand:(2, 90, 2) ~than:(3, 4, 1))
 
 (* ------------------------------------------------------------------ *)
 (* Epochs                                                              *)
@@ -115,6 +138,101 @@ let test_epochs () =
     (match Repl.Epochs.store ~dir (-1) with
     | exception Invalid_argument _ -> true
     | _ -> false)
+
+let test_voted_file () =
+  with_tmp_dir @@ fun dir ->
+  let dir = Filename.concat dir "node" in
+  checki "never voted" 0 (Repl.Epochs.load_voted ~dir);
+  Repl.Epochs.store_voted ~dir 3;
+  checki "store/load" 3 (Repl.Epochs.load_voted ~dir);
+  (* the epoch fence and the voted term are independent files *)
+  Repl.Epochs.store ~dir 9;
+  checki "epoch untouched by vote" 3 (Repl.Epochs.load_voted ~dir);
+  checki "vote untouched by epoch" 9 (Repl.Epochs.load ~dir)
+
+(* ------------------------------------------------------------------ *)
+(* Elog: the epoch-run index                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_elog () =
+  with_tmp_dir @@ fun dir ->
+  let dir = Filename.concat dir "node" in
+  let e = Repl.Elog.load ~dir in
+  checki "empty log last epoch" 0 (Repl.Elog.last_epoch e ~next:0);
+  checki "epoch-0 prefix" 0 (Repl.Elog.epoch_at e 42);
+  Repl.Elog.note e ~epoch:2 ~first_seqno:10;
+  Repl.Elog.note e ~epoch:4 ~first_seqno:17;
+  checki "below first run" 0 (Repl.Elog.epoch_at e 9);
+  checki "inside run 2" 2 (Repl.Elog.epoch_at e 12);
+  checki "at run 4 start" 4 (Repl.Elog.epoch_at e 17);
+  checki "last epoch" 4 (Repl.Elog.last_epoch e ~next:18);
+  checki "run start" 17 (Repl.Elog.run_start e ~at:20);
+  checki "run start mid" 10 (Repl.Elog.run_start e ~at:16);
+  checki "run start prefix" 0 (Repl.Elog.run_start e ~at:4);
+  (* persisted: a fresh load sees the same runs *)
+  let e2 = Repl.Elog.load ~dir in
+  checki "reload" 4 (Repl.Elog.epoch_at e2 17);
+  (* the index never regresses on a lower epoch *)
+  Repl.Elog.note e2 ~epoch:3 ~first_seqno:30;
+  checki "no regress" 4 (Repl.Elog.last_epoch e2 ~next:31);
+  (* a new run absorbs recorded runs it covers *)
+  Repl.Elog.note e2 ~epoch:6 ~first_seqno:12;
+  checki "new run covers" 6 (Repl.Elog.epoch_at e2 14);
+  checki "and beyond" 6 (Repl.Elog.epoch_at e2 25);
+  checki "prefix intact" 2 (Repl.Elog.epoch_at e2 11);
+  (* truncation drops runs at or past the cut *)
+  Repl.Elog.truncate e2 ~next:11;
+  checki "run below the cut survives" 2 (Repl.Elog.epoch_at e2 10);
+  checki "runs past the cut gone" 2 (Repl.Elog.epoch_at e2 30)
+
+(* ------------------------------------------------------------------ *)
+(* Feed.resume_point: hello reconciliation                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_resume_point () =
+  with_tmp_dir @@ fun dir ->
+  let elog = Repl.Elog.load ~dir in
+  Repl.Elog.note elog ~epoch:2 ~first_seqno:5;
+  let rp = Repl.Feed.resume_point ~elog ~p_next:8 in
+  checki "empty joiner starts at 0" 0 (rp ~h_next:0 ~h_last_epoch:0);
+  checki "overlong joiner cut to our log" 8 (rp ~h_next:12 ~h_last_epoch:2);
+  checki "matching epoch resumes in place" 7 (rp ~h_next:7 ~h_last_epoch:2);
+  checki "matching epoch-0 prefix" 3 (rp ~h_next:3 ~h_last_epoch:0);
+  checki "mismatch backs off to run start" 5 (rp ~h_next:7 ~h_last_epoch:1);
+  checki "mismatch below the run backs to 0" 0 (rp ~h_next:4 ~h_last_epoch:1)
+
+(* ------------------------------------------------------------------ *)
+(* Wal.truncate_from                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_wal_truncate_from () =
+  with_tmp_dir @@ fun dir ->
+  (* tiny segments so the cut crosses rotations *)
+  let wal = Wal.open_ ~segment_bytes:128 ~fsync:false ~dir () in
+  for i = 0 to 29 do
+    ignore (Wal.append wal (Printf.sprintf "body-%04d" i))
+  done;
+  Wal.close wal;
+  checki "dropped the suffix" 19 (Wal.truncate_from ~fsync:false ~dir ~from:11 ());
+  let recs = (Wal.scan ~dir).Wal.records in
+  checki "prefix kept" 11 (Array.length recs);
+  Array.iteri
+    (fun i (s, b) ->
+      checki "seqno" i s;
+      Alcotest.check Alcotest.string "body" (Printf.sprintf "body-%04d" i) b)
+    recs;
+  (* a reopened wal appends exactly at the cut *)
+  let wal = Wal.open_ ~fsync:false ~dir () in
+  checki "next after cut" 11 (Wal.next_seqno wal);
+  ignore (Wal.append wal "fresh");
+  Wal.close wal;
+  checki "append continues" 12 (Array.length (Wal.scan ~dir).Wal.records);
+  (* cutting at 0 empties the log but keeps its origin *)
+  checki "drop all" 12 (Wal.truncate_from ~fsync:false ~dir ~from:0 ());
+  checki "empty" 0 (Array.length (Wal.scan ~dir).Wal.records);
+  let wal = Wal.open_ ~fsync:false ~dir () in
+  checki "restarts at 0" 0 (Wal.next_seqno wal);
+  Wal.close wal
 
 (* ------------------------------------------------------------------ *)
 (* Gate                                                                *)
@@ -179,11 +297,15 @@ let prop_tail_from =
 (* ------------------------------------------------------------------ *)
 
 (* Drive Applier.run on one end of a socketpair and play the primary by
-   hand on the other: read its hello, answer welcome, then misbehave. *)
-let with_scripted_applier ~epoch ~script check_outcome =
+   hand on the other: read its hello, answer welcome, then misbehave.
+   [prefill] seeds the replica WAL before the session starts. *)
+let with_scripted_applier ~epoch ?(prefill = []) ~script check_outcome =
   with_tmp_dir @@ fun dir ->
   let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let wal = Wal.open_ ~fsync:false ~dir () in
+  List.iter (fun body -> ignore (Wal.append wal body)) prefill;
+  if prefill <> [] then Wal.sync wal;
+  let elog = Repl.Elog.load ~dir in
   let adopted = ref [] in
   let applied = ref [] in
   let outcome = ref None in
@@ -194,7 +316,7 @@ let with_scripted_applier ~epoch ~script check_outcome =
           Some
             (Repl.Applier.run ~fd:a ~node_id:1 ~epoch
                ~on_epoch:(fun e -> adopted := e :: !adopted)
-               ~wal
+               ~wal ~elog
                ~apply:(fun ~seqno body -> applied := (seqno, body) :: !applied)
                ~on_heartbeat:(fun ~commit:_ -> ())
                ~serve_reads:(fun () -> ())
@@ -223,25 +345,25 @@ let with_scripted_applier ~epoch ~script check_outcome =
   (match read_frame () with
   | Proto.Hello h ->
     checki "hello epoch" epoch h.Proto.h_epoch;
-    checki "hello next" 0 h.Proto.h_next
+    checki "hello next" (List.length prefill) h.Proto.h_next
   | _ -> Alcotest.fail "expected hello");
   script ~send ~read_frame ~shutdown:(fun () -> Unix.shutdown b Unix.SHUTDOWN_ALL);
   Thread.join th;
   Unix.close b;
   Wal.close wal;
-  check_outcome ~outcome:(Option.get !outcome) ~adopted:!adopted ~applied:!applied
+  check_outcome ~outcome:(Option.get !outcome) ~adopted:!adopted ~applied:!applied ~elog
 
 let test_applier_fences_stale_epoch () =
   with_scripted_applier ~epoch:5
     ~script:(fun ~send ~read_frame ~shutdown:_ ->
       send (Proto.Welcome { w_epoch = 5; w_next = 0 });
       (* a deposed primary's frame: below our epoch *)
-      send (Proto.Entry { e_epoch = 3; e_seqno = 0; e_body = "stale" });
+      send (Proto.Entry { e_epoch = 3; e_seqno = 0; e_origin = 3; e_body = "stale" });
       match read_frame () with
       | Proto.Reject { r_reason = Proto.Stale_epoch; r_epoch } ->
         checki "reject carries our fence" 5 r_epoch
       | _ -> Alcotest.fail "expected stale-epoch reject")
-    (fun ~outcome ~adopted:_ ~applied ->
+    (fun ~outcome ~adopted:_ ~applied ~elog:_ ->
       checkb "outcome" true (outcome = Repl.Applier.Stale_primary 3);
       checkb "nothing applied" true (applied = []))
 
@@ -249,25 +371,130 @@ let test_applier_adopts_higher_epoch () =
   with_scripted_applier ~epoch:2
     ~script:(fun ~send ~read_frame ~shutdown ->
       send (Proto.Welcome { w_epoch = 4; w_next = 0 });
-      send (Proto.Entry { e_epoch = 4; e_seqno = 0; e_body = "fresh" });
+      send (Proto.Entry { e_epoch = 4; e_seqno = 0; e_origin = 3; e_body = "fresh" });
       (match read_frame () with
       | Proto.Ack { a_durable; _ } -> checki "acked" 0 a_durable
       | _ -> Alcotest.fail "expected ack");
       shutdown ())
-    (fun ~outcome ~adopted ~applied ->
+    (fun ~outcome ~adopted ~applied ~elog ->
       checkb "outcome" true (outcome = Repl.Applier.Disconnected);
       checkb "adopted the higher epoch" true (List.mem 4 adopted);
-      checkb "applied the entry" true (applied = [ (0, "fresh") ]))
+      checkb "applied the entry" true (applied = [ (0, "fresh") ]);
+      (* the entry's origin epoch — not the shipping fence — lands in
+         the run index, so this replica's next hello reports it *)
+      checki "origin recorded" 3 (Repl.Elog.last_epoch elog ~next:1))
 
 let test_applier_rejects_gap () =
   with_scripted_applier ~epoch:1
     ~script:(fun ~send ~read_frame:_ ~shutdown:_ ->
       send (Proto.Welcome { w_epoch = 1; w_next = 0 });
       (* density violation: seqno 3 when the wal expects 0 *)
-      send (Proto.Entry { e_epoch = 1; e_seqno = 3; e_body = "gap" }))
-    (fun ~outcome ~adopted:_ ~applied ->
+      send (Proto.Entry { e_epoch = 1; e_seqno = 3; e_origin = 1; e_body = "gap" }))
+    (fun ~outcome ~adopted:_ ~applied ~elog:_ ->
       checkb "outcome" true (outcome = Repl.Applier.Disconnected);
       checkb "nothing applied" true (applied = []))
+
+let test_applier_truncate_on_low_welcome () =
+  with_scripted_applier ~epoch:3 ~prefill:[ "a"; "b"; "c" ]
+    ~script:(fun ~send ~read_frame:_ ~shutdown:_ ->
+      (* the primary's log reconciliation resumes below our log end:
+         our suffix [1, 2] diverges and must be cut *)
+      send (Proto.Welcome { w_epoch = 3; w_next = 1 }))
+    (fun ~outcome ~adopted:_ ~applied ~elog:_ ->
+      checkb "outcome" true (outcome = Repl.Applier.Truncate 1);
+      checkb "nothing applied" true (applied = []))
+
+let test_applier_rejects_overlong_welcome () =
+  with_scripted_applier ~epoch:1
+    ~script:(fun ~send ~read_frame:_ ~shutdown:_ ->
+      (* shipping from beyond our log end would leave a gap *)
+      send (Proto.Welcome { w_epoch = 1; w_next = 5 }))
+    (fun ~outcome ~adopted:_ ~applied ~elog:_ ->
+      checkb "outcome" true (outcome = Repl.Applier.Disconnected);
+      checkb "nothing applied" true (applied = []))
+
+(* ------------------------------------------------------------------ *)
+(* Feed: per-node ack aggregation                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Play two backups against a Feed by hand.  The commit watermark with
+   [sync_replicas = 2] must be the 2nd-largest ack over distinct NODES:
+   a backup that reconnects (leaving a dead conn with a frozen ack
+   behind) must never count twice. *)
+let test_feed_per_node_acks () =
+  with_tmp_dir @@ fun dir ->
+  let wal = Wal.open_ ~fsync:false ~dir () in
+  for i = 0 to 10 do
+    ignore (Wal.append wal (Printf.sprintf "w%d" i))
+  done;
+  Wal.sync wal;
+  Wal.close wal;
+  let elog = Repl.Elog.load ~dir in
+  let commits = ref [] in
+  let feed =
+    Repl.Feed.create ~node_id:0 ~epoch:0 ~dir ~elog
+      ~durable:(fun () -> 10)
+      ~sync_replicas:2 ~heartbeat_s:10.0
+      ~on_commit:(fun w -> commits := w :: !commits)
+      ~on_fenced:(fun _ -> ())
+      ()
+  in
+  let serve_backup ~node ~h_next =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let th =
+      Thread.create
+        (fun () ->
+          Repl.Feed.serve feed a ~reader:(Net.Frame_reader.create ())
+            ~hello:{ Proto.h_epoch = 0; h_next; h_last_epoch = 0; h_node = node })
+        ()
+    in
+    (b, th)
+  in
+  let ack fd ~node ~durable =
+    let f =
+      Codec.frame
+        (Proto.encode (Proto.Ack { a_epoch = 0; a_durable = durable; a_node = node }))
+    in
+    ignore (Unix.write_substring fd f 0 (String.length f))
+  in
+  let wait_commit w =
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while Repl.Feed.commit feed < w && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.002
+    done
+  in
+  let b1, th1 = serve_backup ~node:1 ~h_next:0 in
+  ack b1 ~node:1 ~durable:8;
+  Unix.sleepf 0.1;
+  checki "a single node cannot commit" (-1) (Repl.Feed.commit feed);
+  (* node 1 reconnects, leaving its frozen ack 8 behind *)
+  (try Unix.shutdown b1 Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ());
+  Thread.join th1;
+  Unix.close b1;
+  let b1', th1' = serve_backup ~node:1 ~h_next:9 in
+  Unix.sleepf 0.1;
+  checki "a reconnected node still counts once" (-1) (Repl.Feed.commit feed);
+  (* node 2 joins and acks 5: the 2nd-largest per-NODE ack is 5 — with
+     raw per-connection acks, node 1's two conns would fake a commit
+     at 8 *)
+  let b2, th2 = serve_backup ~node:2 ~h_next:0 in
+  ack b2 ~node:2 ~durable:5;
+  wait_commit 5;
+  checki "commit = 2nd distinct node's ack" 5 (Repl.Feed.commit feed);
+  ack b1' ~node:1 ~durable:10;
+  Unix.sleepf 0.1;
+  checki "still bounded by the slower node" 5 (Repl.Feed.commit feed);
+  ack b2 ~node:2 ~durable:10;
+  wait_commit 10;
+  checki "full commit" 10 (Repl.Feed.commit feed);
+  checkb "on_commit advanced monotonically" true
+    (let l = List.rev !commits in
+     List.sort compare l = l);
+  Repl.Feed.stop feed;
+  List.iter Thread.join [ th1'; th2 ];
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    [ b1'; b2 ]
 
 (* ------------------------------------------------------------------ *)
 (* Live clusters                                                       *)
@@ -324,7 +551,7 @@ let start_cluster ?(sync_replicas = 1) ~dir n =
            ~election_timeout_s:0.2
            ~initial_role:(if i = 0 then `Primary else `Backup)
            ())
-        (make_backend ()))
+        make_backend)
 
 let test_single_node_restart_exactly_once () =
   with_tmp_dir @@ fun dir ->
@@ -335,7 +562,7 @@ let test_single_node_restart_exactly_once () =
         (Repl.Node.make_config ~node_id:0 ~data_dir:(Filename.concat dir "n0")
            ~repl_fd:(fst listeners.(0)) ~peers:[] ~fsync:false ~sync_replicas:0
            ~initial_role:`Primary ())
-        (make_backend ())
+        make_backend
     in
     let c = Net.Client.connect ~port:(wait_port node) () in
     let rng = Rng.create (41 + start) in
@@ -494,6 +721,115 @@ let test_failover_elects_and_converges () =
   let want = serial_digest (Array.map snd primary_log) in
   List.iter (fun d -> checki "survivor digest = serial replay" want d) digests
 
+(* An ex-primary rejoining after failover may hold a durable-but-unacked
+   suffix the new primaryship never had; reconciliation must cut it,
+   rebuild the replica, and converge its log and state to the new
+   primary's. *)
+let test_rejoin_converges () =
+  with_tmp_dir @@ fun dir ->
+  let nodes = start_cluster ~dir 3 in
+  let addrs = Array.to_list (Array.map (fun n -> ("127.0.0.1", wait_port n)) nodes) in
+  let session = Net.Client.Session.create ~req_timeout_s:0.5 ~addrs () in
+  let rng = Rng.create 31 in
+  let ok = ref 0 in
+  for i = 0 to 29 do
+    (match
+       Net.Client.Session.call ~retry_budget_s:15.0 session ~req_id:i ~body:(kv_body rng)
+     with
+    | Ok r when r.Wire.status = Wire.status_ok -> incr ok
+    | Ok _ | Error _ -> ());
+    if i = 9 then Repl.Node.kill nodes.(0)
+  done;
+  Net.Client.Session.close session;
+  checki "every write eventually acked" 30 !ok;
+  let survivors = [ nodes.(1); nodes.(2) ] in
+  let new_primary =
+    match List.find_opt (fun n -> Repl.Node.role n = Repl.Node.Primary) survivors with
+    | Some n -> n
+    | None -> Alcotest.fail "no survivor took over"
+  in
+  let n0' =
+    Repl.Node.start
+      (Repl.Node.make_config ~node_id:0 ~data_dir:(Filename.concat dir "n0")
+         ~backup_of:("127.0.0.1", Repl.Node.repl_port new_primary)
+         ~peers:
+           (List.map
+              (fun n -> (Repl.Node.node_id n, "127.0.0.1", Repl.Node.repl_port n))
+              survivors)
+         ~fsync:false ~sync_replicas:1 ~heartbeat_s:0.01 ~election_timeout_s:1.0
+         ~initial_role:`Backup ())
+      make_backend
+  in
+  let target = Repl.Node.durable new_primary in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    (Repl.Node.durable n0' <> target
+    || Repl.Node.epoch n0' < Repl.Node.epoch new_primary)
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.01
+  done;
+  Repl.Node.stop n0';
+  List.iter Repl.Node.stop survivors;
+  let l0 = Repl.Node.wal_records n0' and lp = Repl.Node.wal_records new_primary in
+  checkb "rejoined log equals the new primary's" true (l0 = lp);
+  checki "rejoined digest = serial replay" (serial_digest (Array.map snd lp))
+    (Repl.Node.digest n0')
+
+(* ------------------------------------------------------------------ *)
+(* Votes are durable                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let vote_req node ~term ~cand =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Repl.Node.repl_port node));
+  let f =
+    Codec.frame
+      (Proto.encode
+         (Proto.Vote_req { v_term = term; v_durable = 100; v_last_epoch = 0; v_node = cand }))
+  in
+  ignore (Unix.write_substring fd f 0 (String.length f));
+  let reader = Net.Frame_reader.create () in
+  let buf = Bytes.create 1024 in
+  let rec go () =
+    match Net.Frame_reader.next reader with
+    | `Frame p -> (
+      match Proto.decode p with
+      | Ok (Proto.Vote { g_granted; _ }) -> g_granted
+      | Ok _ | Error _ -> Alcotest.fail "expected a vote reply")
+    | `Error e -> Alcotest.fail (Codec.error_to_string e)
+    | `Need_more ->
+      let k = Unix.read fd buf 0 (Bytes.length buf) in
+      if k = 0 then Alcotest.fail "vote socket closed";
+      Net.Frame_reader.feed reader buf ~pos:0 ~len:k;
+      go ()
+  in
+  let g = go () in
+  Unix.close fd;
+  g
+
+let test_vote_survives_restart () =
+  with_tmp_dir @@ fun dir ->
+  (* a lone backup with an unreachable primary and an hour-long election
+     timeout: it just sits there granting votes *)
+  let mk () =
+    Repl.Node.start
+      (Repl.Node.make_config ~node_id:0 ~data_dir:(Filename.concat dir "n0")
+         ~peers:[ (1, "127.0.0.1", 1) ] ~fsync:false ~sync_replicas:0
+         ~election_timeout_s:3600.0 ~initial_role:`Backup ())
+      make_backend
+  in
+  let n = mk () in
+  checkb "first grant" true (vote_req n ~term:7 ~cand:1);
+  checkb "same term refused" false (vote_req n ~term:7 ~cand:2);
+  Repl.Node.stop n;
+  (* a crash-restarted voter must not grant the same term again — that
+     is how two primaries get seated *)
+  let n = mk () in
+  checkb "same term refused across restart" false (vote_req n ~term:7 ~cand:2);
+  checkb "higher term granted" true (vote_req n ~term:8 ~cand:2);
+  Repl.Node.stop n
+
 (* ------------------------------------------------------------------ *)
 (* Client session: reconnect and timeout                               *)
 (* ------------------------------------------------------------------ *)
@@ -538,16 +874,33 @@ let () =
           Alcotest.test_case "election order" `Quick test_candidate_geq;
         ] );
       ( "epochs",
-        [ Alcotest.test_case "persist / corrupt / negative" `Quick test_epochs ] );
+        [
+          Alcotest.test_case "persist / corrupt / negative" `Quick test_epochs;
+          Alcotest.test_case "voted term is its own file" `Quick test_voted_file;
+        ] );
+      ("elog", [ Alcotest.test_case "epoch-run index" `Quick test_elog ]);
       ( "gate",
         [ Alcotest.test_case "contiguity and await" `Quick test_gate_contiguity ] );
-      ("wal", [ QCheck_alcotest.to_alcotest prop_tail_from ]);
+      ( "wal",
+        [
+          QCheck_alcotest.to_alcotest prop_tail_from;
+          Alcotest.test_case "truncate_from" `Quick test_wal_truncate_from;
+        ] );
+      ( "feed",
+        [
+          Alcotest.test_case "resume point reconciliation" `Quick test_resume_point;
+          Alcotest.test_case "acks aggregate per node" `Quick test_feed_per_node_acks;
+        ] );
       ( "applier",
         [
           Alcotest.test_case "stale epoch is fenced" `Quick test_applier_fences_stale_epoch;
           Alcotest.test_case "higher epoch is adopted" `Quick
             test_applier_adopts_higher_epoch;
           Alcotest.test_case "seqno gap ends the session" `Quick test_applier_rejects_gap;
+          Alcotest.test_case "low welcome means truncate" `Quick
+            test_applier_truncate_on_low_welcome;
+          Alcotest.test_case "overlong welcome is refused" `Quick
+            test_applier_rejects_overlong_welcome;
         ] );
       ( "cluster",
         [
@@ -559,6 +912,9 @@ let () =
           Alcotest.test_case "stale-bounded replica reads" `Quick test_stale_bounded_read;
           Alcotest.test_case "failover elects and converges" `Quick
             test_failover_elects_and_converges;
+          Alcotest.test_case "rejoined ex-primary converges" `Quick test_rejoin_converges;
+          Alcotest.test_case "granted votes survive restart" `Quick
+            test_vote_survives_restart;
         ] );
       ( "session",
         [
